@@ -1,0 +1,29 @@
+//! E1 — Eddy adaptivity vs static plans under selectivity drift.
+//!
+//! Workload: 100k two-column tuples whose value distributions swap
+//! halfway, flipping which of two (equally expensive) filters is
+//! selective. The adaptive lottery policy re-routes; a static plan keeps
+//! paying the now-pessimal order. Reproduces the Eddies claim the paper
+//! imports in §2.2 \[AH00\].
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcq_bench::{e1_run, Policy};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_eddy_vs_static");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("lottery", Policy::Lottery),
+        ("naive", Policy::Naive),
+        ("fixed_good_then_bad", Policy::FixedWrong),
+        ("fixed_bad_then_good", Policy::Fixed),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
+            b.iter(|| e1_run(p, 100_000));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

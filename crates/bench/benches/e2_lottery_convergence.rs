@@ -1,0 +1,20 @@
+//! E2 — Lottery routing convergence to cheapest-first operator order.
+//!
+//! Three filters with selectivities 0.2 / 0.5 / 0.8; the bench times a
+//! full convergence run, and `cargo run --bin experiments` prints the
+//! per-window routing shares (the convergence curve itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcq_bench::e2_convergence;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_lottery_convergence");
+    g.sample_size(10);
+    g.bench_function("converge_100k", |b| {
+        b.iter(|| e2_convergence(100_000, 10_000));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E3 — SteM-based async index join: rendezvous buffer + cache SteM
+//! (the §2.2 hybridization example) vs the cacheless baseline that pays
+//! a remote round-trip per probe.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcq_bench::e3_run;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_stem_hybrid_join");
+    g.sample_size(10);
+    for &keys in &[20i64, 200, 2000] {
+        g.bench_with_input(BenchmarkId::new("cached", keys), &keys, |b, &k| {
+            b.iter(|| e3_run(10_000, k, 3, true));
+        });
+        g.bench_with_input(BenchmarkId::new("uncached", keys), &keys, |b, &k| {
+            b.iter(|| e3_run(10_000, k, 3, false));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

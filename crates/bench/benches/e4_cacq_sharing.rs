@@ -1,0 +1,22 @@
+//! E4 — CACQ shared execution vs query-at-a-time as the number of
+//! standing queries grows (§3.1, \[MSHR02\]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcq_bench::{e4_per_query, e4_shared};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_cacq_sharing");
+    g.sample_size(10);
+    for &k in &[1usize, 8, 32, 128, 512, 2048] {
+        g.bench_with_input(BenchmarkId::new("shared", k), &k, |b, &k| {
+            b.iter(|| e4_shared(k, 20_000));
+        });
+        g.bench_with_input(BenchmarkId::new("per_query", k), &k, |b, &k| {
+            b.iter(|| e4_per_query(k, 20_000));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E6 — Flux online repartitioning under Zipf skew, and the overhead of
+//! replication (§2.4, \[SHCF03\]). Failover/data-loss numbers are in the
+//! `experiments` binary report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcq_bench::e6_run;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_flux_rebalance");
+    g.sample_size(10);
+    for &theta in &[0.0f64, 1.0] {
+        g.bench_with_input(
+            BenchmarkId::new("static_partitioning", format!("theta{theta}")),
+            &theta,
+            |b, &th| b.iter(|| e6_run(th, false, false, false, 50_000)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("online_rebalance", format!("theta{theta}")),
+            &theta,
+            |b, &th| b.iter(|| e6_run(th, true, false, false, 50_000)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("replicated", format!("theta{theta}")),
+            &theta,
+            |b, &th| b.iter(|| e6_run(th, false, false, true, 50_000)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E7 — "Adapting adaptivity" (§4.3): the tuple-batching and
+//! operator-fixing knobs sweep routing overhead against adaptivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcq_bench::e7_run;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_adaptivity_knobs");
+    g.sample_size(10);
+    for &batch in &[1usize, 16, 256, 4096] {
+        for drift in [false, true] {
+            let tag = format!("batch{batch}_{}", if drift { "drift" } else { "stable" });
+            g.bench_with_input(BenchmarkId::from_parameter(tag), &(batch, drift), |b, &(bs, d)| {
+                b.iter(|| e7_run(bs, 1, d, 50_000));
+            });
+        }
+    }
+    for &fix in &[1usize, 2] {
+        g.bench_with_input(BenchmarkId::new("fix_ops", fix), &fix, |b, &f| {
+            b.iter(|| e7_run(1, f, false, 50_000));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E8 — window type drives aggregate state (§4.1.2): landmark MAX is
+//! O(1), sliding MAX retains the window. State bytes are reported by the
+//! `experiments` binary; this bench times the per-tuple maintenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcq_bench::e8_run;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_window_memory");
+    g.sample_size(10);
+    g.bench_function("landmark_max", |b| b.iter(|| e8_run(None, 100_000)));
+    for &w in &[1_000i64, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::new("sliding_max", w), &w, |b, &w| {
+            b.iter(|| e8_run(Some(w), 100_000));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E9 (extension) — buffer-pool replacement ablation for the §4.3
+//! disk/QoS discussion: LRU vs Clock under looping scans and skewed
+//! access.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcq_bench::e9_run;
+use tcq_storage::Replacement;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_bufferpool");
+    g.sample_size(10);
+    for (name, policy) in [("lru", Replacement::Lru), ("clock", Replacement::Clock)] {
+        g.bench_with_input(BenchmarkId::new("skewed", name), &policy, |b, &p| {
+            b.iter(|| e9_run(p, 200, 50, 50_000, true));
+        });
+        g.bench_with_input(BenchmarkId::new("scan", name), &policy, |b, &p| {
+            b.iter(|| e9_run(p, 200, 50, 50_000, false));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

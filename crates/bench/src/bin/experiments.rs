@@ -1,0 +1,246 @@
+//! Regenerate every experiment table for EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p tcq-bench --bin experiments
+//! ```
+//!
+//! Prints paper-claim vs measured-shape rows for E1–E9 (see DESIGN.md §5
+//! for the experiment index).
+
+use tcq_bench::*;
+use tcq_storage::Replacement;
+
+fn main() {
+    println!("TelegraphCQ-rs experiment report");
+    println!("================================\n");
+
+    e1();
+    e2();
+    e3();
+    e4();
+    e5();
+    e6();
+    e7();
+    e8();
+    e9();
+}
+
+fn e1() {
+    println!("E1 — eddy adaptivity vs static plans under selectivity drift");
+    println!("  workload: 100k tuples, filter selectivities swap at 50k");
+    println!(
+        "  {:<22} {:>12} {:>10} {:>12}",
+        "policy", "work units", "outputs", "decisions"
+    );
+    for (name, p) in [
+        ("lottery (adaptive)", Policy::Lottery),
+        ("naive (random)", Policy::Naive),
+        ("static, stale order", Policy::FixedWrong),
+        ("static, lucky order", Policy::Fixed),
+    ] {
+        let r = e1_run(p, 100_000);
+        println!(
+            "  {:<22} {:>12} {:>10} {:>12}",
+            name, r.work, r.outputs, r.decisions
+        );
+    }
+    println!();
+}
+
+fn e2() {
+    println!("E2 — lottery convergence (first-hop routing share per 10k-tuple window)");
+    println!("  filters: sel 0.2 / 0.5 / 0.8 — the 0.2 filter should dominate");
+    println!(
+        "  {:<10} {:>8} {:>8} {:>8}",
+        "window", "sel0.2", "sel0.5", "sel0.8"
+    );
+    for (i, s) in e2_convergence(100_000, 10_000).iter().enumerate() {
+        println!(
+            "  {:<10} {:>8.2} {:>8.2} {:>8.2}",
+            format!("{}k", (i + 1) * 10),
+            s[0],
+            s[1],
+            s[2]
+        );
+    }
+    println!();
+}
+
+fn e3() {
+    println!("E3 — async index join: cache+rendezvous SteMs vs per-probe round trips");
+    println!("  workload: 10k probes, remote latency 3 rounds");
+    println!(
+        "  {:<10} {:<10} {:>10} {:>12} {:>10} {:>12}",
+        "keys", "mode", "outputs", "lookups", "hits", "ms"
+    );
+    for &keys in &[20i64, 200, 2000] {
+        for cached in [true, false] {
+            let r = e3_run(10_000, keys, 3, cached);
+            println!(
+                "  {:<10} {:<10} {:>10} {:>12} {:>10} {:>12.2}",
+                keys,
+                if cached { "cached" } else { "uncached" },
+                r.outputs,
+                r.lookups,
+                r.cache_hits,
+                r.elapsed_ms
+            );
+        }
+    }
+    let (unbounded, windowed) = e3b_stem_eviction(100_000, 4_096);
+    println!(
+        "  SteM eviction ablation (100k tuples/side, window 4096): \
+{unbounded} B unbounded vs {windowed} B windowed"
+    );
+    println!();
+}
+
+fn e4() {
+    println!("E4 — CACQ shared execution vs query-at-a-time (20k tuples)");
+    println!(
+        "  {:<8} {:>14} {:>14} {:>12} {:>12} {:>10}",
+        "queries", "shared evals", "naive evals", "shared ms", "naive ms", "speedup"
+    );
+    for &k in &[1usize, 8, 32, 128, 512, 2048] {
+        let s = e4_shared(k, 20_000);
+        let n = e4_per_query(k, 20_000);
+        assert_eq!(s.delivered, n.delivered);
+        println!(
+            "  {:<8} {:>14} {:>14} {:>12.2} {:>12.2} {:>9.1}x",
+            k,
+            s.eval_ops,
+            n.eval_ops,
+            s.elapsed_ms,
+            n.elapsed_ms,
+            n.elapsed_ms / s.elapsed_ms.max(1e-9)
+        );
+    }
+    println!();
+}
+
+fn e5() {
+    println!("E5 — PSoup materialized retrieval vs recompute (64 queries, 100k history)");
+    println!(
+        "  {:<10} {:>10} {:>16} {:>14} {:>10}",
+        "window", "rows", "materialized ms", "recompute ms", "speedup"
+    );
+    for &w in &[1_000i64, 10_000, 50_000] {
+        let (mut p, ids) = e5_setup(64, 100_000, w);
+        let m = e5_retrieve(&mut p, &ids, 100_000, true);
+        let r = e5_retrieve(&mut p, &ids, 100_000, false);
+        assert_eq!(m.rows, r.rows);
+        println!(
+            "  {:<10} {:>10} {:>16.2} {:>14.2} {:>9.1}x",
+            w,
+            m.rows,
+            m.elapsed_ms,
+            r.elapsed_ms,
+            r.elapsed_ms / m.elapsed_ms.max(1e-9)
+        );
+    }
+    println!();
+}
+
+fn e6() {
+    println!("E6 — Flux: skew, online repartitioning, failover (4 machines, 50k tuples)");
+    println!(
+        "  {:<26} {:>8} {:>12} {:>12} {:>8} {:>10}",
+        "configuration", "theta", "imbal before", "imbal after", "moved", "lost"
+    );
+    for &theta in &[0.0f64, 1.0] {
+        for (name, reb) in [("static partitioning", false), ("online rebalance", true)] {
+            let r = e6_run(theta, reb, false, false, 50_000);
+            println!(
+                "  {:<26} {:>8.1} {:>12.2} {:>12.2} {:>8} {:>10}",
+                name, theta, r.imbalance_before, r.imbalance_after, r.moved, r.lost
+            );
+        }
+    }
+    for (name, repl) in [
+        ("kill w/o replication", false),
+        ("kill with replication", true),
+    ] {
+        let r = e6_run(1.0, false, true, repl, 50_000);
+        println!(
+            "  {:<26} {:>8.1} {:>12.2} {:>12.2} {:>8} {:>10}   (count {}/{} routed)",
+            name,
+            1.0,
+            r.imbalance_before,
+            r.imbalance_after,
+            r.moved,
+            r.lost,
+            r.final_count,
+            r.routed
+        );
+    }
+    println!();
+}
+
+fn e7() {
+    println!("E7 — adapting adaptivity: batching x drift (50k tuples, lottery)");
+    println!(
+        "  {:<10} {:<8} {:>12} {:>12} {:>10}",
+        "batch", "drift", "decisions", "work units", "ms"
+    );
+    for &batch in &[1usize, 16, 256, 4096] {
+        for drift in [false, true] {
+            let r = e7_run(batch, 1, drift, 50_000);
+            println!(
+                "  {:<10} {:<8} {:>12} {:>12} {:>10.2}",
+                batch,
+                if drift { "fast" } else { "none" },
+                r.decisions,
+                r.work,
+                r.elapsed_ms
+            );
+        }
+    }
+    println!("  operator fixing (batch 1, no drift):");
+    for &fix in &[1usize, 2] {
+        let r = e7_run(1, fix, false, 50_000);
+        println!(
+            "  fix_ops={fix}: decisions {:>12}  work {:>12}",
+            r.decisions, r.work
+        );
+    }
+    println!();
+}
+
+fn e8() {
+    println!("E8 — aggregate state by window type (MAX over 100k tuples)");
+    println!("  {:<22} {:>14} {:>10}", "window", "state bytes", "ms");
+    let l = e8_run(None, 100_000);
+    println!(
+        "  {:<22} {:>14} {:>10.2}",
+        "landmark", l.state_bytes, l.elapsed_ms
+    );
+    for &w in &[1_000i64, 10_000, 100_000] {
+        let s = e8_run(Some(w), 100_000);
+        println!(
+            "  {:<22} {:>14} {:>10.2}",
+            format!("sliding w={w}"),
+            s.state_bytes,
+            s.elapsed_ms
+        );
+    }
+    println!();
+}
+
+fn e9() {
+    println!("E9 — buffer pool replacement (200 segments, capacity 50, 50k accesses)");
+    println!(
+        "  {:<10} {:>14} {:>14}",
+        "policy", "hit rate skew", "hit rate scan"
+    );
+    for (name, p) in [("lru", Replacement::Lru), ("clock", Replacement::Clock)] {
+        let skew = e9_run(p, 200, 50, 50_000, true);
+        let scan = e9_run(p, 200, 50, 50_000, false);
+        println!(
+            "  {:<10} {:>13.1}% {:>13.1}%",
+            name,
+            skew * 100.0,
+            scan * 100.0
+        );
+    }
+    println!();
+}

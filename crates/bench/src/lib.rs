@@ -1,0 +1,600 @@
+//! # tcq-bench
+//!
+//! Experiment harnesses reproducing the TelegraphCQ paper's performance
+//! claims (see DESIGN.md §5 for the experiment index E1–E9 and
+//! EXPERIMENTS.md for measured results).
+//!
+//! Each experiment has a pure runner here returning structured metrics;
+//! the Criterion benches (`benches/e*.rs`) time the same runners, and
+//! `src/bin/experiments.rs` prints the paper-vs-measured tables.
+
+use std::time::Instant;
+
+use tcq_cacq::{CacqEngine, QuerySpec};
+use tcq_common::{CmpOp, Expr, Timestamp, Tuple, Value};
+use tcq_eddy::{
+    Eddy, EddyBuilder, FilterOp, FixedPolicy, LotteryPolicy, NaivePolicy, RoutingPolicy,
+};
+use tcq_flux::{FluxCluster, GroupCount};
+use tcq_psoup::{PSoup, PsoupQuery};
+use tcq_stems::AsyncIndexJoin;
+use tcq_storage::{BufferPool, Replacement};
+use tcq_windows::{AggKind, LandmarkAgg, SlidingAgg, WindowAgg};
+use tcq_wrappers::{DriftGen, PacketGen, SimulatedRemoteIndex, Source};
+
+/// Which routing policy an experiment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Static plan (filter 0 first, then filter 1).
+    Fixed,
+    /// Static plan with the *wrong* order for phase 2 — i.e. the order
+    /// that is optimal before the drift and pessimal after.
+    FixedWrong,
+    /// Uniform random.
+    Naive,
+    /// Lottery (adaptive).
+    Lottery,
+}
+
+fn make_policy(p: Policy, seed: u64) -> Box<dyn RoutingPolicy> {
+    match p {
+        Policy::Fixed => Box::new(FixedPolicy::new(vec![1, 0])),
+        Policy::FixedWrong => Box::new(FixedPolicy::new(vec![0, 1])),
+        Policy::Naive => Box::new(NaivePolicy::new(seed)),
+        Policy::Lottery => Box::new(LotteryPolicy::new(seed).with_decay(0.9, 64)),
+    }
+}
+
+// ---------------------------------------------------------------- E1 --
+
+/// E1 metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct E1Result {
+    /// Total operator work units expended (the adaptivity payoff metric:
+    /// routing the selective filter first avoids evaluating the other).
+    pub work: u64,
+    /// Result tuples (identical across policies — correctness anchor).
+    pub outputs: usize,
+    /// Routing decisions made.
+    pub decisions: u64,
+    /// Wall time.
+    pub elapsed_ms: f64,
+}
+
+/// Build the E1/E7 eddy: two filters over the drifting 2-column stream.
+/// Filter `fa` keeps `a > 45`, `fb` keeps `b > 45`; the generator makes
+/// exactly one of them selective per phase and swaps at `switch_at`.
+pub fn drift_eddy(policy: Policy, seed: u64, batch: usize, fix: usize) -> Eddy {
+    EddyBuilder::new(vec![2], make_policy(policy, seed))
+        .filter(
+            FilterOp::new("fa", Expr::col(0).cmp(CmpOp::Gt, Expr::lit(45i64))).with_cost(60),
+        )
+        .filter(
+            FilterOp::new("fb", Expr::col(1).cmp(CmpOp::Gt, Expr::lit(45i64))).with_cost(60),
+        )
+        .batch_size(batch)
+        .fix_ops(fix)
+        .build()
+}
+
+/// E1: run `n` drifting tuples (distributions swap halfway) through the
+/// two-filter eddy under `policy`.
+pub fn e1_run(policy: Policy, n: u64) -> E1Result {
+    let mut gen = DriftGen::new(7, n / 2);
+    let mut eddy = drift_eddy(policy, 17, 1, 1);
+    let tuples = gen.poll(n as usize);
+    let start = Instant::now();
+    let mut outputs = 0;
+    for t in tuples {
+        outputs += eddy.push(0, t).len();
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    E1Result {
+        work: eddy.op_stats().iter().map(|s| s.cost).sum(),
+        outputs,
+        decisions: eddy.stats().decisions,
+        elapsed_ms,
+    }
+}
+
+// ---------------------------------------------------------------- E2 --
+
+/// E2: lottery convergence — share of first-hop routings going to each
+/// filter over consecutive windows of tuples. Three filters with
+/// selectivities ~0.2 / 0.5 / 0.8: the 0.2 filter should win routing.
+pub fn e2_convergence(n: u64, window: u64) -> Vec<[f64; 3]> {
+    let mut eddy = EddyBuilder::new(vec![1], Box::new(LotteryPolicy::new(5)))
+        .filter(FilterOp::new("s02", Expr::col(0).cmp(CmpOp::Lt, Expr::lit(20i64))))
+        .filter(FilterOp::new("s05", Expr::col(0).cmp(CmpOp::Lt, Expr::lit(50i64))))
+        .filter(FilterOp::new("s08", Expr::col(0).cmp(CmpOp::Lt, Expr::lit(80i64))))
+        .build();
+    let mut snapshots = Vec::new();
+    let mut last = [0u64; 3];
+    let mut x = 99u64;
+    for i in 0..n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let v = (x >> 33) % 100;
+        eddy.push(0, Tuple::at_seq(vec![Value::Int(v as i64)], i as i64));
+        if (i + 1) % window == 0 {
+            let routed: Vec<u64> = eddy.op_stats().iter().map(|s| s.routed).collect();
+            let delta: Vec<u64> = routed.iter().zip(last.iter()).map(|(a, b)| a - b).collect();
+            let total: u64 = delta.iter().sum::<u64>().max(1);
+            snapshots.push([
+                delta[0] as f64 / total as f64,
+                delta[1] as f64 / total as f64,
+                delta[2] as f64 / total as f64,
+            ]);
+            last = [routed[0], routed[1], routed[2]];
+        }
+    }
+    snapshots
+}
+
+// ---------------------------------------------------------------- E3 --
+
+/// E3 metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct E3Result {
+    /// Join outputs produced.
+    pub outputs: usize,
+    /// Remote index lookups paid.
+    pub lookups: u64,
+    /// Cache hits (0 for the ablated baseline).
+    pub cache_hits: u64,
+    /// Poll rounds until the stream drained (a latency proxy).
+    pub rounds: u64,
+    /// Wall time.
+    pub elapsed_ms: f64,
+}
+
+/// E3: stream S (keys drawn from `n_keys` values, `n` tuples) joins a
+/// simulated remote index on T (latency `lat` poll rounds). `cached`
+/// toggles the cache/rendezvous sharing SteMs.
+pub fn e3_run(n: usize, n_keys: i64, lat: u32, cached: bool) -> E3Result {
+    let table: Vec<Tuple> = (0..n_keys)
+        .map(|k| Tuple::at_seq(vec![Value::Int(k), Value::Int(k * 100)], k))
+        .collect();
+    let idx = SimulatedRemoteIndex::new(3, table, &[0], lat, lat);
+    let join = AsyncIndexJoin::new(vec![0], vec![0], Box::new(idx));
+    let mut join = if cached { join } else { join.without_cache() };
+
+    let start = Instant::now();
+    let mut outputs = 0;
+    let mut rounds = 0u64;
+    let mut x = 1234u64;
+    for i in 0..n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let key = ((x >> 33) % n_keys as u64) as i64;
+        outputs += join
+            .push_probe(Tuple::at_seq(vec![Value::Int(key)], i as i64))
+            .len();
+        outputs += join.poll().len();
+        rounds += 1;
+    }
+    while !join.idle() {
+        outputs += join.poll().len();
+        rounds += 1;
+    }
+    let st = join.stats();
+    E3Result {
+        outputs,
+        lookups: st.index_lookups,
+        cache_hits: st.cache_hits,
+        rounds,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// E3b (ablation): symmetric-join state with and without window
+/// eviction — the state-bound knob for joins over unbounded streams.
+/// Returns `(bytes_unbounded, bytes_windowed)` after `n` tuples per side
+/// with window `w`.
+pub fn e3b_stem_eviction(n: i64, w: i64) -> (usize, usize) {
+    use tcq_stems::SymmetricHashJoin;
+    let run = |evict: bool| {
+        let mut j = SymmetricHashJoin::new(vec![0], vec![0], 1, None);
+        for i in 1..=n {
+            let t = Tuple::at_seq(vec![Value::Int(i % 512)], i);
+            j.push_left(t.clone());
+            j.push_right(t);
+            if evict && i % 64 == 0 {
+                j.evict_before(Timestamp::logical(i - w + 1));
+            }
+        }
+        j.left_stem().approx_bytes() + j.right_stem().approx_bytes()
+    };
+    (run(false), run(true))
+}
+
+// ---------------------------------------------------------------- E4 --
+
+/// E4 metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct E4Result {
+    /// Total `(query, tuple)` matches delivered.
+    pub delivered: u64,
+    /// Predicate-evaluation work: grouped-filter lookups (shared) or
+    /// per-query evaluations (baseline).
+    pub eval_ops: u64,
+    /// Wall time.
+    pub elapsed_ms: f64,
+}
+
+fn e4_queries(k: usize) -> Vec<(usize, CmpOp, Value)> {
+    // Monitoring-style *selective* alerts: thresholds spread over the top
+    // decile of the value range, so a typical tuple satisfies only a few
+    // of the k standing queries. (With unselective predicates both
+    // systems are dominated by result delivery and sharing cannot help.)
+    (0..k)
+        .map(|i| {
+            (
+                1usize,
+                CmpOp::Gt,
+                Value::Float(90.0 + (i % 100) as f64 / 10.0),
+            )
+        })
+        .collect()
+}
+
+/// E4 shared: `k` range queries over one stream via the CACQ engine.
+pub fn e4_shared(k: usize, n: usize) -> E4Result {
+    let mut engine = CacqEngine::new();
+    for (col, op, v) in e4_queries(k) {
+        engine
+            .add_query(QuerySpec::select(0, vec![(col, op, v)]))
+            .expect("valid spec");
+    }
+    let tuples = packet_prices(n);
+    let start = Instant::now();
+    let mut delivered = 0u64;
+    for t in tuples {
+        delivered += engine.push(0, t).len() as u64;
+    }
+    E4Result {
+        delivered,
+        eval_ops: engine.stats().filter_lookups,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// E4 baseline: the same `k` queries evaluated query-at-a-time.
+pub fn e4_per_query(k: usize, n: usize) -> E4Result {
+    let queries = e4_queries(k);
+    let tuples = packet_prices(n);
+    let start = Instant::now();
+    let mut delivered = 0u64;
+    let mut eval_ops = 0u64;
+    for t in &tuples {
+        for (col, op, v) in &queries {
+            eval_ops += 1;
+            let passes = t
+                .field(*col)
+                .sql_cmp(v)
+                .is_some_and(|ord| op.matches(ord));
+            if passes {
+                delivered += 1;
+                std::hint::black_box(t);
+            }
+        }
+    }
+    E4Result {
+        delivered,
+        eval_ops,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn packet_prices(n: usize) -> Vec<Tuple> {
+    let mut x = 55u64;
+    (0..n)
+        .map(|i| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            Tuple::at_seq(
+                vec![
+                    Value::str("SYM"),
+                    Value::Float(((x >> 33) % 100) as f64 + 0.5),
+                ],
+                i as i64,
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- E5 --
+
+/// E5 metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct E5Result {
+    /// Rows returned per retrieval (identical across modes).
+    pub rows: usize,
+    /// Wall time for all retrievals.
+    pub elapsed_ms: f64,
+}
+
+/// Build the E5 PSoup instance: `k` standing queries, `n` tuples of
+/// history, window `w`.
+pub fn e5_setup(k: usize, n: i64, w: i64) -> (PSoup, Vec<u64>) {
+    let mut p = PSoup::new();
+    // Selective standing alerts (~5% of tuples match each), as in a
+    // monitoring deployment: retrieval returns a small answer while the
+    // recompute baseline must rescan the whole window.
+    let ids: Vec<u64> = (0..k)
+        .map(|i| {
+            p.register_query(PsoupQuery {
+                stream: 0,
+                predicates: vec![(1, CmpOp::Gt, Value::Float(95.0 + (i % 40) as f64 / 10.0))],
+                window_width: w,
+            })
+            .expect("valid query")
+        })
+        .collect();
+    for i in 1..=n {
+        p.push(
+            0,
+            Tuple::at_seq(vec![Value::str("s"), Value::Float((i % 1000) as f64 / 10.0)], i),
+        );
+        // Steady-state housekeeping, as the engine would run it: keep
+        // Data SteM and Results Structures bounded by the window.
+        if i % 4096 == 0 {
+            p.evict(Timestamp::logical(i));
+        }
+    }
+    (p, ids)
+}
+
+/// E5: retrieve every query's current answer, materialized or
+/// recomputed.
+pub fn e5_retrieve(p: &mut PSoup, ids: &[u64], now: i64, materialized: bool) -> E5Result {
+    let start = Instant::now();
+    let mut rows = 0;
+    for &id in ids {
+        let r = if materialized {
+            p.retrieve(id, Timestamp::logical(now)).expect("known id")
+        } else {
+            p.retrieve_recompute(id, Timestamp::logical(now))
+                .expect("known id")
+        };
+        rows += r.len();
+    }
+    E5Result {
+        rows,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+// ---------------------------------------------------------------- E6 --
+
+/// E6 metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct E6Result {
+    /// Load imbalance (max/mean) before rebalancing.
+    pub imbalance_before: f64,
+    /// Load imbalance after rebalancing + a fresh measurement interval.
+    pub imbalance_after: f64,
+    /// Partitions moved.
+    pub moved: usize,
+    /// Group-count total after any failure (vs tuples routed).
+    pub final_count: i64,
+    /// Tuples routed.
+    pub routed: u64,
+    /// State entries lost to the injected failure.
+    pub lost: u64,
+}
+
+/// E6: a 4-machine partitioned group-by under Zipf-`theta` keys; then
+/// optional online rebalancing; then optionally kill a machine (with or
+/// without replication).
+pub fn e6_run(theta: f64, rebalance: bool, kill: bool, replicate: bool, n: usize) -> E6Result {
+    let mut c = FluxCluster::new(4, 64, &GroupCount::new(vec![1]), vec![1], replicate);
+    let mut gen = PacketGen::new(9, 256, theta);
+    for t in gen.poll(n) {
+        c.route(0, &t).expect("route");
+    }
+    let imbalance_before = c.imbalance();
+    let mut moved = 0;
+    if rebalance {
+        moved = c.rebalance();
+        c.reset_loads();
+        for t in gen.poll(n) {
+            c.route(0, &t).expect("route");
+        }
+    }
+    let imbalance_after = c.imbalance();
+    if kill {
+        c.kill_machine(1).expect("kill");
+    }
+    let final_count = c
+        .snapshot()
+        .iter()
+        .map(|t| t.field(t.arity() - 1).as_int().unwrap())
+        .sum();
+    E6Result {
+        imbalance_before,
+        imbalance_after,
+        moved,
+        final_count,
+        routed: c.stats().routed,
+        lost: c.stats().state_lost,
+    }
+}
+
+// ---------------------------------------------------------------- E7 --
+
+/// E7: the §4.3 "adapting adaptivity" knobs — batching and operator
+/// fixing — on the E1 workload, with or without drift.
+pub fn e7_run(batch: usize, fix: usize, drift: bool, n: u64) -> E1Result {
+    let switch = if drift { n / 2 } else { u64::MAX };
+    let mut gen = DriftGen::new(7, switch);
+    let mut eddy = drift_eddy(Policy::Lottery, 23, batch, fix);
+    let tuples = gen.poll(n as usize);
+    let start = Instant::now();
+    let mut outputs = 0;
+    // Streams arrive in bursts; submit a burst, then drain — this is
+    // where batching gets its leverage (one decision covers a run of
+    // same-lineage tuples).
+    for chunk in tuples.chunks(256) {
+        for t in chunk {
+            eddy.submit(0, t.clone());
+        }
+        outputs += eddy.run().len();
+    }
+    E1Result {
+        work: eddy.op_stats().iter().map(|s| s.cost).sum(),
+        outputs,
+        decisions: eddy.stats().decisions,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+// ---------------------------------------------------------------- E8 --
+
+/// E8 metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct E8Result {
+    /// Retained aggregate state, bytes, at the end of the run.
+    pub state_bytes: usize,
+    /// Wall time for the run.
+    pub elapsed_ms: f64,
+}
+
+/// E8: MAX over a stream of `n` values — landmark (O(1) state) vs
+/// sliding with window `w` (O(w) state).
+pub fn e8_run(sliding: Option<i64>, n: i64) -> E8Result {
+    let start = Instant::now();
+    let state_bytes = match sliding {
+        None => {
+            let mut a = LandmarkAgg::new(AggKind::Max);
+            for i in 1..=n {
+                a.push(Timestamp::logical(i), &Value::Float((i % 997) as f64));
+            }
+            std::hint::black_box(a.value());
+            a.state_bytes()
+        }
+        Some(w) => {
+            let mut a = SlidingAgg::new(AggKind::Max);
+            for i in 1..=n {
+                a.push(Timestamp::logical(i), &Value::Float((i % 997) as f64));
+                a.evict_before(Timestamp::logical(i - w + 1));
+            }
+            std::hint::black_box(a.value());
+            a.state_bytes()
+        }
+    };
+    E8Result {
+        state_bytes,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+// ---------------------------------------------------------------- E9 --
+
+/// E9: buffer pool replacement ablation — hit rate of LRU vs Clock under
+/// a looping scan (LRU's pathological case) and a skewed access pattern.
+pub fn e9_run(policy: Replacement, segments: u64, capacity: usize, accesses: u64, skewed: bool) -> f64 {
+    let mut pool = BufferPool::new(capacity, policy);
+    let mut x = 42u64;
+    for i in 0..accesses {
+        let seg = if skewed {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // 80% of accesses hit 20% of segments.
+            if (x >> 33) % 10 < 8 {
+                (x >> 40) % (segments / 5).max(1)
+            } else {
+                (x >> 40) % segments
+            }
+        } else {
+            i % segments // sequential looping scan
+        };
+        pool.get_or_load::<std::convert::Infallible>((0, seg), || Ok(Vec::new()))
+            .expect("infallible");
+    }
+    let s = pool.stats();
+    s.hits as f64 / (s.hits + s.misses) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_policies_agree_on_outputs_and_adaptive_wins_on_work() {
+        let lottery = e1_run(Policy::Lottery, 20_000);
+        let fixed_wrong = e1_run(Policy::FixedWrong, 20_000);
+        assert_eq!(lottery.outputs, fixed_wrong.outputs, "same answers");
+        assert!(
+            lottery.work < fixed_wrong.work,
+            "adaptive {} should beat the pessimal static plan {}",
+            lottery.work,
+            fixed_wrong.work
+        );
+    }
+
+    #[test]
+    fn e2_converges_to_most_selective() {
+        let snaps = e2_convergence(30_000, 5_000);
+        let last = snaps.last().unwrap();
+        assert!(
+            last[0] > last[2],
+            "selective filter should win routing share: {last:?}"
+        );
+    }
+
+    #[test]
+    fn e3_cache_saves_lookups() {
+        let cached = e3_run(2_000, 50, 2, true);
+        let uncached = e3_run(2_000, 50, 2, false);
+        assert_eq!(cached.outputs, uncached.outputs, "same join answers");
+        assert!(cached.lookups <= 50 + 10, "cache bounds lookups by key count");
+        assert!(uncached.lookups as usize >= 2_000);
+    }
+
+    #[test]
+    fn e4_sharing_cuts_eval_ops() {
+        let shared = e4_shared(128, 2_000);
+        let naive = e4_per_query(128, 2_000);
+        assert_eq!(shared.delivered, naive.delivered, "same deliveries");
+        assert!(shared.eval_ops * 50 < naive.eval_ops);
+    }
+
+    #[test]
+    fn e5_modes_agree() {
+        let (mut p, ids) = e5_setup(16, 5_000, 500);
+        let m = e5_retrieve(&mut p, &ids, 5_000, true);
+        let r = e5_retrieve(&mut p, &ids, 5_000, false);
+        assert_eq!(m.rows, r.rows);
+    }
+
+    #[test]
+    fn e6_rebalance_reduces_imbalance_and_replication_prevents_loss() {
+        let skewed = e6_run(1.0, true, false, false, 20_000);
+        assert!(skewed.imbalance_after < skewed.imbalance_before);
+        let killed = e6_run(1.0, false, true, true, 10_000);
+        assert_eq!(killed.lost, 0);
+        assert_eq!(killed.final_count, killed.routed as i64);
+        let killed_bare = e6_run(1.0, false, true, false, 10_000);
+        assert!(killed_bare.lost > 0);
+    }
+
+    #[test]
+    fn e7_batching_cuts_decisions() {
+        let fine = e7_run(1, 1, false, 10_000);
+        let coarse = e7_run(256, 2, false, 10_000);
+        assert_eq!(fine.outputs, coarse.outputs);
+        assert!(coarse.decisions * 10 < fine.decisions);
+    }
+
+    #[test]
+    fn e8_state_shapes() {
+        let landmark = e8_run(None, 50_000);
+        let sliding = e8_run(Some(10_000), 50_000);
+        assert!(sliding.state_bytes > landmark.state_bytes * 100);
+    }
+
+    #[test]
+    fn e9_clock_and_lru_hit_rates_are_sane() {
+        for policy in [Replacement::Lru, Replacement::Clock] {
+            let skew = e9_run(policy, 100, 30, 20_000, true);
+            assert!(skew > 0.4, "skewed access should mostly hit: {skew}");
+        }
+    }
+}

@@ -1,0 +1,754 @@
+//! The CACQ shared-execution engine.
+//!
+//! The engine runs one "super-query": every arriving tuple flows once
+//! through the grouped filters of its stream and (for join queries) the
+//! shared SteMs, carrying a lineage [`QuerySet`] that narrows as
+//! predicates fail. Outputs are `(query, tuple)` pairs.
+//!
+//! Queries are conjunctions of single-variable boolean factors over one
+//! stream, optionally joined to a second stream by an equi-join factor.
+//! Equal join factors share one pair of SteMs regardless of how many
+//! queries use them — the work-sharing CACQ demonstrates against
+//! query-at-a-time execution (experiment E4).
+
+use std::collections::{HashMap, VecDeque};
+
+use tcq_common::{CmpOp, Result, TcqError, Timestamp, Tuple, Value};
+use tcq_stems::Key;
+
+use crate::bitset::QuerySet;
+use crate::grouped_filter::GroupedFilter;
+
+/// Stable external query identifier.
+pub type QueryId = u64;
+
+/// One single-variable boolean factor: `stream.col <op> value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Stream index.
+    pub stream: usize,
+    /// Column within that stream.
+    pub col: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant threshold.
+    pub value: Value,
+}
+
+/// An equi-join factor between two streams.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JoinSpec {
+    /// Left stream index.
+    pub left: usize,
+    /// Join column within the left stream.
+    pub left_col: usize,
+    /// Right stream index.
+    pub right: usize,
+    /// Join column within the right stream.
+    pub right_col: usize,
+}
+
+/// A continuous query: conjunctive selections plus an optional join.
+#[derive(Debug, Clone, Default)]
+pub struct QuerySpec {
+    /// Single-variable factors (ANDed).
+    pub selections: Vec<Selection>,
+    /// Optional two-stream equi-join factor.
+    pub join: Option<JoinSpec>,
+}
+
+impl QuerySpec {
+    /// A selection-only query over `stream`.
+    pub fn select(stream: usize, preds: Vec<(usize, CmpOp, Value)>) -> QuerySpec {
+        QuerySpec {
+            selections: preds
+                .into_iter()
+                .map(|(col, op, value)| Selection {
+                    stream,
+                    col,
+                    op,
+                    value,
+                })
+                .collect(),
+            join: None,
+        }
+    }
+
+    /// The set of streams this query touches.
+    fn streams(&self) -> Vec<usize> {
+        let mut s: Vec<usize> = self.selections.iter().map(|p| p.stream).collect();
+        if let Some(j) = &self.join {
+            s.push(j.left);
+            s.push(j.right);
+        }
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+}
+
+/// Engine counters for the sharing experiment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacqStats {
+    /// Tuples pushed.
+    pub tuples: u64,
+    /// Grouped-filter lookups performed (one per indexed column touched).
+    pub filter_lookups: u64,
+    /// `(query, tuple)` results delivered.
+    pub delivered: u64,
+    /// SteM probes performed.
+    pub probes: u64,
+}
+
+#[derive(Debug)]
+struct QueryInfo {
+    id: QueryId,
+    spec: QuerySpec,
+}
+
+/// One side of a shared join: stored tuples with lineage.
+#[derive(Debug, Default)]
+struct JoinSide {
+    index: HashMap<Key, Vec<usize>>,
+    entries: Vec<Option<(Tuple, QuerySet)>>,
+    arrival: VecDeque<usize>,
+}
+
+impl JoinSide {
+    fn build(&mut self, key: Key, tuple: Tuple, lineage: QuerySet) {
+        let id = self.entries.len();
+        self.entries.push(Some((tuple, lineage)));
+        self.arrival.push_back(id);
+        self.index.entry(key).or_default().push(id);
+    }
+
+    fn probe(&self, key: &Key) -> impl Iterator<Item = &(Tuple, QuerySet)> {
+        self.index
+            .get(key)
+            .into_iter()
+            .flatten()
+            .filter_map(move |&id| self.entries[id].as_ref())
+    }
+
+    fn evict_before(&mut self, bound: Timestamp) -> usize {
+        let mut n = 0;
+        while let Some(&id) = self.arrival.front() {
+            match &self.entries[id] {
+                None => {
+                    self.arrival.pop_front();
+                }
+                Some((t, _)) => {
+                    if matches!(
+                        t.ts().partial_cmp(&bound),
+                        Some(std::cmp::Ordering::Less)
+                    ) {
+                        self.entries[id] = None;
+                        self.arrival.pop_front();
+                        n += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    fn clear_query(&mut self, slot: usize) {
+        for e in self.entries.iter_mut().flatten() {
+            e.1.remove(slot);
+        }
+    }
+
+    /// Live entries on this side.
+    pub(crate) fn len(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+}
+
+#[derive(Debug)]
+struct SharedJoin {
+    spec: JoinSpec,
+    left: JoinSide,
+    right: JoinSide,
+    /// Query slots subscribed to this join.
+    subscribers: QuerySet,
+}
+
+/// The shared multi-query engine.
+#[derive(Debug, Default)]
+pub struct CacqEngine {
+    /// Grouped filters, one per `(stream, column)` with predicates.
+    filters: HashMap<(usize, usize), GroupedFilter>,
+    /// Shared joins, one per distinct join factor.
+    joins: HashMap<JoinSpec, SharedJoin>,
+    /// Query slots (dense; freed slots are reused).
+    queries: Vec<Option<QueryInfo>>,
+    free_slots: Vec<usize>,
+    by_id: HashMap<QueryId, usize>,
+    /// Per stream: slots whose footprint includes the stream.
+    interested: HashMap<usize, QuerySet>,
+    /// Per stream: selection-only slots outputting that stream.
+    selection_only: HashMap<usize, QuerySet>,
+    /// Per stream: number of selection predicates per slot (conjunction
+    /// arity — a tuple passes a query's stream side when its match count
+    /// reaches this).
+    pred_count: HashMap<usize, Vec<u32>>,
+    /// Per stream: slots with *zero* predicates on it (join-side slots
+    /// that trivially pass).
+    no_pred: HashMap<usize, QuerySet>,
+    /// Match-counting scratch (generation-stamped, never cleared).
+    counters: Vec<u32>,
+    gens: Vec<u64>,
+    cur_gen: u64,
+    touched: Vec<usize>,
+    next_id: QueryId,
+    stats: CacqStats,
+}
+
+impl CacqEngine {
+    /// An empty engine.
+    pub fn new() -> CacqEngine {
+        CacqEngine::default()
+    }
+
+    /// Number of active queries.
+    pub fn query_count(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> CacqStats {
+        self.stats
+    }
+
+    /// Total tuples held in shared join state (both sides, all joins).
+    pub fn join_state_len(&self) -> usize {
+        self.joins
+            .values()
+            .map(|j| j.left.len() + j.right.len())
+            .sum()
+    }
+
+    /// Register a query; it participates in processing immediately
+    /// ("the listener accepts multiple continuous queries and adds them
+    /// dynamically to the running executor").
+    pub fn add_query(&mut self, spec: QuerySpec) -> Result<QueryId> {
+        if spec.selections.is_empty() && spec.join.is_none() {
+            return Err(TcqError::PlanError(
+                "a CACQ query needs at least one predicate or a join".into(),
+            ));
+        }
+        if spec.join.is_none() {
+            let streams = spec.streams();
+            if streams.len() != 1 {
+                return Err(TcqError::PlanError(
+                    "a selection-only CACQ query must touch exactly one stream".into(),
+                ));
+            }
+        } else if let Some(j) = &spec.join {
+            if j.left == j.right {
+                return Err(TcqError::PlanError("self-joins are not shared".into()));
+            }
+            for sel in &spec.selections {
+                if sel.stream != j.left && sel.stream != j.right {
+                    return Err(TcqError::PlanError(format!(
+                        "selection on stream {} outside the join footprint",
+                        sel.stream
+                    )));
+                }
+            }
+        }
+
+        let slot = self.free_slots.pop().unwrap_or_else(|| {
+            self.queries.push(None);
+            self.queries.len() - 1
+        });
+        let id = self.next_id;
+        self.next_id += 1;
+
+        for sel in &spec.selections {
+            self.filters
+                .entry((sel.stream, sel.col))
+                .or_default()
+                .insert(sel.op, sel.value.clone(), slot);
+        }
+        for s in spec.streams() {
+            self.interested.entry(s).or_default().insert(slot);
+            let counts = self.pred_count.entry(s).or_default();
+            if counts.len() <= slot {
+                counts.resize(slot + 1, 0);
+            }
+            let n = spec
+                .selections
+                .iter()
+                .filter(|sel| sel.stream == s)
+                .count() as u32;
+            counts[slot] = n;
+            if n == 0 {
+                self.no_pred.entry(s).or_default().insert(slot);
+            } else {
+                self.no_pred.entry(s).or_default().remove(slot);
+            }
+        }
+        match &spec.join {
+            None => {
+                let stream = spec.streams()[0];
+                self.selection_only.entry(stream).or_default().insert(slot);
+            }
+            Some(j) => {
+                let shared = self
+                    .joins
+                    .entry(j.clone())
+                    .or_insert_with(|| SharedJoin {
+                        spec: j.clone(),
+                        left: JoinSide::default(),
+                        right: JoinSide::default(),
+                        subscribers: QuerySet::new(),
+                    });
+                shared.subscribers.insert(slot);
+            }
+        }
+
+        self.by_id.insert(id, slot);
+        self.queries[slot] = Some(QueryInfo { id, spec });
+        Ok(id)
+    }
+
+    /// Remove a query; shared state it no longer needs is torn down.
+    pub fn remove_query(&mut self, id: QueryId) -> Result<()> {
+        let slot = self
+            .by_id
+            .remove(&id)
+            .ok_or(TcqError::UnknownQuery(id))?;
+        let info = self.queries[slot].take().expect("slot occupied");
+        for sel in &info.spec.selections {
+            if let Some(gf) = self.filters.get_mut(&(sel.stream, sel.col)) {
+                gf.remove_query(slot);
+                if gf.is_empty() {
+                    self.filters.remove(&(sel.stream, sel.col));
+                }
+            }
+        }
+        for s in info.spec.streams() {
+            if let Some(set) = self.interested.get_mut(&s) {
+                set.remove(slot);
+            }
+            if let Some(set) = self.selection_only.get_mut(&s) {
+                set.remove(slot);
+            }
+            if let Some(counts) = self.pred_count.get_mut(&s) {
+                if let Some(c) = counts.get_mut(slot) {
+                    *c = 0;
+                }
+            }
+            if let Some(set) = self.no_pred.get_mut(&s) {
+                set.remove(slot);
+            }
+        }
+        if let Some(j) = &info.spec.join {
+            let drop_join = if let Some(shared) = self.joins.get_mut(j) {
+                shared.subscribers.remove(slot);
+                // Clear stale lineage bits so a reused slot can't leak
+                // another query's results.
+                shared.left.clear_query(slot);
+                shared.right.clear_query(slot);
+                shared.subscribers.is_empty()
+            } else {
+                false
+            };
+            if drop_join {
+                self.joins.remove(j);
+            }
+        }
+        self.free_slots.push(slot);
+        Ok(())
+    }
+
+    /// Process one arriving tuple of `stream`. Returns `(query id,
+    /// result tuple)` pairs; join results are laid out `left ++ right`.
+    pub fn push(&mut self, stream: usize, tuple: Tuple) -> Vec<(QueryId, Tuple)> {
+        self.stats.tuples += 1;
+        let mut out = Vec::new();
+
+        // 1. Grouped filters: one indexed lookup per predicated column,
+        //    counting satisfied predicates per query slot. Work is
+        //    O(log preds + matches), not O(queries).
+        self.cur_gen += 1;
+        self.touched.clear();
+        {
+            let counters = &mut self.counters;
+            let gens = &mut self.gens;
+            let touched = &mut self.touched;
+            let cur_gen = self.cur_gen;
+            for ((s, col), gf) in &self.filters {
+                if *s != stream {
+                    continue;
+                }
+                self.stats.filter_lookups += 1;
+                let Some(v) = tuple.get(*col) else {
+                    continue;
+                };
+                gf.for_each_match(v, |slot| {
+                    if slot >= counters.len() {
+                        counters.resize(slot + 1, 0);
+                        gens.resize(slot + 1, 0);
+                    }
+                    if gens[slot] != cur_gen {
+                        gens[slot] = cur_gen;
+                        counters[slot] = 0;
+                        touched.push(slot);
+                    }
+                    counters[slot] += 1;
+                });
+            }
+        }
+        // A query's stream side passes when every one of its predicates
+        // on this stream matched; predicate-less (join-side) slots pass
+        // trivially.
+        let mut passed = self
+            .no_pred
+            .get(&stream)
+            .cloned()
+            .unwrap_or_default();
+        let counts = self.pred_count.get(&stream);
+        for &slot in &self.touched {
+            let need = counts.and_then(|c| c.get(slot)).copied().unwrap_or(0);
+            if need > 0 && self.counters[slot] == need {
+                passed.insert(slot);
+            }
+        }
+        if let Some(interested) = self.interested.get(&stream) {
+            passed.intersect_with(interested);
+        } else {
+            passed.clear();
+        }
+
+        // 2. Selection-only queries: deliver directly.
+        if let Some(sel_only) = self.selection_only.get(&stream) {
+            let deliver = passed.intersection(sel_only);
+            for slot in deliver.iter() {
+                if let Some(Some(q)) = self.queries.get(slot) {
+                    self.stats.delivered += 1;
+                    out.push((q.id, tuple.clone()));
+                }
+            }
+        }
+
+        // 3. Shared joins: build into this side (lineage = passed ∩
+        //    subscribers), probe the other side.
+        if self.joins.is_empty() {
+            return out;
+        }
+        let slot_ids: Vec<Option<QueryId>> = self
+            .queries
+            .iter()
+            .map(|q| q.as_ref().map(|qi| qi.id))
+            .collect();
+        for shared in self.joins.values_mut() {
+            let j = &shared.spec;
+            let (is_left, my_col, other_col) = if j.left == stream {
+                (true, j.left_col, j.right_col)
+            } else if j.right == stream {
+                (false, j.right_col, j.left_col)
+            } else {
+                continue;
+            };
+            let _ = other_col;
+            let Some(key_val) = tuple.get(my_col) else {
+                continue;
+            };
+            let key = Key::from_values(std::slice::from_ref(key_val));
+            let lineage = passed.intersection(&shared.subscribers);
+            let (mine, other) = if is_left {
+                (&mut shared.left, &shared.right)
+            } else {
+                (&mut shared.right, &shared.left)
+            };
+            // Probe the opposite side (contains only earlier arrivals:
+            // exactly-once), then build.
+            self.stats.probes += 1;
+            if !key.has_null() && !lineage.is_empty() {
+                for (stored, stored_lineage) in other.probe(&key) {
+                    let combined = lineage.intersection(stored_lineage);
+                    if combined.is_empty() {
+                        continue;
+                    }
+                    let joined = if is_left {
+                        tuple.concat(stored)
+                    } else {
+                        stored.concat(&tuple)
+                    };
+                    for slot in combined.iter() {
+                        if let Some(Some(id)) = slot_ids.get(slot) {
+                            self.stats.delivered += 1;
+                            out.push((*id, joined.clone()));
+                        }
+                    }
+                }
+            }
+            if !lineage.is_empty() && !key.has_null() {
+                mine.build(key, tuple.clone(), lineage);
+            }
+        }
+        out
+    }
+
+    /// Evict join state older than `bound` (window maintenance).
+    pub fn evict_before(&mut self, bound: Timestamp) -> usize {
+        self.joins
+            .values_mut()
+            .map(|j| j.left.evict_before(bound) + j.right.evict_before(bound))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stock(sym: &str, price: f64, seq: i64) -> Tuple {
+        Tuple::at_seq(vec![Value::str(sym), Value::Float(price)], seq)
+    }
+
+    #[test]
+    fn selection_queries_fan_out_correctly() {
+        let mut e = CacqEngine::new();
+        let q1 = e
+            .add_query(QuerySpec::select(
+                0,
+                vec![(1, CmpOp::Gt, Value::Float(50.0))],
+            ))
+            .unwrap();
+        let q2 = e
+            .add_query(QuerySpec::select(
+                0,
+                vec![
+                    (0, CmpOp::Eq, Value::str("MSFT")),
+                    (1, CmpOp::Gt, Value::Float(100.0)),
+                ],
+            ))
+            .unwrap();
+        let out = e.push(0, stock("MSFT", 120.0, 1));
+        let ids: Vec<QueryId> = out.iter().map(|(q, _)| *q).collect();
+        assert!(ids.contains(&q1) && ids.contains(&q2));
+        let out = e.push(0, stock("IBM", 80.0, 2));
+        let ids: Vec<QueryId> = out.iter().map(|(q, _)| *q).collect();
+        assert_eq!(ids, vec![q1]);
+        let out = e.push(0, stock("MSFT", 10.0, 3));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn filter_lookups_shared_across_queries() {
+        let mut e = CacqEngine::new();
+        for i in 0..100 {
+            e.add_query(QuerySpec::select(
+                0,
+                vec![(1, CmpOp::Gt, Value::Float(i as f64))],
+            ))
+            .unwrap();
+        }
+        e.push(0, stock("X", 50.0, 1));
+        // 100 queries on one column: one grouped-filter lookup, not 100.
+        assert_eq!(e.stats().filter_lookups, 1);
+        assert_eq!(e.stats().delivered, 50);
+    }
+
+    #[test]
+    fn remove_query_stops_delivery() {
+        let mut e = CacqEngine::new();
+        let q = e
+            .add_query(QuerySpec::select(
+                0,
+                vec![(1, CmpOp::Gt, Value::Float(0.0))],
+            ))
+            .unwrap();
+        assert_eq!(e.push(0, stock("A", 1.0, 1)).len(), 1);
+        e.remove_query(q).unwrap();
+        assert!(e.push(0, stock("A", 1.0, 2)).is_empty());
+        assert!(matches!(e.remove_query(q), Err(TcqError::UnknownQuery(_))));
+    }
+
+    fn join_spec() -> JoinSpec {
+        JoinSpec {
+            left: 0,
+            left_col: 0,
+            right: 1,
+            right_col: 0,
+        }
+    }
+
+    #[test]
+    fn join_query_produces_shared_matches() {
+        let mut e = CacqEngine::new();
+        let q = e
+            .add_query(QuerySpec {
+                selections: vec![],
+                join: Some(join_spec()),
+            })
+            .unwrap();
+        assert!(e.push(0, stock("K", 1.0, 1)).is_empty());
+        let out = e.push(1, stock("K", 2.0, 2));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, q);
+        assert_eq!(out[0].1.arity(), 4);
+        // left ++ right layout.
+        assert_eq!(out[0].1.field(1), &Value::Float(1.0));
+        assert_eq!(out[0].1.field(3), &Value::Float(2.0));
+    }
+
+    #[test]
+    fn join_with_selections_vetoes_lineage() {
+        let mut e = CacqEngine::new();
+        // q1: join with left.price > 5; q2: join with no selections.
+        let q1 = e
+            .add_query(QuerySpec {
+                selections: vec![Selection {
+                    stream: 0,
+                    col: 1,
+                    op: CmpOp::Gt,
+                    value: Value::Float(5.0),
+                }],
+                join: Some(join_spec()),
+            })
+            .unwrap();
+        let q2 = e
+            .add_query(QuerySpec {
+                selections: vec![],
+                join: Some(join_spec()),
+            })
+            .unwrap();
+        e.push(0, stock("K", 1.0, 1)); // fails q1's selection
+        let out = e.push(1, stock("K", 9.0, 2));
+        let ids: Vec<QueryId> = out.iter().map(|(q, _)| *q).collect();
+        assert_eq!(ids, vec![q2], "q1 must not see the vetoed left tuple");
+        e.push(0, stock("K", 10.0, 3)); // passes q1
+        let out = e.push(1, stock("K", 9.0, 4));
+        let mut ids: Vec<QueryId> = out.iter().map(|(q, _)| *q).collect();
+        ids.sort_unstable();
+        // Both queries match the new left tuple; q2 also re-matches the
+        // old one via the new right tuple.
+        assert_eq!(ids, vec![q1, q2, q2]);
+    }
+
+    #[test]
+    fn identical_joins_share_state() {
+        let mut e = CacqEngine::new();
+        for _ in 0..10 {
+            e.add_query(QuerySpec {
+                selections: vec![],
+                join: Some(join_spec()),
+            })
+            .unwrap();
+        }
+        e.push(0, stock("K", 1.0, 1));
+        // One stored tuple, not ten.
+        assert_eq!(e.join_state_len(), 1);
+        let out = e.push(1, stock("K", 2.0, 2));
+        assert_eq!(out.len(), 10, "every subscriber gets the match");
+    }
+
+    #[test]
+    fn slot_reuse_cannot_leak_results() {
+        let mut e = CacqEngine::new();
+        let q1 = e
+            .add_query(QuerySpec {
+                selections: vec![],
+                join: Some(join_spec()),
+            })
+            .unwrap();
+        // Keep a second subscriber so the shared join state survives q1's
+        // removal.
+        let _q2 = e
+            .add_query(QuerySpec {
+                selections: vec![],
+                join: Some(join_spec()),
+            })
+            .unwrap();
+        e.push(0, stock("K", 1.0, 1));
+        e.remove_query(q1).unwrap();
+        // New query likely reuses q1's slot but must not inherit the
+        // stored tuple's lineage bit.
+        let q3 = e
+            .add_query(QuerySpec {
+                selections: vec![Selection {
+                    stream: 0,
+                    col: 1,
+                    op: CmpOp::Gt,
+                    value: Value::Float(100.0),
+                }],
+                join: Some(join_spec()),
+            })
+            .unwrap();
+        let out = e.push(1, stock("K", 2.0, 2));
+        assert!(
+            out.iter().all(|(q, _)| *q != q3),
+            "reused slot leaked a result to the new query"
+        );
+    }
+
+    #[test]
+    fn window_eviction_prunes_join_state() {
+        let mut e = CacqEngine::new();
+        e.add_query(QuerySpec {
+            selections: vec![],
+            join: Some(join_spec()),
+        })
+        .unwrap();
+        e.push(0, stock("K", 1.0, 1));
+        e.push(0, stock("K", 2.0, 50));
+        assert_eq!(e.evict_before(Timestamp::logical(10)), 1);
+        let out = e.push(1, stock("K", 9.0, 51));
+        assert_eq!(out.len(), 1, "only the in-window left tuple joins");
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut e = CacqEngine::new();
+        assert!(e.add_query(QuerySpec::default()).is_err());
+        // Selection-only spanning two streams.
+        let bad = QuerySpec {
+            selections: vec![
+                Selection {
+                    stream: 0,
+                    col: 0,
+                    op: CmpOp::Gt,
+                    value: Value::Int(0),
+                },
+                Selection {
+                    stream: 1,
+                    col: 0,
+                    op: CmpOp::Gt,
+                    value: Value::Int(0),
+                },
+            ],
+            join: None,
+        };
+        assert!(e.add_query(bad).is_err());
+        // Self-join.
+        let selfjoin = QuerySpec {
+            selections: vec![],
+            join: Some(JoinSpec {
+                left: 0,
+                left_col: 0,
+                right: 0,
+                right_col: 1,
+            }),
+        };
+        assert!(e.add_query(selfjoin).is_err());
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let mut e = CacqEngine::new();
+        e.add_query(QuerySpec {
+            selections: vec![],
+            join: Some(join_spec()),
+        })
+        .unwrap();
+        e.push(0, Tuple::at_seq(vec![Value::Null, Value::Float(1.0)], 1));
+        let out = e.push(1, Tuple::at_seq(vec![Value::Null, Value::Float(2.0)], 2));
+        assert!(out.is_empty());
+    }
+}

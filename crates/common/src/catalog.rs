@@ -1,0 +1,208 @@
+//! The metadata catalog: registered streams and tables.
+//!
+//! Telegraph "maintains a metadata catalog of data ingress wrappers or
+//! gateways" (§2.1). Ours maps names to schemas, records whether each
+//! relation is a live stream or a static table, whether its history is
+//! archived to the storage manager, and which time domain stamps it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Result, TcqError};
+use crate::schema::Schema;
+use crate::time::TimeDomain;
+
+/// Whether a relation is an unbounded stream or a static table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// Unbounded, append-only stream; queries need windows over it.
+    Stream,
+    /// Static (or slowly changing) table; "an input without a
+    /// corresponding WindowIs statement is assumed to be a static table"
+    /// (§4.1.1).
+    Table,
+}
+
+/// A registered stream or table.
+#[derive(Debug, Clone)]
+pub struct StreamDef {
+    /// Name (lowercased).
+    pub name: String,
+    /// Column layout, qualified by `name`.
+    pub schema: Schema,
+    /// Stream vs table.
+    pub kind: StreamKind,
+    /// Whether arriving tuples are spooled to the archive so historical
+    /// windows can be answered.
+    pub archived: bool,
+    /// The time domain that stamps this relation's tuples.
+    pub time_domain: TimeDomain,
+}
+
+/// Thread-safe name → definition registry.
+///
+/// Wrapped in an `Arc` internally, so `Catalog` handles are cheap to clone
+/// and share between the FrontEnd, Executor and Wrapper threads.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    inner: Arc<RwLock<CatalogInner>>,
+}
+
+#[derive(Debug, Default)]
+struct CatalogInner {
+    defs: HashMap<String, StreamDef>,
+    next_domain: u32,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog {
+            inner: Arc::new(RwLock::new(CatalogInner {
+                defs: HashMap::new(),
+                // Domains 0 and 1 are reserved (logical / physical).
+                next_domain: 2,
+            })),
+        }
+    }
+
+    /// Register a relation. Fails if the name is taken.
+    pub fn register(&self, def: StreamDef) -> Result<()> {
+        let name = def.name.to_ascii_lowercase();
+        let mut inner = self.inner.write();
+        if inner.defs.contains_key(&name) {
+            return Err(TcqError::DuplicateStream(name));
+        }
+        inner.defs.insert(
+            name.clone(),
+            StreamDef {
+                name,
+                ..def
+            },
+        );
+        Ok(())
+    }
+
+    /// Register a stream with the logical time domain and archiving on;
+    /// the common case for examples and tests.
+    pub fn register_stream(&self, name: &str, schema: Schema) -> Result<()> {
+        self.register(StreamDef {
+            name: name.into(),
+            schema,
+            kind: StreamKind::Stream,
+            archived: true,
+            time_domain: TimeDomain::LOGICAL,
+        })
+    }
+
+    /// Register a static table.
+    pub fn register_table(&self, name: &str, schema: Schema) -> Result<()> {
+        self.register(StreamDef {
+            name: name.into(),
+            schema,
+            kind: StreamKind::Table,
+            archived: false,
+            time_domain: TimeDomain::LOGICAL,
+        })
+    }
+
+    /// Remove a relation; returns its definition.
+    pub fn deregister(&self, name: &str) -> Result<StreamDef> {
+        self.inner
+            .write()
+            .defs
+            .remove(&name.to_ascii_lowercase())
+            .ok_or_else(|| TcqError::UnknownStream(name.into()))
+    }
+
+    /// Look up a relation by name (case-insensitive).
+    pub fn lookup(&self, name: &str) -> Result<StreamDef> {
+        self.inner
+            .read()
+            .defs
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| TcqError::UnknownStream(name.into()))
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<_> = self.inner.read().defs.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Allocate a fresh time domain for a source with its own clock.
+    pub fn allocate_time_domain(&self) -> TimeDomain {
+        let mut inner = self.inner.write();
+        let d = TimeDomain(inner.next_domain);
+        inner.next_domain += 1;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::qualified("s", vec![Field::new("x", DataType::Int)])
+    }
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let c = Catalog::new();
+        c.register_stream("Trades", schema()).unwrap();
+        let def = c.lookup("TRADES").unwrap();
+        assert_eq!(def.name, "trades");
+        assert_eq!(def.kind, StreamKind::Stream);
+        assert!(def.archived);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let c = Catalog::new();
+        c.register_stream("s", schema()).unwrap();
+        assert!(matches!(
+            c.register_table("S", schema()),
+            Err(TcqError::DuplicateStream(_))
+        ));
+    }
+
+    #[test]
+    fn deregister_then_lookup_fails() {
+        let c = Catalog::new();
+        c.register_table("t", schema()).unwrap();
+        c.deregister("t").unwrap();
+        assert!(c.lookup("t").is_err());
+        assert!(c.deregister("t").is_err());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let c = Catalog::new();
+        c.register_stream("b", schema()).unwrap();
+        c.register_stream("a", schema()).unwrap();
+        assert_eq!(c.names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn fresh_time_domains_skip_reserved() {
+        let c = Catalog::new();
+        let d = c.allocate_time_domain();
+        assert!(d.0 >= 2);
+        assert_ne!(c.allocate_time_domain(), d);
+    }
+
+    #[test]
+    fn catalog_handles_share_state() {
+        let c = Catalog::new();
+        let c2 = c.clone();
+        c.register_stream("s", schema()).unwrap();
+        assert!(c2.lookup("s").is_ok());
+    }
+}

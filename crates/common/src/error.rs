@@ -1,0 +1,121 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T, E = TcqError> = std::result::Result<T, E>;
+
+/// Errors raised by TelegraphCQ-rs components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcqError {
+    /// A column reference matched no schema field.
+    UnknownColumn {
+        /// The qualifier used, if any.
+        qualifier: Option<String>,
+        /// The column name looked up.
+        name: String,
+    },
+    /// A bare column name matched more than one field.
+    AmbiguousColumn {
+        /// The column name looked up.
+        name: String,
+        /// Index of the first match.
+        first: usize,
+        /// Index of the second match.
+        second: usize,
+    },
+    /// A stream or table name was not found in the catalog.
+    UnknownStream(String),
+    /// A stream or table was registered twice.
+    DuplicateStream(String),
+    /// Type mismatch during analysis or evaluation.
+    TypeError(String),
+    /// Query text failed to parse; carries position and message.
+    ParseError {
+        /// Byte offset into the query text.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A semantically invalid query (unknown alias, missing window, ...).
+    PlanError(String),
+    /// Query execution failed.
+    ExecError(String),
+    /// Storage-layer failure (archive, buffer pool, spill I/O).
+    StorageError(String),
+    /// A Flux machine or partition operation failed.
+    ClusterError(String),
+    /// An operation on a shut-down or disconnected component.
+    Closed(&'static str),
+    /// Client asked for a query id that does not exist (PSoup retrieval).
+    UnknownQuery(u64),
+}
+
+impl fmt::Display for TcqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcqError::UnknownColumn { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "unknown column {q}.{name}"),
+                None => write!(f, "unknown column {name}"),
+            },
+            TcqError::AmbiguousColumn {
+                name,
+                first,
+                second,
+            } => write!(
+                f,
+                "ambiguous column {name} (matches positions {first} and {second}); qualify it"
+            ),
+            TcqError::UnknownStream(s) => write!(f, "unknown stream or table {s}"),
+            TcqError::DuplicateStream(s) => write!(f, "stream or table {s} already registered"),
+            TcqError::TypeError(m) => write!(f, "type error: {m}"),
+            TcqError::ParseError { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            TcqError::PlanError(m) => write!(f, "plan error: {m}"),
+            TcqError::ExecError(m) => write!(f, "execution error: {m}"),
+            TcqError::StorageError(m) => write!(f, "storage error: {m}"),
+            TcqError::ClusterError(m) => write!(f, "cluster error: {m}"),
+            TcqError::Closed(what) => write!(f, "{what} is closed"),
+            TcqError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for TcqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TcqError::UnknownStream("s".into()).to_string(),
+            "unknown stream or table s"
+        );
+        assert_eq!(
+            TcqError::UnknownColumn {
+                qualifier: Some("t".into()),
+                name: "c".into()
+            }
+            .to_string(),
+            "unknown column t.c"
+        );
+        assert_eq!(
+            TcqError::ParseError {
+                offset: 4,
+                message: "expected FROM".into()
+            }
+            .to_string(),
+            "parse error at byte 4: expected FROM"
+        );
+        assert_eq!(TcqError::Closed("queue").to_string(), "queue is closed");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TcqError::UnknownQuery(3));
+    }
+}

@@ -1,0 +1,500 @@
+//! Physical scalar expressions, evaluated against tuples.
+//!
+//! [`Expr`] is the *resolved* expression form: column references are
+//! positions into the tuple, produced by the analyzer in `tcq-sql` (or
+//! built directly by tests and internal operators). Boolean evaluation
+//! follows SQL three-valued logic; a predicate "passes" only when it
+//! evaluates to `TRUE` (UNKNOWN filters the tuple out, as in SQL).
+//!
+//! The CACQ grouped-filter optimization needs to recognize
+//! *single-variable boolean factors* — comparisons of one column against a
+//! constant — so [`Expr::as_single_column_cmp`] and
+//! [`Expr::conjuncts`] are provided here, next to the evaluator they must
+//! agree with.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{Result, TcqError};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply this operator to an [`Ordering`].
+    pub fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A resolved scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Field at a position in the input tuple.
+    Column(usize),
+    /// A constant.
+    Literal(Value),
+    /// Comparison of two sub-expressions (SQL 3VL).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic on two sub-expressions.
+    Arith(BinOp, Box<Expr>, Box<Expr>),
+    /// Logical AND (3VL).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR (3VL).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT (3VL).
+    Not(Box<Expr>),
+    /// `expr IS NULL`.
+    IsNull(Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for a column reference.
+    pub fn col(idx: usize) -> Expr {
+        Expr::Column(idx)
+    }
+
+    /// Shorthand for a literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// `self <op> other` comparison.
+    pub fn cmp(self, op: CmpOp, other: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(self), Box::new(other))
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
+        match self {
+            Expr::Column(idx) => tuple.get(*idx).cloned().ok_or_else(|| {
+                TcqError::ExecError(format!(
+                    "column index {idx} out of range for arity {}",
+                    tuple.arity()
+                ))
+            }),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Cmp(op, a, b) => {
+                let (va, vb) = (a.eval(tuple)?, b.eval(tuple)?);
+                Ok(match va.sql_cmp(&vb) {
+                    Some(ord) => Value::Bool(op.matches(ord)),
+                    None => Value::Null,
+                })
+            }
+            Expr::Arith(op, a, b) => arith(*op, &a.eval(tuple)?, &b.eval(tuple)?),
+            Expr::And(a, b) => {
+                let va = a.eval(tuple)?;
+                let vb = b.eval(tuple)?;
+                Ok(tvl_and(&va, &vb))
+            }
+            Expr::Or(a, b) => {
+                let va = a.eval(tuple)?;
+                let vb = b.eval(tuple)?;
+                Ok(tvl_or(&va, &vb))
+            }
+            Expr::Not(a) => Ok(match a.eval(tuple)? {
+                Value::Bool(b) => Value::Bool(!b),
+                Value::Null => Value::Null,
+                other => {
+                    return Err(TcqError::TypeError(format!(
+                        "NOT applied to non-boolean {other}"
+                    )))
+                }
+            }),
+            Expr::IsNull(a) => Ok(Value::Bool(a.eval(tuple)?.is_null())),
+            Expr::Neg(a) => match a.eval(tuple)? {
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                Value::Null => Ok(Value::Null),
+                other => Err(TcqError::TypeError(format!("cannot negate {other}"))),
+            },
+        }
+    }
+
+    /// Evaluate as a predicate: `true` only when the result is SQL TRUE.
+    pub fn eval_pred(&self, tuple: &Tuple) -> Result<bool> {
+        Ok(self.eval(tuple)?.as_bool().unwrap_or(false))
+    }
+
+    /// Collect the set of column positions this expression reads.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit_columns(&mut |c| out.push(c));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn visit_columns(&self, f: &mut impl FnMut(usize)) {
+        match self {
+            Expr::Column(i) => f(*i),
+            Expr::Literal(_) => {}
+            Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.visit_columns(f);
+                b.visit_columns(f);
+            }
+            Expr::Not(a) | Expr::IsNull(a) | Expr::Neg(a) => a.visit_columns(f),
+        }
+    }
+
+    /// Rewrite column references through `map` (used to re-base an
+    /// expression onto a join output or a projected layout). Returns
+    /// `None` when a referenced column has no mapping.
+    pub fn remap_columns(&self, map: &impl Fn(usize) -> Option<usize>) -> Option<Expr> {
+        Some(match self {
+            Expr::Column(i) => Expr::Column(map(*i)?),
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Cmp(op, a, b) => Expr::Cmp(
+                *op,
+                Box::new(a.remap_columns(map)?),
+                Box::new(b.remap_columns(map)?),
+            ),
+            Expr::Arith(op, a, b) => Expr::Arith(
+                *op,
+                Box::new(a.remap_columns(map)?),
+                Box::new(b.remap_columns(map)?),
+            ),
+            Expr::And(a, b) => a.remap_columns(map)?.and(b.remap_columns(map)?),
+            Expr::Or(a, b) => a.remap_columns(map)?.or(b.remap_columns(map)?),
+            Expr::Not(a) => Expr::Not(Box::new(a.remap_columns(map)?)),
+            Expr::IsNull(a) => Expr::IsNull(Box::new(a.remap_columns(map)?)),
+            Expr::Neg(a) => Expr::Neg(Box::new(a.remap_columns(map)?)),
+        })
+    }
+
+    /// Split a predicate into its top-level AND-ed conjuncts (boolean
+    /// factors, in the paper's terms).
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::And(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Recognize a *single-variable boolean factor*: `col <op> literal` or
+    /// `literal <op> col`. These are the predicates CACQ indexes in
+    /// grouped filters.
+    pub fn as_single_column_cmp(&self) -> Option<(usize, CmpOp, Value)> {
+        match self {
+            Expr::Cmp(op, a, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Column(c), Expr::Literal(v)) => Some((*c, *op, v.clone())),
+                (Expr::Literal(v), Expr::Column(c)) => Some((*c, op.flipped(), v.clone())),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// SQL 3VL AND: FALSE dominates NULL.
+fn tvl_and(a: &Value, b: &Value) -> Value {
+    match (a.as_bool(), b.as_bool()) {
+        (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+        (Some(true), Some(true)) => Value::Bool(true),
+        _ => Value::Null,
+    }
+}
+
+/// SQL 3VL OR: TRUE dominates NULL.
+fn tvl_or(a: &Value, b: &Value) -> Value {
+    match (a.as_bool(), b.as_bool()) {
+        (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+        (Some(false), Some(false)) => Value::Bool(false),
+        _ => Value::Null,
+    }
+}
+
+fn arith(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+    if a.is_null() || b.is_null() {
+        return Ok(Value::Null);
+    }
+    // Integer arithmetic when both sides are ints, else float.
+    if let (Value::Int(x), Value::Int(y)) = (a, b) {
+        let r = match op {
+            BinOp::Add => x.checked_add(*y),
+            BinOp::Sub => x.checked_sub(*y),
+            BinOp::Mul => x.checked_mul(*y),
+            BinOp::Div => {
+                if *y == 0 {
+                    return Err(TcqError::ExecError("integer division by zero".into()));
+                }
+                x.checked_div(*y)
+            }
+            BinOp::Mod => {
+                if *y == 0 {
+                    return Err(TcqError::ExecError("integer modulo by zero".into()));
+                }
+                x.checked_rem(*y)
+            }
+        };
+        return r
+            .map(Value::Int)
+            .ok_or_else(|| TcqError::ExecError(format!("integer overflow in {x} {op} {y}")));
+    }
+    let (x, y) = match (a.as_float(), b.as_float()) {
+        (Some(x), Some(y)) => (x, y),
+        _ => {
+            return Err(TcqError::TypeError(format!(
+                "arithmetic on non-numeric values {a} {op} {b}"
+            )))
+        }
+    };
+    let r = match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => x / y,
+        BinOp::Mod => x % y,
+    };
+    Ok(Value::Float(r))
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(i) => write!(f, "#{i}"),
+            Expr::Literal(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Cmp(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Arith(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(a) => write!(f, "(NOT {a})"),
+            Expr::IsNull(a) => write!(f, "({a} IS NULL)"),
+            Expr::Neg(a) => write!(f, "(-{a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    fn row(vals: Vec<Value>) -> Tuple {
+        Tuple::at_seq(vals, 1)
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let t = row(vec![Value::Int(5), Value::str("x")]);
+        assert_eq!(Expr::col(0).eval(&t).unwrap(), Value::Int(5));
+        assert_eq!(Expr::lit(7i64).eval(&t).unwrap(), Value::Int(7));
+        assert!(Expr::col(9).eval(&t).is_err());
+    }
+
+    #[test]
+    fn comparisons_with_3vl() {
+        let t = row(vec![Value::Int(5), Value::Null]);
+        let gt = Expr::col(0).cmp(CmpOp::Gt, Expr::lit(3i64));
+        assert_eq!(gt.eval(&t).unwrap(), Value::Bool(true));
+        let vs_null = Expr::col(0).cmp(CmpOp::Gt, Expr::col(1));
+        assert_eq!(vs_null.eval(&t).unwrap(), Value::Null);
+        assert!(!vs_null.eval_pred(&t).unwrap(), "UNKNOWN filters out");
+    }
+
+    #[test]
+    fn and_or_3vl_truth_table() {
+        let t = row(vec![]);
+        let tru = || Expr::lit(true);
+        let fls = || Expr::lit(false);
+        let nul = || Expr::Literal(Value::Null);
+        assert_eq!(fls().and(nul()).eval(&t).unwrap(), Value::Bool(false));
+        assert_eq!(nul().and(fls()).eval(&t).unwrap(), Value::Bool(false));
+        assert_eq!(tru().and(nul()).eval(&t).unwrap(), Value::Null);
+        assert_eq!(tru().or(nul()).eval(&t).unwrap(), Value::Bool(true));
+        assert_eq!(nul().or(tru()).eval(&t).unwrap(), Value::Bool(true));
+        assert_eq!(fls().or(nul()).eval(&t).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = row(vec![Value::Int(10), Value::Float(2.5)]);
+        let add = Expr::Arith(BinOp::Add, Box::new(Expr::col(0)), Box::new(Expr::col(1)));
+        assert_eq!(add.eval(&t).unwrap(), Value::Float(12.5));
+        let idiv = Expr::Arith(BinOp::Div, Box::new(Expr::col(0)), Box::new(Expr::lit(3i64)));
+        assert_eq!(idiv.eval(&t).unwrap(), Value::Int(3));
+        let div0 = Expr::Arith(BinOp::Div, Box::new(Expr::col(0)), Box::new(Expr::lit(0i64)));
+        assert!(div0.eval(&t).is_err());
+        let null_prop = Expr::Arith(
+            BinOp::Mul,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::Literal(Value::Null)),
+        );
+        assert_eq!(null_prop.eval(&t).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_panic() {
+        let t = row(vec![Value::Int(i64::MAX)]);
+        let e = Expr::Arith(BinOp::Add, Box::new(Expr::col(0)), Box::new(Expr::lit(1i64)));
+        assert!(e.eval(&t).is_err());
+    }
+
+    #[test]
+    fn not_and_is_null() {
+        let t = row(vec![Value::Null, Value::Bool(true)]);
+        assert_eq!(
+            Expr::Not(Box::new(Expr::col(1))).eval(&t).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Expr::Not(Box::new(Expr::col(0))).eval(&t).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            Expr::IsNull(Box::new(Expr::col(0))).eval(&t).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn columns_collection_and_remap() {
+        let e = Expr::col(2)
+            .cmp(CmpOp::Lt, Expr::col(0))
+            .and(Expr::col(2).cmp(CmpOp::Gt, Expr::lit(1i64)));
+        assert_eq!(e.columns(), vec![0, 2]);
+        let shifted = e.remap_columns(&|c| Some(c + 10)).unwrap();
+        assert_eq!(shifted.columns(), vec![10, 12]);
+        assert!(e.remap_columns(&|c| if c == 0 { None } else { Some(c) }).is_none());
+    }
+
+    #[test]
+    fn conjunct_splitting() {
+        let a = Expr::col(0).cmp(CmpOp::Gt, Expr::lit(1i64));
+        let b = Expr::col(1).cmp(CmpOp::Lt, Expr::lit(2i64));
+        let c = Expr::col(2).cmp(CmpOp::Eq, Expr::lit(3i64));
+        let e = a.clone().and(b.clone().and(c.clone()));
+        let parts = e.conjuncts();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], &a);
+        // OR is not split.
+        let o = a.clone().or(b);
+        assert_eq!(o.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn single_column_cmp_recognition() {
+        let e = Expr::col(3).cmp(CmpOp::Ge, Expr::lit(50.0f64));
+        assert_eq!(
+            e.as_single_column_cmp(),
+            Some((3, CmpOp::Ge, Value::Float(50.0)))
+        );
+        // literal on the left flips the operator.
+        let e2 = Expr::lit(50.0f64).cmp(CmpOp::Lt, Expr::col(3));
+        assert_eq!(
+            e2.as_single_column_cmp(),
+            Some((3, CmpOp::Gt, Value::Float(50.0)))
+        );
+        // col vs col is multi-variable.
+        let e3 = Expr::col(0).cmp(CmpOp::Eq, Expr::col(1));
+        assert_eq!(e3.as_single_column_cmp(), None);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = Expr::col(0)
+            .cmp(CmpOp::Gt, Expr::lit(50.0f64))
+            .and(Expr::col(1).cmp(CmpOp::Eq, Expr::lit("MSFT")));
+        assert_eq!(e.to_string(), "((#0 > 50) AND (#1 = 'MSFT'))");
+    }
+}

@@ -1,0 +1,39 @@
+//! # tcq-common
+//!
+//! Shared foundation types for TelegraphCQ-rs: values, tuples, schemas,
+//! timestamps, scalar expressions, the stream/table catalog, and error
+//! types.
+//!
+//! Every other crate in the workspace builds on these definitions. The
+//! design goals are:
+//!
+//! * **Cheap tuple movement.** Tuples flow through Eddies one at a time and
+//!   are routed between modules millions of times per second; [`Tuple`]
+//!   therefore stores its fields behind an `Arc<[Value]>` so that routing a
+//!   tuple (or concatenating two for a join) never deep-copies field data.
+//! * **Multiple notions of time.** The paper (§4.1.1) requires logical
+//!   sequence numbers and physical clocks to coexist, with time treated as
+//!   a partial order across loosely synchronized sources. [`time`] models
+//!   this with per-domain timestamps that are only totally ordered within
+//!   one domain.
+//! * **One expression language.** Selections, grouped-filter predicates,
+//!   join predicates and projection expressions are all built from
+//!   [`expr::Expr`], so the SQL front end, the Eddy operators, CACQ and
+//!   PSoup agree on evaluation semantics.
+
+pub mod catalog;
+pub mod error;
+pub mod expr;
+pub mod rng;
+pub mod schema;
+pub mod time;
+pub mod tuple;
+pub mod value;
+
+pub use catalog::{Catalog, StreamDef, StreamKind};
+pub use error::{Result, TcqError};
+pub use expr::{BinOp, CmpOp, Expr};
+pub use schema::{Field, Schema};
+pub use time::{Clock, TimeDomain, Timestamp};
+pub use tuple::Tuple;
+pub use value::{DataType, Value};

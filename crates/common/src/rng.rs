@@ -1,0 +1,134 @@
+//! A small deterministic PRNG for library-internal randomized decisions.
+//!
+//! The lottery-based Eddy routing policy needs a cheap random source on its
+//! hot path, and tests need it to be seedable and reproducible. We use
+//! SplitMix64 — tiny state, good enough statistical quality for routing
+//! choices — rather than pulling `rand` into library crates (`rand` is
+//! reserved for workload generation in dev/bench code per DESIGN.md).
+
+/// SplitMix64: a 64-bit deterministic PRNG.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator. Any seed (including 0) is fine.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire's multiply-shift rejection-free approximation is fine for
+        // routing decisions; the bias for bounds << 2^64 is negligible.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Pick an index proportionally to `weights` (the lottery draw).
+    /// Returns `None` when all weights are zero or the slice is empty.
+    pub fn weighted_pick(&mut self, weights: &[u64]) -> Option<usize> {
+        let total: u64 = weights.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let mut draw = self.next_below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            if draw < w {
+                return Some(i);
+            }
+            draw -= w;
+        }
+        unreachable!("draw < total is guaranteed by next_below")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn weighted_pick_respects_weights() {
+        let mut r = SplitMix64::new(123);
+        let weights = [1u64, 0, 9];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[r.weighted_pick(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight entry never picked");
+        assert!(counts[2] > counts[0] * 5, "9:1 weight ratio roughly held");
+    }
+
+    #[test]
+    fn weighted_pick_degenerate_cases() {
+        let mut r = SplitMix64::new(1);
+        assert_eq!(r.weighted_pick(&[]), None);
+        assert_eq!(r.weighted_pick(&[0, 0]), None);
+        assert_eq!(r.weighted_pick(&[5]), Some(0));
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = SplitMix64::new(99);
+        let mut buckets = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            buckets[r.next_below(10) as usize] += 1;
+        }
+        for &b in &buckets {
+            let expected = n / 10;
+            assert!(
+                (b as i64 - expected as i64).unsigned_abs() < (expected / 10) as u64,
+                "bucket count {b} too far from {expected}"
+            );
+        }
+    }
+}

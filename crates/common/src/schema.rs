@@ -1,0 +1,212 @@
+//! Schemas: named, typed field layouts for streams and tables.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Result, TcqError};
+use crate::value::DataType;
+
+/// One column: a name and a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (case-insensitive resolution, stored lowercased).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// A field with `name` (lowercased) and `data_type`.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Field {
+        Field {
+            name: name.into().to_ascii_lowercase(),
+            data_type,
+        }
+    }
+}
+
+/// A relation schema: an ordered list of fields, each optionally qualified
+/// by the relation (stream/table/alias) it came from.
+///
+/// Join outputs concatenate schemas, so a column is addressed either by
+/// bare name (when unambiguous) or by `qualifier.name`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<[(Option<String>, Field)]>,
+}
+
+impl Schema {
+    /// A schema where every field is qualified by `qualifier`.
+    pub fn qualified(qualifier: impl Into<String>, fields: Vec<Field>) -> Schema {
+        let q = qualifier.into().to_ascii_lowercase();
+        Schema {
+            fields: fields
+                .into_iter()
+                .map(|f| (Some(q.clone()), f))
+                .collect(),
+        }
+    }
+
+    /// A schema with unqualified fields (e.g. expression outputs).
+    pub fn unqualified(fields: Vec<Field>) -> Schema {
+        Schema {
+            fields: fields.into_iter().map(|f| (None, f)).collect(),
+        }
+    }
+
+    /// Concatenate two schemas (join output layout).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = Vec::with_capacity(self.len() + other.len());
+        fields.extend_from_slice(&self.fields);
+        fields.extend_from_slice(&other.fields);
+        Schema {
+            fields: fields.into(),
+        }
+    }
+
+    /// The same fields re-qualified under a new alias.
+    pub fn with_qualifier(&self, qualifier: impl Into<String>) -> Schema {
+        let q = qualifier.into().to_ascii_lowercase();
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|(_, f)| (Some(q.clone()), f.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True iff there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The field at position `idx`.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx].1
+    }
+
+    /// The qualifier of the field at position `idx`.
+    pub fn qualifier(&self, idx: usize) -> Option<&str> {
+        self.fields[idx].0.as_deref()
+    }
+
+    /// Iterate `(qualifier, field)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Option<&str>, &Field)> {
+        self.fields.iter().map(|(q, f)| (q.as_deref(), f))
+    }
+
+    /// Resolve a column reference to its position.
+    ///
+    /// `qualifier` narrows the search to one relation; without it the bare
+    /// name must be unambiguous across the whole schema.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let name = name.to_ascii_lowercase();
+        let qualifier = qualifier.map(|q| q.to_ascii_lowercase());
+        let mut found: Option<usize> = None;
+        for (i, (q, f)) in self.fields.iter().enumerate() {
+            if f.name != name {
+                continue;
+            }
+            if let Some(want) = &qualifier {
+                if q.as_deref() != Some(want.as_str()) {
+                    continue;
+                }
+            }
+            if let Some(prev) = found {
+                return Err(TcqError::AmbiguousColumn {
+                    name,
+                    first: prev,
+                    second: i,
+                });
+            }
+            found = Some(i);
+        }
+        found.ok_or_else(|| TcqError::UnknownColumn {
+            qualifier: qualifier.clone(),
+            name,
+        })
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, (q, field)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            if let Some(q) = q {
+                write!(f, "{q}.")?;
+            }
+            write!(f, "{}: {}", field.name, field.data_type)?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stocks() -> Schema {
+        Schema::qualified(
+            "closingstockprices",
+            vec![
+                Field::new("timestamp", DataType::Int),
+                Field::new("stockSymbol", DataType::Str),
+                Field::new("closingPrice", DataType::Float),
+            ],
+        )
+    }
+
+    #[test]
+    fn resolve_by_bare_name_case_insensitive() {
+        let s = stocks();
+        assert_eq!(s.resolve(None, "CLOSINGPRICE").unwrap(), 2);
+        assert_eq!(s.resolve(None, "stocksymbol").unwrap(), 1);
+    }
+
+    #[test]
+    fn resolve_by_qualifier() {
+        let s = stocks();
+        assert_eq!(
+            s.resolve(Some("ClosingStockPrices"), "timestamp").unwrap(),
+            0
+        );
+        assert!(s.resolve(Some("other"), "timestamp").is_err());
+    }
+
+    #[test]
+    fn join_schema_detects_ambiguity() {
+        let c1 = stocks().with_qualifier("c1");
+        let c2 = stocks().with_qualifier("c2");
+        let j = c1.join(&c2);
+        assert_eq!(j.len(), 6);
+        assert!(matches!(
+            j.resolve(None, "closingprice"),
+            Err(TcqError::AmbiguousColumn { .. })
+        ));
+        assert_eq!(j.resolve(Some("c2"), "closingprice").unwrap(), 5);
+    }
+
+    #[test]
+    fn unknown_column_error() {
+        let s = stocks();
+        assert!(matches!(
+            s.resolve(None, "volume"),
+            Err(TcqError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn display_lists_columns() {
+        let s = Schema::unqualified(vec![Field::new("x", DataType::Int)]);
+        assert_eq!(s.to_string(), "(x: INT)");
+    }
+}

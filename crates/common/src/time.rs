@@ -1,0 +1,214 @@
+//! Time model: multiple simultaneous notions of time, partially ordered.
+//!
+//! TelegraphCQ (§4.1.1) "allows multiple simultaneous notions of time, such
+//! as logical sequence numbers or physical time. In order to accommodate
+//! loosely synchronized distributed data sources, we treat time as a
+//! partial order, rather than as a complete order."
+//!
+//! We model this with [`TimeDomain`]s: every [`Timestamp`] carries the
+//! domain it was minted in. Timestamps within one domain are totally
+//! ordered by their tick count; timestamps from different domains are
+//! *incomparable* (`partial_cmp` returns `None`). A [`Clock`] mints
+//! monotone timestamps for one domain; the window algebra in
+//! `tcq-windows` maps window bounds into a specific domain before
+//! comparing.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, Ordering as AtomicOrdering};
+
+/// Identifies one notion of time (one clock domain).
+///
+/// Domain 0 is conventionally the engine-wide logical sequence-number
+/// domain; sources with their own clocks allocate fresh domains from the
+/// catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimeDomain(pub u32);
+
+impl TimeDomain {
+    /// The engine-wide logical (tuple sequence number) domain.
+    pub const LOGICAL: TimeDomain = TimeDomain(0);
+    /// The engine-wide physical (wall-clock milliseconds) domain.
+    pub const PHYSICAL: TimeDomain = TimeDomain(1);
+}
+
+/// An instant in one [`TimeDomain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Timestamp {
+    domain: TimeDomain,
+    ticks: i64,
+}
+
+impl Timestamp {
+    /// A timestamp at `ticks` in `domain`.
+    pub const fn new(domain: TimeDomain, ticks: i64) -> Timestamp {
+        Timestamp { domain, ticks }
+    }
+
+    /// A logical-domain timestamp (tuple sequence number).
+    pub const fn logical(seq: i64) -> Timestamp {
+        Timestamp::new(TimeDomain::LOGICAL, seq)
+    }
+
+    /// A physical-domain timestamp (milliseconds).
+    pub const fn physical(millis: i64) -> Timestamp {
+        Timestamp::new(TimeDomain::PHYSICAL, millis)
+    }
+
+    /// This timestamp's domain.
+    pub fn domain(&self) -> TimeDomain {
+        self.domain
+    }
+
+    /// Raw tick count within the domain.
+    pub fn ticks(&self) -> i64 {
+        self.ticks
+    }
+
+    /// The timestamp `delta` ticks later (earlier if negative) in the same
+    /// domain, saturating at the domain's representable range.
+    pub fn offset(&self, delta: i64) -> Timestamp {
+        Timestamp::new(self.domain, self.ticks.saturating_add(delta))
+    }
+
+    /// True iff `self` and `other` are comparable (same domain).
+    pub fn comparable(&self, other: &Timestamp) -> bool {
+        self.domain == other.domain
+    }
+}
+
+impl PartialOrd for Timestamp {
+    /// Partial order: ordered within a domain, incomparable across domains.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.domain == other.domain {
+            Some(self.ticks.cmp(&other.ticks))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}@d{}", self.ticks, self.domain.0)
+    }
+}
+
+/// A monotone clock for one domain.
+///
+/// Thread-safe; `now` reads the current instant without advancing, `tick`
+/// advances and returns the new instant. Sources that stamp arriving
+/// tuples share one `Clock` per stream.
+#[derive(Debug)]
+pub struct Clock {
+    domain: TimeDomain,
+    ticks: AtomicI64,
+}
+
+impl Clock {
+    /// A clock for `domain` starting at `start` (the first `tick` returns
+    /// `start + 1`).
+    pub fn new(domain: TimeDomain, start: i64) -> Clock {
+        Clock {
+            domain,
+            ticks: AtomicI64::new(start),
+        }
+    }
+
+    /// A logical clock starting at 0 (first tick is sequence number 1,
+    /// matching the paper's streams that "start with logical timestamp 1").
+    pub fn logical() -> Clock {
+        Clock::new(TimeDomain::LOGICAL, 0)
+    }
+
+    /// This clock's domain.
+    pub fn domain(&self) -> TimeDomain {
+        self.domain
+    }
+
+    /// The current instant, without advancing.
+    pub fn now(&self) -> Timestamp {
+        Timestamp::new(self.domain, self.ticks.load(AtomicOrdering::Acquire))
+    }
+
+    /// Advance by one and return the new instant.
+    pub fn tick(&self) -> Timestamp {
+        let t = self.ticks.fetch_add(1, AtomicOrdering::AcqRel) + 1;
+        Timestamp::new(self.domain, t)
+    }
+
+    /// Advance the clock to at least `ticks` (used when replaying external
+    /// timestamps from a source that stamps its own data).
+    pub fn advance_to(&self, ticks: i64) {
+        self.ticks.fetch_max(ticks, AtomicOrdering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_domain_total_order() {
+        let a = Timestamp::logical(1);
+        let b = Timestamp::logical(2);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.partial_cmp(&a), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn across_domains_incomparable() {
+        let a = Timestamp::logical(5);
+        let b = Timestamp::physical(5);
+        assert_eq!(a.partial_cmp(&b), None);
+        assert!(!a.comparable(&b));
+        assert!(a.comparable(&a));
+    }
+
+    #[test]
+    fn offset_saturates() {
+        let a = Timestamp::logical(i64::MAX - 1);
+        assert_eq!(a.offset(10).ticks(), i64::MAX);
+        let b = Timestamp::logical(i64::MIN + 1);
+        assert_eq!(b.offset(-10).ticks(), i64::MIN);
+    }
+
+    #[test]
+    fn clock_ticks_monotonically() {
+        let c = Clock::logical();
+        assert_eq!(c.now().ticks(), 0);
+        assert_eq!(c.tick().ticks(), 1);
+        assert_eq!(c.tick().ticks(), 2);
+        assert_eq!(c.now().ticks(), 2);
+    }
+
+    #[test]
+    fn clock_advance_to_never_goes_backwards() {
+        let c = Clock::logical();
+        c.advance_to(10);
+        assert_eq!(c.now().ticks(), 10);
+        c.advance_to(5);
+        assert_eq!(c.now().ticks(), 10);
+        assert_eq!(c.tick().ticks(), 11);
+    }
+
+    #[test]
+    fn clock_is_thread_safe() {
+        let c = std::sync::Arc::new(Clock::logical());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.tick();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now().ticks(), 4000);
+    }
+}

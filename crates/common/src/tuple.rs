@@ -1,0 +1,202 @@
+//! Tuples: the records that flow through the dataflow.
+//!
+//! A [`Tuple`] is an immutable row plus a timestamp. Field storage is an
+//! `Arc<[Value]>`, so cloning a tuple to route it through an Eddy is two
+//! atomic increments. Join concatenation ([`Tuple::concat`]) produces a new
+//! row whose fields are cheap clones of the inputs' fields.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::time::Timestamp;
+use crate::value::Value;
+
+/// An immutable record with a timestamp.
+///
+/// Within the Eddy, routing state (lineage) is carried *next to* the tuple
+/// by the router, not inside it, so `Tuple` itself stays small and shareable
+/// across queries (essential for CACQ-style shared processing).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    fields: Arc<[Value]>,
+    ts: Timestamp,
+}
+
+impl Tuple {
+    /// Build a tuple from field values, stamped at `ts`.
+    pub fn new(fields: Vec<Value>, ts: Timestamp) -> Tuple {
+        Tuple {
+            fields: fields.into(),
+            ts,
+        }
+    }
+
+    /// Build a tuple at logical time `seq` (convenience for tests and
+    /// generators).
+    pub fn at_seq(fields: Vec<Value>, seq: i64) -> Tuple {
+        Tuple::new(fields, Timestamp::logical(seq))
+    }
+
+    /// The tuple's timestamp (arrival instant in the source's domain).
+    pub fn ts(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// All fields.
+    pub fn fields(&self) -> &[Value] {
+        &self.fields
+    }
+
+    /// Field at `idx`, if in range.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.fields.get(idx)
+    }
+
+    /// Field at `idx`; panics when out of range (use in code paths where
+    /// the analyzer has already validated column indexes).
+    pub fn field(&self, idx: usize) -> &Value {
+        &self.fields[idx]
+    }
+
+    /// Concatenate two tuples (join output). The result's timestamp is the
+    /// *later* of the inputs when they are comparable, else the left
+    /// tuple's timestamp (a join across time domains keeps the probing
+    /// side's notion of time).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut fields = Vec::with_capacity(self.arity() + other.arity());
+        fields.extend_from_slice(&self.fields);
+        fields.extend_from_slice(&other.fields);
+        let ts = match self.ts.partial_cmp(&other.ts) {
+            Some(std::cmp::Ordering::Less) => other.ts,
+            _ => self.ts,
+        };
+        Tuple::new(fields, ts)
+    }
+
+    /// A new tuple keeping only the fields at `indexes` (projection).
+    pub fn project(&self, indexes: &[usize]) -> Tuple {
+        let fields = indexes.iter().map(|&i| self.fields[i].clone()).collect();
+        Tuple {
+            fields,
+            ts: self.ts,
+        }
+    }
+
+    /// A new tuple with the same fields re-stamped at `ts`.
+    pub fn restamped(&self, ts: Timestamp) -> Tuple {
+        Tuple {
+            fields: self.fields.clone(),
+            ts,
+        }
+    }
+
+    /// Approximate heap footprint in bytes, used by QoS accounting and the
+    /// E8 window-memory experiment.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Tuple>();
+        for f in self.fields.iter() {
+            bytes += std::mem::size_of::<Value>();
+            if let Value::Str(s) = f {
+                bytes += s.len();
+            }
+        }
+        bytes
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tuple[{}](", self.ts)?;
+        for (i, v) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, v) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" | ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: Vec<Value>, seq: i64) -> Tuple {
+        Tuple::at_seq(vals, seq)
+    }
+
+    #[test]
+    fn accessors() {
+        let tp = t(vec![Value::Int(1), Value::str("a")], 7);
+        assert_eq!(tp.arity(), 2);
+        assert_eq!(tp.get(0), Some(&Value::Int(1)));
+        assert_eq!(tp.get(2), None);
+        assert_eq!(tp.field(1), &Value::str("a"));
+        assert_eq!(tp.ts().ticks(), 7);
+    }
+
+    #[test]
+    fn concat_takes_later_timestamp() {
+        let a = t(vec![Value::Int(1)], 3);
+        let b = t(vec![Value::Int(2)], 9);
+        let ab = a.concat(&b);
+        assert_eq!(ab.arity(), 2);
+        assert_eq!(ab.fields(), &[Value::Int(1), Value::Int(2)]);
+        assert_eq!(ab.ts().ticks(), 9);
+        let ba = b.concat(&a);
+        assert_eq!(ba.ts().ticks(), 9);
+    }
+
+    #[test]
+    fn concat_across_domains_keeps_left_ts() {
+        let a = Tuple::new(vec![Value::Int(1)], Timestamp::logical(3));
+        let b = Tuple::new(vec![Value::Int(2)], Timestamp::physical(99));
+        assert_eq!(a.concat(&b).ts(), Timestamp::logical(3));
+    }
+
+    #[test]
+    fn projection() {
+        let tp = t(vec![Value::Int(1), Value::str("a"), Value::Bool(true)], 1);
+        let p = tp.project(&[2, 0]);
+        assert_eq!(p.fields(), &[Value::Bool(true), Value::Int(1)]);
+        assert_eq!(p.ts(), tp.ts());
+    }
+
+    #[test]
+    fn cheap_clone_shares_fields() {
+        let tp = t(vec![Value::str("shared")], 1);
+        let c = tp.clone();
+        // Same allocation behind both.
+        assert!(Arc::ptr_eq(&tp.fields, &c.fields));
+    }
+
+    #[test]
+    fn approx_bytes_counts_strings() {
+        let short = t(vec![Value::Int(1)], 1);
+        let long = t(vec![Value::str("aaaaaaaaaaaaaaaaaaaa")], 1);
+        assert!(long.approx_bytes() > short.approx_bytes());
+    }
+
+    #[test]
+    fn display_formats_fields() {
+        let tp = t(vec![Value::Int(1), Value::str("x")], 1);
+        assert_eq!(tp.to_string(), "1 | x");
+    }
+}

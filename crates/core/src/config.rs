@@ -1,0 +1,67 @@
+//! Server configuration.
+
+use std::path::PathBuf;
+
+/// Which routing policy the FrontEnd compiles into adaptive plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Lottery scheduling (the default; \[AH00\]).
+    Lottery,
+    /// Uniform random.
+    Naive,
+    /// Static order (the non-adaptive baseline).
+    Fixed,
+}
+
+/// TelegraphCQ server configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of Execution Object threads in the executor.
+    pub executor_threads: usize,
+    /// Buffer pool capacity, in cached segments.
+    pub buffer_pool_segments: usize,
+    /// Tuples per archive segment before it seals.
+    pub segment_tuples: usize,
+    /// Archive root directory (`None` = a fresh temp directory).
+    pub archive_dir: Option<PathBuf>,
+    /// Eddy routing policy for per-query adaptive plans.
+    pub policy: PolicyKind,
+    /// Eddy batching knob (§4.3 "adapting adaptivity").
+    pub batch_size: usize,
+    /// Per-query result buffer (result sets retained before the oldest
+    /// are shed when a client lags).
+    pub result_buffer: usize,
+    /// Capacity of each EO's input queue.
+    pub input_queue: usize,
+    /// Seed for routing-policy randomness (deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            executor_threads: 2,
+            buffer_pool_segments: 64,
+            segment_tuples: 1024,
+            archive_dir: None,
+            policy: PolicyKind::Lottery,
+            batch_size: 1,
+            result_buffer: 1024,
+            input_queue: 4096,
+            seed: 0x7e1e_6ca9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = Config::default();
+        assert!(c.executor_threads >= 1);
+        assert!(c.segment_tuples >= 1);
+        assert_eq!(c.policy, PolicyKind::Lottery);
+    }
+}

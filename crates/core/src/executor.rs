@@ -1,0 +1,681 @@
+//! The executor: Execution Objects, query classes, and window drivers.
+//!
+//! Each Execution Object (EO) is one OS thread draining an input queue
+//! of [`ExecMsg`]s — arriving tuples, plan additions/removals from the
+//! QPQueue, and control messages. Queries are classed by how they can be
+//! shared (§4.2.2's query classes):
+//!
+//! * **Shared class** — unwindowed conjunctive selections over one
+//!   stream fold into a single [`CacqEngine`] per EO, sharing grouped
+//!   filters across queries.
+//! * **Eddy class** — unwindowed queries with joins or complex
+//!   predicates run their own adaptive eddy, continuously producing
+//!   streamed results.
+//! * **Windowed class** — queries with a for-loop clause are driven by a
+//!   window driver: as stream high-water marks pass each window's right
+//!   end, the window's tuple sets are scanned from the archive, run
+//!   through a fresh adaptive plan, aggregated if requested, and emitted
+//!   as one [`ResultSet`] per loop instant.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tcq_cacq::{CacqEngine, QuerySpec, Selection};
+use tcq_common::{Timestamp, Tuple, Value};
+use tcq_eddy::{Eddy, FixedPolicy, LotteryPolicy, NaivePolicy, RoutingPolicy};
+use tcq_sql::QueryPlan;
+use tcq_storage::StreamArchive;
+use tcq_windows::{AggKind, LandmarkAgg, LoopCond, WindowAgg};
+
+use crate::config::{Config, PolicyKind};
+use crate::query::{deliver, ResultSet, RunningQuery};
+
+/// Messages an Execution Object processes.
+pub enum ExecMsg {
+    /// An arriving tuple of a global stream.
+    Data {
+        /// Global stream id.
+        stream: usize,
+        /// The tuple.
+        tuple: Tuple,
+    },
+    /// Fold a new query into the running executor.
+    AddQuery(RunningQuery),
+    /// Tear a query down (closing its output).
+    RemoveQuery(u64),
+    /// Acknowledge when every prior message has been processed.
+    Barrier(crossbeam::channel::Sender<()>),
+    /// Assert that no tuple of `stream` with timestamp <= `ticks` will
+    /// arrive anymore (a punctuation), releasing windows ending there.
+    Punctuate {
+        /// Global stream id.
+        stream: usize,
+        /// Completed tick (inclusive).
+        ticks: i64,
+    },
+}
+
+/// The registry of per-stream archives, shared by the Wrapper (writer)
+/// and the EOs (window-scan readers). Grows as streams register.
+#[derive(Default)]
+pub struct ArchiveSet {
+    inner: parking_lot::RwLock<Vec<Arc<Mutex<StreamArchive>>>>,
+}
+
+impl ArchiveSet {
+    /// An empty registry.
+    pub fn new() -> ArchiveSet {
+        ArchiveSet::default()
+    }
+
+    /// Register an archive; returns its global stream id.
+    pub fn push(&self, archive: StreamArchive) -> usize {
+        let mut v = self.inner.write();
+        v.push(Arc::new(Mutex::new(archive)));
+        v.len() - 1
+    }
+
+    /// The archive for global stream `id`.
+    pub fn get(&self, id: usize) -> Arc<Mutex<StreamArchive>> {
+        self.inner.read()[id].clone()
+    }
+
+    /// Number of registered streams.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True iff no streams are registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+/// Build the configured routing policy.
+pub fn make_policy(config: &Config, salt: u64) -> Box<dyn RoutingPolicy> {
+    match config.policy {
+        PolicyKind::Lottery => Box::new(LotteryPolicy::new(config.seed ^ salt)),
+        PolicyKind::Naive => Box::new(NaivePolicy::new(config.seed ^ salt)),
+        PolicyKind::Fixed => Box::new(FixedPolicy::new((0..64).collect())),
+    }
+}
+
+/// One EO's run state.
+pub struct ExecutionObject {
+    /// This EO's index (for policy seeding).
+    eo_id: u64,
+    config: Config,
+    archives: Arc<ArchiveSet>,
+    /// Shared CACQ engine (streams are global ids).
+    shared: CacqEngine,
+    /// cacq slot → owning query.
+    shared_by_slot: HashMap<u64, SharedQuery>,
+    /// server qid → cacq qid.
+    shared_ids: HashMap<u64, u64>,
+    eddies: HashMap<u64, EddyQuery>,
+    windowed: HashMap<u64, WindowedQuery>,
+    /// Newest timestamp ticks seen per global stream.
+    high_water: HashMap<usize, i64>,
+    /// Punctuations: ticks known complete per global stream.
+    punctuated: HashMap<usize, i64>,
+}
+
+struct SharedQuery {
+    plan: Arc<QueryPlan>,
+    output: tcq_fjords::Fjord<ResultSet>,
+    /// `SELECT DISTINCT` state (over unbounded streams, distinct keeps
+    /// the seen-set; evicted alongside windows when the query has one).
+    distinct: Option<tcq_eddy::DupElim>,
+}
+
+struct EddyQuery {
+    plan: Arc<QueryPlan>,
+    /// global stream id → plan-stream positions (a self-join binds one
+    /// global stream at several positions).
+    positions: HashMap<usize, Vec<usize>>,
+    eddy: Eddy,
+    output: tcq_fjords::Fjord<ResultSet>,
+    distinct: Option<tcq_eddy::DupElim>,
+}
+
+struct WindowedQuery {
+    plan: Arc<QueryPlan>,
+    stream_ids: Vec<usize>,
+    /// Remaining loop instants.
+    loop_values: tcq_windows::spec::LoopValues,
+    /// The next instant awaiting evaluation.
+    pending_t: Option<i64>,
+    output: tcq_fjords::Fjord<ResultSet>,
+}
+
+impl ExecutionObject {
+    /// A fresh EO.
+    pub fn new(
+        eo_id: u64,
+        config: Config,
+        archives: Arc<ArchiveSet>,
+    ) -> ExecutionObject {
+        ExecutionObject {
+            eo_id,
+            config,
+            archives,
+            shared: CacqEngine::new(),
+            shared_by_slot: HashMap::new(),
+            shared_ids: HashMap::new(),
+            eddies: HashMap::new(),
+            windowed: HashMap::new(),
+            high_water: HashMap::new(),
+            punctuated: HashMap::new(),
+        }
+    }
+
+    /// Number of standing queries on this EO.
+    pub fn query_count(&self) -> usize {
+        self.shared_ids.len() + self.eddies.len() + self.windowed.len()
+    }
+
+    /// Process one message. Returns `false` only for barrier plumbing
+    /// errors (ignored by the caller).
+    pub fn handle(&mut self, msg: ExecMsg) {
+        match msg {
+            ExecMsg::Data { stream, tuple } => self.on_data(stream, tuple),
+            ExecMsg::AddQuery(q) => self.add_query(q),
+            ExecMsg::RemoveQuery(id) => self.remove_query(id),
+            ExecMsg::Barrier(ack) => {
+                let _ = ack.send(());
+            }
+            ExecMsg::Punctuate { stream, ticks } => {
+                let p = self.punctuated.entry(stream).or_insert(i64::MIN);
+                *p = (*p).max(ticks);
+                self.drive_windows();
+            }
+        }
+    }
+
+    /// Classify and fold a new query in.
+    fn add_query(&mut self, q: RunningQuery) {
+        let plan = q.plan.clone();
+        if let Some(seq) = &plan.window {
+            let header = seq.header;
+            let mut loop_values = header.values();
+            let pending_t = loop_values.next();
+            self.windowed.insert(
+                q.id,
+                WindowedQuery {
+                    plan,
+                    stream_ids: q.stream_ids,
+                    loop_values,
+                    pending_t,
+                    output: q.output,
+                },
+            );
+            // Historical windows may already be evaluable.
+            self.drive_windows();
+            return;
+        }
+        if let Some(spec) = sharable_spec(&plan, &q.stream_ids) {
+            let cacq_id = self
+                .shared
+                .add_query(spec)
+                .expect("sharable specs are valid");
+            self.shared_ids.insert(q.id, cacq_id);
+            let distinct = plan.distinct.then(tcq_eddy::DupElim::new);
+            self.shared_by_slot.insert(
+                cacq_id,
+                SharedQuery {
+                    plan,
+                    output: q.output,
+                    distinct,
+                },
+            );
+            return;
+        }
+        // Per-query adaptive eddy.
+        let eddy = plan
+            .build_eddy(make_policy(&self.config, self.eo_id ^ q.id))
+            .expect("planned queries compile");
+        let mut positions: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (pos, &gid) in q.stream_ids.iter().enumerate() {
+            positions.entry(gid).or_default().push(pos);
+        }
+        let distinct = plan.distinct.then(tcq_eddy::DupElim::new);
+        self.eddies.insert(
+            q.id,
+            EddyQuery {
+                plan,
+                positions,
+                eddy,
+                output: q.output,
+                distinct,
+            },
+        );
+    }
+
+    fn remove_query(&mut self, id: u64) {
+        if let Some(cacq_id) = self.shared_ids.remove(&id) {
+            let _ = self.shared.remove_query(cacq_id);
+            if let Some(sq) = self.shared_by_slot.remove(&cacq_id) {
+                sq.output.close();
+            }
+        }
+        if let Some(eq) = self.eddies.remove(&id) {
+            eq.output.close();
+        }
+        if let Some(wq) = self.windowed.remove(&id) {
+            wq.output.close();
+        }
+    }
+
+    fn on_data(&mut self, stream: usize, tuple: Tuple) {
+        let hw = self.high_water.entry(stream).or_insert(i64::MIN);
+        *hw = (*hw).max(tuple.ts().ticks());
+
+        // Shared class.
+        let matched = self.shared.push(stream, tuple.clone());
+        if !matched.is_empty() {
+            // Group per query into one result set.
+            let mut per_query: HashMap<u64, Vec<Tuple>> = HashMap::new();
+            for (cacq_id, t) in matched {
+                per_query.entry(cacq_id).or_default().push(t);
+            }
+            for (cacq_id, rows) in per_query {
+                if let Some(sq) = self.shared_by_slot.get_mut(&cacq_id) {
+                    let mut projected: Vec<Tuple> = rows
+                        .iter()
+                        .filter_map(|t| sq.plan.project(t).ok())
+                        .collect();
+                    if let Some(d) = &mut sq.distinct {
+                        projected.retain(|t| d.push(t.clone()).is_some());
+                    }
+                    if projected.is_empty() {
+                        continue;
+                    }
+                    deliver(
+                        &sq.output,
+                        ResultSet {
+                            window_t: None,
+                            rows: projected,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Eddy class.
+        for eq in self.eddies.values_mut() {
+            let Some(positions) = eq.positions.get(&stream) else {
+                continue;
+            };
+            let mut outs = Vec::new();
+            for &pos in positions {
+                outs.extend(eq.eddy.push(pos, tuple.clone()));
+            }
+            if !outs.is_empty() {
+                let mut rows: Vec<Tuple> = outs
+                    .iter()
+                    .filter_map(|t| eq.plan.project(t).ok())
+                    .collect();
+                if let Some(d) = &mut eq.distinct {
+                    rows.retain(|t| d.push(t.clone()).is_some());
+                }
+                if rows.is_empty() {
+                    continue;
+                }
+                deliver(
+                    &eq.output,
+                    ResultSet {
+                        window_t: None,
+                        rows,
+                    },
+                );
+            }
+        }
+
+        // Windowed class: high water may have released windows.
+        self.drive_windows();
+    }
+
+    /// Evaluate every windowed query's released windows.
+    fn drive_windows(&mut self) {
+        let mut finished = Vec::new();
+        let ids: Vec<u64> = self.windowed.keys().copied().collect();
+        for id in ids {
+            let done = self.drive_one(id);
+            if done {
+                finished.push(id);
+            }
+        }
+        for id in finished {
+            if let Some(wq) = self.windowed.remove(&id) {
+                wq.output.close();
+            }
+        }
+    }
+
+    /// Returns `true` when the query's loop is exhausted.
+    fn drive_one(&mut self, id: u64) -> bool {
+        loop {
+            let (t, evaluable) = {
+                let wq = self.windowed.get(&id).expect("caller checked");
+                let Some(t) = wq.pending_t else { return true };
+                (t, self.window_released(wq, t))
+            };
+            if !evaluable {
+                return false;
+            }
+            let rs = self.evaluate_window(id, t);
+            let wq = self.windowed.get_mut(&id).expect("still present");
+            deliver(&wq.output, rs);
+            wq.pending_t = wq.loop_values.next();
+            if wq.pending_t.is_none() {
+                return true;
+            }
+        }
+    }
+
+    /// A window is released when, for every windowed stream, its right
+    /// end is provably complete: a strictly later tuple has arrived
+    /// (timestamps are per-stream monotone, so a later tick proves
+    /// earlier ticks are closed), or a punctuation covers it.
+    fn window_released(&self, wq: &WindowedQuery, t: i64) -> bool {
+        let seq = wq.plan.window.as_ref().expect("windowed");
+        for (pos, bs) in wq.plan.streams.iter().enumerate() {
+            if !bs.windowed {
+                continue;
+            }
+            let Some(w) = seq.window_for(&bs.alias) else {
+                continue;
+            };
+            let (_, right) = w.at(t, seq.domain);
+            let gid = wq.stream_ids[pos];
+            let hw = self.high_water.get(&gid).copied().unwrap_or(i64::MIN);
+            let punct = self.punctuated.get(&gid).copied().unwrap_or(i64::MIN);
+            if hw <= right.ticks() && punct < right.ticks() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Scan, execute, and (if requested) aggregate one window.
+    fn evaluate_window(&mut self, id: u64, t: i64) -> ResultSet {
+        let wq = self.windowed.get(&id).expect("caller checked");
+        let plan = wq.plan.clone();
+        let seq = plan.window.as_ref().expect("windowed");
+        // Fresh adaptive plan per window: window semantics are
+        // set-at-a-time (§4.1.1), so each instant gets an independent
+        // evaluation over its tuple sets.
+        let mut eddy = plan
+            .build_eddy(make_policy(&self.config, self.eo_id ^ id ^ t as u64))
+            .expect("planned queries compile");
+        let mut full_rows = Vec::new();
+        // Collect each stream's window scan, then feed all streams
+        // round-robin so joins see both sides.
+        let mut per_stream: Vec<Vec<Tuple>> = Vec::with_capacity(plan.streams.len());
+        for (pos, bs) in plan.streams.iter().enumerate() {
+            let gid = wq.stream_ids[pos];
+            let archive = self.archives.get(gid);
+            let rows = if bs.windowed {
+                let w = seq.window_for(&bs.alias).expect("windowed stream");
+                let (l, r) = w.at(t, seq.domain);
+                archive.lock().scan(l, r).unwrap_or_default()
+            } else {
+                // Static table (or unwindowed input): the whole relation.
+                archive
+                    .lock()
+                    .scan(
+                        Timestamp::new(seq.domain, i64::MIN),
+                        Timestamp::new(seq.domain, i64::MAX),
+                    )
+                    .unwrap_or_default()
+            };
+            per_stream.push(rows);
+        }
+        let max_len = per_stream.iter().map(Vec::len).max().unwrap_or(0);
+        for i in 0..max_len {
+            for (pos, rows) in per_stream.iter().enumerate() {
+                if let Some(row) = rows.get(i) {
+                    full_rows.extend(eddy.push(pos, row.clone()));
+                }
+            }
+        }
+        let mut rows = if plan.is_aggregating() {
+            aggregate_rows(&plan, &full_rows)
+        } else {
+            let mut rows: Vec<Tuple> = full_rows
+                .iter()
+                .filter_map(|r| plan.project(r).ok())
+                .collect();
+            if plan.distinct {
+                // DISTINCT is per window instant (each window's output is
+                // an independent set).
+                let mut d = tcq_eddy::DupElim::new();
+                rows.retain(|r| d.push(r.clone()).is_some());
+            }
+            rows
+        };
+        plan.sort_rows(&mut rows);
+        ResultSet {
+            window_t: Some(t),
+            rows,
+        }
+    }
+}
+
+/// Whether a plan can fold into the shared CACQ engine, and its spec.
+fn sharable_spec(plan: &QueryPlan, stream_ids: &[usize]) -> Option<QuerySpec> {
+    if plan.streams.len() != 1 || !plan.joins.is_empty() || plan.is_aggregating() {
+        return None;
+    }
+    let gid = stream_ids[0];
+    let mut selections = Vec::new();
+    for f in &plan.filters {
+        let (col, op, value) = f.as_single_column_cmp()?;
+        selections.push(Selection {
+            stream: gid,
+            col,
+            op,
+            value,
+        });
+    }
+    if selections.is_empty() {
+        // A predicate-less tap runs as a trivial eddy instead (the CACQ
+        // engine indexes predicates; there is nothing to share here).
+        return None;
+    }
+    Some(QuerySpec {
+        selections,
+        join: None,
+    })
+}
+
+/// Recompute aggregates over one window's joined rows.
+pub fn aggregate_rows(plan: &QueryPlan, rows: &[Tuple]) -> Vec<Tuple> {
+    use tcq_common::value::KeyRepr;
+    // Group rows.
+    let mut groups: HashMap<Vec<KeyRepr>, Vec<&Tuple>> = HashMap::new();
+    for row in rows {
+        let key: Vec<KeyRepr> = plan
+            .group_by
+            .iter()
+            .map(|g| g.eval(row).unwrap_or(Value::Null).key_bytes())
+            .collect();
+        groups.entry(key).or_default().push(row);
+    }
+    if groups.is_empty() && plan.group_by.is_empty() {
+        // Scalar aggregate over an empty window: one row of empty
+        // aggregates (COUNT = 0, others NULL).
+        groups.insert(Vec::new(), Vec::new());
+    }
+    let mut out: Vec<Tuple> = Vec::with_capacity(groups.len());
+    for members in groups.values() {
+        let mut fields = Vec::with_capacity(plan.outputs.len());
+        for col in &plan.outputs {
+            match &col.agg {
+                None => {
+                    let e = col.expr.as_ref().expect("plain outputs have exprs");
+                    let v = members
+                        .first()
+                        .map(|r| e.eval(r).unwrap_or(Value::Null))
+                        .unwrap_or(Value::Null);
+                    fields.push(v);
+                }
+                Some((kind, arg)) => {
+                    let mut acc = LandmarkAgg::new(*kind);
+                    for r in members {
+                        let v = match arg {
+                            // COUNT(*): every row counts.
+                            None => Value::Int(1),
+                            Some(e) => e.eval(r).unwrap_or(Value::Null),
+                        };
+                        if *kind == AggKind::Count && arg.is_none() {
+                            acc.push(r.ts(), &Value::Int(1));
+                        } else {
+                            acc.push(r.ts(), &v);
+                        }
+                    }
+                    fields.push(acc.value());
+                }
+            }
+        }
+        let ts = members
+            .last()
+            .map(|r| r.ts())
+            .unwrap_or(Timestamp::logical(0));
+        out.push(Tuple::new(fields, ts));
+    }
+    // Deterministic order for tests and clients.
+    out.sort_by_key(|t| format!("{t}"));
+    out
+}
+
+/// Validate a plan for submission (executor-level constraints).
+pub fn validate_plan(plan: &QueryPlan) -> tcq_common::Result<()> {
+    use tcq_common::TcqError;
+    if plan.is_aggregating() && plan.window.is_none() {
+        return Err(TcqError::PlanError(
+            "aggregates over unbounded streams require a window (for-loop) clause".into(),
+        ));
+    }
+    if !plan.order_by.is_empty() && plan.window.is_none() {
+        return Err(TcqError::PlanError(
+            "ORDER BY applies to windowed result sets; unwindowed queries stream unordered".into(),
+        ));
+    }
+    if let Some(seq) = &plan.window {
+        let backward = seq
+            .windows
+            .iter()
+            .any(|w| w.left.coeff * seq.header.step < 0 || w.right.coeff * seq.header.step < 0);
+        if backward && seq.header.cond == LoopCond::Forever {
+            return Err(TcqError::PlanError(
+                "backward-moving windows need a bounded loop condition".into(),
+            ));
+        }
+        // Every windowed stream must be a stream; windows over static
+        // tables are meaningless.
+        for bs in &plan.streams {
+            if bs.windowed && bs.kind == tcq_common::StreamKind::Table {
+                return Err(TcqError::PlanError(format!(
+                    "WindowIs over static table {}",
+                    bs.alias
+                )));
+            }
+        }
+    } else {
+        // Unwindowed queries over pure tables never produce anything new;
+        // allow them (they answer once data is pushed) — no constraint.
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{Catalog, DataType, Field, Schema};
+    use tcq_sql::Planner;
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        c.register_stream(
+            "s",
+            Schema::qualified(
+                "s",
+                vec![
+                    Field::new("k", DataType::Int),
+                    Field::new("v", DataType::Float),
+                ],
+            ),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn sharable_detection() {
+        let planner = Planner::new(catalog());
+        let p = planner.plan_sql("SELECT v FROM s WHERE k > 5 AND v < 2.0").unwrap();
+        assert!(sharable_spec(&p, &[0]).is_some());
+        let p2 = planner.plan_sql("SELECT v FROM s WHERE k > v").unwrap();
+        assert!(
+            sharable_spec(&p2, &[0]).is_none(),
+            "multi-variable factor is not groupable"
+        );
+        let p3 = planner.plan_sql("SELECT v FROM s").unwrap();
+        assert!(sharable_spec(&p3, &[0]).is_none(), "a bare tap runs as an eddy");
+    }
+
+    #[test]
+    fn aggregate_rows_grouped() {
+        let planner = Planner::new(catalog());
+        let p = planner
+            .plan_sql(
+                "SELECT k, COUNT(*) AS n, MAX(v) AS hi FROM s GROUP BY k \
+                 for (; t == 0; t = -1) { WindowIs(s, 1, 10); }",
+            )
+            .unwrap();
+        let rows: Vec<Tuple> = vec![
+            Tuple::at_seq(vec![Value::Int(1), Value::Float(5.0)], 1),
+            Tuple::at_seq(vec![Value::Int(1), Value::Float(9.0)], 2),
+            Tuple::at_seq(vec![Value::Int(2), Value::Float(3.0)], 3),
+        ];
+        let out = aggregate_rows(&p, &rows);
+        assert_eq!(out.len(), 2);
+        // Sorted textually: group 1 first.
+        assert_eq!(out[0].fields(), &[Value::Int(1), Value::Int(2), Value::Float(9.0)]);
+        assert_eq!(out[1].fields(), &[Value::Int(2), Value::Int(1), Value::Float(3.0)]);
+    }
+
+    #[test]
+    fn aggregate_rows_scalar_empty_window() {
+        let planner = Planner::new(catalog());
+        let p = planner
+            .plan_sql(
+                "SELECT COUNT(*) AS n, MAX(v) AS hi FROM s \
+                 for (; t == 0; t = -1) { WindowIs(s, 1, 10); }",
+            )
+            .unwrap();
+        let out = aggregate_rows(&p, &[]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].fields(), &[Value::Int(0), Value::Null]);
+    }
+
+    #[test]
+    fn validate_rejects_unwindowed_aggregates() {
+        let planner = Planner::new(catalog());
+        let p = planner.plan_sql("SELECT MAX(v) FROM s GROUP BY k").unwrap();
+        // GROUP BY without window: planner allows, executor rejects.
+        assert!(validate_plan(&p).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_forever_backward() {
+        let planner = Planner::new(catalog());
+        let p = planner
+            .plan_sql("SELECT k FROM s for (t = 100; ; t++) { WindowIs(s, -1 * t, -1 * t + 9); }")
+            .unwrap();
+        assert!(validate_plan(&p).is_err());
+    }
+}

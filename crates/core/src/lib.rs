@@ -1,0 +1,70 @@
+//! # tcq — the TelegraphCQ server
+//!
+//! The top-level crate assembles every subsystem into the architecture
+//! of the paper's Figure 5:
+//!
+//! ```text
+//!   clients ──▶ FrontEnd (parse / analyze / optimize)──QPQueue──▶
+//!      ▲                                                    │
+//!      │  output queues                                     ▼
+//!      └──────────────◀── Executor EOs (eddies, SteMs, grouped filters,
+//!                           window drivers)◀──input queues── Wrapper
+//!                                                            (sources,
+//!                                 archive ◀── spooler ◀──── streamers)
+//! ```
+//!
+//! The paper's three *processes* become three thread groups sharing
+//! lock-free queues in one address space (DESIGN.md §2 records the
+//! substitution): the **FrontEnd** parses and plans CQ-SQL and places
+//! adaptive plans on the QPQueue; **Execution Objects** (OS threads
+//! hosting non-preemptive work units, §4.2.2) fold new plans into their
+//! running query classes, grouped by *query footprint* — the set of
+//! streams a query reads — and route tuples through shared CACQ state or
+//! per-query eddies; the **Wrapper** thread polls ingress sources
+//! non-blockingly, stamps and archives tuples, and fans them out to the
+//! EOs whose classes need them.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tcq::{Server, Config};
+//! use tcq_common::{DataType, Field, Schema, Value};
+//!
+//! let server = Server::start(Config::default()).unwrap();
+//! server
+//!     .register_stream(
+//!         "ClosingStockPrices",
+//!         Schema::qualified(
+//!             "closingstockprices",
+//!             vec![
+//!                 Field::new("timestamp", DataType::Int),
+//!                 Field::new("stockSymbol", DataType::Str),
+//!                 Field::new("closingPrice", DataType::Float),
+//!             ],
+//!         ),
+//!     )
+//!     .unwrap();
+//! let handle = server
+//!     .submit("SELECT closingPrice FROM ClosingStockPrices \
+//!              WHERE stockSymbol = 'MSFT' AND closingPrice > 50.0")
+//!     .unwrap();
+//! server
+//!     .push(
+//!         "ClosingStockPrices",
+//!         vec![Value::Int(1), Value::str("MSFT"), Value::Float(55.0)],
+//!     )
+//!     .unwrap();
+//! server.sync();
+//! let batch = handle.try_next().unwrap();
+//! assert_eq!(batch.rows[0].field(0), &Value::Float(55.0));
+//! server.shutdown();
+//! ```
+
+pub mod config;
+pub mod executor;
+pub mod query;
+pub mod server;
+
+pub use config::Config;
+pub use query::{QueryHandle, ResultSet};
+pub use server::Server;

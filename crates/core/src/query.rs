@@ -1,0 +1,145 @@
+//! Running queries, result sets, and client handles.
+
+use std::sync::Arc;
+
+use tcq_common::{Schema, Tuple};
+use tcq_fjords::{DequeueResult, EnqueueResult, Fjord};
+use tcq_sql::QueryPlan;
+
+/// One delivery to a client: either a batch of streamed results
+/// (`window_t == None`) or the complete answer set for one window of the
+/// query's for-loop (`window_t == Some(t)`): "the output of a query is
+/// presented to the end-user as a sequence of sets, each set being
+/// associated with an instant in time" (§4.1.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// The for-loop instant this set belongs to, when windowed.
+    pub window_t: Option<i64>,
+    /// The projected result rows.
+    pub rows: Vec<Tuple>,
+}
+
+/// Internal representation of a registered query.
+#[derive(Debug)]
+pub struct RunningQuery {
+    /// Server-assigned id.
+    pub id: u64,
+    /// The analyzed plan.
+    pub plan: Arc<QueryPlan>,
+    /// Global indexes of the streams in the plan's footprint, parallel
+    /// to `plan.streams`.
+    pub stream_ids: Vec<usize>,
+    /// Where results go.
+    pub output: Fjord<ResultSet>,
+}
+
+/// A client's handle to a standing query.
+#[derive(Debug)]
+pub struct QueryHandle {
+    /// Server-assigned query id (use with [`crate::Server::stop_query`]).
+    pub id: u64,
+    /// The result schema.
+    pub schema: Schema,
+    output: Fjord<ResultSet>,
+}
+
+impl QueryHandle {
+    pub(crate) fn new(id: u64, schema: Schema, output: Fjord<ResultSet>) -> QueryHandle {
+        QueryHandle { id, schema, output }
+    }
+
+    /// Fetch the next result set without blocking; `None` when nothing
+    /// is ready (or the query has been stopped and drained).
+    pub fn try_next(&self) -> Option<ResultSet> {
+        match self.output.try_dequeue() {
+            DequeueResult::Item(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Block for the next result set; `None` once the query is stopped
+    /// and all buffered results are drained.
+    pub fn next_blocking(&self) -> Option<ResultSet> {
+        match self.output.dequeue_blocking() {
+            DequeueResult::Item(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Drain everything currently buffered.
+    pub fn drain(&self) -> Vec<ResultSet> {
+        let mut out = Vec::new();
+        while let Some(r) = self.try_next() {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Whether the query has ended and all results were consumed.
+    pub fn is_finished(&self) -> bool {
+        self.output.is_finished()
+    }
+}
+
+/// Deliver a result set, shedding the oldest buffered set when the
+/// client lags (the push-egress QoS behaviour).
+pub(crate) fn deliver(output: &Fjord<ResultSet>, rs: ResultSet) {
+    match output.try_enqueue(rs) {
+        EnqueueResult::Ok | EnqueueResult::Closed(_) => {}
+        EnqueueResult::Full(rs) => {
+            let _ = output.try_dequeue();
+            let _ = output.try_enqueue(rs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::Value;
+
+    fn rs(i: i64) -> ResultSet {
+        ResultSet {
+            window_t: Some(i),
+            rows: vec![Tuple::at_seq(vec![Value::Int(i)], i)],
+        }
+    }
+
+    #[test]
+    fn handle_drains_in_order() {
+        let q: Fjord<ResultSet> = Fjord::with_capacity(8);
+        let h = QueryHandle::new(1, Schema::unqualified(vec![]), q.clone());
+        q.try_enqueue(rs(1));
+        q.try_enqueue(rs(2));
+        let got = h.drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].window_t, Some(1));
+        assert!(h.try_next().is_none());
+    }
+
+    #[test]
+    fn finished_after_close_and_drain() {
+        let q: Fjord<ResultSet> = Fjord::with_capacity(8);
+        let h = QueryHandle::new(1, Schema::unqualified(vec![]), q.clone());
+        q.try_enqueue(rs(1));
+        q.close();
+        assert!(!h.is_finished(), "buffered result still pending");
+        assert!(h.next_blocking().is_some());
+        assert!(h.next_blocking().is_none());
+        assert!(h.is_finished());
+    }
+
+    #[test]
+    fn deliver_sheds_oldest_under_pressure() {
+        let q: Fjord<ResultSet> = Fjord::with_capacity(2);
+        for i in 1..=4 {
+            deliver(&q, rs(i));
+        }
+        let h = QueryHandle::new(1, Schema::unqualified(vec![]), q);
+        let got = h.drain();
+        assert_eq!(
+            got.iter().map(|r| r.window_t.unwrap()).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+    }
+}

@@ -1,0 +1,714 @@
+//! The TelegraphCQ server: FrontEnd, Executor, and Wrapper wired
+//! together (the paper's Figure 5).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use tcq_common::{Catalog, Clock, Result, Schema, TcqError, Tuple, Value};
+use tcq_fjords::{DequeueResult, Fjord};
+use tcq_sql::Planner;
+use tcq_storage::{BufferPool, Replacement, Spooler, StreamArchive};
+use tcq_wrappers::Source;
+
+use crate::config::Config;
+use crate::executor::{validate_plan, ArchiveSet, ExecMsg, ExecutionObject};
+use crate::query::{QueryHandle, ResultSet, RunningQuery};
+
+/// A running TelegraphCQ server.
+///
+/// Cheap to clone; all clones talk to the same server. Call
+/// [`Server::shutdown`] on exactly one clone when done (dropping without
+/// shutdown also stops the threads).
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl Clone for Server {
+    fn clone(&self) -> Self {
+        Server {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+struct StreamRuntime {
+    arity: usize,
+    clock: Arc<Clock>,
+}
+
+struct Inner {
+    config: Config,
+    catalog: Catalog,
+    planner: Planner,
+    archives: Arc<ArchiveSet>,
+    streams: RwLock<Vec<StreamRuntime>>,
+    by_name: RwLock<HashMap<String, usize>>,
+    eo_inputs: Vec<Fjord<ExecMsg>>,
+    queries: Mutex<HashMap<u64, QueryMeta>>,
+    next_qid: AtomicU64,
+    /// Wrapper-process channel for attaching sources.
+    wrapper_tx: Mutex<Option<Sender<WrapperMsg>>>,
+    wrapper_ingested: AtomicU64,
+    wrapper_idle: AtomicBool,
+    shutting_down: AtomicBool,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    _spooler: Spooler,
+    archive_root: PathBuf,
+    _pool: Arc<Mutex<BufferPool>>,
+}
+
+struct QueryMeta {
+    eo: usize,
+    output: Fjord<ResultSet>,
+}
+
+enum WrapperMsg {
+    Attach(usize, Box<dyn Source>),
+}
+
+impl Server {
+    /// Start the server: spins up the Wrapper thread, the configured
+    /// number of Execution Object threads, and the storage spooler.
+    pub fn start(config: Config) -> Result<Server> {
+        let archive_root = config.archive_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!(
+                "telegraphcq-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos())
+                    .unwrap_or(0)
+            ))
+        });
+        std::fs::create_dir_all(&archive_root)
+            .map_err(|e| TcqError::StorageError(e.to_string()))?;
+
+        let pool = Arc::new(Mutex::new(BufferPool::new(
+            config.buffer_pool_segments,
+            Replacement::Clock,
+        )));
+        let spooler = Spooler::start();
+        let archives = Arc::new(ArchiveSet::new());
+        let catalog = Catalog::new();
+        let planner = Planner::new(catalog.clone());
+
+        // Executor: one input queue + thread per EO.
+        let mut eo_inputs = Vec::with_capacity(config.executor_threads.max(1));
+        let mut threads = Vec::new();
+        for eo_id in 0..config.executor_threads.max(1) {
+            let input: Fjord<ExecMsg> = Fjord::with_capacity(config.input_queue);
+            eo_inputs.push(input.clone());
+            let mut eo = ExecutionObject::new(eo_id as u64, config.clone(), archives.clone());
+            let handle = std::thread::Builder::new()
+                .name(format!("tcq-eo-{eo_id}"))
+                .spawn(move || loop {
+                    match input.dequeue_blocking() {
+                        DequeueResult::Item(msg) => eo.handle(msg),
+                        DequeueResult::Closed => break,
+                        DequeueResult::Empty => unreachable!("blocking dequeue"),
+                    }
+                })
+                .map_err(|e| TcqError::ExecError(e.to_string()))?;
+            threads.push(handle);
+        }
+
+        let (wrapper_tx, wrapper_rx) = unbounded::<WrapperMsg>();
+        let inner = Arc::new(Inner {
+            config,
+            catalog,
+            planner,
+            archives,
+            streams: RwLock::new(Vec::new()),
+            by_name: RwLock::new(HashMap::new()),
+            eo_inputs,
+            queries: Mutex::new(HashMap::new()),
+            next_qid: AtomicU64::new(1),
+            wrapper_tx: Mutex::new(Some(wrapper_tx)),
+            wrapper_ingested: AtomicU64::new(0),
+            wrapper_idle: AtomicBool::new(true),
+            shutting_down: AtomicBool::new(false),
+            threads: Mutex::new(threads),
+            _spooler: spooler,
+            archive_root,
+            _pool: pool,
+        });
+
+        // The Wrapper thread: hosts ingress sources, polls them
+        // non-blockingly, stamps + archives + fans out tuples.
+        let wrapper_inner = inner.clone();
+        let wrapper = std::thread::Builder::new()
+            .name("tcq-wrapper".into())
+            .spawn(move || {
+                let mut sources: Vec<(usize, Box<dyn Source>)> = Vec::new();
+                loop {
+                    // Accept new sources.
+                    loop {
+                        match wrapper_rx.try_recv() {
+                            Ok(WrapperMsg::Attach(gid, src)) => sources.push((gid, src)),
+                            Err(crossbeam::channel::TryRecvError::Empty) => break,
+                            Err(crossbeam::channel::TryRecvError::Disconnected) => return,
+                        }
+                    }
+                    if wrapper_inner.shutting_down.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let mut produced = 0usize;
+                    let mut exhausted_gids: Vec<usize> = Vec::new();
+                    sources.retain_mut(|(gid, src)| {
+                        let batch = src.poll(256);
+                        produced += batch.len();
+                        for t in batch {
+                            // Ingest failures (e.g. out-of-order source)
+                            // drop the tuple; the source stays attached.
+                            let _ = wrapper_inner.ingest(*gid, t);
+                        }
+                        let keep = !src.is_exhausted();
+                        if !keep {
+                            exhausted_gids.push(*gid);
+                        }
+                        keep
+                    });
+                    // When a stream's last source finishes, punctuate at
+                    // the stream clock: its final windows can close.
+                    for gid in exhausted_gids {
+                        if !sources.iter().any(|(g, _)| *g == gid) {
+                            let ticks = wrapper_inner.streams.read()[gid].clock.now().ticks();
+                            let _ = wrapper_inner.punctuate_gid(gid, ticks);
+                        }
+                    }
+                    wrapper_inner
+                        .wrapper_ingested
+                        .fetch_add(produced as u64, Ordering::Relaxed);
+                    let idle = produced == 0;
+                    wrapper_inner.wrapper_idle.store(
+                        idle && sources.iter().all(|(_, s)| s.is_exhausted())
+                            || sources.is_empty(),
+                        Ordering::Release,
+                    );
+                    if idle {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                }
+            })
+            .map_err(|e| TcqError::ExecError(e.to_string()))?;
+        inner.threads.lock().push(wrapper);
+
+        Ok(Server { inner })
+    }
+
+    /// The catalog (inspectable by clients).
+    pub fn catalog(&self) -> &Catalog {
+        &self.inner.catalog
+    }
+
+    /// Register a live stream.
+    pub fn register_stream(&self, name: &str, schema: Schema) -> Result<usize> {
+        self.register(name, schema, true)
+    }
+
+    /// Register a static table (still append-only; push rows once).
+    pub fn register_table(&self, name: &str, schema: Schema) -> Result<usize> {
+        self.register(name, schema, false)
+    }
+
+    fn register(&self, name: &str, schema: Schema, is_stream: bool) -> Result<usize> {
+        let arity = schema.len();
+        if is_stream {
+            self.inner.catalog.register_stream(name, schema)?;
+        } else {
+            self.inner.catalog.register_table(name, schema)?;
+        }
+        let lname = name.to_ascii_lowercase();
+        let gid = {
+            let archive = StreamArchive::new(
+                self.inner.streams.read().len() as u64,
+                self.inner.archive_root.join(&lname),
+                self.inner.config.segment_tuples,
+                self.inner._pool.clone(),
+                Some(&self.inner._spooler),
+            );
+            self.inner.archives.push(archive)
+        };
+        let mut streams = self.inner.streams.write();
+        debug_assert_eq!(streams.len(), gid);
+        streams.push(StreamRuntime {
+            arity,
+            clock: Arc::new(Clock::logical()),
+        });
+        self.inner.by_name.write().insert(lname, gid);
+        Ok(gid)
+    }
+
+    /// Push one tuple, stamped with the stream's next logical tick.
+    pub fn push(&self, stream: &str, fields: Vec<Value>) -> Result<()> {
+        let gid = self.stream_id(stream)?;
+        let (tuple, _) = {
+            let streams = self.inner.streams.read();
+            let rt = &streams[gid];
+            if fields.len() != rt.arity {
+                return Err(TcqError::ExecError(format!(
+                    "stream {stream} expects {} fields, got {}",
+                    rt.arity,
+                    fields.len()
+                )));
+            }
+            (Tuple::new(fields, rt.clock.tick()), ())
+        };
+        self.inner.ingest(gid, tuple)
+    }
+
+    /// Push one tuple stamped at an explicit logical tick (must be
+    /// non-decreasing per stream) — e.g. the paper's trading-day
+    /// timestamps, where several quotes share one day.
+    pub fn push_at(&self, stream: &str, fields: Vec<Value>, ticks: i64) -> Result<()> {
+        let gid = self.stream_id(stream)?;
+        let tuple = {
+            let streams = self.inner.streams.read();
+            let rt = &streams[gid];
+            if fields.len() != rt.arity {
+                return Err(TcqError::ExecError(format!(
+                    "stream {stream} expects {} fields, got {}",
+                    rt.arity,
+                    fields.len()
+                )));
+            }
+            rt.clock.advance_to(ticks);
+            Tuple::new(fields, tcq_common::Timestamp::logical(ticks))
+        };
+        self.inner.ingest(gid, tuple)
+    }
+
+    /// Declare that no tuple of `stream` with timestamp <= `ticks` will
+    /// arrive anymore, releasing windows that end at or before it.
+    /// (Heartbeat/punctuation; the Wrapper emits one automatically when
+    /// a stream's last source is exhausted.)
+    pub fn punctuate(&self, stream: &str, ticks: i64) -> Result<()> {
+        let gid = self.stream_id(stream)?;
+        self.inner.streams.read()[gid].clock.advance_to(ticks);
+        self.inner.punctuate_gid(gid, ticks)
+    }
+
+    /// Attach an ingress source to a stream; the Wrapper thread polls it.
+    pub fn attach_source(&self, stream: &str, source: Box<dyn Source>) -> Result<()> {
+        let gid = self.stream_id(stream)?;
+        let guard = self.inner.wrapper_tx.lock();
+        let tx = guard
+            .as_ref()
+            .ok_or(TcqError::Closed("wrapper"))?;
+        self.inner.wrapper_idle.store(false, Ordering::Release);
+        tx.send(WrapperMsg::Attach(gid, source))
+            .map_err(|_| TcqError::Closed("wrapper"))
+    }
+
+    /// Parse and analyze a query, returning the adaptive plan's
+    /// human-readable description without registering it (EXPLAIN).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let plan = self.inner.planner.plan_sql(sql)?;
+        validate_plan(&plan)?;
+        Ok(plan.explain())
+    }
+
+    /// Parse, analyze, optimize, and fold a continuous query into the
+    /// running executor. Returns the client's handle.
+    pub fn submit(&self, sql: &str) -> Result<QueryHandle> {
+        let plan = self.inner.planner.plan_sql(sql)?;
+        validate_plan(&plan)?;
+        let stream_ids: Vec<usize> = plan
+            .streams
+            .iter()
+            .map(|s| self.stream_id(&s.name))
+            .collect::<Result<_>>()?;
+        let id = self.inner.next_qid.fetch_add(1, Ordering::Relaxed);
+        let output: Fjord<ResultSet> = Fjord::with_capacity(self.inner.config.result_buffer);
+        // Class queries by footprint: same streams → same EO, so
+        // shareable queries actually share.
+        let mut footprint = stream_ids.clone();
+        footprint.sort_unstable();
+        footprint.dedup();
+        let eo = footprint.iter().sum::<usize>() % self.inner.eo_inputs.len();
+        let schema = plan.output_schema();
+        let rq = RunningQuery {
+            id,
+            plan: Arc::new(plan),
+            stream_ids,
+            output: output.clone(),
+        };
+        self.inner.queries.lock().insert(
+            id,
+            QueryMeta {
+                eo,
+                output: output.clone(),
+            },
+        );
+        // The QPQueue: "plans are then placed in the query plan queue
+        // ... the executor continually picks up fresh queries."
+        match self.inner.eo_inputs[eo].enqueue_blocking(ExecMsg::AddQuery(rq)) {
+            tcq_fjords::EnqueueResult::Ok => Ok(QueryHandle::new(id, schema, output)),
+            _ => Err(TcqError::Closed("executor")),
+        }
+    }
+
+    /// Remove a standing query; its handle sees end-of-results.
+    pub fn stop_query(&self, id: u64) -> Result<()> {
+        let meta = self
+            .inner
+            .queries
+            .lock()
+            .remove(&id)
+            .ok_or(TcqError::UnknownQuery(id))?;
+        match self.inner.eo_inputs[meta.eo].enqueue_blocking(ExecMsg::RemoveQuery(id)) {
+            tcq_fjords::EnqueueResult::Ok => Ok(()),
+            _ => Err(TcqError::Closed("executor")),
+        }
+    }
+
+    /// Wait until every tuple pushed (or submitted query) before this
+    /// call has been fully processed by the executor.
+    pub fn sync(&self) {
+        let (tx, rx) = unbounded();
+        let mut expected = 0;
+        for input in &self.inner.eo_inputs {
+            if input
+                .enqueue_blocking(ExecMsg::Barrier(tx.clone()))
+                .is_ok()
+            {
+                expected += 1;
+            }
+        }
+        for _ in 0..expected {
+            let _ = rx.recv();
+        }
+    }
+
+    /// Wait until all attached sources are exhausted and their tuples
+    /// processed. Returns `false` on timeout.
+    pub fn drain_sources(&self, timeout: std::time::Duration) -> bool {
+        let start = std::time::Instant::now();
+        loop {
+            if self.inner.wrapper_idle.load(Ordering::Acquire) {
+                self.sync();
+                return true;
+            }
+            if start.elapsed() > timeout {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Tuples ingested via the Wrapper thread so far.
+    pub fn wrapper_ingested(&self) -> u64 {
+        self.inner.wrapper_ingested.load(Ordering::Relaxed)
+    }
+
+    /// Stop all threads, closing every query's results.
+    pub fn shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::Release);
+        // Stop the wrapper (drop its channel).
+        *self.inner.wrapper_tx.lock() = None;
+        // Close EO inputs; EOs drain and exit.
+        for input in &self.inner.eo_inputs {
+            input.close();
+        }
+        let mut threads = self.inner.threads.lock();
+        for h in threads.drain(..) {
+            let _ = h.join();
+        }
+        // Close any remaining query outputs.
+        for (_, meta) in self.inner.queries.lock().drain() {
+            meta.output.close();
+        }
+    }
+
+    fn stream_id(&self, name: &str) -> Result<usize> {
+        self.inner
+            .by_name
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .copied()
+            .ok_or_else(|| TcqError::UnknownStream(name.into()))
+    }
+}
+
+impl Inner {
+    /// The streamer path: archive the tuple, then fan it out to every
+    /// EO's input queue.
+    fn ingest(&self, gid: usize, tuple: Tuple) -> Result<()> {
+        self.streams.read()[gid]
+            .clock
+            .advance_to(tuple.ts().ticks());
+        self.archives.get(gid).lock().append(tuple.clone())?;
+        for input in &self.eo_inputs {
+            let msg = ExecMsg::Data {
+                stream: gid,
+                tuple: tuple.clone(),
+            };
+            match input.enqueue_blocking(msg) {
+                tcq_fjords::EnqueueResult::Ok => {}
+                _ => return Err(TcqError::Closed("executor")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Fan a punctuation out to every EO.
+    fn punctuate_gid(&self, gid: usize, ticks: i64) -> Result<()> {
+        for input in &self.eo_inputs {
+            match input.enqueue_blocking(ExecMsg::Punctuate {
+                stream: gid,
+                ticks,
+            }) {
+                tcq_fjords::EnqueueResult::Ok => {}
+                _ => return Err(TcqError::Closed("executor")),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{DataType, Field};
+
+    fn stock_schema() -> Schema {
+        Schema::qualified(
+            "closingstockprices",
+            vec![
+                Field::new("timestamp", DataType::Int),
+                Field::new("stockSymbol", DataType::Str),
+                Field::new("closingPrice", DataType::Float),
+            ],
+        )
+    }
+
+    fn server() -> Server {
+        let s = Server::start(Config::default()).unwrap();
+        s.register_stream("ClosingStockPrices", stock_schema()).unwrap();
+        s
+    }
+
+    fn quote(s: &Server, day: i64, sym: &str, price: f64) {
+        s.push_at(
+            "ClosingStockPrices",
+            vec![Value::Int(day), Value::str(sym), Value::Float(price)],
+            day,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn continuous_selection_streams_results() {
+        let s = server();
+        let h = s
+            .submit(
+                "SELECT closingPrice FROM ClosingStockPrices \
+                 WHERE stockSymbol = 'MSFT' AND closingPrice > 50.0",
+            )
+            .unwrap();
+        quote(&s, 1, "MSFT", 60.0);
+        quote(&s, 1, "IBM", 80.0);
+        quote(&s, 2, "MSFT", 40.0);
+        quote(&s, 2, "MSFT", 55.0);
+        s.sync();
+        let rows: Vec<Tuple> = h.drain().into_iter().flat_map(|r| r.rows).collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].field(0), &Value::Float(60.0));
+        assert_eq!(rows[1].field(0), &Value::Float(55.0));
+        s.shutdown();
+    }
+
+    #[test]
+    fn snapshot_query_over_history() {
+        // Paper §4.1 example 1: first five days of MSFT.
+        let s = server();
+        for day in 1..=8 {
+            quote(&s, day, "MSFT", 40.0 + day as f64);
+        }
+        s.sync();
+        let h = s
+            .submit(
+                "SELECT closingPrice, timestamp FROM ClosingStockPrices \
+                 WHERE stockSymbol = 'MSFT' \
+                 for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 5); }",
+            )
+            .unwrap();
+        s.sync();
+        let sets = h.drain();
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].window_t, Some(0));
+        assert_eq!(sets[0].rows.len(), 5);
+        assert!(h.is_finished(), "snapshot queries terminate");
+        s.shutdown();
+    }
+
+    #[test]
+    fn landmark_query_expands() {
+        let s = server();
+        let h = s
+            .submit(
+                "SELECT COUNT(*) AS n FROM ClosingStockPrices \
+                 WHERE stockSymbol = 'MSFT' \
+                 for (t = 1; t <= 4; t++) { WindowIs(ClosingStockPrices, 1, t); }",
+            )
+            .unwrap();
+        for day in 1..=4 {
+            quote(&s, day, "MSFT", 50.0);
+        }
+        s.punctuate("ClosingStockPrices", 4).unwrap();
+        s.sync();
+        let sets = h.drain();
+        assert_eq!(sets.len(), 4);
+        let counts: Vec<i64> = sets
+            .iter()
+            .map(|r| r.rows[0].field(0).as_int().unwrap())
+            .collect();
+        assert_eq!(counts, vec![1, 2, 3, 4], "landmark windows expand");
+        s.shutdown();
+    }
+
+    #[test]
+    fn sliding_window_join_runs() {
+        // Paper §4.1 example 4 shape (window width 5).
+        let s = server();
+        let h = s
+            .submit(
+                "SELECT c1.closingPrice AS msft, c2.closingPrice AS ibm \
+                 FROM ClosingStockPrices c1, ClosingStockPrices c2 \
+                 WHERE c1.stockSymbol = 'MSFT' AND c2.stockSymbol = 'IBM' \
+                   AND c2.closingPrice > c1.closingPrice \
+                   AND c2.timestamp = c1.timestamp \
+                 for (t = 3; t <= 6; t++) { WindowIs(c1, t - 2, t); WindowIs(c2, t - 2, t); }",
+            )
+            .unwrap();
+        for day in 1..=6 {
+            quote(&s, day, "MSFT", 50.0);
+            quote(&s, day, "IBM", if day % 2 == 0 { 60.0 } else { 40.0 });
+        }
+        s.punctuate("ClosingStockPrices", 6).unwrap();
+        s.sync();
+        let sets = h.drain();
+        assert_eq!(sets.len(), 4, "one set per window instant");
+        // Window [1,3] has one even day (2); [2,4] and [4,6] have two.
+        let sizes: Vec<usize> = sets.iter().map(|r| r.rows.len()).collect();
+        assert_eq!(sizes, vec![1, 2, 1, 2]);
+        s.shutdown();
+    }
+
+    #[test]
+    fn shared_queries_share_grouped_filters() {
+        let s = server();
+        let mut handles = Vec::new();
+        for i in 0..20 {
+            handles.push(
+                s.submit(&format!(
+                    "SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > {i}.0"
+                ))
+                .unwrap(),
+            );
+        }
+        quote(&s, 1, "MSFT", 10.5);
+        s.sync();
+        let matched: usize = handles
+            .iter()
+            .map(|h| h.drain().iter().map(|r| r.rows.len()).sum::<usize>())
+            .sum();
+        assert_eq!(matched, 11, "thresholds 0..=10 match 10.5");
+        s.shutdown();
+    }
+
+    #[test]
+    fn stop_query_closes_handle() {
+        let s = server();
+        let h = s
+            .submit("SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > 0.0")
+            .unwrap();
+        s.stop_query(h.id).unwrap();
+        s.sync();
+        assert!(h.next_blocking().is_none());
+        assert!(h.is_finished());
+        assert!(s.stop_query(h.id).is_err(), "double stop rejected");
+        s.shutdown();
+    }
+
+    #[test]
+    fn wrapper_sources_flow_through() {
+        use tcq_wrappers::StockTicker;
+        let s = server();
+        let h = s
+            .submit("SELECT stockSymbol FROM ClosingStockPrices WHERE closingPrice > 0.0")
+            .unwrap();
+        s.attach_source(
+            "ClosingStockPrices",
+            Box::new(StockTicker::with_symbols(7, vec!["MSFT", "IBM"], Some(50))),
+        )
+        .unwrap();
+        assert!(s.drain_sources(std::time::Duration::from_secs(10)));
+        let rows: usize = h.drain().iter().map(|r| r.rows.len()).sum();
+        assert_eq!(rows, 100, "50 days x 2 symbols");
+        assert_eq!(s.wrapper_ingested(), 100);
+        s.shutdown();
+    }
+
+    #[test]
+    fn errors_surface() {
+        let s = server();
+        assert!(s.push("nosuch", vec![]).is_err());
+        assert!(s
+            .push("ClosingStockPrices", vec![Value::Int(1)])
+            .is_err());
+        assert!(s.submit("SELECT broken FROM").is_err());
+        assert!(s
+            .submit("SELECT MAX(closingPrice) FROM ClosingStockPrices")
+            .is_err());
+        assert!(s.stop_query(999).is_err());
+        s.shutdown();
+    }
+
+    #[test]
+    fn static_table_joins_against_stream() {
+        let s = server();
+        s.register_table(
+            "Companies",
+            Schema::qualified(
+                "companies",
+                vec![
+                    Field::new("symbol", DataType::Str),
+                    Field::new("sector", DataType::Str),
+                ],
+            ),
+        )
+        .unwrap();
+        s.push("Companies", vec![Value::str("MSFT"), Value::str("tech")])
+            .unwrap();
+        s.push("Companies", vec![Value::str("XOM"), Value::str("energy")])
+            .unwrap();
+        for day in 1..=3 {
+            quote(&s, day, "MSFT", 50.0);
+        }
+        s.punctuate("ClosingStockPrices", 3).unwrap();
+        s.sync();
+        // Windowed stream joined to an unwindowed (static) table.
+        let h = s
+            .submit(
+                "SELECT sector, COUNT(*) AS n \
+                 FROM ClosingStockPrices c, Companies k \
+                 WHERE c.stockSymbol = k.symbol \
+                 GROUP BY sector \
+                 for (; t == 0; t = -1) { WindowIs(c, 1, 3); }",
+            )
+            .unwrap();
+        s.sync();
+        let sets = h.drain();
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].rows.len(), 1);
+        assert_eq!(sets[0].rows[0].field(0), &Value::str("tech"));
+        assert_eq!(sets[0].rows[0].field(1), &Value::Int(3));
+        s.shutdown();
+    }
+}

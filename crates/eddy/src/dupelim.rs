@@ -1,0 +1,147 @@
+//! Duplicate elimination — the `DupElim` module of the paper's Figure 1.
+//!
+//! A pipelined, non-blocking distinct: each incoming tuple is emitted
+//! iff its field values have not been seen within the retention window.
+//! Over unbounded streams exact DISTINCT needs unbounded state, so the
+//! module supports window-based eviction like a SteM (§1.1: "care must
+//! be taken to reduce the amount of state such queries accumulate").
+
+use std::collections::{HashMap, VecDeque};
+
+use tcq_common::value::KeyRepr;
+use tcq_common::{Timestamp, Tuple};
+
+/// A streaming DISTINCT over full tuple values.
+#[derive(Debug, Default)]
+pub struct DupElim {
+    /// Seen value-vectors → count of live entries with those values.
+    seen: HashMap<Vec<KeyRepr>, u64>,
+    /// Arrival order for eviction.
+    arrivals: VecDeque<(Timestamp, Vec<KeyRepr>)>,
+    emitted: u64,
+    suppressed: u64,
+}
+
+impl DupElim {
+    /// An empty distinct module.
+    pub fn new() -> DupElim {
+        DupElim::default()
+    }
+
+    /// Process one tuple: `Some(tuple)` the first time its values are
+    /// seen (within the retention window), `None` for duplicates.
+    pub fn push(&mut self, tuple: Tuple) -> Option<Tuple> {
+        let key: Vec<KeyRepr> = tuple.fields().iter().map(|v| v.key_bytes()).collect();
+        let count = self.seen.entry(key.clone()).or_insert(0);
+        *count += 1;
+        self.arrivals.push_back((tuple.ts(), key));
+        if *count == 1 {
+            self.emitted += 1;
+            Some(tuple)
+        } else {
+            self.suppressed += 1;
+            None
+        }
+    }
+
+    /// Forget entries older than `bound`: a value seen only before the
+    /// bound may be emitted again (window-scoped DISTINCT).
+    pub fn evict_before(&mut self, bound: Timestamp) -> usize {
+        let mut n = 0;
+        while let Some((ts, _)) = self.arrivals.front() {
+            if !matches!(
+                ts.partial_cmp(&bound),
+                Some(std::cmp::Ordering::Less)
+            ) {
+                break;
+            }
+            let (_, key) = self.arrivals.pop_front().expect("front exists");
+            if let Some(c) = self.seen.get_mut(&key) {
+                *c -= 1;
+                if *c == 0 {
+                    self.seen.remove(&key);
+                }
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Distinct values currently remembered.
+    pub fn distinct_count(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Tuples passed through.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Duplicates suppressed.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::Value;
+
+    fn t(v: i64, seq: i64) -> Tuple {
+        Tuple::at_seq(vec![Value::Int(v)], seq)
+    }
+
+    #[test]
+    fn suppresses_duplicates() {
+        let mut d = DupElim::new();
+        assert!(d.push(t(1, 1)).is_some());
+        assert!(d.push(t(2, 2)).is_some());
+        assert!(d.push(t(1, 3)).is_none());
+        assert_eq!(d.emitted(), 2);
+        assert_eq!(d.suppressed(), 1);
+        assert_eq!(d.distinct_count(), 2);
+    }
+
+    #[test]
+    fn multi_field_tuples_compare_all_fields() {
+        let mut d = DupElim::new();
+        let a = Tuple::at_seq(vec![Value::Int(1), Value::str("x")], 1);
+        let b = Tuple::at_seq(vec![Value::Int(1), Value::str("y")], 2);
+        assert!(d.push(a).is_some());
+        assert!(d.push(b).is_some(), "different second field is distinct");
+    }
+
+    #[test]
+    fn numeric_coercion_matches_sql_eq() {
+        let mut d = DupElim::new();
+        assert!(d.push(Tuple::at_seq(vec![Value::Int(2)], 1)).is_some());
+        assert!(
+            d.push(Tuple::at_seq(vec![Value::Float(2.0)], 2)).is_none(),
+            "2 and 2.0 are equal values"
+        );
+    }
+
+    #[test]
+    fn eviction_reopens_values() {
+        let mut d = DupElim::new();
+        d.push(t(7, 1));
+        assert!(d.push(t(7, 2)).is_none());
+        // Evict everything before tick 10: value 7 is forgotten.
+        assert_eq!(d.evict_before(Timestamp::logical(10)), 2);
+        assert_eq!(d.distinct_count(), 0);
+        assert!(d.push(t(7, 11)).is_some(), "window-scoped distinct");
+    }
+
+    #[test]
+    fn eviction_respects_live_duplicates() {
+        let mut d = DupElim::new();
+        d.push(t(7, 1));
+        d.push(t(7, 20)); // duplicate, but arrives late
+        // Evicting before tick 10 drops only the first sighting; the
+        // value is still live via the second.
+        d.evict_before(Timestamp::logical(10));
+        assert_eq!(d.distinct_count(), 1);
+        assert!(d.push(t(7, 21)).is_none(), "still a duplicate");
+    }
+}

@@ -1,0 +1,687 @@
+//! The Eddy router: lineage-tracked, policy-driven tuple routing.
+//!
+//! An [`Eddy`] owns a set of [`EddyOp`] modules over a fixed set of base
+//! streams. Tuples are submitted per stream, eagerly *built* into their
+//! stream's SteM (when the query joins), and then routed among eligible
+//! modules one decision at a time until their lineage is complete —
+//! at which point they are emitted in the canonical full layout.
+//!
+//! ## Exactly-once joins under any routing order
+//!
+//! Each submitted singleton gets a global arrival sequence number. A SteM
+//! probe only matches entries built *strictly before* the probing
+//! tuple's driver sequence. Together with eager builds this means every
+//! join result is derived exactly once — by its latest-arriving
+//! component — while the Eddy remains free to choose any probe order
+//! (the adaptive choice of join spanning tree, §2.2).
+//!
+//! ## Adapting adaptivity (§4.3)
+//!
+//! Two knobs trade routing overhead against adaptivity:
+//!
+//! * **Batching** (`batch_size`): consecutive pending tuples with
+//!   identical lineage share one routing decision.
+//! * **Operator fixing** (`fix_ops`): each decision commits to a sequence
+//!   of up to `fix_ops` filter modules applied back-to-back (a probe
+//!   always ends a fixed sequence, since it changes coverage).
+
+use std::collections::{HashMap, VecDeque};
+
+use tcq_common::{Expr, Timestamp, Tuple};
+
+use crate::layout::Layout;
+use crate::mask::Mask;
+use crate::ops::{EddyOp, FilterOp, StemOp};
+use crate::policy::{Observation, RoutingPolicy};
+
+/// Per-module lifetime counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpStats {
+    /// Tuples routed to the module.
+    pub routed: u64,
+    /// Tuples that survived it (filter passes, probe matches spawned).
+    pub survived: u64,
+    /// Work units expended (1 + artificial cost per tuple for filters;
+    /// 1 per probe plus 1 per match for SteMs).
+    pub cost: u64,
+}
+
+impl OpStats {
+    /// Observed selectivity (survivors per routed tuple); 1.0 when the
+    /// module has seen nothing.
+    pub fn selectivity(&self) -> f64 {
+        if self.routed == 0 {
+            1.0
+        } else {
+            self.survived as f64 / self.routed as f64
+        }
+    }
+}
+
+/// Whole-eddy counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EddyStats {
+    /// Singletons submitted.
+    pub submitted: u64,
+    /// Routing decisions made (the E7 overhead metric).
+    pub decisions: u64,
+    /// Tuples emitted.
+    pub emitted: u64,
+    /// Tuples dropped by filters.
+    pub dropped: u64,
+    /// Tuples finalized with incomplete coverage (disconnected join
+    /// graphs; indicates a malformed query).
+    pub stranded: u64,
+}
+
+/// A tuple in flight, with its routing lineage.
+#[derive(Debug, Clone)]
+struct Routed {
+    tuple: Tuple,
+    /// Base streams this (partial) result covers.
+    coverage: Mask,
+    /// Modules already visited.
+    done: Mask,
+    /// Arrival sequence of the derivation's driver (the latest-arriving
+    /// component).
+    seq: u64,
+}
+
+/// Builder for [`Eddy`].
+pub struct EddyBuilder {
+    layout: Layout,
+    ops: Vec<EddyOp>,
+    policy: Box<dyn RoutingPolicy>,
+    batch_size: usize,
+    fix_ops: usize,
+}
+
+impl EddyBuilder {
+    /// Start building an eddy over base streams with the given arities.
+    pub fn new(arities: Vec<usize>, policy: Box<dyn RoutingPolicy>) -> EddyBuilder {
+        EddyBuilder {
+            layout: Layout::new(arities),
+            ops: Vec::new(),
+            policy,
+            batch_size: 1,
+            fix_ops: 1,
+        }
+    }
+
+    /// Add a filter module; its stream set is derived from the layout.
+    pub fn filter(mut self, mut f: FilterOp) -> EddyBuilder {
+        f.streams = self.layout.streams_of_expr(&f.predicate);
+        self.ops.push(EddyOp::Filter(f));
+        self
+    }
+
+    /// Add a SteM probe module; each probe spec's stream set is derived
+    /// from the layout.
+    pub fn stem(mut self, mut s: StemOp) -> EddyBuilder {
+        for spec in &mut s.specs {
+            spec.streams = spec
+                .full
+                .iter()
+                .filter_map(|&c| self.layout.stream_of_column(c))
+                .collect();
+        }
+        self.ops.push(EddyOp::Stem(Box::new(s)));
+        self
+    }
+
+    /// Set the tuple-batching knob (decisions per `batch_size` tuples).
+    pub fn batch_size(mut self, n: usize) -> EddyBuilder {
+        self.batch_size = n.max(1);
+        self
+    }
+
+    /// Set the operator-fixing knob (filters chained per decision).
+    pub fn fix_ops(mut self, n: usize) -> EddyBuilder {
+        self.fix_ops = n.max(1);
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> Eddy {
+        let n_ops = self.ops.len();
+        assert!(n_ops <= 64, "an eddy supports at most 64 modules");
+        assert!(
+            self.layout.stream_count() <= 64,
+            "an eddy supports at most 64 base streams"
+        );
+        Eddy {
+            all_streams: Mask::first_n(self.layout.stream_count()),
+            layout: self.layout,
+            ops: self.ops,
+            policy: self.policy,
+            batch_size: self.batch_size,
+            fix_ops: self.fix_ops,
+            pending: VecDeque::new(),
+            out: Vec::new(),
+            stats: vec![OpStats::default(); n_ops],
+            eddy_stats: EddyStats::default(),
+            next_seq: 0,
+            remap_cache: HashMap::new(),
+        }
+    }
+}
+
+/// The adaptive router. See the module docs for semantics.
+pub struct Eddy {
+    layout: Layout,
+    all_streams: Mask,
+    ops: Vec<EddyOp>,
+    policy: Box<dyn RoutingPolicy>,
+    batch_size: usize,
+    fix_ops: usize,
+    pending: VecDeque<Routed>,
+    out: Vec<Tuple>,
+    stats: Vec<OpStats>,
+    eddy_stats: EddyStats,
+    next_seq: u64,
+    /// (op index, coverage) → predicate remapped onto that coverage.
+    remap_cache: HashMap<(usize, Mask), Expr>,
+}
+
+impl Eddy {
+    /// The column layout (for authoring expressions and reading outputs).
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Per-module counters.
+    pub fn op_stats(&self) -> &[OpStats] {
+        &self.stats
+    }
+
+    /// Whole-eddy counters.
+    pub fn stats(&self) -> EddyStats {
+        self.eddy_stats
+    }
+
+    /// Module names, in index order.
+    pub fn op_names(&self) -> Vec<&str> {
+        self.ops.iter().map(EddyOp::name).collect()
+    }
+
+    /// The policy driving routing decisions.
+    pub fn policy(&self) -> &dyn RoutingPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Submit a singleton tuple of base stream `stream`. The tuple is
+    /// built into its stream's SteM (if any) and queued for routing.
+    pub fn submit(&mut self, stream: usize, tuple: Tuple) {
+        debug_assert!(stream < self.layout.stream_count());
+        debug_assert_eq!(tuple.arity(), self.layout.arity(stream));
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.eddy_stats.submitted += 1;
+        for op in &mut self.ops {
+            if let EddyOp::Stem(s) = op {
+                if s.stream == stream {
+                    s.build(tuple.clone(), seq);
+                }
+            }
+        }
+        let rt = Routed {
+            tuple,
+            coverage: Mask::bit(stream),
+            done: Mask::EMPTY,
+            seq,
+        };
+        self.enqueue_or_finalize(rt);
+    }
+
+    /// Evict SteM state older than `bound` on every stream (sliding
+    /// window maintenance). Returns tuples evicted.
+    pub fn evict_before(&mut self, bound: Timestamp) -> usize {
+        self.ops
+            .iter_mut()
+            .filter_map(|op| match op {
+                EddyOp::Stem(s) => Some(s.evict_before(bound)),
+                EddyOp::Filter(_) => None,
+            })
+            .sum()
+    }
+
+    /// Drain all pending routing work, then take the emitted outputs.
+    pub fn run(&mut self) -> Vec<Tuple> {
+        while !self.pending.is_empty() {
+            self.step();
+        }
+        std::mem::take(&mut self.out)
+    }
+
+    /// Submit one tuple and drain (the common streaming pattern).
+    pub fn push(&mut self, stream: usize, tuple: Tuple) -> Vec<Tuple> {
+        self.submit(stream, tuple);
+        self.run()
+    }
+
+    /// Tuples currently awaiting routing.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Modules eligible for a tuple: filters whose streams are covered
+    /// and not yet visited; SteM probes whose key columns are covered and
+    /// whose stored stream is not.
+    fn candidates(&self, rt: &Routed) -> Mask {
+        let mut c = Mask::EMPTY;
+        for (i, op) in self.ops.iter().enumerate() {
+            if rt.done.contains(i) {
+                continue;
+            }
+            let eligible = match op {
+                EddyOp::Filter(f) => rt.coverage.is_superset_of(f.streams),
+                EddyOp::Stem(s) => s.eligible(rt.coverage),
+            };
+            if eligible {
+                c = c.with(i);
+            }
+        }
+        c
+    }
+
+    /// Queue a tuple, or finalize it when no module remains.
+    fn enqueue_or_finalize(&mut self, rt: Routed) {
+        if self.candidates(&rt).is_empty() {
+            if rt.coverage == self.all_streams {
+                self.eddy_stats.emitted += 1;
+                self.out.push(rt.tuple);
+            } else {
+                self.eddy_stats.stranded += 1;
+            }
+        } else {
+            self.pending.push_back(rt);
+        }
+    }
+
+    /// One scheduling step: form a batch, make a decision (possibly a
+    /// fixed sequence of filters), process the batch.
+    fn step(&mut self) {
+        let Some(first) = self.pending.pop_front() else {
+            return;
+        };
+        // Batch: consecutive tuples with identical lineage share the
+        // decision.
+        let mut batch = vec![first];
+        while batch.len() < self.batch_size {
+            match self.pending.front() {
+                Some(next)
+                    if next.coverage == batch[0].coverage && next.done == batch[0].done =>
+                {
+                    let rt = self.pending.pop_front().expect("front exists");
+                    batch.push(rt);
+                }
+                _ => break,
+            }
+        }
+
+        let mut candidates = self.candidates(&batch[0]);
+        debug_assert!(!candidates.is_empty(), "queued tuples have candidates");
+
+        // Decide a route: one module, or a fixed chain of filters.
+        self.eddy_stats.decisions += 1;
+        let mut route = Vec::with_capacity(self.fix_ops);
+        loop {
+            let op = self.policy.choose(candidates, &self.stats);
+            route.push(op);
+            candidates = candidates.without(op);
+            let is_filter = matches!(self.ops[op], EddyOp::Filter(_));
+            if route.len() >= self.fix_ops || !is_filter || candidates.is_empty() {
+                break;
+            }
+        }
+
+        // Apply the route to every tuple in the batch.
+        for op in route {
+            if batch.is_empty() {
+                break;
+            }
+            batch = self.apply_op(op, batch);
+        }
+        for rt in batch {
+            self.enqueue_or_finalize(rt);
+        }
+    }
+
+    /// Route `batch` through module `op`; returns the tuples that
+    /// continue (filter survivors or probe children).
+    fn apply_op(&mut self, op: usize, batch: Vec<Routed>) -> Vec<Routed> {
+        let routed = batch.len() as u64;
+        let mut survivors = Vec::with_capacity(batch.len());
+        let mut cost = 0u64;
+        match &mut self.ops[op] {
+            EddyOp::Filter(f) => {
+                for mut rt in batch {
+                    cost += 1 + f.artificial_cost as u64;
+                    let remapped = match self.remap_cache.entry((op, rt.coverage)) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            let r = self
+                                .layout
+                                .remap_expr(rt.coverage, &f.predicate)
+                                .expect("eligibility guarantees covered columns");
+                            e.insert(r)
+                        }
+                    };
+                    if f.eval(remapped, &rt.tuple) {
+                        rt.done = rt.done.with(op);
+                        survivors.push(rt);
+                    } else {
+                        self.eddy_stats.dropped += 1;
+                    }
+                }
+            }
+            EddyOp::Stem(s) => {
+                for rt in batch {
+                    cost += 1;
+                    let matches = s.probe_matches(&rt.tuple, &self.layout, rt.coverage, rt.seq);
+                    cost += matches.len() as u64;
+                    for m in matches {
+                        let merged = self.layout.merge(&rt.tuple, rt.coverage, &m, s.stream);
+                        let child = Routed {
+                            tuple: merged,
+                            coverage: rt.coverage.with(s.stream),
+                            done: rt.done.with(op),
+                            seq: rt.seq,
+                        };
+                        // Residual predicate, if evaluable on the child.
+                        if let Some(res) = &s.residual {
+                            if let Some(re) = self.layout.remap_expr(child.coverage, res) {
+                                if !re.eval_pred(&child.tuple).unwrap_or(false) {
+                                    self.eddy_stats.dropped += 1;
+                                    continue;
+                                }
+                            }
+                        }
+                        survivors.push(child);
+                    }
+                    // The driver is absorbed by the probe.
+                }
+            }
+        }
+        let survived = survivors.len() as u64;
+        let st = &mut self.stats[op];
+        st.routed += routed;
+        st.survived += survived;
+        st.cost += cost;
+        self.policy.observe(&Observation {
+            op,
+            routed,
+            survived,
+            cost,
+        });
+        survivors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FixedPolicy, LotteryPolicy, NaivePolicy};
+    use tcq_common::{CmpOp, Value};
+
+    fn int_tuple(vals: &[i64], seq: i64) -> Tuple {
+        Tuple::at_seq(vals.iter().map(|&v| Value::Int(v)).collect(), seq)
+    }
+
+    /// Single-stream, two-filter eddy.
+    fn two_filter_eddy(policy: Box<dyn RoutingPolicy>) -> Eddy {
+        EddyBuilder::new(vec![1], policy)
+            .filter(FilterOp::new("gt10", Expr::col(0).cmp(CmpOp::Gt, Expr::lit(10i64))))
+            .filter(FilterOp::new("lt20", Expr::col(0).cmp(CmpOp::Lt, Expr::lit(20i64))))
+            .build()
+    }
+
+    #[test]
+    fn filters_conjoin_regardless_of_policy() {
+        for policy in [
+            Box::new(FixedPolicy::new(vec![0, 1])) as Box<dyn RoutingPolicy>,
+            Box::new(NaivePolicy::new(7)),
+            Box::new(LotteryPolicy::new(7)),
+        ] {
+            let mut e = two_filter_eddy(policy);
+            let mut out = Vec::new();
+            for v in 0..30 {
+                out.extend(e.push(0, int_tuple(&[v], v)));
+            }
+            let got: Vec<i64> = out.iter().map(|t| t.field(0).as_int().unwrap()).collect();
+            assert_eq!(got, (11..20).collect::<Vec<i64>>());
+        }
+    }
+
+    #[test]
+    fn stats_observe_selectivity() {
+        let mut e = two_filter_eddy(Box::new(FixedPolicy::new(vec![0, 1])));
+        for v in 0..100 {
+            e.push(0, int_tuple(&[v], v));
+        }
+        // Filter 0 (gt10) sees all 100, passes 89.
+        assert_eq!(e.op_stats()[0].routed, 100);
+        assert_eq!(e.op_stats()[0].survived, 89);
+        assert!((e.op_stats()[0].selectivity() - 0.89).abs() < 1e-9);
+        assert_eq!(e.stats().submitted, 100);
+        assert_eq!(e.stats().emitted, 9);
+    }
+
+    fn join_eddy(policy: Box<dyn RoutingPolicy>) -> Eddy {
+        // Streams: S(key, a) and T(key, b); equijoin on key.
+        EddyBuilder::new(vec![2, 2], policy)
+            .stem(StemOp::new("stemS", 0, vec![0], vec![2])) // probe S with T.key (full col 2)
+            .stem(StemOp::new("stemT", 1, vec![0], vec![0])) // probe T with S.key (full col 0)
+            .build()
+    }
+
+    #[test]
+    fn two_way_join_exactly_once() {
+        let mut e = join_eddy(Box::new(NaivePolicy::new(3)));
+        let mut out = Vec::new();
+        // 3 S tuples and 2 T tuples sharing key 7 => 6 results.
+        out.extend(e.push(0, int_tuple(&[7, 100], 1)));
+        out.extend(e.push(1, int_tuple(&[7, 200], 2)));
+        out.extend(e.push(0, int_tuple(&[7, 101], 3)));
+        out.extend(e.push(0, int_tuple(&[7, 102], 4)));
+        out.extend(e.push(1, int_tuple(&[7, 201], 5)));
+        assert_eq!(out.len(), 6);
+        // Canonical layout: S cols then T cols.
+        for t in &out {
+            assert_eq!(t.arity(), 4);
+            assert_eq!(t.field(0), &Value::Int(7));
+            assert_eq!(t.field(2), &Value::Int(7));
+        }
+    }
+
+    #[test]
+    fn join_with_filters_any_policy_matches_reference() {
+        // S.a > 50 AND S.key = T.key AND T.b < 150.
+        let build = |policy: Box<dyn RoutingPolicy>| {
+            EddyBuilder::new(vec![2, 2], policy)
+                .filter(FilterOp::new("sa", Expr::col(1).cmp(CmpOp::Gt, Expr::lit(50i64))))
+                .filter(FilterOp::new("tb", Expr::col(3).cmp(CmpOp::Lt, Expr::lit(150i64))))
+                .stem(StemOp::new("stemS", 0, vec![0], vec![2]))
+                .stem(StemOp::new("stemT", 1, vec![0], vec![0]))
+                .build()
+        };
+        // Deterministic workload.
+        let s_tuples: Vec<Tuple> = (0..50)
+            .map(|i| int_tuple(&[i % 10, i * 3 % 120], i))
+            .collect();
+        let t_tuples: Vec<Tuple> = (0..50)
+            .map(|i| int_tuple(&[i % 10, i * 7 % 200], i + 50))
+            .collect();
+        // Reference: nested loops.
+        let expected = s_tuples
+            .iter()
+            .flat_map(|s| t_tuples.iter().map(move |t| (s, t)))
+            .filter(|(s, t)| {
+                s.field(0).sql_eq(t.field(0))
+                    && s.field(1).as_int().unwrap() > 50
+                    && t.field(1).as_int().unwrap() < 150
+            })
+            .count();
+        for (seed, policy) in [
+            (0u64, Box::new(FixedPolicy::new(vec![0, 2, 1, 3])) as Box<dyn RoutingPolicy>),
+            (1, Box::new(NaivePolicy::new(42))),
+            (2, Box::new(LotteryPolicy::new(42))),
+        ] {
+            let mut e = build(policy);
+            let mut count = 0;
+            for i in 0..50 {
+                count += e.push(0, s_tuples[i].clone()).len();
+                count += e.push(1, t_tuples[i].clone()).len();
+            }
+            assert_eq!(count, expected, "policy seed {seed} diverged from reference");
+        }
+    }
+
+    #[test]
+    fn three_way_chain_join() {
+        // S(k1), T(k1,k2), U(k2): S⋈T on k1, T⋈U on k2.
+        // Full layout: S=[0], T=[1,2], U=[3].
+        let mut e = EddyBuilder::new(vec![1, 2, 1], Box::new(NaivePolicy::new(9)))
+            .stem(StemOp::new("stemS", 0, vec![0], vec![1])) // probe S with T.k1
+            .stem(
+                StemOp::new("stemT", 1, vec![0], vec![0]) // probe T with S.k1 ...
+                    .with_probe(vec![1], vec![3]), // ... or with U.k2
+            )
+            .stem(StemOp::new("stemU", 2, vec![0], vec![2])) // probe U with T.k2
+            .build();
+        let mut out = Vec::new();
+        out.extend(e.push(0, int_tuple(&[1], 1))); // S: k1=1
+        out.extend(e.push(1, int_tuple(&[1, 5], 2))); // T: k1=1, k2=5
+        out.extend(e.push(2, int_tuple(&[5], 3))); // U: k2=5 → completes STU
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].fields(),
+            &[Value::Int(1), Value::Int(1), Value::Int(5), Value::Int(5)]
+        );
+        // A second U with the same key joins the same S,T exactly once.
+        let out2 = e.push(2, int_tuple(&[5], 4));
+        assert_eq!(out2.len(), 1);
+    }
+
+    #[test]
+    fn three_way_join_exactly_once_exhaustive() {
+        // Multiple tuples per stream; count against nested-loop reference.
+        let mut e = EddyBuilder::new(vec![1, 2, 1], Box::new(NaivePolicy::new(17)))
+            .stem(StemOp::new("stemS", 0, vec![0], vec![1]))
+            .stem(StemOp::new("stemT", 1, vec![0], vec![0]).with_probe(vec![1], vec![3]))
+            .stem(StemOp::new("stemU", 2, vec![0], vec![2]))
+            .build();
+        let ss: Vec<Tuple> = (0..12).map(|i| int_tuple(&[i % 3], i)).collect();
+        let ts: Vec<Tuple> = (0..12).map(|i| int_tuple(&[i % 3, i % 4], 100 + i)).collect();
+        let us: Vec<Tuple> = (0..12).map(|i| int_tuple(&[i % 4], 200 + i)).collect();
+        let mut got = 0;
+        for i in 0..12 {
+            got += e.push(0, ss[i].clone()).len();
+            got += e.push(1, ts[i].clone()).len();
+            got += e.push(2, us[i].clone()).len();
+        }
+        let expected = ss
+            .iter()
+            .flat_map(|s| ts.iter().map(move |t| (s, t)))
+            .filter(|(s, t)| s.field(0).sql_eq(t.field(0)))
+            .flat_map(|(s, t)| us.iter().map(move |u| (s, t, u)))
+            .filter(|(_, t, u)| t.field(1).sql_eq(u.field(0)))
+            .count();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn residual_predicate_on_stem() {
+        // Join S(k,a) with T(k,b) keeping only a < b.
+        let residual = Expr::col(1).cmp(CmpOp::Lt, Expr::col(3));
+        let mut e = EddyBuilder::new(vec![2, 2], Box::new(FixedPolicy::new(vec![0, 1])))
+            .stem(StemOp::new("stemS", 0, vec![0], vec![2]).with_residual(residual.clone()))
+            .stem(StemOp::new("stemT", 1, vec![0], vec![0]).with_residual(residual))
+            .build();
+        e.push(0, int_tuple(&[1, 10], 1));
+        assert_eq!(e.push(1, int_tuple(&[1, 5], 2)).len(), 0, "10 < 5 fails");
+        assert_eq!(e.push(1, int_tuple(&[1, 20], 3)).len(), 1, "10 < 20 holds");
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let mut e = join_eddy(Box::new(FixedPolicy::new(vec![0, 1])));
+        e.push(0, Tuple::at_seq(vec![Value::Null, Value::Int(1)], 1));
+        let out = e.push(1, Tuple::at_seq(vec![Value::Null, Value::Int(2)], 2));
+        assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn window_eviction_limits_join_state() {
+        let mut e = join_eddy(Box::new(FixedPolicy::new(vec![0, 1])));
+        e.push(0, int_tuple(&[1, 100], 1));
+        e.push(0, int_tuple(&[1, 101], 50));
+        e.evict_before(Timestamp::logical(10));
+        let out = e.push(1, int_tuple(&[1, 200], 51));
+        assert_eq!(out.len(), 1, "evicted S tuple no longer joins");
+    }
+
+    #[test]
+    fn batching_reduces_decisions_with_same_answers() {
+        let run = |batch: usize| {
+            let mut e = EddyBuilder::new(vec![1], Box::new(LotteryPolicy::new(5)))
+                .filter(FilterOp::new("f0", Expr::col(0).cmp(CmpOp::Ge, Expr::lit(0i64))))
+                .filter(FilterOp::new("f1", Expr::col(0).cmp(CmpOp::Lt, Expr::lit(500i64))))
+                .batch_size(batch)
+                .build();
+            for v in 0..1000 {
+                e.submit(0, int_tuple(&[v], v));
+            }
+            let out = e.run();
+            (out.len(), e.stats().decisions)
+        };
+        let (n1, d1) = run(1);
+        let (n64, d64) = run(64);
+        assert_eq!(n1, 500);
+        assert_eq!(n64, 500, "batching never changes results");
+        assert!(
+            d64 * 4 < d1,
+            "batching should slash decisions: {d64} vs {d1}"
+        );
+    }
+
+    #[test]
+    fn operator_fixing_chains_filters() {
+        let mut e = EddyBuilder::new(vec![1], Box::new(FixedPolicy::new(vec![0, 1])))
+            .filter(FilterOp::new("f0", Expr::col(0).cmp(CmpOp::Ge, Expr::lit(10i64))))
+            .filter(FilterOp::new("f1", Expr::col(0).cmp(CmpOp::Lt, Expr::lit(20i64))))
+            .fix_ops(2)
+            .build();
+        for v in 0..30 {
+            e.submit(0, int_tuple(&[v], v));
+        }
+        let out = e.run();
+        assert_eq!(out.len(), 10);
+        // With fix_ops=2, each tuple takes one decision, not two.
+        assert_eq!(e.stats().decisions, 30);
+    }
+
+    #[test]
+    fn lottery_converges_to_selective_filter_first() {
+        // f0 passes 90%, f1 passes 10%: lottery should route most tuples
+        // to f1 first.
+        let mut e = EddyBuilder::new(vec![1], Box::new(LotteryPolicy::new(99)))
+            .filter(FilterOp::new("f0", Expr::col(0).cmp(CmpOp::Lt, Expr::lit(900i64))))
+            .filter(FilterOp::new("f1", Expr::col(0).cmp(CmpOp::Ge, Expr::lit(900i64))))
+            .build();
+        for round in 0..20 {
+            for v in 0..1000 {
+                e.push(0, int_tuple(&[v], round * 1000 + v));
+            }
+        }
+        let s = e.op_stats();
+        // f1 (selective) should have been visited more than f0: tuples
+        // dropped by f1 never reach f0.
+        assert!(
+            s[1].routed > s[0].routed,
+            "selective filter should be routed first (f0={}, f1={})",
+            s[0].routed,
+            s[1].routed
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Canonical column layouts for partial join results.
+//!
+//! A tuple routed by an Eddy may span any subset of the query's base
+//! streams, and the same logical result can be derived along different
+//! probe orders. To keep expressions evaluable regardless of derivation
+//! path, every partial result is stored in *canonical* layout: the
+//! columns of its component streams concatenated in ascending stream
+//! index. Predicates and projections are authored once against the *full*
+//! layout (all streams) and remapped onto a coverage's partial layout on
+//! demand.
+
+use tcq_common::{Expr, Tuple, Value};
+
+use crate::mask::Mask;
+
+/// Arities of the query's base streams and the derived offset tables.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    arities: Vec<usize>,
+    /// Offsets of each stream in the full layout.
+    full_offsets: Vec<usize>,
+    total: usize,
+}
+
+impl Layout {
+    /// A layout over streams with the given arities (stream index =
+    /// position in the slice).
+    pub fn new(arities: Vec<usize>) -> Layout {
+        let mut full_offsets = Vec::with_capacity(arities.len());
+        let mut acc = 0;
+        for &a in &arities {
+            full_offsets.push(acc);
+            acc += a;
+        }
+        Layout {
+            arities,
+            full_offsets,
+            total: acc,
+        }
+    }
+
+    /// Number of base streams.
+    pub fn stream_count(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// Arity of stream `s`.
+    pub fn arity(&self, s: usize) -> usize {
+        self.arities[s]
+    }
+
+    /// Total width of the full layout.
+    pub fn full_width(&self) -> usize {
+        self.total
+    }
+
+    /// Offset of stream `s`'s first column in the full layout.
+    pub fn full_offset(&self, s: usize) -> usize {
+        self.full_offsets[s]
+    }
+
+    /// The stream that owns full-layout column `col`.
+    pub fn stream_of_column(&self, col: usize) -> Option<usize> {
+        if col >= self.total {
+            return None;
+        }
+        // Streams are few (<= 64); linear scan is fine and branch-friendly.
+        let mut s = 0;
+        while s + 1 < self.arities.len() && self.full_offsets[s + 1] <= col {
+            s += 1;
+        }
+        Some(s)
+    }
+
+    /// The set of streams referenced by full-layout expression `expr`.
+    pub fn streams_of_expr(&self, expr: &Expr) -> Mask {
+        expr.columns()
+            .into_iter()
+            .filter_map(|c| self.stream_of_column(c))
+            .collect()
+    }
+
+    /// Offset of stream `s` within the partial layout for `coverage`
+    /// (which must contain `s`).
+    pub fn partial_offset(&self, coverage: Mask, s: usize) -> usize {
+        debug_assert!(coverage.contains(s));
+        coverage
+            .iter()
+            .take_while(|&i| i < s)
+            .map(|i| self.arities[i])
+            .sum()
+    }
+
+    /// Width of the partial layout for `coverage`.
+    pub fn partial_width(&self, coverage: Mask) -> usize {
+        coverage.iter().map(|i| self.arities[i]).sum()
+    }
+
+    /// Map a full-layout column index to its position in the partial
+    /// layout for `coverage`; `None` when the owning stream is not
+    /// covered.
+    pub fn full_to_partial(&self, coverage: Mask, col: usize) -> Option<usize> {
+        let s = self.stream_of_column(col)?;
+        if !coverage.contains(s) {
+            return None;
+        }
+        Some(self.partial_offset(coverage, s) + (col - self.full_offsets[s]))
+    }
+
+    /// Rewrite a full-layout expression onto the partial layout for
+    /// `coverage`; `None` when it references uncovered streams.
+    pub fn remap_expr(&self, coverage: Mask, expr: &Expr) -> Option<Expr> {
+        expr.remap_columns(&|c| self.full_to_partial(coverage, c))
+    }
+
+    /// Merge a partial result (`driver`, canonical for `coverage`) with a
+    /// singleton `matched` of stream `j` into the canonical layout for
+    /// `coverage ∪ {j}`.
+    pub fn merge(&self, driver: &Tuple, coverage: Mask, matched: &Tuple, j: usize) -> Tuple {
+        debug_assert!(!coverage.contains(j), "stream {j} already covered");
+        debug_assert_eq!(driver.arity(), self.partial_width(coverage));
+        debug_assert_eq!(matched.arity(), self.arities[j]);
+        let new_cov = coverage.with(j);
+        let mut fields: Vec<Value> = Vec::with_capacity(self.partial_width(new_cov));
+        let mut driver_pos = 0;
+        for s in new_cov.iter() {
+            if s == j {
+                fields.extend_from_slice(matched.fields());
+            } else {
+                let a = self.arities[s];
+                fields.extend_from_slice(&driver.fields()[driver_pos..driver_pos + a]);
+                driver_pos += a;
+            }
+        }
+        let ts = match driver.ts().partial_cmp(&matched.ts()) {
+            Some(std::cmp::Ordering::Less) => matched.ts(),
+            _ => driver.ts(),
+        };
+        Tuple::new(fields, ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::CmpOp;
+
+    /// Streams: 0 has 2 cols, 1 has 3 cols, 2 has 1 col.
+    fn layout() -> Layout {
+        Layout::new(vec![2, 3, 1])
+    }
+
+    #[test]
+    fn offsets_and_widths() {
+        let l = layout();
+        assert_eq!(l.full_width(), 6);
+        assert_eq!(l.full_offset(0), 0);
+        assert_eq!(l.full_offset(1), 2);
+        assert_eq!(l.full_offset(2), 5);
+        assert_eq!(l.stream_of_column(0), Some(0));
+        assert_eq!(l.stream_of_column(1), Some(0));
+        assert_eq!(l.stream_of_column(2), Some(1));
+        assert_eq!(l.stream_of_column(5), Some(2));
+        assert_eq!(l.stream_of_column(6), None);
+    }
+
+    #[test]
+    fn partial_layout_mapping() {
+        let l = layout();
+        // Coverage {1, 2}: layout is stream1 (3 cols) then stream2 (1).
+        let cov = Mask::from_iter([1, 2]);
+        assert_eq!(l.partial_width(cov), 4);
+        assert_eq!(l.partial_offset(cov, 1), 0);
+        assert_eq!(l.partial_offset(cov, 2), 3);
+        assert_eq!(l.full_to_partial(cov, 2), Some(0)); // stream1 col0
+        assert_eq!(l.full_to_partial(cov, 4), Some(2)); // stream1 col2
+        assert_eq!(l.full_to_partial(cov, 5), Some(3)); // stream2 col0
+        assert_eq!(l.full_to_partial(cov, 0), None); // stream0 uncovered
+    }
+
+    #[test]
+    fn expr_remapping_and_stream_sets() {
+        let l = layout();
+        // Full-layout expr: col2 (stream1) > col5 (stream2)
+        let e = Expr::col(2).cmp(CmpOp::Gt, Expr::col(5));
+        assert_eq!(l.streams_of_expr(&e), Mask::from_iter([1, 2]));
+        let cov = Mask::from_iter([1, 2]);
+        let remapped = l.remap_expr(cov, &e).unwrap();
+        assert_eq!(remapped.columns(), vec![0, 3]);
+        assert!(l.remap_expr(Mask::bit(1), &e).is_none());
+    }
+
+    #[test]
+    fn merge_produces_canonical_order() {
+        let l = layout();
+        // Driver covers stream 2 (1 col), matched is stream 0 (2 cols):
+        // result coverage {0,2} must lay out stream0 first.
+        let driver = Tuple::at_seq(vec![Value::Int(99)], 5);
+        let matched = Tuple::at_seq(vec![Value::Int(1), Value::Int(2)], 3);
+        let merged = l.merge(&driver, Mask::bit(2), &matched, 0);
+        assert_eq!(
+            merged.fields(),
+            &[Value::Int(1), Value::Int(2), Value::Int(99)]
+        );
+        assert_eq!(merged.ts().ticks(), 5, "later timestamp wins");
+    }
+
+    #[test]
+    fn merge_into_middle() {
+        let l = layout();
+        // Driver covers {0,2}; matched is stream 1 → canonical {0,1,2}.
+        let driver = Tuple::at_seq(vec![Value::Int(1), Value::Int(2), Value::Int(99)], 4);
+        let matched = Tuple::at_seq(vec![Value::Int(10), Value::Int(20), Value::Int(30)], 9);
+        let merged = l.merge(&driver, Mask::from_iter([0, 2]), &matched, 1);
+        assert_eq!(
+            merged.fields(),
+            &[
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(10),
+                Value::Int(20),
+                Value::Int(30),
+                Value::Int(99)
+            ]
+        );
+        assert_eq!(merged.ts().ticks(), 9);
+    }
+}

@@ -1,0 +1,78 @@
+//! # tcq-eddy
+//!
+//! Eddies: continuously adaptive tuple routing (§2.2 of the TelegraphCQ
+//! paper, after Avnur & Hellerstein \[AH00\] and Raman, Deshpande &
+//! Hellerstein \[RDH02\]).
+//!
+//! "The role of an Eddy is to continuously route tuples among a set of
+//! other modules according to a routing policy. ... This topology allows
+//! the Eddy to intercept tuples that flow into and out of these modules,
+//! observing the module behavior and choosing the order that tuples take
+//! through the modules."
+//!
+//! ## What lives here
+//!
+//! * [`mask::Mask`] — 64-bit sets used for stream coverage and module
+//!   lineage ("the state must indicate the set of connected modules
+//!   successfully visited by the tuple").
+//! * [`layout`] — canonical column layouts. Partial join results are
+//!   always laid out with their component streams in stream-index order,
+//!   so one full-layout expression serves every derivation path.
+//! * [`ops`] — the modules an Eddy routes among: [`ops::FilterOp`]
+//!   (pipelined selection, with optional artificial cost for
+//!   experiments) and [`ops::StemOp`] (probe into a [`tcq_stems::SteM`];
+//!   builds happen eagerly at submission, and a strictly-older-than-the-
+//!   driver match rule makes N-way join outputs exactly-once under *any*
+//!   routing order — the freedom that lets the Eddy adapt the join
+//!   spanning tree on the fly).
+//! * [`dupelim::DupElim`], [`juggle::Juggle`] and
+//!   [`transitive::TransitiveClosure`] — the `DupElim`, `Juggle` and
+//!   `TransitiveClosure` modules of the paper's Figure 1: windowed
+//!   duplicate elimination, online reordering by user interest \[RRH99\],
+//!   and incremental reachability over edge streams.
+//! * [`policy`] — routing policies: [`policy::FixedPolicy`] (a static
+//!   plan, the experimental baseline), [`policy::NaivePolicy`] (uniform
+//!   random), and [`policy::LotteryPolicy`] (the ticket scheme of \[AH00\],
+//!   with exponential decay so it re-adapts when selectivities drift).
+//! * [`eddy::Eddy`] — the router itself, including the §4.3 "adapting
+//!   adaptivity" knobs: tuple batching (one routing decision per batch)
+//!   and operator fixing (route through a fixed sequence of several
+//!   operators per decision).
+
+//!
+//! ## Example
+//!
+//! ```
+//! use tcq_eddy::{EddyBuilder, FilterOp, LotteryPolicy};
+//! use tcq_common::{CmpOp, Expr, Tuple, Value};
+//!
+//! // One stream, two commutative filters; the lottery policy learns
+//! // which to visit first.
+//! let mut eddy = EddyBuilder::new(vec![1], Box::new(LotteryPolicy::new(7)))
+//!     .filter(FilterOp::new("gt", Expr::col(0).cmp(CmpOp::Gt, Expr::lit(10i64))))
+//!     .filter(FilterOp::new("lt", Expr::col(0).cmp(CmpOp::Lt, Expr::lit(20i64))))
+//!     .build();
+//! let mut out = Vec::new();
+//! for v in 0..30i64 {
+//!     out.extend(eddy.push(0, Tuple::at_seq(vec![Value::Int(v)], v)));
+//! }
+//! assert_eq!(out.len(), 9); // 11..=19
+//! ```
+
+pub mod dupelim;
+pub mod eddy;
+pub mod juggle;
+pub mod transitive;
+pub mod layout;
+pub mod mask;
+pub mod ops;
+pub mod policy;
+
+pub use dupelim::DupElim;
+pub use transitive::TransitiveClosure;
+pub use eddy::{Eddy, EddyBuilder, EddyStats, OpStats};
+pub use juggle::Juggle;
+pub use layout::Layout;
+pub use mask::Mask;
+pub use ops::{EddyOp, FilterOp, StemOp};
+pub use policy::{FixedPolicy, LotteryPolicy, NaivePolicy, RoutingPolicy};

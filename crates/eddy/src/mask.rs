@@ -1,0 +1,168 @@
+//! Small fixed-capacity bitsets for coverage and lineage masks.
+
+use std::fmt;
+
+/// A set over indexes `0..64`, used for stream coverage ("which base
+/// streams does this partial result span") and module lineage ("which
+/// modules has this tuple visited").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Mask(pub u64);
+
+impl Mask {
+    /// The empty set.
+    pub const EMPTY: Mask = Mask(0);
+
+    /// The singleton `{i}`.
+    pub fn bit(i: usize) -> Mask {
+        debug_assert!(i < 64, "mask index {i} out of range");
+        Mask(1 << i)
+    }
+
+    /// The set `{0, 1, ..., n-1}`.
+    pub fn first_n(n: usize) -> Mask {
+        debug_assert!(n <= 64);
+        if n == 64 {
+            Mask(u64::MAX)
+        } else {
+            Mask((1u64 << n) - 1)
+        }
+    }
+
+    /// Whether `i` is in the set.
+    pub fn contains(self, i: usize) -> bool {
+        i < 64 && self.0 & (1 << i) != 0
+    }
+
+    /// The set with `i` added.
+    pub fn with(self, i: usize) -> Mask {
+        Mask(self.0 | (1 << i))
+    }
+
+    /// The set with `i` removed.
+    pub fn without(self, i: usize) -> Mask {
+        Mask(self.0 & !(1 << i))
+    }
+
+    /// Union.
+    pub fn union(self, other: Mask) -> Mask {
+        Mask(self.0 | other.0)
+    }
+
+    /// Intersection.
+    pub fn intersect(self, other: Mask) -> Mask {
+        Mask(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn minus(self, other: Mask) -> Mask {
+        Mask(self.0 & !other.0)
+    }
+
+    /// Whether every element of `other` is in `self`.
+    pub fn is_superset_of(self, other: Mask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of elements.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterate members in ascending order.
+    pub fn iter(self) -> MaskIter {
+        MaskIter(self.0)
+    }
+
+    /// The smallest member, if any.
+    pub fn first(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+}
+
+/// Iterator over set members.
+#[derive(Debug, Clone)]
+pub struct MaskIter(u64);
+
+impl Iterator for MaskIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(i)
+    }
+}
+
+impl fmt::Display for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (n, i) in self.iter().enumerate() {
+            if n > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl FromIterator<usize> for Mask {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Mask {
+        iter.into_iter().fold(Mask::EMPTY, Mask::with)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_ops() {
+        let m = Mask::bit(3).with(7);
+        assert!(m.contains(3));
+        assert!(m.contains(7));
+        assert!(!m.contains(5));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.without(3), Mask::bit(7));
+        assert!(Mask::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn union_intersect_minus_superset() {
+        let a = Mask::from_iter([0, 1, 2]);
+        let b = Mask::from_iter([2, 3]);
+        assert_eq!(a.union(b), Mask::from_iter([0, 1, 2, 3]));
+        assert_eq!(a.intersect(b), Mask::bit(2));
+        assert_eq!(a.minus(b), Mask::from_iter([0, 1]));
+        assert!(a.is_superset_of(Mask::from_iter([0, 2])));
+        assert!(!a.is_superset_of(b));
+    }
+
+    #[test]
+    fn first_n_and_iter() {
+        let m = Mask::first_n(4);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(Mask::first_n(64).len(), 64);
+        assert_eq!(Mask::first_n(0), Mask::EMPTY);
+        assert_eq!(m.first(), Some(0));
+        assert_eq!(Mask::EMPTY.first(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Mask::from_iter([1, 4]).to_string(), "{1,4}");
+        assert_eq!(Mask::EMPTY.to_string(), "{}");
+    }
+}

@@ -1,0 +1,203 @@
+//! A minimal cooperative scheduler for a set of dataflow modules.
+//!
+//! Modules in a [`Dataflow`] are stepped round-robin, mirroring how a
+//! single Execution Object interleaves its Dispatch Units. The scheduler
+//! tracks per-module step counts (useful for tests asserting fairness) and
+//! stops when every module reports [`StepResult::Done`], or when a full
+//! round produces no progress and `run_until_idle` was requested.
+
+use crate::module::{DataflowModule, StepResult};
+
+/// A set of modules driven cooperatively on the calling thread.
+pub struct Dataflow {
+    modules: Vec<Entry>,
+}
+
+struct Entry {
+    module: Box<dyn DataflowModule>,
+    done: bool,
+    steps: u64,
+}
+
+/// Why a run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every module reported `Done`.
+    AllDone,
+    /// A full round-robin pass made no progress (and not all are done).
+    Quiesced,
+    /// The step budget was exhausted.
+    BudgetExhausted,
+}
+
+impl Default for Dataflow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dataflow {
+    /// An empty dataflow.
+    pub fn new() -> Dataflow {
+        Dataflow {
+            modules: Vec::new(),
+        }
+    }
+
+    /// Add a module; returns its index for stats lookup.
+    pub fn add(&mut self, module: Box<dyn DataflowModule>) -> usize {
+        self.modules.push(Entry {
+            module,
+            done: false,
+            steps: 0,
+        });
+        self.modules.len() - 1
+    }
+
+    /// Number of modules.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// True iff no modules are registered.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// Steps taken by module `idx`.
+    pub fn steps_of(&self, idx: usize) -> u64 {
+        self.modules[idx].steps
+    }
+
+    /// Whether module `idx` has finished.
+    pub fn is_done(&self, idx: usize) -> bool {
+        self.modules[idx].done
+    }
+
+    /// One round-robin pass over all unfinished modules. Returns `true`
+    /// if any module progressed.
+    pub fn round(&mut self) -> bool {
+        let mut progressed = false;
+        for entry in &mut self.modules {
+            if entry.done {
+                continue;
+            }
+            entry.steps += 1;
+            match entry.module.step() {
+                StepResult::Progress => progressed = true,
+                StepResult::Idle => {}
+                StepResult::Done => entry.done = true,
+            }
+        }
+        progressed
+    }
+
+    /// True iff every module is done.
+    pub fn all_done(&self) -> bool {
+        self.modules.iter().all(|e| e.done)
+    }
+
+    /// Run until all modules are done or `max_rounds` passes elapse.
+    pub fn run_to_completion(&mut self, max_rounds: u64) -> RunOutcome {
+        for _ in 0..max_rounds {
+            self.round();
+            if self.all_done() {
+                return RunOutcome::AllDone;
+            }
+        }
+        if self.all_done() {
+            RunOutcome::AllDone
+        } else {
+            RunOutcome::BudgetExhausted
+        }
+    }
+
+    /// Run until all modules are done, or until `idle_rounds` consecutive
+    /// passes make no progress (quiescence — e.g. waiting on external
+    /// input), or the budget runs out.
+    pub fn run_until_idle(&mut self, idle_rounds: u32, max_rounds: u64) -> RunOutcome {
+        let mut idle = 0u32;
+        for _ in 0..max_rounds {
+            if self.round() {
+                idle = 0;
+            } else {
+                idle += 1;
+            }
+            if self.all_done() {
+                return RunOutcome::AllDone;
+            }
+            if idle >= idle_rounds {
+                return RunOutcome::Quiesced;
+            }
+        }
+        RunOutcome::BudgetExhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::FnModule;
+    use crate::queue::{DequeueResult, Fjord};
+
+    #[test]
+    fn pipeline_through_fjord_completes() {
+        let q: Fjord<i32> = Fjord::with_capacity(4);
+        let (qp, qc) = (q.clone(), q.clone());
+        let mut produced = 0;
+        let producer = FnModule::new("producer", move || {
+            if produced >= 10 {
+                qp.close();
+                return StepResult::Done;
+            }
+            if qp.try_enqueue(produced).is_ok() {
+                produced += 1;
+                StepResult::Progress
+            } else {
+                StepResult::Idle
+            }
+        });
+        let sum = std::sync::Arc::new(std::sync::atomic::AtomicI32::new(0));
+        let sum2 = sum.clone();
+        let consumer = FnModule::new("consumer", move || match qc.try_dequeue() {
+            DequeueResult::Item(v) => {
+                sum2.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                StepResult::Progress
+            }
+            DequeueResult::Empty => StepResult::Idle,
+            DequeueResult::Closed => StepResult::Done,
+        });
+
+        let mut flow = Dataflow::new();
+        flow.add(Box::new(producer));
+        flow.add(Box::new(consumer));
+        assert_eq!(flow.run_to_completion(1000), RunOutcome::AllDone);
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn quiescence_detected() {
+        let mut flow = Dataflow::new();
+        flow.add(Box::new(FnModule::new("stuck", || StepResult::Idle)));
+        assert_eq!(flow.run_until_idle(3, 1000), RunOutcome::Quiesced);
+        assert!(!flow.all_done());
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut flow = Dataflow::new();
+        flow.add(Box::new(FnModule::new("busy", || StepResult::Progress)));
+        assert_eq!(flow.run_to_completion(5), RunOutcome::BudgetExhausted);
+        assert_eq!(flow.steps_of(0), 5);
+    }
+
+    #[test]
+    fn done_modules_not_stepped_again() {
+        let mut flow = Dataflow::new();
+        let idx = flow.add(Box::new(FnModule::new("one-shot", || StepResult::Done)));
+        flow.round();
+        flow.round();
+        assert!(flow.is_done(idx));
+        assert_eq!(flow.steps_of(idx), 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! The non-preemptive module execution discipline.
+//!
+//! TelegraphCQ's executor schedules *Dispatch Units*: "non-preemptive ...
+//! they follow the Fjords model ... which gives us control over their
+//! scheduling" (§4.2.2). A [`DataflowModule`] does a bounded amount of
+//! work per [`step`](DataflowModule::step) call and reports whether it made
+//! progress, so a scheduler thread can interleave many modules without
+//! preemption and detect quiescence / completion.
+
+/// Outcome of one non-preemptive step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// Work was done; call again soon.
+    Progress,
+    /// Nothing to do right now (inputs empty / outputs full); the
+    /// scheduler may run other modules or yield.
+    Idle,
+    /// This module is finished: inputs exhausted and all output flushed.
+    /// It need never be stepped again.
+    Done,
+}
+
+impl StepResult {
+    /// True for [`StepResult::Progress`].
+    pub fn progressed(self) -> bool {
+        self == StepResult::Progress
+    }
+}
+
+/// A composable dataflow module: ingress wrapper, query operator, adaptive
+/// router, or egress — "architecturally, these modules are
+/// indistinguishable" (§2.1).
+pub trait DataflowModule: Send {
+    /// Perform a bounded amount of work: consume at most a handful of
+    /// input items and/or produce output, without blocking.
+    fn step(&mut self) -> StepResult;
+
+    /// Human-readable module name for diagnostics.
+    fn name(&self) -> &str {
+        "module"
+    }
+}
+
+impl<M: DataflowModule + ?Sized> DataflowModule for Box<M> {
+    fn step(&mut self) -> StepResult {
+        (**self).step()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// A module built from a closure; convenient in tests and small pipelines.
+pub struct FnModule<F> {
+    name: String,
+    f: F,
+}
+
+impl<F: FnMut() -> StepResult + Send> FnModule<F> {
+    /// Wrap `f` as a module called `name`.
+    pub fn new(name: impl Into<String>, f: F) -> FnModule<F> {
+        FnModule {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F: FnMut() -> StepResult + Send> DataflowModule for FnModule<F> {
+    fn step(&mut self) -> StepResult {
+        (self.f)()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_module_steps() {
+        let mut n = 0;
+        let mut m = FnModule::new("counter", move || {
+            n += 1;
+            if n < 3 {
+                StepResult::Progress
+            } else {
+                StepResult::Done
+            }
+        });
+        assert_eq!(m.name(), "counter");
+        assert_eq!(m.step(), StepResult::Progress);
+        assert_eq!(m.step(), StepResult::Progress);
+        assert_eq!(m.step(), StepResult::Done);
+    }
+
+    #[test]
+    fn boxed_module_dispatches() {
+        let mut m: Box<dyn DataflowModule> =
+            Box::new(FnModule::new("x", || StepResult::Idle));
+        assert_eq!(m.step(), StepResult::Idle);
+        assert_eq!(m.name(), "x");
+    }
+
+    #[test]
+    fn progressed_helper() {
+        assert!(StepResult::Progress.progressed());
+        assert!(!StepResult::Idle.progressed());
+        assert!(!StepResult::Done.progressed());
+    }
+}

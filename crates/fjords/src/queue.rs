@@ -1,0 +1,490 @@
+//! The Fjord queue and its push / pull / exchange typed facades.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Result of an enqueue attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum EnqueueResult<T> {
+    /// The item was accepted.
+    Ok,
+    /// The queue was full (non-blocking enqueue only); the item is handed
+    /// back so the producer can retry, spill, or shed it (QoS).
+    Full(T),
+    /// The queue is closed; the item is handed back.
+    Closed(T),
+}
+
+impl<T> EnqueueResult<T> {
+    /// True iff the item was accepted.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, EnqueueResult::Ok)
+    }
+}
+
+/// Result of a dequeue attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DequeueResult<T> {
+    /// An item.
+    Item(T),
+    /// Nothing available right now (non-blocking dequeue only): "control
+    /// is returned to the consumer when the queue is empty."
+    Empty,
+    /// The producer closed the queue and it has been drained: end of
+    /// stream.
+    Closed,
+}
+
+impl<T> DequeueResult<T> {
+    /// The item, if any.
+    pub fn into_item(self) -> Option<T> {
+        match self {
+            DequeueResult::Item(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    buf: Mutex<Inner<T>>,
+    /// Signalled when an item is added or the queue closes.
+    not_empty: Condvar,
+    /// Signalled when an item is removed or the queue closes.
+    not_full: Condvar,
+    capacity: usize,
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue with blocking and non-blocking endpoints and an
+/// end-of-stream signal.
+///
+/// Handles are cheaply cloneable; all clones share the buffer. Capacity is
+/// fixed at construction — bounding queues is what turns a fast producer
+/// into observable backpressure (pull mode) or an explicit `Full` result
+/// that QoS policy can act on (push mode).
+#[derive(Debug)]
+pub struct Fjord<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Fjord<T> {
+    fn clone(&self) -> Self {
+        Fjord {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Fjord<T> {
+    /// A queue holding at most `capacity` items (min 1).
+    pub fn with_capacity(capacity: usize) -> Fjord<T> {
+        Fjord {
+            shared: Arc::new(Shared {
+                buf: Mutex::new(Inner {
+                    items: VecDeque::with_capacity(capacity.max(1)),
+                    closed: false,
+                }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+                capacity: capacity.max(1),
+                enqueued: AtomicU64::new(0),
+                dequeued: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Non-blocking enqueue (push modality).
+    pub fn try_enqueue(&self, item: T) -> EnqueueResult<T> {
+        let mut inner = self.shared.buf.lock();
+        if inner.closed {
+            return EnqueueResult::Closed(item);
+        }
+        if inner.items.len() >= self.shared.capacity {
+            return EnqueueResult::Full(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.shared.not_empty.notify_one();
+        EnqueueResult::Ok
+    }
+
+    /// Blocking enqueue (pull modality): waits for space. Returns the item
+    /// back only if the queue closes while waiting.
+    pub fn enqueue_blocking(&self, item: T) -> EnqueueResult<T> {
+        let mut inner = self.shared.buf.lock();
+        loop {
+            if inner.closed {
+                return EnqueueResult::Closed(item);
+            }
+            if inner.items.len() < self.shared.capacity {
+                inner.items.push_back(item);
+                drop(inner);
+                self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
+                self.shared.not_empty.notify_one();
+                return EnqueueResult::Ok;
+            }
+            self.shared.not_full.wait(&mut inner);
+        }
+    }
+
+    /// Non-blocking dequeue (push modality): `Empty` when nothing is
+    /// buffered, so the consumer "can pursue other computation or yield
+    /// the processor."
+    pub fn try_dequeue(&self) -> DequeueResult<T> {
+        let mut inner = self.shared.buf.lock();
+        match inner.items.pop_front() {
+            Some(t) => {
+                drop(inner);
+                self.shared.dequeued.fetch_add(1, Ordering::Relaxed);
+                self.shared.not_full.notify_one();
+                DequeueResult::Item(t)
+            }
+            None if inner.closed => DequeueResult::Closed,
+            None => DequeueResult::Empty,
+        }
+    }
+
+    /// Blocking dequeue (pull modality): waits until an item arrives or
+    /// the queue is closed and drained.
+    pub fn dequeue_blocking(&self) -> DequeueResult<T> {
+        let mut inner = self.shared.buf.lock();
+        loop {
+            if let Some(t) = inner.items.pop_front() {
+                drop(inner);
+                self.shared.dequeued.fetch_add(1, Ordering::Relaxed);
+                self.shared.not_full.notify_one();
+                return DequeueResult::Item(t);
+            }
+            if inner.closed {
+                return DequeueResult::Closed;
+            }
+            self.shared.not_empty.wait(&mut inner);
+        }
+    }
+
+    /// Signal end of stream. Buffered items remain dequeueable; further
+    /// enqueues are rejected; blocked endpoints wake up.
+    pub fn close(&self) {
+        let mut inner = self.shared.buf.lock();
+        inner.closed = true;
+        drop(inner);
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+
+    /// Whether the queue has been closed (items may still be buffered).
+    pub fn is_closed(&self) -> bool {
+        self.shared.buf.lock().closed
+    }
+
+    /// Whether the stream has fully ended: closed *and* drained.
+    pub fn is_finished(&self) -> bool {
+        let inner = self.shared.buf.lock();
+        inner.closed && inner.items.is_empty()
+    }
+
+    /// Number of items currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.buf.lock().items.len()
+    }
+
+    /// True iff no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Total items ever enqueued (load monitoring: Flux and QoS read this).
+    pub fn total_enqueued(&self) -> u64 {
+        self.shared.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Total items ever dequeued.
+    pub fn total_dequeued(&self) -> u64 {
+        self.shared.dequeued.load(Ordering::Relaxed)
+    }
+
+    /// Wrap as a push-queue facade.
+    pub fn as_push(&self) -> PushQueue<T> {
+        PushQueue {
+            inner: self.clone(),
+        }
+    }
+
+    /// Wrap as a pull-queue facade.
+    pub fn as_pull(&self) -> PullQueue<T> {
+        PullQueue {
+            inner: self.clone(),
+        }
+    }
+
+    /// Wrap as an exchange facade (non-blocking enqueue, blocking
+    /// dequeue).
+    pub fn as_exchange(&self) -> ExchangeQueue<T> {
+        ExchangeQueue {
+            inner: self.clone(),
+        }
+    }
+}
+
+/// Push-queue facade: non-blocking on both ends.
+#[derive(Debug, Clone)]
+pub struct PushQueue<T> {
+    inner: Fjord<T>,
+}
+
+impl<T> PushQueue<T> {
+    /// Non-blocking enqueue.
+    pub fn enqueue(&self, item: T) -> EnqueueResult<T> {
+        self.inner.try_enqueue(item)
+    }
+
+    /// Non-blocking dequeue.
+    pub fn dequeue(&self) -> DequeueResult<T> {
+        self.inner.try_dequeue()
+    }
+
+    /// Close the stream.
+    pub fn close(&self) {
+        self.inner.close()
+    }
+
+    /// The underlying queue (for stats).
+    pub fn fjord(&self) -> &Fjord<T> {
+        &self.inner
+    }
+}
+
+/// Pull-queue facade: blocking on both ends.
+#[derive(Debug, Clone)]
+pub struct PullQueue<T> {
+    inner: Fjord<T>,
+}
+
+impl<T> PullQueue<T> {
+    /// Blocking enqueue.
+    pub fn enqueue(&self, item: T) -> EnqueueResult<T> {
+        self.inner.enqueue_blocking(item)
+    }
+
+    /// Blocking dequeue.
+    pub fn dequeue(&self) -> DequeueResult<T> {
+        self.inner.dequeue_blocking()
+    }
+
+    /// Close the stream.
+    pub fn close(&self) {
+        self.inner.close()
+    }
+
+    /// The underlying queue (for stats).
+    pub fn fjord(&self) -> &Fjord<T> {
+        &self.inner
+    }
+}
+
+/// Exchange facade \[Graf93\]: producer enqueues without blocking, consumer
+/// blocks until data is available.
+#[derive(Debug, Clone)]
+pub struct ExchangeQueue<T> {
+    inner: Fjord<T>,
+}
+
+impl<T> ExchangeQueue<T> {
+    /// Non-blocking enqueue.
+    pub fn enqueue(&self, item: T) -> EnqueueResult<T> {
+        self.inner.try_enqueue(item)
+    }
+
+    /// Blocking dequeue.
+    pub fn dequeue(&self) -> DequeueResult<T> {
+        self.inner.dequeue_blocking()
+    }
+
+    /// Close the stream.
+    pub fn close(&self) {
+        self.inner.close()
+    }
+
+    /// The underlying queue (for stats).
+    pub fn fjord(&self) -> &Fjord<T> {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn try_ops_round_trip() {
+        let q: Fjord<i32> = Fjord::with_capacity(2);
+        assert!(q.try_enqueue(1).is_ok());
+        assert!(q.try_enqueue(2).is_ok());
+        assert_eq!(q.try_enqueue(3), EnqueueResult::Full(3));
+        assert_eq!(q.try_dequeue(), DequeueResult::Item(1));
+        assert_eq!(q.try_dequeue(), DequeueResult::Item(2));
+        assert_eq!(q.try_dequeue(), DequeueResult::Empty);
+    }
+
+    #[test]
+    fn close_rejects_enqueue_but_drains() {
+        let q: Fjord<i32> = Fjord::with_capacity(4);
+        q.try_enqueue(1);
+        q.close();
+        assert_eq!(q.try_enqueue(2), EnqueueResult::Closed(2));
+        assert_eq!(q.try_dequeue(), DequeueResult::Item(1));
+        assert_eq!(q.try_dequeue(), DequeueResult::Closed);
+        assert!(q.is_finished());
+    }
+
+    #[test]
+    fn blocking_dequeue_waits_for_producer() {
+        let q: Fjord<i32> = Fjord::with_capacity(1);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.dequeue_blocking());
+        thread::sleep(Duration::from_millis(20));
+        q.try_enqueue(42);
+        assert_eq!(h.join().unwrap(), DequeueResult::Item(42));
+    }
+
+    #[test]
+    fn blocking_enqueue_waits_for_space() {
+        let q: Fjord<i32> = Fjord::with_capacity(1);
+        q.try_enqueue(1);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.enqueue_blocking(2));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.try_dequeue(), DequeueResult::Item(1));
+        assert!(h.join().unwrap().is_ok());
+        assert_eq!(q.try_dequeue(), DequeueResult::Item(2));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q: Fjord<i32> = Fjord::with_capacity(1);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.dequeue_blocking());
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), DequeueResult::Closed);
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer() {
+        let q: Fjord<i32> = Fjord::with_capacity(1);
+        q.try_enqueue(1);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.enqueue_blocking(2));
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), EnqueueResult::Closed(2));
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let q: Fjord<i32> = Fjord::with_capacity(8);
+        for i in 0..5 {
+            q.try_enqueue(i);
+        }
+        q.try_dequeue();
+        q.try_dequeue();
+        assert_eq!(q.total_enqueued(), 5);
+        assert_eq!(q.total_dequeued(), 2);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.capacity(), 8);
+    }
+
+    #[test]
+    fn facades_expose_right_modality() {
+        let q: Fjord<i32> = Fjord::with_capacity(1);
+        let push = q.as_push();
+        let pull = q.as_pull();
+        assert!(push.enqueue(1).is_ok());
+        assert_eq!(push.enqueue(2), EnqueueResult::Full(2));
+        assert_eq!(pull.dequeue(), DequeueResult::Item(1));
+        assert_eq!(push.dequeue(), DequeueResult::Empty);
+    }
+
+    #[test]
+    fn exchange_semantics() {
+        let q: Fjord<i32> = Fjord::with_capacity(2);
+        let ex = q.as_exchange();
+        let ex2 = ex.clone();
+        let h = thread::spawn(move || ex2.dequeue());
+        thread::sleep(Duration::from_millis(20));
+        assert!(ex.enqueue(7).is_ok());
+        assert_eq!(h.join().unwrap(), DequeueResult::Item(7));
+    }
+
+    #[test]
+    fn mpmc_under_contention_loses_nothing() {
+        let q: Fjord<u64> = Fjord::with_capacity(64);
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        let mut item = p * 1000 + i;
+                        loop {
+                            match q.try_enqueue(item) {
+                                EnqueueResult::Ok => break,
+                                EnqueueResult::Full(t) => {
+                                    item = t;
+                                    thread::yield_now();
+                                }
+                                EnqueueResult::Closed(_) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match q.dequeue_blocking() {
+                            DequeueResult::Item(t) => got.push(t),
+                            DequeueResult::Closed => return got,
+                            DequeueResult::Empty => unreachable!(),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..1000u64).map(move |i| p * 1000 + i))
+            .collect();
+        assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,56 @@
+//! # tcq-flux
+//!
+//! Flux: the Fault-tolerant, Load-balancing eXchange (§2.4 of the
+//! TelegraphCQ paper, after Shah, Hellerstein, Chandrasekaran & Franklin
+//! \[SHCF03\]).
+//!
+//! "Flux is a generalization of the Exchange module and ... is an opaque
+//! dataflow module interposed between a producer-consumer operator pair
+//! in a pipelined, partitioned dataflow. In addition to the data
+//! partitioning and routing functions of the Exchange, Flux provides two
+//! additional features: load balancing and fault tolerance."
+//!
+//! ## The simulated cluster
+//!
+//! The paper runs Flux on a shared-nothing cluster. Here each "machine"
+//! is an in-process state container with its own copy of the consumer
+//! operator's partitioned state and a configurable *speed* factor
+//! (heterogeneous machines make load imbalance visible). This exercises
+//! the identical protocol code paths — partition maps, state movement,
+//! replica promotion — with deterministic, testable behaviour; see
+//! DESIGN.md §2 for the substitution argument.
+//!
+//! * [`op::PartitionedOp`] — a consumer operator whose state is
+//!   partitioned and *movable*: it can drain a partition's state on one
+//!   machine and install it on another. [`op::GroupCount`] (streaming
+//!   group-by count) ships as the workhorse implementation.
+//! * [`cluster::FluxCluster`] — the exchange itself: hash-partitions
+//!   inputs over many mini-partitions, maps mini-partitions to machines,
+//!   tracks per-machine load, performs **online repartitioning**
+//!   (greedy move of hot partitions from the most- to the least-loaded
+//!   machine, via the state-movement protocol), and offers per-partition
+//!   **replication** with process-pair-style takeover on machine failure.
+
+//!
+//! ## Example
+//!
+//! ```
+//! use tcq_flux::{FluxCluster, GroupCount};
+//! use tcq_common::{Tuple, Value};
+//!
+//! let mut cluster = FluxCluster::new(3, 16, &GroupCount::new(vec![0]), vec![0], true);
+//! for i in 0..1000i64 {
+//!     cluster.route(0, &Tuple::at_seq(vec![Value::Int(i % 10)], i)).unwrap();
+//! }
+//! cluster.kill_machine(1).unwrap(); // replicas take over
+//! let total: i64 = cluster.snapshot().iter()
+//!     .map(|t| t.field(1).as_int().unwrap())
+//!     .sum();
+//! assert_eq!(total, 1000);
+//! ```
+
+pub mod cluster;
+pub mod op;
+
+pub use cluster::{ClusterStats, FluxCluster};
+pub use op::{GroupCount, PartitionedOp, WindowJoinOp};

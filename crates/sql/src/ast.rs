@@ -1,0 +1,139 @@
+//! Abstract syntax for CQ-SQL queries.
+
+use tcq_common::{BinOp, CmpOp, Value};
+
+/// An unresolved scalar expression (column names, not positions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// `[qualifier.]name`
+    Column {
+        /// Optional relation qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// A constant.
+    Literal(Value),
+    /// Comparison.
+    Cmp(CmpOp, Box<AstExpr>, Box<AstExpr>),
+    /// Arithmetic.
+    Arith(BinOp, Box<AstExpr>, Box<AstExpr>),
+    /// Conjunction.
+    And(Box<AstExpr>, Box<AstExpr>),
+    /// Disjunction.
+    Or(Box<AstExpr>, Box<AstExpr>),
+    /// Negation.
+    Not(Box<AstExpr>),
+    /// `expr IS NULL` / `expr IS NOT NULL` (the latter parses as
+    /// `Not(IsNull(..))`).
+    IsNull(Box<AstExpr>),
+    /// Unary minus.
+    Neg(Box<AstExpr>),
+}
+
+/// One item in the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// A scalar expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: AstExpr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+    /// An aggregate call `AGG(expr)` or `COUNT(*)`.
+    Agg {
+        /// Function name (validated by the planner).
+        func: String,
+        /// Argument; `None` for `COUNT(*)`.
+        arg: Option<AstExpr>,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A FROM-list entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// Stream or table name.
+    pub name: String,
+    /// Optional alias (defaults to the name).
+    pub alias: Option<String>,
+}
+
+/// The for-loop continuation condition, syntactically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstLoopCond {
+    /// Empty condition: run forever.
+    Forever,
+    /// `t < n`
+    Lt(i64),
+    /// `t <= n`
+    Le(i64),
+    /// `t == n` (the paper's snapshot idiom).
+    EqOnce(i64),
+}
+
+/// The for-loop increment, syntactically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstLoopStep {
+    /// `t++` / `t += n` / `t--` / `t -= n`
+    Add(i64),
+    /// `t = n` (the paper's snapshot idiom uses `t = -1` to terminate).
+    Set(i64),
+}
+
+/// A window bound: `coeff * t + offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AstBound {
+    /// Multiplier on `t` (0 for constants).
+    pub coeff: i64,
+    /// Constant offset.
+    pub offset: i64,
+}
+
+/// A `WindowIs(stream, left, right)` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstWindowIs {
+    /// Stream name or alias.
+    pub stream: String,
+    /// Left (older) bound.
+    pub left: AstBound,
+    /// Right (newer) bound.
+    pub right: AstBound,
+}
+
+/// The whole for-loop clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstForLoop {
+    /// Initial `t` (defaults to 0 when omitted).
+    pub init: i64,
+    /// Continuation condition.
+    pub cond: AstLoopCond,
+    /// Per-iteration change.
+    pub step: AstLoopStep,
+    /// Window declarations.
+    pub windows: Vec<AstWindowIs>,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAst {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// SELECT list.
+    pub select: Vec<SelectItem>,
+    /// FROM list.
+    pub from: Vec<FromItem>,
+    /// WHERE clause.
+    pub where_clause: Option<AstExpr>,
+    /// GROUP BY columns.
+    pub group_by: Vec<AstExpr>,
+    /// ORDER BY items: output column name (or 1-based position) and
+    /// descending flag.
+    pub order_by: Vec<(AstExpr, bool)>,
+    /// Optional windowing clause.
+    pub window: Option<AstForLoop>,
+}

@@ -1,0 +1,42 @@
+//! # tcq-stems
+//!
+//! State Modules (SteMs) — §2.2 of the TelegraphCQ paper, after Raman,
+//! Deshpande & Hellerstein \[RDH02\].
+//!
+//! "A SteM is a temporary repository of tuples, essentially corresponding
+//! to half of a traditional join operator. It stores homogeneous tuples
+//! ... and supports insert (build), search (probe), and optionally delete
+//! (eviction) operations."
+//!
+//! * [`SteM`] is the repository itself, with a hash index on the join
+//!   attributes, arrival-ordered storage, explicit deletion, and
+//!   window-based eviction (needed for joins over unbounded streams).
+//! * [`SymmetricHashJoin`] composes two SteMs into the dataflow of the
+//!   paper's Figure 2: an arriving tuple is *built* into its own side's
+//!   SteM and then *probed* against the other side's.
+//! * [`AsyncIndexJoin`] is the paper's second SteM example: a join against
+//!   a remote index, with a *rendezvous buffer* SteM holding probes
+//!   pending asynchronous index responses \[GW00\] and a *cache* SteM
+//!   remembering earlier expensive lookups \[HN96\].
+
+//!
+//! ## Example
+//!
+//! ```
+//! use tcq_stems::{Key, SteM};
+//! use tcq_common::{Tuple, Value};
+//!
+//! let mut stem = SteM::new("stocks", vec![0]);
+//! stem.build(Tuple::at_seq(vec![Value::str("MSFT"), Value::Float(57.0)], 1));
+//! stem.build(Tuple::at_seq(vec![Value::str("IBM"), Value::Float(90.0)], 2));
+//! let hits = stem.probe(&Key::from_values(&[Value::str("MSFT")]));
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+pub mod async_index;
+pub mod stem;
+pub mod sym_join;
+
+pub use async_index::{AsyncIndexJoin, IndexSource};
+pub use stem::{Key, SteM, SteMStats};
+pub use sym_join::SymmetricHashJoin;

@@ -1,0 +1,489 @@
+//! The State Module: an indexed temporary repository of homogeneous tuples.
+
+use std::collections::{HashMap, VecDeque};
+
+use tcq_common::value::KeyRepr;
+use tcq_common::{Timestamp, Tuple, Value};
+
+/// A normalized join/lookup key: one [`KeyRepr`] per key column.
+///
+/// Keys are equality-consistent with [`Value::sql_eq`] for non-NULL
+/// values; a key containing NULL never matches anything (SQL join
+/// semantics), which [`SteM::probe`] enforces explicitly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Key(Vec<KeyRepr>);
+
+impl Key {
+    /// Build a key from the values at `cols` within `tuple`.
+    pub fn from_tuple(tuple: &Tuple, cols: &[usize]) -> Key {
+        Key(cols.iter().map(|&c| tuple.field(c).key_bytes()).collect())
+    }
+
+    /// Build a key directly from values.
+    pub fn from_values(values: &[Value]) -> Key {
+        Key(values.iter().map(Value::key_bytes).collect())
+    }
+
+    /// Whether any component is NULL (such keys never join).
+    pub fn has_null(&self) -> bool {
+        self.0.iter().any(|k| matches!(k, KeyRepr::Null))
+    }
+}
+
+/// Counters exposed for routing policies and experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SteMStats {
+    /// Tuples inserted over the SteM's lifetime.
+    pub builds: u64,
+    /// Probe operations served.
+    pub probes: u64,
+    /// Matches returned across all probes.
+    pub matches: u64,
+    /// Tuples removed by eviction or deletion.
+    pub evicted: u64,
+}
+
+/// One hash index over the stored tuples.
+#[derive(Debug)]
+struct IndexDef {
+    cols: Vec<usize>,
+    /// key → posting list of insertion ids (may contain dead ids; cleaned
+    /// lazily).
+    map: HashMap<Key, Vec<u64>>,
+}
+
+/// A temporary repository of homogeneous tuples with one or more hash
+/// indexes.
+///
+/// "In order to speed processing, SteMs can be augmented with indexes."
+/// A SteM always has a primary index (the join attributes given at
+/// construction); secondary indexes ([`SteM::add_index`]) serve probes
+/// arriving along other join edges — e.g. in a chain join `S ⋈ T ⋈ U`,
+/// the T SteM is probed on `T.k1` by S-side tuples and on `T.k2` by
+/// U-side tuples.
+///
+/// Storage is arrival-ordered; because stream timestamps are monotone per
+/// source, window eviction ([`SteM::evict_before`]) pops from the front.
+/// Index postings are cleaned lazily: eviction marks tuples dead by id,
+/// probes skip dead ids, and postings lists are compacted when more than
+/// half their entries are dead.
+#[derive(Debug)]
+pub struct SteM {
+    name: String,
+    indexes: Vec<IndexDef>,
+    /// Live tuples by insertion id.
+    live: HashMap<u64, Tuple>,
+    /// Insertion order (ids), oldest first.
+    arrival: VecDeque<u64>,
+    next_id: u64,
+    stats: SteMStats,
+}
+
+impl SteM {
+    /// A SteM named `name` (for diagnostics) with a primary index on
+    /// `key_cols` of the stored tuples.
+    pub fn new(name: impl Into<String>, key_cols: Vec<usize>) -> SteM {
+        SteM {
+            name: name.into(),
+            indexes: vec![IndexDef {
+                cols: key_cols,
+                map: HashMap::new(),
+            }],
+            live: HashMap::new(),
+            arrival: VecDeque::new(),
+            next_id: 0,
+            stats: SteMStats::default(),
+        }
+    }
+
+    /// Add a secondary index over `cols`. Existing tuples are backfilled.
+    /// Returns the index number for use with [`SteM::probe_on`].
+    pub fn add_index(&mut self, cols: Vec<usize>) -> usize {
+        let mut map: HashMap<Key, Vec<u64>> = HashMap::new();
+        for &id in &self.arrival {
+            if let Some(t) = self.live.get(&id) {
+                map.entry(Key::from_tuple(t, &cols)).or_default().push(id);
+            }
+        }
+        self.indexes.push(IndexDef { cols, map });
+        self.indexes.len() - 1
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The primary index's key columns.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.indexes[0].cols
+    }
+
+    /// The key columns of index `idx`.
+    pub fn index_cols(&self, idx: usize) -> &[usize] {
+        &self.indexes[idx].cols
+    }
+
+    /// Number of indexes (including the primary).
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True iff no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> SteMStats {
+        self.stats
+    }
+
+    /// Approximate heap footprint of the stored tuples, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.live.values().map(Tuple::approx_bytes).sum()
+    }
+
+    /// Insert (build) a tuple. Returns its insertion id, usable with
+    /// [`SteM::delete`].
+    pub fn build(&mut self, tuple: Tuple) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        for idx in &mut self.indexes {
+            let key = Key::from_tuple(&tuple, &idx.cols);
+            idx.map.entry(key).or_default().push(id);
+        }
+        self.arrival.push_back(id);
+        self.live.insert(id, tuple);
+        self.stats.builds += 1;
+        id
+    }
+
+    /// Search (probe) the primary index: all live tuples whose key
+    /// columns equal `key`. A key containing NULL matches nothing.
+    pub fn probe(&mut self, key: &Key) -> Vec<Tuple> {
+        self.probe_on(0, key)
+    }
+
+    /// Probe the primary index with the key taken from `probe`'s columns
+    /// `probe_cols`.
+    pub fn probe_tuple(&mut self, probe: &Tuple, probe_cols: &[usize]) -> Vec<Tuple> {
+        let key = Key::from_tuple(probe, probe_cols);
+        self.probe(&key)
+    }
+
+    /// Search (probe) index `idx`.
+    pub fn probe_on(&mut self, idx: usize, key: &Key) -> Vec<Tuple> {
+        self.probe_entries_on(idx, key)
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect()
+    }
+
+    /// Like [`SteM::probe`], but returns `(insertion id, tuple)` pairs.
+    /// Eddies use the insertion id to enforce exactly-once join output
+    /// (a probe only matches entries built before the probing tuple's
+    /// arrival).
+    pub fn probe_entries(&mut self, key: &Key) -> Vec<(u64, Tuple)> {
+        self.probe_entries_on(0, key)
+    }
+
+    /// Entry-level probe of index `idx`.
+    pub fn probe_entries_on(&mut self, idx: usize, key: &Key) -> Vec<(u64, Tuple)> {
+        self.stats.probes += 1;
+        if key.has_null() {
+            return Vec::new();
+        }
+        let index = &mut self.indexes[idx];
+        let Some(postings) = index.map.get_mut(key) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut dead = 0usize;
+        for &id in postings.iter() {
+            match self.live.get(&id) {
+                Some(t) => out.push((id, t.clone())),
+                None => dead += 1,
+            }
+        }
+        if dead * 2 > postings.len() {
+            let live = &self.live;
+            postings.retain(|id| live.contains_key(id));
+            if postings.is_empty() {
+                index.map.remove(key);
+            }
+        }
+        self.stats.matches += out.len() as u64;
+        out
+    }
+
+    /// Delete one tuple by insertion id. Returns it if it was live.
+    pub fn delete(&mut self, id: u64) -> Option<Tuple> {
+        let t = self.live.remove(&id);
+        if t.is_some() {
+            self.stats.evicted += 1;
+        }
+        t
+    }
+
+    /// Window eviction: drop all tuples with timestamp strictly before
+    /// `bound` (same time domain). Returns the number evicted.
+    ///
+    /// Relies on per-source monotone timestamps, so scanning stops at the
+    /// first surviving tuple.
+    pub fn evict_before(&mut self, bound: Timestamp) -> usize {
+        let mut n = 0;
+        while let Some(&id) = self.arrival.front() {
+            // Ids for already-deleted tuples are popped for free.
+            match self.live.get(&id) {
+                None => {
+                    self.arrival.pop_front();
+                }
+                Some(t) => {
+                    if matches!(
+                        t.ts().partial_cmp(&bound),
+                        Some(std::cmp::Ordering::Less)
+                    ) {
+                        self.live.remove(&id);
+                        self.arrival.pop_front();
+                        n += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        self.stats.evicted += n as u64;
+        n
+    }
+
+    /// The smallest live insertion id, if any. Lets callers that keep
+    /// per-entry side tables (e.g. arrival sequence numbers) prune them
+    /// after eviction.
+    pub fn oldest_live_id(&mut self) -> Option<u64> {
+        while let Some(&id) = self.arrival.front() {
+            if self.live.contains_key(&id) {
+                return Some(id);
+            }
+            self.arrival.pop_front();
+        }
+        None
+    }
+
+    /// Iterate all live tuples in arrival order.
+    pub fn scan(&self) -> impl Iterator<Item = &Tuple> {
+        self.arrival.iter().filter_map(move |id| self.live.get(id))
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.stats.evicted += self.live.len() as u64;
+        self.live.clear();
+        self.arrival.clear();
+        for idx in &mut self.indexes {
+            idx.map.clear();
+        }
+    }
+
+    /// Drain all live tuples out of the SteM in arrival order, leaving it
+    /// empty. Used by Flux state movement when a partition migrates.
+    pub fn drain_all(&mut self) -> Vec<Tuple> {
+        let out: Vec<Tuple> = self
+            .arrival
+            .iter()
+            .filter_map(|id| self.live.get(id).cloned())
+            .collect();
+        // Drained state is moved, not evicted: bypass the eviction stat.
+        self.live.clear();
+        self.arrival.clear();
+        for idx in &mut self.indexes {
+            idx.map.clear();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(sym: &str, price: f64, seq: i64) -> Tuple {
+        Tuple::at_seq(vec![Value::str(sym), Value::Float(price)], seq)
+    }
+
+    #[test]
+    fn build_then_probe_matches_by_key() {
+        let mut s = SteM::new("stocks", vec![0]);
+        s.build(row("MSFT", 50.0, 1));
+        s.build(row("IBM", 80.0, 2));
+        s.build(row("MSFT", 51.0, 3));
+        let hits = s.probe(&Key::from_values(&[Value::str("MSFT")]));
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|t| t.field(0) == &Value::str("MSFT")));
+        assert_eq!(s.probe(&Key::from_values(&[Value::str("AAPL")])).len(), 0);
+    }
+
+    #[test]
+    fn secondary_index_probes() {
+        let mut s = SteM::new("t", vec![0]);
+        s.build(row("A", 1.5, 1));
+        let idx = s.add_index(vec![1]);
+        s.build(row("B", 1.5, 2));
+        // Probe on price via the secondary index finds both (one
+        // backfilled, one inserted after).
+        let hits = s.probe_on(idx, &Key::from_values(&[Value::Float(1.5)]));
+        assert_eq!(hits.len(), 2);
+        // Primary index still works.
+        assert_eq!(s.probe(&Key::from_values(&[Value::str("B")])).len(), 1);
+    }
+
+    #[test]
+    fn secondary_index_respects_eviction() {
+        let mut s = SteM::new("t", vec![0]);
+        let idx = s.add_index(vec![1]);
+        for i in 1..=6 {
+            s.build(row("X", 9.0, i));
+        }
+        s.evict_before(Timestamp::logical(4));
+        assert_eq!(
+            s.probe_on(idx, &Key::from_values(&[Value::Float(9.0)])).len(),
+            3
+        );
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let mut s = SteM::new("s", vec![0]);
+        s.build(Tuple::at_seq(vec![Value::Null], 1));
+        assert_eq!(s.probe(&Key::from_values(&[Value::Null])).len(), 0);
+    }
+
+    #[test]
+    fn numeric_key_coercion() {
+        let mut s = SteM::new("s", vec![0]);
+        s.build(Tuple::at_seq(vec![Value::Int(2)], 1));
+        // Float 2.0 probes hit Int 2 builds (sql_eq-consistent keys).
+        assert_eq!(s.probe(&Key::from_values(&[Value::Float(2.0)])).len(), 1);
+    }
+
+    #[test]
+    fn delete_removes_and_reports() {
+        let mut s = SteM::new("s", vec![0]);
+        let id = s.build(row("A", 1.0, 1));
+        assert!(s.delete(id).is_some());
+        assert!(s.delete(id).is_none());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.probe(&Key::from_values(&[Value::str("A")])).len(), 0);
+    }
+
+    #[test]
+    fn window_eviction_drops_old_tuples_only() {
+        let mut s = SteM::new("s", vec![0]);
+        for i in 1..=10 {
+            s.build(row("A", i as f64, i));
+        }
+        let n = s.evict_before(Timestamp::logical(6));
+        assert_eq!(n, 5);
+        assert_eq!(s.len(), 5);
+        let hits = s.probe(&Key::from_values(&[Value::str("A")]));
+        assert!(hits.iter().all(|t| t.ts().ticks() >= 6));
+    }
+
+    #[test]
+    fn eviction_across_domains_is_a_no_op() {
+        let mut s = SteM::new("s", vec![0]);
+        s.build(row("A", 1.0, 1));
+        // Physical-domain bound cannot order against logical stamps.
+        assert_eq!(s.evict_before(Timestamp::physical(100)), 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn scan_is_arrival_ordered_and_skips_deleted() {
+        let mut s = SteM::new("s", vec![0]);
+        let a = s.build(row("A", 1.0, 1));
+        s.build(row("B", 2.0, 2));
+        s.build(row("C", 3.0, 3));
+        s.delete(a);
+        let seen: Vec<i64> = s.scan().map(|t| t.ts().ticks()).collect();
+        assert_eq!(seen, vec![2, 3]);
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let mut s = SteM::new("s", vec![0]);
+        s.build(row("A", 1.0, 1));
+        s.build(row("A", 2.0, 2));
+        s.probe(&Key::from_values(&[Value::str("A")]));
+        s.evict_before(Timestamp::logical(2));
+        let st = s.stats();
+        assert_eq!(st.builds, 2);
+        assert_eq!(st.probes, 1);
+        assert_eq!(st.matches, 2);
+        assert_eq!(st.evicted, 1);
+    }
+
+    #[test]
+    fn lazy_index_compaction_keeps_probes_correct() {
+        let mut s = SteM::new("s", vec![0]);
+        let ids: Vec<u64> = (0..100).map(|i| s.build(row("K", i as f64, i))).collect();
+        // Delete 80 of 100; postings are now mostly dead.
+        for &id in &ids[..80] {
+            s.delete(id);
+        }
+        // Repeated probes stay correct while compaction kicks in.
+        for _ in 0..3 {
+            assert_eq!(s.probe(&Key::from_values(&[Value::str("K")])).len(), 20);
+        }
+    }
+
+    #[test]
+    fn probe_entries_expose_monotone_ids() {
+        let mut s = SteM::new("s", vec![0]);
+        s.build(row("K", 1.0, 1));
+        s.build(row("K", 2.0, 2));
+        let entries = s.probe_entries(&Key::from_values(&[Value::str("K")]));
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].0 < entries[1].0);
+    }
+
+    #[test]
+    fn oldest_live_id_advances_with_eviction() {
+        let mut s = SteM::new("s", vec![0]);
+        for i in 1..=5 {
+            s.build(row("A", i as f64, i));
+        }
+        assert_eq!(s.oldest_live_id(), Some(0));
+        s.evict_before(Timestamp::logical(3));
+        assert_eq!(s.oldest_live_id(), Some(2));
+        s.clear();
+        assert_eq!(s.oldest_live_id(), None);
+    }
+
+    #[test]
+    fn drain_all_returns_arrival_order_and_empties() {
+        let mut s = SteM::new("s", vec![0]);
+        s.build(row("A", 1.0, 1));
+        s.build(row("B", 2.0, 2));
+        let drained = s.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].ts().ticks(), 1);
+        assert!(s.is_empty());
+        assert_eq!(s.probe(&Key::from_values(&[Value::str("A")])).len(), 0);
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let mut s = SteM::new("s", vec![0, 1]);
+        s.build(Tuple::at_seq(vec![Value::str("A"), Value::Int(1), Value::Int(10)], 1));
+        s.build(Tuple::at_seq(vec![Value::str("A"), Value::Int(2), Value::Int(20)], 2));
+        let hits = s.probe(&Key::from_values(&[Value::str("A"), Value::Int(2)]));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].field(2), &Value::Int(20));
+    }
+}

@@ -1,0 +1,524 @@
+//! The log-structured stream archive with background spooling.
+
+use std::collections::VecDeque;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use tcq_common::{Result, TcqError, Timestamp, Tuple};
+use tcq_windows::WindowSource;
+
+use crate::bufferpool::BufferPool;
+use crate::codec::{decode_batch, encode_batch};
+
+/// Archive counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArchiveStats {
+    /// Tuples appended.
+    pub appended: u64,
+    /// Segments sealed and queued for spooling.
+    pub sealed: u64,
+    /// Segments whose files have been written.
+    pub spooled: u64,
+}
+
+/// Metadata for one sealed segment.
+#[derive(Debug, Clone)]
+struct SegmentMeta {
+    seg_no: u64,
+    min_ticks: i64,
+    max_ticks: i64,
+    path: PathBuf,
+    /// Kept in memory until the spooler confirms the write.
+    resident: Option<Arc<Vec<Tuple>>>,
+}
+
+/// Shared archive state (the Spooler thread updates `resident`).
+#[derive(Debug, Default)]
+struct Shared {
+    segments: Vec<SegmentMeta>,
+    spooled: u64,
+}
+
+/// A spool job: write a sealed segment's bytes to its file.
+struct SpoolJob {
+    stream_id: u64,
+    seg_no: u64,
+    bytes: Vec<u8>,
+    shared: Arc<Mutex<Shared>>,
+    path: PathBuf,
+}
+
+/// The background writer shared by all archives: sealed segments are
+/// queued here and written sequentially, off the arrival path ("data
+/// ... can be spooled to disk only in the background").
+pub struct Spooler {
+    tx: Sender<SpoolJob>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    errors: Arc<AtomicU64>,
+}
+
+impl Spooler {
+    /// Start the spooler thread.
+    pub fn start() -> Spooler {
+        let (tx, rx): (Sender<SpoolJob>, Receiver<SpoolJob>) = unbounded();
+        let errors = Arc::new(AtomicU64::new(0));
+        let errs = errors.clone();
+        let handle = std::thread::Builder::new()
+            .name("tcq-spooler".into())
+            .spawn(move || {
+                for job in rx {
+                    match write_file(&job.path, &job.bytes) {
+                        Ok(()) => {
+                            let mut shared = job.shared.lock();
+                            shared.spooled += 1;
+                            if let Some(seg) = shared
+                                .segments
+                                .iter_mut()
+                                .find(|s| s.seg_no == job.seg_no)
+                            {
+                                // The file is durable; the in-memory copy
+                                // may now be dropped under pressure.
+                                seg.resident = None;
+                            }
+                            let _ = job.stream_id;
+                        }
+                        Err(_) => {
+                            errs.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+            .expect("spawn spooler");
+        Spooler {
+            tx,
+            handle: Some(handle),
+            errors,
+        }
+    }
+
+    /// Number of failed writes observed.
+    pub fn error_count(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Stop the thread after draining queued writes.
+    pub fn shutdown(mut self) {
+        drop(self.tx.clone()); // explicitness; the real drop is below
+        let Spooler { tx, handle, .. } = &mut self;
+        let _ = tx;
+        // Dropping self's tx happens in Drop; join there.
+        if let Some(h) = handle.take() {
+            // Close the channel by replacing tx with a dummy sender whose
+            // drop disconnects the only one.
+            let (dummy, _) = unbounded();
+            let old = std::mem::replace(&mut self.tx, dummy);
+            drop(old);
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Spooler {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let (dummy, _) = unbounded();
+            let old = std::mem::replace(&mut self.tx, dummy);
+            drop(old);
+            let _ = h.join();
+        }
+    }
+}
+
+fn write_file(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// A per-stream log-structured archive.
+pub struct StreamArchive {
+    stream_id: u64,
+    dir: PathBuf,
+    segment_tuples: usize,
+    tail: VecDeque<Tuple>,
+    tail_min: Option<i64>,
+    shared: Arc<Mutex<Shared>>,
+    spool_tx: Option<Sender<SpoolJob>>,
+    pool: Arc<Mutex<BufferPool>>,
+    next_seg: u64,
+    stats: ArchiveStats,
+}
+
+impl StreamArchive {
+    /// An archive for stream `stream_id` rooted at `dir`, sealing
+    /// segments of `segment_tuples` tuples, reading through `pool`, and
+    /// spooling via `spooler` (pass `None` to write synchronously —
+    /// useful in tests).
+    pub fn new(
+        stream_id: u64,
+        dir: impl Into<PathBuf>,
+        segment_tuples: usize,
+        pool: Arc<Mutex<BufferPool>>,
+        spooler: Option<&Spooler>,
+    ) -> StreamArchive {
+        StreamArchive {
+            stream_id,
+            dir: dir.into(),
+            segment_tuples: segment_tuples.max(1),
+            tail: VecDeque::new(),
+            tail_min: None,
+            shared: Arc::new(Mutex::new(Shared::default())),
+            spool_tx: spooler.map(|s| s.tx.clone()),
+            pool,
+            next_seg: 0,
+            stats: ArchiveStats::default(),
+        }
+    }
+
+    /// Counters (spooled count reflects completed background writes).
+    pub fn stats(&self) -> ArchiveStats {
+        let mut s = self.stats;
+        s.spooled = self.shared.lock().spooled;
+        s
+    }
+
+    /// Tuples currently in the unsealed tail.
+    pub fn tail_len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Number of sealed segments.
+    pub fn segment_count(&self) -> usize {
+        self.shared.lock().segments.len()
+    }
+
+    /// Append an arriving tuple (must be timestamp-monotone within the
+    /// stream). Seals the tail into a segment when it fills.
+    pub fn append(&mut self, t: Tuple) -> Result<()> {
+        if let Some(last) = self.tail.back() {
+            if matches!(
+                t.ts().partial_cmp(&last.ts()),
+                Some(std::cmp::Ordering::Less) | None
+            ) {
+                return Err(TcqError::StorageError(format!(
+                    "out-of-order append: {} after {}",
+                    t.ts(),
+                    last.ts()
+                )));
+            }
+        }
+        if self.tail_min.is_none() {
+            self.tail_min = Some(t.ts().ticks());
+        }
+        self.tail.push_back(t);
+        self.stats.appended += 1;
+        if self.tail.len() >= self.segment_tuples {
+            self.seal()?;
+        }
+        Ok(())
+    }
+
+    /// Seal the current tail into a segment and queue it for spooling.
+    pub fn seal(&mut self) -> Result<()> {
+        if self.tail.is_empty() {
+            return Ok(());
+        }
+        let tuples: Vec<Tuple> = self.tail.drain(..).collect();
+        let seg_no = self.next_seg;
+        self.next_seg += 1;
+        self.stats.sealed += 1;
+        let min_ticks = self.tail_min.take().expect("tail had tuples");
+        let max_ticks = tuples.last().expect("nonempty").ts().ticks();
+        let path = self.dir.join(format!("seg-{:08}.tcq", seg_no));
+        let bytes = encode_batch(&tuples);
+        let resident = Arc::new(tuples);
+        self.shared.lock().segments.push(SegmentMeta {
+            seg_no,
+            min_ticks,
+            max_ticks,
+            path: path.clone(),
+            resident: Some(resident),
+        });
+        match &self.spool_tx {
+            Some(tx) => {
+                tx.send(SpoolJob {
+                    stream_id: self.stream_id,
+                    seg_no,
+                    bytes,
+                    shared: self.shared.clone(),
+                    path,
+                })
+                .map_err(|_| TcqError::StorageError("spooler is gone".into()))?;
+            }
+            None => {
+                write_file(&path, &bytes)
+                    .map_err(|e| TcqError::StorageError(e.to_string()))?;
+                let mut shared = self.shared.lock();
+                shared.spooled += 1;
+                if let Some(seg) = shared.segments.iter_mut().find(|s| s.seg_no == seg_no) {
+                    seg.resident = None;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Block until every sealed segment has been written (test/shutdown
+    /// aid).
+    pub fn flush(&self) {
+        while self.shared.lock().spooled < self.stats.sealed {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Read one sealed segment (resident copy, buffer pool, or disk).
+    fn read_segment(&self, meta: &SegmentMeta) -> Result<Arc<Vec<Tuple>>> {
+        if let Some(res) = &meta.resident {
+            return Ok(res.clone());
+        }
+        let mut pool = self.pool.lock();
+        pool.get_or_load((self.stream_id, meta.seg_no), || {
+            let bytes = fs::read(&meta.path)
+                .map_err(|e| TcqError::StorageError(format!("{}: {e}", meta.path.display())))?;
+            decode_batch(&bytes)
+        })
+    }
+
+    /// Tuples with `left <= ts <= right` across sealed segments and the
+    /// in-memory tail, in arrival order.
+    pub fn scan(&self, left: Timestamp, right: Timestamp) -> Result<Vec<Tuple>> {
+        if !left.comparable(&right) || left.ticks() > right.ticks() {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        let metas: Vec<SegmentMeta> = {
+            let shared = self.shared.lock();
+            shared
+                .segments
+                .iter()
+                .filter(|m| m.max_ticks >= left.ticks() && m.min_ticks <= right.ticks())
+                .cloned()
+                .collect()
+        };
+        for meta in metas {
+            let seg = self.read_segment(&meta)?;
+            for t in seg.iter() {
+                let ticks = t.ts().ticks();
+                if t.ts().domain() == left.domain()
+                    && ticks >= left.ticks()
+                    && ticks <= right.ticks()
+                {
+                    out.push(t.clone());
+                }
+            }
+        }
+        for t in &self.tail {
+            let ticks = t.ts().ticks();
+            if t.ts().domain() == left.domain()
+                && ticks >= left.ticks()
+                && ticks <= right.ticks()
+            {
+                out.push(t.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Drop sealed segments whose newest tuple is older than `bound`
+    /// (retention). Removes their files and invalidates cached frames.
+    pub fn truncate_before(&mut self, bound: Timestamp) -> usize {
+        let mut dropped = 0;
+        let mut shared = self.shared.lock();
+        let mut pool = self.pool.lock();
+        shared.segments.retain(|m| {
+            // A segment still being spooled stays (its resident copy is
+            // set); dropping the meta would orphan the pending write.
+            if m.resident.is_some() {
+                return true;
+            }
+            if m.max_ticks < bound.ticks() {
+                let _ = fs::remove_file(&m.path);
+                pool.invalidate((self.stream_id, m.seg_no));
+                dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        dropped
+    }
+}
+
+impl WindowSource for StreamArchive {
+    fn scan_window(&self, left: Timestamp, right: Timestamp) -> Vec<Tuple> {
+        self.scan(left, right).unwrap_or_default()
+    }
+
+    fn high_water(&self) -> Option<Timestamp> {
+        if let Some(t) = self.tail.back() {
+            return Some(t.ts());
+        }
+        let shared = self.shared.lock();
+        shared
+            .segments
+            .last()
+            .map(|m| Timestamp::logical(m.max_ticks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::Value;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "tcq-archive-test-{}-{}",
+            std::process::id(),
+            tag
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn pool() -> Arc<Mutex<BufferPool>> {
+        Arc::new(Mutex::new(BufferPool::new(
+            4,
+            crate::bufferpool::Replacement::Lru,
+        )))
+    }
+
+    fn tup(seq: i64) -> Tuple {
+        Tuple::at_seq(vec![Value::Int(seq), Value::str("x")], seq)
+    }
+
+    #[test]
+    fn append_seal_scan_synchronous() {
+        let dir = tmp_dir("sync");
+        let mut a = StreamArchive::new(1, &dir, 10, pool(), None);
+        for i in 1..=35 {
+            a.append(tup(i)).unwrap();
+        }
+        assert_eq!(a.segment_count(), 3);
+        assert_eq!(a.tail_len(), 5);
+        let got = a.scan(Timestamp::logical(8), Timestamp::logical(33)).unwrap();
+        let ticks: Vec<i64> = got.iter().map(|t| t.ts().ticks()).collect();
+        assert_eq!(ticks, (8..=33).collect::<Vec<_>>());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_spooler_writes_files() {
+        let dir = tmp_dir("bg");
+        let spooler = Spooler::start();
+        let mut a = StreamArchive::new(2, &dir, 5, pool(), Some(&spooler));
+        for i in 1..=20 {
+            a.append(tup(i)).unwrap();
+        }
+        a.flush();
+        assert_eq!(a.stats().spooled, 4);
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 4);
+        // Scans read back through the buffer pool.
+        let got = a.scan(Timestamp::logical(1), Timestamp::logical(20)).unwrap();
+        assert_eq!(got.len(), 20);
+        assert_eq!(spooler.error_count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_served_from_resident_copy_before_spool_completes() {
+        let dir = tmp_dir("resident");
+        // No spooler and no seal yet: everything in tail.
+        let mut a = StreamArchive::new(3, &dir, 1000, pool(), None);
+        for i in 1..=10 {
+            a.append(tup(i)).unwrap();
+        }
+        let got = a.scan(Timestamp::logical(3), Timestamp::logical(7)).unwrap();
+        assert_eq!(got.len(), 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_order_appends_rejected() {
+        let dir = tmp_dir("ooo");
+        let mut a = StreamArchive::new(4, &dir, 10, pool(), None);
+        a.append(tup(5)).unwrap();
+        assert!(a.append(tup(3)).is_err());
+        // Equal timestamps fine.
+        a.append(tup(5)).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn window_source_impl_matches_scan() {
+        let dir = tmp_dir("ws");
+        let mut a = StreamArchive::new(5, &dir, 4, pool(), None);
+        for i in 1..=10 {
+            a.append(tup(i)).unwrap();
+        }
+        assert_eq!(a.high_water(), Some(Timestamp::logical(10)));
+        let via_trait = a.scan_window(Timestamp::logical(2), Timestamp::logical(9));
+        assert_eq!(via_trait.len(), 8);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_pruning_by_metadata() {
+        let dir = tmp_dir("prune");
+        let p = pool();
+        let mut a = StreamArchive::new(6, &dir, 10, p.clone(), None);
+        for i in 1..=100 {
+            a.append(tup(i)).unwrap();
+        }
+        // Scan touching only one segment loads only that segment.
+        let before = p.lock().stats().misses;
+        a.scan(Timestamp::logical(15), Timestamp::logical(17)).unwrap();
+        let after = p.lock().stats().misses;
+        assert_eq!(after - before, 1, "only the overlapping segment loads");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_removes_files_and_frames() {
+        let dir = tmp_dir("trunc");
+        let mut a = StreamArchive::new(7, &dir, 10, pool(), None);
+        for i in 1..=50 {
+            a.append(tup(i)).unwrap();
+        }
+        assert_eq!(a.segment_count(), 5);
+        let dropped = a.truncate_before(Timestamp::logical(25));
+        assert_eq!(dropped, 2, "segments ending before t=25 are gone");
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 3);
+        let got = a.scan(Timestamp::logical(1), Timestamp::logical(50)).unwrap();
+        assert_eq!(got[0].ts().ticks(), 21, "remaining data starts at seg 3");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_and_inverted_scans() {
+        let dir = tmp_dir("empty");
+        let a = StreamArchive::new(8, &dir, 10, pool(), None);
+        assert!(a.scan(Timestamp::logical(1), Timestamp::logical(5)).unwrap().is_empty());
+        let mut a2 = StreamArchive::new(9, &dir, 10, pool(), None);
+        a2.append(tup(1)).unwrap();
+        assert!(a2.scan(Timestamp::logical(5), Timestamp::logical(1)).unwrap().is_empty());
+        assert!(a2
+            .scan(Timestamp::physical(0), Timestamp::logical(5))
+            .unwrap()
+            .is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,253 @@
+//! A frame cache over sealed archive segments.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tcq_common::Tuple;
+
+/// Replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replacement {
+    /// Evict the least-recently-used frame.
+    Lru,
+    /// Second-chance clock sweep.
+    Clock,
+}
+
+/// Cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Lookups that found the frame resident.
+    pub hits: u64,
+    /// Lookups that had to load from disk.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+}
+
+/// A cache key: (stream id, segment number).
+pub type FrameKey = (u64, u64);
+
+#[derive(Debug)]
+struct Frame {
+    data: Arc<Vec<Tuple>>,
+    /// LRU timestamp.
+    last_used: u64,
+    /// Clock reference bit.
+    referenced: bool,
+}
+
+/// A buffer pool caching decoded segments.
+///
+/// The pool stores decoded tuple vectors behind `Arc`s, so returning a
+/// cached segment to a scan is a pointer clone and eviction cannot
+/// invalidate an in-progress read.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    policy: Replacement,
+    frames: HashMap<FrameKey, Frame>,
+    /// Clock sweep order and hand position.
+    clock_order: Vec<FrameKey>,
+    clock_hand: usize,
+    tick: u64,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` segments under `policy`.
+    pub fn new(capacity: usize, policy: Replacement) -> BufferPool {
+        BufferPool {
+            capacity: capacity.max(1),
+            policy,
+            frames: HashMap::new(),
+            clock_order: Vec::new(),
+            clock_hand: 0,
+            tick: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Resident segment count.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Get the segment for `key`, loading it with `load` on a miss.
+    pub fn get_or_load<E>(
+        &mut self,
+        key: FrameKey,
+        load: impl FnOnce() -> Result<Vec<Tuple>, E>,
+    ) -> Result<Arc<Vec<Tuple>>, E> {
+        self.tick += 1;
+        if let Some(frame) = self.frames.get_mut(&key) {
+            self.stats.hits += 1;
+            frame.last_used = self.tick;
+            frame.referenced = true;
+            return Ok(frame.data.clone());
+        }
+        self.stats.misses += 1;
+        let data = Arc::new(load()?);
+        if self.frames.len() >= self.capacity {
+            self.evict_one();
+        }
+        self.frames.insert(
+            key,
+            Frame {
+                data: data.clone(),
+                last_used: self.tick,
+                referenced: true,
+            },
+        );
+        self.clock_order.push(key);
+        Ok(data)
+    }
+
+    /// Drop a segment from the cache (e.g. after its file is deleted).
+    pub fn invalidate(&mut self, key: FrameKey) {
+        if self.frames.remove(&key).is_some() {
+            self.clock_order.retain(|k| *k != key);
+            if self.clock_hand >= self.clock_order.len() {
+                self.clock_hand = 0;
+            }
+        }
+    }
+
+    fn evict_one(&mut self) {
+        let victim = match self.policy {
+            Replacement::Lru => self
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(k, _)| *k),
+            Replacement::Clock => {
+                let mut victim = None;
+                // At most two sweeps: one clearing reference bits, one
+                // finding a zero bit.
+                for _ in 0..self.clock_order.len() * 2 {
+                    if self.clock_order.is_empty() {
+                        break;
+                    }
+                    let key = self.clock_order[self.clock_hand];
+                    self.clock_hand = (self.clock_hand + 1) % self.clock_order.len();
+                    if let Some(f) = self.frames.get_mut(&key) {
+                        if f.referenced {
+                            f.referenced = false;
+                        } else {
+                            victim = Some(key);
+                            break;
+                        }
+                    }
+                }
+                victim.or_else(|| self.clock_order.first().copied())
+            }
+        };
+        if let Some(key) = victim {
+            self.frames.remove(&key);
+            self.clock_order.retain(|k| *k != key);
+            if self.clock_hand >= self.clock_order.len() && !self.clock_order.is_empty() {
+                self.clock_hand = 0;
+            }
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::Value;
+
+    fn seg(n: u64) -> Vec<Tuple> {
+        vec![Tuple::at_seq(vec![Value::Int(n as i64)], n as i64)]
+    }
+
+    fn load_ok(n: u64) -> impl FnOnce() -> Result<Vec<Tuple>, std::io::Error> {
+        move || Ok(seg(n))
+    }
+
+    #[test]
+    fn hit_after_load() {
+        let mut p = BufferPool::new(4, Replacement::Lru);
+        p.get_or_load((0, 1), load_ok(1)).unwrap();
+        p.get_or_load((0, 1), load_ok(1)).unwrap();
+        assert_eq!(p.stats().hits, 1);
+        assert_eq!(p.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = BufferPool::new(2, Replacement::Lru);
+        p.get_or_load((0, 1), load_ok(1)).unwrap();
+        p.get_or_load((0, 2), load_ok(2)).unwrap();
+        p.get_or_load((0, 1), load_ok(1)).unwrap(); // refresh 1
+        p.get_or_load((0, 3), load_ok(3)).unwrap(); // evicts 2
+        assert_eq!(p.stats().evictions, 1);
+        p.get_or_load((0, 1), load_ok(1)).unwrap();
+        assert_eq!(p.stats().hits, 2, "1 stayed resident");
+        p.get_or_load((0, 2), load_ok(2)).unwrap();
+        assert_eq!(p.stats().misses, 4, "2 was the victim");
+    }
+
+    #[test]
+    fn clock_gives_second_chances() {
+        let mut p = BufferPool::new(2, Replacement::Clock);
+        p.get_or_load((0, 1), load_ok(1)).unwrap();
+        p.get_or_load((0, 2), load_ok(2)).unwrap();
+        // Both referenced; inserting 3 sweeps, clears bits, evicts one.
+        p.get_or_load((0, 3), load_ok(3)).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_respected_under_churn() {
+        let mut p = BufferPool::new(3, Replacement::Clock);
+        for i in 0..100 {
+            p.get_or_load((0, i), load_ok(i)).unwrap();
+        }
+        assert!(p.len() <= 3);
+        assert_eq!(p.stats().misses, 100);
+    }
+
+    #[test]
+    fn load_errors_propagate_without_caching() {
+        let mut p = BufferPool::new(2, Replacement::Lru);
+        let r: Result<_, std::io::Error> = p.get_or_load((0, 1), || {
+            Err(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"))
+        });
+        assert!(r.is_err());
+        assert_eq!(p.len(), 0);
+        // A later good load works.
+        p.get_or_load((0, 1), load_ok(1)).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_frame() {
+        let mut p = BufferPool::new(2, Replacement::Lru);
+        p.get_or_load((0, 1), load_ok(1)).unwrap();
+        p.invalidate((0, 1));
+        assert!(p.is_empty());
+        p.get_or_load((0, 1), load_ok(1)).unwrap();
+        assert_eq!(p.stats().misses, 2);
+    }
+
+    #[test]
+    fn arc_survives_eviction() {
+        let mut p = BufferPool::new(1, Replacement::Lru);
+        let held = p.get_or_load((0, 1), load_ok(1)).unwrap();
+        p.get_or_load((0, 2), load_ok(2)).unwrap(); // evicts 1
+        assert_eq!(held[0].field(0), &Value::Int(1), "reader unaffected");
+    }
+}

@@ -1,0 +1,309 @@
+//! Binary encoding of tuples for the archive's on-disk segments.
+//!
+//! The format is deliberately simple and self-describing:
+//!
+//! ```text
+//! tuple   := ts_domain:u32 ts_ticks:i64 arity:u32 value*
+//! value   := tag:u8 payload
+//!   0 NULL        (no payload)
+//!   1 BOOL        u8
+//!   2 INT         i64
+//!   3 FLOAT       f64 bits
+//!   4 STR         len:u32 utf8-bytes
+//!   5 TIMESTAMP   domain:u32 ticks:i64
+//! ```
+//!
+//! All integers are little-endian.
+
+use tcq_common::{Result, TcqError, TimeDomain, Timestamp, Tuple, Value};
+
+/// Append the encoding of `t` to `out`.
+pub fn encode_tuple(t: &Tuple, out: &mut Vec<u8>) {
+    out.extend_from_slice(&t.ts().domain().0.to_le_bytes());
+    out.extend_from_slice(&t.ts().ticks().to_le_bytes());
+    out.extend_from_slice(&(t.arity() as u32).to_le_bytes());
+    for v in t.fields() {
+        encode_value(v, out);
+    }
+}
+
+fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(3);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(4);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Ts(t) => {
+            out.push(5);
+            out.extend_from_slice(&t.domain().0.to_le_bytes());
+            out.extend_from_slice(&t.ticks().to_le_bytes());
+        }
+    }
+}
+
+/// A cursor over encoded bytes.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Decode from `buf`.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(TcqError::StorageError(format!(
+                "truncated record: wanted {n} bytes at offset {}",
+                self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Decode one tuple.
+    pub fn tuple(&mut self) -> Result<Tuple> {
+        let domain = TimeDomain(self.u32()?);
+        let ticks = self.i64()?;
+        let arity = self.u32()? as usize;
+        if arity > 1 << 20 {
+            return Err(TcqError::StorageError(format!(
+                "implausible arity {arity} (corrupt segment?)"
+            )));
+        }
+        let mut fields = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            fields.push(self.value()?);
+        }
+        Ok(Tuple::new(fields, Timestamp::new(domain, ticks)))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(self.i64()?),
+            3 => Value::Float(f64::from_bits(self.i64()? as u64)),
+            4 => {
+                let len = self.u32()? as usize;
+                let bytes = self.take(len)?;
+                let s = std::str::from_utf8(bytes).map_err(|_| {
+                    TcqError::StorageError("invalid utf8 in string value".into())
+                })?;
+                Value::str(s)
+            }
+            5 => {
+                let domain = TimeDomain(self.u32()?);
+                let ticks = self.i64()?;
+                Value::Ts(Timestamp::new(domain, ticks))
+            }
+            tag => {
+                return Err(TcqError::StorageError(format!(
+                    "unknown value tag {tag}"
+                )))
+            }
+        })
+    }
+}
+
+/// CRC-32 (IEEE 802.3), bit-reflected, table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Encode a batch of tuples. The last four bytes are a CRC-32 of
+/// everything before them, so torn or bit-rotted segment files are
+/// detected at read time instead of silently corrupting answers.
+pub fn encode_batch(tuples: &[Tuple]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(tuples.len() * 32 + 8);
+    out.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
+    for t in tuples {
+        encode_tuple(t, &mut out);
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode (and checksum-verify) a batch of tuples.
+pub fn decode_batch(buf: &[u8]) -> Result<Vec<Tuple>> {
+    if buf.len() < 8 {
+        return Err(TcqError::StorageError("batch too short".into()));
+    }
+    let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(TcqError::StorageError(format!(
+            "segment checksum mismatch: stored {stored:08x}, computed {computed:08x}"
+        )));
+    }
+    let mut d = Decoder::new(body);
+    let n = d.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(d.tuple()?);
+    }
+    if !d.is_exhausted() {
+        return Err(TcqError::StorageError(
+            "trailing bytes after batch".into(),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Tuple {
+        Tuple::new(
+            vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Int(-42),
+                Value::Float(2.5),
+                Value::str("héllo"),
+                Value::Ts(Timestamp::physical(99)),
+            ],
+            Timestamp::logical(7),
+        )
+    }
+
+    #[test]
+    fn round_trip_single() {
+        let t = sample();
+        let mut buf = Vec::new();
+        encode_tuple(&t, &mut buf);
+        let mut d = Decoder::new(&buf);
+        let back = d.tuple().unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.ts(), t.ts());
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn round_trip_batch() {
+        let batch: Vec<Tuple> = (0..100)
+            .map(|i| Tuple::at_seq(vec![Value::Int(i), Value::str(format!("s{i}"))], i))
+            .collect();
+        let buf = encode_batch(&batch);
+        assert_eq!(decode_batch(&buf).unwrap(), batch);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        encode_tuple(&sample(), &mut buf);
+        for cut in [0, 1, 5, buf.len() - 1] {
+            let mut d = Decoder::new(&buf[..cut]);
+            assert!(d.tuple().is_err(), "cut at {cut} should fail cleanly");
+        }
+    }
+
+    #[test]
+    fn corrupt_tag_rejected() {
+        let mut buf = Vec::new();
+        encode_tuple(&Tuple::at_seq(vec![Value::Int(1)], 1), &mut buf);
+        // The tag byte of the first value sits after domain(4)+ticks(8)+arity(4).
+        buf[16] = 200;
+        assert!(Decoder::new(&buf).tuple().is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut buf = encode_batch(&[sample()]);
+        buf.push(0xFF);
+        assert!(decode_batch(&buf).is_err());
+    }
+
+    #[test]
+    fn bit_rot_detected_by_checksum() {
+        let mut buf = encode_batch(&[sample(), sample()]);
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x40;
+        match decode_batch(&buf) {
+            Err(e) => assert!(e.to_string().contains("checksum"), "{e}"),
+            Ok(_) => panic!("corrupted segment decoded"),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(ints in proptest::collection::vec(any::<i64>(), 0..20),
+                           text in "\\PC{0,40}",
+                           seq in 0i64..1_000_000) {
+            let mut fields: Vec<Value> = ints.into_iter().map(Value::Int).collect();
+            fields.push(Value::str(&text));
+            let t = Tuple::at_seq(fields, seq);
+            let buf = encode_batch(&[t.clone()]);
+            let back = decode_batch(&buf).unwrap();
+            prop_assert_eq!(back, vec![t]);
+        }
+
+        #[test]
+        fn prop_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+            // Arbitrary bytes must decode to Ok or Err, never panic.
+            let _ = decode_batch(&bytes);
+        }
+    }
+}

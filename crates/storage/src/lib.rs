@@ -1,0 +1,32 @@
+//! # tcq-storage
+//!
+//! The TelegraphCQ storage manager: out-of-core support for streams
+//! (§4.2.3 and the "Disk-based issues" discussion in §4.3 of the paper).
+//!
+//! "The arrival rate of the data streams may be extremely high or bursty
+//! ... typically, data must be processed on-the-fly as it arrives and
+//! can be spooled to disk only in the background." The paper further
+//! calls for a storage subsystem that "exploits the sequential write
+//! workload, while also providing broadcast-disk style read behavior".
+//!
+//! * [`codec`] — a compact self-describing binary encoding for tuples
+//!   (the archive's on-disk record format).
+//! * [`archive::StreamArchive`] — a per-stream, log-structured segment
+//!   store: arriving tuples append to an in-memory tail segment; sealed
+//!   segments are handed to a background [`archive::Spooler`] thread
+//!   that writes them sequentially; historical window scans read sealed
+//!   segments back through the buffer pool. Per-segment `[min_ts,
+//!   max_ts]` metadata makes a window scan touch only the segments it
+//!   overlaps.
+//! * [`bufferpool::BufferPool`] — a frame cache over sealed segments
+//!   with pluggable replacement ([`bufferpool::Replacement::Lru`] /
+//!   [`bufferpool::Replacement::Clock`]), since "the buffer pool must be
+//!   tuned to both accept new bursty streaming data, as well as service
+//!   queries that access historical data".
+
+pub mod archive;
+pub mod bufferpool;
+pub mod codec;
+
+pub use archive::{ArchiveStats, Spooler, StreamArchive};
+pub use bufferpool::{BufferPool, PoolStats, Replacement};

@@ -1,0 +1,205 @@
+//! Time-indexed tuple buffers serving window scans.
+//!
+//! A [`WindowSource`] answers "give me the tuples of stream S in window
+//! [l, r]" — the operation the paper's window-descriptor-driven "scanner"
+//! performs (§4.2.3). [`VecWindowBuffer`] is the in-memory implementation
+//! used by the executor for live windows; `tcq-storage` provides the
+//! archive-backed implementation for historical windows.
+
+use tcq_common::{Timestamp, Tuple};
+
+/// Anything that can produce the tuples within a closed time window.
+pub trait WindowSource {
+    /// Tuples with `left <= ts <= right` in arrival order. Bounds in a
+    /// different time domain than the stored tuples yield an empty scan.
+    fn scan_window(&self, left: Timestamp, right: Timestamp) -> Vec<Tuple>;
+
+    /// The newest timestamp stored, if any.
+    fn high_water(&self) -> Option<Timestamp>;
+}
+
+/// An in-memory, arrival-ordered buffer of one stream's recent tuples.
+///
+/// Relies on per-stream monotone timestamps, so window scans are binary
+/// searches and eviction pops from the front.
+#[derive(Debug, Default, Clone)]
+pub struct VecWindowBuffer {
+    tuples: Vec<Tuple>,
+    /// Count of tuples evicted from the front (diagnostics).
+    evicted: u64,
+}
+
+impl VecWindowBuffer {
+    /// An empty buffer.
+    pub fn new() -> VecWindowBuffer {
+        VecWindowBuffer::default()
+    }
+
+    /// Append a tuple. Timestamps must be non-decreasing; out-of-order
+    /// appends are rejected with `false` (callers route late tuples to
+    /// their own handling).
+    pub fn append(&mut self, t: Tuple) -> bool {
+        if let Some(last) = self.tuples.last() {
+            match t.ts().partial_cmp(&last.ts()) {
+                Some(std::cmp::Ordering::Less) | None => return false,
+                _ => {}
+            }
+        }
+        self.tuples.push(t);
+        true
+    }
+
+    /// Evict tuples with timestamp strictly before `bound`. Returns the
+    /// evicted tuples (so the caller may spool them to the archive — "data
+    /// must be processed on-the-fly as it arrives and can be spooled to
+    /// disk only in the background").
+    pub fn evict_before(&mut self, bound: Timestamp) -> Vec<Tuple> {
+        let cut = self.partition_point(bound);
+        self.evicted += cut as u64;
+        self.tuples.drain(..cut).collect()
+    }
+
+    /// Number of buffered tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Total tuples evicted so far.
+    pub fn total_evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Approximate retained bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.tuples.iter().map(Tuple::approx_bytes).sum()
+    }
+
+    /// Index of the first tuple with `ts >= bound` (same domain).
+    fn partition_point(&self, bound: Timestamp) -> usize {
+        self.tuples.partition_point(|t| {
+            matches!(
+                t.ts().partial_cmp(&bound),
+                Some(std::cmp::Ordering::Less)
+            )
+        })
+    }
+}
+
+impl WindowSource for VecWindowBuffer {
+    fn scan_window(&self, left: Timestamp, right: Timestamp) -> Vec<Tuple> {
+        if !left.comparable(&right) {
+            return Vec::new();
+        }
+        let lo = self.partition_point(left);
+        let hi = self.tuples.partition_point(|t| {
+            !matches!(
+                t.ts().partial_cmp(&right),
+                Some(std::cmp::Ordering::Greater) | None
+            )
+        });
+        if lo >= hi {
+            return Vec::new(); // empty or inverted window
+        }
+        self.tuples[lo..hi].to_vec()
+    }
+
+    fn high_water(&self) -> Option<Timestamp> {
+        self.tuples.last().map(Tuple::ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::Value;
+
+    fn tup(seq: i64) -> Tuple {
+        Tuple::at_seq(vec![Value::Int(seq)], seq)
+    }
+
+    fn ts(t: i64) -> Timestamp {
+        Timestamp::logical(t)
+    }
+
+    fn filled(n: i64) -> VecWindowBuffer {
+        let mut b = VecWindowBuffer::new();
+        for i in 1..=n {
+            assert!(b.append(tup(i)));
+        }
+        b
+    }
+
+    #[test]
+    fn scan_inclusive_bounds() {
+        let b = filled(10);
+        let w = b.scan_window(ts(3), ts(6));
+        let got: Vec<i64> = w.iter().map(|t| t.ts().ticks()).collect();
+        assert_eq!(got, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn scan_outside_range_is_empty() {
+        let b = filled(5);
+        assert!(b.scan_window(ts(10), ts(20)).is_empty());
+        assert!(b.scan_window(ts(-5), ts(0)).is_empty());
+        // Inverted window is empty.
+        assert!(b.scan_window(ts(4), ts(2)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_timestamps_all_returned() {
+        let mut b = VecWindowBuffer::new();
+        b.append(Tuple::at_seq(vec![Value::Int(1)], 5));
+        b.append(Tuple::at_seq(vec![Value::Int(2)], 5));
+        b.append(Tuple::at_seq(vec![Value::Int(3)], 6));
+        assert_eq!(b.scan_window(ts(5), ts(5)).len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_append_rejected() {
+        let mut b = filled(3);
+        assert!(!b.append(tup(2)));
+        assert_eq!(b.len(), 3);
+        // Equal timestamp is fine.
+        assert!(b.append(tup(3)));
+    }
+
+    #[test]
+    fn cross_domain_append_rejected() {
+        let mut b = filled(2);
+        let alien = Tuple::new(vec![Value::Int(9)], Timestamp::physical(99));
+        assert!(!b.append(alien));
+    }
+
+    #[test]
+    fn eviction_returns_spooled_tuples() {
+        let mut b = filled(10);
+        let out = b.evict_before(ts(4));
+        assert_eq!(out.len(), 3);
+        assert_eq!(b.len(), 7);
+        assert_eq!(b.total_evicted(), 3);
+        assert!(b.scan_window(ts(1), ts(3)).is_empty());
+        assert_eq!(b.scan_window(ts(4), ts(4)).len(), 1);
+    }
+
+    #[test]
+    fn cross_domain_scan_is_empty() {
+        let b = filled(5);
+        assert!(b
+            .scan_window(Timestamp::physical(0), Timestamp::physical(10))
+            .is_empty());
+    }
+
+    #[test]
+    fn high_water_tracks_newest() {
+        let mut b = VecWindowBuffer::new();
+        assert_eq!(b.high_water(), None);
+        b.append(tup(7));
+        assert_eq!(b.high_water(), Some(ts(7)));
+    }
+}

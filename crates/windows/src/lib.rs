@@ -1,0 +1,46 @@
+//! # tcq-windows
+//!
+//! The window semantics of TelegraphCQ (§4.1 of the paper).
+//!
+//! TelegraphCQ generalizes landmark and sliding windows with a *for-loop*
+//! construct: a variable `t` moves over the timeline, and each iteration
+//! declares, per stream, a window `[left_end(t), right_end(t)]` (ends
+//! inclusive) via a `WindowIs` statement. "For every instant in time, a
+//! window on a stream defines a set of tuples over which the query is to
+//! be executed", so the output of a query is a *sequence of sets*.
+//!
+//! * [`spec`] — affine window bounds, the for-loop iterator
+//!   ([`ForLoop`], [`WindowIs`], [`WindowSeq`]), and window-kind
+//!   classification (snapshot / landmark / sliding / hopping / backward).
+//! * [`agg`] — incremental window aggregates. The paper's §4.1.2
+//!   observation is implemented literally: a landmark `MAX` keeps O(1)
+//!   state, while a sliding `MAX` must retain the window (we use a
+//!   monotonic deque, so state is O(window) worst-case but per-tuple work
+//!   is amortized O(1)).
+//! * [`buffer`] — an in-memory, time-indexed tuple buffer implementing
+//!   [`WindowSource`], with eviction below a low-water mark; the storage
+//!   manager offers a disk-backed implementation of the same trait.
+
+//!
+//! ## Example
+//!
+//! ```
+//! use tcq_windows::{AggKind, SlidingAgg, WindowAgg};
+//! use tcq_common::{Timestamp, Value};
+//!
+//! let mut max = SlidingAgg::new(AggKind::Max);
+//! for (t, v) in [(1, 5.0), (2, 9.0), (3, 3.0)] {
+//!     max.push(Timestamp::logical(t), &Value::Float(v));
+//! }
+//! assert_eq!(max.value(), Value::Float(9.0));
+//! max.evict_before(Timestamp::logical(3)); // slide past the 9.0
+//! assert_eq!(max.value(), Value::Float(3.0));
+//! ```
+
+pub mod agg;
+pub mod buffer;
+pub mod spec;
+
+pub use agg::{AggKind, LandmarkAgg, SlidingAgg, WindowAgg};
+pub use buffer::{VecWindowBuffer, WindowSource};
+pub use spec::{Bound, ForLoop, LoopCond, WindowIs, WindowKind, WindowSeq};

@@ -1,0 +1,53 @@
+//! # tcq-wrappers
+//!
+//! Ingress and egress operators (§2.1 "Ingress and Caching" and §4.2.3
+//! "Ingress Operators" / §4.3 "Egress Modules" of the TelegraphCQ
+//! paper).
+//!
+//! The paper's wrappers normalize external sources — sensor proxies, the
+//! TeSS screen scraper, P2P proxies — into tuple streams hosted in a
+//! separate Wrapper process "where they can be accessed in a
+//! non-blocking manner (à la Fjords)". Live external feeds are outside a
+//! reproduction's reach, so this crate provides (per DESIGN.md §2) the
+//! synthetic equivalents that exercise the same code paths:
+//!
+//! * [`source::Source`] — the non-blocking ingress interface: `poll`
+//!   yields whatever is ready, never blocks.
+//! * [`gen`] — deterministic workload generators: stock tickers
+//!   ([`gen::StockTicker`], the paper's `ClosingStockPrices` schema),
+//!   network packets with Zipf-skewed keys ([`gen::PacketGen`], for the
+//!   Flux experiments), sensor readings ([`gen::SensorGen`]), and a
+//!   drifting-selectivity generator ([`gen::DriftGen`], for the eddy
+//!   adaptivity experiments).
+//! * [`source::CsvSource`] — a pull source over local files (the "local
+//!   file reader" of Figure 1).
+//! * [`source::ChannelSource`] / [`source::IterSource`] — push-server
+//!   and pull adapters.
+//! * [`remote::SimulatedRemoteIndex`] — a latency-injected index over a
+//!   local table, implementing [`tcq_stems::IndexSource`]; the stand-in
+//!   for "a web lookup form wrapped by TeSS" in the SteM hybrid-join
+//!   experiment (E3).
+//! * [`egress`] — push egress (streamed delivery via a Fjord) and pull
+//!   egress (logged results fetched on demand).
+
+//!
+//! ## Example
+//!
+//! ```
+//! use tcq_wrappers::{Source, StockTicker};
+//!
+//! let mut ticker = StockTicker::with_symbols(7, vec!["MSFT", "IBM"], Some(3));
+//! let quotes = ticker.poll(100);
+//! assert_eq!(quotes.len(), 6); // 3 days x 2 symbols
+//! assert!(ticker.is_exhausted());
+//! ```
+
+pub mod egress;
+pub mod gen;
+pub mod remote;
+pub mod source;
+
+pub use egress::{PullEgress, PushEgress};
+pub use gen::{DriftGen, PacketGen, SensorGen, StockTicker};
+pub use remote::SimulatedRemoteIndex;
+pub use source::{ChannelSource, CsvSource, IterSource, Source};

@@ -1,0 +1,149 @@
+//! A latency-injected remote index: the TeSS-wrapped web form of the
+//! paper's SteM example, simulated.
+
+use std::collections::HashMap;
+
+use tcq_common::rng::SplitMix64;
+use tcq_common::{Tuple, Value};
+use tcq_stems::{IndexSource, Key};
+
+/// An asynchronous index over a local table that answers each lookup
+/// after a (seeded-random) number of `poll` rounds within
+/// `[min_latency, max_latency]`, modelling remote round-trip variance.
+pub struct SimulatedRemoteIndex {
+    index: HashMap<Key, Vec<Tuple>>,
+    rng: SplitMix64,
+    min_latency: u32,
+    max_latency: u32,
+    in_flight: Vec<(u64, Key, u32)>,
+    lookups: u64,
+}
+
+impl SimulatedRemoteIndex {
+    /// Build over `rows`, keyed on `key_cols`, with per-lookup latency
+    /// uniform in `[min_latency, max_latency]` poll rounds.
+    pub fn new(
+        seed: u64,
+        rows: Vec<Tuple>,
+        key_cols: &[usize],
+        min_latency: u32,
+        max_latency: u32,
+    ) -> SimulatedRemoteIndex {
+        let mut index: HashMap<Key, Vec<Tuple>> = HashMap::new();
+        for t in rows {
+            index
+                .entry(Key::from_tuple(&t, key_cols))
+                .or_default()
+                .push(t);
+        }
+        SimulatedRemoteIndex {
+            index,
+            rng: SplitMix64::new(seed),
+            min_latency,
+            max_latency: max_latency.max(min_latency),
+            in_flight: Vec::new(),
+            lookups: 0,
+        }
+    }
+
+    /// Total lookups ever submitted (the E3 "expensive probe" counter).
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
+impl IndexSource for SimulatedRemoteIndex {
+    fn submit(&mut self, req_id: u64, key: Vec<Value>) {
+        self.lookups += 1;
+        let span = (self.max_latency - self.min_latency + 1) as u64;
+        let latency = self.min_latency + self.rng.next_below(span) as u32;
+        self.in_flight
+            .push((req_id, Key::from_values(&key), latency));
+    }
+
+    fn poll(&mut self) -> Vec<(u64, Vec<Tuple>)> {
+        let mut done = Vec::new();
+        self.in_flight.retain_mut(|(req, key, remaining)| {
+            if *remaining == 0 {
+                let matches = self.index.get(key).cloned().unwrap_or_default();
+                done.push((*req, matches));
+                false
+            } else {
+                *remaining -= 1;
+                true
+            }
+        });
+        done
+    }
+
+    fn pending(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Vec<Tuple> {
+        (0..10)
+            .map(|i| Tuple::at_seq(vec![Value::Int(i % 3), Value::Int(i)], i))
+            .collect()
+    }
+
+    #[test]
+    fn lookups_answer_after_latency() {
+        let mut idx = SimulatedRemoteIndex::new(1, table(), &[0], 2, 2);
+        idx.submit(7, vec![Value::Int(1)]);
+        assert!(idx.poll().is_empty());
+        assert!(idx.poll().is_empty());
+        let done = idx.poll();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, 7);
+        assert!(!done[0].1.is_empty());
+        assert_eq!(idx.pending(), 0);
+    }
+
+    #[test]
+    fn missing_keys_answer_empty() {
+        let mut idx = SimulatedRemoteIndex::new(1, table(), &[0], 0, 0);
+        idx.submit(1, vec![Value::Int(99)]);
+        let done = idx.poll();
+        assert_eq!(done[0].1.len(), 0);
+    }
+
+    #[test]
+    fn variable_latency_within_bounds() {
+        let mut idx = SimulatedRemoteIndex::new(3, table(), &[0], 1, 5);
+        for i in 0..50 {
+            idx.submit(i, vec![Value::Int(0)]);
+        }
+        let mut rounds = 0;
+        let mut completed = 0;
+        while completed < 50 {
+            rounds += 1;
+            assert!(rounds <= 6, "everything must complete within max latency");
+            completed += idx.poll().len();
+        }
+        assert!(rounds >= 2, "min latency respected");
+        assert_eq!(idx.lookups(), 50);
+    }
+
+    #[test]
+    fn works_with_async_index_join() {
+        use tcq_stems::AsyncIndexJoin;
+        let idx = SimulatedRemoteIndex::new(5, table(), &[0], 1, 3);
+        let mut join = AsyncIndexJoin::new(vec![0], vec![0], Box::new(idx));
+        assert!(join
+            .push_probe(Tuple::at_seq(vec![Value::Int(1)], 100))
+            .is_empty());
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            out.extend(join.poll());
+        }
+        assert_eq!(out.len(), 3, "key 1 matches rows 1, 4, 7");
+        // Cache hit on the second probe: immediate results.
+        let hits = join.push_probe(Tuple::at_seq(vec![Value::Int(1)], 101));
+        assert_eq!(hits.len(), 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Quickstart: start a TelegraphCQ server, register a stream, run one
+//! continuous query and one windowed query, and read results.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tcq::{Config, Server};
+use tcq_common::{DataType, Field, Schema, Value};
+
+fn main() {
+    // 1. Start the server: FrontEnd + Executor threads + Wrapper thread.
+    let server = Server::start(Config::default()).expect("server starts");
+
+    // 2. Register the paper's running-example stream.
+    server
+        .register_stream(
+            "ClosingStockPrices",
+            Schema::qualified(
+                "closingstockprices",
+                vec![
+                    Field::new("timestamp", DataType::Int),
+                    Field::new("stockSymbol", DataType::Str),
+                    Field::new("closingPrice", DataType::Float),
+                ],
+            ),
+        )
+        .expect("stream registers");
+
+    // 3. A continuous (unwindowed) filter query: results stream out as
+    //    matching tuples arrive.
+    let alerts = server
+        .submit(
+            "SELECT timestamp, closingPrice FROM ClosingStockPrices \
+             WHERE stockSymbol = 'MSFT' AND closingPrice > 55.0",
+        )
+        .expect("query plans");
+
+    // 4. A windowed aggregate: one result set per sliding-window instant.
+    let weekly_max = server
+        .submit(
+            "SELECT MAX(closingPrice) AS hi, COUNT(*) AS n \
+             FROM ClosingStockPrices \
+             for (t = 5; t <= 10; t++) { WindowIs(ClosingStockPrices, t - 4, t); }",
+        )
+        .expect("windowed query plans");
+
+    // 5. Feed ten trading days of data.
+    for day in 1..=10i64 {
+        for (sym, price) in [("MSFT", 50.0 + day as f64), ("IBM", 91.5 - day as f64)] {
+            server
+                .push_at(
+                    "ClosingStockPrices",
+                    vec![Value::Int(day), Value::str(sym), Value::Float(price)],
+                    day,
+                )
+                .expect("push succeeds");
+        }
+    }
+    server.punctuate("ClosingStockPrices", 10).expect("punctuate");
+    server.sync();
+
+    // 6. Read the streamed alerts.
+    println!("== MSFT > $55 alerts ==");
+    for rs in alerts.drain() {
+        for row in rs.rows {
+            println!(
+                "  day {:>2}  closed at ${}",
+                row.field(0),
+                row.field(1)
+            );
+        }
+    }
+
+    // 7. Read the windowed answer sequence ("a sequence of sets, each
+    //    set associated with an instant in time").
+    println!("== 5-day MAX window ==");
+    for rs in weekly_max.drain() {
+        let row = &rs.rows[0];
+        println!(
+            "  window ending day {:>2}: max ${}  over {} quotes",
+            rs.window_t.unwrap(),
+            row.field(0),
+            row.field(1)
+        );
+    }
+
+    server.shutdown();
+    println!("done.");
+}

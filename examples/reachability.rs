@@ -1,0 +1,91 @@
+//! Figure 1's less-travelled query modules on a live link-state stream:
+//! `TransitiveClosure` (incremental reachability), `Juggle` (online
+//! reordering by user interest, [RRH99]) and `DupElim`.
+//!
+//! Scenario: a network monitor ingests observed links `(src, dst)` and
+//! maintains which hosts can reach which; newly derived reachability
+//! pairs are deduplicated and juggled so pairs involving a watched host
+//! reach the operator first.
+//!
+//! ```sh
+//! cargo run --example reachability
+//! ```
+
+use tcq_common::{Tuple, Value};
+use tcq_eddy::{DupElim, Juggle, TransitiveClosure};
+use tcq_wrappers::{PacketGen, Source};
+
+const WATCHED_HOST: i64 = 0; // the Zipf-hottest destination
+
+fn main() {
+    let mut closure = TransitiveClosure::new(0, 1);
+    let mut distinct = DupElim::new();
+    // Interest function: pairs touching the watched host first.
+    let mut juggle = Juggle::new(32, |t: &Tuple| {
+        let src = t.field(0).as_int().unwrap_or(-1);
+        let dst = t.field(1).as_int().unwrap_or(-1);
+        if src == WATCHED_HOST || dst == WATCHED_HOST {
+            1
+        } else {
+            0
+        }
+    });
+
+    // Links: reuse the packet generator's (src, dst) columns, folded
+    // into a small host space so the closure grows interestingly.
+    let mut gen = PacketGen::new(17, 64, 0.8);
+    let mut emitted = Vec::new();
+    for pkt in gen.poll(600) {
+        let link = Tuple::new(
+            vec![
+                Value::Int(pkt.field(0).as_int().unwrap() % 24),
+                pkt.field(1).clone(),
+            ],
+            pkt.ts(),
+        );
+        for pair in closure.push(&link) {
+            // New reachability facts → dedup (closure already emits each
+            // once, but links repeat after windows clear) → juggle.
+            if let Some(fresh) = distinct.push(pair) {
+                emitted.extend(juggle.push(fresh));
+            }
+        }
+    }
+    emitted.extend(juggle.drain());
+
+    let watched: Vec<&Tuple> = emitted
+        .iter()
+        .filter(|t| {
+            t.field(0).as_int() == Some(WATCHED_HOST)
+                || t.field(1).as_int() == Some(WATCHED_HOST)
+        })
+        .collect();
+    println!(
+        "derived {} reachability pairs ({} involve watched host {})",
+        emitted.len(),
+        watched.len(),
+        WATCHED_HOST
+    );
+    println!(
+        "juggle surfaced {} pairs ahead of arrival order; dupelim suppressed {}",
+        juggle.reordered(),
+        distinct.suppressed()
+    );
+    // The watched host's pairs cluster early in the emission order.
+    let first_quarter = &emitted[..emitted.len() / 4];
+    let early_watched = first_quarter
+        .iter()
+        .filter(|t| {
+            t.field(0).as_int() == Some(WATCHED_HOST)
+                || t.field(1).as_int() == Some(WATCHED_HOST)
+        })
+        .count();
+    println!(
+        "first quarter of emissions contains {early_watched}/{} watched pairs",
+        watched.len()
+    );
+    println!("sample derived pairs:");
+    for t in emitted.iter().take(8) {
+        println!("  {} can reach {}", t.field(0), t.field(1));
+    }
+}

@@ -1,0 +1,120 @@
+//! The paper's §4.1 window-semantics examples, run verbatim-in-spirit
+//! against a live `ClosingStockPrices` feed.
+//!
+//! Demonstrates every window kind the for-loop construct expresses:
+//! snapshot, landmark, sliding, and hopping — plus a sliding-window
+//! self-join (example 4).
+//!
+//! ```sh
+//! cargo run --example stock_monitor
+//! ```
+
+use tcq::{Config, QueryHandle, Server};
+use tcq_common::{DataType, Field, Schema, Value};
+use tcq_wrappers::{Source, StockTicker};
+
+fn print_sets(title: &str, handle: &QueryHandle, limit: usize) {
+    println!("\n== {title} ==");
+    for rs in handle.drain().into_iter().take(limit) {
+        let tag = rs
+            .window_t
+            .map(|t| format!("t={t:>4}"))
+            .unwrap_or_else(|| "live  ".into());
+        let preview: Vec<String> = rs.rows.iter().take(4).map(|r| format!("[{r}]")).collect();
+        println!(
+            "  {tag}  {:>3} rows  {}{}",
+            rs.rows.len(),
+            preview.join(" "),
+            if rs.rows.len() > 4 { " …" } else { "" }
+        );
+    }
+}
+
+fn main() {
+    let server = Server::start(Config::default()).expect("server starts");
+    server
+        .register_stream(
+            "ClosingStockPrices",
+            Schema::qualified(
+                "closingstockprices",
+                vec![
+                    Field::new("timestamp", DataType::Int),
+                    Field::new("stockSymbol", DataType::Str),
+                    Field::new("closingPrice", DataType::Float),
+                ],
+            ),
+        )
+        .expect("stream registers");
+
+    // Example 1 — snapshot: "closing prices for MSFT on the first five
+    // days of trading".
+    let snapshot = server
+        .submit(
+            "SELECT closingPrice, timestamp FROM ClosingStockPrices \
+             WHERE stockSymbol = 'MSFT' \
+             for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 5); }",
+        )
+        .expect("example 1 plans");
+
+    // Example 2 — landmark: "days after day 100 on which MSFT closed
+    // above $50" (shortened horizon: 40 days).
+    let landmark = server
+        .submit(
+            "SELECT closingPrice, timestamp FROM ClosingStockPrices \
+             WHERE stockSymbol = 'MSFT' AND closingPrice > 50.00 \
+             for (t = 101; t <= 140; t++) { WindowIs(ClosingStockPrices, 101, t); }",
+        )
+        .expect("example 2 plans");
+
+    // Example 3 — sliding: 5-day maximum.
+    let sliding = server
+        .submit(
+            "SELECT MAX(closingPrice) AS hi FROM ClosingStockPrices \
+             WHERE stockSymbol = 'MSFT' \
+             for (t = 120; t <= 140; t++) { WindowIs(ClosingStockPrices, t - 4, t); }",
+        )
+        .expect("example 3 plans");
+
+    // Example 4 — sliding-window self-join: days when IBM beat MSFT.
+    let join = server
+        .submit(
+            "SELECT c1.timestamp, c1.closingPrice, c2.closingPrice \
+             FROM ClosingStockPrices c1, ClosingStockPrices c2 \
+             WHERE c1.stockSymbol = 'MSFT' AND c2.stockSymbol = 'IBM' \
+               AND c2.closingPrice > c1.closingPrice \
+               AND c2.timestamp = c1.timestamp \
+             for (t = 130; t < 140; t++) { \
+               WindowIs(c1, t - 4, t); WindowIs(c2, t - 4, t); }",
+        )
+        .expect("example 4 plans");
+
+    // Hopping window — every 10 days, the count of the last 3 days.
+    let hopping = server
+        .submit(
+            "SELECT COUNT(*) AS n FROM ClosingStockPrices \
+             for (t = 110; t <= 140; t += 10) { WindowIs(ClosingStockPrices, t - 2, t); }",
+        )
+        .expect("hopping plans");
+
+    // Drive 140 trading days through the Wrapper from the synthetic
+    // ticker; the Wrapper punctuates when the source ends.
+    server
+        .attach_source(
+            "ClosingStockPrices",
+            Box::new(StockTicker::with_symbols(
+                7,
+                vec!["MSFT", "IBM", "ORCL"],
+                Some(140),
+            )),
+        )
+        .expect("source attaches");
+    assert!(server.drain_sources(std::time::Duration::from_secs(30)));
+
+    print_sets("Example 1: snapshot (first five days)", &snapshot, 5);
+    print_sets("Example 2: landmark (last 5 instants shown)", &landmark, usize::MAX);
+    print_sets("Example 3: sliding 5-day MAX", &sliding, usize::MAX);
+    print_sets("Example 4: sliding self-join (IBM > MSFT)", &join, usize::MAX);
+    print_sets("Hopping: 3-day count every 10 days", &hopping, usize::MAX);
+
+    server.shutdown();
+}

@@ -1,0 +1,257 @@
+//! End-to-end runs of the paper's §4.1 window-semantics examples over
+//! the `ClosingStockPrices` schema, through the full server stack
+//! (FrontEnd → Executor → archive-backed window scans).
+
+use tcq::{Config, Server};
+use tcq_common::{DataType, Field, Schema, Value};
+
+fn stock_schema() -> Schema {
+    Schema::qualified(
+        "closingstockprices",
+        vec![
+            Field::new("timestamp", DataType::Int),
+            Field::new("stockSymbol", DataType::Str),
+            Field::new("closingPrice", DataType::Float),
+        ],
+    )
+}
+
+fn server() -> Server {
+    let s = Server::start(Config::default()).unwrap();
+    s.register_stream("ClosingStockPrices", stock_schema())
+        .unwrap();
+    s
+}
+
+/// Price for MSFT on a given day in the deterministic test feed.
+fn msft_price(day: i64) -> f64 {
+    40.0 + ((day * 7) % 30) as f64
+}
+
+fn feed_days(s: &Server, days: std::ops::RangeInclusive<i64>) {
+    for day in days {
+        s.push_at(
+            "ClosingStockPrices",
+            vec![
+                Value::Int(day),
+                Value::str("MSFT"),
+                Value::Float(msft_price(day)),
+            ],
+            day,
+        )
+        .unwrap();
+        s.push_at(
+            "ClosingStockPrices",
+            vec![Value::Int(day), Value::str("IBM"), Value::Float(90.0)],
+            day,
+        )
+        .unwrap();
+    }
+}
+
+/// §4.1 example 1 — snapshot query: "Select the closing prices for MSFT
+/// on the first five days of trading."
+#[test]
+fn example_1_snapshot() {
+    let s = server();
+    feed_days(&s, 1..=10);
+    s.sync();
+    let h = s
+        .submit(
+            "SELECT closingPrice, timestamp \
+             FROM ClosingStockPrices \
+             WHERE stockSymbol = 'MSFT' \
+             for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 5); }",
+        )
+        .unwrap();
+    s.sync();
+    let sets = h.drain();
+    assert_eq!(sets.len(), 1, "snapshot queries run exactly once");
+    assert_eq!(sets[0].rows.len(), 5);
+    for (i, row) in sets[0].rows.iter().enumerate() {
+        let day = i as i64 + 1;
+        assert_eq!(row.field(0), &Value::Float(msft_price(day)));
+        assert_eq!(row.field(1), &Value::Int(day));
+    }
+    assert!(h.is_finished(), "snapshot handles terminate");
+    s.shutdown();
+}
+
+/// §4.1 example 2 — landmark query: "all the days after the hundredth
+/// trading day, on which the closing price of MSFT has been greater
+/// than $50" (shortened horizon).
+#[test]
+fn example_2_landmark() {
+    let s = server();
+    let h = s
+        .submit(
+            "SELECT closingPrice, timestamp \
+             FROM ClosingStockPrices \
+             WHERE stockSymbol = 'MSFT' AND closingPrice > 50.00 \
+             for (t = 101; t <= 110; t++) { WindowIs(ClosingStockPrices, 101, t); }",
+        )
+        .unwrap();
+    feed_days(&s, 1..=110);
+    s.punctuate("ClosingStockPrices", 110).unwrap();
+    s.sync();
+    let sets = h.drain();
+    assert_eq!(sets.len(), 10, "one result set per landmark instant");
+    // Landmark windows expand: result sets are cumulative and nested.
+    for w in sets.windows(2) {
+        assert!(w[0].rows.len() <= w[1].rows.len());
+        assert_eq!(&w[1].rows[..w[0].rows.len()], &w[0].rows[..]);
+    }
+    // Every reported price is > 50 and from days 101..=t.
+    let last = sets.last().unwrap();
+    for row in &last.rows {
+        assert!(row.field(0).as_float().unwrap() > 50.0);
+        let day = row.field(1).as_int().unwrap();
+        assert!((101..=110).contains(&day));
+    }
+    // Cross-check against the generator.
+    let expected = (101..=110).filter(|&d| msft_price(d) > 50.0).count();
+    assert_eq!(last.rows.len(), expected);
+    assert!(h.is_finished());
+    s.shutdown();
+}
+
+/// §4.1 example 3 — sliding window: "the days on which MSFT closed
+/// within $5 of its highest price over the past five days" becomes a
+/// MAX over a width-5 sliding window.
+#[test]
+fn example_3_sliding_max() {
+    let s = server();
+    let h = s
+        .submit(
+            "SELECT MAX(closingPrice) AS hi \
+             FROM ClosingStockPrices \
+             WHERE stockSymbol = 'MSFT' \
+             for (t = 5; t <= 12; t++) { WindowIs(ClosingStockPrices, t - 4, t); }",
+        )
+        .unwrap();
+    feed_days(&s, 1..=12);
+    s.punctuate("ClosingStockPrices", 12).unwrap();
+    s.sync();
+    let sets = h.drain();
+    assert_eq!(sets.len(), 8);
+    for rs in &sets {
+        let t = rs.window_t.unwrap();
+        let expected = (t - 4..=t).map(msft_price).fold(f64::MIN, f64::max);
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0].field(0), &Value::Float(expected), "window at t={t}");
+    }
+    s.shutdown();
+}
+
+/// §4.1 example 4 — sliding-window self-join: "days on which IBM closed
+/// higher than MSFT" over a width-5 window starting at ST = 50.
+#[test]
+fn example_4_sliding_join() {
+    let s = server();
+    let h = s
+        .submit(
+            "SELECT c1.closingPrice, c2.closingPrice, c1.timestamp \
+             FROM ClosingStockPrices c1, ClosingStockPrices c2 \
+             WHERE c1.stockSymbol = 'MSFT' AND c2.stockSymbol = 'IBM' \
+               AND c2.closingPrice > c1.closingPrice \
+               AND c2.timestamp = c1.timestamp \
+             for (t = 50; t < 55; t++) { \
+               WindowIs(c1, t - 4, t); \
+               WindowIs(c2, t - 4, t); \
+             }",
+        )
+        .unwrap();
+    feed_days(&s, 1..=55);
+    s.sync();
+    let sets = h.drain();
+    assert_eq!(sets.len(), 5);
+    for rs in &sets {
+        let t = rs.window_t.unwrap();
+        // IBM fixed at 90; MSFT beats it when msft_price >= 90 (never,
+        // max is 69) — so every in-window day with IBM > MSFT matches.
+        let expected = (t - 4..=t).filter(|&d| 90.0 > msft_price(d)).count();
+        assert_eq!(rs.rows.len(), expected, "window at t={t}");
+        for row in &rs.rows {
+            assert!(row.field(1).as_float().unwrap() > row.field(0).as_float().unwrap());
+        }
+    }
+    s.shutdown();
+}
+
+/// §4.1.2 — hopping windows with hop > width skip parts of the stream.
+#[test]
+fn hopping_window_skips_data() {
+    let s = server();
+    let h = s
+        .submit(
+            "SELECT COUNT(*) AS n FROM ClosingStockPrices \
+             WHERE stockSymbol = 'MSFT' \
+             for (t = 1; t <= 21; t += 10) { WindowIs(ClosingStockPrices, t, t + 4); }",
+        )
+        .unwrap();
+    feed_days(&s, 1..=25);
+    s.punctuate("ClosingStockPrices", 25).unwrap();
+    s.sync();
+    let sets = h.drain();
+    // Instants t = 1, 11, 21: windows [1,5], [11,15], [21,25].
+    assert_eq!(sets.len(), 3);
+    for rs in &sets {
+        assert_eq!(rs.rows[0].field(0), &Value::Int(5));
+    }
+    // Days 6..=10 and 16..=20 were never touched by any window.
+    s.shutdown();
+}
+
+/// Backward-moving windows browse history most-recent-first (§4.1.1's
+/// "browsing system" motivation).
+#[test]
+fn backward_windows_browse_history() {
+    let s = server();
+    feed_days(&s, 1..=30);
+    s.punctuate("ClosingStockPrices", 30).unwrap();
+    s.sync();
+    let h = s
+        .submit(
+            "SELECT COUNT(*) AS n FROM ClosingStockPrices \
+             WHERE stockSymbol = 'MSFT' \
+             for (t = 0; t < 3; t++) { \
+               WindowIs(ClosingStockPrices, -10 * t + 21, -10 * t + 30); }",
+        )
+        .unwrap();
+    s.sync();
+    let sets = h.drain();
+    assert_eq!(sets.len(), 3, "windows [21,30], [11,20], [1,10]");
+    for rs in &sets {
+        assert_eq!(rs.rows[0].field(0), &Value::Int(10));
+    }
+    s.shutdown();
+}
+
+/// Windows defined before data arrives deliver as the stream catches up,
+/// interleaving with pushes (continuous behaviour).
+#[test]
+fn windows_release_incrementally() {
+    let s = server();
+    let h = s
+        .submit(
+            "SELECT COUNT(*) AS n FROM ClosingStockPrices \
+             for (t = 2; t <= 6; t += 2) { WindowIs(ClosingStockPrices, t - 1, t); }",
+        )
+        .unwrap();
+    feed_days(&s, 1..=2);
+    s.punctuate("ClosingStockPrices", 2).unwrap();
+    s.sync();
+    assert_eq!(h.drain().len(), 1, "window [1,2] released");
+    feed_days(&s, 3..=4);
+    s.punctuate("ClosingStockPrices", 4).unwrap();
+    s.sync();
+    assert_eq!(h.drain().len(), 1, "window [3,4] released");
+    feed_days(&s, 5..=6);
+    s.punctuate("ClosingStockPrices", 6).unwrap();
+    s.sync();
+    let last = h.drain();
+    assert_eq!(last.len(), 1, "window [5,6] released");
+    assert_eq!(last[0].rows[0].field(0), &Value::Int(4), "2 days x 2 symbols");
+    assert!(h.is_finished());
+    s.shutdown();
+}

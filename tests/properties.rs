@@ -1,0 +1,359 @@
+//! Property-based tests over the core invariants (proptest).
+//!
+//! * Eddy output ≡ reference nested-loop evaluation, for every routing
+//!   policy and any arrival interleaving.
+//! * Grouped filters ≡ per-query predicate evaluation.
+//! * Symmetric hash join ≡ nested-loop join.
+//! * Incremental sliding aggregates ≡ recompute-from-scratch.
+//! * Window sequences match closed-form bounds.
+//! * Flux routing preserves exactly-once tuple accounting across
+//!   rebalances.
+
+use proptest::prelude::*;
+
+use tcq_cacq::{CacqEngine, QuerySpec};
+use tcq_common::{CmpOp, Expr, Timestamp, Tuple, Value};
+use tcq_eddy::{EddyBuilder, FilterOp, FixedPolicy, LotteryPolicy, NaivePolicy, StemOp};
+use tcq_flux::{FluxCluster, GroupCount};
+use tcq_stems::SymmetricHashJoin;
+use tcq_windows::{AggKind, Bound, ForLoop, LoopCond, SlidingAgg, WindowAgg, WindowIs};
+
+fn int_tuple(vals: &[i64], seq: i64) -> Tuple {
+    Tuple::at_seq(vals.iter().map(|&v| Value::Int(v)).collect(), seq)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two filters over one stream: any policy and batching setting
+    /// produces exactly the conjunction, in submission order.
+    #[test]
+    fn eddy_filters_equal_reference(
+        values in proptest::collection::vec(-50i64..50, 1..200),
+        lo in -40i64..0,
+        hi in 0i64..40,
+        policy_pick in 0u8..3,
+        batch in prop_oneof![Just(1usize), Just(7), Just(64)],
+    ) {
+        let policy: Box<dyn tcq_eddy::RoutingPolicy> = match policy_pick {
+            0 => Box::new(FixedPolicy::new(vec![0, 1])),
+            1 => Box::new(NaivePolicy::new(9)),
+            _ => Box::new(LotteryPolicy::new(9)),
+        };
+        let mut e = EddyBuilder::new(vec![1], policy)
+            .filter(FilterOp::new("lo", Expr::col(0).cmp(CmpOp::Ge, Expr::lit(lo))))
+            .filter(FilterOp::new("hi", Expr::col(0).cmp(CmpOp::Lt, Expr::lit(hi))))
+            .batch_size(batch)
+            .build();
+        for (i, &v) in values.iter().enumerate() {
+            e.submit(0, int_tuple(&[v], i as i64));
+        }
+        let got: Vec<i64> = e.run().iter().map(|t| t.field(0).as_int().unwrap()).collect();
+        let want: Vec<i64> = values.iter().copied().filter(|&v| v >= lo && v < hi).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Two-way equi-join through an eddy matches the nested-loop count,
+    /// whatever the interleaving of sides.
+    #[test]
+    fn eddy_join_equals_nested_loop(
+        keys_l in proptest::collection::vec(0i64..8, 0..60),
+        keys_r in proptest::collection::vec(0i64..8, 0..60),
+        seed in 0u64..1000,
+    ) {
+        let mut e = EddyBuilder::new(vec![1, 1], Box::new(NaivePolicy::new(seed)))
+            .stem(StemOp::new("stemL", 0, vec![0], vec![1]))
+            .stem(StemOp::new("stemR", 1, vec![0], vec![0]))
+            .build();
+        let mut got = 0usize;
+        let (mut i, mut j, mut seq) = (0usize, 0usize, 0i64);
+        // Deterministic pseudo-random interleaving from the seed.
+        let mut x = seed.wrapping_add(1);
+        while i < keys_l.len() || j < keys_r.len() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let left_turn = (x >> 60) % 2 == 0;
+            if (left_turn && i < keys_l.len()) || j >= keys_r.len() {
+                got += e.push(0, int_tuple(&[keys_l[i]], seq)).len();
+                i += 1;
+            } else {
+                got += e.push(1, int_tuple(&[keys_r[j]], seq)).len();
+                j += 1;
+            }
+            seq += 1;
+        }
+        let want = keys_l
+            .iter()
+            .flat_map(|a| keys_r.iter().map(move |b| (a, b)))
+            .filter(|(a, b)| a == b)
+            .count();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The CACQ grouped-filter engine delivers exactly the queries whose
+    /// conjunctive predicates a tuple satisfies.
+    #[test]
+    fn cacq_equals_per_query_evaluation(
+        preds in proptest::collection::vec((0i64..100, 0u8..4), 1..30),
+        values in proptest::collection::vec(0i64..100, 1..80),
+    ) {
+        let mut engine = CacqEngine::new();
+        let mut specs = Vec::new();
+        for (threshold, op_pick) in &preds {
+            let op = match op_pick {
+                0 => CmpOp::Gt,
+                1 => CmpOp::Le,
+                2 => CmpOp::Eq,
+                _ => CmpOp::Ne,
+            };
+            let spec = QuerySpec::select(0, vec![(0, op, Value::Int(*threshold))]);
+            let id = engine.add_query(spec).unwrap();
+            specs.push((id, op, *threshold));
+        }
+        for (i, &v) in values.iter().enumerate() {
+            let t = int_tuple(&[v], i as i64);
+            let mut got: Vec<u64> = engine.push(0, t).into_iter().map(|(q, _)| q).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> = specs
+                .iter()
+                .filter(|(_, op, th)| {
+                    let ord = v.cmp(th);
+                    op.matches(ord)
+                })
+                .map(|(id, _, _)| *id)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Symmetric hash join ≡ nested loops (counts and multiset of keys).
+    #[test]
+    fn sym_join_equals_nested_loop(
+        keys_l in proptest::collection::vec(0i64..6, 0..50),
+        keys_r in proptest::collection::vec(0i64..6, 0..50),
+    ) {
+        let mut j = SymmetricHashJoin::new(vec![0], vec![0], 1, None);
+        let mut got = 0usize;
+        for (i, &k) in keys_l.iter().enumerate() {
+            got += j.push_left(int_tuple(&[k], i as i64)).len();
+        }
+        for (i, &k) in keys_r.iter().enumerate() {
+            got += j.push_right(int_tuple(&[k], (keys_l.len() + i) as i64)).len();
+        }
+        let want = keys_l
+            .iter()
+            .flat_map(|a| keys_r.iter().map(move |b| (a, b)))
+            .filter(|(a, b)| a == b)
+            .count();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Incremental sliding aggregates agree with brute-force recompute
+    /// at every step, for every aggregate kind.
+    #[test]
+    fn sliding_aggregates_equal_recompute(
+        values in proptest::collection::vec(-1000i64..1000, 1..150),
+        width in 1i64..40,
+        kind_pick in 0u8..5,
+    ) {
+        let kind = [AggKind::Count, AggKind::Sum, AggKind::Min, AggKind::Max, AggKind::Avg]
+            [kind_pick as usize];
+        let mut agg = SlidingAgg::new(kind);
+        for (i, &v) in values.iter().enumerate() {
+            let t = i as i64 + 1;
+            agg.push(Timestamp::logical(t), &Value::Float(v as f64));
+            agg.evict_before(Timestamp::logical(t - width + 1));
+            let lo = ((t - width + 1).max(1) - 1) as usize;
+            let window: Vec<f64> = values[lo..=i].iter().map(|&x| x as f64).collect();
+            let want = match kind {
+                AggKind::Count => Value::Int(window.len() as i64),
+                AggKind::Sum => Value::Float(window.iter().sum()),
+                AggKind::Avg => Value::Float(window.iter().sum::<f64>() / window.len() as f64),
+                AggKind::Min => Value::Float(window.iter().cloned().fold(f64::INFINITY, f64::min)),
+                AggKind::Max => {
+                    Value::Float(window.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+                }
+            };
+            let got = agg.value();
+            match (got, want) {
+                (Value::Float(a), Value::Float(b)) => prop_assert!((a - b).abs() < 1e-6),
+                (a, b) => prop_assert_eq!(a, b),
+            }
+        }
+    }
+
+    /// Window sequences match the closed form `coeff·t + offset` and
+    /// respect the loop condition.
+    #[test]
+    fn window_sequences_match_closed_form(
+        init in -20i64..20,
+        len in 1i64..30,
+        step in 1i64..4,
+        lcoeff in -1i64..2,
+        loff in -10i64..10,
+        width in 0i64..10,
+    ) {
+        let header = ForLoop { init, cond: LoopCond::Lt(init + len), step };
+        let w = WindowIs::new(
+            "s",
+            Bound::affine(lcoeff, loff),
+            Bound::affine(lcoeff, loff + width),
+        );
+        let seq = tcq_windows::WindowSeq::single(header, w);
+        let mut count = 0i64;
+        for (t, ws) in seq.iter() {
+            prop_assert!(t < init + len);
+            prop_assert_eq!(t, init + count * step);
+            let (l, r) = (ws[0].1, ws[0].2);
+            prop_assert_eq!(l.ticks(), lcoeff * t + loff);
+            prop_assert_eq!(r.ticks(), lcoeff * t + loff + width);
+            count += 1;
+        }
+        prop_assert_eq!(count, (len + step - 1) / step);
+    }
+
+    /// Flux accounts for every routed tuple exactly once, across
+    /// arbitrary rebalance points, machine speeds, and skew.
+    #[test]
+    fn flux_exactly_once_accounting(
+        keys in proptest::collection::vec(0i64..40, 1..300),
+        rebalance_every in 10usize..100,
+        slow_machine in 0usize..3,
+    ) {
+        let mut c = FluxCluster::new(3, 16, &GroupCount::new(vec![0]), vec![0], false);
+        c.set_speed(slow_machine, 0.3);
+        for (i, &k) in keys.iter().enumerate() {
+            c.route(0, &int_tuple(&[k], i as i64)).unwrap();
+            if i % rebalance_every == rebalance_every - 1 {
+                c.rebalance();
+            }
+        }
+        let total: i64 = c
+            .snapshot()
+            .iter()
+            .map(|t| t.field(t.arity() - 1).as_int().unwrap())
+            .sum();
+        prop_assert_eq!(total, keys.len() as i64);
+        // And per-key counts match.
+        let mut per_key = std::collections::HashMap::new();
+        for &k in &keys {
+            *per_key.entry(k).or_insert(0i64) += 1;
+        }
+        for row in c.snapshot() {
+            let k = row.field(0).as_int().unwrap();
+            let n = row.field(1).as_int().unwrap();
+            prop_assert_eq!(per_key.get(&k).copied().unwrap_or(0), n);
+        }
+    }
+}
+
+/// Non-proptest cross-check: the E1 scenario's invariant — adaptive and
+/// static plans produce identical *answers* (adaptivity only changes
+/// work), even across a selectivity drift.
+#[test]
+fn adaptive_and_static_answers_identical_under_drift() {
+    use tcq_wrappers::{DriftGen, Source};
+    let build = |policy: Box<dyn tcq_eddy::RoutingPolicy>| {
+        EddyBuilder::new(vec![2], policy)
+            .filter(FilterOp::new("fa", Expr::col(0).cmp(CmpOp::Gt, Expr::lit(45i64))))
+            .filter(FilterOp::new("fb", Expr::col(1).cmp(CmpOp::Gt, Expr::lit(45i64))))
+            .build()
+    };
+    let tuples: Vec<Tuple> = DriftGen::new(42, 2_000).poll(4_000);
+    let mut adaptive = build(Box::new(LotteryPolicy::new(1)));
+    let mut fixed = build(Box::new(FixedPolicy::new(vec![0, 1])));
+    let mut a_out = Vec::new();
+    let mut f_out = Vec::new();
+    for t in &tuples {
+        a_out.extend(adaptive.push(0, t.clone()));
+        f_out.extend(fixed.push(0, t.clone()));
+    }
+    assert_eq!(a_out, f_out, "answers agree; only routing work differs");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// End-to-end SQL: a randomly parameterized filter query through
+    /// parse → plan → eddy matches direct predicate evaluation.
+    #[test]
+    fn sql_filter_queries_match_reference(
+        lo in 0i64..50,
+        width in 1i64..50,
+        sym_pick in 0usize..3,
+        prices in proptest::collection::vec((0i64..100, 0usize..3), 1..80),
+    ) {
+        use tcq_common::{Catalog, DataType, Field, Schema};
+        use tcq_sql::Planner;
+
+        let syms = ["MSFT", "IBM", "ORCL"];
+        let catalog = Catalog::new();
+        catalog
+            .register_stream(
+                "csp",
+                Schema::qualified(
+                    "csp",
+                    vec![
+                        Field::new("sym", DataType::Str),
+                        Field::new("price", DataType::Int),
+                    ],
+                ),
+            )
+            .unwrap();
+        let sql = format!(
+            "SELECT price FROM csp WHERE sym = '{}' AND price >= {lo} AND price < {}",
+            syms[sym_pick],
+            lo + width
+        );
+        let plan = Planner::new(catalog).plan_sql(&sql).unwrap();
+        let mut eddy = plan.build_eddy(Box::new(NaivePolicy::new(3))).unwrap();
+        let mut got = Vec::new();
+        for (i, (price, s)) in prices.iter().enumerate() {
+            let t = Tuple::at_seq(
+                vec![Value::str(syms[*s]), Value::Int(*price)],
+                i as i64,
+            );
+            for full in eddy.push(0, t) {
+                got.push(plan.project(&full).unwrap().field(0).as_int().unwrap());
+            }
+        }
+        let want: Vec<i64> = prices
+            .iter()
+            .filter(|(p, s)| *s == sym_pick && *p >= lo && *p < lo + width)
+            .map(|(p, _)| *p)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// DupElim ≡ first-occurrence filtering for any value sequence.
+    #[test]
+    fn dupelim_equals_first_occurrence(values in proptest::collection::vec(0i64..20, 0..200)) {
+        use tcq_eddy::DupElim;
+        let mut d = DupElim::new();
+        let mut seen = std::collections::HashSet::new();
+        for (i, &v) in values.iter().enumerate() {
+            let emitted = d.push(Tuple::at_seq(vec![Value::Int(v)], i as i64)).is_some();
+            prop_assert_eq!(emitted, seen.insert(v));
+        }
+    }
+
+    /// Juggle is a permutation: nothing dropped, nothing invented.
+    #[test]
+    fn juggle_is_a_permutation(
+        values in proptest::collection::vec(-100i64..100, 0..150),
+        cap in 1usize..20,
+    ) {
+        use tcq_eddy::Juggle;
+        let mut j = Juggle::new(cap, |t: &Tuple| t.field(0).as_int().unwrap());
+        let mut out = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            out.extend(j.push(Tuple::at_seq(vec![Value::Int(v)], i as i64)));
+        }
+        out.extend(j.drain());
+        let mut got: Vec<i64> = out.iter().map(|t| t.field(0).as_int().unwrap()).collect();
+        let mut want = values.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

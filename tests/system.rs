@@ -1,0 +1,445 @@
+//! Cross-crate system tests: shared processing with dynamic query
+//! add/remove, out-of-core archives serving historical windows, wrapper
+//! sources, mixed workloads on one server.
+
+use tcq::{Config, Server};
+use tcq_common::{DataType, Field, Schema, Value};
+use tcq_wrappers::{SensorGen, Source, StockTicker};
+
+fn stock_schema() -> Schema {
+    Schema::qualified(
+        "closingstockprices",
+        vec![
+            Field::new("timestamp", DataType::Int),
+            Field::new("stockSymbol", DataType::Str),
+            Field::new("closingPrice", DataType::Float),
+        ],
+    )
+}
+
+fn sensor_schema() -> Schema {
+    Schema::qualified(
+        "sensors",
+        vec![
+            Field::new("sensor_id", DataType::Int),
+            Field::new("reading", DataType::Float),
+        ],
+    )
+}
+
+/// CACQ behaviour at the server level: queries enter and leave while the
+/// stream flows, and existing queries are unaffected.
+#[test]
+fn queries_add_and_remove_mid_stream() {
+    let s = Server::start(Config::default()).unwrap();
+    s.register_stream("ClosingStockPrices", stock_schema())
+        .unwrap();
+    let quote = |day: i64, price: f64| {
+        s.push_at(
+            "ClosingStockPrices",
+            vec![Value::Int(day), Value::str("MSFT"), Value::Float(price)],
+            day,
+        )
+        .unwrap();
+    };
+
+    let q1 = s
+        .submit("SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > 10.0")
+        .unwrap();
+    quote(1, 20.0);
+    s.sync();
+    // A second query arrives mid-stream; it sees only future tuples.
+    let q2 = s
+        .submit("SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > 10.0")
+        .unwrap();
+    quote(2, 30.0);
+    s.sync();
+    // Remove q1 mid-stream; q2 keeps going.
+    s.stop_query(q1.id).unwrap();
+    quote(3, 40.0);
+    s.sync();
+
+    let q1_rows: Vec<f64> = q1
+        .drain()
+        .into_iter()
+        .flat_map(|r| r.rows)
+        .map(|t| t.field(0).as_float().unwrap())
+        .collect();
+    let q2_rows: Vec<f64> = q2
+        .drain()
+        .into_iter()
+        .flat_map(|r| r.rows)
+        .map(|t| t.field(0).as_float().unwrap())
+        .collect();
+    assert_eq!(q1_rows, vec![20.0, 30.0], "q1 missed nothing before stop");
+    assert_eq!(q2_rows, vec![30.0, 40.0], "q2 starts at registration");
+    assert!(q1.is_finished());
+    s.shutdown();
+}
+
+/// Historical windows are answered from sealed, spooled archive
+/// segments (out-of-core support): a tiny segment size forces data to
+/// disk, and the snapshot query reads it back through the buffer pool.
+#[test]
+fn historical_window_reads_spooled_segments() {
+    let config = Config {
+        segment_tuples: 8, // force many tiny segments
+        buffer_pool_segments: 2,
+        ..Config::default()
+    };
+    let s = Server::start(config).unwrap();
+    s.register_stream("ClosingStockPrices", stock_schema())
+        .unwrap();
+    for day in 1..=200 {
+        s.push_at(
+            "ClosingStockPrices",
+            vec![
+                Value::Int(day),
+                Value::str("MSFT"),
+                Value::Float(day as f64),
+            ],
+            day,
+        )
+        .unwrap();
+    }
+    s.sync();
+    // Give the background spooler a moment; scans work either way
+    // (resident copies serve unspooled segments).
+    let h = s
+        .submit(
+            "SELECT COUNT(*) AS n, MAX(closingPrice) AS hi \
+             FROM ClosingStockPrices \
+             for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 50, 149); }",
+        )
+        .unwrap();
+    s.sync();
+    let sets = h.drain();
+    assert_eq!(sets.len(), 1);
+    assert_eq!(sets[0].rows[0].field(0), &Value::Int(100));
+    assert_eq!(sets[0].rows[0].field(1), &Value::Float(149.0));
+    s.shutdown();
+}
+
+/// Several unrelated streams and query classes coexist on one server.
+#[test]
+fn mixed_streams_and_query_classes() {
+    let s = Server::start(Config::default()).unwrap();
+    s.register_stream("ClosingStockPrices", stock_schema())
+        .unwrap();
+    s.register_stream("Sensors", sensor_schema()).unwrap();
+
+    let stocks = s
+        .submit("SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > 100.0")
+        .unwrap();
+    let sensors = s
+        .submit(
+            "SELECT COUNT(*) AS n FROM Sensors \
+             for (t = 10; t <= 20; t += 10) { WindowIs(Sensors, t - 9, t); }",
+        )
+        .unwrap();
+
+    for day in 1..=5 {
+        s.push_at(
+            "ClosingStockPrices",
+            vec![
+                Value::Int(day),
+                Value::str("MSFT"),
+                Value::Float(100.0 + day as f64),
+            ],
+            day,
+        )
+        .unwrap();
+    }
+    let mut gen = SensorGen::new(3, 4);
+    for t in gen.poll(25) {
+        s.push_at("Sensors", t.fields().to_vec(), t.ts().ticks())
+            .unwrap();
+    }
+    s.punctuate("Sensors", 25).unwrap();
+    s.sync();
+
+    let stock_count: usize = stocks.drain().iter().map(|r| r.rows.len()).sum();
+    assert_eq!(stock_count, 5);
+    let sensor_sets = sensors.drain();
+    assert_eq!(sensor_sets.len(), 2, "windows [1,10] and [11,20]");
+    for rs in &sensor_sets {
+        assert_eq!(rs.rows[0].field(0), &Value::Int(10));
+    }
+    s.shutdown();
+}
+
+/// The Wrapper thread hosts several sources concurrently and
+/// auto-punctuates streams whose sources finish, releasing final
+/// windows without explicit client punctuation.
+#[test]
+fn wrapper_auto_punctuates_on_source_exhaustion() {
+    let s = Server::start(Config::default()).unwrap();
+    s.register_stream("ClosingStockPrices", stock_schema())
+        .unwrap();
+    let h = s
+        .submit(
+            "SELECT COUNT(*) AS n FROM ClosingStockPrices \
+             for (t = 10; t <= 30; t += 10) { WindowIs(ClosingStockPrices, t - 9, t); }",
+        )
+        .unwrap();
+    s.attach_source(
+        "ClosingStockPrices",
+        Box::new(StockTicker::with_symbols(1, vec!["MSFT"], Some(30))),
+    )
+    .unwrap();
+    assert!(s.drain_sources(std::time::Duration::from_secs(10)));
+    s.sync();
+    let sets = h.drain();
+    assert_eq!(sets.len(), 3, "all three windows released, incl. the last");
+    for rs in &sets {
+        assert_eq!(rs.rows[0].field(0), &Value::Int(10));
+    }
+    s.shutdown();
+}
+
+/// Many clients, one stream: the shared grouped-filter path scales the
+/// delivered results with query count, not the evaluation work.
+#[test]
+fn shared_selection_fanout_is_correct() {
+    let s = Server::start(Config::default()).unwrap();
+    s.register_stream("ClosingStockPrices", stock_schema())
+        .unwrap();
+    let handles: Vec<_> = (0..50)
+        .map(|i| {
+            s.submit(&format!(
+                "SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > {}.0",
+                i * 2
+            ))
+            .unwrap()
+        })
+        .collect();
+    for day in 1..=10 {
+        s.push_at(
+            "ClosingStockPrices",
+            vec![
+                Value::Int(day),
+                Value::str("MSFT"),
+                Value::Float((day * 10) as f64),
+            ],
+            day,
+        )
+        .unwrap();
+    }
+    s.sync();
+    for (i, h) in handles.iter().enumerate() {
+        let got: usize = h.drain().iter().map(|r| r.rows.len()).sum();
+        let expected = (1..=10).filter(|&d| (d * 10) as f64 > (i * 2) as f64).count();
+        assert_eq!(got, expected, "query {i}");
+    }
+    s.shutdown();
+}
+
+/// A PSoup-style client: register standing interest, disconnect, and
+/// retrieve materialized answers later (using the dedicated engine).
+#[test]
+fn psoup_disconnected_retrieval() {
+    use tcq_common::{CmpOp, Timestamp, Tuple};
+    use tcq_psoup::{PSoup, PsoupQuery};
+
+    let mut p = PSoup::new();
+    let q = p
+        .register_query(PsoupQuery {
+            stream: 0,
+            predicates: vec![(1, CmpOp::Gt, Value::Float(50.0))],
+            window_width: 20,
+        })
+        .unwrap();
+    // Client disconnects; data keeps flowing.
+    for i in 1..=100 {
+        p.push(
+            0,
+            Tuple::at_seq(vec![Value::str("MSFT"), Value::Float((i % 80) as f64)], i),
+        );
+    }
+    // Client reconnects and asks for the current answer.
+    let answer = p.retrieve(q, Timestamp::logical(100)).unwrap();
+    let expected = (81..=100).filter(|&i| (i % 80) as f64 > 50.0).count();
+    assert_eq!(answer.len(), expected);
+    // And the recompute baseline agrees.
+    let recomputed = p.retrieve_recompute(q, Timestamp::logical(100)).unwrap();
+    assert_eq!(answer, recomputed);
+}
+
+/// Queries spanning EOs and footprints deliver to the right handles even
+/// with several executor threads.
+#[test]
+fn multiple_executor_threads() {
+    let config = Config {
+        executor_threads: 4,
+        ..Config::default()
+    };
+    let s = Server::start(config).unwrap();
+    s.register_stream("ClosingStockPrices", stock_schema())
+        .unwrap();
+    s.register_stream("Sensors", sensor_schema()).unwrap();
+    let qs: Vec<_> = (0..8)
+        .map(|i| {
+            if i % 2 == 0 {
+                s.submit("SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > 0.0")
+                    .unwrap()
+            } else {
+                s.submit("SELECT reading FROM Sensors WHERE reading > -100.0")
+                    .unwrap()
+            }
+        })
+        .collect();
+    for day in 1..=20 {
+        s.push_at(
+            "ClosingStockPrices",
+            vec![Value::Int(day), Value::str("A"), Value::Float(1.0)],
+            day,
+        )
+        .unwrap();
+        s.push_at(
+            "Sensors",
+            vec![Value::Int(day), Value::Float(20.0)],
+            day,
+        )
+        .unwrap();
+    }
+    s.sync();
+    for (i, h) in qs.iter().enumerate() {
+        let got: usize = h.drain().iter().map(|r| r.rows.len()).sum();
+        assert_eq!(got, 20, "query {i} sees every tuple of its stream");
+    }
+    s.shutdown();
+}
+
+/// `SELECT DISTINCT` works in all three execution classes.
+#[test]
+fn select_distinct_everywhere() {
+    let s = Server::start(Config::default()).unwrap();
+    s.register_stream("ClosingStockPrices", stock_schema())
+        .unwrap();
+    // Streamed (shared class) distinct.
+    let streamed = s
+        .submit(
+            "SELECT DISTINCT stockSymbol FROM ClosingStockPrices \
+             WHERE closingPrice > 0.0",
+        )
+        .unwrap();
+    // Windowed distinct: per-window sets are deduplicated independently.
+    let windowed = s
+        .submit(
+            "SELECT DISTINCT stockSymbol FROM ClosingStockPrices \
+             for (t = 4; t <= 8; t += 4) { WindowIs(ClosingStockPrices, t - 3, t); }",
+        )
+        .unwrap();
+    for day in 1..=8i64 {
+        for sym in ["MSFT", "IBM", "MSFT"] {
+            s.push_at(
+                "ClosingStockPrices",
+                vec![Value::Int(day), Value::str(sym), Value::Float(1.0)],
+                day,
+            )
+            .unwrap();
+        }
+    }
+    s.punctuate("ClosingStockPrices", 8).unwrap();
+    s.sync();
+    let streamed_rows: Vec<String> = streamed
+        .drain()
+        .into_iter()
+        .flat_map(|r| r.rows)
+        .map(|t| t.field(0).as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(
+        streamed_rows,
+        vec!["MSFT".to_string(), "IBM".to_string()],
+        "each symbol delivered once over the whole stream"
+    );
+    let sets = windowed.drain();
+    assert_eq!(sets.len(), 2);
+    for rs in &sets {
+        assert_eq!(rs.rows.len(), 2, "both symbols, each once, per window");
+    }
+    s.shutdown();
+}
+
+/// ORDER BY sorts each windowed result set; unwindowed queries reject it.
+#[test]
+fn order_by_windowed_sets() {
+    let s = Server::start(Config::default()).unwrap();
+    s.register_stream("ClosingStockPrices", stock_schema())
+        .unwrap();
+    let h = s
+        .submit(
+            "SELECT stockSymbol, closingPrice FROM ClosingStockPrices \
+             ORDER BY closingPrice DESC, stockSymbol \
+             for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 3); }",
+        )
+        .unwrap();
+    for (day, sym, price) in [
+        (1i64, "MSFT", 50.0),
+        (2, "IBM", 90.0),
+        (3, "ORCL", 70.0),
+        (3, "AAPL", 90.0),
+    ] {
+        s.push_at(
+            "ClosingStockPrices",
+            vec![Value::Int(day), Value::str(sym), Value::Float(price)],
+            day,
+        )
+        .unwrap();
+    }
+    s.punctuate("ClosingStockPrices", 3).unwrap();
+    s.sync();
+    let sets = h.drain();
+    assert_eq!(sets.len(), 1);
+    let names: Vec<&str> = sets[0]
+        .rows
+        .iter()
+        .map(|r| r.field(0).as_str().unwrap())
+        .collect();
+    // 90.0 ties break by symbol ascending: AAPL before IBM.
+    assert_eq!(names, vec!["AAPL", "IBM", "ORCL", "MSFT"]);
+    // Aggregated + ordered by output name.
+    let agg = s
+        .submit(
+            "SELECT stockSymbol, COUNT(*) AS n FROM ClosingStockPrices \
+             GROUP BY stockSymbol ORDER BY n DESC, 1 \
+             for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 3); }",
+        )
+        .unwrap();
+    s.sync();
+    let asets = agg.drain();
+    assert_eq!(asets.len(), 1);
+    assert_eq!(asets[0].rows.len(), 4);
+    // Unwindowed ORDER BY rejected.
+    assert!(s
+        .submit("SELECT closingPrice FROM ClosingStockPrices ORDER BY 1")
+        .is_err());
+    // Bad ORDER BY targets rejected.
+    assert!(s
+        .submit(
+            "SELECT closingPrice FROM ClosingStockPrices ORDER BY nosuch \
+             for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 3); }"
+        )
+        .is_err());
+    s.shutdown();
+}
+
+/// `Server::explain` describes plans without registering queries.
+#[test]
+fn explain_describes_without_registering() {
+    let s = Server::start(Config::default()).unwrap();
+    s.register_stream("ClosingStockPrices", stock_schema())
+        .unwrap();
+    let text = s
+        .explain(
+            "SELECT MAX(closingPrice) AS hi FROM ClosingStockPrices \
+             for (t = 5; t <= 9; t++) { WindowIs(ClosingStockPrices, t - 4, t); }",
+        )
+        .unwrap();
+    assert!(text.contains("class: windowed"), "{text}");
+    assert!(text.contains("Sliding"), "{text}");
+    assert!(text.contains("MAX"), "{text}");
+    // Invalid queries still error through explain.
+    assert!(s.explain("SELECT MAX(closingPrice) FROM ClosingStockPrices").is_err());
+    s.shutdown();
+}
