@@ -1,0 +1,20 @@
+//! E10 — end-to-end pipeline throughput as the batch size grows: tuples
+//! flow FrontEnd → Wrapper → Executor → egress in batches of
+//! `Config::batch_size`, amortizing queue, archive, and routing costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcq_bench::e10_run;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_pipeline_throughput");
+    g.sample_size(10);
+    for &batch in &[1usize, 16, 256, 4096] {
+        g.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &batch| {
+            b.iter(|| e10_run(batch, 50_000));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -9,10 +9,14 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5_psoup_materialization");
     g.sample_size(10);
     for &window in &[1_000i64, 10_000, 50_000] {
-        g.bench_with_input(BenchmarkId::new("materialized", window), &window, |b, &w| {
-            let (mut p, ids) = e5_setup(64, 100_000, w);
-            b.iter(|| e5_retrieve(&mut p, &ids, 100_000, true));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("materialized", window),
+            &window,
+            |b, &w| {
+                let (mut p, ids) = e5_setup(64, 100_000, w);
+                b.iter(|| e5_retrieve(&mut p, &ids, 100_000, true));
+            },
+        );
         g.bench_with_input(BenchmarkId::new("recompute", window), &window, |b, &w| {
             let (mut p, ids) = e5_setup(64, 100_000, w);
             b.iter(|| e5_retrieve(&mut p, &ids, 100_000, false));

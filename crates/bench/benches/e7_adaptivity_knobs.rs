@@ -10,9 +10,13 @@ fn bench(c: &mut Criterion) {
     for &batch in &[1usize, 16, 256, 4096] {
         for drift in [false, true] {
             let tag = format!("batch{batch}_{}", if drift { "drift" } else { "stable" });
-            g.bench_with_input(BenchmarkId::from_parameter(tag), &(batch, drift), |b, &(bs, d)| {
-                b.iter(|| e7_run(bs, 1, d, 50_000));
-            });
+            g.bench_with_input(
+                BenchmarkId::from_parameter(tag),
+                &(batch, drift),
+                |b, &(bs, d)| {
+                    b.iter(|| e7_run(bs, 1, d, 50_000));
+                },
+            );
         }
     }
     for &fix in &[1usize, 2] {

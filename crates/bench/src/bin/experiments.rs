@@ -4,7 +4,7 @@
 //! cargo run --release -p tcq-bench --bin experiments
 //! ```
 //!
-//! Prints paper-claim vs measured-shape rows for E1–E9 (see DESIGN.md §5
+//! Prints paper-claim vs measured-shape rows for E1–E10 (see DESIGN.md §5
 //! for the experiment index).
 
 use tcq_bench::*;
@@ -23,6 +23,7 @@ fn main() {
     e7();
     e8();
     e9();
+    e10();
 }
 
 fn e1() {
@@ -98,21 +99,32 @@ fn e3() {
 fn e4() {
     println!("E4 — CACQ shared execution vs query-at-a-time (20k tuples)");
     println!(
-        "  {:<8} {:>14} {:>14} {:>12} {:>12} {:>10}",
-        "queries", "shared evals", "naive evals", "shared ms", "naive ms", "speedup"
+        "  {:<8} {:>14} {:>14} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "queries",
+        "shared evals",
+        "naive evals",
+        "shared ms",
+        "batched ms",
+        "naive ms",
+        "speedup",
+        "batched"
     );
     for &k in &[1usize, 8, 32, 128, 512, 2048] {
         let s = e4_shared(k, 20_000);
+        let sb = e4_shared_batched(k, 20_000, 256);
         let n = e4_per_query(k, 20_000);
         assert_eq!(s.delivered, n.delivered);
+        assert_eq!(sb.delivered, n.delivered);
         println!(
-            "  {:<8} {:>14} {:>14} {:>12.2} {:>12.2} {:>9.1}x",
+            "  {:<8} {:>14} {:>14} {:>12.2} {:>12.2} {:>12.2} {:>9.1}x {:>9.1}x",
             k,
             s.eval_ops,
             n.eval_ops,
             s.elapsed_ms,
+            sb.elapsed_ms,
             n.elapsed_ms,
-            n.elapsed_ms / s.elapsed_ms.max(1e-9)
+            n.elapsed_ms / s.elapsed_ms.max(1e-9),
+            n.elapsed_ms / sb.elapsed_ms.max(1e-9)
         );
     }
     println!();
@@ -240,6 +252,30 @@ fn e9() {
             name,
             skew * 100.0,
             scan * 100.0
+        );
+    }
+    println!();
+}
+
+fn e10() {
+    println!("E10 — end-to-end pipeline throughput vs batch size (100k tuples)");
+    println!("  FrontEnd -> Wrapper -> Executor -> egress; 2 EO threads");
+    println!(
+        "  {:<8} {:>12} {:>10} {:>12} {:>12} {:>16} {:>16}",
+        "batch", "tuples/s", "ms", "rows out", "queue locks", "tuples/enq lock", "tuples/deq lock"
+    );
+    for &batch in &[1usize, 16, 256, 4096] {
+        let r = e10_run(batch, 100_000);
+        assert_eq!(r.rows_out, r.tuples, "no result set shed");
+        println!(
+            "  {:<8} {:>12.0} {:>10.2} {:>12} {:>12} {:>16.1} {:>16.1}",
+            batch,
+            r.tuples_per_sec,
+            r.elapsed_ms,
+            r.rows_out,
+            r.queue.enq_locks + r.queue.deq_locks,
+            r.tuples_per_enq_lock,
+            r.tuples_per_deq_lock
         );
     }
     println!();

@@ -1,7 +1,7 @@
 //! # tcq-bench
 //!
 //! Experiment harnesses reproducing the TelegraphCQ paper's performance
-//! claims (see DESIGN.md §5 for the experiment index E1–E9 and
+//! claims (see DESIGN.md §5 for the experiment index E1–E10 and
 //! EXPERIMENTS.md for measured results).
 //!
 //! Each experiment has a pure runner here returning structured metrics;
@@ -66,12 +66,8 @@ pub struct E1Result {
 /// exactly one of them selective per phase and swaps at `switch_at`.
 pub fn drift_eddy(policy: Policy, seed: u64, batch: usize, fix: usize) -> Eddy {
     EddyBuilder::new(vec![2], make_policy(policy, seed))
-        .filter(
-            FilterOp::new("fa", Expr::col(0).cmp(CmpOp::Gt, Expr::lit(45i64))).with_cost(60),
-        )
-        .filter(
-            FilterOp::new("fb", Expr::col(1).cmp(CmpOp::Gt, Expr::lit(45i64))).with_cost(60),
-        )
+        .filter(FilterOp::new("fa", Expr::col(0).cmp(CmpOp::Gt, Expr::lit(45i64))).with_cost(60))
+        .filter(FilterOp::new("fb", Expr::col(1).cmp(CmpOp::Gt, Expr::lit(45i64))).with_cost(60))
         .batch_size(batch)
         .fix_ops(fix)
         .build()
@@ -104,9 +100,18 @@ pub fn e1_run(policy: Policy, n: u64) -> E1Result {
 /// selectivities ~0.2 / 0.5 / 0.8: the 0.2 filter should win routing.
 pub fn e2_convergence(n: u64, window: u64) -> Vec<[f64; 3]> {
     let mut eddy = EddyBuilder::new(vec![1], Box::new(LotteryPolicy::new(5)))
-        .filter(FilterOp::new("s02", Expr::col(0).cmp(CmpOp::Lt, Expr::lit(20i64))))
-        .filter(FilterOp::new("s05", Expr::col(0).cmp(CmpOp::Lt, Expr::lit(50i64))))
-        .filter(FilterOp::new("s08", Expr::col(0).cmp(CmpOp::Lt, Expr::lit(80i64))))
+        .filter(FilterOp::new(
+            "s02",
+            Expr::col(0).cmp(CmpOp::Lt, Expr::lit(20i64)),
+        ))
+        .filter(FilterOp::new(
+            "s05",
+            Expr::col(0).cmp(CmpOp::Lt, Expr::lit(50i64)),
+        ))
+        .filter(FilterOp::new(
+            "s08",
+            Expr::col(0).cmp(CmpOp::Lt, Expr::lit(80i64)),
+        ))
         .build();
     let mut snapshots = Vec::new();
     let mut last = [0u64; 3];
@@ -267,10 +272,7 @@ pub fn e4_per_query(k: usize, n: usize) -> E4Result {
     for t in &tuples {
         for (col, op, v) in &queries {
             eval_ops += 1;
-            let passes = t
-                .field(*col)
-                .sql_cmp(v)
-                .is_some_and(|ord| op.matches(ord));
+            let passes = t.field(*col).sql_cmp(v).is_some_and(|ord| op.matches(ord));
             if passes {
                 delivered += 1;
                 std::hint::black_box(t);
@@ -280,6 +282,29 @@ pub fn e4_per_query(k: usize, n: usize) -> E4Result {
     E4Result {
         delivered,
         eval_ops,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// E4 shared, batched hot path: the same workload fed through
+/// [`CacqEngine::push_batch`] in chunks of `batch` tuples, amortizing the
+/// per-column grouped-filter lookups across the batch.
+pub fn e4_shared_batched(k: usize, n: usize, batch: usize) -> E4Result {
+    let mut engine = CacqEngine::new();
+    for (col, op, v) in e4_queries(k) {
+        engine
+            .add_query(QuerySpec::select(0, vec![(col, op, v)]))
+            .expect("valid spec");
+    }
+    let tuples = packet_prices(n);
+    let start = Instant::now();
+    let mut delivered = 0u64;
+    for chunk in tuples.chunks(batch.max(1)) {
+        delivered += engine.push_batch(0, chunk).len() as u64;
+    }
+    E4Result {
+        delivered,
+        eval_ops: engine.stats().filter_lookups,
         elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
     }
 }
@@ -331,7 +356,10 @@ pub fn e5_setup(k: usize, n: i64, w: i64) -> (PSoup, Vec<u64>) {
     for i in 1..=n {
         p.push(
             0,
-            Tuple::at_seq(vec![Value::str("s"), Value::Float((i % 1000) as f64 / 10.0)], i),
+            Tuple::at_seq(
+                vec![Value::str("s"), Value::Float((i % 1000) as f64 / 10.0)],
+                i,
+            ),
         );
         // Steady-state housekeeping, as the engine would run it: keep
         // Data SteM and Results Structures bounded by the window.
@@ -490,7 +518,13 @@ pub fn e8_run(sliding: Option<i64>, n: i64) -> E8Result {
 
 /// E9: buffer pool replacement ablation — hit rate of LRU vs Clock under
 /// a looping scan (LRU's pathological case) and a skewed access pattern.
-pub fn e9_run(policy: Replacement, segments: u64, capacity: usize, accesses: u64, skewed: bool) -> f64 {
+pub fn e9_run(
+    policy: Replacement,
+    segments: u64,
+    capacity: usize,
+    accesses: u64,
+    skewed: bool,
+) -> f64 {
     let mut pool = BufferPool::new(capacity, policy);
     let mut x = 42u64;
     for i in 0..accesses {
@@ -510,6 +544,113 @@ pub fn e9_run(policy: Replacement, segments: u64, capacity: usize, accesses: u64
     }
     let s = pool.stats();
     s.hits as f64 / (s.hits + s.misses) as f64
+}
+
+// --------------------------------------------------------------- E10 --
+
+/// E10 metrics: end-to-end pipeline throughput at one batch size.
+#[derive(Debug, Clone, Copy)]
+pub struct E10Result {
+    /// Tuples ingested through the Wrapper.
+    pub tuples: u64,
+    /// Result rows that reached the client egress.
+    pub rows_out: u64,
+    /// Wall time from source attach to pipeline drained.
+    pub elapsed_ms: f64,
+    /// Source tuples per second through the full pipeline.
+    pub tuples_per_sec: f64,
+    /// EO input-queue counters summed over all Execution Objects —
+    /// shows how batching amortizes Fjord locks. Counted in messages
+    /// (one message carries a whole tuple batch).
+    pub queue: tcq_fjords::FjordStats,
+    /// Source tuples moved per producer-side queue lock (tuple
+    /// fan-out over all EOs divided by enqueue lock acquisitions).
+    pub tuples_per_enq_lock: f64,
+    /// Source tuples moved per consumer-side queue lock.
+    pub tuples_per_deq_lock: f64,
+}
+
+/// E10: full FrontEnd → Wrapper → Executor → egress throughput, with
+/// tuples flowing in batches of `Config::batch_size` through the archive,
+/// the EO input Fjords, the shared CACQ engine, and the result queues.
+pub fn e10_run(batch_size: usize, n: usize) -> E10Result {
+    use tcq_common::{DataType, Field, Schema};
+    let eos = 2usize;
+    let config = tcq::Config {
+        batch_size,
+        executor_threads: eos,
+        // Large enough that no result set is shed while the egress
+        // drainer catches up — rows out must equal rows produced.
+        result_buffer: n.max(1024),
+        ..tcq::Config::default()
+    };
+    let server = tcq::Server::start(config).expect("server starts");
+    server
+        .register_stream(
+            "packets",
+            Schema::qualified(
+                "packets",
+                vec![
+                    Field::new("sym", DataType::Str),
+                    Field::new("price", DataType::Float),
+                ],
+            ),
+        )
+        .expect("stream registers");
+    let handle = server
+        .submit("SELECT price FROM packets WHERE price >= 0.0")
+        .expect("query submits");
+    let qid = handle.id;
+    // Drain the egress concurrently so the result Fjord never backs up.
+    let drainer = std::thread::spawn(move || {
+        let mut rows = 0u64;
+        while let Some(set) = handle.next_blocking() {
+            rows += set.rows.len() as u64;
+        }
+        rows
+    });
+    let tuples = packet_prices(n);
+    let start = Instant::now();
+    server
+        .attach_source(
+            "packets",
+            Box::new(tcq_wrappers::IterSource::new(
+                "packetgen",
+                tuples.into_iter(),
+            )),
+        )
+        .expect("source attaches");
+    assert!(
+        server.drain_sources(std::time::Duration::from_secs(300)),
+        "pipeline drains"
+    );
+    let elapsed = start.elapsed();
+    let _ = server.stop_query(qid);
+    server.sync();
+    let rows_out = drainer.join().expect("egress drainer");
+    let queue = server.eo_input_stats().into_iter().fold(
+        tcq_fjords::FjordStats::default(),
+        |mut acc, s| {
+            acc.enqueued += s.enqueued;
+            acc.dequeued += s.dequeued;
+            acc.enq_locks += s.enq_locks;
+            acc.deq_locks += s.deq_locks;
+            acc
+        },
+    );
+    let ingested = server.wrapper_ingested();
+    server.shutdown();
+    let secs = elapsed.as_secs_f64();
+    let fanout = (ingested * eos as u64) as f64;
+    E10Result {
+        tuples: ingested,
+        rows_out,
+        elapsed_ms: secs * 1e3,
+        tuples_per_sec: n as f64 / secs.max(1e-9),
+        queue,
+        tuples_per_enq_lock: fanout / (queue.enq_locks as f64).max(1.0),
+        tuples_per_deq_lock: fanout / (queue.deq_locks as f64).max(1.0),
+    }
 }
 
 #[cfg(test)]
@@ -544,7 +685,10 @@ mod tests {
         let cached = e3_run(2_000, 50, 2, true);
         let uncached = e3_run(2_000, 50, 2, false);
         assert_eq!(cached.outputs, uncached.outputs, "same join answers");
-        assert!(cached.lookups <= 50 + 10, "cache bounds lookups by key count");
+        assert!(
+            cached.lookups <= 50 + 10,
+            "cache bounds lookups by key count"
+        );
         assert!(uncached.lookups as usize >= 2_000);
     }
 

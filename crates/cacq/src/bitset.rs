@@ -87,6 +87,27 @@ impl QuerySet {
         }
     }
 
+    /// Overwrite `self` with `other`'s contents, reusing the allocation.
+    ///
+    /// (The derived `Clone::clone_from` reallocates; scratch sets on the
+    /// batched hot path use this instead.)
+    pub fn copy_from(&mut self, other: &QuerySet) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
+    /// Column-level veto: remove every slot that is in `predicated` but
+    /// not in `matched`. Used by batched grouped-filter evaluation —
+    /// after one column pass, a slot survives only if it has no
+    /// predicate on the column or all its predicates matched.
+    pub fn mask_failed(&mut self, predicated: &QuerySet, matched: &QuerySet) {
+        for (i, w) in self.words.iter_mut().enumerate() {
+            let p = predicated.words.get(i).copied().unwrap_or(0);
+            let m = matched.words.get(i).copied().unwrap_or(0);
+            *w &= !(p & !m);
+        }
+    }
+
     /// Iterate slots in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -166,6 +187,26 @@ mod tests {
     fn iter_ascending_across_words() {
         let s: QuerySet = [64, 0, 63, 128].into_iter().collect();
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 128]);
+    }
+
+    #[test]
+    fn copy_from_reuses_and_matches() {
+        let a: QuerySet = [3, 100].into_iter().collect();
+        let mut b: QuerySet = [7].into_iter().collect();
+        b.copy_from(&a);
+        assert_eq!(b, a);
+        b.copy_from(&QuerySet::new());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn mask_failed_vetoes_only_predicated_misses() {
+        // Slots: 0 unpredicated, 1 predicated+matched, 2 predicated+missed.
+        let mut passed: QuerySet = [0, 1, 2, 130].into_iter().collect();
+        let predicated: QuerySet = [1, 2].into_iter().collect();
+        let matched: QuerySet = [1].into_iter().collect();
+        passed.mask_failed(&predicated, &matched);
+        assert_eq!(passed.iter().collect::<Vec<_>>(), vec![0, 1, 130]);
     }
 
     #[test]

@@ -138,10 +138,7 @@ impl JoinSide {
                     self.arrival.pop_front();
                 }
                 Some((t, _)) => {
-                    if matches!(
-                        t.ts().partial_cmp(&bound),
-                        Some(std::cmp::Ordering::Less)
-                    ) {
+                    if matches!(t.ts().partial_cmp(&bound), Some(std::cmp::Ordering::Less)) {
                         self.entries[id] = None;
                         self.arrival.pop_front();
                         n += 1;
@@ -190,18 +187,29 @@ pub struct CacqEngine {
     interested: HashMap<usize, QuerySet>,
     /// Per stream: selection-only slots outputting that stream.
     selection_only: HashMap<usize, QuerySet>,
-    /// Per stream: number of selection predicates per slot (conjunction
-    /// arity — a tuple passes a query's stream side when its match count
-    /// reaches this).
-    pred_count: HashMap<usize, Vec<u32>>,
-    /// Per stream: slots with *zero* predicates on it (join-side slots
-    /// that trivially pass).
-    no_pred: HashMap<usize, QuerySet>,
+    /// Per stream: the distinct predicated columns, sorted (mirror of
+    /// `filters`, so a batch walks columns without scanning the map).
+    filter_cols: HashMap<usize, Vec<usize>>,
+    /// Per `(stream, col)`: predicate count per slot on that column
+    /// (conjunction arity — the column passes for a slot when its match
+    /// count reaches this).
+    col_pred_count: HashMap<(usize, usize), Vec<u32>>,
+    /// Per `(stream, col)`: slots with at least one predicate there.
+    col_predicated: HashMap<(usize, usize), QuerySet>,
     /// Match-counting scratch (generation-stamped, never cleared).
     counters: Vec<u32>,
     gens: Vec<u64>,
     cur_gen: u64,
     touched: Vec<usize>,
+    /// Per-tuple lineage scratch, one slot per batch position; grown on
+    /// demand and reused across batches.
+    passed_scratch: Vec<QuerySet>,
+    /// Column completion bitmap / delivery-intersection scratch.
+    matched_scratch: QuerySet,
+    /// Join lineage scratch (`passed ∩ subscribers`).
+    lineage_scratch: QuerySet,
+    /// Probe-combination scratch (`lineage ∩ stored lineage`).
+    combined_scratch: QuerySet,
     next_id: QueryId,
     stats: CacqStats,
 }
@@ -268,28 +276,24 @@ impl CacqEngine {
         self.next_id += 1;
 
         for sel in &spec.selections {
+            let key = (sel.stream, sel.col);
             self.filters
-                .entry((sel.stream, sel.col))
+                .entry(key)
                 .or_default()
                 .insert(sel.op, sel.value.clone(), slot);
-        }
-        for s in spec.streams() {
-            self.interested.entry(s).or_default().insert(slot);
-            let counts = self.pred_count.entry(s).or_default();
+            let counts = self.col_pred_count.entry(key).or_default();
             if counts.len() <= slot {
                 counts.resize(slot + 1, 0);
             }
-            let n = spec
-                .selections
-                .iter()
-                .filter(|sel| sel.stream == s)
-                .count() as u32;
-            counts[slot] = n;
-            if n == 0 {
-                self.no_pred.entry(s).or_default().insert(slot);
-            } else {
-                self.no_pred.entry(s).or_default().remove(slot);
+            counts[slot] += 1;
+            self.col_predicated.entry(key).or_default().insert(slot);
+            let cols = self.filter_cols.entry(sel.stream).or_default();
+            if let Err(pos) = cols.binary_search(&sel.col) {
+                cols.insert(pos, sel.col);
             }
+        }
+        for s in spec.streams() {
+            self.interested.entry(s).or_default().insert(slot);
         }
         match &spec.join {
             None => {
@@ -297,15 +301,12 @@ impl CacqEngine {
                 self.selection_only.entry(stream).or_default().insert(slot);
             }
             Some(j) => {
-                let shared = self
-                    .joins
-                    .entry(j.clone())
-                    .or_insert_with(|| SharedJoin {
-                        spec: j.clone(),
-                        left: JoinSide::default(),
-                        right: JoinSide::default(),
-                        subscribers: QuerySet::new(),
-                    });
+                let shared = self.joins.entry(j.clone()).or_insert_with(|| SharedJoin {
+                    spec: j.clone(),
+                    left: JoinSide::default(),
+                    right: JoinSide::default(),
+                    subscribers: QuerySet::new(),
+                });
                 shared.subscribers.insert(slot);
             }
         }
@@ -317,16 +318,32 @@ impl CacqEngine {
 
     /// Remove a query; shared state it no longer needs is torn down.
     pub fn remove_query(&mut self, id: QueryId) -> Result<()> {
-        let slot = self
-            .by_id
-            .remove(&id)
-            .ok_or(TcqError::UnknownQuery(id))?;
+        let slot = self.by_id.remove(&id).ok_or(TcqError::UnknownQuery(id))?;
         let info = self.queries[slot].take().expect("slot occupied");
         for sel in &info.spec.selections {
-            if let Some(gf) = self.filters.get_mut(&(sel.stream, sel.col)) {
+            let key = (sel.stream, sel.col);
+            if let Some(gf) = self.filters.get_mut(&key) {
                 gf.remove_query(slot);
                 if gf.is_empty() {
-                    self.filters.remove(&(sel.stream, sel.col));
+                    self.filters.remove(&key);
+                    self.col_pred_count.remove(&key);
+                    self.col_predicated.remove(&key);
+                    if let Some(cols) = self.filter_cols.get_mut(&sel.stream) {
+                        if let Ok(pos) = cols.binary_search(&sel.col) {
+                            cols.remove(pos);
+                        }
+                    }
+                } else {
+                    if let Some(c) = self
+                        .col_pred_count
+                        .get_mut(&key)
+                        .and_then(|counts| counts.get_mut(slot))
+                    {
+                        *c = 0;
+                    }
+                    if let Some(set) = self.col_predicated.get_mut(&key) {
+                        set.remove(slot);
+                    }
                 }
             }
         }
@@ -335,14 +352,6 @@ impl CacqEngine {
                 set.remove(slot);
             }
             if let Some(set) = self.selection_only.get_mut(&s) {
-                set.remove(slot);
-            }
-            if let Some(counts) = self.pred_count.get_mut(&s) {
-                if let Some(c) = counts.get_mut(slot) {
-                    *c = 0;
-                }
-            }
-            if let Some(set) = self.no_pred.get_mut(&s) {
                 set.remove(slot);
             }
         }
@@ -368,127 +377,163 @@ impl CacqEngine {
     /// Process one arriving tuple of `stream`. Returns `(query id,
     /// result tuple)` pairs; join results are laid out `left ++ right`.
     pub fn push(&mut self, stream: usize, tuple: Tuple) -> Vec<(QueryId, Tuple)> {
-        self.stats.tuples += 1;
+        self.push_batch(stream, std::slice::from_ref(&tuple))
+    }
+
+    /// Process a batch of arriving tuples of `stream`, in order. Output
+    /// is exactly the concatenation of per-tuple [`CacqEngine::push`]
+    /// results (joins observe earlier batch members, preserving the
+    /// exactly-once probe-then-build discipline), but the grouped
+    /// filters run column-major: one filter lookup and one pass over the
+    /// column's range lists per distinct predicated column per *batch*,
+    /// with match counters, completion bitmaps, and lineage sets drawn
+    /// from reusable scratch instead of per-tuple allocations.
+    pub fn push_batch(&mut self, stream: usize, tuples: &[Tuple]) -> Vec<(QueryId, Tuple)> {
+        let n = tuples.len();
+        self.stats.tuples += n as u64;
         let mut out = Vec::new();
-
-        // 1. Grouped filters: one indexed lookup per predicated column,
-        //    counting satisfied predicates per query slot. Work is
-        //    O(log preds + matches), not O(queries).
-        self.cur_gen += 1;
-        self.touched.clear();
-        {
-            let counters = &mut self.counters;
-            let gens = &mut self.gens;
-            let touched = &mut self.touched;
-            let cur_gen = self.cur_gen;
-            for ((s, col), gf) in &self.filters {
-                if *s != stream {
-                    continue;
-                }
-                self.stats.filter_lookups += 1;
-                let Some(v) = tuple.get(*col) else {
-                    continue;
-                };
-                gf.for_each_match(v, |slot| {
-                    if slot >= counters.len() {
-                        counters.resize(slot + 1, 0);
-                        gens.resize(slot + 1, 0);
-                    }
-                    if gens[slot] != cur_gen {
-                        gens[slot] = cur_gen;
-                        counters[slot] = 0;
-                        touched.push(slot);
-                    }
-                    counters[slot] += 1;
-                });
-            }
-        }
-        // A query's stream side passes when every one of its predicates
-        // on this stream matched; predicate-less (join-side) slots pass
-        // trivially.
-        let mut passed = self
-            .no_pred
-            .get(&stream)
-            .cloned()
-            .unwrap_or_default();
-        let counts = self.pred_count.get(&stream);
-        for &slot in &self.touched {
-            let need = counts.and_then(|c| c.get(slot)).copied().unwrap_or(0);
-            if need > 0 && self.counters[slot] == need {
-                passed.insert(slot);
-            }
-        }
-        if let Some(interested) = self.interested.get(&stream) {
-            passed.intersect_with(interested);
-        } else {
-            passed.clear();
-        }
-
-        // 2. Selection-only queries: deliver directly.
-        if let Some(sel_only) = self.selection_only.get(&stream) {
-            let deliver = passed.intersection(sel_only);
-            for slot in deliver.iter() {
-                if let Some(Some(q)) = self.queries.get(slot) {
-                    self.stats.delivered += 1;
-                    out.push((q.id, tuple.clone()));
-                }
-            }
-        }
-
-        // 3. Shared joins: build into this side (lineage = passed ∩
-        //    subscribers), probe the other side.
-        if self.joins.is_empty() {
+        if n == 0 {
             return out;
         }
-        let slot_ids: Vec<Option<QueryId>> = self
-            .queries
-            .iter()
-            .map(|q| q.as_ref().map(|qi| qi.id))
-            .collect();
-        for shared in self.joins.values_mut() {
-            let j = &shared.spec;
-            let (is_left, my_col, other_col) = if j.left == stream {
-                (true, j.left_col, j.right_col)
-            } else if j.right == stream {
-                (false, j.right_col, j.left_col)
-            } else {
-                continue;
-            };
-            let _ = other_col;
-            let Some(key_val) = tuple.get(my_col) else {
-                continue;
-            };
-            let key = Key::from_values(std::slice::from_ref(key_val));
-            let lineage = passed.intersection(&shared.subscribers);
-            let (mine, other) = if is_left {
-                (&mut shared.left, &shared.right)
-            } else {
-                (&mut shared.right, &shared.left)
-            };
-            // Probe the opposite side (contains only earlier arrivals:
-            // exactly-once), then build.
-            self.stats.probes += 1;
-            if !key.has_null() && !lineage.is_empty() {
-                for (stored, stored_lineage) in other.probe(&key) {
-                    let combined = lineage.intersection(stored_lineage);
-                    if combined.is_empty() {
+
+        // Seed every tuple's lineage with the stream's interested slots:
+        // predicate-less (join-side) slots pass trivially and stay set.
+        if self.passed_scratch.len() < n {
+            self.passed_scratch.resize_with(n, QuerySet::new);
+        }
+        let interested = self.interested.get(&stream);
+        for p in self.passed_scratch[..n].iter_mut() {
+            match interested {
+                Some(set) => p.copy_from(set),
+                None => p.clear(),
+            }
+        }
+
+        // 1. Grouped filters, column-major. For each predicated column:
+        //    count satisfied predicates per slot (generation-stamped
+        //    counters), mark slots whose conjunction on *this column*
+        //    completed, and veto the rest word-parallel. Work per tuple
+        //    is O(log preds + matches), not O(queries), and the filter
+        //    map is probed once per column per batch.
+        if interested.is_some() {
+            if let Some(cols) = self.filter_cols.get(&stream) {
+                for &col in cols {
+                    let Some(gf) = self.filters.get(&(stream, col)) else {
                         continue;
-                    }
-                    let joined = if is_left {
-                        tuple.concat(stored)
-                    } else {
-                        stored.concat(&tuple)
                     };
-                    for slot in combined.iter() {
-                        if let Some(Some(id)) = slot_ids.get(slot) {
-                            self.stats.delivered += 1;
-                            out.push((*id, joined.clone()));
+                    self.stats.filter_lookups += n as u64;
+                    let needs = &self.col_pred_count[&(stream, col)];
+                    let predicated = &self.col_predicated[&(stream, col)];
+                    let counters = &mut self.counters;
+                    let gens = &mut self.gens;
+                    let touched = &mut self.touched;
+                    let matched = &mut self.matched_scratch;
+                    for (t, tuple) in tuples.iter().enumerate() {
+                        self.cur_gen += 1;
+                        let cur_gen = self.cur_gen;
+                        touched.clear();
+                        matched.clear();
+                        if let Some(v) = tuple.get(col) {
+                            gf.for_each_match(v, |slot| {
+                                if slot >= counters.len() {
+                                    counters.resize(slot + 1, 0);
+                                    gens.resize(slot + 1, 0);
+                                }
+                                if gens[slot] != cur_gen {
+                                    gens[slot] = cur_gen;
+                                    counters[slot] = 0;
+                                    touched.push(slot);
+                                }
+                                counters[slot] += 1;
+                            });
+                        }
+                        for &slot in touched.iter() {
+                            let need = needs.get(slot).copied().unwrap_or(0);
+                            if need > 0 && counters[slot] == need {
+                                matched.insert(slot);
+                            }
+                        }
+                        self.passed_scratch[t].mask_failed(predicated, matched);
+                    }
+                }
+            }
+        }
+
+        // 2 & 3. Deliver per tuple, in arrival order: selection-only
+        // matches first, then shared joins (probe the opposite side —
+        // earlier arrivals only, including earlier batch members — then
+        // build).
+        let sel_only = self.selection_only.get(&stream);
+        let slot_ids: Vec<Option<QueryId>> = if self.joins.is_empty() {
+            Vec::new()
+        } else {
+            self.queries
+                .iter()
+                .map(|q| q.as_ref().map(|qi| qi.id))
+                .collect()
+        };
+        for (t, tuple) in tuples.iter().enumerate() {
+            let passed = &self.passed_scratch[t];
+            if let Some(sel_only) = sel_only {
+                let deliver = &mut self.matched_scratch;
+                deliver.copy_from(passed);
+                deliver.intersect_with(sel_only);
+                for slot in deliver.iter() {
+                    if let Some(Some(q)) = self.queries.get(slot) {
+                        self.stats.delivered += 1;
+                        out.push((q.id, tuple.clone()));
+                    }
+                }
+            }
+            if self.joins.is_empty() {
+                continue;
+            }
+            for shared in self.joins.values_mut() {
+                let j = &shared.spec;
+                let (is_left, my_col) = if j.left == stream {
+                    (true, j.left_col)
+                } else if j.right == stream {
+                    (false, j.right_col)
+                } else {
+                    continue;
+                };
+                let Some(key_val) = tuple.get(my_col) else {
+                    continue;
+                };
+                let key = Key::from_values(std::slice::from_ref(key_val));
+                let lineage = &mut self.lineage_scratch;
+                lineage.copy_from(passed);
+                lineage.intersect_with(&shared.subscribers);
+                let (mine, other) = if is_left {
+                    (&mut shared.left, &shared.right)
+                } else {
+                    (&mut shared.right, &shared.left)
+                };
+                self.stats.probes += 1;
+                if !key.has_null() && !lineage.is_empty() {
+                    for (stored, stored_lineage) in other.probe(&key) {
+                        let combined = &mut self.combined_scratch;
+                        combined.copy_from(lineage);
+                        combined.intersect_with(stored_lineage);
+                        if combined.is_empty() {
+                            continue;
+                        }
+                        let joined = if is_left {
+                            tuple.concat(stored)
+                        } else {
+                            stored.concat(tuple)
+                        };
+                        for slot in combined.iter() {
+                            if let Some(Some(id)) = slot_ids.get(slot) {
+                                self.stats.delivered += 1;
+                                out.push((*id, joined.clone()));
+                            }
                         }
                     }
                 }
-            }
-            if !lineage.is_empty() && !key.has_null() {
-                mine.build(key, tuple.clone(), lineage);
+                if !lineage.is_empty() && !key.has_null() {
+                    mine.build(key, tuple.clone(), lineage.clone());
+                }
             }
         }
         out
@@ -737,6 +782,78 @@ mod tests {
             }),
         };
         assert!(e.add_query(selfjoin).is_err());
+    }
+
+    #[test]
+    fn push_batch_matches_per_tuple_pushes() {
+        let build = || {
+            let mut e = CacqEngine::new();
+            // Duplicate predicates on one column from one query (the
+            // conjunction-count edge case), plus a mixed-column query,
+            // a join with a selection veto, and a bare join.
+            e.add_query(QuerySpec::select(
+                0,
+                vec![
+                    (1, CmpOp::Gt, Value::Float(10.0)),
+                    (1, CmpOp::Lt, Value::Float(90.0)),
+                ],
+            ))
+            .unwrap();
+            e.add_query(QuerySpec::select(
+                0,
+                vec![
+                    (0, CmpOp::Eq, Value::str("MSFT")),
+                    (1, CmpOp::Gt, Value::Float(50.0)),
+                ],
+            ))
+            .unwrap();
+            e.add_query(QuerySpec {
+                selections: vec![Selection {
+                    stream: 0,
+                    col: 1,
+                    op: CmpOp::Gt,
+                    value: Value::Float(20.0),
+                }],
+                join: Some(join_spec()),
+            })
+            .unwrap();
+            e.add_query(QuerySpec {
+                selections: vec![],
+                join: Some(join_spec()),
+            })
+            .unwrap();
+            e
+        };
+        let feed: Vec<(usize, Tuple)> = vec![
+            (0, stock("MSFT", 60.0, 1)),
+            (0, stock("IBM", 15.0, 2)),
+            (1, stock("MSFT", 1.0, 3)),
+            (0, stock("MSFT", 95.0, 4)),
+            (1, stock("IBM", 2.0, 5)),
+            (0, stock("IBM", 30.0, 6)),
+        ];
+
+        let mut one = build();
+        let mut seq_out = Vec::new();
+        for (s, t) in &feed {
+            seq_out.extend(one.push(*s, t.clone()));
+        }
+
+        // Same feed as two batches (joins must see earlier batch
+        // members exactly once).
+        let mut batched = build();
+        let mut batch_out = Vec::new();
+        batch_out.extend(batched.push_batch(0, &[feed[0].1.clone(), feed[1].1.clone()]));
+        batch_out.extend(batched.push_batch(1, &[feed[2].1.clone()]));
+        batch_out.extend(batched.push_batch(0, &[feed[3].1.clone()]));
+        batch_out.extend(batched.push_batch(1, &[feed[4].1.clone()]));
+        batch_out.extend(batched.push_batch(0, &[feed[5].1.clone()]));
+
+        let fmt = |v: &[(QueryId, Tuple)]| -> Vec<String> {
+            v.iter().map(|(q, t)| format!("{q}:{t:?}")).collect()
+        };
+        assert_eq!(fmt(&batch_out), fmt(&seq_out));
+        assert_eq!(batched.stats().delivered, one.stats().delivered);
     }
 
     #[test]

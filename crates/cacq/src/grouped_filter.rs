@@ -34,7 +34,9 @@ use tcq_common::{CmpOp, Value};
 fn as_num(v: &Value) -> Option<f64> {
     match v {
         Value::Ts(t) => Some(t.ticks() as f64),
-        other => other.as_float().or_else(|| other.as_bool().map(|b| b as i64 as f64)),
+        other => other
+            .as_float()
+            .or_else(|| other.as_bool().map(|b| b as i64 as f64)),
     }
 }
 
@@ -358,7 +360,14 @@ mod tests {
     #[test]
     fn brute_force_equivalence() {
         // Randomized predicates vs direct evaluation.
-        let ops = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne];
+        let ops = [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ];
         let mut gf = GroupedFilter::new();
         let mut preds = Vec::new();
         let mut x = 12345u64;

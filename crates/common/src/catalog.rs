@@ -6,9 +6,7 @@
 //! archived to the storage manager, and which time domain stamps it.
 
 use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock};
 
 use crate::error::{Result, TcqError};
 use crate::schema::Schema;
@@ -71,17 +69,11 @@ impl Catalog {
     /// Register a relation. Fails if the name is taken.
     pub fn register(&self, def: StreamDef) -> Result<()> {
         let name = def.name.to_ascii_lowercase();
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().unwrap();
         if inner.defs.contains_key(&name) {
             return Err(TcqError::DuplicateStream(name));
         }
-        inner.defs.insert(
-            name.clone(),
-            StreamDef {
-                name,
-                ..def
-            },
-        );
+        inner.defs.insert(name.clone(), StreamDef { name, ..def });
         Ok(())
     }
 
@@ -112,6 +104,7 @@ impl Catalog {
     pub fn deregister(&self, name: &str) -> Result<StreamDef> {
         self.inner
             .write()
+            .unwrap()
             .defs
             .remove(&name.to_ascii_lowercase())
             .ok_or_else(|| TcqError::UnknownStream(name.into()))
@@ -121,6 +114,7 @@ impl Catalog {
     pub fn lookup(&self, name: &str) -> Result<StreamDef> {
         self.inner
             .read()
+            .unwrap()
             .defs
             .get(&name.to_ascii_lowercase())
             .cloned()
@@ -129,14 +123,14 @@ impl Catalog {
 
     /// All registered names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<_> = self.inner.read().defs.keys().cloned().collect();
+        let mut names: Vec<_> = self.inner.read().unwrap().defs.keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Allocate a fresh time domain for a source with its own clock.
     pub fn allocate_time_domain(&self) -> TimeDomain {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().unwrap();
         let d = TimeDomain(inner.next_domain);
         inner.next_domain += 1;
         d

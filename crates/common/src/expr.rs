@@ -411,9 +411,17 @@ mod tests {
         let t = row(vec![Value::Int(10), Value::Float(2.5)]);
         let add = Expr::Arith(BinOp::Add, Box::new(Expr::col(0)), Box::new(Expr::col(1)));
         assert_eq!(add.eval(&t).unwrap(), Value::Float(12.5));
-        let idiv = Expr::Arith(BinOp::Div, Box::new(Expr::col(0)), Box::new(Expr::lit(3i64)));
+        let idiv = Expr::Arith(
+            BinOp::Div,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::lit(3i64)),
+        );
         assert_eq!(idiv.eval(&t).unwrap(), Value::Int(3));
-        let div0 = Expr::Arith(BinOp::Div, Box::new(Expr::col(0)), Box::new(Expr::lit(0i64)));
+        let div0 = Expr::Arith(
+            BinOp::Div,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::lit(0i64)),
+        );
         assert!(div0.eval(&t).is_err());
         let null_prop = Expr::Arith(
             BinOp::Mul,
@@ -426,7 +434,11 @@ mod tests {
     #[test]
     fn overflow_is_an_error_not_a_panic() {
         let t = row(vec![Value::Int(i64::MAX)]);
-        let e = Expr::Arith(BinOp::Add, Box::new(Expr::col(0)), Box::new(Expr::lit(1i64)));
+        let e = Expr::Arith(
+            BinOp::Add,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::lit(1i64)),
+        );
         assert!(e.eval(&t).is_err());
     }
 
@@ -455,7 +467,9 @@ mod tests {
         assert_eq!(e.columns(), vec![0, 2]);
         let shifted = e.remap_columns(&|c| Some(c + 10)).unwrap();
         assert_eq!(shifted.columns(), vec![10, 12]);
-        assert!(e.remap_columns(&|c| if c == 0 { None } else { Some(c) }).is_none());
+        assert!(e
+            .remap_columns(&|c| if c == 0 { None } else { Some(c) })
+            .is_none());
     }
 
     #[test]

@@ -40,10 +40,7 @@ impl Schema {
     pub fn qualified(qualifier: impl Into<String>, fields: Vec<Field>) -> Schema {
         let q = qualifier.into().to_ascii_lowercase();
         Schema {
-            fields: fields
-                .into_iter()
-                .map(|f| (Some(q.clone()), f))
-                .collect(),
+            fields: fields.into_iter().map(|f| (Some(q.clone()), f)).collect(),
         }
     }
 

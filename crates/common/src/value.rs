@@ -290,10 +290,7 @@ mod tests {
 
     #[test]
     fn sql_cmp_basic() {
-        assert_eq!(
-            Value::Int(1).sql_cmp(&Value::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
         assert_eq!(
             Value::str("a").sql_cmp(&Value::str("b")),
             Some(Ordering::Less)
@@ -337,7 +334,10 @@ mod tests {
             Value::Float(2.25).key_bytes()
         );
         // Negative zero normalizes to zero.
-        assert_eq!(Value::Float(-0.0).key_bytes(), Value::Float(0.0).key_bytes());
+        assert_eq!(
+            Value::Float(-0.0).key_bytes(),
+            Value::Float(0.0).key_bytes()
+        );
     }
 
     #[test]

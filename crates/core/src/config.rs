@@ -26,7 +26,15 @@ pub struct Config {
     pub archive_dir: Option<PathBuf>,
     /// Eddy routing policy for per-query adaptive plans.
     pub policy: PolicyKind,
-    /// Eddy batching knob (§4.3 "adapting adaptivity").
+    /// Pipeline-wide tuple batch size (1 = fully unbatched).
+    ///
+    /// Tuples move through the whole hot path — Wrapper ingest, archive
+    /// appends, EO input Fjords, eddy routing (§4.3 "adapting
+    /// adaptivity"), grouped filters, and SteM builds — in batches of up
+    /// to this many tuples, amortizing locks, wakes, and routing
+    /// decisions. Batches are flushed every Wrapper poll round and
+    /// before punctuation, so window-release times are unchanged;
+    /// larger batches trade per-tuple latency for throughput.
     pub batch_size: usize,
     /// Per-query result buffer (result sets retained before the oldest
     /// are shed when a client lags).

@@ -18,9 +18,7 @@
 //!   as one [`ResultSet`] per loop instant.
 
 use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex, RwLock};
 
 use tcq_cacq::{CacqEngine, QuerySpec, Selection};
 use tcq_common::{Timestamp, Tuple, Value};
@@ -34,19 +32,21 @@ use crate::query::{deliver, ResultSet, RunningQuery};
 
 /// Messages an Execution Object processes.
 pub enum ExecMsg {
-    /// An arriving tuple of a global stream.
+    /// A batch of arriving tuples of a global stream, in arrival order.
+    /// A batch of one is the unbatched pipeline (`Config::batch_size`
+    /// = 1); larger batches amortize queue locks and routing decisions.
     Data {
         /// Global stream id.
         stream: usize,
-        /// The tuple.
-        tuple: Tuple,
+        /// The tuples, oldest first.
+        tuples: Vec<Tuple>,
     },
     /// Fold a new query into the running executor.
     AddQuery(RunningQuery),
     /// Tear a query down (closing its output).
     RemoveQuery(u64),
     /// Acknowledge when every prior message has been processed.
-    Barrier(crossbeam::channel::Sender<()>),
+    Barrier(std::sync::mpsc::Sender<()>),
     /// Assert that no tuple of `stream` with timestamp <= `ticks` will
     /// arrive anymore (a punctuation), releasing windows ending there.
     Punctuate {
@@ -61,7 +61,7 @@ pub enum ExecMsg {
 /// and the EOs (window-scan readers). Grows as streams register.
 #[derive(Default)]
 pub struct ArchiveSet {
-    inner: parking_lot::RwLock<Vec<Arc<Mutex<StreamArchive>>>>,
+    inner: RwLock<Vec<Arc<Mutex<StreamArchive>>>>,
 }
 
 impl ArchiveSet {
@@ -72,24 +72,24 @@ impl ArchiveSet {
 
     /// Register an archive; returns its global stream id.
     pub fn push(&self, archive: StreamArchive) -> usize {
-        let mut v = self.inner.write();
+        let mut v = self.inner.write().unwrap();
         v.push(Arc::new(Mutex::new(archive)));
         v.len() - 1
     }
 
     /// The archive for global stream `id`.
     pub fn get(&self, id: usize) -> Arc<Mutex<StreamArchive>> {
-        self.inner.read()[id].clone()
+        self.inner.read().unwrap()[id].clone()
     }
 
     /// Number of registered streams.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().unwrap().len()
     }
 
     /// True iff no streams are registered.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.read().unwrap().is_empty()
     }
 }
 
@@ -152,11 +152,7 @@ struct WindowedQuery {
 
 impl ExecutionObject {
     /// A fresh EO.
-    pub fn new(
-        eo_id: u64,
-        config: Config,
-        archives: Arc<ArchiveSet>,
-    ) -> ExecutionObject {
+    pub fn new(eo_id: u64, config: Config, archives: Arc<ArchiveSet>) -> ExecutionObject {
         ExecutionObject {
             eo_id,
             config,
@@ -180,7 +176,7 @@ impl ExecutionObject {
     /// errors (ignored by the caller).
     pub fn handle(&mut self, msg: ExecMsg) {
         match msg {
-            ExecMsg::Data { stream, tuple } => self.on_data(stream, tuple),
+            ExecMsg::Data { stream, tuples } => self.on_data_batch(stream, tuples),
             ExecMsg::AddQuery(q) => self.add_query(q),
             ExecMsg::RemoveQuery(id) => self.remove_query(id),
             ExecMsg::Barrier(ack) => {
@@ -232,9 +228,14 @@ impl ExecutionObject {
             );
             return;
         }
-        // Per-query adaptive eddy.
+        // Per-query adaptive eddy; the pipeline batch size doubles as
+        // the eddy's §4.3 batching knob so whole batches share routing
+        // decisions.
         let eddy = plan
-            .build_eddy(make_policy(&self.config, self.eo_id ^ q.id))
+            .build_eddy_batched(
+                make_policy(&self.config, self.eo_id ^ q.id),
+                self.config.batch_size,
+            )
             .expect("planned queries compile");
         let mut positions: HashMap<usize, Vec<usize>> = HashMap::new();
         for (pos, &gid) in q.stream_ids.iter().enumerate() {
@@ -268,12 +269,18 @@ impl ExecutionObject {
         }
     }
 
-    fn on_data(&mut self, stream: usize, tuple: Tuple) {
+    fn on_data_batch(&mut self, stream: usize, tuples: Vec<Tuple>) {
+        if tuples.is_empty() {
+            return;
+        }
         let hw = self.high_water.entry(stream).or_insert(i64::MIN);
-        *hw = (*hw).max(tuple.ts().ticks());
+        for t in &tuples {
+            *hw = (*hw).max(t.ts().ticks());
+        }
 
-        // Shared class.
-        let matched = self.shared.push(stream, tuple.clone());
+        // Shared class: one grouped-filter pass per predicated column
+        // per batch.
+        let matched = self.shared.push_batch(stream, &tuples);
         if !matched.is_empty() {
             // Group per query into one result set.
             let mut per_query: HashMap<u64, Vec<Tuple>> = HashMap::new();
@@ -303,14 +310,17 @@ impl ExecutionObject {
             }
         }
 
-        // Eddy class.
+        // Eddy class: whole batches share routing decisions. A
+        // self-join feeds the batch once per bound position; join
+        // results are unchanged as a multiset (each is still derived
+        // exactly once, by its latest-arriving component).
         for eq in self.eddies.values_mut() {
             let Some(positions) = eq.positions.get(&stream) else {
                 continue;
             };
             let mut outs = Vec::new();
             for &pos in positions {
-                outs.extend(eq.eddy.push(pos, tuple.clone()));
+                outs.extend(eq.eddy.push_batch(pos, tuples.clone()));
             }
             if !outs.is_empty() {
                 let mut rows: Vec<Tuple> = outs
@@ -420,11 +430,12 @@ impl ExecutionObject {
             let rows = if bs.windowed {
                 let w = seq.window_for(&bs.alias).expect("windowed stream");
                 let (l, r) = w.at(t, seq.domain);
-                archive.lock().scan(l, r).unwrap_or_default()
+                archive.lock().unwrap().scan(l, r).unwrap_or_default()
             } else {
                 // Static table (or unwindowed input): the whole relation.
                 archive
                     .lock()
+                    .unwrap()
                     .scan(
                         Timestamp::new(seq.domain, i64::MIN),
                         Timestamp::new(seq.domain, i64::MAX),
@@ -616,7 +627,9 @@ mod tests {
     #[test]
     fn sharable_detection() {
         let planner = Planner::new(catalog());
-        let p = planner.plan_sql("SELECT v FROM s WHERE k > 5 AND v < 2.0").unwrap();
+        let p = planner
+            .plan_sql("SELECT v FROM s WHERE k > 5 AND v < 2.0")
+            .unwrap();
         assert!(sharable_spec(&p, &[0]).is_some());
         let p2 = planner.plan_sql("SELECT v FROM s WHERE k > v").unwrap();
         assert!(
@@ -624,7 +637,10 @@ mod tests {
             "multi-variable factor is not groupable"
         );
         let p3 = planner.plan_sql("SELECT v FROM s").unwrap();
-        assert!(sharable_spec(&p3, &[0]).is_none(), "a bare tap runs as an eddy");
+        assert!(
+            sharable_spec(&p3, &[0]).is_none(),
+            "a bare tap runs as an eddy"
+        );
     }
 
     #[test]
@@ -644,8 +660,14 @@ mod tests {
         let out = aggregate_rows(&p, &rows);
         assert_eq!(out.len(), 2);
         // Sorted textually: group 1 first.
-        assert_eq!(out[0].fields(), &[Value::Int(1), Value::Int(2), Value::Float(9.0)]);
-        assert_eq!(out[1].fields(), &[Value::Int(2), Value::Int(1), Value::Float(3.0)]);
+        assert_eq!(
+            out[0].fields(),
+            &[Value::Int(1), Value::Int(2), Value::Float(9.0)]
+        );
+        assert_eq!(
+            out[1].fields(),
+            &[Value::Int(2), Value::Int(1), Value::Float(3.0)]
+        );
     }
 
     #[test]

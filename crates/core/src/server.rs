@@ -6,8 +6,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Mutex, RwLock};
+use std::sync::mpsc::{channel, Sender, TryRecvError};
+use std::sync::{Mutex, RwLock};
 
 use tcq_common::{Catalog, Clock, Result, Schema, TcqError, Tuple, Value};
 use tcq_fjords::{DequeueResult, Fjord};
@@ -104,11 +104,18 @@ impl Server {
             let input: Fjord<ExecMsg> = Fjord::with_capacity(config.input_queue);
             eo_inputs.push(input.clone());
             let mut eo = ExecutionObject::new(eo_id as u64, config.clone(), archives.clone());
+            // Drain the input queue in waves: one lock acquisition can
+            // hand the EO up to 64 messages (each itself a batch of
+            // tuples), so queue overhead stays off the per-tuple path.
             let handle = std::thread::Builder::new()
                 .name(format!("tcq-eo-{eo_id}"))
                 .spawn(move || loop {
-                    match input.dequeue_blocking() {
-                        DequeueResult::Item(msg) => eo.handle(msg),
+                    match input.dequeue_up_to_blocking(64) {
+                        DequeueResult::Item(msgs) => {
+                            for msg in msgs {
+                                eo.handle(msg);
+                            }
+                        }
                         DequeueResult::Closed => break,
                         DequeueResult::Empty => unreachable!("blocking dequeue"),
                     }
@@ -117,7 +124,7 @@ impl Server {
             threads.push(handle);
         }
 
-        let (wrapper_tx, wrapper_rx) = unbounded::<WrapperMsg>();
+        let (wrapper_tx, wrapper_rx) = channel::<WrapperMsg>();
         let inner = Arc::new(Inner {
             config,
             catalog,
@@ -145,13 +152,15 @@ impl Server {
             .name("tcq-wrapper".into())
             .spawn(move || {
                 let mut sources: Vec<(usize, Box<dyn Source>)> = Vec::new();
+                let batch_size = wrapper_inner.config.batch_size.max(1);
+                let mut pending: Vec<Tuple> = Vec::with_capacity(batch_size);
                 loop {
                     // Accept new sources.
                     loop {
                         match wrapper_rx.try_recv() {
                             Ok(WrapperMsg::Attach(gid, src)) => sources.push((gid, src)),
-                            Err(crossbeam::channel::TryRecvError::Empty) => break,
-                            Err(crossbeam::channel::TryRecvError::Disconnected) => return,
+                            Err(TryRecvError::Empty) => break,
+                            Err(TryRecvError::Disconnected) => return,
                         }
                     }
                     if wrapper_inner.shutting_down.load(Ordering::Acquire) {
@@ -160,12 +169,25 @@ impl Server {
                     let mut produced = 0usize;
                     let mut exhausted_gids: Vec<usize> = Vec::new();
                     sources.retain_mut(|(gid, src)| {
-                        let batch = src.poll(256);
+                        let batch = src.poll(batch_size.max(256));
                         produced += batch.len();
+                        // Accumulate into batches of `batch_size`, always
+                        // flushing before moving to the next source and
+                        // before punctuation/idle — batching amortizes
+                        // queue and archive locks without delaying window
+                        // releases or reordering timestamps.
                         for t in batch {
-                            // Ingest failures (e.g. out-of-order source)
-                            // drop the tuple; the source stays attached.
-                            let _ = wrapper_inner.ingest(*gid, t);
+                            pending.push(t);
+                            if pending.len() >= batch_size {
+                                // Ingest failures (e.g. out-of-order
+                                // source) drop the batch; the source
+                                // stays attached.
+                                let _ =
+                                    wrapper_inner.ingest_batch(*gid, std::mem::take(&mut pending));
+                            }
+                        }
+                        if !pending.is_empty() {
+                            let _ = wrapper_inner.ingest_batch(*gid, std::mem::take(&mut pending));
                         }
                         let keep = !src.is_exhausted();
                         if !keep {
@@ -177,7 +199,10 @@ impl Server {
                     // the stream clock: its final windows can close.
                     for gid in exhausted_gids {
                         if !sources.iter().any(|(g, _)| *g == gid) {
-                            let ticks = wrapper_inner.streams.read()[gid].clock.now().ticks();
+                            let ticks = wrapper_inner.streams.read().unwrap()[gid]
+                                .clock
+                                .now()
+                                .ticks();
                             let _ = wrapper_inner.punctuate_gid(gid, ticks);
                         }
                     }
@@ -186,8 +211,7 @@ impl Server {
                         .fetch_add(produced as u64, Ordering::Relaxed);
                     let idle = produced == 0;
                     wrapper_inner.wrapper_idle.store(
-                        idle && sources.iter().all(|(_, s)| s.is_exhausted())
-                            || sources.is_empty(),
+                        idle && sources.iter().all(|(_, s)| s.is_exhausted()) || sources.is_empty(),
                         Ordering::Release,
                     );
                     if idle {
@@ -196,7 +220,7 @@ impl Server {
                 }
             })
             .map_err(|e| TcqError::ExecError(e.to_string()))?;
-        inner.threads.lock().push(wrapper);
+        inner.threads.lock().unwrap().push(wrapper);
 
         Ok(Server { inner })
     }
@@ -226,7 +250,7 @@ impl Server {
         let lname = name.to_ascii_lowercase();
         let gid = {
             let archive = StreamArchive::new(
-                self.inner.streams.read().len() as u64,
+                self.inner.streams.read().unwrap().len() as u64,
                 self.inner.archive_root.join(&lname),
                 self.inner.config.segment_tuples,
                 self.inner._pool.clone(),
@@ -234,13 +258,13 @@ impl Server {
             );
             self.inner.archives.push(archive)
         };
-        let mut streams = self.inner.streams.write();
+        let mut streams = self.inner.streams.write().unwrap();
         debug_assert_eq!(streams.len(), gid);
         streams.push(StreamRuntime {
             arity,
             clock: Arc::new(Clock::logical()),
         });
-        self.inner.by_name.write().insert(lname, gid);
+        self.inner.by_name.write().unwrap().insert(lname, gid);
         Ok(gid)
     }
 
@@ -248,7 +272,7 @@ impl Server {
     pub fn push(&self, stream: &str, fields: Vec<Value>) -> Result<()> {
         let gid = self.stream_id(stream)?;
         let (tuple, _) = {
-            let streams = self.inner.streams.read();
+            let streams = self.inner.streams.read().unwrap();
             let rt = &streams[gid];
             if fields.len() != rt.arity {
                 return Err(TcqError::ExecError(format!(
@@ -268,7 +292,7 @@ impl Server {
     pub fn push_at(&self, stream: &str, fields: Vec<Value>, ticks: i64) -> Result<()> {
         let gid = self.stream_id(stream)?;
         let tuple = {
-            let streams = self.inner.streams.read();
+            let streams = self.inner.streams.read().unwrap();
             let rt = &streams[gid];
             if fields.len() != rt.arity {
                 return Err(TcqError::ExecError(format!(
@@ -289,17 +313,17 @@ impl Server {
     /// a stream's last source is exhausted.)
     pub fn punctuate(&self, stream: &str, ticks: i64) -> Result<()> {
         let gid = self.stream_id(stream)?;
-        self.inner.streams.read()[gid].clock.advance_to(ticks);
+        self.inner.streams.read().unwrap()[gid]
+            .clock
+            .advance_to(ticks);
         self.inner.punctuate_gid(gid, ticks)
     }
 
     /// Attach an ingress source to a stream; the Wrapper thread polls it.
     pub fn attach_source(&self, stream: &str, source: Box<dyn Source>) -> Result<()> {
         let gid = self.stream_id(stream)?;
-        let guard = self.inner.wrapper_tx.lock();
-        let tx = guard
-            .as_ref()
-            .ok_or(TcqError::Closed("wrapper"))?;
+        let guard = self.inner.wrapper_tx.lock().unwrap();
+        let tx = guard.as_ref().ok_or(TcqError::Closed("wrapper"))?;
         self.inner.wrapper_idle.store(false, Ordering::Release);
         tx.send(WrapperMsg::Attach(gid, source))
             .map_err(|_| TcqError::Closed("wrapper"))
@@ -338,7 +362,7 @@ impl Server {
             stream_ids,
             output: output.clone(),
         };
-        self.inner.queries.lock().insert(
+        self.inner.queries.lock().unwrap().insert(
             id,
             QueryMeta {
                 eo,
@@ -359,6 +383,7 @@ impl Server {
             .inner
             .queries
             .lock()
+            .unwrap()
             .remove(&id)
             .ok_or(TcqError::UnknownQuery(id))?;
         match self.inner.eo_inputs[meta.eo].enqueue_blocking(ExecMsg::RemoveQuery(id)) {
@@ -370,13 +395,10 @@ impl Server {
     /// Wait until every tuple pushed (or submitted query) before this
     /// call has been fully processed by the executor.
     pub fn sync(&self) {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         let mut expected = 0;
         for input in &self.inner.eo_inputs {
-            if input
-                .enqueue_blocking(ExecMsg::Barrier(tx.clone()))
-                .is_ok()
-            {
+            if input.enqueue_blocking(ExecMsg::Barrier(tx.clone())).is_ok() {
                 expected += 1;
             }
         }
@@ -406,21 +428,28 @@ impl Server {
         self.inner.wrapper_ingested.load(Ordering::Relaxed)
     }
 
+    /// Lock/throughput counters for each EO input queue, in EO order.
+    /// Shows how well batching amortizes queue locks (tuples moved per
+    /// lock acquisition rises with `Config::batch_size`).
+    pub fn eo_input_stats(&self) -> Vec<tcq_fjords::FjordStats> {
+        self.inner.eo_inputs.iter().map(|q| q.stats()).collect()
+    }
+
     /// Stop all threads, closing every query's results.
     pub fn shutdown(&self) {
         self.inner.shutting_down.store(true, Ordering::Release);
         // Stop the wrapper (drop its channel).
-        *self.inner.wrapper_tx.lock() = None;
+        *self.inner.wrapper_tx.lock().unwrap() = None;
         // Close EO inputs; EOs drain and exit.
         for input in &self.inner.eo_inputs {
             input.close();
         }
-        let mut threads = self.inner.threads.lock();
+        let mut threads = self.inner.threads.lock().unwrap();
         for h in threads.drain(..) {
             let _ = h.join();
         }
         // Close any remaining query outputs.
-        for (_, meta) in self.inner.queries.lock().drain() {
+        for (_, meta) in self.inner.queries.lock().unwrap().drain() {
             meta.output.close();
         }
     }
@@ -429,6 +458,7 @@ impl Server {
         self.inner
             .by_name
             .read()
+            .unwrap()
             .get(&name.to_ascii_lowercase())
             .copied()
             .ok_or_else(|| TcqError::UnknownStream(name.into()))
@@ -436,17 +466,33 @@ impl Server {
 }
 
 impl Inner {
-    /// The streamer path: archive the tuple, then fan it out to every
-    /// EO's input queue.
+    /// The streamer path for a single tuple: a batch of one.
     fn ingest(&self, gid: usize, tuple: Tuple) -> Result<()> {
-        self.streams.read()[gid]
+        self.ingest_batch(gid, vec![tuple])
+    }
+
+    /// The batched streamer path: archive the whole batch under one
+    /// archive lock, then fan it out to every EO's input queue as one
+    /// message — one Fjord lock + one consumer wake per EO per batch.
+    fn ingest_batch(&self, gid: usize, tuples: Vec<Tuple>) -> Result<()> {
+        if tuples.is_empty() {
+            return Ok(());
+        }
+        let high_water = tuples.iter().map(|t| t.ts().ticks()).max().unwrap();
+        self.streams.read().unwrap()[gid]
             .clock
-            .advance_to(tuple.ts().ticks());
-        self.archives.get(gid).lock().append(tuple.clone())?;
+            .advance_to(high_water);
+        {
+            let archive = self.archives.get(gid);
+            let mut archive = archive.lock().unwrap();
+            for tuple in &tuples {
+                archive.append(tuple.clone())?;
+            }
+        }
         for input in &self.eo_inputs {
             let msg = ExecMsg::Data {
                 stream: gid,
-                tuple: tuple.clone(),
+                tuples: tuples.clone(),
             };
             match input.enqueue_blocking(msg) {
                 tcq_fjords::EnqueueResult::Ok => {}
@@ -459,10 +505,7 @@ impl Inner {
     /// Fan a punctuation out to every EO.
     fn punctuate_gid(&self, gid: usize, ticks: i64) -> Result<()> {
         for input in &self.eo_inputs {
-            match input.enqueue_blocking(ExecMsg::Punctuate {
-                stream: gid,
-                ticks,
-            }) {
+            match input.enqueue_blocking(ExecMsg::Punctuate { stream: gid, ticks }) {
                 tcq_fjords::EnqueueResult::Ok => {}
                 _ => return Err(TcqError::Closed("executor")),
             }
@@ -489,7 +532,8 @@ mod tests {
 
     fn server() -> Server {
         let s = Server::start(Config::default()).unwrap();
-        s.register_stream("ClosingStockPrices", stock_schema()).unwrap();
+        s.register_stream("ClosingStockPrices", stock_schema())
+            .unwrap();
         s
     }
 
@@ -659,9 +703,7 @@ mod tests {
     fn errors_surface() {
         let s = server();
         assert!(s.push("nosuch", vec![]).is_err());
-        assert!(s
-            .push("ClosingStockPrices", vec![Value::Int(1)])
-            .is_err());
+        assert!(s.push("ClosingStockPrices", vec![Value::Int(1)]).is_err());
         assert!(s.submit("SELECT broken FROM").is_err());
         assert!(s
             .submit("SELECT MAX(closingPrice) FROM ClosingStockPrices")

@@ -1,0 +1,268 @@
+//! A vendored, dependency-free subset of the `criterion` crate.
+//!
+//! The build environment cannot reach a crates.io mirror, so the workspace
+//! vendors the slice of criterion's API that the `benches/` targets use:
+//! `Criterion`, `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Semantics mirror upstream where it matters for CI: when the binary is run
+//! without `--bench` (as `cargo test` does for `harness = false` bench
+//! targets) every benchmark executes exactly once as a smoke test; with
+//! `--bench` (as `cargo bench` passes) each benchmark is warmed up and then
+//! timed over enough iterations to fill a measurement window, and a
+//! median-of-samples line is printed per benchmark.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark manager: hands out groups and carries the run mode.
+#[derive(Debug)]
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench` passes `--bench`; `cargo test` runs the binary bare.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion { bench_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            measurement: Duration::from_secs(3),
+            bench_mode: self.bench_mode,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+    bench_mode: bool,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.label, &mut |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.label, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = if self.name.is_empty() {
+            label.to_string()
+        } else {
+            format!("{}/{label}", self.name)
+        };
+        let mut b = Bencher {
+            mode: if self.bench_mode {
+                Mode::Measure {
+                    samples: self.sample_size.min(20),
+                    window: self.measurement,
+                }
+            } else {
+                Mode::Smoke
+            },
+            result: None,
+        };
+        f(&mut b);
+        match (b.mode, b.result) {
+            (Mode::Smoke, _) => println!("{full}: ok (smoke run)"),
+            (_, Some(per_iter)) => println!("{full}: {}", fmt_duration(per_iter)),
+            (_, None) => println!("{full}: no measurement (b.iter not called)"),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    /// One iteration, no timing: keeps `cargo test -q` fast.
+    Smoke,
+    /// Warm up, then time `samples` batches sized to fill `window`.
+    Measure { samples: usize, window: Duration },
+}
+
+pub struct Bencher {
+    mode: Mode,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Measure { samples, window } => {
+                // Warm-up & calibration: how long does one call take?
+                let start = Instant::now();
+                black_box(routine());
+                let once = start.elapsed().max(Duration::from_nanos(1));
+                let per_sample = (window.as_nanos() / samples.max(1) as u128).max(1);
+                let iters = (per_sample / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+                let mut best: Option<Duration> = None;
+                for _ in 0..samples {
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let per_iter = t.elapsed() / iters as u32;
+                    best = Some(match best {
+                        Some(b) if b < per_iter => b,
+                        _ => per_iter,
+                    });
+                }
+                self.result = best;
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// `criterion_group!(name, target, ...)` — a function running each target
+/// against a default `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — the binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("shared", 8).label, "shared/8");
+        assert_eq!(BenchmarkId::from_parameter("lottery").label, "lottery");
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_benchmark_once() {
+        let mut c = Criterion { bench_mode: false };
+        let mut g = c.benchmark_group("g");
+        let mut runs = 0;
+        g.sample_size(10);
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_reports_a_duration() {
+        let mut c = Criterion { bench_mode: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.measurement_time(Duration::from_millis(10));
+        let mut ran = 0u64;
+        g.bench_with_input(BenchmarkId::new("spin", 1), &1u64, |b, &x| {
+            b.iter(|| {
+                ran += x;
+                black_box(ran)
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -49,10 +49,7 @@ impl DupElim {
     pub fn evict_before(&mut self, bound: Timestamp) -> usize {
         let mut n = 0;
         while let Some((ts, _)) = self.arrivals.front() {
-            if !matches!(
-                ts.partial_cmp(&bound),
-                Some(std::cmp::Ordering::Less)
-            ) {
+            if !matches!(ts.partial_cmp(&bound), Some(std::cmp::Ordering::Less)) {
                 break;
             }
             let (_, key) = self.arrivals.pop_front().expect("front exists");
@@ -138,8 +135,8 @@ mod tests {
         let mut d = DupElim::new();
         d.push(t(7, 1));
         d.push(t(7, 20)); // duplicate, but arrives late
-        // Evicting before tick 10 drops only the first sighting; the
-        // value is still live via the second.
+                          // Evicting before tick 10 drops only the first sighting; the
+                          // value is still live via the second.
         d.evict_before(Timestamp::logical(10));
         assert_eq!(d.distinct_count(), 1);
         assert!(d.push(t(7, 21)).is_none(), "still a duplicate");

@@ -162,6 +162,9 @@ impl EddyBuilder {
             eddy_stats: EddyStats::default(),
             next_seq: 0,
             remap_cache: HashMap::new(),
+            batch_buf: Vec::new(),
+            survivor_buf: Vec::new(),
+            route_buf: Vec::new(),
         }
     }
 }
@@ -181,6 +184,11 @@ pub struct Eddy {
     next_seq: u64,
     /// (op index, coverage) → predicate remapped onto that coverage.
     remap_cache: HashMap<(usize, Mask), Expr>,
+    /// Scheduling scratch, recycled across steps so the routing hot loop
+    /// performs no per-decision allocation once warm.
+    batch_buf: Vec<Routed>,
+    survivor_buf: Vec<Routed>,
+    route_buf: Vec<usize>,
 }
 
 impl Eddy {
@@ -233,6 +241,51 @@ impl Eddy {
         self.enqueue_or_finalize(rt);
     }
 
+    /// Submit a whole batch of singleton tuples of base stream `stream`.
+    ///
+    /// Equivalent to calling [`Eddy::submit`] once per tuple in order,
+    /// but the module list is scanned once per batch for the eager SteM
+    /// builds, and eligibility is computed once for the batch (every
+    /// fresh singleton of one stream has identical lineage).
+    pub fn submit_batch(&mut self, stream: usize, tuples: Vec<Tuple>) {
+        debug_assert!(stream < self.layout.stream_count());
+        if tuples.is_empty() {
+            return;
+        }
+        let base_seq = self.next_seq;
+        self.next_seq += tuples.len() as u64;
+        self.eddy_stats.submitted += tuples.len() as u64;
+        for op in &mut self.ops {
+            if let EddyOp::Stem(s) = op {
+                if s.stream == stream {
+                    s.build_batch(&tuples, base_seq);
+                }
+            }
+        }
+        let coverage = Mask::bit(stream);
+        let cands = self.candidates_for(coverage, Mask::EMPTY);
+        let complete = coverage == self.all_streams;
+        for (i, tuple) in tuples.into_iter().enumerate() {
+            debug_assert_eq!(tuple.arity(), self.layout.arity(stream));
+            let rt = Routed {
+                tuple,
+                coverage,
+                done: Mask::EMPTY,
+                seq: base_seq + i as u64,
+            };
+            if cands.is_empty() {
+                if complete {
+                    self.eddy_stats.emitted += 1;
+                    self.out.push(rt.tuple);
+                } else {
+                    self.eddy_stats.stranded += 1;
+                }
+            } else {
+                self.pending.push_back(rt);
+            }
+        }
+    }
+
     /// Evict SteM state older than `bound` on every stream (sliding
     /// window maintenance). Returns tuples evicted.
     pub fn evict_before(&mut self, bound: Timestamp) -> usize {
@@ -259,6 +312,14 @@ impl Eddy {
         self.run()
     }
 
+    /// Submit a batch and drain: one routing decision covers up to
+    /// `batch_size` tuples, so feeding whole batches is what lets the
+    /// §4.3 batching knob pay off end to end.
+    pub fn push_batch(&mut self, stream: usize, tuples: Vec<Tuple>) -> Vec<Tuple> {
+        self.submit_batch(stream, tuples);
+        self.run()
+    }
+
     /// Tuples currently awaiting routing.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
@@ -268,14 +329,19 @@ impl Eddy {
     /// and not yet visited; SteM probes whose key columns are covered and
     /// whose stored stream is not.
     fn candidates(&self, rt: &Routed) -> Mask {
+        self.candidates_for(rt.coverage, rt.done)
+    }
+
+    /// Eligibility by lineage alone (tuples with equal lineage share it).
+    fn candidates_for(&self, coverage: Mask, done: Mask) -> Mask {
         let mut c = Mask::EMPTY;
         for (i, op) in self.ops.iter().enumerate() {
-            if rt.done.contains(i) {
+            if done.contains(i) {
                 continue;
             }
             let eligible = match op {
-                EddyOp::Filter(f) => rt.coverage.is_superset_of(f.streams),
-                EddyOp::Stem(s) => s.eligible(rt.coverage),
+                EddyOp::Filter(f) => coverage.is_superset_of(f.streams),
+                EddyOp::Stem(s) => s.eligible(coverage),
             };
             if eligible {
                 c = c.with(i);
@@ -305,13 +371,13 @@ impl Eddy {
             return;
         };
         // Batch: consecutive tuples with identical lineage share the
-        // decision.
-        let mut batch = vec![first];
+        // decision. The batch vector is recycled scratch.
+        let mut batch = std::mem::take(&mut self.batch_buf);
+        batch.clear();
+        batch.push(first);
         while batch.len() < self.batch_size {
             match self.pending.front() {
-                Some(next)
-                    if next.coverage == batch[0].coverage && next.done == batch[0].done =>
-                {
+                Some(next) if next.coverage == batch[0].coverage && next.done == batch[0].done => {
                     let rt = self.pending.pop_front().expect("front exists");
                     batch.push(rt);
                 }
@@ -324,7 +390,8 @@ impl Eddy {
 
         // Decide a route: one module, or a fixed chain of filters.
         self.eddy_stats.decisions += 1;
-        let mut route = Vec::with_capacity(self.fix_ops);
+        let mut route = std::mem::take(&mut self.route_buf);
+        route.clear();
         loop {
             let op = self.policy.choose(candidates, &self.stats);
             route.push(op);
@@ -336,26 +403,30 @@ impl Eddy {
         }
 
         // Apply the route to every tuple in the batch.
-        for op in route {
+        for &op in &route {
             if batch.is_empty() {
                 break;
             }
-            batch = self.apply_op(op, batch);
+            self.apply_op(op, &mut batch);
         }
-        for rt in batch {
+        for rt in batch.drain(..) {
             self.enqueue_or_finalize(rt);
         }
+        self.batch_buf = batch;
+        self.route_buf = route;
     }
 
-    /// Route `batch` through module `op`; returns the tuples that
-    /// continue (filter survivors or probe children).
-    fn apply_op(&mut self, op: usize, batch: Vec<Routed>) -> Vec<Routed> {
+    /// Route `batch` through module `op` in place, leaving the tuples
+    /// that continue (filter survivors or probe children). Survivors are
+    /// collected into recycled scratch — no allocation once warm.
+    fn apply_op(&mut self, op: usize, batch: &mut Vec<Routed>) {
         let routed = batch.len() as u64;
-        let mut survivors = Vec::with_capacity(batch.len());
+        let mut survivors = std::mem::take(&mut self.survivor_buf);
+        survivors.clear();
         let mut cost = 0u64;
         match &mut self.ops[op] {
             EddyOp::Filter(f) => {
-                for mut rt in batch {
+                for mut rt in batch.drain(..) {
                     cost += 1 + f.artificial_cost as u64;
                     let remapped = match self.remap_cache.entry((op, rt.coverage)) {
                         std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
@@ -376,7 +447,7 @@ impl Eddy {
                 }
             }
             EddyOp::Stem(s) => {
-                for rt in batch {
+                for rt in batch.drain(..) {
                     cost += 1;
                     let matches = s.probe_matches(&rt.tuple, &self.layout, rt.coverage, rt.seq);
                     cost += matches.len() as u64;
@@ -414,7 +485,9 @@ impl Eddy {
             survived,
             cost,
         });
-        survivors
+        // The drained input becomes next call's survivor scratch.
+        std::mem::swap(batch, &mut survivors);
+        self.survivor_buf = survivors;
     }
 }
 
@@ -431,8 +504,14 @@ mod tests {
     /// Single-stream, two-filter eddy.
     fn two_filter_eddy(policy: Box<dyn RoutingPolicy>) -> Eddy {
         EddyBuilder::new(vec![1], policy)
-            .filter(FilterOp::new("gt10", Expr::col(0).cmp(CmpOp::Gt, Expr::lit(10i64))))
-            .filter(FilterOp::new("lt20", Expr::col(0).cmp(CmpOp::Lt, Expr::lit(20i64))))
+            .filter(FilterOp::new(
+                "gt10",
+                Expr::col(0).cmp(CmpOp::Gt, Expr::lit(10i64)),
+            ))
+            .filter(FilterOp::new(
+                "lt20",
+                Expr::col(0).cmp(CmpOp::Lt, Expr::lit(20i64)),
+            ))
             .build()
     }
 
@@ -499,8 +578,14 @@ mod tests {
         // S.a > 50 AND S.key = T.key AND T.b < 150.
         let build = |policy: Box<dyn RoutingPolicy>| {
             EddyBuilder::new(vec![2, 2], policy)
-                .filter(FilterOp::new("sa", Expr::col(1).cmp(CmpOp::Gt, Expr::lit(50i64))))
-                .filter(FilterOp::new("tb", Expr::col(3).cmp(CmpOp::Lt, Expr::lit(150i64))))
+                .filter(FilterOp::new(
+                    "sa",
+                    Expr::col(1).cmp(CmpOp::Gt, Expr::lit(50i64)),
+                ))
+                .filter(FilterOp::new(
+                    "tb",
+                    Expr::col(3).cmp(CmpOp::Lt, Expr::lit(150i64)),
+                ))
                 .stem(StemOp::new("stemS", 0, vec![0], vec![2]))
                 .stem(StemOp::new("stemT", 1, vec![0], vec![0]))
                 .build()
@@ -523,7 +608,10 @@ mod tests {
             })
             .count();
         for (seed, policy) in [
-            (0u64, Box::new(FixedPolicy::new(vec![0, 2, 1, 3])) as Box<dyn RoutingPolicy>),
+            (
+                0u64,
+                Box::new(FixedPolicy::new(vec![0, 2, 1, 3])) as Box<dyn RoutingPolicy>,
+            ),
             (1, Box::new(NaivePolicy::new(42))),
             (2, Box::new(LotteryPolicy::new(42))),
         ] {
@@ -533,7 +621,10 @@ mod tests {
                 count += e.push(0, s_tuples[i].clone()).len();
                 count += e.push(1, t_tuples[i].clone()).len();
             }
-            assert_eq!(count, expected, "policy seed {seed} diverged from reference");
+            assert_eq!(
+                count, expected,
+                "policy seed {seed} diverged from reference"
+            );
         }
     }
 
@@ -572,7 +663,9 @@ mod tests {
             .stem(StemOp::new("stemU", 2, vec![0], vec![2]))
             .build();
         let ss: Vec<Tuple> = (0..12).map(|i| int_tuple(&[i % 3], i)).collect();
-        let ts: Vec<Tuple> = (0..12).map(|i| int_tuple(&[i % 3, i % 4], 100 + i)).collect();
+        let ts: Vec<Tuple> = (0..12)
+            .map(|i| int_tuple(&[i % 3, i % 4], 100 + i))
+            .collect();
         let us: Vec<Tuple> = (0..12).map(|i| int_tuple(&[i % 4], 200 + i)).collect();
         let mut got = 0;
         for i in 0..12 {
@@ -625,8 +718,14 @@ mod tests {
     fn batching_reduces_decisions_with_same_answers() {
         let run = |batch: usize| {
             let mut e = EddyBuilder::new(vec![1], Box::new(LotteryPolicy::new(5)))
-                .filter(FilterOp::new("f0", Expr::col(0).cmp(CmpOp::Ge, Expr::lit(0i64))))
-                .filter(FilterOp::new("f1", Expr::col(0).cmp(CmpOp::Lt, Expr::lit(500i64))))
+                .filter(FilterOp::new(
+                    "f0",
+                    Expr::col(0).cmp(CmpOp::Ge, Expr::lit(0i64)),
+                ))
+                .filter(FilterOp::new(
+                    "f1",
+                    Expr::col(0).cmp(CmpOp::Lt, Expr::lit(500i64)),
+                ))
                 .batch_size(batch)
                 .build();
             for v in 0..1000 {
@@ -646,10 +745,73 @@ mod tests {
     }
 
     #[test]
+    fn submit_batch_equals_per_tuple_submits() {
+        // Join + filters under a deterministic policy: batch submission
+        // must produce byte-identical output in the same order.
+        let build = || {
+            EddyBuilder::new(vec![2, 2], Box::new(FixedPolicy::new(vec![0, 1, 2, 3])))
+                .filter(FilterOp::new(
+                    "sa",
+                    Expr::col(1).cmp(CmpOp::Gt, Expr::lit(20i64)),
+                ))
+                .filter(FilterOp::new(
+                    "tb",
+                    Expr::col(3).cmp(CmpOp::Lt, Expr::lit(160i64)),
+                ))
+                .stem(StemOp::new("stemS", 0, vec![0], vec![2]))
+                .stem(StemOp::new("stemT", 1, vec![0], vec![0]))
+                .batch_size(16)
+                .build()
+        };
+        let s_batch: Vec<Tuple> = (0..40)
+            .map(|i| int_tuple(&[i % 5, i * 3 % 60], i))
+            .collect();
+        let t_batch: Vec<Tuple> = (0..40)
+            .map(|i| int_tuple(&[i % 5, i * 9 % 200], 100 + i))
+            .collect();
+
+        let mut per_tuple = build();
+        let mut a = Vec::new();
+        for t in &s_batch {
+            a.extend(per_tuple.push(0, t.clone()));
+        }
+        for t in &t_batch {
+            a.extend(per_tuple.push(1, t.clone()));
+        }
+
+        let mut batched = build();
+        let mut b = Vec::new();
+        b.extend(batched.push_batch(0, s_batch));
+        b.extend(batched.push_batch(1, t_batch));
+
+        let fmt = |v: &[Tuple]| -> Vec<String> { v.iter().map(|t| format!("{t:?}")).collect() };
+        assert_eq!(fmt(&b), fmt(&a));
+        assert_eq!(batched.stats().emitted, per_tuple.stats().emitted);
+        assert_eq!(batched.stats().dropped, per_tuple.stats().dropped);
+        // The whole point: far fewer routing decisions.
+        assert!(batched.stats().decisions < per_tuple.stats().decisions);
+    }
+
+    #[test]
+    fn batch_of_single_stream_emits_directly() {
+        // No ops at all: a single-stream eddy emits submissions as-is.
+        let mut e = EddyBuilder::new(vec![1], Box::new(NaivePolicy::new(1))).build();
+        let out = e.push_batch(0, (0..5).map(|v| int_tuple(&[v], v)).collect());
+        assert_eq!(out.len(), 5);
+        assert_eq!(e.stats().emitted, 5);
+    }
+
+    #[test]
     fn operator_fixing_chains_filters() {
         let mut e = EddyBuilder::new(vec![1], Box::new(FixedPolicy::new(vec![0, 1])))
-            .filter(FilterOp::new("f0", Expr::col(0).cmp(CmpOp::Ge, Expr::lit(10i64))))
-            .filter(FilterOp::new("f1", Expr::col(0).cmp(CmpOp::Lt, Expr::lit(20i64))))
+            .filter(FilterOp::new(
+                "f0",
+                Expr::col(0).cmp(CmpOp::Ge, Expr::lit(10i64)),
+            ))
+            .filter(FilterOp::new(
+                "f1",
+                Expr::col(0).cmp(CmpOp::Lt, Expr::lit(20i64)),
+            ))
             .fix_ops(2)
             .build();
         for v in 0..30 {
@@ -666,8 +828,14 @@ mod tests {
         // f0 passes 90%, f1 passes 10%: lottery should route most tuples
         // to f1 first.
         let mut e = EddyBuilder::new(vec![1], Box::new(LotteryPolicy::new(99)))
-            .filter(FilterOp::new("f0", Expr::col(0).cmp(CmpOp::Lt, Expr::lit(900i64))))
-            .filter(FilterOp::new("f1", Expr::col(0).cmp(CmpOp::Ge, Expr::lit(900i64))))
+            .filter(FilterOp::new(
+                "f0",
+                Expr::col(0).cmp(CmpOp::Lt, Expr::lit(900i64)),
+            ))
+            .filter(FilterOp::new(
+                "f1",
+                Expr::col(0).cmp(CmpOp::Ge, Expr::lit(900i64)),
+            ))
             .build();
         for round in 0..20 {
             for v in 0..1000 {

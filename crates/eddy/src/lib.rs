@@ -62,17 +62,17 @@
 pub mod dupelim;
 pub mod eddy;
 pub mod juggle;
-pub mod transitive;
 pub mod layout;
 pub mod mask;
 pub mod ops;
 pub mod policy;
+pub mod transitive;
 
 pub use dupelim::DupElim;
-pub use transitive::TransitiveClosure;
 pub use eddy::{Eddy, EddyBuilder, EddyStats, OpStats};
 pub use juggle::Juggle;
 pub use layout::Layout;
 pub use mask::Mask;
 pub use ops::{EddyOp, FilterOp, StemOp};
 pub use policy::{FixedPolicy, LotteryPolicy, NaivePolicy, RoutingPolicy};
+pub use transitive::TransitiveClosure;

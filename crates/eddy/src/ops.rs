@@ -106,6 +106,8 @@ pub struct StemOp {
     /// SteM's insertion ids (ids are assigned in build order, so pruning
     /// after eviction is a range drop).
     seqs: std::collections::BTreeMap<u64, u64>,
+    /// Probe-entry scratch, reused across probes.
+    probe_buf: Vec<(u64, Tuple)>,
 }
 
 impl StemOp {
@@ -130,6 +132,7 @@ impl StemOp {
             }],
             residual: None,
             seqs: std::collections::BTreeMap::new(),
+            probe_buf: Vec::new(),
         }
     }
 
@@ -169,6 +172,16 @@ impl StemOp {
         self.seqs.insert(id, seq);
     }
 
+    /// Store a batch of arriving singletons with consecutive sequence
+    /// numbers starting at `base_seq`; the SteM's indexes are each
+    /// walked once for the whole batch.
+    pub fn build_batch(&mut self, tuples: &[Tuple], base_seq: u64) {
+        let ids = self.stem.build_batch(tuples);
+        for (i, id) in ids.enumerate() {
+            self.seqs.insert(id, base_seq + i as u64);
+        }
+    }
+
     /// Probe with a driver tuple: uses the first covered spec's index,
     /// verifies any other covered specs' key equalities, and returns
     /// stored tuples built strictly before arrival `before_seq` (the
@@ -191,24 +204,29 @@ impl StemOp {
             return Vec::new(); // NULL key never joins
         };
         let index_no = self.specs[first].index_no;
-        let entries = self.stem.probe_entries_on(index_no, &key);
-        entries
-            .into_iter()
-            .filter(|(id, _)| self.seqs.get(id).is_some_and(|&s| s < before_seq))
-            .map(|(_, t)| t)
-            .filter(|t| {
-                // Verify the remaining covered specs' equalities.
-                covered[1..].iter().all(|&si| {
-                    let sp = &self.specs[si];
-                    sp.local.iter().zip(sp.full.iter()).all(|(&lc, &fc)| {
-                        let p = layout
-                            .full_to_partial(coverage, fc)
-                            .expect("covered spec implies covered columns");
-                        t.field(lc).sql_eq(driver.field(p))
-                    })
-                })
-            })
-            .collect()
+        let mut entries = std::mem::take(&mut self.probe_buf);
+        self.stem.probe_entries_into(index_no, &key, &mut entries);
+        let mut out = Vec::new();
+        'entry: for (id, t) in entries.drain(..) {
+            if self.seqs.get(&id).is_none_or(|&s| s >= before_seq) {
+                continue;
+            }
+            // Verify the remaining covered specs' equalities.
+            for &si in &covered[1..] {
+                let sp = &self.specs[si];
+                for (&lc, &fc) in sp.local.iter().zip(sp.full.iter()) {
+                    let p = layout
+                        .full_to_partial(coverage, fc)
+                        .expect("covered spec implies covered columns");
+                    if !t.field(lc).sql_eq(driver.field(p)) {
+                        continue 'entry;
+                    }
+                }
+            }
+            out.push(t);
+        }
+        self.probe_buf = entries;
+        out
     }
 
     /// Window eviction on the stored side, pruning the seq side table.
@@ -291,7 +309,10 @@ mod tests {
             1,
             "only the seq-5 entry is older"
         );
-        assert_eq!(op.probe_matches(&driver, &layout, Mask::bit(0), 10).len(), 2);
+        assert_eq!(
+            op.probe_matches(&driver, &layout, Mask::bit(0), 10).len(),
+            2
+        );
         assert_eq!(
             op.probe_matches(&driver, &layout, Mask::bit(0), 5).len(),
             0,
@@ -317,7 +338,9 @@ mod tests {
         op.specs[0].streams = Mask::bit(0);
         op.build(Tuple::at_seq(vec![Value::Null], 1), 0);
         let driver = Tuple::at_seq(vec![Value::Null], 2);
-        assert!(op.probe_matches(&driver, &layout, Mask::bit(0), 10).is_empty());
+        assert!(op
+            .probe_matches(&driver, &layout, Mask::bit(0), 10)
+            .is_empty());
     }
 
     #[test]

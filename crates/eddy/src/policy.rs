@@ -168,9 +168,11 @@ impl LotteryPolicy {
 
 impl RoutingPolicy for LotteryPolicy {
     fn choose(&mut self, candidates: Mask, stats: &[OpStats]) -> usize {
-        self.ensure_len(stats.len().max(
-            candidates.iter().last().map_or(0, |i| i + 1),
-        ));
+        self.ensure_len(
+            stats
+                .len()
+                .max(candidates.iter().last().map_or(0, |i| i + 1)),
+        );
         // Weighted draw over candidates. Weights are banked tickets,
         // optionally divided by average cost.
         let cands: Vec<usize> = candidates.iter().collect();

@@ -60,8 +60,7 @@ impl TransitiveClosure {
     /// pairs as 2-column tuples stamped with the input's timestamp.
     /// NULL endpoints and self-loops derive nothing.
     pub fn push(&mut self, edge: &Tuple) -> Vec<Tuple> {
-        let (Some(src_v), Some(dst_v)) = (edge.get(self.src_col), edge.get(self.dst_col))
-        else {
+        let (Some(src_v), Some(dst_v)) = (edge.get(self.src_col), edge.get(self.dst_col)) else {
             return Vec::new();
         };
         if src_v.is_null() || dst_v.is_null() {
@@ -71,8 +70,12 @@ impl TransitiveClosure {
         if src == dst {
             return Vec::new();
         }
-        self.repr.entry(src.clone()).or_insert_with(|| src_v.clone());
-        self.repr.entry(dst.clone()).or_insert_with(|| dst_v.clone());
+        self.repr
+            .entry(src.clone())
+            .or_insert_with(|| src_v.clone());
+        self.repr
+            .entry(dst.clone())
+            .or_insert_with(|| dst_v.clone());
 
         // New pairs: (x, y) for every x in {src} ∪ reached_by(src) and
         // y in {dst} ∪ reaches(dst), where x does not already reach y.
@@ -91,11 +94,7 @@ impl TransitiveClosure {
                 if x == y {
                     continue; // cycles close, but (x, x) is not a pair
                 }
-                let fresh = self
-                    .reaches
-                    .entry(x.clone())
-                    .or_default()
-                    .insert(y.clone());
+                let fresh = self.reaches.entry(x.clone()).or_default().insert(y.clone());
                 if fresh {
                     self.reached_by
                         .entry(y.clone())
@@ -134,12 +133,7 @@ mod tests {
     fn pairs(out: &[Tuple]) -> Vec<(i64, i64)> {
         let mut v: Vec<(i64, i64)> = out
             .iter()
-            .map(|t| {
-                (
-                    t.field(0).as_int().unwrap(),
-                    t.field(1).as_int().unwrap(),
-                )
-            })
+            .map(|t| (t.field(0).as_int().unwrap(), t.field(1).as_int().unwrap()))
             .collect();
         v.sort_unstable();
         v
@@ -164,7 +158,7 @@ mod tests {
         let mut tc = TransitiveClosure::new(0, 1);
         tc.push(&edge(1, 2, 1)); // component A: 1→2
         tc.push(&edge(3, 4, 2)); // component B: 3→4
-        // Bridge 2→3: new pairs are {1,2} × {3,4}.
+                                 // Bridge 2→3: new pairs are {1,2} × {3,4}.
         let out = tc.push(&edge(2, 3, 3));
         assert_eq!(pairs(&out), vec![(1, 3), (1, 4), (2, 3), (2, 4)]);
     }

@@ -45,4 +45,6 @@ pub mod queue;
 
 pub use graph::Dataflow;
 pub use module::{DataflowModule, StepResult};
-pub use queue::{DequeueResult, EnqueueResult, ExchangeQueue, Fjord, PullQueue, PushQueue};
+pub use queue::{
+    DequeueResult, EnqueueResult, ExchangeQueue, Fjord, FjordStats, PullQueue, PushQueue,
+};

@@ -100,8 +100,7 @@ mod tests {
 
     #[test]
     fn boxed_module_dispatches() {
-        let mut m: Box<dyn DataflowModule> =
-            Box::new(FnModule::new("x", || StepResult::Idle));
+        let mut m: Box<dyn DataflowModule> = Box::new(FnModule::new("x", || StepResult::Idle));
         assert_eq!(m.step(), StepResult::Idle);
         assert_eq!(m.name(), "x");
     }

@@ -2,9 +2,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Result of an enqueue attempt.
 #[derive(Debug, PartialEq, Eq)]
@@ -48,16 +46,55 @@ impl<T> DequeueResult<T> {
     }
 }
 
+/// Synchronization-cost counters for one queue, snapshotted by
+/// [`Fjord::stats`]. `enqueued / enq_locks` (and the dequeue twin) is the
+/// average batch occupancy — the direct evidence of how much batching
+/// amortized the Mutex+Condvar handoff.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FjordStats {
+    /// Total items ever enqueued.
+    pub enqueued: u64,
+    /// Total items ever dequeued.
+    pub dequeued: u64,
+    /// Lock acquisitions by enqueue endpoints (including ones that moved
+    /// nothing because the queue was full or closed).
+    pub enq_locks: u64,
+    /// Lock acquisitions by dequeue endpoints (including empty polls).
+    pub deq_locks: u64,
+}
+
+impl FjordStats {
+    /// Average items moved per producer-side lock acquisition.
+    pub fn avg_enqueue_batch(&self) -> f64 {
+        if self.enq_locks == 0 {
+            0.0
+        } else {
+            self.enqueued as f64 / self.enq_locks as f64
+        }
+    }
+
+    /// Average items moved per consumer-side lock acquisition.
+    pub fn avg_dequeue_batch(&self) -> f64 {
+        if self.deq_locks == 0 {
+            0.0
+        } else {
+            self.dequeued as f64 / self.deq_locks as f64
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Shared<T> {
     buf: Mutex<Inner<T>>,
-    /// Signalled when an item is added or the queue closes.
+    /// Signalled when items are added or the queue closes.
     not_empty: Condvar,
-    /// Signalled when an item is removed or the queue closes.
+    /// Signalled when items are removed or the queue closes.
     not_full: Condvar,
     capacity: usize,
     enqueued: AtomicU64,
     dequeued: AtomicU64,
+    enq_locks: AtomicU64,
+    deq_locks: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -66,7 +103,8 @@ struct Inner<T> {
     closed: bool,
 }
 
-/// A bounded MPMC queue with blocking and non-blocking endpoints and an
+/// A bounded MPMC queue with blocking and non-blocking endpoints, batch
+/// endpoints that move many items per lock acquisition, and an
 /// end-of-stream signal.
 ///
 /// Handles are cheaply cloneable; all clones share the buffer. Capacity is
@@ -100,13 +138,43 @@ impl<T> Fjord<T> {
                 capacity: capacity.max(1),
                 enqueued: AtomicU64::new(0),
                 dequeued: AtomicU64::new(0),
+                enq_locks: AtomicU64::new(0),
+                deq_locks: AtomicU64::new(0),
             }),
+        }
+    }
+
+    fn lock_enq(&self) -> MutexGuard<'_, Inner<T>> {
+        self.shared.enq_locks.fetch_add(1, Ordering::Relaxed);
+        self.shared.buf.lock().unwrap()
+    }
+
+    fn lock_deq(&self) -> MutexGuard<'_, Inner<T>> {
+        self.shared.deq_locks.fetch_add(1, Ordering::Relaxed);
+        self.shared.buf.lock().unwrap()
+    }
+
+    /// Wake consumers after adding `n` items with a single condvar call.
+    fn wake_consumers(&self, n: usize) {
+        if n > 1 {
+            self.shared.not_empty.notify_all();
+        } else if n == 1 {
+            self.shared.not_empty.notify_one();
+        }
+    }
+
+    /// Wake producers after removing `n` items with a single condvar call.
+    fn wake_producers(&self, n: usize) {
+        if n > 1 {
+            self.shared.not_full.notify_all();
+        } else if n == 1 {
+            self.shared.not_full.notify_one();
         }
     }
 
     /// Non-blocking enqueue (push modality).
     pub fn try_enqueue(&self, item: T) -> EnqueueResult<T> {
-        let mut inner = self.shared.buf.lock();
+        let mut inner = self.lock_enq();
         if inner.closed {
             return EnqueueResult::Closed(item);
         }
@@ -116,14 +184,14 @@ impl<T> Fjord<T> {
         inner.items.push_back(item);
         drop(inner);
         self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
-        self.shared.not_empty.notify_one();
+        self.wake_consumers(1);
         EnqueueResult::Ok
     }
 
     /// Blocking enqueue (pull modality): waits for space. Returns the item
     /// back only if the queue closes while waiting.
     pub fn enqueue_blocking(&self, item: T) -> EnqueueResult<T> {
-        let mut inner = self.shared.buf.lock();
+        let mut inner = self.lock_enq();
         loop {
             if inner.closed {
                 return EnqueueResult::Closed(item);
@@ -132,10 +200,69 @@ impl<T> Fjord<T> {
                 inner.items.push_back(item);
                 drop(inner);
                 self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
-                self.shared.not_empty.notify_one();
+                self.wake_consumers(1);
                 return EnqueueResult::Ok;
             }
-            self.shared.not_full.wait(&mut inner);
+            inner = self.shared.not_full.wait(inner).unwrap();
+        }
+    }
+
+    /// Non-blocking batch enqueue: moves as many items as fit under one
+    /// lock acquisition and one condvar wake. Returns `Ok` when everything
+    /// was accepted, otherwise hands back the untransferred suffix.
+    pub fn enqueue_many(&self, mut items: Vec<T>) -> EnqueueResult<Vec<T>> {
+        if items.is_empty() {
+            return EnqueueResult::Ok;
+        }
+        let mut inner = self.lock_enq();
+        if inner.closed {
+            return EnqueueResult::Closed(items);
+        }
+        let space = self.shared.capacity.saturating_sub(inner.items.len());
+        let moved = space.min(items.len());
+        inner.items.extend(items.drain(..moved));
+        drop(inner);
+        self.shared
+            .enqueued
+            .fetch_add(moved as u64, Ordering::Relaxed);
+        self.wake_consumers(moved);
+        if items.is_empty() {
+            EnqueueResult::Ok
+        } else {
+            EnqueueResult::Full(items)
+        }
+    }
+
+    /// Blocking batch enqueue: transfers the whole batch, waiting for space
+    /// as needed (batches larger than the capacity are transferred in
+    /// capacity-sized waves, so they cannot deadlock). Each wave is one
+    /// lock acquisition and one condvar wake. On close, hands back
+    /// whatever had not yet been transferred.
+    pub fn enqueue_many_blocking(&self, mut items: Vec<T>) -> EnqueueResult<Vec<T>> {
+        if items.is_empty() {
+            return EnqueueResult::Ok;
+        }
+        let mut inner = self.lock_enq();
+        loop {
+            if inner.closed {
+                return EnqueueResult::Closed(items);
+            }
+            let space = self.shared.capacity.saturating_sub(inner.items.len());
+            let moved = space.min(items.len());
+            if moved > 0 {
+                inner.items.extend(items.drain(..moved));
+                self.shared
+                    .enqueued
+                    .fetch_add(moved as u64, Ordering::Relaxed);
+            }
+            if items.is_empty() {
+                drop(inner);
+                self.wake_consumers(moved);
+                return EnqueueResult::Ok;
+            }
+            // Hand the filled wave to consumers before sleeping for space.
+            self.wake_consumers(moved);
+            inner = self.shared.not_full.wait(inner).unwrap();
         }
     }
 
@@ -143,12 +270,12 @@ impl<T> Fjord<T> {
     /// buffered, so the consumer "can pursue other computation or yield
     /// the processor."
     pub fn try_dequeue(&self) -> DequeueResult<T> {
-        let mut inner = self.shared.buf.lock();
+        let mut inner = self.lock_deq();
         match inner.items.pop_front() {
             Some(t) => {
                 drop(inner);
                 self.shared.dequeued.fetch_add(1, Ordering::Relaxed);
-                self.shared.not_full.notify_one();
+                self.wake_producers(1);
                 DequeueResult::Item(t)
             }
             None if inner.closed => DequeueResult::Closed,
@@ -159,25 +286,72 @@ impl<T> Fjord<T> {
     /// Blocking dequeue (pull modality): waits until an item arrives or
     /// the queue is closed and drained.
     pub fn dequeue_blocking(&self) -> DequeueResult<T> {
-        let mut inner = self.shared.buf.lock();
+        let mut inner = self.lock_deq();
         loop {
             if let Some(t) = inner.items.pop_front() {
                 drop(inner);
                 self.shared.dequeued.fetch_add(1, Ordering::Relaxed);
-                self.shared.not_full.notify_one();
+                self.wake_producers(1);
                 return DequeueResult::Item(t);
             }
             if inner.closed {
                 return DequeueResult::Closed;
             }
-            self.shared.not_empty.wait(&mut inner);
+            inner = self.shared.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Non-blocking batch dequeue: drains up to `max` buffered items under
+    /// one lock acquisition and one condvar wake. An empty vec means
+    /// nothing was buffered; `Closed` means the stream ended.
+    pub fn dequeue_up_to(&self, max: usize) -> DequeueResult<Vec<T>> {
+        if max == 0 {
+            return DequeueResult::Item(Vec::new());
+        }
+        let mut inner = self.lock_deq();
+        if inner.items.is_empty() {
+            return if inner.closed {
+                DequeueResult::Closed
+            } else {
+                DequeueResult::Empty
+            };
+        }
+        let moved = inner.items.len().min(max);
+        let batch: Vec<T> = inner.items.drain(..moved).collect();
+        drop(inner);
+        self.shared
+            .dequeued
+            .fetch_add(moved as u64, Ordering::Relaxed);
+        self.wake_producers(moved);
+        DequeueResult::Item(batch)
+    }
+
+    /// Blocking batch dequeue: waits until at least one item is available
+    /// (or the stream ends), then drains up to `max` items in one go.
+    pub fn dequeue_up_to_blocking(&self, max: usize) -> DequeueResult<Vec<T>> {
+        let mut inner = self.lock_deq();
+        loop {
+            if !inner.items.is_empty() {
+                let moved = inner.items.len().min(max.max(1));
+                let batch: Vec<T> = inner.items.drain(..moved).collect();
+                drop(inner);
+                self.shared
+                    .dequeued
+                    .fetch_add(moved as u64, Ordering::Relaxed);
+                self.wake_producers(moved);
+                return DequeueResult::Item(batch);
+            }
+            if inner.closed {
+                return DequeueResult::Closed;
+            }
+            inner = self.shared.not_empty.wait(inner).unwrap();
         }
     }
 
     /// Signal end of stream. Buffered items remain dequeueable; further
     /// enqueues are rejected; blocked endpoints wake up.
     pub fn close(&self) {
-        let mut inner = self.shared.buf.lock();
+        let mut inner = self.shared.buf.lock().unwrap();
         inner.closed = true;
         drop(inner);
         self.shared.not_empty.notify_all();
@@ -186,18 +360,18 @@ impl<T> Fjord<T> {
 
     /// Whether the queue has been closed (items may still be buffered).
     pub fn is_closed(&self) -> bool {
-        self.shared.buf.lock().closed
+        self.shared.buf.lock().unwrap().closed
     }
 
     /// Whether the stream has fully ended: closed *and* drained.
     pub fn is_finished(&self) -> bool {
-        let inner = self.shared.buf.lock();
+        let inner = self.shared.buf.lock().unwrap();
         inner.closed && inner.items.is_empty()
     }
 
     /// Number of items currently buffered.
     pub fn len(&self) -> usize {
-        self.shared.buf.lock().items.len()
+        self.shared.buf.lock().unwrap().items.len()
     }
 
     /// True iff no items are buffered.
@@ -218,6 +392,16 @@ impl<T> Fjord<T> {
     /// Total items ever dequeued.
     pub fn total_dequeued(&self) -> u64 {
         self.shared.dequeued.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of traffic and lock-amortization counters.
+    pub fn stats(&self) -> FjordStats {
+        FjordStats {
+            enqueued: self.shared.enqueued.load(Ordering::Relaxed),
+            dequeued: self.shared.dequeued.load(Ordering::Relaxed),
+            enq_locks: self.shared.enq_locks.load(Ordering::Relaxed),
+            deq_locks: self.shared.deq_locks.load(Ordering::Relaxed),
+        }
     }
 
     /// Wrap as a push-queue facade.
@@ -255,9 +439,19 @@ impl<T> PushQueue<T> {
         self.inner.try_enqueue(item)
     }
 
+    /// Non-blocking batch enqueue.
+    pub fn enqueue_many(&self, items: Vec<T>) -> EnqueueResult<Vec<T>> {
+        self.inner.enqueue_many(items)
+    }
+
     /// Non-blocking dequeue.
     pub fn dequeue(&self) -> DequeueResult<T> {
         self.inner.try_dequeue()
+    }
+
+    /// Non-blocking batch dequeue.
+    pub fn dequeue_up_to(&self, max: usize) -> DequeueResult<Vec<T>> {
+        self.inner.dequeue_up_to(max)
     }
 
     /// Close the stream.
@@ -283,9 +477,19 @@ impl<T> PullQueue<T> {
         self.inner.enqueue_blocking(item)
     }
 
+    /// Blocking batch enqueue.
+    pub fn enqueue_many(&self, items: Vec<T>) -> EnqueueResult<Vec<T>> {
+        self.inner.enqueue_many_blocking(items)
+    }
+
     /// Blocking dequeue.
     pub fn dequeue(&self) -> DequeueResult<T> {
         self.inner.dequeue_blocking()
+    }
+
+    /// Blocking batch dequeue.
+    pub fn dequeue_up_to(&self, max: usize) -> DequeueResult<Vec<T>> {
+        self.inner.dequeue_up_to_blocking(max)
     }
 
     /// Close the stream.
@@ -312,9 +516,19 @@ impl<T> ExchangeQueue<T> {
         self.inner.try_enqueue(item)
     }
 
+    /// Non-blocking batch enqueue.
+    pub fn enqueue_many(&self, items: Vec<T>) -> EnqueueResult<Vec<T>> {
+        self.inner.enqueue_many(items)
+    }
+
     /// Blocking dequeue.
     pub fn dequeue(&self) -> DequeueResult<T> {
         self.inner.dequeue_blocking()
+    }
+
+    /// Blocking batch dequeue.
+    pub fn dequeue_up_to(&self, max: usize) -> DequeueResult<Vec<T>> {
+        self.inner.dequeue_up_to_blocking(max)
     }
 
     /// Close the stream.
@@ -414,6 +628,80 @@ mod tests {
     }
 
     #[test]
+    fn enqueue_many_fills_available_space() {
+        let q: Fjord<i32> = Fjord::with_capacity(3);
+        match q.enqueue_many(vec![1, 2, 3, 4, 5]) {
+            EnqueueResult::Full(rest) => assert_eq!(rest, vec![4, 5]),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 3);
+        assert!(q.enqueue_many(Vec::new()).is_ok());
+        q.close();
+        assert_eq!(q.enqueue_many(vec![9]), EnqueueResult::Closed(vec![9]));
+    }
+
+    #[test]
+    fn dequeue_up_to_drains_in_order() {
+        let q: Fjord<i32> = Fjord::with_capacity(8);
+        assert!(q.enqueue_many(vec![1, 2, 3, 4, 5]).is_ok());
+        assert_eq!(q.dequeue_up_to(3), DequeueResult::Item(vec![1, 2, 3]));
+        assert_eq!(q.dequeue_up_to(10), DequeueResult::Item(vec![4, 5]));
+        assert_eq!(q.dequeue_up_to(10), DequeueResult::Empty);
+        q.close();
+        assert_eq!(q.dequeue_up_to(10), DequeueResult::Closed);
+    }
+
+    #[test]
+    fn blocking_batch_enqueue_handles_oversized_batches() {
+        let q: Fjord<i32> = Fjord::with_capacity(2);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.enqueue_many_blocking((0..10).collect()));
+        let mut got = Vec::new();
+        while got.len() < 10 {
+            match q.dequeue_up_to_blocking(4) {
+                DequeueResult::Item(batch) => got.extend(batch),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(h.join().unwrap().is_ok());
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocking_batch_enqueue_returns_remainder_on_close() {
+        let q: Fjord<i32> = Fjord::with_capacity(2);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.enqueue_many_blocking(vec![1, 2, 3, 4, 5]));
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        match h.join().unwrap() {
+            EnqueueResult::Closed(rest) => {
+                // The first capacity-sized wave (1, 2) was transferred.
+                assert_eq!(rest, vec![3, 4, 5]);
+            }
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.dequeue_up_to(10), DequeueResult::Item(vec![1, 2]));
+    }
+
+    #[test]
+    fn batch_endpoints_amortize_lock_acquisitions() {
+        let q: Fjord<i32> = Fjord::with_capacity(1024);
+        assert!(q.enqueue_many((0..512).collect()).is_ok());
+        assert_eq!(
+            q.dequeue_up_to(512),
+            DequeueResult::Item((0..512).collect())
+        );
+        let s = q.stats();
+        assert_eq!(s.enqueued, 512);
+        assert_eq!(s.dequeued, 512);
+        assert_eq!(s.enq_locks, 1);
+        assert_eq!(s.deq_locks, 1);
+        assert!((s.avg_enqueue_batch() - 512.0).abs() < f64::EPSILON);
+        assert!((s.avg_dequeue_batch() - 512.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
     fn facades_expose_right_modality() {
         let q: Fjord<i32> = Fjord::with_capacity(1);
         let push = q.as_push();
@@ -466,6 +754,50 @@ mod tests {
                     loop {
                         match q.dequeue_blocking() {
                             DequeueResult::Item(t) => got.push(t),
+                            DequeueResult::Closed => return got,
+                            DequeueResult::Empty => unreachable!(),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..1000u64).map(move |i| p * 1000 + i))
+            .collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn mpmc_batch_endpoints_under_contention_lose_nothing() {
+        let q: Fjord<u64> = Fjord::with_capacity(32);
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for chunk in (0..1000u64).collect::<Vec<_>>().chunks(17) {
+                        let batch: Vec<u64> = chunk.iter().map(|i| p * 1000 + i).collect();
+                        assert!(q.enqueue_many_blocking(batch).is_ok());
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match q.dequeue_up_to_blocking(23) {
+                            DequeueResult::Item(batch) => got.extend(batch),
                             DequeueResult::Closed => return got,
                             DequeueResult::Empty => unreachable!(),
                         }

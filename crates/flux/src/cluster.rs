@@ -228,9 +228,7 @@ impl FluxCluster {
         }
         self.machines[machine].alive = false;
         if !self.machines.iter().any(|m| m.alive) {
-            return Err(TcqError::ClusterError(
-                "no live machines remain".into(),
-            ));
+            return Err(TcqError::ClusterError("no live machines remain".into()));
         }
         // Eagerly fail over every affected partition ("on failure, Flux
         // automatically recovers ... and continues processing without
@@ -311,9 +309,7 @@ impl FluxCluster {
             // drained it. Rebuild the replica from the new primary's
             // state so the pair stays redundant.
             let copy = self.machines[dst].op.drain_state(p as u32);
-            self.machines[src]
-                .op
-                .install_state(p as u32, copy.clone());
+            self.machines[src].op.install_state(p as u32, copy.clone());
             self.machines[dst].op.install_state(p as u32, copy);
         }
     }
@@ -331,9 +327,7 @@ impl FluxCluster {
                     if let Some(new_sec) = self.secondary[p] {
                         // Re-replicate from the new primary.
                         let copy = self.machines[sec].op.drain_state(p as u32);
-                        self.machines[sec]
-                            .op
-                            .install_state(p as u32, copy.clone());
+                        self.machines[sec].op.install_state(p as u32, copy.clone());
                         self.machines[new_sec].op.install_state(p as u32, copy);
                     }
                 }
@@ -349,9 +343,7 @@ impl FluxCluster {
                         .filter(|(_, m)| m.alive)
                         .min_by(|a, b| a.1.work.partial_cmp(&b.1.work).unwrap())
                         .map(|(i, _)| i)
-                        .ok_or_else(|| {
-                            TcqError::ClusterError("no live machines remain".into())
-                        })?;
+                        .ok_or_else(|| TcqError::ClusterError("no live machines remain".into()))?;
                     self.primary[p] = new_home;
                 }
             }
@@ -363,9 +355,7 @@ impl FluxCluster {
                 if let Some(new_sec) = self.secondary[p] {
                     let prim = self.primary[p];
                     let copy = self.machines[prim].op.drain_state(p as u32);
-                    self.machines[prim]
-                        .op
-                        .install_state(p as u32, copy.clone());
+                    self.machines[prim].op.install_state(p as u32, copy.clone());
                     self.machines[new_sec].op.install_state(p as u32, copy);
                 }
             }

@@ -178,8 +178,7 @@ impl PartitionedOp for WindowJoinOp {
         let Some(mut j) = self.joins.remove(&partition) else {
             return Vec::new();
         };
-        let mut out: Vec<(usize, Tuple)> =
-            j.drain_left().into_iter().map(|t| (0, t)).collect();
+        let mut out: Vec<(usize, Tuple)> = j.drain_left().into_iter().map(|t| (0, t)).collect();
         out.extend(j.drain_right().into_iter().map(|t| (1, t)));
         out
     }
@@ -230,10 +229,7 @@ mod tests {
         }
         let snap = g.snapshot(0);
         assert_eq!(snap.len(), 3);
-        let total: i64 = snap
-            .iter()
-            .map(|t| t.field(1).as_int().unwrap())
-            .sum();
+        let total: i64 = snap.iter().map(|t| t.field(1).as_int().unwrap()).sum();
         assert_eq!(total, 10);
         assert_eq!(g.state_size(0), 3);
     }

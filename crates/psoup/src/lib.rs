@@ -181,10 +181,7 @@ impl PSoup {
 
     /// Deregister a query and drop its materialized results.
     pub fn remove_query(&mut self, id: QueryId) -> Result<()> {
-        let slot = self
-            .by_id
-            .remove(&id)
-            .ok_or(TcqError::UnknownQuery(id))?;
+        let slot = self.by_id.remove(&id).ok_or(TcqError::UnknownQuery(id))?;
         let entry = self.queries[slot].take().expect("slot occupied");
         for (col, _, _) in &entry.query.predicates {
             if let Some(gf) = self.filters.get_mut(&(entry.query.stream, *col)) {

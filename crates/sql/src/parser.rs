@@ -187,8 +187,10 @@ impl Parser {
         // Aggregate call?
         if let Some(Tok::Ident(name)) = self.peek() {
             let is_agg = AGG_FUNCS.iter().any(|f| name.eq_ignore_ascii_case(f));
-            let next_is_paren =
-                matches!(self.tokens.get(self.pos + 1).map(|s| &s.tok), Some(Tok::LParen));
+            let next_is_paren = matches!(
+                self.tokens.get(self.pos + 1).map(|s| &s.tok),
+                Some(Tok::LParen)
+            );
             if is_agg && next_is_paren {
                 let func = self.ident("aggregate name")?.to_ascii_uppercase();
                 self.expect(Tok::LParen, "(")?;
@@ -544,8 +546,20 @@ mod tests {
         let w = q.window.unwrap();
         assert_eq!(w.cond, AstLoopCond::EqOnce(0));
         assert_eq!(w.step, AstLoopStep::Set(-1));
-        assert_eq!(w.windows[0].left, AstBound { coeff: 0, offset: 1 });
-        assert_eq!(w.windows[0].right, AstBound { coeff: 0, offset: 5 });
+        assert_eq!(
+            w.windows[0].left,
+            AstBound {
+                coeff: 0,
+                offset: 1
+            }
+        );
+        assert_eq!(
+            w.windows[0].right,
+            AstBound {
+                coeff: 0,
+                offset: 5
+            }
+        );
     }
 
     #[test]
@@ -564,7 +578,13 @@ mod tests {
         assert_eq!(w.init, 101);
         assert_eq!(w.cond, AstLoopCond::Le(1100));
         assert_eq!(w.step, AstLoopStep::Add(1));
-        assert_eq!(w.windows[0].right, AstBound { coeff: 1, offset: 0 });
+        assert_eq!(
+            w.windows[0].right,
+            AstBound {
+                coeff: 1,
+                offset: 0
+            }
+        );
     }
 
     #[test]
@@ -586,7 +606,13 @@ mod tests {
         assert_eq!(q.from[0].alias.as_deref(), Some("c1"));
         let w = q.window.unwrap();
         assert_eq!(w.windows.len(), 2);
-        assert_eq!(w.windows[0].left, AstBound { coeff: 1, offset: -4 });
+        assert_eq!(
+            w.windows[0].left,
+            AstBound {
+                coeff: 1,
+                offset: -4
+            }
+        );
     }
 
     #[test]
@@ -669,7 +695,13 @@ mod tests {
         .unwrap();
         let w = q.window.unwrap();
         assert_eq!(w.step, AstLoopStep::Add(-10));
-        assert_eq!(w.windows[0].left, AstBound { coeff: -1, offset: 100 });
+        assert_eq!(
+            w.windows[0].left,
+            AstBound {
+                coeff: -1,
+                offset: 100
+            }
+        );
         assert_eq!(
             w.windows[0].right,
             AstBound {

@@ -8,9 +8,7 @@
 //! then emits the adaptive plan — an Eddy wired with filter modules and
 //! SteMs — that the executor folds into its running dataflow.
 
-use tcq_common::{
-    Catalog, CmpOp, Expr, Field, Result, Schema, StreamKind, TcqError, Tuple, Value,
-};
+use tcq_common::{Catalog, CmpOp, Expr, Field, Result, Schema, StreamKind, TcqError, Tuple, Value};
 use tcq_eddy::{Eddy, EddyBuilder, FilterOp, Layout, RoutingPolicy, StemOp};
 use tcq_windows::{AggKind, Bound, ForLoop, LoopCond, WindowIs, WindowSeq};
 
@@ -183,15 +181,12 @@ impl Planner {
                 }
                 SelectItem::Agg { func, arg, alias } => {
                     has_agg = true;
-                    let kind = AggKind::from_name(func).ok_or_else(|| {
-                        TcqError::PlanError(format!("unknown aggregate {func}"))
-                    })?;
+                    let kind = AggKind::from_name(func)
+                        .ok_or_else(|| TcqError::PlanError(format!("unknown aggregate {func}")))?;
                     let arg = match arg {
                         None if kind == AggKind::Count => None,
                         None => {
-                            return Err(TcqError::PlanError(format!(
-                                "{kind} requires an argument"
-                            )))
+                            return Err(TcqError::PlanError(format!("{kind} requires an argument")))
                         }
                         Some(a) => Some(resolve_expr(a, &joint)?),
                     };
@@ -237,7 +232,10 @@ impl Planner {
                     }
                     n as usize - 1
                 }
-                AstExpr::Column { qualifier: None, name } => {
+                AstExpr::Column {
+                    qualifier: None,
+                    name,
+                } => {
                     let lname = name.to_ascii_lowercase();
                     outputs
                         .iter()
@@ -467,7 +465,11 @@ impl QueryPlan {
                 "  scan: {} AS {} [{}{}]",
                 bs.name,
                 bs.alias,
-                if bs.kind == StreamKind::Stream { "stream" } else { "table" },
+                if bs.kind == StreamKind::Stream {
+                    "stream"
+                } else {
+                    "table"
+                },
                 if bs.windowed { ", windowed" } else { "" }
             );
         }
@@ -520,7 +522,11 @@ impl QueryPlan {
             out,
             "  output{}{}: ({})",
             if self.distinct { " DISTINCT" } else { "" },
-            if self.order_by.is_empty() { "" } else { " ORDERED" },
+            if self.order_by.is_empty() {
+                ""
+            } else {
+                " ORDERED"
+            },
             cols.join(", ")
         );
         out
@@ -533,11 +539,21 @@ impl QueryPlan {
     /// edges (a stream with no incident edge gets an empty-key SteM —
     /// a cartesian building block).
     pub fn build_eddy(&self, policy: Box<dyn RoutingPolicy>) -> Result<Eddy> {
+        self.build_eddy_batched(policy, 1)
+    }
+
+    /// Like [`Plan::build_eddy`], with the §4.3 batching knob set so one
+    /// routing decision can cover up to `batch_size` same-lineage tuples
+    /// — the executor passes its pipeline batch size here so batches fed
+    /// via [`Eddy::push_batch`] share decisions end to end.
+    pub fn build_eddy_batched(
+        &self,
+        policy: Box<dyn RoutingPolicy>,
+        batch_size: usize,
+    ) -> Result<Eddy> {
         let layout = self.layout();
-        let mut builder = EddyBuilder::new(
-            self.streams.iter().map(|s| s.arity).collect(),
-            policy,
-        );
+        let mut builder = EddyBuilder::new(self.streams.iter().map(|s| s.arity).collect(), policy)
+            .batch_size(batch_size);
         for (i, f) in self.filters.iter().enumerate() {
             builder = builder.filter(FilterOp::new(format!("filter{i}"), f.clone()));
         }
@@ -545,14 +561,13 @@ impl QueryPlan {
             for (si, stream) in self.streams.iter().enumerate() {
                 let mut specs: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
                 for edge in &self.joins {
-                    let (mine, other) =
-                        if layout.stream_of_column(edge.a) == Some(si) {
-                            (edge.a, edge.b)
-                        } else if layout.stream_of_column(edge.b) == Some(si) {
-                            (edge.b, edge.a)
-                        } else {
-                            continue;
-                        };
+                    let (mine, other) = if layout.stream_of_column(edge.a) == Some(si) {
+                        (edge.a, edge.b)
+                    } else if layout.stream_of_column(edge.b) == Some(si) {
+                        (edge.b, edge.a)
+                    } else {
+                        continue;
+                    };
                     specs.push((vec![mine - stream.offset], vec![other]));
                 }
                 let mut op = match specs.first() {
@@ -755,16 +770,17 @@ mod tests {
             .unwrap();
         let mut eddy = p.build_eddy(Box::new(NaivePolicy::new(1))).unwrap();
         let mut results = Vec::new();
-        for (i, (sym, price)) in [("MSFT", 60.0), ("IBM", 70.0), ("MSFT", 40.0), ("MSFT", 90.0)]
-            .iter()
-            .enumerate()
+        for (i, (sym, price)) in [
+            ("MSFT", 60.0),
+            ("IBM", 70.0),
+            ("MSFT", 40.0),
+            ("MSFT", 90.0),
+        ]
+        .iter()
+        .enumerate()
         {
             let t = Tuple::at_seq(
-                vec![
-                    Value::Int(i as i64),
-                    Value::str(*sym),
-                    Value::Float(*price),
-                ],
+                vec![Value::Int(i as i64), Value::str(*sym), Value::Float(*price)],
                 i as i64,
             );
             for full in eddy.push(0, t) {
@@ -831,7 +847,9 @@ mod tests {
             .plan_sql("SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > 1.0")
             .unwrap();
         assert!(shared.explain().contains("class: shared"));
-        let tap = planner().plan_sql("SELECT * FROM ClosingStockPrices").unwrap();
+        let tap = planner()
+            .plan_sql("SELECT * FROM ClosingStockPrices")
+            .unwrap();
         assert!(tap.explain().contains("class: continuous"));
     }
 

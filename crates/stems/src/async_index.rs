@@ -280,7 +280,11 @@ mod tests {
 
     fn make_join(latency: u32) -> AsyncIndexJoin {
         let table = vec![t_row(1, "one", 0), t_row(2, "two", 0), t_row(1, "uno", 0)];
-        AsyncIndexJoin::new(vec![0], vec![0], Box::new(TableIndex::new(table, vec![0], latency)))
+        AsyncIndexJoin::new(
+            vec![0],
+            vec![0],
+            Box::new(TableIndex::new(table, vec![0], latency)),
+        )
     }
 
     #[test]
@@ -313,7 +317,9 @@ mod tests {
         assert!(j.poll().is_empty());
         // Second probe of a missing key: cache hit, zero matches, no
         // index traffic.
-        assert!(j.push_probe(Tuple::at_seq(vec![Value::Int(99)], 2)).is_empty());
+        assert!(j
+            .push_probe(Tuple::at_seq(vec![Value::Int(99)], 2))
+            .is_empty());
         assert_eq!(j.stats().index_lookups, 1);
         assert_eq!(j.stats().cache_hits, 1);
     }

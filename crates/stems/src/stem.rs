@@ -164,6 +164,31 @@ impl SteM {
         id
     }
 
+    /// Insert (build) a batch of tuples in order. Equivalent to calling
+    /// [`SteM::build`] once per tuple, but insertion ids come from one
+    /// reserved range, storage is grown once, and each index is walked
+    /// once per batch. Returns the assigned id range (ascending, in
+    /// batch order).
+    pub fn build_batch(&mut self, tuples: &[Tuple]) -> std::ops::Range<u64> {
+        let first = self.next_id;
+        self.next_id += tuples.len() as u64;
+        for idx in &mut self.indexes {
+            for (i, t) in tuples.iter().enumerate() {
+                let key = Key::from_tuple(t, &idx.cols);
+                idx.map.entry(key).or_default().push(first + i as u64);
+            }
+        }
+        self.arrival.reserve(tuples.len());
+        self.live.reserve(tuples.len());
+        for (i, t) in tuples.iter().enumerate() {
+            let id = first + i as u64;
+            self.arrival.push_back(id);
+            self.live.insert(id, t.clone());
+        }
+        self.stats.builds += tuples.len() as u64;
+        first..self.next_id
+    }
+
     /// Search (probe) the primary index: all live tuples whose key
     /// columns equal `key`. A key containing NULL matches nothing.
     pub fn probe(&mut self, key: &Key) -> Vec<Tuple> {
@@ -195,15 +220,23 @@ impl SteM {
 
     /// Entry-level probe of index `idx`.
     pub fn probe_entries_on(&mut self, idx: usize, key: &Key) -> Vec<(u64, Tuple)> {
+        let mut out = Vec::new();
+        self.probe_entries_into(idx, key, &mut out);
+        out
+    }
+
+    /// Entry-level probe of index `idx` into a caller-provided buffer
+    /// (cleared first), so batched probe loops reuse one allocation.
+    pub fn probe_entries_into(&mut self, idx: usize, key: &Key, out: &mut Vec<(u64, Tuple)>) {
+        out.clear();
         self.stats.probes += 1;
         if key.has_null() {
-            return Vec::new();
+            return;
         }
         let index = &mut self.indexes[idx];
         let Some(postings) = index.map.get_mut(key) else {
-            return Vec::new();
+            return;
         };
-        let mut out = Vec::new();
         let mut dead = 0usize;
         for &id in postings.iter() {
             match self.live.get(&id) {
@@ -219,7 +252,6 @@ impl SteM {
             }
         }
         self.stats.matches += out.len() as u64;
-        out
     }
 
     /// Delete one tuple by insertion id. Returns it if it was live.
@@ -245,10 +277,7 @@ impl SteM {
                     self.arrival.pop_front();
                 }
                 Some(t) => {
-                    if matches!(
-                        t.ts().partial_cmp(&bound),
-                        Some(std::cmp::Ordering::Less)
-                    ) {
+                    if matches!(t.ts().partial_cmp(&bound), Some(std::cmp::Ordering::Less)) {
                         self.live.remove(&id);
                         self.arrival.pop_front();
                         n += 1;
@@ -351,7 +380,8 @@ mod tests {
         }
         s.evict_before(Timestamp::logical(4));
         assert_eq!(
-            s.probe_on(idx, &Key::from_values(&[Value::Float(9.0)])).len(),
+            s.probe_on(idx, &Key::from_values(&[Value::Float(9.0)]))
+                .len(),
             3
         );
     }
@@ -478,10 +508,60 @@ mod tests {
     }
 
     #[test]
+    fn build_batch_matches_per_tuple_builds() {
+        let mut one = SteM::new("a", vec![0]);
+        let mut batch = SteM::new("b", vec![0]);
+        let idx_a = one.add_index(vec![1]);
+        let idx_b = batch.add_index(vec![1]);
+        let rows: Vec<Tuple> = (0..20)
+            .map(|i| row(if i % 2 == 0 { "X" } else { "Y" }, (i % 3) as f64, i))
+            .collect();
+        let ids_a: Vec<u64> = rows.iter().map(|t| one.build(t.clone())).collect();
+        let range = batch.build_batch(&rows);
+        assert_eq!(range, ids_a[0]..ids_a[19] + 1);
+        assert_eq!(batch.len(), one.len());
+        assert_eq!(batch.stats().builds, one.stats().builds);
+        for key in [
+            Key::from_values(&[Value::str("X")]),
+            Key::from_values(&[Value::str("Y")]),
+        ] {
+            assert_eq!(batch.probe_entries(&key), one.probe_entries(&key));
+        }
+        for v in 0..3 {
+            let key = Key::from_values(&[Value::Float(v as f64)]);
+            assert_eq!(
+                batch.probe_entries_on(idx_b, &key),
+                one.probe_entries_on(idx_a, &key)
+            );
+        }
+        // Eviction still walks arrival order.
+        assert_eq!(batch.evict_before(Timestamp::logical(10)), 10);
+        assert_eq!(batch.len(), 10);
+    }
+
+    #[test]
+    fn probe_entries_into_reuses_buffer() {
+        let mut s = SteM::new("s", vec![0]);
+        s.build_batch(&(0..4).map(|i| row("K", i as f64, i)).collect::<Vec<_>>());
+        let mut buf = Vec::new();
+        s.probe_entries_into(0, &Key::from_values(&[Value::str("K")]), &mut buf);
+        assert_eq!(buf.len(), 4);
+        // Stale contents are cleared on the next probe.
+        s.probe_entries_into(0, &Key::from_values(&[Value::str("missing")]), &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
     fn multi_column_keys() {
         let mut s = SteM::new("s", vec![0, 1]);
-        s.build(Tuple::at_seq(vec![Value::str("A"), Value::Int(1), Value::Int(10)], 1));
-        s.build(Tuple::at_seq(vec![Value::str("A"), Value::Int(2), Value::Int(20)], 2));
+        s.build(Tuple::at_seq(
+            vec![Value::str("A"), Value::Int(1), Value::Int(10)],
+            1,
+        ));
+        s.build(Tuple::at_seq(
+            vec![Value::str("A"), Value::Int(2), Value::Int(20)],
+            2,
+        ));
         let hits = s.probe(&Key::from_values(&[Value::str("A"), Value::Int(2)]));
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].field(2), &Value::Int(20));

@@ -187,7 +187,10 @@ mod tests {
     fn no_self_match_on_single_tuple() {
         let mut j = SymmetricHashJoin::new(vec![0], vec![0], 1, None);
         assert!(j.push_left(l(1, "a", 1)).is_empty());
-        assert!(j.push_left(l(1, "b", 2)).is_empty(), "same side never joins itself");
+        assert!(
+            j.push_left(l(1, "b", 2)).is_empty(),
+            "same side never joins itself"
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
+use std::sync::Mutex;
 
 use tcq_common::{Result, TcqError, Timestamp, Tuple};
 use tcq_windows::WindowSource;
@@ -75,12 +75,10 @@ impl Spooler {
                 for job in rx {
                     match write_file(&job.path, &job.bytes) {
                         Ok(()) => {
-                            let mut shared = job.shared.lock();
+                            let mut shared = job.shared.lock().unwrap();
                             shared.spooled += 1;
-                            if let Some(seg) = shared
-                                .segments
-                                .iter_mut()
-                                .find(|s| s.seg_no == job.seg_no)
+                            if let Some(seg) =
+                                shared.segments.iter_mut().find(|s| s.seg_no == job.seg_no)
                             {
                                 // The file is durable; the in-memory copy
                                 // may now be dropped under pressure.
@@ -191,7 +189,7 @@ impl StreamArchive {
     /// Counters (spooled count reflects completed background writes).
     pub fn stats(&self) -> ArchiveStats {
         let mut s = self.stats;
-        s.spooled = self.shared.lock().spooled;
+        s.spooled = self.shared.lock().unwrap().spooled;
         s
     }
 
@@ -202,7 +200,7 @@ impl StreamArchive {
 
     /// Number of sealed segments.
     pub fn segment_count(&self) -> usize {
-        self.shared.lock().segments.len()
+        self.shared.lock().unwrap().segments.len()
     }
 
     /// Append an arriving tuple (must be timestamp-monotone within the
@@ -245,7 +243,7 @@ impl StreamArchive {
         let path = self.dir.join(format!("seg-{:08}.tcq", seg_no));
         let bytes = encode_batch(&tuples);
         let resident = Arc::new(tuples);
-        self.shared.lock().segments.push(SegmentMeta {
+        self.shared.lock().unwrap().segments.push(SegmentMeta {
             seg_no,
             min_ticks,
             max_ticks,
@@ -264,9 +262,8 @@ impl StreamArchive {
                 .map_err(|_| TcqError::StorageError("spooler is gone".into()))?;
             }
             None => {
-                write_file(&path, &bytes)
-                    .map_err(|e| TcqError::StorageError(e.to_string()))?;
-                let mut shared = self.shared.lock();
+                write_file(&path, &bytes).map_err(|e| TcqError::StorageError(e.to_string()))?;
+                let mut shared = self.shared.lock().unwrap();
                 shared.spooled += 1;
                 if let Some(seg) = shared.segments.iter_mut().find(|s| s.seg_no == seg_no) {
                     seg.resident = None;
@@ -279,7 +276,7 @@ impl StreamArchive {
     /// Block until every sealed segment has been written (test/shutdown
     /// aid).
     pub fn flush(&self) {
-        while self.shared.lock().spooled < self.stats.sealed {
+        while self.shared.lock().unwrap().spooled < self.stats.sealed {
             std::thread::yield_now();
         }
     }
@@ -289,7 +286,7 @@ impl StreamArchive {
         if let Some(res) = &meta.resident {
             return Ok(res.clone());
         }
-        let mut pool = self.pool.lock();
+        let mut pool = self.pool.lock().unwrap();
         pool.get_or_load((self.stream_id, meta.seg_no), || {
             let bytes = fs::read(&meta.path)
                 .map_err(|e| TcqError::StorageError(format!("{}: {e}", meta.path.display())))?;
@@ -305,7 +302,7 @@ impl StreamArchive {
         }
         let mut out = Vec::new();
         let metas: Vec<SegmentMeta> = {
-            let shared = self.shared.lock();
+            let shared = self.shared.lock().unwrap();
             shared
                 .segments
                 .iter()
@@ -327,10 +324,7 @@ impl StreamArchive {
         }
         for t in &self.tail {
             let ticks = t.ts().ticks();
-            if t.ts().domain() == left.domain()
-                && ticks >= left.ticks()
-                && ticks <= right.ticks()
-            {
+            if t.ts().domain() == left.domain() && ticks >= left.ticks() && ticks <= right.ticks() {
                 out.push(t.clone());
             }
         }
@@ -341,8 +335,8 @@ impl StreamArchive {
     /// (retention). Removes their files and invalidates cached frames.
     pub fn truncate_before(&mut self, bound: Timestamp) -> usize {
         let mut dropped = 0;
-        let mut shared = self.shared.lock();
-        let mut pool = self.pool.lock();
+        let mut shared = self.shared.lock().unwrap();
+        let mut pool = self.pool.lock().unwrap();
         shared.segments.retain(|m| {
             // A segment still being spooled stays (its resident copy is
             // set); dropping the meta would orphan the pending write.
@@ -371,7 +365,7 @@ impl WindowSource for StreamArchive {
         if let Some(t) = self.tail.back() {
             return Some(t.ts());
         }
-        let shared = self.shared.lock();
+        let shared = self.shared.lock().unwrap();
         shared
             .segments
             .last()
@@ -385,11 +379,8 @@ mod tests {
     use tcq_common::Value;
 
     fn tmp_dir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "tcq-archive-test-{}-{}",
-            std::process::id(),
-            tag
-        ));
+        let d =
+            std::env::temp_dir().join(format!("tcq-archive-test-{}-{}", std::process::id(), tag));
         let _ = fs::remove_dir_all(&d);
         d
     }
@@ -414,7 +405,9 @@ mod tests {
         }
         assert_eq!(a.segment_count(), 3);
         assert_eq!(a.tail_len(), 5);
-        let got = a.scan(Timestamp::logical(8), Timestamp::logical(33)).unwrap();
+        let got = a
+            .scan(Timestamp::logical(8), Timestamp::logical(33))
+            .unwrap();
         let ticks: Vec<i64> = got.iter().map(|t| t.ts().ticks()).collect();
         assert_eq!(ticks, (8..=33).collect::<Vec<_>>());
         let _ = fs::remove_dir_all(&dir);
@@ -432,7 +425,9 @@ mod tests {
         assert_eq!(a.stats().spooled, 4);
         assert_eq!(fs::read_dir(&dir).unwrap().count(), 4);
         // Scans read back through the buffer pool.
-        let got = a.scan(Timestamp::logical(1), Timestamp::logical(20)).unwrap();
+        let got = a
+            .scan(Timestamp::logical(1), Timestamp::logical(20))
+            .unwrap();
         assert_eq!(got.len(), 20);
         assert_eq!(spooler.error_count(), 0);
         let _ = fs::remove_dir_all(&dir);
@@ -446,7 +441,9 @@ mod tests {
         for i in 1..=10 {
             a.append(tup(i)).unwrap();
         }
-        let got = a.scan(Timestamp::logical(3), Timestamp::logical(7)).unwrap();
+        let got = a
+            .scan(Timestamp::logical(3), Timestamp::logical(7))
+            .unwrap();
         assert_eq!(got.len(), 5);
         let _ = fs::remove_dir_all(&dir);
     }
@@ -484,9 +481,10 @@ mod tests {
             a.append(tup(i)).unwrap();
         }
         // Scan touching only one segment loads only that segment.
-        let before = p.lock().stats().misses;
-        a.scan(Timestamp::logical(15), Timestamp::logical(17)).unwrap();
-        let after = p.lock().stats().misses;
+        let before = p.lock().unwrap().stats().misses;
+        a.scan(Timestamp::logical(15), Timestamp::logical(17))
+            .unwrap();
+        let after = p.lock().unwrap().stats().misses;
         assert_eq!(after - before, 1, "only the overlapping segment loads");
         let _ = fs::remove_dir_all(&dir);
     }
@@ -502,7 +500,9 @@ mod tests {
         let dropped = a.truncate_before(Timestamp::logical(25));
         assert_eq!(dropped, 2, "segments ending before t=25 are gone");
         assert_eq!(fs::read_dir(&dir).unwrap().count(), 3);
-        let got = a.scan(Timestamp::logical(1), Timestamp::logical(50)).unwrap();
+        let got = a
+            .scan(Timestamp::logical(1), Timestamp::logical(50))
+            .unwrap();
         assert_eq!(got[0].ts().ticks(), 21, "remaining data starts at seg 3");
         let _ = fs::remove_dir_all(&dir);
     }
@@ -511,10 +511,16 @@ mod tests {
     fn empty_and_inverted_scans() {
         let dir = tmp_dir("empty");
         let a = StreamArchive::new(8, &dir, 10, pool(), None);
-        assert!(a.scan(Timestamp::logical(1), Timestamp::logical(5)).unwrap().is_empty());
+        assert!(a
+            .scan(Timestamp::logical(1), Timestamp::logical(5))
+            .unwrap()
+            .is_empty());
         let mut a2 = StreamArchive::new(9, &dir, 10, pool(), None);
         a2.append(tup(1)).unwrap();
-        assert!(a2.scan(Timestamp::logical(5), Timestamp::logical(1)).unwrap().is_empty());
+        assert!(a2
+            .scan(Timestamp::logical(5), Timestamp::logical(1))
+            .unwrap()
+            .is_empty());
         assert!(a2
             .scan(Timestamp::physical(0), Timestamp::logical(5))
             .unwrap()

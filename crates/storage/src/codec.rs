@@ -122,9 +122,8 @@ impl<'a> Decoder<'a> {
             4 => {
                 let len = self.u32()? as usize;
                 let bytes = self.take(len)?;
-                let s = std::str::from_utf8(bytes).map_err(|_| {
-                    TcqError::StorageError("invalid utf8 in string value".into())
-                })?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| TcqError::StorageError("invalid utf8 in string value".into()))?;
                 Value::str(s)
             }
             5 => {
@@ -132,11 +131,7 @@ impl<'a> Decoder<'a> {
                 let ticks = self.i64()?;
                 Value::Ts(Timestamp::new(domain, ticks))
             }
-            tag => {
-                return Err(TcqError::StorageError(format!(
-                    "unknown value tag {tag}"
-                )))
-            }
+            tag => return Err(TcqError::StorageError(format!("unknown value tag {tag}"))),
         })
     }
 }
@@ -149,7 +144,11 @@ pub fn crc32(bytes: &[u8]) -> u32 {
         for (i, e) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *e = c;
         }
@@ -196,9 +195,7 @@ pub fn decode_batch(buf: &[u8]) -> Result<Vec<Tuple>> {
         out.push(d.tuple()?);
     }
     if !d.is_exhausted() {
-        return Err(TcqError::StorageError(
-            "trailing bytes after batch".into(),
-        ));
+        return Err(TcqError::StorageError("trailing bytes after batch".into()));
     }
     Ok(out)
 }
@@ -295,7 +292,7 @@ mod tests {
             let mut fields: Vec<Value> = ints.into_iter().map(Value::Int).collect();
             fields.push(Value::str(&text));
             let t = Tuple::at_seq(fields, seq);
-            let buf = encode_batch(&[t.clone()]);
+            let buf = encode_batch(std::slice::from_ref(&t));
             let back = decode_batch(&buf).unwrap();
             prop_assert_eq!(back, vec![t]);
         }

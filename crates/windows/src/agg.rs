@@ -156,11 +156,7 @@ impl SlidingAgg {
             if matches!(ts.partial_cmp(&bound), Some(std::cmp::Ordering::Less)) {
                 self.window.pop_front();
                 self.sum -= v;
-                if self
-                    .mono
-                    .front()
-                    .is_some_and(|(mts, _)| *mts == ts)
-                {
+                if self.mono.front().is_some_and(|(mts, _)| *mts == ts) {
                     self.mono.pop_front();
                 }
             } else {
@@ -330,7 +326,9 @@ mod tests {
         let mut vals = Vec::new();
         let mut x = 7u64;
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             vals.push((x >> 33) as f64 % 1000.0);
         }
         let mut a = SlidingAgg::new(AggKind::Max);

@@ -82,10 +82,7 @@ impl VecWindowBuffer {
     /// Index of the first tuple with `ts >= bound` (same domain).
     fn partition_point(&self, bound: Timestamp) -> usize {
         self.tuples.partition_point(|t| {
-            matches!(
-                t.ts().partial_cmp(&bound),
-                Some(std::cmp::Ordering::Less)
-            )
+            matches!(t.ts().partial_cmp(&bound), Some(std::cmp::Ordering::Less))
         })
     }
 }

@@ -26,9 +26,8 @@ pub struct StockTicker {
 }
 
 /// Symbols used by examples and benches.
-pub const DEFAULT_SYMBOLS: [&str; 8] = [
-    "MSFT", "IBM", "ORCL", "SUNW", "INTC", "AAPL", "DELL", "HPQ",
-];
+pub const DEFAULT_SYMBOLS: [&str; 8] =
+    ["MSFT", "IBM", "ORCL", "SUNW", "INTC", "AAPL", "DELL", "HPQ"];
 
 impl StockTicker {
     /// A ticker over the default symbols, running forever.
@@ -105,9 +104,7 @@ impl PacketGen {
     /// (0.0 = uniform; 1.0 = heavily skewed).
     pub fn new(seed: u64, n_keys: usize, theta: f64) -> PacketGen {
         let n_keys = n_keys.max(1);
-        let mut weights: Vec<f64> = (1..=n_keys)
-            .map(|r| 1.0 / (r as f64).powf(theta))
-            .collect();
+        let mut weights: Vec<f64> = (1..=n_keys).map(|r| 1.0 / (r as f64).powf(theta)).collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
         for w in &mut weights {
@@ -244,7 +241,11 @@ impl Source for DriftGen {
                 // Phase 2: swapped.
                 let small = self.rng.next_below(100) as i64 / 2; // [0, 50)
                 let large = 50 + self.rng.next_below(100) as i64 / 2; // [50, 100)
-                let (a, b) = if swapped { (large, small) } else { (small, large) };
+                let (a, b) = if swapped {
+                    (large, small)
+                } else {
+                    (small, large)
+                };
                 Tuple::new(vec![Value::Int(a), Value::Int(b)], self.clock.tick())
             })
             .collect()

@@ -127,9 +127,8 @@ pub struct CsvSource {
 impl CsvSource {
     /// Open `path` with the given row schema.
     pub fn open(path: impl AsRef<Path>, schema: Schema) -> Result<CsvSource> {
-        let file = File::open(path.as_ref()).map_err(|e| {
-            TcqError::StorageError(format!("{}: {e}", path.as_ref().display()))
-        })?;
+        let file = File::open(path.as_ref())
+            .map_err(|e| TcqError::StorageError(format!("{}: {e}", path.as_ref().display())))?;
         Ok(CsvSource {
             reader: BufReader::new(file),
             schema,
@@ -152,20 +151,21 @@ impl CsvSource {
         let mut fields = Vec::with_capacity(cells.len());
         for (i, cell) in cells.iter().enumerate() {
             let ty = self.schema.field(i).data_type;
-            let v = if cell.is_empty() {
-                Value::Null
-            } else {
-                match ty {
-                    DataType::Int => Value::Int(cell.parse().map_err(|_| {
-                        TcqError::StorageError(format!("bad INT cell {cell:?}"))
-                    })?),
-                    DataType::Float => Value::Float(cell.parse().map_err(|_| {
-                        TcqError::StorageError(format!("bad FLOAT cell {cell:?}"))
-                    })?),
-                    DataType::Bool => Value::Bool(cell.eq_ignore_ascii_case("true")),
-                    _ => Value::str(*cell),
-                }
-            };
+            let v =
+                if cell.is_empty() {
+                    Value::Null
+                } else {
+                    match ty {
+                        DataType::Int => Value::Int(cell.parse().map_err(|_| {
+                            TcqError::StorageError(format!("bad INT cell {cell:?}"))
+                        })?),
+                        DataType::Float => Value::Float(cell.parse().map_err(|_| {
+                            TcqError::StorageError(format!("bad FLOAT cell {cell:?}"))
+                        })?),
+                        DataType::Bool => Value::Bool(cell.eq_ignore_ascii_case("true")),
+                        _ => Value::str(*cell),
+                    }
+                };
             fields.push(v);
         }
         Ok(Tuple::new(fields, self.clock.now()))
@@ -217,7 +217,9 @@ mod tests {
 
     #[test]
     fn iter_source_drains_and_exhausts() {
-        let tuples: Vec<Tuple> = (0..5).map(|i| Tuple::at_seq(vec![Value::Int(i)], i)).collect();
+        let tuples: Vec<Tuple> = (0..5)
+            .map(|i| Tuple::at_seq(vec![Value::Int(i)], i))
+            .collect();
         let mut s = IterSource::new("it", tuples.into_iter());
         assert_eq!(s.poll(3).len(), 3);
         assert!(!s.is_exhausted());
@@ -250,10 +252,7 @@ mod tests {
     }
 
     fn write_csv(name: &str, body: &str) -> std::path::PathBuf {
-        let p = std::env::temp_dir().join(format!(
-            "tcq-csv-{}-{name}.csv",
-            std::process::id()
-        ));
+        let p = std::env::temp_dir().join(format!("tcq-csv-{}-{name}.csv", std::process::id()));
         let mut f = File::create(&p).unwrap();
         f.write_all(body.as_bytes()).unwrap();
         p

@@ -18,10 +18,7 @@ fn total(c: &FluxCluster) -> i64 {
 
 fn print_loads(tag: &str, c: &FluxCluster) {
     let loads = c.loads();
-    let bars: Vec<String> = loads
-        .iter()
-        .map(|&w| format!("{:>8.0}", w))
-        .collect();
+    let bars: Vec<String> = loads.iter().map(|&w| format!("{:>8.0}", w)).collect();
     println!(
         "{tag:<28} loads [{}]  imbalance {:.2}",
         bars.join(" "),

@@ -8,7 +8,7 @@
 //! ```
 
 use tcq::{Config, Server};
-use tcq_common::{DataType, Field, Schema, Value};
+use tcq_common::{DataType, Field, Schema};
 use tcq_wrappers::{PacketGen, Source};
 
 fn main() {

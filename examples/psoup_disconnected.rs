@@ -41,7 +41,9 @@ fn main() {
 
     // Client A reconnects: the window is imposed on the materialized
     // Results Structure — retrieval cost is O(answer), not O(stream).
-    let answers = psoup.retrieve(hot, Timestamp::logical(now)).expect("retrieve");
+    let answers = psoup
+        .retrieve(hot, Timestamp::logical(now))
+        .expect("retrieve");
     println!(
         "client A back at t={now}: {} hot readings in the last 100 ticks",
         answers.len()
@@ -68,7 +70,9 @@ fn main() {
     );
 
     // Client A returns again; both clients see current windows.
-    let again = psoup.retrieve(hot, Timestamp::logical(now)).expect("retrieve");
+    let again = psoup
+        .retrieve(hot, Timestamp::logical(now))
+        .expect("retrieve");
     println!(
         "client A back again at t={now}: {} hot readings (fresh window)",
         again.len()

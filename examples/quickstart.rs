@@ -57,18 +57,16 @@ fn main() {
                 .expect("push succeeds");
         }
     }
-    server.punctuate("ClosingStockPrices", 10).expect("punctuate");
+    server
+        .punctuate("ClosingStockPrices", 10)
+        .expect("punctuate");
     server.sync();
 
     // 6. Read the streamed alerts.
     println!("== MSFT > $55 alerts ==");
     for rs in alerts.drain() {
         for row in rs.rows {
-            println!(
-                "  day {:>2}  closed at ${}",
-                row.field(0),
-                row.field(1)
-            );
+            println!("  day {:>2}  closed at ${}", row.field(0), row.field(1));
         }
     }
 

@@ -56,8 +56,7 @@ fn main() {
     let watched: Vec<&Tuple> = emitted
         .iter()
         .filter(|t| {
-            t.field(0).as_int() == Some(WATCHED_HOST)
-                || t.field(1).as_int() == Some(WATCHED_HOST)
+            t.field(0).as_int() == Some(WATCHED_HOST) || t.field(1).as_int() == Some(WATCHED_HOST)
         })
         .collect();
     println!(
@@ -76,8 +75,7 @@ fn main() {
     let early_watched = first_quarter
         .iter()
         .filter(|t| {
-            t.field(0).as_int() == Some(WATCHED_HOST)
-                || t.field(1).as_int() == Some(WATCHED_HOST)
+            t.field(0).as_int() == Some(WATCHED_HOST) || t.field(1).as_int() == Some(WATCHED_HOST)
         })
         .count();
     println!(

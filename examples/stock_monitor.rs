@@ -10,8 +10,8 @@
 //! ```
 
 use tcq::{Config, QueryHandle, Server};
-use tcq_common::{DataType, Field, Schema, Value};
-use tcq_wrappers::{Source, StockTicker};
+use tcq_common::{DataType, Field, Schema};
+use tcq_wrappers::StockTicker;
 
 fn print_sets(title: &str, handle: &QueryHandle, limit: usize) {
     println!("\n== {title} ==");
@@ -111,9 +111,17 @@ fn main() {
     assert!(server.drain_sources(std::time::Duration::from_secs(30)));
 
     print_sets("Example 1: snapshot (first five days)", &snapshot, 5);
-    print_sets("Example 2: landmark (last 5 instants shown)", &landmark, usize::MAX);
+    print_sets(
+        "Example 2: landmark (last 5 instants shown)",
+        &landmark,
+        usize::MAX,
+    );
     print_sets("Example 3: sliding 5-day MAX", &sliding, usize::MAX);
-    print_sets("Example 4: sliding self-join (IBM > MSFT)", &join, usize::MAX);
+    print_sets(
+        "Example 4: sliding self-join (IBM > MSFT)",
+        &join,
+        usize::MAX,
+    );
     print_sets("Hopping: 3-day count every 10 days", &hopping, usize::MAX);
 
     server.shutdown();

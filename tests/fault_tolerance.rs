@@ -59,7 +59,7 @@ fn failure_without_replication_quantified() {
     assert_eq!(total_count(&with), 4_000);
     let lost = 4_000 - total_count(&without);
     assert!(lost > 0, "unreplicated failure must lose state");
-    assert_eq!(without.stats().state_lost > 0, true);
+    assert!(without.stats().state_lost > 0);
     assert_eq!(with.stats().state_lost, 0);
 }
 
@@ -86,11 +86,12 @@ fn join_state_moves_without_duplicates() {
     let mut expected = 0usize;
     for i in 0..3_000i64 {
         let key = i % 50;
-        expected += reference
-            .process(0, (i % 2) as usize, &row(key, i))
-            .len();
+        expected += reference.process(0, (i % 2) as usize, &row(key, i)).len();
     }
-    assert_eq!(matches, expected, "moves must not duplicate or drop matches");
+    assert_eq!(
+        matches, expected,
+        "moves must not duplicate or drop matches"
+    );
     assert!(c.stats().partitions_moved > 0, "the slow machine shed work");
 }
 
@@ -113,7 +114,10 @@ fn rebalance_converges() {
         c.route(0, &row(i % 64, 100_000 + i)).unwrap();
     }
     let moved = c.rebalance();
-    assert!(moved <= 2, "rebalancing should have converged, moved {moved}");
+    assert!(
+        moved <= 2,
+        "rebalancing should have converged, moved {moved}"
+    );
 }
 
 /// Archive durability: data written through the spooler is readable by
@@ -121,8 +125,7 @@ fn rebalance_converges() {
 /// is on disk.
 #[test]
 fn archive_survives_reader_restart() {
-    use parking_lot::Mutex;
-    use std::sync::Arc;
+    use std::sync::{Arc, Mutex};
     use tcq_storage::{BufferPool, Replacement, Spooler, StreamArchive};
 
     let dir = std::env::temp_dir().join(format!("tcq-ft-archive-{}", std::process::id()));

@@ -138,7 +138,11 @@ fn example_3_sliding_max() {
         let t = rs.window_t.unwrap();
         let expected = (t - 4..=t).map(msft_price).fold(f64::MIN, f64::max);
         assert_eq!(rs.rows.len(), 1);
-        assert_eq!(rs.rows[0].field(0), &Value::Float(expected), "window at t={t}");
+        assert_eq!(
+            rs.rows[0].field(0),
+            &Value::Float(expected),
+            "window at t={t}"
+        );
     }
     s.shutdown();
 }
@@ -251,7 +255,11 @@ fn windows_release_incrementally() {
     s.sync();
     let last = h.drain();
     assert_eq!(last.len(), 1, "window [5,6] released");
-    assert_eq!(last[0].rows[0].field(0), &Value::Int(4), "2 days x 2 symbols");
+    assert_eq!(
+        last[0].rows[0].field(0),
+        &Value::Int(4),
+        "2 days x 2 symbols"
+    );
     assert!(h.is_finished());
     s.shutdown();
 }

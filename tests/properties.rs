@@ -33,7 +33,7 @@ proptest! {
         lo in -40i64..0,
         hi in 0i64..40,
         policy_pick in 0u8..3,
-        batch in prop_oneof![Just(1usize), Just(7), Just(64)],
+        batch in prop_oneof![Just(1usize), Just(7usize), Just(64usize)],
     ) {
         let policy: Box<dyn tcq_eddy::RoutingPolicy> = match policy_pick {
             0 => Box::new(FixedPolicy::new(vec![0, 1])),
@@ -247,6 +247,68 @@ proptest! {
     }
 }
 
+/// Run the full server pipeline (FrontEnd → Wrapper → Executor → egress)
+/// at one batch size and return every client-visible answer: the sorted
+/// rows of a continuous selection, plus the windowed query's
+/// `(window_t, count)` sequence in release order.
+fn pipeline_answers(batch_size: usize, prices: &[i64]) -> (Vec<i64>, Vec<(i64, i64)>) {
+    use tcq_common::{DataType, Field, Schema};
+    use tcq_wrappers::IterSource;
+
+    let config = tcq::Config {
+        batch_size,
+        executor_threads: 1,
+        ..tcq::Config::default()
+    };
+    let server = tcq::Server::start(config).expect("server starts");
+    server
+        .register_stream(
+            "s",
+            Schema::qualified("s", vec![Field::new("price", DataType::Int)]),
+        )
+        .expect("stream registers");
+    let select = server
+        .submit("SELECT price FROM s WHERE price >= 50")
+        .expect("selection submits");
+    let horizon = prices.len() as i64;
+    let windowed = server
+        .submit(&format!(
+            "SELECT COUNT(*) AS n FROM s \
+             for (t = 1; t <= {horizon}; t++) {{ WindowIs(s, 1, t); }}"
+        ))
+        .expect("windowed query submits");
+    let tuples: Vec<Tuple> = prices
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| int_tuple(&[p], i as i64 + 1))
+        .collect();
+    server
+        .attach_source("s", Box::new(IterSource::new("gen", tuples.into_iter())))
+        .expect("source attaches");
+    assert!(
+        server.drain_sources(std::time::Duration::from_secs(60)),
+        "pipeline drains"
+    );
+    let mut rows: Vec<i64> = select
+        .drain()
+        .iter()
+        .flat_map(|set| set.rows.iter().map(|t| t.field(0).as_int().unwrap()))
+        .collect();
+    rows.sort_unstable();
+    let windows: Vec<(i64, i64)> = windowed
+        .drain()
+        .iter()
+        .map(|set| {
+            (
+                set.window_t.expect("windowed result carries its t"),
+                set.rows[0].field(0).as_int().unwrap(),
+            )
+        })
+        .collect();
+    server.shutdown();
+    (rows, windows)
+}
+
 /// Non-proptest cross-check: the E1 scenario's invariant — adaptive and
 /// static plans produce identical *answers* (adaptivity only changes
 /// work), even across a selectivity drift.
@@ -255,8 +317,14 @@ fn adaptive_and_static_answers_identical_under_drift() {
     use tcq_wrappers::{DriftGen, Source};
     let build = |policy: Box<dyn tcq_eddy::RoutingPolicy>| {
         EddyBuilder::new(vec![2], policy)
-            .filter(FilterOp::new("fa", Expr::col(0).cmp(CmpOp::Gt, Expr::lit(45i64))))
-            .filter(FilterOp::new("fb", Expr::col(1).cmp(CmpOp::Gt, Expr::lit(45i64))))
+            .filter(FilterOp::new(
+                "fa",
+                Expr::col(0).cmp(CmpOp::Gt, Expr::lit(45i64)),
+            ))
+            .filter(FilterOp::new(
+                "fb",
+                Expr::col(1).cmp(CmpOp::Gt, Expr::lit(45i64)),
+            ))
             .build()
     };
     let tuples: Vec<Tuple> = DriftGen::new(42, 2_000).poll(4_000);
@@ -335,6 +403,22 @@ proptest! {
             let emitted = d.push(Tuple::at_seq(vec![Value::Int(v)], i as i64)).is_some();
             prop_assert_eq!(emitted, seen.insert(v));
         }
+    }
+
+    /// End-to-end batching invariant: a pipeline running with
+    /// `batch_size > 1` produces exactly the same answers as the
+    /// unbatched (`batch_size = 1`) pipeline — the result multiset of a
+    /// continuous selection matches, and the punctuation-driven windowed
+    /// query releases the same windows at the same logical times with
+    /// the same contents.
+    #[test]
+    fn batched_pipeline_equals_unbatched(
+        prices in proptest::collection::vec(0i64..100, 4..80),
+        batch in prop_oneof![Just(3usize), Just(16usize), Just(64usize)],
+    ) {
+        let reference = pipeline_answers(1, &prices);
+        let batched = pipeline_answers(batch, &prices);
+        prop_assert_eq!(reference, batched);
     }
 
     /// Juggle is a permutation: nothing dropped, nothing invented.

@@ -228,7 +228,9 @@ fn shared_selection_fanout_is_correct() {
     s.sync();
     for (i, h) in handles.iter().enumerate() {
         let got: usize = h.drain().iter().map(|r| r.rows.len()).sum();
-        let expected = (1..=10).filter(|&d| (d * 10) as f64 > (i * 2) as f64).count();
+        let expected = (1..=10)
+            .filter(|&d| (d * 10) as f64 > (i * 2) as f64)
+            .count();
         assert_eq!(got, expected, "query {i}");
     }
     s.shutdown();
@@ -295,12 +297,8 @@ fn multiple_executor_threads() {
             day,
         )
         .unwrap();
-        s.push_at(
-            "Sensors",
-            vec![Value::Int(day), Value::Float(20.0)],
-            day,
-        )
-        .unwrap();
+        s.push_at("Sensors", vec![Value::Int(day), Value::Float(20.0)], day)
+            .unwrap();
     }
     s.sync();
     for (i, h) in qs.iter().enumerate() {
@@ -440,6 +438,8 @@ fn explain_describes_without_registering() {
     assert!(text.contains("Sliding"), "{text}");
     assert!(text.contains("MAX"), "{text}");
     // Invalid queries still error through explain.
-    assert!(s.explain("SELECT MAX(closingPrice) FROM ClosingStockPrices").is_err());
+    assert!(s
+        .explain("SELECT MAX(closingPrice) FROM ClosingStockPrices")
+        .is_err());
     s.shutdown();
 }
