@@ -1,0 +1,29 @@
+//! E11 — observability overhead: the E10 pipeline with the metrics
+//! registry off (baseline), on, and on with the `tcq$*` introspection
+//! streams ticking. The delta between the three prices the whole
+//! instrumentation layer (<5% throughput loss is the target).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcq_bench::e11_run;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_metrics_overhead");
+    g.sample_size(10);
+    for (name, metrics, tick) in [
+        ("metrics_off", false, None),
+        ("metrics_on", true, None),
+        (
+            "metrics_on_ticking",
+            true,
+            Some(std::time::Duration::from_millis(10)),
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::new("config", name), &name, |b, _| {
+            b.iter(|| e11_run(metrics, tick, 256, 50_000));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,29 +1,48 @@
 //! Regenerate every experiment table for EXPERIMENTS.md.
 //!
 //! ```sh
-//! cargo run --release -p tcq-bench --bin experiments
+//! cargo run --release -p tcq-bench --bin experiments        # all of E1–E11
+//! cargo run --release -p tcq-bench --bin experiments e11    # just E11
+//! cargo run --release -p tcq-bench --bin experiments e4 e10 # a subset
 //! ```
 //!
-//! Prints paper-claim vs measured-shape rows for E1–E10 (see DESIGN.md §5
-//! for the experiment index).
+//! Prints paper-claim vs measured-shape rows (see DESIGN.md §5 for the
+//! experiment index).
 
 use tcq_bench::*;
 use tcq_storage::Replacement;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+
     println!("TelegraphCQ-rs experiment report");
     println!("================================\n");
 
-    e1();
-    e2();
-    e3();
-    e4();
-    e5();
-    e6();
-    e7();
-    e8();
-    e9();
-    e10();
+    let table: [(&str, fn()); 11] = [
+        ("e1", e1),
+        ("e2", e2),
+        ("e3", e3),
+        ("e4", e4),
+        ("e5", e5),
+        ("e6", e6),
+        ("e7", e7),
+        ("e8", e8),
+        ("e9", e9),
+        ("e10", e10),
+        ("e11", e11),
+    ];
+    let mut ran = false;
+    for (name, run) in table {
+        if want(name) {
+            run();
+            ran = true;
+        }
+    }
+    if !ran {
+        eprintln!("no experiment matches {args:?}; known: e1..e11");
+        std::process::exit(2);
+    }
 }
 
 fn e1() {
@@ -276,6 +295,44 @@ fn e10() {
             r.queue.enq_locks + r.queue.deq_locks,
             r.tuples_per_enq_lock,
             r.tuples_per_deq_lock
+        );
+    }
+    println!();
+}
+
+fn e11() {
+    println!("E11 — metrics overhead on the E10 pipeline (100k tuples, batch 256)");
+    println!("  registry + instruments vs bare pipeline; introspection tick 10ms");
+    println!(
+        "  {:<28} {:>12} {:>10} {:>12} {:>12}",
+        "configuration", "tuples/s", "ms", "rows out", "overhead"
+    );
+    let n = 100_000;
+    let batch = 256;
+    // Interleave three repetitions of each setting and keep the best
+    // run, so one noisy scheduling hiccup doesn't decide the verdict.
+    let best = |metrics: bool, tick: Option<std::time::Duration>| {
+        (0..3)
+            .map(|_| e11_run(metrics, tick, batch, n))
+            .max_by(|a, b| a.tuples_per_sec.total_cmp(&b.tuples_per_sec))
+            .unwrap()
+    };
+    let off = best(false, None);
+    let on = best(true, None);
+    let ticking = best(true, Some(std::time::Duration::from_millis(10)));
+    for (name, r) in [
+        ("metrics off (baseline)", &off),
+        ("metrics on", &on),
+        ("metrics on + tcq$* tick", &ticking),
+    ] {
+        assert_eq!(r.rows_out, r.tuples, "no result set shed");
+        println!(
+            "  {:<28} {:>12.0} {:>10.2} {:>12} {:>11.1}%",
+            name,
+            r.tuples_per_sec,
+            r.elapsed_ms,
+            r.rows_out,
+            (1.0 - r.tuples_per_sec / off.tuples_per_sec) * 100.0
         );
     }
     println!();

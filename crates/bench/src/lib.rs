@@ -574,7 +574,6 @@ pub struct E10Result {
 /// tuples flowing in batches of `Config::batch_size` through the archive,
 /// the EO input Fjords, the shared CACQ engine, and the result queues.
 pub fn e10_run(batch_size: usize, n: usize) -> E10Result {
-    use tcq_common::{DataType, Field, Schema};
     let eos = 2usize;
     let config = tcq::Config {
         batch_size,
@@ -584,6 +583,37 @@ pub fn e10_run(batch_size: usize, n: usize) -> E10Result {
         result_buffer: n.max(1024),
         ..tcq::Config::default()
     };
+    pipeline_run(config, n)
+}
+
+/// E11: metrics overhead on the E10 pipeline. Same workload and shape as
+/// [`e10_run`], but with the engine-wide metrics registry switched by
+/// `metrics_on` and (optionally) the `tcq$*` introspection streams
+/// emitting on `introspect_tick`. Comparing `tuples_per_sec` across the
+/// three settings prices the observability layer (<5% is the target).
+pub fn e11_run(
+    metrics_on: bool,
+    introspect_tick: Option<std::time::Duration>,
+    batch_size: usize,
+    n: usize,
+) -> E10Result {
+    let eos = 2usize;
+    let config = tcq::Config {
+        batch_size,
+        executor_threads: eos,
+        result_buffer: n.max(1024),
+        metrics: metrics_on,
+        introspect_tick,
+        ..tcq::Config::default()
+    };
+    pipeline_run(config, n)
+}
+
+/// Shared E10/E11 harness: run the full pipeline under `config` and
+/// account for every tuple and queue lock.
+fn pipeline_run(config: tcq::Config, n: usize) -> E10Result {
+    use tcq_common::{DataType, Field, Schema};
+    let eos = config.executor_threads;
     let server = tcq::Server::start(config).expect("server starts");
     server
         .register_stream(
@@ -739,6 +769,17 @@ mod tests {
         for policy in [Replacement::Lru, Replacement::Clock] {
             let skew = e9_run(policy, 100, 30, 20_000, true);
             assert!(skew > 0.4, "skewed access should mostly hit: {skew}");
+        }
+    }
+
+    #[test]
+    fn e11_answers_identical_with_and_without_metrics() {
+        let off = e11_run(false, None, 64, 5_000);
+        let on = e11_run(true, None, 64, 5_000);
+        let ticking = e11_run(true, Some(std::time::Duration::from_millis(5)), 64, 5_000);
+        for r in [&off, &on, &ticking] {
+            assert_eq!(r.tuples, 5_000, "every source tuple ingested");
+            assert_eq!(r.rows_out, r.tuples, "instrumentation must not shed");
         }
     }
 }

@@ -212,6 +212,23 @@ pub struct CacqEngine {
     combined_scratch: QuerySet,
     next_id: QueryId,
     stats: CacqStats,
+    /// Bound registry instruments; `None` until
+    /// [`CacqEngine::bind_metrics`].
+    metrics: Option<CacqMetrics>,
+    /// Stats already pushed to the bound instruments (delta base).
+    synced: CacqStats,
+}
+
+/// Registry instruments the shared engine publishes through. Deltas are
+/// pushed once per `push_batch`, keeping the column-major hot loop free
+/// of atomics.
+#[derive(Debug)]
+struct CacqMetrics {
+    tuples: std::sync::Arc<tcq_metrics::Counter>,
+    filter_lookups: std::sync::Arc<tcq_metrics::Counter>,
+    delivered: std::sync::Arc<tcq_metrics::Counter>,
+    probes: std::sync::Arc<tcq_metrics::Counter>,
+    queries: std::sync::Arc<tcq_metrics::Gauge>,
 }
 
 impl CacqEngine {
@@ -228,6 +245,33 @@ impl CacqEngine {
     /// Engine counters.
     pub fn stats(&self) -> CacqStats {
         self.stats
+    }
+
+    /// Bind the engine to registry instruments under
+    /// `("cacq", instance, ...)`. Deltas flow at batch boundaries.
+    pub fn bind_metrics(&mut self, registry: &tcq_metrics::Registry, instance: &str) {
+        self.metrics = Some(CacqMetrics {
+            tuples: registry.counter("cacq", instance, "tuples"),
+            filter_lookups: registry.counter("cacq", instance, "filter_lookups"),
+            delivered: registry.counter("cacq", instance, "delivered"),
+            probes: registry.counter("cacq", instance, "probes"),
+            queries: registry.gauge("cacq", instance, "queries"),
+        });
+        self.sync_metrics();
+    }
+
+    /// Push stat deltas since the last sync (no-op when unbound).
+    fn sync_metrics(&mut self) {
+        if let Some(m) = &self.metrics {
+            m.tuples.add(self.stats.tuples - self.synced.tuples);
+            m.filter_lookups
+                .add(self.stats.filter_lookups - self.synced.filter_lookups);
+            m.delivered
+                .add(self.stats.delivered - self.synced.delivered);
+            m.probes.add(self.stats.probes - self.synced.probes);
+            m.queries.set(self.by_id.len() as i64);
+            self.synced = self.stats;
+        }
     }
 
     /// Total tuples held in shared join state (both sides, all joins).
@@ -536,6 +580,7 @@ impl CacqEngine {
                 }
             }
         }
+        self.sync_metrics();
         out
     }
 

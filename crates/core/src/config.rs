@@ -43,6 +43,17 @@ pub struct Config {
     pub input_queue: usize,
     /// Seed for routing-policy randomness (deterministic runs).
     pub seed: u64,
+    /// Engine-wide metrics registry. When on, queues, eddies, grouped
+    /// filters, and SteMs publish counters/gauges/histograms readable via
+    /// `Server::metrics()` and the `tcq$*` introspection streams. Off
+    /// removes every instrument binding (the E11 baseline).
+    pub metrics: bool,
+    /// Emission period for the introspection streams (`tcq$queues`,
+    /// `tcq$operators`, `tcq$flux`). `None` (the default) registers the
+    /// streams but emits nothing, leaving existing ingest/drain timing
+    /// untouched; `Some(tick)` makes the Wrapper append a snapshot row
+    /// set every `tick`.
+    pub introspect_tick: Option<std::time::Duration>,
 }
 
 impl Default for Config {
@@ -57,6 +68,8 @@ impl Default for Config {
             result_buffer: 1024,
             input_queue: 4096,
             seed: 0x7e1e_6ca9,
+            metrics: true,
+            introspect_tick: None,
         }
     }
 }

@@ -120,6 +120,10 @@ pub struct ExecutionObject {
     high_water: HashMap<usize, i64>,
     /// Punctuations: ticks known complete per global stream.
     punctuated: HashMap<usize, i64>,
+    /// Engine-wide metrics registry (`None` when metrics are off).
+    metrics: Option<tcq_metrics::Registry>,
+    /// Per-data-batch processing latency, µs.
+    batch_hist: Option<Arc<tcq_metrics::Histogram>>,
 }
 
 struct SharedQuery {
@@ -151,19 +155,33 @@ struct WindowedQuery {
 }
 
 impl ExecutionObject {
-    /// A fresh EO.
-    pub fn new(eo_id: u64, config: Config, archives: Arc<ArchiveSet>) -> ExecutionObject {
+    /// A fresh EO. With a registry, the EO's shared CACQ engine, every
+    /// per-query eddy, and batch latency publish instruments under
+    /// `eo{eo_id}.*` instances.
+    pub fn new(
+        eo_id: u64,
+        config: Config,
+        archives: Arc<ArchiveSet>,
+        metrics: Option<tcq_metrics::Registry>,
+    ) -> ExecutionObject {
+        let mut shared = CacqEngine::new();
+        let batch_hist = metrics.as_ref().map(|r| {
+            shared.bind_metrics(r, &format!("eo{eo_id}.shared"));
+            r.histogram("executor", &format!("eo{eo_id}"), "batch_us")
+        });
         ExecutionObject {
             eo_id,
             config,
             archives,
-            shared: CacqEngine::new(),
+            shared,
             shared_by_slot: HashMap::new(),
             shared_ids: HashMap::new(),
             eddies: HashMap::new(),
             windowed: HashMap::new(),
             high_water: HashMap::new(),
             punctuated: HashMap::new(),
+            metrics,
+            batch_hist,
         }
     }
 
@@ -231,12 +249,15 @@ impl ExecutionObject {
         // Per-query adaptive eddy; the pipeline batch size doubles as
         // the eddy's §4.3 batching knob so whole batches share routing
         // decisions.
-        let eddy = plan
+        let mut eddy = plan
             .build_eddy_batched(
                 make_policy(&self.config, self.eo_id ^ q.id),
                 self.config.batch_size,
             )
             .expect("planned queries compile");
+        if let Some(registry) = &self.metrics {
+            eddy.bind_metrics(registry, &format!("eo{}.q{}", self.eo_id, q.id));
+        }
         let mut positions: HashMap<usize, Vec<usize>> = HashMap::new();
         for (pos, &gid) in q.stream_ids.iter().enumerate() {
             positions.entry(gid).or_default().push(pos);
@@ -273,6 +294,13 @@ impl ExecutionObject {
         if tuples.is_empty() {
             return;
         }
+        tcq_metrics::tcq_trace!(
+            "eo{}: data stream={} batch={}",
+            self.eo_id,
+            stream,
+            tuples.len()
+        );
+        let timer = self.batch_hist.as_ref().map(|_| std::time::Instant::now());
         let hw = self.high_water.entry(stream).or_insert(i64::MIN);
         for t in &tuples {
             *hw = (*hw).max(t.ts().ticks());
@@ -345,6 +373,10 @@ impl ExecutionObject {
 
         // Windowed class: high water may have released windows.
         self.drive_windows();
+
+        if let (Some(hist), Some(start)) = (&self.batch_hist, timer) {
+            hist.record(start.elapsed().as_micros() as u64);
+        }
     }
 
     /// Evaluate every windowed query's released windows.

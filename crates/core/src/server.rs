@@ -9,8 +9,9 @@ use std::sync::Arc;
 use std::sync::mpsc::{channel, Sender, TryRecvError};
 use std::sync::{Mutex, RwLock};
 
-use tcq_common::{Catalog, Clock, Result, Schema, TcqError, Tuple, Value};
+use tcq_common::{Catalog, Clock, DataType, Field, Result, Schema, TcqError, Tuple, Value};
 use tcq_fjords::{DequeueResult, Fjord};
+use tcq_metrics::{tcq_trace, Registry};
 use tcq_sql::Planner;
 use tcq_storage::{BufferPool, Replacement, Spooler, StreamArchive};
 use tcq_wrappers::Source;
@@ -60,6 +61,11 @@ struct Inner {
     _spooler: Spooler,
     archive_root: PathBuf,
     _pool: Arc<Mutex<BufferPool>>,
+    /// Engine-wide metrics registry (`None` when `Config::metrics` is
+    /// off — the zero-overhead baseline).
+    metrics: Option<Registry>,
+    /// Latency of the batched streamer path (archive + fan-out), µs.
+    ingest_hist: Option<Arc<tcq_metrics::Histogram>>,
 }
 
 struct QueryMeta {
@@ -97,13 +103,26 @@ impl Server {
         let catalog = Catalog::new();
         let planner = Planner::new(catalog.clone());
 
+        let metrics = config.metrics.then(Registry::new);
+        let ingest_hist = metrics
+            .as_ref()
+            .map(|r| r.histogram("wrapper", "ingest", "batch_us"));
+
         // Executor: one input queue + thread per EO.
         let mut eo_inputs = Vec::with_capacity(config.executor_threads.max(1));
         let mut threads = Vec::new();
         for eo_id in 0..config.executor_threads.max(1) {
             let input: Fjord<ExecMsg> = Fjord::with_capacity(config.input_queue);
+            if let Some(registry) = &metrics {
+                input.register_metrics(registry, &format!("eo{eo_id}.input"));
+            }
             eo_inputs.push(input.clone());
-            let mut eo = ExecutionObject::new(eo_id as u64, config.clone(), archives.clone());
+            let mut eo = ExecutionObject::new(
+                eo_id as u64,
+                config.clone(),
+                archives.clone(),
+                metrics.clone(),
+            );
             // Drain the input queue in waves: one lock acquisition can
             // hand the EO up to 64 messages (each itself a batch of
             // tuples), so queue overhead stays off the per-tuple path.
@@ -143,6 +162,8 @@ impl Server {
             _spooler: spooler,
             archive_root,
             _pool: pool,
+            metrics,
+            ingest_hist,
         });
 
         // The Wrapper thread: hosts ingress sources, polls them
@@ -154,6 +175,11 @@ impl Server {
                 let mut sources: Vec<(usize, Box<dyn Source>)> = Vec::new();
                 let batch_size = wrapper_inner.config.batch_size.max(1);
                 let mut pending: Vec<Tuple> = Vec::with_capacity(batch_size);
+                let introspect_tick = wrapper_inner
+                    .config
+                    .introspect_tick
+                    .filter(|_| wrapper_inner.config.metrics);
+                let mut last_emit = std::time::Instant::now();
                 loop {
                     // Accept new sources.
                     loop {
@@ -206,6 +232,15 @@ impl Server {
                             let _ = wrapper_inner.punctuate_gid(gid, ticks);
                         }
                     }
+                    // Emit introspection rows on the configured tick.
+                    // These do not count as source production, so idle
+                    // detection and drain_sources timing are unchanged.
+                    if let Some(tick) = introspect_tick {
+                        if last_emit.elapsed() >= tick {
+                            wrapper_inner.emit_introspection();
+                            last_emit = std::time::Instant::now();
+                        }
+                    }
                     wrapper_inner
                         .wrapper_ingested
                         .fetch_add(produced as u64, Ordering::Relaxed);
@@ -222,7 +257,56 @@ impl Server {
             .map_err(|e| TcqError::ExecError(e.to_string()))?;
         inner.threads.lock().unwrap().push(wrapper);
 
-        Ok(Server { inner })
+        let server = Server { inner };
+        if server.inner.config.metrics {
+            server.register_introspection_streams()?;
+        }
+        Ok(server)
+    }
+
+    /// Register the synthetic system streams (`tcq$queues`,
+    /// `tcq$operators`, `tcq$flux`) through the normal catalog path, so
+    /// the engine's own state is queryable in CQ-SQL like any other
+    /// stream (the paper's introspective-query claim).
+    fn register_introspection_streams(&self) -> Result<()> {
+        self.register_stream(
+            "tcq$queues",
+            Schema::qualified(
+                "tcq$queues",
+                vec![
+                    Field::new("name", DataType::Str),
+                    Field::new("depth", DataType::Int),
+                    Field::new("capacity", DataType::Int),
+                    Field::new("enqueued", DataType::Int),
+                    Field::new("dequeued", DataType::Int),
+                    Field::new("enq_locks", DataType::Int),
+                    Field::new("deq_locks", DataType::Int),
+                ],
+            ),
+        )?;
+        self.register_stream(
+            "tcq$operators",
+            Schema::qualified(
+                "tcq$operators",
+                vec![
+                    Field::new("name", DataType::Str),
+                    Field::new("metric", DataType::Str),
+                    Field::new("value", DataType::Int),
+                ],
+            ),
+        )?;
+        self.register_stream(
+            "tcq$flux",
+            Schema::qualified(
+                "tcq$flux",
+                vec![
+                    Field::new("name", DataType::Str),
+                    Field::new("metric", DataType::Str),
+                    Field::new("value", DataType::Int),
+                ],
+            ),
+        )?;
+        Ok(())
     }
 
     /// The catalog (inspectable by clients).
@@ -435,6 +519,21 @@ impl Server {
         self.inner.eo_inputs.iter().map(|q| q.stats()).collect()
     }
 
+    /// The engine-wide metrics registry (`None` when `Config::metrics`
+    /// is off). `snapshot()` it for queue depths, per-operator routing
+    /// counters, SteM sizes, and ingest latency histograms; or query the
+    /// same readings in CQ-SQL via the `tcq$*` streams.
+    pub fn metrics(&self) -> Option<&Registry> {
+        self.inner.metrics.as_ref()
+    }
+
+    /// Force one introspection emission now (the Wrapper also emits on
+    /// `Config::introspect_tick`). Rows flow through the normal streamer
+    /// path: stamped, archived, fanned out to standing queries.
+    pub fn emit_introspection(&self) {
+        self.inner.emit_introspection();
+    }
+
     /// Stop all threads, closing every query's results.
     pub fn shutdown(&self) {
         self.inner.shutting_down.store(true, Ordering::Release);
@@ -478,6 +577,8 @@ impl Inner {
         if tuples.is_empty() {
             return Ok(());
         }
+        tcq_trace!("ingest: stream={} batch={}", gid, tuples.len());
+        let timer = self.ingest_hist.as_ref().map(|_| std::time::Instant::now());
         let high_water = tuples.iter().map(|t| t.ts().ticks()).max().unwrap();
         self.streams.read().unwrap()[gid]
             .clock
@@ -499,7 +600,81 @@ impl Inner {
                 _ => return Err(TcqError::Closed("executor")),
             }
         }
+        if let (Some(hist), Some(start)) = (&self.ingest_hist, timer) {
+            hist.record(start.elapsed().as_micros() as u64);
+        }
         Ok(())
+    }
+
+    /// Build and ingest one row set per introspection stream. `tcq$queues`
+    /// reads the EO input Fjords directly (lock-consistent depth); the
+    /// other two flatten the registry snapshot to (name, metric, value)
+    /// rows. No-op while the streams are unregistered or metrics are off.
+    fn emit_introspection(&self) {
+        let Some(registry) = &self.metrics else {
+            return;
+        };
+        let (q_gid, o_gid, f_gid) = {
+            let by_name = self.by_name.read().unwrap();
+            (
+                by_name.get("tcq$queues").copied(),
+                by_name.get("tcq$operators").copied(),
+                by_name.get("tcq$flux").copied(),
+            )
+        };
+        if let Some(gid) = q_gid {
+            let ts = self.streams.read().unwrap()[gid].clock.tick();
+            let rows: Vec<Tuple> = self
+                .eo_inputs
+                .iter()
+                .enumerate()
+                .map(|(i, q)| {
+                    let (st, depth) = q.stats_and_depth();
+                    Tuple::new(
+                        vec![
+                            Value::str(format!("eo{i}.input")),
+                            Value::Int(depth as i64),
+                            Value::Int(q.capacity() as i64),
+                            Value::Int(st.enqueued as i64),
+                            Value::Int(st.dequeued as i64),
+                            Value::Int(st.enq_locks as i64),
+                            Value::Int(st.deq_locks as i64),
+                        ],
+                        ts,
+                    )
+                })
+                .collect();
+            let _ = self.ingest_batch(gid, rows);
+        }
+        if o_gid.is_none() && f_gid.is_none() {
+            return;
+        }
+        let snap = registry.snapshot();
+        let flat = |gid: usize, families: &[&str]| {
+            let ts = self.streams.read().unwrap()[gid].clock.tick();
+            let rows: Vec<Tuple> = snap
+                .samples
+                .iter()
+                .filter(|s| families.contains(&s.family.as_str()))
+                .map(|s| {
+                    Tuple::new(
+                        vec![
+                            Value::str(format!("{}.{}", s.family, s.instance)),
+                            Value::str(s.name.clone()),
+                            Value::Int(s.value.as_i64()),
+                        ],
+                        ts,
+                    )
+                })
+                .collect();
+            let _ = self.ingest_batch(gid, rows);
+        };
+        if let Some(gid) = o_gid {
+            flat(gid, &["eddy", "operators", "cacq", "stems", "executor"]);
+        }
+        if let Some(gid) = f_gid {
+            flat(gid, &["flux"]);
+        }
     }
 
     /// Fan a punctuation out to every EO.

@@ -165,6 +165,7 @@ impl EddyBuilder {
             batch_buf: Vec::new(),
             survivor_buf: Vec::new(),
             route_buf: Vec::new(),
+            metrics: None,
         }
     }
 }
@@ -189,6 +190,24 @@ pub struct Eddy {
     batch_buf: Vec<Routed>,
     survivor_buf: Vec<Routed>,
     route_buf: Vec<usize>,
+    /// Bound registry instruments; `None` until [`Eddy::bind_metrics`].
+    metrics: Option<EddyMetrics>,
+}
+
+/// Registry instruments the eddy publishes through. The hot routing loop
+/// keeps updating the plain stat structs; deltas are pushed once per
+/// [`Eddy::run`] drain, so an unbound eddy pays nothing and a bound one
+/// pays a handful of relaxed adds per batch.
+struct EddyMetrics {
+    submitted: std::sync::Arc<tcq_metrics::Counter>,
+    decisions: std::sync::Arc<tcq_metrics::Counter>,
+    emitted: std::sync::Arc<tcq_metrics::Counter>,
+    dropped: std::sync::Arc<tcq_metrics::Counter>,
+    stranded: std::sync::Arc<tcq_metrics::Counter>,
+    /// Per module, in op-index order: routed / survived / cost.
+    per_op: Vec<[std::sync::Arc<tcq_metrics::Counter>; 3]>,
+    synced: EddyStats,
+    synced_ops: Vec<OpStats>,
 }
 
 impl Eddy {
@@ -215,6 +234,71 @@ impl Eddy {
     /// The policy driving routing decisions.
     pub fn policy(&self) -> &dyn RoutingPolicy {
         self.policy.as_ref()
+    }
+
+    /// Bind this eddy (and the SteMs inside its modules) to registry
+    /// instruments. Eddy-level counters land under `("eddy", instance)`;
+    /// per-module counters under `("operators", "{instance}.{op}")`;
+    /// SteM state under `("stems", "{instance}.{op}")`.
+    pub fn bind_metrics(&mut self, registry: &tcq_metrics::Registry, instance: &str) {
+        let per_op = self
+            .ops
+            .iter()
+            .map(|op| {
+                let inst = format!("{instance}.{}", op.name());
+                [
+                    registry.counter("operators", &inst, "routed"),
+                    registry.counter("operators", &inst, "survived"),
+                    registry.counter("operators", &inst, "cost"),
+                ]
+            })
+            .collect();
+        for op in &mut self.ops {
+            if let EddyOp::Stem(s) = op {
+                let inst = format!("{instance}.{}", s.name);
+                s.stem.bind_metrics(registry, &inst);
+            }
+        }
+        self.metrics = Some(EddyMetrics {
+            submitted: registry.counter("eddy", instance, "submitted"),
+            decisions: registry.counter("eddy", instance, "decisions"),
+            emitted: registry.counter("eddy", instance, "emitted"),
+            dropped: registry.counter("eddy", instance, "dropped"),
+            stranded: registry.counter("eddy", instance, "stranded"),
+            per_op,
+            synced: EddyStats::default(),
+            synced_ops: vec![OpStats::default(); self.stats.len()],
+        });
+        self.sync_metrics();
+    }
+
+    /// Push stat deltas accumulated since the last sync to the bound
+    /// instruments (no-op when unbound). Runs once per [`Eddy::run`].
+    fn sync_metrics(&mut self) {
+        let Some(m) = &mut self.metrics else {
+            return;
+        };
+        m.submitted
+            .add(self.eddy_stats.submitted - m.synced.submitted);
+        m.decisions
+            .add(self.eddy_stats.decisions - m.synced.decisions);
+        m.emitted.add(self.eddy_stats.emitted - m.synced.emitted);
+        m.dropped.add(self.eddy_stats.dropped - m.synced.dropped);
+        m.stranded.add(self.eddy_stats.stranded - m.synced.stranded);
+        m.synced = self.eddy_stats;
+        for (i, instruments) in m.per_op.iter().enumerate() {
+            let cur = self.stats[i];
+            let base = m.synced_ops[i];
+            instruments[0].add(cur.routed - base.routed);
+            instruments[1].add(cur.survived - base.survived);
+            instruments[2].add(cur.cost - base.cost);
+            m.synced_ops[i] = cur;
+        }
+        for op in &mut self.ops {
+            if let EddyOp::Stem(s) = op {
+                s.stem.sync_metrics();
+            }
+        }
     }
 
     /// Submit a singleton tuple of base stream `stream`. The tuple is
@@ -303,6 +387,7 @@ impl Eddy {
         while !self.pending.is_empty() {
             self.step();
         }
+        self.sync_metrics();
         std::mem::take(&mut self.out)
     }
 
@@ -513,6 +598,30 @@ mod tests {
                 Expr::col(0).cmp(CmpOp::Lt, Expr::lit(20i64)),
             ))
             .build()
+    }
+
+    #[test]
+    fn bound_metrics_mirror_eddy_stats() {
+        let registry = tcq_metrics::Registry::new();
+        let mut e = two_filter_eddy(Box::new(NaivePolicy::new(7)));
+        e.bind_metrics(&registry, "q0");
+        let mut emitted = 0u64;
+        for i in 0..100 {
+            emitted += e.push(0, int_tuple(&[i], i)).len() as u64;
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.value("eddy", "q0", "submitted"), Some(100));
+        assert_eq!(snap.value("eddy", "q0", "emitted"), Some(emitted as i64));
+        assert_eq!(
+            snap.value("eddy", "q0", "dropped"),
+            Some((100 - emitted) as i64)
+        );
+        // Per-op counters exist for both filters and saw every tuple once
+        // in aggregate (each tuple visits each op at most once).
+        let routed_gt10 = snap.value("operators", "q0.gt10", "routed").unwrap();
+        let routed_lt20 = snap.value("operators", "q0.lt20", "routed").unwrap();
+        assert!(routed_gt10 <= 100 && routed_lt20 <= 100);
+        assert!(routed_gt10 + routed_lt20 >= 100);
     }
 
     #[test]

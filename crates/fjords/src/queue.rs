@@ -182,8 +182,8 @@ impl<T> Fjord<T> {
             return EnqueueResult::Full(item);
         }
         inner.items.push_back(item);
-        drop(inner);
         self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
         self.wake_consumers(1);
         EnqueueResult::Ok
     }
@@ -198,8 +198,8 @@ impl<T> Fjord<T> {
             }
             if inner.items.len() < self.shared.capacity {
                 inner.items.push_back(item);
-                drop(inner);
                 self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
+                drop(inner);
                 self.wake_consumers(1);
                 return EnqueueResult::Ok;
             }
@@ -221,10 +221,10 @@ impl<T> Fjord<T> {
         let space = self.shared.capacity.saturating_sub(inner.items.len());
         let moved = space.min(items.len());
         inner.items.extend(items.drain(..moved));
-        drop(inner);
         self.shared
             .enqueued
             .fetch_add(moved as u64, Ordering::Relaxed);
+        drop(inner);
         self.wake_consumers(moved);
         if items.is_empty() {
             EnqueueResult::Ok
@@ -273,8 +273,8 @@ impl<T> Fjord<T> {
         let mut inner = self.lock_deq();
         match inner.items.pop_front() {
             Some(t) => {
-                drop(inner);
                 self.shared.dequeued.fetch_add(1, Ordering::Relaxed);
+                drop(inner);
                 self.wake_producers(1);
                 DequeueResult::Item(t)
             }
@@ -289,8 +289,8 @@ impl<T> Fjord<T> {
         let mut inner = self.lock_deq();
         loop {
             if let Some(t) = inner.items.pop_front() {
-                drop(inner);
                 self.shared.dequeued.fetch_add(1, Ordering::Relaxed);
+                drop(inner);
                 self.wake_producers(1);
                 return DequeueResult::Item(t);
             }
@@ -318,10 +318,10 @@ impl<T> Fjord<T> {
         }
         let moved = inner.items.len().min(max);
         let batch: Vec<T> = inner.items.drain(..moved).collect();
-        drop(inner);
         self.shared
             .dequeued
             .fetch_add(moved as u64, Ordering::Relaxed);
+        drop(inner);
         self.wake_producers(moved);
         DequeueResult::Item(batch)
     }
@@ -334,10 +334,10 @@ impl<T> Fjord<T> {
             if !inner.items.is_empty() {
                 let moved = inner.items.len().min(max.max(1));
                 let batch: Vec<T> = inner.items.drain(..moved).collect();
-                drop(inner);
                 self.shared
                     .dequeued
                     .fetch_add(moved as u64, Ordering::Relaxed);
+                drop(inner);
                 self.wake_producers(moved);
                 return DequeueResult::Item(batch);
             }
@@ -404,6 +404,22 @@ impl<T> Fjord<T> {
         }
     }
 
+    /// Lock-consistent snapshot of the traffic counters together with the
+    /// current depth. Because the counters are updated while the buffer
+    /// lock is held, the invariant `enqueued == dequeued + depth` holds
+    /// *exactly* for the returned values, even while producers and
+    /// consumers are running.
+    pub fn stats_and_depth(&self) -> (FjordStats, usize) {
+        let inner = self.shared.buf.lock().unwrap();
+        let stats = FjordStats {
+            enqueued: self.shared.enqueued.load(Ordering::Relaxed),
+            dequeued: self.shared.dequeued.load(Ordering::Relaxed),
+            enq_locks: self.shared.enq_locks.load(Ordering::Relaxed),
+            deq_locks: self.shared.deq_locks.load(Ordering::Relaxed),
+        };
+        (stats, inner.items.len())
+    }
+
     /// Wrap as a push-queue facade.
     pub fn as_push(&self) -> PushQueue<T> {
         PushQueue {
@@ -424,6 +440,49 @@ impl<T> Fjord<T> {
         ExchangeQueue {
             inner: self.clone(),
         }
+    }
+}
+
+impl<T: Send + 'static> Fjord<T> {
+    /// Export this queue's counters and depth through a metrics registry
+    /// probe. The queue already maintains its own atomics, so nothing is
+    /// added to the hot path: the probe reads a lock-consistent snapshot
+    /// only when `Registry::snapshot()` runs.
+    pub fn register_metrics(&self, registry: &tcq_metrics::Registry, instance: &str) {
+        let q = self.clone();
+        let instance = instance.to_string();
+        registry.register_probe(move |out| {
+            let (stats, depth) = q.stats_and_depth();
+            let mut push = |name: &str, value: tcq_metrics::SampleValue| {
+                out.push(tcq_metrics::Sample {
+                    family: "queues".to_string(),
+                    instance: instance.clone(),
+                    name: name.to_string(),
+                    value,
+                });
+            };
+            push("depth", tcq_metrics::SampleValue::Gauge(depth as i64));
+            push(
+                "capacity",
+                tcq_metrics::SampleValue::Gauge(q.capacity() as i64),
+            );
+            push(
+                "enqueued",
+                tcq_metrics::SampleValue::Counter(stats.enqueued),
+            );
+            push(
+                "dequeued",
+                tcq_metrics::SampleValue::Counter(stats.dequeued),
+            );
+            push(
+                "enq_locks",
+                tcq_metrics::SampleValue::Counter(stats.enq_locks),
+            );
+            push(
+                "deq_locks",
+                tcq_metrics::SampleValue::Counter(stats.deq_locks),
+            );
+        });
     }
 }
 
@@ -699,6 +758,63 @@ mod tests {
         assert_eq!(s.deq_locks, 1);
         assert!((s.avg_enqueue_batch() - 512.0).abs() < f64::EPSILON);
         assert!((s.avg_dequeue_batch() - 512.0).abs() < f64::EPSILON);
+    }
+
+    /// The conservation invariant `enqueued == dequeued + depth` must hold
+    /// for every lock-consistent snapshot, even taken mid-traffic from a
+    /// third thread. (Before the counters moved under the buffer lock, a
+    /// snapshot could observe the item in the buffer before the counter
+    /// update landed.)
+    #[test]
+    fn stats_and_depth_is_consistent_under_concurrency() {
+        let q: Fjord<u64> = Fjord::with_capacity(16);
+        let producer = {
+            let q = q.clone();
+            thread::spawn(move || {
+                for chunk in (0..4_000u64).collect::<Vec<_>>().chunks(7) {
+                    assert!(q.enqueue_many_blocking(chunk.to_vec()).is_ok());
+                }
+                q.close();
+            })
+        };
+        let consumer = {
+            let q = q.clone();
+            thread::spawn(move || loop {
+                match q.dequeue_up_to_blocking(5) {
+                    DequeueResult::Item(_) => {}
+                    DequeueResult::Closed => return,
+                    DequeueResult::Empty => unreachable!(),
+                }
+            })
+        };
+        for _ in 0..10_000 {
+            let (s, depth) = q.stats_and_depth();
+            assert_eq!(
+                s.enqueued,
+                s.dequeued + depth as u64,
+                "conservation must hold in every consistent snapshot"
+            );
+        }
+        producer.join().unwrap();
+        consumer.join().unwrap();
+        let (s, depth) = q.stats_and_depth();
+        assert_eq!(s.enqueued, 4_000);
+        assert_eq!(s.dequeued, 4_000);
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn register_metrics_probe_reports_live_readings() {
+        let registry = tcq_metrics::Registry::new();
+        let q: Fjord<i32> = Fjord::with_capacity(8);
+        q.register_metrics(&registry, "test.q");
+        assert!(q.enqueue_many(vec![1, 2, 3]).is_ok());
+        q.try_dequeue();
+        let snap = registry.snapshot();
+        assert_eq!(snap.value("queues", "test.q", "depth"), Some(2));
+        assert_eq!(snap.value("queues", "test.q", "capacity"), Some(8));
+        assert_eq!(snap.value("queues", "test.q", "enqueued"), Some(3));
+        assert_eq!(snap.value("queues", "test.q", "dequeued"), Some(1));
     }
 
     #[test]

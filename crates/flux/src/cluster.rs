@@ -46,7 +46,27 @@ pub struct FluxCluster {
     /// Per-partition work since the last rebalance (routing signal).
     partition_work: Vec<f64>,
     key_cols: Vec<usize>,
+    replicate: bool,
     stats: ClusterStats,
+    /// Bound registry instruments; `None` until
+    /// [`FluxCluster::bind_metrics`].
+    metrics: Option<FluxMetrics>,
+    /// Stats already pushed to the bound instruments (delta base).
+    synced: ClusterStats,
+}
+
+/// Registry instruments the cluster publishes through. `routed` is
+/// bumped inline (one relaxed add per tuple); everything else is
+/// delta-synced at reconfiguration points and on [`FluxCluster::sync_metrics`].
+struct FluxMetrics {
+    routed: std::sync::Arc<tcq_metrics::Counter>,
+    state_moved: std::sync::Arc<tcq_metrics::Counter>,
+    partitions_moved: std::sync::Arc<tcq_metrics::Counter>,
+    promotions: std::sync::Arc<tcq_metrics::Counter>,
+    state_lost: std::sync::Arc<tcq_metrics::Counter>,
+    partitions_lost: std::sync::Arc<tcq_metrics::Counter>,
+    /// Per machine: (load, alive, primaries) gauges.
+    machines: Vec<[std::sync::Arc<tcq_metrics::Gauge>; 3]>,
 }
 
 impl FluxCluster {
@@ -85,7 +105,62 @@ impl FluxCluster {
             secondary,
             partition_work: vec![0.0; n_partitions],
             key_cols,
+            replicate,
             stats: ClusterStats::default(),
+            metrics: None,
+            synced: ClusterStats::default(),
+        }
+    }
+
+    /// Bind the cluster to registry instruments under
+    /// `("flux", instance, ...)` (cluster counters) and
+    /// `("flux", "{instance}.m{i}", ...)` (per-machine load/alive/
+    /// primaries gauges).
+    pub fn bind_metrics(&mut self, registry: &tcq_metrics::Registry, instance: &str) {
+        let machines = (0..self.machines.len())
+            .map(|i| {
+                let inst = format!("{instance}.m{i}");
+                [
+                    registry.gauge("flux", &inst, "load"),
+                    registry.gauge("flux", &inst, "alive"),
+                    registry.gauge("flux", &inst, "primaries"),
+                ]
+            })
+            .collect();
+        self.metrics = Some(FluxMetrics {
+            routed: registry.counter("flux", instance, "routed"),
+            state_moved: registry.counter("flux", instance, "state_moved"),
+            partitions_moved: registry.counter("flux", instance, "partitions_moved"),
+            promotions: registry.counter("flux", instance, "promotions"),
+            state_lost: registry.counter("flux", instance, "state_lost"),
+            partitions_lost: registry.counter("flux", instance, "partitions_lost"),
+            machines,
+        });
+        self.sync_metrics();
+    }
+
+    /// Push stat deltas and refresh per-machine gauges (no-op when
+    /// unbound). Runs automatically after rebalance / kill / restart;
+    /// call it directly before reading a snapshot mid-stream.
+    pub fn sync_metrics(&mut self) {
+        let Some(m) = &self.metrics else {
+            return;
+        };
+        m.state_moved
+            .add(self.stats.state_moved - self.synced.state_moved);
+        m.partitions_moved
+            .add(self.stats.partitions_moved - self.synced.partitions_moved);
+        m.promotions
+            .add(self.stats.promotions - self.synced.promotions);
+        m.state_lost
+            .add(self.stats.state_lost - self.synced.state_lost);
+        m.partitions_lost
+            .add(self.stats.partitions_lost - self.synced.partitions_lost);
+        self.synced = self.stats;
+        for (i, gauges) in m.machines.iter().enumerate() {
+            gauges[0].set(self.machines[i].work as i64);
+            gauges[1].set(self.machines[i].alive as i64);
+            gauges[2].set(self.primary.iter().filter(|&&mm| mm == i).count() as i64);
         }
     }
 
@@ -154,6 +229,9 @@ impl FluxCluster {
         }
         let primary = self.primary[p];
         self.stats.routed += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.routed.inc();
+        }
         let m = &mut self.machines[primary];
         let out = m.op.process(p as u32, stream, tuple);
         let cost = 1.0 / m.speed;
@@ -214,6 +292,7 @@ impl FluxCluster {
                 break;
             }
         }
+        self.sync_metrics();
         moved
     }
 
@@ -238,6 +317,44 @@ impl FluxCluster {
                 self.handle_failure(p)?;
             }
         }
+        self.sync_metrics();
+        Ok(())
+    }
+
+    /// Revive a dead machine (fault injection). It rejoins empty — its
+    /// pre-failure state is gone, exactly like a process restart — and
+    /// immediately becomes a candidate for replicas and rebalancing.
+    /// Partitions left unreplicated by earlier failures re-replicate
+    /// (the revived machine is usually the least-loaded candidate).
+    pub fn restart_machine(&mut self, machine: usize) -> Result<()> {
+        if self.machines[machine].alive {
+            return Err(TcqError::ClusterError(format!(
+                "machine {machine} is already alive"
+            )));
+        }
+        let fresh = self.machines[machine].op.fresh();
+        let m = &mut self.machines[machine];
+        m.op = fresh;
+        m.alive = true;
+        m.work = 0.0;
+        if self.replicate {
+            for p in 0..self.primary.len() {
+                let missing = match self.secondary[p] {
+                    None => true,
+                    Some(sec) => !self.machines[sec].alive || sec == self.primary[p],
+                };
+                if missing {
+                    self.secondary[p] = self.pick_new_replica(p);
+                    if let Some(new_sec) = self.secondary[p] {
+                        let prim = self.primary[p];
+                        let copy = self.machines[prim].op.drain_state(p as u32);
+                        self.machines[prim].op.install_state(p as u32, copy.clone());
+                        self.machines[new_sec].op.install_state(p as u32, copy);
+                    }
+                }
+            }
+        }
+        self.sync_metrics();
         Ok(())
     }
 
@@ -501,6 +618,57 @@ mod tests {
         c.kill_machine(1).unwrap();
         assert_eq!(c.stats().state_lost, 0);
         assert_eq!(total_count(&c), 2000);
+    }
+
+    #[test]
+    fn restart_rejoins_empty_and_heals_replicas() {
+        let mut c = cluster(3, true);
+        for i in 0..1500 {
+            c.route(0, &row(i % 30, i)).unwrap();
+        }
+        c.kill_machine(2).unwrap();
+        assert_eq!(total_count(&c), 1500);
+        assert!(c.restart_machine(0).is_err(), "restarting a live machine");
+        c.restart_machine(2).unwrap();
+        // No counts appeared or vanished across the restart, and every
+        // partition has a live replica again.
+        assert_eq!(total_count(&c), 1500);
+        for p in 0..c.partition_count() {
+            let sec = c.secondary[p].expect("replica restored");
+            assert!(c.machines[sec].alive);
+            assert_ne!(sec, c.primary[p]);
+        }
+        // The revived machine can immediately fail over partitions.
+        for i in 0..500 {
+            c.route(0, &row(i % 30, 1500 + i)).unwrap();
+        }
+        c.kill_machine(1).unwrap();
+        assert_eq!(c.stats().state_lost, 0);
+        assert_eq!(total_count(&c), 2000);
+    }
+
+    #[test]
+    fn bound_metrics_track_failover() {
+        let registry = tcq_metrics::Registry::new();
+        let mut c = cluster(3, true);
+        c.bind_metrics(&registry, "cluster");
+        for i in 0..900 {
+            c.route(0, &row(i % 20, i)).unwrap();
+        }
+        c.kill_machine(0).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.value("flux", "cluster", "routed"), Some(900));
+        assert_eq!(snap.value("flux", "cluster", "state_lost"), Some(0));
+        assert!(snap.value("flux", "cluster", "promotions").unwrap() > 0);
+        assert_eq!(snap.value("flux", "cluster.m0", "alive"), Some(0));
+        assert_eq!(snap.value("flux", "cluster.m0", "primaries"), Some(0));
+        let live_primaries: i64 = (1..3)
+            .map(|i| {
+                snap.value("flux", &format!("cluster.m{i}"), "primaries")
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(live_primaries, c.partition_count() as i64);
     }
 
     #[test]

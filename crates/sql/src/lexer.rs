@@ -83,9 +83,13 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>> {
                 continue;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
+                // `$` continues (but cannot start) an identifier, for the
+                // system introspection streams (`tcq$queues`, ...).
                 let mut j = i + 1;
                 while j < bytes.len()
-                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                    && ((bytes[j] as char).is_ascii_alphanumeric()
+                        || bytes[j] == b'_'
+                        || bytes[j] == b'$')
                 {
                     j += 1;
                 }
@@ -284,6 +288,16 @@ mod tests {
                 Tok::Ident("closingPrice".into()),
             ]
         );
+    }
+
+    #[test]
+    fn dollar_continues_identifiers_for_system_streams() {
+        assert_eq!(toks("tcq$queues"), vec![Tok::Ident("tcq$queues".into())]);
+        // But `$` cannot start an identifier.
+        match tokenize("$x") {
+            Err(TcqError::ParseError { offset, .. }) => assert_eq!(offset, 0),
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]

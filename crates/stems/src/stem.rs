@@ -77,6 +77,21 @@ pub struct SteM {
     arrival: VecDeque<u64>,
     next_id: u64,
     stats: SteMStats,
+    /// Bound registry instruments; `None` until [`SteM::bind_metrics`].
+    metrics: Option<StemMetrics>,
+    /// Stats already pushed to the bound instruments (delta base).
+    synced: SteMStats,
+}
+
+/// Registry instruments a SteM publishes through (see
+/// [`SteM::bind_metrics`]).
+#[derive(Debug)]
+struct StemMetrics {
+    builds: std::sync::Arc<tcq_metrics::Counter>,
+    probes: std::sync::Arc<tcq_metrics::Counter>,
+    matches: std::sync::Arc<tcq_metrics::Counter>,
+    evicted: std::sync::Arc<tcq_metrics::Counter>,
+    size: std::sync::Arc<tcq_metrics::Gauge>,
 }
 
 impl SteM {
@@ -93,6 +108,37 @@ impl SteM {
             arrival: VecDeque::new(),
             next_id: 0,
             stats: SteMStats::default(),
+            metrics: None,
+            synced: SteMStats::default(),
+        }
+    }
+
+    /// Bind this SteM to registry instruments under
+    /// `("stems", instance, ...)`. Hot paths keep updating the plain
+    /// `SteMStats` struct; [`SteM::sync_metrics`] pushes deltas, so
+    /// binding costs nothing per build/probe.
+    pub fn bind_metrics(&mut self, registry: &tcq_metrics::Registry, instance: &str) {
+        self.metrics = Some(StemMetrics {
+            builds: registry.counter("stems", instance, "builds"),
+            probes: registry.counter("stems", instance, "probes"),
+            matches: registry.counter("stems", instance, "matches"),
+            evicted: registry.counter("stems", instance, "evicted"),
+            size: registry.gauge("stems", instance, "size"),
+        });
+        self.sync_metrics();
+    }
+
+    /// Push stat deltas accumulated since the last sync to the bound
+    /// instruments (no-op when unbound). Called by owners at batch
+    /// boundaries — e.g. the eddy after each `run()`.
+    pub fn sync_metrics(&mut self) {
+        if let Some(m) = &self.metrics {
+            m.builds.add(self.stats.builds - self.synced.builds);
+            m.probes.add(self.stats.probes - self.synced.probes);
+            m.matches.add(self.stats.matches - self.synced.matches);
+            m.evicted.add(self.stats.evicted - self.synced.evicted);
+            m.size.set(self.live.len() as i64);
+            self.synced = self.stats;
         }
     }
 

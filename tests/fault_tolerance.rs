@@ -154,6 +154,164 @@ fn archive_survives_reader_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// SplitMix64: a tiny deterministic PRNG so fault schedules are fully
+/// reproducible from a printed seed.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Drive one seeded kill/restart/rebalance schedule against a
+/// replicated cluster, checking conservation after every burst. Returns
+/// the final (pushed, stats) for cross-seed assertions.
+fn run_fault_schedule(seed: u64, cluster: &mut FluxCluster) -> i64 {
+    let machines = 5;
+    let mut rng = SplitMix64(seed);
+    let mut alive = vec![true; machines];
+    let mut pushed = 0i64;
+    for step in 0..60 {
+        // A burst of routed tuples between faults.
+        let burst = 50 + rng.below(150) as i64;
+        for i in 0..burst {
+            cluster
+                .route(0, &row((pushed + i) % 97, pushed + i))
+                .unwrap();
+        }
+        pushed += burst;
+        let n_alive = alive.iter().filter(|a| **a).count();
+        match rng.below(4) {
+            // Kill a random alive machine, but keep >= 3 alive so a
+            // replica always exists and can be re-established.
+            0 if n_alive > 3 => {
+                let victims: Vec<usize> = (0..machines).filter(|&m| alive[m]).collect();
+                let v = victims[rng.below(victims.len() as u64) as usize];
+                cluster.kill_machine(v).unwrap();
+                alive[v] = false;
+            }
+            // Restart a random dead machine: it rejoins empty and is
+            // healed from the surviving replicas.
+            1 if n_alive < machines => {
+                let dead: Vec<usize> = (0..machines).filter(|&m| !alive[m]).collect();
+                let v = dead[rng.below(dead.len() as u64) as usize];
+                cluster.restart_machine(v).unwrap();
+                alive[v] = true;
+            }
+            2 => {
+                cluster.rebalance();
+            }
+            _ => {}
+        }
+        assert_eq!(
+            total_count(cluster),
+            pushed,
+            "seed {seed}: tuple loss or duplication at step {step}"
+        );
+        assert_eq!(
+            cluster.stats().state_lost,
+            0,
+            "seed {seed}: replicated takeover lost state at step {step}"
+        );
+    }
+    pushed
+}
+
+/// Seeded fault-injection schedules: random kill/restart/rebalance
+/// interleavings on a replicated cluster never lose or duplicate
+/// tuples, and the bound metrics agree with the cluster's own stats.
+#[test]
+fn seeded_kill_restart_schedules_conserve_tuples() {
+    use tcq_metrics::Registry;
+    for seed in [1u64, 7, 42, 0xdead_beef, 0x7e1e_6ca9] {
+        let registry = Registry::new();
+        let mut c = FluxCluster::new(5, 64, &GroupCount::new(vec![0]), vec![0], true);
+        c.bind_metrics(&registry, "cluster");
+        let pushed = run_fault_schedule(seed, &mut c);
+        c.sync_metrics();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.value("flux", "cluster", "routed").unwrap(),
+            pushed,
+            "seed {seed}: routed counter counts every push exactly once"
+        );
+        assert_eq!(snap.value("flux", "cluster", "state_lost").unwrap(), 0);
+        assert_eq!(
+            snap.value("flux", "cluster", "promotions").unwrap() as u64,
+            c.stats().promotions,
+            "seed {seed}: metrics mirror ClusterStats"
+        );
+        let alive_now: i64 = (0..5)
+            .map(|m| {
+                snap.value("flux", &format!("cluster.m{m}"), "alive")
+                    .unwrap()
+            })
+            .sum();
+        assert!(alive_now >= 3, "seed {seed}: schedule keeps >= 3 alive");
+    }
+}
+
+/// The same seed replays the same schedule: final counters are
+/// bit-identical across runs, so a failing seed is a reproducible bug
+/// report.
+#[test]
+fn fault_schedules_are_deterministic() {
+    let run = |seed: u64| {
+        let mut c = FluxCluster::new(5, 64, &GroupCount::new(vec![0]), vec![0], true);
+        let pushed = run_fault_schedule(seed, &mut c);
+        let s = c.stats();
+        (
+            pushed,
+            s.routed,
+            s.promotions,
+            s.partitions_moved,
+            s.state_moved,
+            total_count(&c),
+        )
+    };
+    assert_eq!(run(42), run(42));
+    assert_eq!(run(7), run(7));
+    assert_ne!(
+        run(42).1,
+        run(43).1,
+        "different seeds produce different schedules"
+    );
+}
+
+/// Restarted machines rejoin cold through the public cluster API: a
+/// kill → restart → kill sequence on the same machine still loses
+/// nothing, because the restart re-established its replicas.
+#[test]
+fn restart_then_second_failure_loses_nothing() {
+    let mut c = FluxCluster::new(4, 32, &GroupCount::new(vec![0]), vec![0], true);
+    for i in 0..1_000 {
+        c.route(0, &row(i % 31, i)).unwrap();
+    }
+    c.kill_machine(1).unwrap();
+    assert_eq!(total_count(&c), 1_000);
+    for i in 0..500 {
+        c.route(0, &row(i % 31, 1_000 + i)).unwrap();
+    }
+    c.restart_machine(1).unwrap();
+    // The healed cluster survives losing a *different* machine...
+    c.kill_machine(2).unwrap();
+    assert_eq!(total_count(&c), 1_500);
+    // ...and the twice-unlucky original.
+    c.restart_machine(2).unwrap();
+    c.kill_machine(1).unwrap();
+    assert_eq!(total_count(&c), 1_500);
+    assert_eq!(c.stats().state_lost, 0);
+}
+
 /// Eddy window eviction under adversarial interleaving: evictions
 /// between probes never corrupt results (they only shrink windows).
 #[test]

@@ -1,0 +1,1 @@
+SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > 10.0

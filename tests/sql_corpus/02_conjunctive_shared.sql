@@ -1,0 +1,2 @@
+SELECT stockSymbol, closingPrice FROM ClosingStockPrices
+WHERE stockSymbol = 'MSFT' AND closingPrice >= 50.0 AND closingPrice < 100.0

@@ -1,0 +1,3 @@
+SELECT AVG(closingPrice) AS avgPrice, MAX(closingPrice) AS hi
+FROM ClosingStockPrices
+for (t = 5; t <= 50; t += 5) { WindowIs(ClosingStockPrices, t - 4, t); }

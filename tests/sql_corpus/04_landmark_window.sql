@@ -1,0 +1,2 @@
+SELECT COUNT(*) AS n FROM ClosingStockPrices
+for (t = 1; t <= 30; t++) { WindowIs(ClosingStockPrices, 1, t); }

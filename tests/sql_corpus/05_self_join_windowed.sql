@@ -1,0 +1,9 @@
+SELECT c1.closingPrice, c2.closingPrice
+FROM ClosingStockPrices c1, ClosingStockPrices c2
+WHERE c1.stockSymbol = 'MSFT' AND c2.stockSymbol = 'IBM'
+  AND c2.closingPrice > c1.closingPrice
+  AND c2.timestamp = c1.timestamp
+for (t = 50; t < 70; t++) {
+  WindowIs(c1, t - 4, t);
+  WindowIs(c2, t - 4, t);
+}

@@ -1,0 +1,3 @@
+SELECT stockSymbol, COUNT(*) AS n FROM ClosingStockPrices
+GROUP BY stockSymbol ORDER BY n DESC, 1
+for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 3); }

@@ -1,0 +1,1 @@
+SELECT DISTINCT stockSymbol FROM ClosingStockPrices WHERE closingPrice > 0.0

@@ -1,0 +1,1 @@
+SELECT * FROM tcq$queues WHERE depth > 100

@@ -1,0 +1,1 @@
+SELECT name, metric, value FROM tcq$operators WHERE value >= 1000

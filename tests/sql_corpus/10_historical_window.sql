@@ -1,0 +1,2 @@
+SELECT COUNT(*) AS n, MAX(closingPrice) AS hi FROM ClosingStockPrices
+for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 50, 149); }

@@ -1,0 +1,2 @@
+SELECT stockSymbol, closingPrice FROM ClosingStockPrices
+WHERE closingPrice > timestamp AND stockSymbol <> 'IBM'

@@ -422,6 +422,122 @@ fn order_by_windowed_sets() {
     s.shutdown();
 }
 
+/// The introspection streams are queryable through the ordinary query
+/// path: a standing CQ-SQL query over `tcq$queues` receives live rows
+/// (stamped, archived, fanned out like any stream) whose readings match
+/// the `Server::metrics()` snapshot.
+#[test]
+fn introspection_streams_queryable_live() {
+    let s = Server::start(Config::default()).unwrap();
+    s.register_stream("ClosingStockPrices", stock_schema())
+        .unwrap();
+    let queues = s
+        .submit("SELECT * FROM tcq$queues WHERE depth >= 0")
+        .unwrap();
+    let ops = s
+        .submit("SELECT name, metric, value FROM tcq$operators WHERE value >= 0")
+        .unwrap();
+    // Real traffic first, so the queue counters have something to say.
+    let trades = s
+        .submit("SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > 0.0")
+        .unwrap();
+    for day in 1..=40 {
+        s.push_at(
+            "ClosingStockPrices",
+            vec![Value::Int(day), Value::str("MSFT"), Value::Float(1.0)],
+            day,
+        )
+        .unwrap();
+    }
+    s.sync();
+    s.emit_introspection();
+    s.sync();
+
+    let rows: Vec<_> = queues.drain().into_iter().flat_map(|r| r.rows).collect();
+    let n_eos = Config::default().executor_threads;
+    assert_eq!(rows.len(), n_eos, "one row per EO input queue");
+    let snap = s.metrics().unwrap().snapshot();
+    for row in &rows {
+        let name = row.field(0).as_str().unwrap().to_string();
+        assert!(name.starts_with("eo") && name.ends_with(".input"), "{name}");
+        let depth = row.field(1).as_int().unwrap();
+        let enqueued = row.field(3).as_int().unwrap();
+        let dequeued = row.field(4).as_int().unwrap();
+        assert_eq!(enqueued, dequeued + depth, "conservation in the row");
+        // The registry probe sees the same queue (counters only grow, so
+        // the later snapshot can only be >=).
+        assert!(snap.value("queues", &name, "enqueued").unwrap() >= enqueued);
+    }
+    assert!(
+        rows.iter().any(|r| r.field(3).as_int().unwrap() > 0),
+        "tuples flowed through at least one EO input"
+    );
+    let op_rows: Vec<_> = ops.drain().into_iter().flat_map(|r| r.rows).collect();
+    assert!(
+        op_rows
+            .iter()
+            .any(|r| r.field(0).as_str().unwrap().starts_with("cacq.")),
+        "operator rows include the shared grouped-filter engine"
+    );
+    let delivered: usize = trades.drain().iter().map(|r| r.rows.len()).sum();
+    assert_eq!(delivered, 40);
+    s.shutdown();
+}
+
+/// FjordStats conservation at quiesce: after `sync` drains every EO
+/// input, each queue's traffic counters balance exactly
+/// (`enqueued == dequeued + depth`, with depth 0).
+#[test]
+fn fjord_counters_conserved_at_quiesce() {
+    let s = Server::start(Config {
+        batch_size: 7, // exercise the batch endpoints too
+        ..Config::default()
+    })
+    .unwrap();
+    s.register_stream("ClosingStockPrices", stock_schema())
+        .unwrap();
+    let h = s
+        .submit("SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > 5.0")
+        .unwrap();
+    for day in 1..=500 {
+        s.push_at(
+            "ClosingStockPrices",
+            vec![
+                Value::Int(day),
+                Value::str("MSFT"),
+                Value::Float(day as f64),
+            ],
+            day,
+        )
+        .unwrap();
+    }
+    s.sync();
+    let stats = s.eo_input_stats();
+    assert!(
+        stats.iter().any(|st| st.enqueued > 0),
+        "traffic reached the EO inputs"
+    );
+    for (i, st) in stats.iter().enumerate() {
+        assert_eq!(
+            st.enqueued, st.dequeued,
+            "eo{i}.input drained at quiesce: {st:?}"
+        );
+    }
+    // The metrics probes read the same counters under the buffer lock,
+    // so the snapshot obeys the same invariant including live depth.
+    let snap = s.metrics().unwrap().snapshot();
+    for i in 0..stats.len() {
+        let inst = format!("eo{i}.input");
+        let enq = snap.value("queues", &inst, "enqueued").unwrap();
+        let deq = snap.value("queues", &inst, "dequeued").unwrap();
+        let depth = snap.value("queues", &inst, "depth").unwrap();
+        assert_eq!(enq, deq + depth, "{inst}");
+    }
+    let got: usize = h.drain().iter().map(|r| r.rows.len()).sum();
+    assert_eq!(got, 495);
+    s.shutdown();
+}
+
 /// `Server::explain` describes plans without registering queries.
 #[test]
 fn explain_describes_without_registering() {
