@@ -1,7 +1,7 @@
 //! Regenerate every experiment table for EXPERIMENTS.md.
 //!
 //! ```sh
-//! cargo run --release -p tcq-bench --bin experiments        # all of E1–E11
+//! cargo run --release -p tcq-bench --bin experiments        # all of E1–E12
 //! cargo run --release -p tcq-bench --bin experiments e11    # just E11
 //! cargo run --release -p tcq-bench --bin experiments e4 e10 # a subset
 //! ```
@@ -19,7 +19,7 @@ fn main() {
     println!("TelegraphCQ-rs experiment report");
     println!("================================\n");
 
-    let table: [(&str, fn()); 11] = [
+    let table: [(&str, fn()); 12] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -31,6 +31,7 @@ fn main() {
         ("e9", e9),
         ("e10", e10),
         ("e11", e11),
+        ("e12", e12),
     ];
     let mut ran = false;
     for (name, run) in table {
@@ -40,7 +41,7 @@ fn main() {
         }
     }
     if !ran {
-        eprintln!("no experiment matches {args:?}; known: e1..e11");
+        eprintln!("no experiment matches {args:?}; known: e1..e12");
         std::process::exit(2);
     }
 }
@@ -296,6 +297,57 @@ fn e10() {
             r.tuples_per_enq_lock,
             r.tuples_per_deq_lock
         );
+    }
+    println!();
+}
+
+fn e12() {
+    use tcq::ShedPolicy;
+    println!("E12 — overload triage: shed policies at 1x-8x of EO capacity");
+    println!(
+        "  1 EO throttled to ~{}k tuples/s; producer paced for a 250ms window",
+        (E12_CAPACITY / 1000.0) as u64
+    );
+    println!(
+        "  {:<12} {:>5} {:>8} {:>10} {:>6} {:>7} {:>8} {:>12} {:>11} {:>10}",
+        "policy",
+        "load",
+        "offered",
+        "delivered",
+        "del%",
+        "shed",
+        "spilled",
+        "p99 push us",
+        "ingest ms",
+        "drain ms"
+    );
+    for policy in [
+        ShedPolicy::Block,
+        ShedPolicy::DropOldest,
+        ShedPolicy::Sample { rate: 0.1 },
+        ShedPolicy::Spill,
+    ] {
+        for &load in &[1.0f64, 2.0, 4.0, 8.0] {
+            let r = e12_run(policy, load);
+            assert_eq!(
+                r.delivered + r.shed,
+                r.offered,
+                "every tuple delivered or counted shed"
+            );
+            println!(
+                "  {:<12} {:>4}x {:>8} {:>10} {:>5.0}% {:>7} {:>8} {:>12.0} {:>11.0} {:>10.0}",
+                policy.name(),
+                load,
+                r.offered,
+                r.delivered,
+                100.0 * r.delivered as f64 / r.offered as f64,
+                r.shed,
+                r.spilled,
+                r.p99_push_us,
+                r.ingest_ms,
+                r.drain_ms
+            );
+        }
     }
     println!();
 }

@@ -683,6 +683,112 @@ fn pipeline_run(config: tcq::Config, n: usize) -> E10Result {
     }
 }
 
+// --------------------------------------------------------------- E12 --
+
+/// E12 metrics: overload triage under a paced producer.
+#[derive(Debug, Clone, Copy)]
+pub struct E12Result {
+    /// Tuples the producer offered.
+    pub offered: u64,
+    /// Result rows that reached the client egress.
+    pub delivered: u64,
+    /// Tuples dropped by the shed policy.
+    pub shed: u64,
+    /// Tuples detoured through the spill archive.
+    pub spilled: u64,
+    /// 99th-percentile producer push latency (the Block policy's stall
+    /// shows up here; load-shedding policies keep it bounded).
+    pub p99_push_us: f64,
+    /// Worst single push.
+    pub max_push_us: f64,
+    /// Wall time spent offering the load.
+    pub ingest_ms: f64,
+    /// Time from last push until spill re-ingestion and the executor
+    /// fully quiesced (the Spill policy's deferred-latency bill).
+    pub drain_ms: f64,
+}
+
+/// Nominal capacity of the E12 throttled executor, tuples/second. The
+/// EO's real drain rate with a 100µs per-batch delay is a little above
+/// 5k tuples/s; 4k leaves headroom so a 1x load is genuinely
+/// sustainable and shedding starts strictly between 1x and 2x.
+pub const E12_CAPACITY: f64 = 4_000.0;
+
+/// E12: one EO throttled to ~[`E12_CAPACITY`] tuples/s via
+/// `Config::eo_batch_delay`, a producer paced at `load_x` times that
+/// capacity for a quarter second, and `policy` deciding what happens
+/// when the input Fjord crosses its high watermark.
+pub fn e12_run(policy: tcq::ShedPolicy, load_x: f64) -> E12Result {
+    use tcq_common::{DataType, Field, Schema};
+    const WINDOW_S: f64 = 0.25;
+    let n = (E12_CAPACITY * load_x * WINDOW_S) as usize;
+    let config = tcq::Config {
+        executor_threads: 1,
+        input_queue: 64,
+        batch_size: 1,
+        eo_batch_delay: Some(std::time::Duration::from_micros(100)),
+        result_buffer: n.max(1024),
+        shed_policy: policy,
+        ..tcq::Config::default()
+    };
+    let server = tcq::Server::start(config).expect("server starts");
+    server
+        .register_stream(
+            "s",
+            Schema::qualified("s", vec![Field::new("seq", DataType::Int)]),
+        )
+        .expect("stream registers");
+    let handle = server
+        .submit("SELECT seq FROM s WHERE seq >= 0")
+        .expect("query submits");
+    let qid = handle.id;
+    let drainer = std::thread::spawn(move || {
+        let mut rows = 0u64;
+        while let Some(set) = handle.next_blocking() {
+            rows += set.rows.len() as u64;
+        }
+        rows
+    });
+    let interval = 1.0 / (E12_CAPACITY * load_x);
+    let mut lat_us: Vec<f64> = Vec::with_capacity(n);
+    let start = Instant::now();
+    for i in 1..=n {
+        // Busy-wait to the schedule; when a Block push stalls past its
+        // slot, later pushes fire immediately (an impatient producer).
+        while start.elapsed().as_secs_f64() < interval * i as f64 {
+            std::hint::spin_loop();
+        }
+        let t0 = Instant::now();
+        server
+            .push_at("s", vec![Value::Int(i as i64)], i as i64)
+            .expect("push");
+        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let ingest_ms = start.elapsed().as_secs_f64() * 1e3;
+    let t_drain = Instant::now();
+    while server.shed_stats("s").expect("stream exists").spill_pending > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    server.sync();
+    let drain_ms = t_drain.elapsed().as_secs_f64() * 1e3;
+    let st = server.shed_stats("s").expect("stream exists");
+    let _ = server.stop_query(qid);
+    server.sync();
+    let delivered = drainer.join().expect("egress drainer");
+    server.shutdown();
+    lat_us.sort_by(f64::total_cmp);
+    E12Result {
+        offered: n as u64,
+        delivered,
+        shed: st.shed,
+        spilled: st.spilled,
+        p99_push_us: lat_us[(lat_us.len() - 1) * 99 / 100],
+        max_push_us: *lat_us.last().expect("n > 0"),
+        ingest_ms,
+        drain_ms,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -770,6 +876,15 @@ mod tests {
             let skew = e9_run(policy, 100, 30, 20_000, true);
             assert!(skew > 0.4, "skewed access should mostly hit: {skew}");
         }
+    }
+
+    #[test]
+    fn e12_triage_conserves_and_spill_delivers_everything() {
+        let d = e12_run(tcq::ShedPolicy::DropOldest, 6.0);
+        assert_eq!(d.delivered + d.shed, d.offered, "nothing vanishes");
+        let s = e12_run(tcq::ShedPolicy::Spill, 4.0);
+        assert_eq!(s.shed, 0, "spill never drops");
+        assert_eq!(s.delivered, s.offered, "100% delivery after subside");
     }
 
     #[test]

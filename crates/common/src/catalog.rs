@@ -10,6 +10,7 @@ use std::sync::{Arc, RwLock};
 
 use crate::error::{Result, TcqError};
 use crate::schema::Schema;
+use crate::shed::ShedPolicy;
 use crate::time::TimeDomain;
 
 /// Whether a relation is an unbounded stream or a static table.
@@ -37,6 +38,9 @@ pub struct StreamDef {
     pub archived: bool,
     /// The time domain that stamps this relation's tuples.
     pub time_domain: TimeDomain,
+    /// Per-stream overload policy; `None` inherits the engine-wide
+    /// default (the server's `Config::shed_policy`).
+    pub shed_policy: Option<ShedPolicy>,
 }
 
 /// Thread-safe name → definition registry.
@@ -86,6 +90,7 @@ impl Catalog {
             kind: StreamKind::Stream,
             archived: true,
             time_domain: TimeDomain::LOGICAL,
+            shed_policy: None,
         })
     }
 
@@ -97,6 +102,7 @@ impl Catalog {
             kind: StreamKind::Table,
             archived: false,
             time_domain: TimeDomain::LOGICAL,
+            shed_policy: None,
         })
     }
 
@@ -108,6 +114,18 @@ impl Catalog {
             .defs
             .remove(&name.to_ascii_lowercase())
             .ok_or_else(|| TcqError::UnknownStream(name.into()))
+    }
+
+    /// Set (or clear) a relation's overload policy. `None` falls back to
+    /// the engine-wide default.
+    pub fn set_shed_policy(&self, name: &str, policy: Option<ShedPolicy>) -> Result<()> {
+        let mut inner = self.inner.write().unwrap();
+        let def = inner
+            .defs
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| TcqError::UnknownStream(name.into()))?;
+        def.shed_policy = policy;
+        Ok(())
     }
 
     /// Look up a relation by name (case-insensitive).

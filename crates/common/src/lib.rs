@@ -26,6 +26,7 @@ pub mod error;
 pub mod expr;
 pub mod rng;
 pub mod schema;
+pub mod shed;
 pub mod time;
 pub mod tuple;
 pub mod value;
@@ -34,6 +35,7 @@ pub use catalog::{Catalog, StreamDef, StreamKind};
 pub use error::{Result, TcqError};
 pub use expr::{BinOp, CmpOp, Expr};
 pub use schema::{Field, Schema};
+pub use shed::ShedPolicy;
 pub use time::{Clock, TimeDomain, Timestamp};
 pub use tuple::Tuple;
 pub use value::{DataType, Value};

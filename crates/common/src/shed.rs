@@ -1,0 +1,96 @@
+//! Load-shedding policies for overload triage at the ingress boundary.
+//!
+//! TelegraphCQ's wrappers are "the place for pre-filtering and data
+//! triage under overload": when an input Fjord backs up past a high
+//! watermark, the engine must decide what to do with arriving tuples
+//! instead of silently stalling or dropping. A [`ShedPolicy`] names that
+//! decision. The policy is configured globally (`Config::shed_policy` in
+//! the server crate) and can be overridden per stream in the catalog
+//! ([`crate::Catalog::set_shed_policy`]).
+
+use std::fmt;
+
+/// What the ingress boundary does with arriving tuples while a stream's
+/// input queues sit above the high watermark (and until they fall back
+/// below the low watermark — the hysteresis keeps the policy from
+/// flapping batch to batch).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ShedPolicy {
+    /// Apply backpressure: block the producer until space frees up.
+    /// Never loses a tuple; the default (and the only pre-existing
+    /// behaviour).
+    #[default]
+    Block,
+    /// Drop the arriving tuples; everything already queued is processed.
+    DropNewest,
+    /// Evict the oldest queued tuples of the stream to make room for the
+    /// arriving ones (freshest-data-wins; bounds result staleness).
+    DropOldest,
+    /// Keep each arriving tuple with probability `rate` (seeded,
+    /// deterministic), shedding the rest — approximate answers at full
+    /// ingest speed.
+    Sample {
+        /// Probability in `[0, 1]` of keeping a tuple while shedding.
+        rate: f64,
+    },
+    /// Write arriving batches to the storage-manager archive instead of
+    /// the queues, and re-ingest them in arrival order once depth falls
+    /// below the low watermark — trades latency for completeness.
+    Spill,
+}
+
+impl ShedPolicy {
+    /// Stable lower-case name (the `policy` column of `tcq$shed`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedPolicy::Block => "block",
+            ShedPolicy::DropNewest => "drop_newest",
+            ShedPolicy::DropOldest => "drop_oldest",
+            ShedPolicy::Sample { .. } => "sample",
+            ShedPolicy::Spill => "spill",
+        }
+    }
+
+    /// Whether this is the backpressure (non-shedding) policy.
+    pub fn is_block(&self) -> bool {
+        matches!(self, ShedPolicy::Block)
+    }
+}
+
+impl fmt::Display for ShedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedPolicy::Sample { rate } => write!(f, "sample({rate})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ShedPolicy::Block.name(), "block");
+        assert_eq!(ShedPolicy::DropNewest.name(), "drop_newest");
+        assert_eq!(ShedPolicy::DropOldest.name(), "drop_oldest");
+        assert_eq!(ShedPolicy::Sample { rate: 0.5 }.name(), "sample");
+        assert_eq!(ShedPolicy::Spill.name(), "spill");
+    }
+
+    #[test]
+    fn default_is_block() {
+        assert!(ShedPolicy::default().is_block());
+        assert!(!ShedPolicy::Spill.is_block());
+    }
+
+    #[test]
+    fn display_includes_sample_rate() {
+        assert_eq!(
+            ShedPolicy::Sample { rate: 0.25 }.to_string(),
+            "sample(0.25)"
+        );
+        assert_eq!(ShedPolicy::Spill.to_string(), "spill");
+    }
+}

@@ -2,6 +2,8 @@
 
 use std::path::PathBuf;
 
+use tcq_common::ShedPolicy;
+
 /// Which routing policy the FrontEnd compiles into adaptive plans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolicyKind {
@@ -54,6 +56,25 @@ pub struct Config {
     /// untouched; `Some(tick)` makes the Wrapper append a snapshot row
     /// set every `tick`.
     pub introspect_tick: Option<std::time::Duration>,
+    /// Engine-wide overload policy at the Wrapper→Fjord boundary, used
+    /// for any stream without a per-stream override in the catalog.
+    /// `Block` (the default) is plain backpressure — exactly the
+    /// pre-shedding behaviour.
+    pub shed_policy: ShedPolicy,
+    /// Fraction of `input_queue` at which shedding activates (queue
+    /// depth ≥ high watermark).
+    pub shed_high_frac: f64,
+    /// Fraction of `input_queue` at which shedding deactivates and any
+    /// pending spill is re-ingested (depth ≤ low watermark). Must be
+    /// below `shed_high_frac`; the gap is the hysteresis band.
+    pub shed_low_frac: f64,
+    /// Consecutive transient failures after which the Wrapper gives up
+    /// on a source (detaching and punctuating it like an exhausted one).
+    pub source_retry_max: u32,
+    /// Artificial per-batch delay inside each Execution Object; a
+    /// load-simulation knob for overload experiments (E12) and tests.
+    /// `None` (the default) adds nothing to the hot path.
+    pub eo_batch_delay: Option<std::time::Duration>,
 }
 
 impl Default for Config {
@@ -70,6 +91,11 @@ impl Default for Config {
             seed: 0x7e1e_6ca9,
             metrics: true,
             introspect_tick: None,
+            shed_policy: ShedPolicy::Block,
+            shed_high_frac: 0.875,
+            shed_low_frac: 0.25,
+            source_retry_max: 5,
+            eo_batch_delay: None,
         }
     }
 }
@@ -84,5 +110,8 @@ mod tests {
         assert!(c.executor_threads >= 1);
         assert!(c.segment_tuples >= 1);
         assert_eq!(c.policy, PolicyKind::Lottery);
+        assert!(c.shed_policy.is_block(), "shedding is strictly opt-in");
+        assert!(c.shed_low_frac < c.shed_high_frac);
+        assert!(c.eo_batch_delay.is_none());
     }
 }

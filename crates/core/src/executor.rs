@@ -18,6 +18,9 @@
 //!   as one [`ResultSet`] per loop instant.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex, RwLock};
 
 use tcq_cacq::{CacqEngine, QuerySpec, Selection};
@@ -55,6 +58,24 @@ pub enum ExecMsg {
         /// Completed tick (inclusive).
         ticks: i64,
     },
+    /// Arm a deterministic fault in the named query: its next batch (or
+    /// window evaluation) panics inside the quarantine boundary. The
+    /// fault-injection hook behind the containment tests — expression
+    /// evaluation itself returns `Result`s, so real panics need a lever.
+    InjectPanic(u64),
+}
+
+/// A quarantined operator fault, drained by the server onto the
+/// `tcq$errors` introspection stream.
+#[derive(Debug, Clone)]
+pub struct ErrorEvent {
+    /// Owning query id (0 when the fault hit shared machinery not
+    /// attributable to one query).
+    pub query: u64,
+    /// The operator (executor stage) that panicked.
+    pub operator: String,
+    /// The panic payload, stringified.
+    pub payload: String,
 }
 
 /// The registry of per-stream archives, shared by the Wrapper (writer)
@@ -124,14 +145,23 @@ pub struct ExecutionObject {
     metrics: Option<tcq_metrics::Registry>,
     /// Per-data-batch processing latency, µs.
     batch_hist: Option<Arc<tcq_metrics::Histogram>>,
+    /// Where quarantined faults are reported (the server feeds them to
+    /// `tcq$errors`).
+    errors_tx: Sender<ErrorEvent>,
+    /// Quarantined-batch count for this EO (flows into `tcq$operators`).
+    quarantined: Option<Arc<tcq_metrics::Counter>>,
 }
 
 struct SharedQuery {
+    /// Server-assigned query id (for fault attribution).
+    qid: u64,
     plan: Arc<QueryPlan>,
     output: tcq_fjords::Fjord<ResultSet>,
     /// `SELECT DISTINCT` state (over unbounded streams, distinct keeps
     /// the seen-set; evicted alongside windows when the query has one).
     distinct: Option<tcq_eddy::DupElim>,
+    degraded: Arc<AtomicBool>,
+    panic_armed: bool,
 }
 
 struct EddyQuery {
@@ -142,6 +172,8 @@ struct EddyQuery {
     eddy: Eddy,
     output: tcq_fjords::Fjord<ResultSet>,
     distinct: Option<tcq_eddy::DupElim>,
+    degraded: Arc<AtomicBool>,
+    panic_armed: bool,
 }
 
 struct WindowedQuery {
@@ -152,6 +184,42 @@ struct WindowedQuery {
     /// The next instant awaiting evaluation.
     pending_t: Option<i64>,
     output: tcq_fjords::Fjord<ResultSet>,
+    degraded: Arc<AtomicBool>,
+    panic_armed: bool,
+}
+
+/// Stringify a panic payload for the `tcq$errors` record.
+fn payload_str(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Record one quarantined fault: mark the owning query degraded, bump the
+/// EO counter, and report the event (free function so callers can hold
+/// disjoint borrows into the query maps).
+fn report_quarantine(
+    errors_tx: &Sender<ErrorEvent>,
+    quarantined: &Option<Arc<tcq_metrics::Counter>>,
+    degraded: &Arc<AtomicBool>,
+    query: u64,
+    operator: &str,
+    payload: String,
+) {
+    degraded.store(true, Ordering::Relaxed);
+    if let Some(c) = quarantined {
+        c.inc();
+    }
+    // A dropped receiver just means the server is shutting down.
+    let _ = errors_tx.send(ErrorEvent {
+        query,
+        operator: operator.to_string(),
+        payload,
+    });
 }
 
 impl ExecutionObject {
@@ -163,12 +231,16 @@ impl ExecutionObject {
         config: Config,
         archives: Arc<ArchiveSet>,
         metrics: Option<tcq_metrics::Registry>,
+        errors_tx: Sender<ErrorEvent>,
     ) -> ExecutionObject {
         let mut shared = CacqEngine::new();
         let batch_hist = metrics.as_ref().map(|r| {
             shared.bind_metrics(r, &format!("eo{eo_id}.shared"));
             r.histogram("executor", &format!("eo{eo_id}"), "batch_us")
         });
+        let quarantined = metrics
+            .as_ref()
+            .map(|r| r.counter("executor", &format!("eo{eo_id}"), "quarantined"));
         ExecutionObject {
             eo_id,
             config,
@@ -182,6 +254,8 @@ impl ExecutionObject {
             punctuated: HashMap::new(),
             metrics,
             batch_hist,
+            errors_tx,
+            quarantined,
         }
     }
 
@@ -205,6 +279,23 @@ impl ExecutionObject {
                 *p = (*p).max(ticks);
                 self.drive_windows();
             }
+            ExecMsg::InjectPanic(id) => self.arm_panic(id),
+        }
+    }
+
+    /// Arm a deterministic fault: query `id`'s next execution panics
+    /// inside the quarantine boundary.
+    fn arm_panic(&mut self, id: u64) {
+        if let Some(cacq_id) = self.shared_ids.get(&id) {
+            if let Some(sq) = self.shared_by_slot.get_mut(cacq_id) {
+                sq.panic_armed = true;
+            }
+        }
+        if let Some(eq) = self.eddies.get_mut(&id) {
+            eq.panic_armed = true;
+        }
+        if let Some(wq) = self.windowed.get_mut(&id) {
+            wq.panic_armed = true;
         }
     }
 
@@ -223,6 +314,8 @@ impl ExecutionObject {
                     loop_values,
                     pending_t,
                     output: q.output,
+                    degraded: q.degraded,
+                    panic_armed: false,
                 },
             );
             // Historical windows may already be evaluable.
@@ -239,9 +332,12 @@ impl ExecutionObject {
             self.shared_by_slot.insert(
                 cacq_id,
                 SharedQuery {
+                    qid: q.id,
                     plan,
                     output: q.output,
                     distinct,
+                    degraded: q.degraded,
+                    panic_armed: false,
                 },
             );
             return;
@@ -271,6 +367,8 @@ impl ExecutionObject {
                 eddy,
                 output: q.output,
                 distinct,
+                degraded: q.degraded,
+                panic_armed: false,
             },
         );
     }
@@ -301,14 +399,37 @@ impl ExecutionObject {
             tuples.len()
         );
         let timer = self.batch_hist.as_ref().map(|_| std::time::Instant::now());
+        if let Some(delay) = self.config.eo_batch_delay {
+            // Load-simulation knob: pretend each batch costs this much.
+            std::thread::sleep(delay);
+        }
         let hw = self.high_water.entry(stream).or_insert(i64::MIN);
         for t in &tuples {
             *hw = (*hw).max(t.ts().ticks());
         }
 
         // Shared class: one grouped-filter pass per predicated column
-        // per batch.
-        let matched = self.shared.push_batch(stream, &tuples);
+        // per batch. A panic in the shared engine is quarantined but not
+        // attributable to one query, so every folded query is degraded.
+        let matched =
+            match catch_unwind(AssertUnwindSafe(|| self.shared.push_batch(stream, &tuples))) {
+                Ok(matched) => matched,
+                Err(e) => {
+                    let payload = payload_str(e);
+                    for sq in self.shared_by_slot.values() {
+                        sq.degraded.store(true, Ordering::Relaxed);
+                    }
+                    if let Some(c) = &self.quarantined {
+                        c.inc();
+                    }
+                    let _ = self.errors_tx.send(ErrorEvent {
+                        query: 0,
+                        operator: "cacq".to_string(),
+                        payload,
+                    });
+                    Vec::new()
+                }
+            };
         if !matched.is_empty() {
             // Group per query into one result set.
             let mut per_query: HashMap<u64, Vec<Tuple>> = HashMap::new();
@@ -317,23 +438,39 @@ impl ExecutionObject {
             }
             for (cacq_id, rows) in per_query {
                 if let Some(sq) = self.shared_by_slot.get_mut(&cacq_id) {
-                    let mut projected: Vec<Tuple> = rows
-                        .iter()
-                        .filter_map(|t| sq.plan.project(t).ok())
-                        .collect();
-                    if let Some(d) = &mut sq.distinct {
-                        projected.retain(|t| d.push(t.clone()).is_some());
+                    let armed = std::mem::take(&mut sq.panic_armed);
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        if armed {
+                            panic!("injected operator fault");
+                        }
+                        let mut projected: Vec<Tuple> = rows
+                            .iter()
+                            .filter_map(|t| sq.plan.project(t).ok())
+                            .collect();
+                        if let Some(d) = &mut sq.distinct {
+                            projected.retain(|t| d.push(t.clone()).is_some());
+                        }
+                        if projected.is_empty() {
+                            return;
+                        }
+                        deliver(
+                            &sq.output,
+                            ResultSet {
+                                window_t: None,
+                                rows: projected,
+                            },
+                        );
+                    }));
+                    if let Err(e) = result {
+                        report_quarantine(
+                            &self.errors_tx,
+                            &self.quarantined,
+                            &sq.degraded,
+                            sq.qid,
+                            "shared_filter",
+                            payload_str(e),
+                        );
                     }
-                    if projected.is_empty() {
-                        continue;
-                    }
-                    deliver(
-                        &sq.output,
-                        ResultSet {
-                            window_t: None,
-                            rows: projected,
-                        },
-                    );
                 }
             }
         }
@@ -341,32 +478,50 @@ impl ExecutionObject {
         // Eddy class: whole batches share routing decisions. A
         // self-join feeds the batch once per bound position; join
         // results are unchanged as a multiset (each is still derived
-        // exactly once, by its latest-arriving component).
-        for eq in self.eddies.values_mut() {
-            let Some(positions) = eq.positions.get(&stream) else {
+        // exactly once, by its latest-arriving component). Each query's
+        // batch runs inside its own quarantine boundary, so one
+        // panicking operator costs its query one batch, not the server.
+        for (&qid, eq) in self.eddies.iter_mut() {
+            let Some(positions) = eq.positions.get(&stream).cloned() else {
                 continue;
             };
-            let mut outs = Vec::new();
-            for &pos in positions {
-                outs.extend(eq.eddy.push_batch(pos, tuples.clone()));
-            }
-            if !outs.is_empty() {
-                let mut rows: Vec<Tuple> = outs
-                    .iter()
-                    .filter_map(|t| eq.plan.project(t).ok())
-                    .collect();
-                if let Some(d) = &mut eq.distinct {
-                    rows.retain(|t| d.push(t.clone()).is_some());
+            let armed = std::mem::take(&mut eq.panic_armed);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if armed {
+                    panic!("injected operator fault");
                 }
-                if rows.is_empty() {
-                    continue;
+                let mut outs = Vec::new();
+                for &pos in &positions {
+                    outs.extend(eq.eddy.push_batch(pos, tuples.clone()));
                 }
-                deliver(
-                    &eq.output,
-                    ResultSet {
-                        window_t: None,
-                        rows,
-                    },
+                if !outs.is_empty() {
+                    let mut rows: Vec<Tuple> = outs
+                        .iter()
+                        .filter_map(|t| eq.plan.project(t).ok())
+                        .collect();
+                    if let Some(d) = &mut eq.distinct {
+                        rows.retain(|t| d.push(t.clone()).is_some());
+                    }
+                    if rows.is_empty() {
+                        return;
+                    }
+                    deliver(
+                        &eq.output,
+                        ResultSet {
+                            window_t: None,
+                            rows,
+                        },
+                    );
+                }
+            }));
+            if let Err(e) = result {
+                report_quarantine(
+                    &self.errors_tx,
+                    &self.quarantined,
+                    &eq.degraded,
+                    qid,
+                    "eddy",
+                    payload_str(e),
                 );
             }
         }
@@ -407,9 +562,31 @@ impl ExecutionObject {
             if !evaluable {
                 return false;
             }
-            let rs = self.evaluate_window(id, t);
+            let armed = {
+                let wq = self.windowed.get_mut(&id).expect("caller checked");
+                std::mem::take(&mut wq.panic_armed)
+            };
+            // Quarantine boundary: a panicking window evaluation costs
+            // this query that one window instant; the loop still
+            // advances so later windows (and other queries) proceed.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if armed {
+                    panic!("injected operator fault");
+                }
+                self.evaluate_window(id, t)
+            }));
             let wq = self.windowed.get_mut(&id).expect("still present");
-            deliver(&wq.output, rs);
+            match result {
+                Ok(rs) => deliver(&wq.output, rs),
+                Err(e) => report_quarantine(
+                    &self.errors_tx,
+                    &self.quarantined,
+                    &wq.degraded,
+                    id,
+                    "window_eval",
+                    payload_str(e),
+                ),
+            }
             wq.pending_t = wq.loop_values.next();
             if wq.pending_t.is_none() {
                 return true;

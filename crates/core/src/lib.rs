@@ -67,4 +67,5 @@ pub mod server;
 
 pub use config::Config;
 pub use query::{QueryHandle, ResultSet};
-pub use server::Server;
+pub use server::{Server, ShedStats};
+pub use tcq_common::ShedPolicy;

@@ -1,5 +1,6 @@
 //! Running queries, result sets, and client handles.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use tcq_common::{Schema, Tuple};
@@ -31,6 +32,10 @@ pub struct RunningQuery {
     pub stream_ids: Vec<usize>,
     /// Where results go.
     pub output: Fjord<ResultSet>,
+    /// Set when an operator of this query panicked and was quarantined:
+    /// the query keeps running, but some batches may be missing from its
+    /// answers. Shared with the client's [`QueryHandle`].
+    pub degraded: Arc<AtomicBool>,
 }
 
 /// A client's handle to a standing query.
@@ -41,11 +46,30 @@ pub struct QueryHandle {
     /// The result schema.
     pub schema: Schema,
     output: Fjord<ResultSet>,
+    degraded: Arc<AtomicBool>,
 }
 
 impl QueryHandle {
-    pub(crate) fn new(id: u64, schema: Schema, output: Fjord<ResultSet>) -> QueryHandle {
-        QueryHandle { id, schema, output }
+    pub(crate) fn new(
+        id: u64,
+        schema: Schema,
+        output: Fjord<ResultSet>,
+        degraded: Arc<AtomicBool>,
+    ) -> QueryHandle {
+        QueryHandle {
+            id,
+            schema,
+            output,
+            degraded,
+        }
+    }
+
+    /// Whether an operator of this query panicked and was quarantined
+    /// (see the `tcq$errors` stream for the fault records). A degraded
+    /// query keeps producing results, but batches quarantined mid-fault
+    /// are missing from them.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     /// Fetch the next result set without blocking; `None` when nothing
@@ -98,6 +122,15 @@ mod tests {
     use super::*;
     use tcq_common::Value;
 
+    fn handle(q: Fjord<ResultSet>) -> QueryHandle {
+        QueryHandle::new(
+            1,
+            Schema::unqualified(vec![]),
+            q,
+            Arc::new(AtomicBool::new(false)),
+        )
+    }
+
     fn rs(i: i64) -> ResultSet {
         ResultSet {
             window_t: Some(i),
@@ -108,19 +141,20 @@ mod tests {
     #[test]
     fn handle_drains_in_order() {
         let q: Fjord<ResultSet> = Fjord::with_capacity(8);
-        let h = QueryHandle::new(1, Schema::unqualified(vec![]), q.clone());
+        let h = handle(q.clone());
         q.try_enqueue(rs(1));
         q.try_enqueue(rs(2));
         let got = h.drain();
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].window_t, Some(1));
         assert!(h.try_next().is_none());
+        assert!(!h.is_degraded());
     }
 
     #[test]
     fn finished_after_close_and_drain() {
         let q: Fjord<ResultSet> = Fjord::with_capacity(8);
-        let h = QueryHandle::new(1, Schema::unqualified(vec![]), q.clone());
+        let h = handle(q.clone());
         q.try_enqueue(rs(1));
         q.close();
         assert!(!h.is_finished(), "buffered result still pending");
@@ -135,7 +169,7 @@ mod tests {
         for i in 1..=4 {
             deliver(&q, rs(i));
         }
-        let h = QueryHandle::new(1, Schema::unqualified(vec![]), q);
+        let h = handle(q);
         let got = h.drain();
         assert_eq!(
             got.iter().map(|r| r.window_t.unwrap()).collect::<Vec<_>>(),

@@ -6,18 +6,21 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use std::sync::mpsc::{channel, Sender, TryRecvError};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Mutex, RwLock};
 
-use tcq_common::{Catalog, Clock, DataType, Field, Result, Schema, TcqError, Tuple, Value};
+use tcq_common::rng::SplitMix64;
+use tcq_common::{
+    Catalog, Clock, DataType, Field, Result, Schema, ShedPolicy, TcqError, Timestamp, Tuple, Value,
+};
 use tcq_fjords::{DequeueResult, Fjord};
 use tcq_metrics::{tcq_trace, Registry};
 use tcq_sql::Planner;
 use tcq_storage::{BufferPool, Replacement, Spooler, StreamArchive};
-use tcq_wrappers::Source;
+use tcq_wrappers::{Source, SourceError};
 
 use crate::config::Config;
-use crate::executor::{validate_plan, ArchiveSet, ExecMsg, ExecutionObject};
+use crate::executor::{validate_plan, ArchiveSet, ErrorEvent, ExecMsg, ExecutionObject};
 use crate::query::{QueryHandle, ResultSet, RunningQuery};
 
 /// A running TelegraphCQ server.
@@ -40,6 +43,72 @@ impl Clone for Server {
 struct StreamRuntime {
     arity: usize,
     clock: Arc<Clock>,
+    /// Overload-triage state for this stream (policy, watermark
+    /// activation, spill episode, counters).
+    shed: Arc<Mutex<ShedState>>,
+}
+
+/// Per-stream overload state, guarded by one Mutex per stream so triage
+/// on one stream never contends with another.
+struct ShedState {
+    /// Lowercased stream name (spill directory naming + `tcq$shed` rows).
+    lname: String,
+    policy: ShedPolicy,
+    /// Whether shedding is currently engaged (depth crossed the high
+    /// watermark and has not yet fallen back below the low one).
+    active: bool,
+    /// Seeded sampler for `ShedPolicy::Sample` (deterministic runs).
+    rng: SplitMix64,
+    /// The spill episode currently accumulating, if any.
+    spill: Option<StreamArchive>,
+    spill_dir: Option<PathBuf>,
+    spill_seq: u64,
+    /// Tuples dropped (DropNewest / DropOldest evictions / Sample).
+    shed: u64,
+    /// Tuples diverted to the spill archive.
+    spilled: u64,
+    /// Spilled tuples re-ingested after load subsided.
+    reingested: u64,
+}
+
+impl ShedState {
+    fn new(lname: String, policy: ShedPolicy, seed: u64) -> ShedState {
+        ShedState {
+            lname,
+            policy,
+            active: false,
+            rng: SplitMix64::new(seed),
+            spill: None,
+            spill_dir: None,
+            spill_seq: 0,
+            shed: 0,
+            spilled: 0,
+            reingested: 0,
+        }
+    }
+
+    fn spill_pending(&self) -> u64 {
+        self.spilled - self.reingested
+    }
+}
+
+/// A public snapshot of one stream's overload-triage counters (see
+/// [`Server::shed_stats`]). At quiesce the conservation invariant holds:
+/// tuples ingested == delivered + `shed` + `spill_pending`.
+#[derive(Debug, Clone, Copy)]
+pub struct ShedStats {
+    /// The stream's effective policy.
+    pub policy: ShedPolicy,
+    /// Whether shedding is engaged right now.
+    pub active: bool,
+    /// Tuples dropped by triage.
+    pub shed: u64,
+    /// Tuples diverted to the spill archive.
+    pub spilled: u64,
+    /// Spilled tuples re-ingested so far.
+    pub reingested: u64,
+    /// Spilled tuples still awaiting re-ingestion.
+    pub spill_pending: u64,
 }
 
 struct Inner {
@@ -56,6 +125,15 @@ struct Inner {
     wrapper_tx: Mutex<Option<Sender<WrapperMsg>>>,
     wrapper_ingested: AtomicU64,
     wrapper_idle: AtomicBool,
+    /// Attach messages sent but not yet picked up by the Wrapper. Guards
+    /// `drain_sources` against a stale-true `wrapper_idle` from the round
+    /// before a freshly attached source was ever polled.
+    pending_attach: AtomicU64,
+    /// Tuples sitting in spill archives across all streams (cheap idle
+    /// gating for the Wrapper and `drain_sources`).
+    spill_pending: AtomicU64,
+    /// Quarantined-fault events from the EOs, drained onto `tcq$errors`.
+    errors_rx: Mutex<Receiver<ErrorEvent>>,
     shutting_down: AtomicBool,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     _spooler: Spooler,
@@ -109,6 +187,7 @@ impl Server {
             .map(|r| r.histogram("wrapper", "ingest", "batch_us"));
 
         // Executor: one input queue + thread per EO.
+        let (errors_tx, errors_rx) = channel::<ErrorEvent>();
         let mut eo_inputs = Vec::with_capacity(config.executor_threads.max(1));
         let mut threads = Vec::new();
         for eo_id in 0..config.executor_threads.max(1) {
@@ -122,6 +201,7 @@ impl Server {
                 config.clone(),
                 archives.clone(),
                 metrics.clone(),
+                errors_tx.clone(),
             );
             // Drain the input queue in waves: one lock acquisition can
             // hand the EO up to 64 messages (each itself a batch of
@@ -157,6 +237,9 @@ impl Server {
             wrapper_tx: Mutex::new(Some(wrapper_tx)),
             wrapper_ingested: AtomicU64::new(0),
             wrapper_idle: AtomicBool::new(true),
+            pending_attach: AtomicU64::new(0),
+            spill_pending: AtomicU64::new(0),
+            errors_rx: Mutex::new(errors_rx),
             shutting_down: AtomicBool::new(false),
             threads: Mutex::new(threads),
             _spooler: spooler,
@@ -167,13 +250,26 @@ impl Server {
         });
 
         // The Wrapper thread: hosts ingress sources, polls them
-        // non-blockingly, stamps + archives + fans out tuples.
+        // non-blockingly, stamps + archives + fans out tuples; on
+        // transient source faults it retries with seeded-jitter
+        // exponential backoff, giving up past `source_retry_max`.
         let wrapper_inner = inner.clone();
         let wrapper = std::thread::Builder::new()
             .name("tcq-wrapper".into())
             .spawn(move || {
-                let mut sources: Vec<(usize, Box<dyn Source>)> = Vec::new();
+                struct WrapperSource {
+                    gid: usize,
+                    src: Box<dyn Source>,
+                    /// Consecutive transient failures.
+                    failures: u32,
+                    /// Poll rounds left to skip (backoff; one idle round
+                    /// is ~200µs).
+                    skip_rounds: u64,
+                }
+                let mut sources: Vec<WrapperSource> = Vec::new();
                 let batch_size = wrapper_inner.config.batch_size.max(1);
+                let retry_max = wrapper_inner.config.source_retry_max;
+                let mut retry_rng = SplitMix64::new(wrapper_inner.config.seed ^ 0x5eed_baff);
                 let mut pending: Vec<Tuple> = Vec::with_capacity(batch_size);
                 let introspect_tick = wrapper_inner
                     .config
@@ -184,7 +280,19 @@ impl Server {
                     // Accept new sources.
                     loop {
                         match wrapper_rx.try_recv() {
-                            Ok(WrapperMsg::Attach(gid, src)) => sources.push((gid, src)),
+                            Ok(WrapperMsg::Attach(gid, src)) => {
+                                sources.push(WrapperSource {
+                                    gid,
+                                    src,
+                                    failures: 0,
+                                    skip_rounds: 0,
+                                });
+                                // Un-idle BEFORE acknowledging the attach:
+                                // once `pending_attach` hits zero a stale
+                                // idle flag must already read false.
+                                wrapper_inner.wrapper_idle.store(false, Ordering::Release);
+                                wrapper_inner.pending_attach.fetch_sub(1, Ordering::Release);
+                            }
                             Err(TryRecvError::Empty) => break,
                             Err(TryRecvError::Disconnected) => return,
                         }
@@ -194,8 +302,45 @@ impl Server {
                     }
                     let mut produced = 0usize;
                     let mut exhausted_gids: Vec<usize> = Vec::new();
-                    sources.retain_mut(|(gid, src)| {
-                        let batch = src.poll(batch_size.max(256));
+                    sources.retain_mut(|ws| {
+                        if ws.skip_rounds > 0 {
+                            // Backing off after a transient failure.
+                            ws.skip_rounds -= 1;
+                            return true;
+                        }
+                        let batch = match ws.src.try_poll(batch_size.max(256)) {
+                            Ok(batch) => {
+                                ws.failures = 0;
+                                batch
+                            }
+                            Err(SourceError::Transient(msg)) => {
+                                ws.failures += 1;
+                                if let Some(r) = &wrapper_inner.metrics {
+                                    r.counter("wrapper", ws.src.name(), "retries").inc();
+                                }
+                                if ws.failures > retry_max {
+                                    // Give up: detach and punctuate like
+                                    // an exhausted source so standing
+                                    // windows still close and
+                                    // drain_sources completes.
+                                    if let Some(r) = &wrapper_inner.metrics {
+                                        r.counter("wrapper", ws.src.name(), "give_ups").inc();
+                                    }
+                                    eprintln!(
+                                        "tcq-wrapper: giving up on source {} after {} transient failures ({msg})",
+                                        ws.src.name(),
+                                        ws.failures
+                                    );
+                                    exhausted_gids.push(ws.gid);
+                                    return false;
+                                }
+                                // Exponential backoff with seeded jitter:
+                                // 2^(k-1) .. 2^k idle rounds.
+                                let base = 1u64 << (ws.failures - 1).min(16);
+                                ws.skip_rounds = base + retry_rng.next_below(base.max(1));
+                                return true;
+                            }
+                        };
                         produced += batch.len();
                         // Accumulate into batches of `batch_size`, always
                         // flushing before moving to the next source and
@@ -209,22 +354,22 @@ impl Server {
                                 // source) drop the batch; the source
                                 // stays attached.
                                 let _ =
-                                    wrapper_inner.ingest_batch(*gid, std::mem::take(&mut pending));
+                                    wrapper_inner.ingest_batch(ws.gid, std::mem::take(&mut pending));
                             }
                         }
                         if !pending.is_empty() {
-                            let _ = wrapper_inner.ingest_batch(*gid, std::mem::take(&mut pending));
+                            let _ = wrapper_inner.ingest_batch(ws.gid, std::mem::take(&mut pending));
                         }
-                        let keep = !src.is_exhausted();
+                        let keep = !ws.src.is_exhausted();
                         if !keep {
-                            exhausted_gids.push(*gid);
+                            exhausted_gids.push(ws.gid);
                         }
                         keep
                     });
                     // When a stream's last source finishes, punctuate at
                     // the stream clock: its final windows can close.
                     for gid in exhausted_gids {
-                        if !sources.iter().any(|(g, _)| *g == gid) {
+                        if !sources.iter().any(|ws| ws.gid == gid) {
                             let ticks = wrapper_inner.streams.read().unwrap()[gid]
                                 .clock
                                 .now()
@@ -232,6 +377,11 @@ impl Server {
                             let _ = wrapper_inner.punctuate_gid(gid, ticks);
                         }
                     }
+                    // Re-ingest any spill episode whose queues have
+                    // drained below the low watermark, and surface
+                    // quarantined faults onto `tcq$errors`.
+                    wrapper_inner.drain_idle_spills();
+                    wrapper_inner.pump_errors();
                     // Emit introspection rows on the configured tick.
                     // These do not count as source production, so idle
                     // detection and drain_sources timing are unchanged.
@@ -246,7 +396,9 @@ impl Server {
                         .fetch_add(produced as u64, Ordering::Relaxed);
                     let idle = produced == 0;
                     wrapper_inner.wrapper_idle.store(
-                        idle && sources.iter().all(|(_, s)| s.is_exhausted()) || sources.is_empty(),
+                        (idle && sources.iter().all(|ws| ws.src.is_exhausted())
+                            || sources.is_empty())
+                            && wrapper_inner.spill_pending.load(Ordering::Relaxed) == 0,
                         Ordering::Release,
                     );
                     if idle {
@@ -306,6 +458,32 @@ impl Server {
                 ],
             ),
         )?;
+        // Live degradation: one row per (stream, shed metric) per
+        // emission, only for streams that shed (or may shed).
+        self.register_stream(
+            "tcq$shed",
+            Schema::qualified(
+                "tcq$shed",
+                vec![
+                    Field::new("stream", DataType::Str),
+                    Field::new("policy", DataType::Str),
+                    Field::new("metric", DataType::Str),
+                    Field::new("value", DataType::Int),
+                ],
+            ),
+        )?;
+        // Quarantined operator faults: one row per caught panic.
+        self.register_stream(
+            "tcq$errors",
+            Schema::qualified(
+                "tcq$errors",
+                vec![
+                    Field::new("qid", DataType::Int),
+                    Field::new("operator", DataType::Str),
+                    Field::new("payload", DataType::Str),
+                ],
+            ),
+        )?;
         Ok(())
     }
 
@@ -342,11 +520,56 @@ impl Server {
             );
             self.inner.archives.push(archive)
         };
+        // Effective policy: per-stream catalog override, else the
+        // engine-wide default. System (`tcq$*`) streams are never shed —
+        // introspection must stay trustworthy under overload.
+        let policy = if lname.starts_with("tcq$") {
+            ShedPolicy::Block
+        } else {
+            self.inner
+                .catalog
+                .lookup(&lname)
+                .ok()
+                .and_then(|d| d.shed_policy)
+                .unwrap_or(self.inner.config.shed_policy)
+        };
+        let shed = Arc::new(Mutex::new(ShedState::new(
+            lname.clone(),
+            policy,
+            self.inner.config.seed ^ (gid as u64).wrapping_mul(0x9e37_79b9),
+        )));
+        if let Some(registry) = &self.inner.metrics {
+            let shed = shed.clone();
+            let instance = lname.clone();
+            registry.register_probe(move |out| {
+                let st = shed.lock().unwrap();
+                let mut push = |name: &str, value: tcq_metrics::SampleValue| {
+                    out.push(tcq_metrics::Sample {
+                        family: "shed".to_string(),
+                        instance: instance.clone(),
+                        name: name.to_string(),
+                        value,
+                    });
+                };
+                push("shed", tcq_metrics::SampleValue::Counter(st.shed));
+                push("spilled", tcq_metrics::SampleValue::Counter(st.spilled));
+                push(
+                    "reingested",
+                    tcq_metrics::SampleValue::Counter(st.reingested),
+                );
+                push(
+                    "spill_pending",
+                    tcq_metrics::SampleValue::Gauge(st.spill_pending() as i64),
+                );
+                push("active", tcq_metrics::SampleValue::Gauge(st.active as i64));
+            });
+        }
         let mut streams = self.inner.streams.write().unwrap();
         debug_assert_eq!(streams.len(), gid);
         streams.push(StreamRuntime {
             arity,
             clock: Arc::new(Clock::logical()),
+            shed,
         });
         self.inner.by_name.write().unwrap().insert(lname, gid);
         Ok(gid)
@@ -409,8 +632,11 @@ impl Server {
         let guard = self.inner.wrapper_tx.lock().unwrap();
         let tx = guard.as_ref().ok_or(TcqError::Closed("wrapper"))?;
         self.inner.wrapper_idle.store(false, Ordering::Release);
-        tx.send(WrapperMsg::Attach(gid, source))
-            .map_err(|_| TcqError::Closed("wrapper"))
+        self.inner.pending_attach.fetch_add(1, Ordering::Release);
+        tx.send(WrapperMsg::Attach(gid, source)).map_err(|_| {
+            self.inner.pending_attach.fetch_sub(1, Ordering::Release);
+            TcqError::Closed("wrapper")
+        })
     }
 
     /// Parse and analyze a query, returning the adaptive plan's
@@ -440,11 +666,13 @@ impl Server {
         footprint.dedup();
         let eo = footprint.iter().sum::<usize>() % self.inner.eo_inputs.len();
         let schema = plan.output_schema();
+        let degraded = Arc::new(AtomicBool::new(false));
         let rq = RunningQuery {
             id,
             plan: Arc::new(plan),
             stream_ids,
             output: output.clone(),
+            degraded: degraded.clone(),
         };
         self.inner.queries.lock().unwrap().insert(
             id,
@@ -456,7 +684,7 @@ impl Server {
         // The QPQueue: "plans are then placed in the query plan queue
         // ... the executor continually picks up fresh queries."
         match self.inner.eo_inputs[eo].enqueue_blocking(ExecMsg::AddQuery(rq)) {
-            tcq_fjords::EnqueueResult::Ok => Ok(QueryHandle::new(id, schema, output)),
+            tcq_fjords::EnqueueResult::Ok => Ok(QueryHandle::new(id, schema, output, degraded)),
             _ => Err(TcqError::Closed("executor")),
         }
     }
@@ -496,11 +724,24 @@ impl Server {
     pub fn drain_sources(&self, timeout: std::time::Duration) -> bool {
         let start = std::time::Instant::now();
         loop {
-            if self.inner.wrapper_idle.load(Ordering::Acquire) {
+            // Order matters: read `pending_attach` first. Observing zero
+            // means the Wrapper already stored `wrapper_idle = false` for
+            // every attach, so a subsequent idle read cannot be stale.
+            if self.inner.pending_attach.load(Ordering::Acquire) == 0
+                && self.inner.wrapper_idle.load(Ordering::Acquire)
+            {
                 self.sync();
                 return true;
             }
             if start.elapsed() > timeout {
+                // A hung source is an incident, not a quiet `false`:
+                // count it and log it.
+                if let Some(r) = &self.inner.metrics {
+                    r.counter("wrapper", "server", "drain_timeout").inc();
+                }
+                eprintln!(
+                    "tcq-server: drain_sources timed out after {timeout:?} with sources still active"
+                );
                 return false;
             }
             std::thread::sleep(std::time::Duration::from_millis(1));
@@ -510,6 +751,50 @@ impl Server {
     /// Tuples ingested via the Wrapper thread so far.
     pub fn wrapper_ingested(&self) -> u64 {
         self.inner.wrapper_ingested.load(Ordering::Relaxed)
+    }
+
+    /// Set a stream's overload policy at runtime (recorded in the
+    /// catalog so `Catalog::lookup` agrees with the enforced policy).
+    pub fn set_shed_policy(&self, stream: &str, policy: ShedPolicy) -> Result<()> {
+        let gid = self.stream_id(stream)?;
+        self.inner.catalog.set_shed_policy(stream, Some(policy))?;
+        let shed = self.inner.streams.read().unwrap()[gid].shed.clone();
+        shed.lock().unwrap().policy = policy;
+        Ok(())
+    }
+
+    /// Snapshot a stream's overload-triage counters.
+    pub fn shed_stats(&self, stream: &str) -> Result<ShedStats> {
+        let gid = self.stream_id(stream)?;
+        let shed = self.inner.streams.read().unwrap()[gid].shed.clone();
+        let st = shed.lock().unwrap();
+        Ok(ShedStats {
+            policy: st.policy,
+            active: st.active,
+            shed: st.shed,
+            spilled: st.spilled,
+            reingested: st.reingested,
+            spill_pending: st.spill_pending(),
+        })
+    }
+
+    /// Arm a deterministic operator fault in query `id`: its next batch
+    /// (or window evaluation) panics inside the executor's quarantine
+    /// boundary. The fault-injection lever behind the containment tests
+    /// — the query degrades, siblings are untouched.
+    pub fn inject_panic(&self, id: u64) -> Result<()> {
+        let eo = self
+            .inner
+            .queries
+            .lock()
+            .unwrap()
+            .get(&id)
+            .map(|m| m.eo)
+            .ok_or(TcqError::UnknownQuery(id))?;
+        match self.inner.eo_inputs[eo].enqueue_blocking(ExecMsg::InjectPanic(id)) {
+            tcq_fjords::EnqueueResult::Ok => Ok(()),
+            _ => Err(TcqError::Closed("executor")),
+        }
     }
 
     /// Lock/throughput counters for each EO input queue, in EO order.
@@ -570,15 +855,36 @@ impl Inner {
         self.ingest_batch(gid, vec![tuple])
     }
 
-    /// The batched streamer path: archive the whole batch under one
+    /// The batched streamer path with overload triage at the
+    /// Wrapper→Fjord boundary. Under the default `Block` policy this is
+    /// exactly the pre-shedding path: archive the whole batch under one
     /// archive lock, then fan it out to every EO's input queue as one
     /// message — one Fjord lock + one consumer wake per EO per batch.
+    /// Other policies engage between high/low watermarks on queue depth
+    /// (hysteresis keeps them from flapping batch to batch).
     fn ingest_batch(&self, gid: usize, tuples: Vec<Tuple>) -> Result<()> {
         if tuples.is_empty() {
             return Ok(());
         }
         tcq_trace!("ingest: stream={} batch={}", gid, tuples.len());
         let timer = self.ingest_hist.as_ref().map(|_| std::time::Instant::now());
+        let shed = self.streams.read().unwrap()[gid].shed.clone();
+        let mut st = shed.lock().unwrap();
+        let result = if st.policy.is_block() && st.spill.is_none() {
+            // Fast path: pure backpressure, no triage bookkeeping.
+            drop(st);
+            self.admit(gid, tuples)
+        } else {
+            self.triage(gid, tuples, &mut st)
+        };
+        if let (Some(hist), Some(start)) = (&self.ingest_hist, timer) {
+            hist.record(start.elapsed().as_micros() as u64);
+        }
+        result
+    }
+
+    /// Archive a batch and fan it out to the EOs (the accepted path).
+    fn admit(&self, gid: usize, tuples: Vec<Tuple>) -> Result<()> {
         let high_water = tuples.iter().map(|t| t.ts().ticks()).max().unwrap();
         self.streams.read().unwrap()[gid]
             .clock
@@ -590,6 +896,11 @@ impl Inner {
                 archive.append(tuple.clone())?;
             }
         }
+        self.fan_out(gid, tuples)
+    }
+
+    /// Enqueue a batch on every EO input (blocking on full queues).
+    fn fan_out(&self, gid: usize, tuples: Vec<Tuple>) -> Result<()> {
         for input in &self.eo_inputs {
             let msg = ExecMsg::Data {
                 stream: gid,
@@ -600,10 +911,209 @@ impl Inner {
                 _ => return Err(TcqError::Closed("executor")),
             }
         }
-        if let (Some(hist), Some(start)) = (&self.ingest_hist, timer) {
-            hist.record(start.elapsed().as_micros() as u64);
+        Ok(())
+    }
+
+    /// Deepest EO input queue — the overload signal the watermarks are
+    /// compared against.
+    fn max_eo_depth(&self) -> usize {
+        self.eo_inputs.iter().map(|q| q.len()).max().unwrap_or(0)
+    }
+
+    fn high_watermark(&self) -> usize {
+        ((self.config.input_queue as f64) * self.config.shed_high_frac).ceil() as usize
+    }
+
+    fn low_watermark(&self) -> usize {
+        ((self.config.input_queue as f64) * self.config.shed_low_frac) as usize
+    }
+
+    /// Overload triage for one arriving batch under a non-`Block` policy
+    /// (or with a spill episode still pending after a policy change).
+    /// Shed tuples are dropped as if never produced: not archived, no
+    /// clock advance — their absence is exactly what the policy chose.
+    fn triage(&self, gid: usize, tuples: Vec<Tuple>, st: &mut ShedState) -> Result<()> {
+        let depth = self.max_eo_depth();
+        let low = self.low_watermark();
+        if !st.active && depth >= self.high_watermark() {
+            st.active = true;
+            tcq_trace!("shed: {} engaged at depth {}", st.lname, depth);
+        } else if st.active && depth <= low {
+            st.active = false;
+            tcq_trace!("shed: {} disengaged at depth {}", st.lname, depth);
+        }
+        // A pending spill episode re-ingests (in arrival order) before
+        // anything newer is admitted, as soon as depth allows.
+        if st.spill.is_some() && !st.active && depth <= low {
+            self.drain_spill_locked(gid, st)?;
+        }
+        if !st.active {
+            return self.admit(gid, tuples);
+        }
+        match st.policy {
+            ShedPolicy::Block => self.admit(gid, tuples),
+            ShedPolicy::DropNewest => {
+                st.shed += tuples.len() as u64;
+                Ok(())
+            }
+            ShedPolicy::DropOldest => {
+                // Evict this stream's oldest queued batches down to the
+                // low watermark, then admit the fresh batch
+                // (freshest-data-wins). With several EOs each queue holds
+                // its own copy of every batch, so eviction counts are
+                // per-queue-copy; at one EO they are exact tuple counts.
+                let mut evicted = 0u64;
+                for input in &self.eo_inputs {
+                    while input.len() > low {
+                        let victims = input.evict_oldest_where(
+                            1,
+                            |m| matches!(m, ExecMsg::Data { stream, .. } if *stream == gid),
+                        );
+                        if victims.is_empty() {
+                            break;
+                        }
+                        for v in victims {
+                            if let ExecMsg::Data { tuples, .. } = v {
+                                evicted += tuples.len() as u64;
+                            }
+                        }
+                    }
+                }
+                st.shed += evicted;
+                self.admit(gid, tuples)
+            }
+            ShedPolicy::Sample { rate } => {
+                let before = tuples.len();
+                let kept: Vec<Tuple> = tuples
+                    .into_iter()
+                    .filter(|_| st.rng.next_f64() < rate)
+                    .collect();
+                st.shed += (before - kept.len()) as u64;
+                if kept.is_empty() {
+                    return Ok(());
+                }
+                self.admit(gid, kept)
+            }
+            ShedPolicy::Spill => {
+                // Archive to the MAIN archive immediately (window scans
+                // stay complete even if punctuation fires while the
+                // spill is pending) and divert the streaming copy to a
+                // per-episode spill archive instead of the queues.
+                let high_water = tuples.iter().map(|t| t.ts().ticks()).max().unwrap();
+                self.streams.read().unwrap()[gid]
+                    .clock
+                    .advance_to(high_water);
+                {
+                    let archive = self.archives.get(gid);
+                    let mut archive = archive.lock().unwrap();
+                    for tuple in &tuples {
+                        archive.append(tuple.clone())?;
+                    }
+                }
+                if st.spill.is_none() {
+                    let dir = self
+                        .archive_root
+                        .join(format!("{}-spill-{}", st.lname, st.spill_seq));
+                    st.spill_seq += 1;
+                    st.spill = Some(StreamArchive::new(
+                        gid as u64,
+                        dir.clone(),
+                        self.config.segment_tuples,
+                        self._pool.clone(),
+                        None,
+                    ));
+                    st.spill_dir = Some(dir);
+                }
+                let n = tuples.len() as u64;
+                let spill = st.spill.as_mut().expect("just created");
+                for tuple in tuples {
+                    spill.append(tuple)?;
+                }
+                st.spilled += n;
+                self.spill_pending.fetch_add(n, Ordering::Relaxed);
+                Ok(())
+            }
+        }
+    }
+
+    /// Re-ingest one stream's pending spill episode: scan it in arrival
+    /// order and fan the tuples back out to the EOs (they are already in
+    /// the main archive, so no re-archiving). The episode's directory is
+    /// removed afterwards.
+    fn drain_spill_locked(&self, gid: usize, st: &mut ShedState) -> Result<()> {
+        let Some(spill) = st.spill.take() else {
+            return Ok(());
+        };
+        let dir = st.spill_dir.take();
+        let rows = spill
+            .scan(Timestamp::logical(i64::MIN), Timestamp::logical(i64::MAX))
+            .unwrap_or_default();
+        drop(spill);
+        let n = rows.len() as u64;
+        tcq_trace!("shed: {} re-ingesting {} spilled tuples", st.lname, n);
+        let chunk = self.config.batch_size.max(64);
+        for chunk in rows.chunks(chunk) {
+            self.fan_out(gid, chunk.to_vec())?;
+        }
+        st.reingested += n;
+        self.spill_pending.fetch_sub(n, Ordering::Relaxed);
+        if let Some(dir) = dir {
+            let _ = std::fs::remove_dir_all(dir);
         }
         Ok(())
+    }
+
+    /// Called by the Wrapper every round: drain any spill episode whose
+    /// queues have fallen to the low watermark, even if nothing new
+    /// arrives on that stream to trigger triage.
+    fn drain_idle_spills(&self) {
+        if self.spill_pending.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let sheds: Vec<(usize, Arc<Mutex<ShedState>>)> = {
+            let streams = self.streams.read().unwrap();
+            streams
+                .iter()
+                .enumerate()
+                .map(|(gid, rt)| (gid, rt.shed.clone()))
+                .collect()
+        };
+        let low = self.low_watermark();
+        for (gid, shed) in sheds {
+            let mut st = shed.lock().unwrap();
+            if st.spill.is_some() && self.max_eo_depth() <= low {
+                st.active = false;
+                let _ = self.drain_spill_locked(gid, &mut st);
+            }
+        }
+    }
+
+    /// Drain quarantined-fault events from the EOs onto `tcq$errors`.
+    /// Events are consumed even when the stream is unregistered (metrics
+    /// off), so the channel never accumulates unboundedly.
+    fn pump_errors(&self) {
+        let events: Vec<ErrorEvent> = self.errors_rx.lock().unwrap().try_iter().collect();
+        if events.is_empty() {
+            return;
+        }
+        let Some(gid) = self.by_name.read().unwrap().get("tcq$errors").copied() else {
+            return;
+        };
+        let ts = self.streams.read().unwrap()[gid].clock.tick();
+        let rows: Vec<Tuple> = events
+            .into_iter()
+            .map(|e| {
+                Tuple::new(
+                    vec![
+                        Value::Int(e.query as i64),
+                        Value::str(e.operator),
+                        Value::str(e.payload),
+                    ],
+                    ts,
+                )
+            })
+            .collect();
+        let _ = self.ingest_batch(gid, rows);
     }
 
     /// Build and ingest one row set per introspection stream. `tcq$queues`
@@ -614,12 +1124,13 @@ impl Inner {
         let Some(registry) = &self.metrics else {
             return;
         };
-        let (q_gid, o_gid, f_gid) = {
+        let (q_gid, o_gid, f_gid, s_gid) = {
             let by_name = self.by_name.read().unwrap();
             (
                 by_name.get("tcq$queues").copied(),
                 by_name.get("tcq$operators").copied(),
                 by_name.get("tcq$flux").copied(),
+                by_name.get("tcq$shed").copied(),
             )
         };
         if let Some(gid) = q_gid {
@@ -675,6 +1186,42 @@ impl Inner {
         if let Some(gid) = f_gid {
             flat(gid, &["flux"]);
         }
+        // Live degradation rows: only streams that can shed (non-Block
+        // policy) or already did, so a healthy engine emits nothing.
+        if let Some(gid) = s_gid {
+            let rows = {
+                let streams = self.streams.read().unwrap();
+                let ts = streams[gid].clock.tick();
+                let mut rows = Vec::new();
+                for rt in streams.iter() {
+                    let st = rt.shed.lock().unwrap();
+                    if st.policy.is_block() && st.shed == 0 && st.spilled == 0 {
+                        continue;
+                    }
+                    for (metric, value) in [
+                        ("shed", st.shed as i64),
+                        ("spilled", st.spilled as i64),
+                        ("reingested", st.reingested as i64),
+                        ("spill_pending", st.spill_pending() as i64),
+                        ("active", st.active as i64),
+                    ] {
+                        rows.push(Tuple::new(
+                            vec![
+                                Value::str(st.lname.clone()),
+                                Value::str(st.policy.name()),
+                                Value::str(metric),
+                                Value::Int(value),
+                            ],
+                            ts,
+                        ));
+                    }
+                }
+                rows
+            };
+            let _ = self.ingest_batch(gid, rows);
+        }
+        // Quarantined faults ride the same emission point.
+        self.pump_errors();
     }
 
     /// Fan a punctuation out to every EO.

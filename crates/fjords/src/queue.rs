@@ -348,6 +348,34 @@ impl<T> Fjord<T> {
         }
     }
 
+    /// Evict up to `max` of the oldest buffered items matching `pred`,
+    /// scanning front (oldest) to back, under one lock acquisition.
+    /// Evicted items count as dequeued, so the conservation invariant
+    /// `enqueued == dequeued + depth` is preserved; producers blocked on
+    /// a full queue are woken by the freed space. This is the
+    /// `DropOldest` shedding primitive: triage evicts stale queued work
+    /// to make room for fresh arrivals.
+    pub fn evict_oldest_where<F: FnMut(&T) -> bool>(&self, max: usize, mut pred: F) -> Vec<T> {
+        if max == 0 {
+            return Vec::new();
+        }
+        let mut inner = self.lock_deq();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < inner.items.len() && out.len() < max {
+            if pred(&inner.items[i]) {
+                out.push(inner.items.remove(i).unwrap());
+            } else {
+                i += 1;
+            }
+        }
+        let n = out.len();
+        self.shared.dequeued.fetch_add(n as u64, Ordering::Relaxed);
+        drop(inner);
+        self.wake_producers(n);
+        out
+    }
+
     /// Signal end of stream. Buffered items remain dequeueable; further
     /// enqueues are rejected; blocked endpoints wake up.
     pub fn close(&self) {
@@ -815,6 +843,32 @@ mod tests {
         assert_eq!(snap.value("queues", "test.q", "capacity"), Some(8));
         assert_eq!(snap.value("queues", "test.q", "enqueued"), Some(3));
         assert_eq!(snap.value("queues", "test.q", "dequeued"), Some(1));
+    }
+
+    #[test]
+    fn evict_oldest_where_removes_matching_prefix_in_order() {
+        let q: Fjord<i32> = Fjord::with_capacity(8);
+        assert!(q.enqueue_many(vec![1, 2, 3, 4, 5, 6]).is_ok());
+        // Evict up to 3 odd items: the three oldest odds, order kept.
+        assert_eq!(q.evict_oldest_where(3, |x| x % 2 == 1), vec![1, 3, 5]);
+        assert_eq!(q.dequeue_up_to(10), DequeueResult::Item(vec![2, 4, 6]));
+        let (s, depth) = q.stats_and_depth();
+        assert_eq!(s.enqueued, 6);
+        assert_eq!(s.dequeued, 6, "evicted items count as dequeued");
+        assert_eq!(depth, 0);
+        assert!(q.evict_oldest_where(0, |_| true).is_empty());
+    }
+
+    #[test]
+    fn evict_oldest_where_wakes_blocked_producer() {
+        let q: Fjord<i32> = Fjord::with_capacity(1);
+        q.try_enqueue(1);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.enqueue_blocking(2));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.evict_oldest_where(1, |_| true), vec![1]);
+        assert!(h.join().unwrap().is_ok());
+        assert_eq!(q.try_dequeue(), DequeueResult::Item(2));
     }
 
     #[test]

@@ -62,6 +62,9 @@ pub struct AsyncIndexJoin {
     next_req: u64,
     stats: AsyncIndexStats,
     caching: bool,
+    /// Mirrors `source.pending()` after every submit/poll when bound via
+    /// [`AsyncIndexJoin::bind_metrics`].
+    pending_gauge: Option<std::sync::Arc<tcq_metrics::Gauge>>,
 }
 
 impl AsyncIndexJoin {
@@ -83,6 +86,28 @@ impl AsyncIndexJoin {
             next_req: 0,
             stats: AsyncIndexStats::default(),
             caching: true,
+            pending_gauge: None,
+        }
+    }
+
+    /// Register a `pending_lookups` gauge under the `stems` metrics
+    /// family and keep it in sync with the index's in-flight lookup
+    /// count. Bound to a server's registry, the reading surfaces on the
+    /// `tcq$operators` introspection stream.
+    pub fn bind_metrics(&mut self, registry: &tcq_metrics::Registry, instance: &str) {
+        let g = registry.gauge("stems", instance, "pending_lookups");
+        g.set(self.source.pending() as i64);
+        self.pending_gauge = Some(g);
+    }
+
+    /// Submitted-but-unanswered remote lookups.
+    pub fn pending_lookups(&self) -> usize {
+        self.source.pending()
+    }
+
+    fn sync_pending_gauge(&self) {
+        if let Some(g) = &self.pending_gauge {
+            g.set(self.source.pending() as i64);
         }
     }
 
@@ -140,6 +165,7 @@ impl AsyncIndexJoin {
         self.in_flight_keys.insert(key, req);
         self.source.submit(req, key_vals);
         self.stats.index_lookups += 1;
+        self.sync_pending_gauge();
         Vec::new()
     }
 
@@ -201,6 +227,7 @@ impl AsyncIndexJoin {
                 }
             }
         }
+        self.sync_pending_gauge();
         out
     }
 
@@ -355,6 +382,32 @@ mod tests {
         assert!(j.push_probe(Tuple::at_seq(vec![Value::Null], 1)).is_empty());
         assert_eq!(j.parked(), 0);
         assert_eq!(j.stats().index_lookups, 0);
+    }
+
+    #[test]
+    fn pending_gauge_tracks_inflight_lookups() {
+        let reg = tcq_metrics::Registry::new();
+        let mut j = make_join(2);
+        j.bind_metrics(&reg, "join0");
+        assert_eq!(
+            reg.snapshot().value("stems", "join0", "pending_lookups"),
+            Some(0)
+        );
+        j.push_probe(Tuple::at_seq(vec![Value::Int(1)], 1));
+        j.push_probe(Tuple::at_seq(vec![Value::Int(2)], 2));
+        assert_eq!(
+            reg.snapshot().value("stems", "join0", "pending_lookups"),
+            Some(2)
+        );
+        assert_eq!(j.pending_lookups(), 2);
+        for _ in 0..4 {
+            j.poll();
+        }
+        assert_eq!(
+            reg.snapshot().value("stems", "join0", "pending_lookups"),
+            Some(0)
+        );
+        assert_eq!(j.pending_lookups(), 0);
     }
 
     #[test]

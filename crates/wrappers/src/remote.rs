@@ -50,6 +50,13 @@ impl SimulatedRemoteIndex {
     pub fn lookups(&self) -> u64 {
         self.lookups
     }
+
+    /// Submitted-but-unanswered lookups — inherent mirror of
+    /// [`IndexSource::pending`] so callers reading the gauge don't need
+    /// the trait in scope.
+    pub fn pending(&self) -> usize {
+        self.in_flight.len()
+    }
 }
 
 impl IndexSource for SimulatedRemoteIndex {

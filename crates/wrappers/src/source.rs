@@ -1,11 +1,30 @@
 //! The ingress Source interface and basic adapters.
 
+use std::fmt;
 use std::fs::File;
 use std::io::{BufRead, BufReader};
 use std::path::Path;
 
+use tcq_common::rng::SplitMix64;
 use tcq_common::{Clock, DataType, Result, Schema, TcqError, Tuple, Value};
 use tcq_fjords::{DequeueResult, Fjord};
+
+/// A failure reported by [`Source::try_poll`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// A recoverable fault (network blip, remote hiccup): the Wrapper
+    /// retries the source with exponential backoff instead of detaching
+    /// it.
+    Transient(String),
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::Transient(msg) => write!(f, "transient source error: {msg}"),
+        }
+    }
+}
 
 /// A non-blocking tuple source. `poll` returns whatever is ready (up to
 /// `max` tuples) and must never block — "an overarching principle of
@@ -14,12 +33,78 @@ pub trait Source: Send {
     /// Fetch up to `max` ready tuples.
     fn poll(&mut self, max: usize) -> Vec<Tuple>;
 
+    /// Fetch up to `max` ready tuples, reporting transient faults to the
+    /// caller. The default delegates to [`Source::poll`]; fallible
+    /// sources override this and the Wrapper drives retry/backoff off
+    /// the error.
+    fn try_poll(&mut self, max: usize) -> std::result::Result<Vec<Tuple>, SourceError> {
+        Ok(self.poll(max))
+    }
+
     /// Whether the source can never produce again.
     fn is_exhausted(&self) -> bool;
 
     /// Source name for diagnostics.
     fn name(&self) -> &str {
         "source"
+    }
+}
+
+/// A source wrapper that injects deterministic transient faults: each
+/// `try_poll` fails with probability `fail_rate`, drawn from a seeded
+/// SplitMix64 stream. Drives the Wrapper retry/backoff tests the same
+/// way the Flux fault schedules drive recovery tests.
+pub struct FlakySource<S: Source> {
+    inner: S,
+    rng: SplitMix64,
+    fail_rate: f64,
+    name: String,
+    failures: u64,
+}
+
+impl<S: Source> FlakySource<S> {
+    /// Wrap `inner`, failing each poll with probability `fail_rate`.
+    pub fn new(inner: S, seed: u64, fail_rate: f64) -> FlakySource<S> {
+        let name = format!("flaky({})", inner.name());
+        FlakySource {
+            inner,
+            rng: SplitMix64::new(seed),
+            fail_rate,
+            name,
+            failures: 0,
+        }
+    }
+
+    /// How many transient failures have been injected so far.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+}
+
+impl<S: Source> Source for FlakySource<S> {
+    fn poll(&mut self, max: usize) -> Vec<Tuple> {
+        // Infallible view: a fault round yields no tuples (the inner
+        // source is not polled, so nothing is lost).
+        self.try_poll(max).unwrap_or_default()
+    }
+
+    fn try_poll(&mut self, max: usize) -> std::result::Result<Vec<Tuple>, SourceError> {
+        if self.rng.next_f64() < self.fail_rate {
+            self.failures += 1;
+            return Err(SourceError::Transient(format!(
+                "injected fault #{} in {}",
+                self.failures, self.name
+            )));
+        }
+        Ok(self.inner.poll(max))
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.inner.is_exhausted()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -295,5 +380,63 @@ mod tests {
     #[test]
     fn csv_missing_file_errors() {
         assert!(CsvSource::open("/nonexistent/x.csv", csv_schema()).is_err());
+    }
+
+    #[test]
+    fn flaky_source_faults_deterministically_and_loses_nothing() {
+        let make = || {
+            let tuples: Vec<Tuple> = (0..20)
+                .map(|i| Tuple::at_seq(vec![Value::Int(i)], i))
+                .collect();
+            FlakySource::new(IterSource::new("it", tuples.into_iter()), 42, 0.5)
+        };
+        let mut a = make();
+        let mut got = Vec::new();
+        let mut failures = 0;
+        while !a.is_exhausted() {
+            match a.try_poll(4) {
+                Ok(ts) => got.extend(ts),
+                Err(SourceError::Transient(_)) => failures += 1,
+            }
+        }
+        assert_eq!(got.len(), 20, "faulted rounds never consume inner tuples");
+        assert!(failures > 0, "fail_rate 0.5 must fire across many rounds");
+        assert_eq!(a.failures(), failures);
+
+        // Same seed → identical fault schedule.
+        let mut b = make();
+        let mut b_failures = 0;
+        while !b.is_exhausted() {
+            if b.try_poll(4).is_err() {
+                b_failures += 1;
+            }
+        }
+        assert_eq!(b_failures, failures);
+        assert!(a.name().contains("flaky"));
+    }
+
+    #[test]
+    fn flaky_source_infallible_poll_swallows_faults() {
+        let tuples: Vec<Tuple> = (0..8)
+            .map(|i| Tuple::at_seq(vec![Value::Int(i)], i))
+            .collect();
+        let mut s = FlakySource::new(IterSource::new("it", tuples.into_iter()), 7, 0.5);
+        let mut got = 0;
+        for _ in 0..200 {
+            got += s.poll(4).len();
+            if s.is_exhausted() {
+                break;
+            }
+        }
+        assert_eq!(got, 8);
+    }
+
+    #[test]
+    fn default_try_poll_delegates_to_poll() {
+        let tuples: Vec<Tuple> = (0..3)
+            .map(|i| Tuple::at_seq(vec![Value::Int(i)], i))
+            .collect();
+        let mut s = IterSource::new("it", tuples.into_iter());
+        assert_eq!(s.try_poll(10).unwrap().len(), 3);
     }
 }

@@ -493,6 +493,69 @@ proptest! {
         }
     }
 
+    /// Overload triage conserves tuples: whatever the shed policy, load,
+    /// and seed, once the spill backlog is empty every ingested tuple is
+    /// either delivered to the client or counted shed — none vanish and
+    /// none are double-counted (`ingested == delivered + shed +
+    /// spill_pending` at quiesce).
+    #[test]
+    fn shed_conservation_across_policies(
+        n in 50i64..200,
+        policy_pick in 0u8..5,
+        seed in 0u64..1000,
+    ) {
+        use tcq::ShedPolicy;
+        let policy = match policy_pick {
+            0 => ShedPolicy::Block,
+            1 => ShedPolicy::DropNewest,
+            2 => ShedPolicy::DropOldest,
+            3 => ShedPolicy::Sample { rate: 0.35 },
+            _ => ShedPolicy::Spill,
+        };
+        let server = tcq::Server::start(tcq::Config {
+            executor_threads: 1,
+            input_queue: 8,
+            batch_size: 1,
+            eo_batch_delay: Some(std::time::Duration::from_micros(200)),
+            result_buffer: 4096,
+            seed,
+            shed_policy: policy,
+            ..tcq::Config::default()
+        })
+        .expect("server starts");
+        server
+            .register_stream(
+                "s",
+                tcq_common::Schema::qualified(
+                    "s",
+                    vec![tcq_common::Field::new("seq", tcq_common::DataType::Int)],
+                ),
+            )
+            .expect("stream registers");
+        let q = server.submit("SELECT seq FROM s WHERE seq >= 0").expect("query submits");
+        for i in 1..=n {
+            server.push_at("s", vec![Value::Int(i)], i).expect("push succeeds");
+        }
+        // Quiesce: wait out any in-flight spill episodes, then barrier.
+        let start = std::time::Instant::now();
+        while server.shed_stats("s").unwrap().spill_pending > 0 {
+            prop_assert!(
+                start.elapsed() < std::time::Duration::from_secs(30),
+                "spill backlog never drained"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        server.sync();
+        let st = server.shed_stats("s").unwrap();
+        let delivered: u64 = q.drain().iter().map(|set| set.rows.len() as u64).sum();
+        prop_assert!(
+            n as u64 == delivered + st.shed + st.spill_pending,
+            "policy {:?}: n {} delivered {} shed {} pending {}",
+            policy, n, delivered, st.shed, st.spill_pending
+        );
+        server.shutdown();
+    }
+
     /// Juggle is a permutation: nothing dropped, nothing invented.
     #[test]
     fn juggle_is_a_permutation(

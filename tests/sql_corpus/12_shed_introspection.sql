@@ -1,0 +1,1 @@
+SELECT stream, policy, value FROM tcq$shed WHERE metric = 'shed' AND value > 0

@@ -1,0 +1,1 @@
+SELECT qid, operator, payload FROM tcq$errors WHERE operator = 'shared_filter'

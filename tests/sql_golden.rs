@@ -81,6 +81,31 @@ fn catalog() -> Catalog {
         )
         .unwrap();
     }
+    c.register_stream(
+        "tcq$shed",
+        Schema::qualified(
+            "tcq$shed",
+            vec![
+                Field::new("stream", DataType::Str),
+                Field::new("policy", DataType::Str),
+                Field::new("metric", DataType::Str),
+                Field::new("value", DataType::Int),
+            ],
+        ),
+    )
+    .unwrap();
+    c.register_stream(
+        "tcq$errors",
+        Schema::qualified(
+            "tcq$errors",
+            vec![
+                Field::new("qid", DataType::Int),
+                Field::new("operator", DataType::Str),
+                Field::new("payload", DataType::Str),
+            ],
+        ),
+    )
+    .unwrap();
     c
 }
 
