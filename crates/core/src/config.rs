@@ -75,6 +75,18 @@ pub struct Config {
     /// load-simulation knob for overload experiments (E12) and tests.
     /// `None` (the default) adds nothing to the hot path.
     pub eo_batch_delay: Option<std::time::Duration>,
+    /// Deterministic single-threaded stepping (the simulation harness).
+    ///
+    /// When on, `Server::start` spawns no Wrapper or Executor threads;
+    /// the caller advances the engine explicitly via
+    /// `Server::sim_step_wrapper` / `Server::sim_step_eo` (or lets
+    /// `sync`/`drain_sources` run components to quiescence inline).
+    /// Virtual time replaces wall time: one Wrapper poll round is one
+    /// virtual millisecond, so `introspect_tick` and source
+    /// retry/backoff delays are counted in rounds, `eo_batch_delay`
+    /// never sleeps, and the whole run is a pure function of
+    /// `(config, inputs)` — the property `crates/sim` replays on.
+    pub step_mode: bool,
 }
 
 impl Default for Config {
@@ -96,6 +108,7 @@ impl Default for Config {
             shed_low_frac: 0.25,
             source_retry_max: 5,
             eo_batch_delay: None,
+            step_mode: false,
         }
     }
 }

@@ -401,7 +401,11 @@ impl ExecutionObject {
         let timer = self.batch_hist.as_ref().map(|_| std::time::Instant::now());
         if let Some(delay) = self.config.eo_batch_delay {
             // Load-simulation knob: pretend each batch costs this much.
-            std::thread::sleep(delay);
+            // Step mode never sleeps — backlog arises naturally there
+            // because nothing drains an EO until it is stepped.
+            if !self.config.step_mode {
+                std::thread::sleep(delay);
+            }
         }
         let hw = self.high_water.entry(stream).or_insert(i64::MIN);
         for t in &tuples {
@@ -595,9 +599,9 @@ impl ExecutionObject {
     }
 
     /// A window is released when, for every windowed stream, its right
-    /// end is provably complete: a strictly later tuple has arrived
-    /// (timestamps are per-stream monotone, so a later tick proves
-    /// earlier ticks are closed), or a punctuation covers it.
+    /// end is provably complete per [`tcq_windows::right_released`] —
+    /// the same rule the simulation oracle applies, so engine and
+    /// reference model agree on when an instant fires.
     fn window_released(&self, wq: &WindowedQuery, t: i64) -> bool {
         let seq = wq.plan.window.as_ref().expect("windowed");
         for (pos, bs) in wq.plan.streams.iter().enumerate() {
@@ -611,7 +615,7 @@ impl ExecutionObject {
             let gid = wq.stream_ids[pos];
             let hw = self.high_water.get(&gid).copied().unwrap_or(i64::MIN);
             let punct = self.punctuated.get(&gid).copied().unwrap_or(i64::MIN);
-            if hw <= right.ticks() && punct < right.ticks() {
+            if !tcq_windows::right_released(right.ticks(), hw, punct) {
                 return false;
             }
         }

@@ -13,7 +13,7 @@ use tcq_common::rng::SplitMix64;
 use tcq_common::{
     Catalog, Clock, DataType, Field, Result, Schema, ShedPolicy, TcqError, Timestamp, Tuple, Value,
 };
-use tcq_fjords::{DequeueResult, Fjord};
+use tcq_fjords::{DequeueResult, EnqueueResult, Fjord};
 use tcq_metrics::{tcq_trace, Registry};
 use tcq_sql::Planner;
 use tcq_storage::{BufferPool, Replacement, Spooler, StreamArchive};
@@ -72,12 +72,12 @@ struct ShedState {
 }
 
 impl ShedState {
-    fn new(lname: String, policy: ShedPolicy, seed: u64) -> ShedState {
+    fn new(lname: String, policy: ShedPolicy, rng: SplitMix64) -> ShedState {
         ShedState {
             lname,
             policy,
             active: false,
-            rng: SplitMix64::new(seed),
+            rng,
             spill: None,
             spill_dir: None,
             spill_seq: 0,
@@ -111,6 +111,209 @@ pub struct ShedStats {
     pub spill_pending: u64,
 }
 
+/// One ingress source hosted by the Wrapper loop.
+struct WrapperSource {
+    gid: usize,
+    src: Box<dyn Source>,
+    /// Consecutive transient failures.
+    failures: u32,
+    /// Poll rounds left to skip (backoff; one idle thread round is
+    /// ~200µs of wall time, one step-mode round is 1 virtual ms).
+    skip_rounds: u64,
+}
+
+/// Outcome of one Wrapper poll round.
+enum WrapperStep {
+    /// The round ran and produced this many source tuples.
+    Ran(usize),
+    /// The control channel is gone or shutdown was requested.
+    Stopped,
+}
+
+/// The Wrapper's ingest loop, factored out of its thread so the
+/// simulation harness (`Config::step_mode`) can drive it one round at a
+/// time. A poll round is the engine's virtual-time unit: 1 round == 1
+/// virtual millisecond, so source backoff timers and `introspect_tick`
+/// count rounds in step mode and wall time on the thread.
+struct WrapperLoop {
+    sources: Vec<WrapperSource>,
+    pending: Vec<Tuple>,
+    retry_rng: SplitMix64,
+    batch_size: usize,
+    retry_max: u32,
+    introspect_tick: Option<std::time::Duration>,
+    last_emit: std::time::Instant,
+    /// Completed poll rounds — the virtual clock.
+    rounds: u64,
+    last_emit_round: u64,
+}
+
+impl WrapperLoop {
+    fn new(config: &Config) -> WrapperLoop {
+        WrapperLoop {
+            sources: Vec::new(),
+            pending: Vec::with_capacity(config.batch_size.max(1)),
+            retry_rng: SplitMix64::derive(config.seed, "wrapper.backoff", 0),
+            batch_size: config.batch_size.max(1),
+            retry_max: config.source_retry_max,
+            introspect_tick: config.introspect_tick.filter(|_| config.metrics),
+            last_emit: std::time::Instant::now(),
+            rounds: 0,
+            last_emit_round: 0,
+        }
+    }
+
+    /// One poll round: accept attaches, poll every ready source
+    /// non-blockingly, stamp + archive + fan out tuples, punctuate
+    /// streams whose last source finished, re-ingest drained spills,
+    /// surface quarantined faults, and emit introspection on the tick.
+    /// Transient source faults retry with seeded-jitter exponential
+    /// backoff, giving up past `source_retry_max`.
+    fn poll_round(&mut self, inner: &Inner, rx: &Receiver<WrapperMsg>) -> WrapperStep {
+        // Accept new sources.
+        loop {
+            match rx.try_recv() {
+                Ok(WrapperMsg::Attach(gid, src)) => {
+                    self.sources.push(WrapperSource {
+                        gid,
+                        src,
+                        failures: 0,
+                        skip_rounds: 0,
+                    });
+                    // Un-idle BEFORE acknowledging the attach: once
+                    // `pending_attach` hits zero a stale idle flag must
+                    // already read false.
+                    inner.wrapper_idle.store(false, Ordering::Release);
+                    inner.pending_attach.fetch_sub(1, Ordering::Release);
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return WrapperStep::Stopped,
+            }
+        }
+        if inner.shutting_down.load(Ordering::Acquire) {
+            return WrapperStep::Stopped;
+        }
+        let mut produced = 0usize;
+        let mut exhausted_gids: Vec<usize> = Vec::new();
+        let batch_size = self.batch_size;
+        let retry_max = self.retry_max;
+        let pending = &mut self.pending;
+        let retry_rng = &mut self.retry_rng;
+        self.sources.retain_mut(|ws| {
+            if ws.skip_rounds > 0 {
+                // Backing off after a transient failure.
+                ws.skip_rounds -= 1;
+                return true;
+            }
+            let batch = match ws.src.try_poll(batch_size.max(256)) {
+                Ok(batch) => {
+                    ws.failures = 0;
+                    batch
+                }
+                Err(SourceError::Transient(msg)) => {
+                    ws.failures += 1;
+                    if let Some(r) = &inner.metrics {
+                        r.counter("wrapper", ws.src.name(), "retries").inc();
+                    }
+                    if ws.failures > retry_max {
+                        // Give up: detach and punctuate like an
+                        // exhausted source so standing windows still
+                        // close and drain_sources completes.
+                        if let Some(r) = &inner.metrics {
+                            r.counter("wrapper", ws.src.name(), "give_ups").inc();
+                        }
+                        eprintln!(
+                            "tcq-wrapper: giving up on source {} after {} transient failures ({msg})",
+                            ws.src.name(),
+                            ws.failures
+                        );
+                        exhausted_gids.push(ws.gid);
+                        return false;
+                    }
+                    // Exponential backoff with seeded jitter:
+                    // 2^(k-1) .. 2^k idle rounds.
+                    let base = 1u64 << (ws.failures - 1).min(16);
+                    ws.skip_rounds = base + retry_rng.next_below(base.max(1));
+                    return true;
+                }
+            };
+            produced += batch.len();
+            // Accumulate into batches of `batch_size`, always flushing
+            // before moving to the next source and before
+            // punctuation/idle — batching amortizes queue and archive
+            // locks without delaying window releases or reordering
+            // timestamps.
+            for t in batch {
+                pending.push(t);
+                if pending.len() >= batch_size {
+                    // Ingest failures (e.g. out-of-order source) drop
+                    // the batch; the source stays attached.
+                    let _ = inner.ingest_batch(ws.gid, std::mem::take(pending));
+                }
+            }
+            if !pending.is_empty() {
+                let _ = inner.ingest_batch(ws.gid, std::mem::take(pending));
+            }
+            let keep = !ws.src.is_exhausted();
+            if !keep {
+                exhausted_gids.push(ws.gid);
+            }
+            keep
+        });
+        // When a stream's last source finishes, punctuate at the stream
+        // clock: its final windows can close.
+        for gid in exhausted_gids {
+            if !self.sources.iter().any(|ws| ws.gid == gid) {
+                let ticks = inner.streams.read().unwrap()[gid].clock.now().ticks();
+                let _ = inner.punctuate_gid(gid, ticks);
+            }
+        }
+        // Re-ingest any spill episode whose queues have drained below
+        // the low watermark, and surface quarantined faults onto
+        // `tcq$errors`.
+        inner.drain_idle_spills();
+        inner.pump_errors();
+        self.rounds += 1;
+        // Emit introspection rows on the configured tick. These do not
+        // count as source production, so idle detection and
+        // drain_sources timing are unchanged.
+        if let Some(tick) = self.introspect_tick {
+            if inner.config.step_mode {
+                let every = (tick.as_millis() as u64).max(1);
+                if self.rounds - self.last_emit_round >= every {
+                    inner.emit_introspection();
+                    self.last_emit_round = self.rounds;
+                }
+            } else if self.last_emit.elapsed() >= tick {
+                inner.emit_introspection();
+                self.last_emit = std::time::Instant::now();
+            }
+        }
+        inner
+            .wrapper_ingested
+            .fetch_add(produced as u64, Ordering::Relaxed);
+        let idle = produced == 0;
+        inner.wrapper_idle.store(
+            (idle && self.sources.iter().all(|ws| ws.src.is_exhausted())
+                || self.sources.is_empty())
+                && inner.spill_pending.load(Ordering::Relaxed) == 0,
+            Ordering::Release,
+        );
+        WrapperStep::Ran(produced)
+    }
+}
+
+/// Single-threaded simulation state (`Config::step_mode`): the Wrapper
+/// loop and every Execution Object live behind mutexes on the `Inner`
+/// instead of on their own threads, and the harness advances them one
+/// deterministic step at a time via `Server::sim_step_wrapper` /
+/// `Server::sim_step_eo`.
+struct SimState {
+    wrapper: Mutex<WrapperLoop>,
+    wrapper_rx: Mutex<Receiver<WrapperMsg>>,
+    eos: Vec<Mutex<ExecutionObject>>,
+}
+
 struct Inner {
     config: Config,
     catalog: Catalog,
@@ -136,6 +339,12 @@ struct Inner {
     errors_rx: Mutex<Receiver<ErrorEvent>>,
     shutting_down: AtomicBool,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Present iff `Config::step_mode`: the thread-less engine the
+    /// simulation harness steps explicitly. Declared before `_spooler`:
+    /// the parked EOs hold `ArchiveSet` clones (live spooler senders),
+    /// and `Spooler::drop` joins its thread, which only exits once
+    /// every sender is gone — so the EOs must drop first.
+    sim: Option<SimState>,
     _spooler: Spooler,
     archive_root: PathBuf,
     _pool: Arc<Mutex<BufferPool>>,
@@ -186,10 +395,14 @@ impl Server {
             .as_ref()
             .map(|r| r.histogram("wrapper", "ingest", "batch_us"));
 
-        // Executor: one input queue + thread per EO.
+        // Executor: one input queue per EO; in threaded mode each EO
+        // also gets its own thread, in step mode the EO objects are
+        // parked behind mutexes for explicit stepping.
+        let step_mode = config.step_mode;
         let (errors_tx, errors_rx) = channel::<ErrorEvent>();
         let mut eo_inputs = Vec::with_capacity(config.executor_threads.max(1));
         let mut threads = Vec::new();
+        let mut sim_eos = Vec::new();
         for eo_id in 0..config.executor_threads.max(1) {
             let input: Fjord<ExecMsg> = Fjord::with_capacity(config.input_queue);
             if let Some(registry) = &metrics {
@@ -203,6 +416,10 @@ impl Server {
                 metrics.clone(),
                 errors_tx.clone(),
             );
+            if step_mode {
+                sim_eos.push(Mutex::new(eo));
+                continue;
+            }
             // Drain the input queue in waves: one lock acquisition can
             // hand the EO up to 64 messages (each itself a batch of
             // tuples), so queue overhead stays off the per-tuple path.
@@ -224,6 +441,12 @@ impl Server {
         }
 
         let (wrapper_tx, wrapper_rx) = channel::<WrapperMsg>();
+        let mut wrapper_rx = Some(wrapper_rx);
+        let sim = step_mode.then(|| SimState {
+            wrapper: Mutex::new(WrapperLoop::new(&config)),
+            wrapper_rx: Mutex::new(wrapper_rx.take().expect("unmoved in step mode")),
+            eos: sim_eos,
+        });
         let inner = Arc::new(Inner {
             config,
             catalog,
@@ -247,167 +470,31 @@ impl Server {
             _pool: pool,
             metrics,
             ingest_hist,
+            sim,
         });
 
-        // The Wrapper thread: hosts ingress sources, polls them
-        // non-blockingly, stamps + archives + fans out tuples; on
-        // transient source faults it retries with seeded-jitter
-        // exponential backoff, giving up past `source_retry_max`.
-        let wrapper_inner = inner.clone();
-        let wrapper = std::thread::Builder::new()
-            .name("tcq-wrapper".into())
-            .spawn(move || {
-                struct WrapperSource {
-                    gid: usize,
-                    src: Box<dyn Source>,
-                    /// Consecutive transient failures.
-                    failures: u32,
-                    /// Poll rounds left to skip (backoff; one idle round
-                    /// is ~200µs).
-                    skip_rounds: u64,
-                }
-                let mut sources: Vec<WrapperSource> = Vec::new();
-                let batch_size = wrapper_inner.config.batch_size.max(1);
-                let retry_max = wrapper_inner.config.source_retry_max;
-                let mut retry_rng = SplitMix64::new(wrapper_inner.config.seed ^ 0x5eed_baff);
-                let mut pending: Vec<Tuple> = Vec::with_capacity(batch_size);
-                let introspect_tick = wrapper_inner
-                    .config
-                    .introspect_tick
-                    .filter(|_| wrapper_inner.config.metrics);
-                let mut last_emit = std::time::Instant::now();
-                loop {
-                    // Accept new sources.
+        // The Wrapper thread drives the factored-out ingest loop; in
+        // step mode the harness drives the same loop inline instead.
+        if !step_mode {
+            let wrapper_inner = inner.clone();
+            let wrapper_rx = wrapper_rx.take().expect("unmoved in threaded mode");
+            let wrapper = std::thread::Builder::new()
+                .name("tcq-wrapper".into())
+                .spawn(move || {
+                    let mut lp = WrapperLoop::new(&wrapper_inner.config);
                     loop {
-                        match wrapper_rx.try_recv() {
-                            Ok(WrapperMsg::Attach(gid, src)) => {
-                                sources.push(WrapperSource {
-                                    gid,
-                                    src,
-                                    failures: 0,
-                                    skip_rounds: 0,
-                                });
-                                // Un-idle BEFORE acknowledging the attach:
-                                // once `pending_attach` hits zero a stale
-                                // idle flag must already read false.
-                                wrapper_inner.wrapper_idle.store(false, Ordering::Release);
-                                wrapper_inner.pending_attach.fetch_sub(1, Ordering::Release);
+                        match lp.poll_round(&wrapper_inner, &wrapper_rx) {
+                            WrapperStep::Stopped => return,
+                            WrapperStep::Ran(0) => {
+                                std::thread::sleep(std::time::Duration::from_micros(200));
                             }
-                            Err(TryRecvError::Empty) => break,
-                            Err(TryRecvError::Disconnected) => return,
+                            WrapperStep::Ran(_) => {}
                         }
                     }
-                    if wrapper_inner.shutting_down.load(Ordering::Acquire) {
-                        return;
-                    }
-                    let mut produced = 0usize;
-                    let mut exhausted_gids: Vec<usize> = Vec::new();
-                    sources.retain_mut(|ws| {
-                        if ws.skip_rounds > 0 {
-                            // Backing off after a transient failure.
-                            ws.skip_rounds -= 1;
-                            return true;
-                        }
-                        let batch = match ws.src.try_poll(batch_size.max(256)) {
-                            Ok(batch) => {
-                                ws.failures = 0;
-                                batch
-                            }
-                            Err(SourceError::Transient(msg)) => {
-                                ws.failures += 1;
-                                if let Some(r) = &wrapper_inner.metrics {
-                                    r.counter("wrapper", ws.src.name(), "retries").inc();
-                                }
-                                if ws.failures > retry_max {
-                                    // Give up: detach and punctuate like
-                                    // an exhausted source so standing
-                                    // windows still close and
-                                    // drain_sources completes.
-                                    if let Some(r) = &wrapper_inner.metrics {
-                                        r.counter("wrapper", ws.src.name(), "give_ups").inc();
-                                    }
-                                    eprintln!(
-                                        "tcq-wrapper: giving up on source {} after {} transient failures ({msg})",
-                                        ws.src.name(),
-                                        ws.failures
-                                    );
-                                    exhausted_gids.push(ws.gid);
-                                    return false;
-                                }
-                                // Exponential backoff with seeded jitter:
-                                // 2^(k-1) .. 2^k idle rounds.
-                                let base = 1u64 << (ws.failures - 1).min(16);
-                                ws.skip_rounds = base + retry_rng.next_below(base.max(1));
-                                return true;
-                            }
-                        };
-                        produced += batch.len();
-                        // Accumulate into batches of `batch_size`, always
-                        // flushing before moving to the next source and
-                        // before punctuation/idle — batching amortizes
-                        // queue and archive locks without delaying window
-                        // releases or reordering timestamps.
-                        for t in batch {
-                            pending.push(t);
-                            if pending.len() >= batch_size {
-                                // Ingest failures (e.g. out-of-order
-                                // source) drop the batch; the source
-                                // stays attached.
-                                let _ =
-                                    wrapper_inner.ingest_batch(ws.gid, std::mem::take(&mut pending));
-                            }
-                        }
-                        if !pending.is_empty() {
-                            let _ = wrapper_inner.ingest_batch(ws.gid, std::mem::take(&mut pending));
-                        }
-                        let keep = !ws.src.is_exhausted();
-                        if !keep {
-                            exhausted_gids.push(ws.gid);
-                        }
-                        keep
-                    });
-                    // When a stream's last source finishes, punctuate at
-                    // the stream clock: its final windows can close.
-                    for gid in exhausted_gids {
-                        if !sources.iter().any(|ws| ws.gid == gid) {
-                            let ticks = wrapper_inner.streams.read().unwrap()[gid]
-                                .clock
-                                .now()
-                                .ticks();
-                            let _ = wrapper_inner.punctuate_gid(gid, ticks);
-                        }
-                    }
-                    // Re-ingest any spill episode whose queues have
-                    // drained below the low watermark, and surface
-                    // quarantined faults onto `tcq$errors`.
-                    wrapper_inner.drain_idle_spills();
-                    wrapper_inner.pump_errors();
-                    // Emit introspection rows on the configured tick.
-                    // These do not count as source production, so idle
-                    // detection and drain_sources timing are unchanged.
-                    if let Some(tick) = introspect_tick {
-                        if last_emit.elapsed() >= tick {
-                            wrapper_inner.emit_introspection();
-                            last_emit = std::time::Instant::now();
-                        }
-                    }
-                    wrapper_inner
-                        .wrapper_ingested
-                        .fetch_add(produced as u64, Ordering::Relaxed);
-                    let idle = produced == 0;
-                    wrapper_inner.wrapper_idle.store(
-                        (idle && sources.iter().all(|ws| ws.src.is_exhausted())
-                            || sources.is_empty())
-                            && wrapper_inner.spill_pending.load(Ordering::Relaxed) == 0,
-                        Ordering::Release,
-                    );
-                    if idle {
-                        std::thread::sleep(std::time::Duration::from_micros(200));
-                    }
-                }
-            })
-            .map_err(|e| TcqError::ExecError(e.to_string()))?;
-        inner.threads.lock().unwrap().push(wrapper);
+                })
+                .map_err(|e| TcqError::ExecError(e.to_string()))?;
+            inner.threads.lock().unwrap().push(wrapper);
+        }
 
         let server = Server { inner };
         if server.inner.config.metrics {
@@ -536,7 +623,7 @@ impl Server {
         let shed = Arc::new(Mutex::new(ShedState::new(
             lname.clone(),
             policy,
-            self.inner.config.seed ^ (gid as u64).wrapping_mul(0x9e37_79b9),
+            SplitMix64::derive(self.inner.config.seed, "shed", gid as u64),
         )));
         if let Some(registry) = &self.inner.metrics {
             let shed = shed.clone();
@@ -683,10 +770,8 @@ impl Server {
         );
         // The QPQueue: "plans are then placed in the query plan queue
         // ... the executor continually picks up fresh queries."
-        match self.inner.eo_inputs[eo].enqueue_blocking(ExecMsg::AddQuery(rq)) {
-            tcq_fjords::EnqueueResult::Ok => Ok(QueryHandle::new(id, schema, output, degraded)),
-            _ => Err(TcqError::Closed("executor")),
-        }
+        self.inner.eo_send(eo, ExecMsg::AddQuery(rq))?;
+        Ok(QueryHandle::new(id, schema, output, degraded))
     }
 
     /// Remove a standing query; its handle sees end-of-results.
@@ -698,15 +783,18 @@ impl Server {
             .unwrap()
             .remove(&id)
             .ok_or(TcqError::UnknownQuery(id))?;
-        match self.inner.eo_inputs[meta.eo].enqueue_blocking(ExecMsg::RemoveQuery(id)) {
-            tcq_fjords::EnqueueResult::Ok => Ok(()),
-            _ => Err(TcqError::Closed("executor")),
-        }
+        self.inner.eo_send(meta.eo, ExecMsg::RemoveQuery(id))
     }
 
     /// Wait until every tuple pushed (or submitted query) before this
-    /// call has been fully processed by the executor.
+    /// call has been fully processed by the executor. In step mode this
+    /// runs every EO to an empty input queue inline — the deterministic
+    /// quiesce barrier.
     pub fn sync(&self) {
+        if let Some(sim) = &self.inner.sim {
+            self.inner.sim_quiesce_eos(sim);
+            return;
+        }
         let (tx, rx) = channel();
         let mut expected = 0;
         for input in &self.inner.eo_inputs {
@@ -720,8 +808,32 @@ impl Server {
     }
 
     /// Wait until all attached sources are exhausted and their tuples
-    /// processed. Returns `false` on timeout.
+    /// processed. Returns `false` on timeout. In step mode the timeout
+    /// is counted in virtual milliseconds (Wrapper poll rounds), so the
+    /// call — including its timeout path — is deterministic.
     pub fn drain_sources(&self, timeout: std::time::Duration) -> bool {
+        if let Some(sim) = &self.inner.sim {
+            let rounds = (timeout.as_millis() as u64).max(1);
+            for _ in 0..rounds {
+                let stepped = self.inner.sim_wrapper_round(sim);
+                self.inner.sim_quiesce_eos(sim);
+                if stepped.is_none() {
+                    return false;
+                }
+                if self.inner.pending_attach.load(Ordering::Acquire) == 0
+                    && self.inner.wrapper_idle.load(Ordering::Acquire)
+                {
+                    return true;
+                }
+            }
+            if let Some(r) = &self.inner.metrics {
+                r.counter("wrapper", "server", "drain_timeout").inc();
+            }
+            eprintln!(
+                "tcq-server: drain_sources timed out after {rounds} virtual ms with sources still active"
+            );
+            return false;
+        }
         let start = std::time::Instant::now();
         loop {
             // Order matters: read `pending_attach` first. Observing zero
@@ -751,6 +863,20 @@ impl Server {
     /// Tuples ingested via the Wrapper thread so far.
     pub fn wrapper_ingested(&self) -> u64 {
         self.inner.wrapper_ingested.load(Ordering::Relaxed)
+    }
+
+    /// Scan a stream's archive over `[from, to]` ticks, in arrival
+    /// order — the PSoup-style historical read, and the recorded trace
+    /// the simulation oracle replays (every *admitted* tuple is here;
+    /// tuples the overload policy shed before admission are not).
+    pub fn archive_rows(&self, stream: &str, from: i64, to: i64) -> Result<Vec<Tuple>> {
+        let gid = self.stream_id(stream)?;
+        let archive = self.inner.archives.get(gid);
+        let rows = archive.lock().unwrap().scan(
+            tcq_common::Timestamp::logical(from),
+            tcq_common::Timestamp::logical(to),
+        )?;
+        Ok(rows)
     }
 
     /// Set a stream's overload policy at runtime (recorded in the
@@ -791,10 +917,7 @@ impl Server {
             .get(&id)
             .map(|m| m.eo)
             .ok_or(TcqError::UnknownQuery(id))?;
-        match self.inner.eo_inputs[eo].enqueue_blocking(ExecMsg::InjectPanic(id)) {
-            tcq_fjords::EnqueueResult::Ok => Ok(()),
-            _ => Err(TcqError::Closed("executor")),
-        }
+        self.inner.eo_send(eo, ExecMsg::InjectPanic(id))
     }
 
     /// Lock/throughput counters for each EO input queue, in EO order.
@@ -819,6 +942,75 @@ impl Server {
         self.inner.emit_introspection();
     }
 
+    /// Step mode only: run one Wrapper poll round (one virtual
+    /// millisecond) inline — attach pickup, source polls with
+    /// retry/backoff, exhaustion punctuation, spill re-ingest, error
+    /// pump, introspection tick. Returns the number of source tuples
+    /// produced, or `None` once the Wrapper has stopped (shutdown).
+    pub fn sim_step_wrapper(&self) -> Option<usize> {
+        let sim = self.inner.sim_state("sim_step_wrapper");
+        self.inner.sim_wrapper_round(sim)
+    }
+
+    /// Step mode only: handle up to `max` queued messages on EO `eo`
+    /// inline. Returns how many messages were handled (0 = its input
+    /// queue was empty).
+    pub fn sim_step_eo(&self, eo: usize, max: usize) -> usize {
+        let sim = self.inner.sim_state("sim_step_eo");
+        self.inner.sim_step_eo_locked(sim, eo, max)
+    }
+
+    /// Number of Execution Objects (the valid `sim_step_eo` targets).
+    pub fn num_eos(&self) -> usize {
+        self.inner.eo_inputs.len()
+    }
+
+    /// Step mode only: the Wrapper's virtual clock, in completed poll
+    /// rounds (1 round == 1 virtual millisecond).
+    pub fn sim_virtual_ms(&self) -> u64 {
+        let sim = self.inner.sim_state("sim_virtual_ms");
+        let rounds = sim.wrapper.lock().unwrap().rounds;
+        rounds
+    }
+
+    /// Step mode only: advance the Wrapper and the EOs together until
+    /// the engine is fully settled — sources idle, pending spills
+    /// re-ingested, quarantined errors surfaced, every EO queue empty.
+    /// The deterministic replacement for "sleep until the background
+    /// threads go quiet". Returns `false` if the engine did not settle
+    /// within `max_rounds` virtual milliseconds.
+    pub fn sim_settle(&self, max_rounds: u64) -> bool {
+        let sim = self.inner.sim_state("sim_settle");
+        for _ in 0..max_rounds {
+            let produced = self.inner.sim_wrapper_round(sim).unwrap_or(0);
+            let handled = self.inner.sim_quiesce_eos(sim);
+            if produced == 0
+                && handled == 0
+                && self.inner.spill_pending.load(Ordering::Relaxed) == 0
+                && self.inner.pending_attach.load(Ordering::Acquire) == 0
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Assert the quiesce invariant on every EO input queue: drained
+    /// (`depth == 0`) with balanced traffic counters
+    /// (`enqueued == dequeued + depth`). Call after `sync` /
+    /// `sim_settle`; panics with the offending queue's stats otherwise.
+    pub fn assert_quiescent(&self) {
+        for (i, q) in self.inner.eo_inputs.iter().enumerate() {
+            let (st, depth) = q.stats_and_depth();
+            assert_eq!(
+                st.enqueued,
+                st.dequeued + depth as u64,
+                "eo{i}.input counters unbalanced: {st:?} depth={depth}"
+            );
+            assert_eq!(depth, 0, "eo{i}.input not drained at quiesce: {st:?}");
+        }
+    }
+
     /// Stop all threads, closing every query's results.
     pub fn shutdown(&self) {
         self.inner.shutting_down.store(true, Ordering::Release);
@@ -827,6 +1019,12 @@ impl Server {
         // Close EO inputs; EOs drain and exit.
         for input in &self.inner.eo_inputs {
             input.close();
+        }
+        if let Some(sim) = &self.inner.sim {
+            // No threads to join: run the already-queued work inline so
+            // standing queries still observe everything sent before
+            // shutdown (mirroring the threaded drain-then-exit).
+            self.inner.sim_quiesce_eos(sim);
         }
         let mut threads = self.inner.threads.lock().unwrap();
         for h in threads.drain(..) {
@@ -850,6 +1048,87 @@ impl Server {
 }
 
 impl Inner {
+    /// The step-mode state, or a panic naming the misused API.
+    fn sim_state(&self, caller: &str) -> &SimState {
+        self.sim
+            .as_ref()
+            .unwrap_or_else(|| panic!("Server::{caller} requires Config::step_mode"))
+    }
+
+    /// Route one message to an EO input. On the threaded path a full
+    /// queue blocks (backpressure); in step mode blocking would
+    /// deadlock the single thread, so a full queue is drained inline —
+    /// the same lossless backpressure, scheduled deterministically.
+    fn eo_send(&self, eo: usize, msg: ExecMsg) -> Result<()> {
+        let Some(sim) = &self.sim else {
+            return match self.eo_inputs[eo].enqueue_blocking(msg) {
+                EnqueueResult::Ok => Ok(()),
+                _ => Err(TcqError::Closed("executor")),
+            };
+        };
+        let mut msg = msg;
+        loop {
+            match self.eo_inputs[eo].try_enqueue(msg) {
+                EnqueueResult::Ok => return Ok(()),
+                EnqueueResult::Closed(_) => return Err(TcqError::Closed("executor")),
+                EnqueueResult::Full(m) => {
+                    msg = m;
+                    if self.sim_step_eo_locked(sim, eo, usize::MAX) == 0 {
+                        // Full yet nothing dequeued: the queue must have
+                        // been closed under us. Never spin.
+                        return Err(TcqError::Closed("executor"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Step mode: handle up to `max` queued messages on one EO, inline.
+    fn sim_step_eo_locked(&self, sim: &SimState, eo: usize, max: usize) -> usize {
+        let mut eo_obj = sim.eos[eo].lock().unwrap();
+        let mut handled = 0usize;
+        while handled < max {
+            let want = (max - handled).min(64);
+            match self.eo_inputs[eo].dequeue_up_to(want) {
+                DequeueResult::Item(msgs) => {
+                    handled += msgs.len();
+                    for msg in msgs {
+                        eo_obj.handle(msg);
+                    }
+                }
+                DequeueResult::Empty | DequeueResult::Closed => break,
+            }
+        }
+        handled
+    }
+
+    /// Step mode: run every EO until all input queues are empty (the
+    /// quiesce barrier). Returns the total messages handled.
+    fn sim_quiesce_eos(&self, sim: &SimState) -> usize {
+        let mut total = 0usize;
+        loop {
+            let mut handled = 0usize;
+            for eo in 0..sim.eos.len() {
+                handled += self.sim_step_eo_locked(sim, eo, usize::MAX);
+            }
+            total += handled;
+            if handled == 0 {
+                return total;
+            }
+        }
+    }
+
+    /// Step mode: one Wrapper poll round, inline. Returns the tuples
+    /// produced, or `None` once the Wrapper has stopped.
+    fn sim_wrapper_round(&self, sim: &SimState) -> Option<usize> {
+        let rx = sim.wrapper_rx.lock().unwrap();
+        let mut lp = sim.wrapper.lock().unwrap();
+        match lp.poll_round(self, &rx) {
+            WrapperStep::Ran(n) => Some(n),
+            WrapperStep::Stopped => None,
+        }
+    }
+
     /// The streamer path for a single tuple: a batch of one.
     fn ingest(&self, gid: usize, tuple: Tuple) -> Result<()> {
         self.ingest_batch(gid, vec![tuple])
@@ -899,17 +1178,17 @@ impl Inner {
         self.fan_out(gid, tuples)
     }
 
-    /// Enqueue a batch on every EO input (blocking on full queues).
+    /// Enqueue a batch on every EO input (blocking on full queues on
+    /// the threaded path; inline-draining them in step mode).
     fn fan_out(&self, gid: usize, tuples: Vec<Tuple>) -> Result<()> {
-        for input in &self.eo_inputs {
-            let msg = ExecMsg::Data {
-                stream: gid,
-                tuples: tuples.clone(),
-            };
-            match input.enqueue_blocking(msg) {
-                tcq_fjords::EnqueueResult::Ok => {}
-                _ => return Err(TcqError::Closed("executor")),
-            }
+        for eo in 0..self.eo_inputs.len() {
+            self.eo_send(
+                eo,
+                ExecMsg::Data {
+                    stream: gid,
+                    tuples: tuples.clone(),
+                },
+            )?;
         }
         Ok(())
     }
@@ -1226,11 +1505,8 @@ impl Inner {
 
     /// Fan a punctuation out to every EO.
     fn punctuate_gid(&self, gid: usize, ticks: i64) -> Result<()> {
-        for input in &self.eo_inputs {
-            match input.enqueue_blocking(ExecMsg::Punctuate { stream: gid, ticks }) {
-                tcq_fjords::EnqueueResult::Ok => {}
-                _ => return Err(TcqError::Closed("executor")),
-            }
+        for eo in 0..self.eo_inputs.len() {
+            self.eo_send(eo, ExecMsg::Punctuate { stream: gid, ticks })?;
         }
         Ok(())
     }
@@ -1419,6 +1695,91 @@ mod tests {
         assert_eq!(rows, 100, "50 days x 2 symbols");
         assert_eq!(s.wrapper_ingested(), 100);
         s.shutdown();
+    }
+
+    #[test]
+    fn step_mode_processes_inline_without_threads() {
+        let s = Server::start(Config {
+            step_mode: true,
+            ..Config::default()
+        })
+        .unwrap();
+        s.register_stream("ClosingStockPrices", stock_schema())
+            .unwrap();
+        let h = s
+            .submit("SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > 50.0")
+            .unwrap();
+        quote(&s, 1, "MSFT", 60.0);
+        quote(&s, 2, "MSFT", 40.0);
+        s.sync();
+        s.assert_quiescent();
+        let rows: Vec<Tuple> = h.drain().into_iter().flat_map(|r| r.rows).collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].field(0), &Value::Float(60.0));
+        s.shutdown();
+    }
+
+    #[test]
+    fn step_mode_backpressure_drains_inline() {
+        // A queue of 2 with hundreds of pushes would deadlock a naive
+        // single-threaded enqueue; eo_send must drain inline instead.
+        let s = Server::start(Config {
+            step_mode: true,
+            input_queue: 2,
+            ..Config::default()
+        })
+        .unwrap();
+        s.register_stream("ClosingStockPrices", stock_schema())
+            .unwrap();
+        let h = s
+            .submit("SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > 0.0")
+            .unwrap();
+        for day in 1..=300 {
+            quote(&s, day, "MSFT", day as f64);
+        }
+        s.sync();
+        s.assert_quiescent();
+        let got: usize = h.drain().iter().map(|r| r.rows.len()).sum();
+        assert_eq!(got, 300, "Block backpressure loses nothing in step mode");
+        s.shutdown();
+    }
+
+    #[test]
+    fn step_mode_wrapper_sources_replay_identically() {
+        use tcq_wrappers::StockTicker;
+        let run = || {
+            let s = Server::start(Config {
+                step_mode: true,
+                ..Config::default()
+            })
+            .unwrap();
+            s.register_stream("ClosingStockPrices", stock_schema())
+                .unwrap();
+            let h = s
+                .submit(
+                    "SELECT stockSymbol, closingPrice FROM ClosingStockPrices \
+                         WHERE closingPrice > 0.0",
+                )
+                .unwrap();
+            s.attach_source(
+                "ClosingStockPrices",
+                Box::new(StockTicker::with_symbols(7, vec!["MSFT", "IBM"], Some(50))),
+            )
+            .unwrap();
+            assert!(s.drain_sources(std::time::Duration::from_secs(10)));
+            s.assert_quiescent();
+            let rows: Vec<String> = h
+                .drain()
+                .into_iter()
+                .flat_map(|r| r.rows)
+                .map(|t| format!("{t}"))
+                .collect();
+            s.shutdown();
+            rows
+        };
+        let a = run();
+        assert_eq!(a.len(), 100, "50 days x 2 symbols");
+        assert_eq!(a, run(), "same seed + trace replays byte-identically");
     }
 
     #[test]

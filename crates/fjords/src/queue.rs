@@ -81,6 +81,23 @@ impl FjordStats {
             self.dequeued as f64 / self.deq_locks as f64
         }
     }
+
+    /// Items that entered the queue and have not (yet) left it:
+    /// `enqueued - dequeued`, i.e. the depth implied by the counters.
+    /// A snapshot taken while producers and consumers are running can
+    /// tear between the two loads, so this is only exact at a quiesce
+    /// point (saturating, never negative).
+    pub fn in_flight(&self) -> u64 {
+        self.enqueued.saturating_sub(self.dequeued)
+    }
+
+    /// The conservation law at a quiesce point: every item ever
+    /// enqueued has been dequeued (`enqueued == dequeued + depth` with
+    /// `depth == 0`). The simulation driver and the system tests assert
+    /// this at every settle/sync barrier.
+    pub fn is_quiescent(&self) -> bool {
+        self.in_flight() == 0
+    }
 }
 
 #[derive(Debug)]
@@ -775,6 +792,8 @@ mod tests {
     fn batch_endpoints_amortize_lock_acquisitions() {
         let q: Fjord<i32> = Fjord::with_capacity(1024);
         assert!(q.enqueue_many((0..512).collect()).is_ok());
+        assert_eq!(q.stats().in_flight(), 512);
+        assert!(!q.stats().is_quiescent());
         assert_eq!(
             q.dequeue_up_to(512),
             DequeueResult::Item((0..512).collect())
@@ -786,6 +805,8 @@ mod tests {
         assert_eq!(s.deq_locks, 1);
         assert!((s.avg_enqueue_batch() - 512.0).abs() < f64::EPSILON);
         assert!((s.avg_dequeue_batch() - 512.0).abs() < f64::EPSILON);
+        assert!(s.is_quiescent());
+        assert_eq!(s.in_flight(), 0);
     }
 
     /// The conservation invariant `enqueued == dequeued + depth` must hold

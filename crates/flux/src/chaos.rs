@@ -1,0 +1,152 @@
+//! Seeded fault schedules: deterministic kill/restart/rebalance
+//! decision streams for a [`FluxCluster`](crate::FluxCluster).
+//!
+//! The schedule is pure — it decides *what* to do, the caller applies
+//! it to a cluster and routes the burst — so the same `(seed,
+//! machines)` pair replays the same fault sequence in the
+//! fault-tolerance tests, the simulation harness, and any future chaos
+//! experiment. Randomness comes from the shared
+//! [`SplitMix64::derive`] stream-splitting API under the
+//! `"flux.faults"` domain, so schedule draws never perturb any other
+//! seeded component.
+
+use tcq_common::rng::SplitMix64;
+
+/// One scheduled fault action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Kill this machine (its replicas take over).
+    Kill(usize),
+    /// Restart this previously killed machine (healed from replicas).
+    Restart(usize),
+    /// Trigger a load rebalance.
+    Rebalance,
+    /// Let the burst pass with no fault.
+    Calm,
+}
+
+/// A deterministic fault schedule over a fixed machine set. Each
+/// [`FaultSchedule::next_step`] yields a tuple-burst size and one
+/// action; kills are only issued while more than `min_alive` machines
+/// are up, so a replica always exists to take over.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    rng: SplitMix64,
+    alive: Vec<bool>,
+    min_alive: usize,
+    burst_lo: u64,
+    burst_span: u64,
+}
+
+impl FaultSchedule {
+    /// A schedule for `machines` machines keeping at least `min_alive`
+    /// up, with the default burst of 50–199 tuples between faults.
+    pub fn new(seed: u64, machines: usize, min_alive: usize) -> FaultSchedule {
+        assert!(min_alive >= 1 && min_alive <= machines);
+        FaultSchedule {
+            rng: SplitMix64::derive(seed, "flux.faults", machines as u64),
+            alive: vec![true; machines],
+            min_alive,
+            burst_lo: 50,
+            burst_span: 150,
+        }
+    }
+
+    /// Override the burst range to `lo .. lo + span` tuples.
+    pub fn with_bursts(mut self, lo: u64, span: u64) -> FaultSchedule {
+        self.burst_lo = lo;
+        self.burst_span = span.max(1);
+        self
+    }
+
+    /// Which machines the schedule currently believes are alive.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Draw the next step: `(burst, action)`. The action already
+    /// respects the `min_alive` floor, only kills live machines, and
+    /// only restarts dead ones; apply it to the cluster verbatim.
+    pub fn next_step(&mut self) -> (u64, FaultAction) {
+        let burst = self.burst_lo + self.rng.next_below(self.burst_span);
+        let machines = self.alive.len();
+        let n_alive = self.alive.iter().filter(|a| **a).count();
+        let action = match self.rng.next_below(4) {
+            0 if n_alive > self.min_alive => {
+                let victims: Vec<usize> = (0..machines).filter(|&m| self.alive[m]).collect();
+                let v = victims[self.rng.next_below(victims.len() as u64) as usize];
+                self.alive[v] = false;
+                FaultAction::Kill(v)
+            }
+            1 if n_alive < machines => {
+                let dead: Vec<usize> = (0..machines).filter(|&m| !self.alive[m]).collect();
+                let v = dead[self.rng.next_below(dead.len() as u64) as usize];
+                self.alive[v] = true;
+                FaultAction::Restart(v)
+            }
+            2 => FaultAction::Rebalance,
+            _ => FaultAction::Calm,
+        };
+        (burst, action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replay(seed: u64, steps: usize) -> Vec<(u64, FaultAction)> {
+        let mut s = FaultSchedule::new(seed, 5, 3);
+        (0..steps).map(|_| s.next_step()).collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        assert_eq!(replay(42, 200), replay(42, 200));
+        assert_ne!(replay(42, 200), replay(43, 200));
+    }
+
+    #[test]
+    fn min_alive_floor_is_respected() {
+        let mut s = FaultSchedule::new(7, 5, 3);
+        for _ in 0..1_000 {
+            let (_, action) = s.next_step();
+            let n_alive = s.alive().iter().filter(|a| **a).count();
+            assert!(n_alive >= 3, "floor violated after {action:?}");
+        }
+    }
+
+    #[test]
+    fn kills_and_restarts_target_valid_machines() {
+        let mut s = FaultSchedule::new(9, 4, 2);
+        let mut alive = vec![true; 4];
+        let mut kills = 0;
+        let mut restarts = 0;
+        for _ in 0..1_000 {
+            match s.next_step().1 {
+                FaultAction::Kill(v) => {
+                    assert!(alive[v], "killed an already-dead machine");
+                    alive[v] = false;
+                    kills += 1;
+                }
+                FaultAction::Restart(v) => {
+                    assert!(!alive[v], "restarted a live machine");
+                    alive[v] = true;
+                    restarts += 1;
+                }
+                FaultAction::Rebalance | FaultAction::Calm => {}
+            }
+            assert_eq!(&alive, s.alive());
+        }
+        assert!(kills > 0 && restarts > 0, "schedule exercises both");
+    }
+
+    #[test]
+    fn burst_range_is_honored() {
+        let mut s = FaultSchedule::new(1, 5, 3).with_bursts(10, 5);
+        for _ in 0..500 {
+            let (burst, _) = s.next_step();
+            assert!((10..15).contains(&burst));
+        }
+    }
+}

@@ -49,8 +49,10 @@
 //! assert_eq!(total, 1000);
 //! ```
 
+pub mod chaos;
 pub mod cluster;
 pub mod op;
 
+pub use chaos::{FaultAction, FaultSchedule};
 pub use cluster::{ClusterStats, FluxCluster};
 pub use op::{GroupCount, PartitionedOp, WindowJoinOp};

@@ -1,0 +1,352 @@
+//! Compares an engine run against the reference oracle, modulo the
+//! *declared* nondeterminism contract.
+//!
+//! Every tolerated divergence is named here, once, instead of being
+//! special-cased in tests:
+//!
+//! * **Intra-set row order** is never part of the contract for joins or
+//!   windowed instants — those compare as multisets. Single-stream
+//!   unwindowed queries under an order-preserving policy (`Block`,
+//!   `DropNewest`, `Sample`) additionally promise archive order, and
+//!   compare as exact sequences.
+//! * **Batch boundaries** are an engine artifact (they move with
+//!   `batch_size`), so unwindowed outputs are flattened before
+//!   comparison.
+//! * **`Spill`** is lossless but may reorder a single stream across the
+//!   spill boundary: multiset comparison.
+//! * **`DropOldest`** evicts *after* archiving, so the archive (the
+//!   oracle's input) legitimately exceeds unwindowed delivery: the
+//!   engine must produce a sub-multiset. Windowed queries re-scan the
+//!   archive per instant and stay exact.
+//! * **Injected panics** quarantine one delivered batch (unwindowed) or
+//!   one window instant (windowed) per arming and mark the query
+//!   degraded: a degraded unwindowed query must produce a sub-multiset;
+//!   a degraded windowed query a subsequence of instants, each present
+//!   instant still exact.
+//!
+//! Everything else — a row with different values, an extra row, an
+//! instant the oracle never released, counts off by one — is a
+//! reportable diff.
+
+use std::collections::HashMap;
+
+use tcq_common::ShedPolicy;
+
+use crate::driver::{render_row, EpisodeRun};
+use crate::episode::Episode;
+use crate::oracle::{OracleOutput, OracleQuery};
+
+/// The outcome of one comparison.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Human-readable divergences (empty = the run matches the oracle).
+    pub diffs: Vec<String>,
+}
+
+/// Diff every query of an episode run against the oracle.
+pub fn diff_episode(ep: &Episode, run: &EpisodeRun, oracle: &OracleOutput) -> DiffReport {
+    let mut report = DiffReport::default();
+    if run.outputs.len() != oracle.queries.len() {
+        report.diffs.push(format!(
+            "query count: engine ran {} queries, oracle evaluated {}",
+            run.outputs.len(),
+            oracle.queries.len()
+        ));
+        return report;
+    }
+    for (qi, (out, expected)) in run.outputs.iter().zip(&oracle.queries).enumerate() {
+        match expected {
+            OracleQuery::Unwindowed { rows, exact_order } => {
+                diff_unwindowed(ep, qi, out, rows, *exact_order, &mut report);
+            }
+            OracleQuery::Windowed { instants } => {
+                diff_windowed(qi, out, instants, &mut report);
+            }
+        }
+    }
+    report
+}
+
+fn diff_unwindowed(
+    ep: &Episode,
+    qi: usize,
+    out: &crate::driver::QueryOutput,
+    expected: &[Vec<tcq_common::Value>],
+    exact_order: bool,
+    report: &mut DiffReport,
+) {
+    let mut got: Vec<String> = Vec::new();
+    for rs in &out.sets {
+        if let Some(t) = rs.window_t {
+            report.diffs.push(format!(
+                "query {qi}: unwindowed query delivered a windowed set (t={t})"
+            ));
+            return;
+        }
+        got.extend(rs.rows.iter().map(render_row));
+    }
+    let want: Vec<String> = expected.iter().map(|r| render_values(r)).collect();
+    // Lossy modes: eviction after archiving, or quarantined batches.
+    let subset = out.degraded || matches!(ep.policy, ShedPolicy::DropOldest);
+    if subset {
+        if let Some(missing) = sub_multiset_violation(&got, &want) {
+            report.diffs.push(format!(
+                "query {qi}: delivered row not in the oracle's expected multiset: [{missing}]"
+            ));
+        }
+        return;
+    }
+    if exact_order {
+        if got != want {
+            report.diffs.push(seq_diff(qi, &got, &want));
+        }
+        return;
+    }
+    let (mut g, mut w) = (got.clone(), want.clone());
+    g.sort();
+    w.sort();
+    if g != w {
+        report.diffs.push(format!(
+            "query {qi}: result multiset mismatch: engine {} rows, oracle {} rows{}",
+            got.len(),
+            want.len(),
+            first_multiset_diff(&g, &w)
+        ));
+    }
+}
+
+fn diff_windowed(
+    qi: usize,
+    out: &crate::driver::QueryOutput,
+    expected: &[(i64, Vec<Vec<tcq_common::Value>>)],
+    report: &mut DiffReport,
+) {
+    let mut got: Vec<(i64, Vec<String>)> = Vec::new();
+    for rs in &out.sets {
+        let Some(t) = rs.window_t else {
+            report.diffs.push(format!(
+                "query {qi}: windowed query delivered an unwindowed batch"
+            ));
+            return;
+        };
+        let mut rows: Vec<String> = rs.rows.iter().map(render_row).collect();
+        rows.sort();
+        got.push((t, rows));
+    }
+    let want: Vec<(i64, Vec<String>)> = expected
+        .iter()
+        .map(|(t, rows)| {
+            let mut rendered: Vec<String> = rows.iter().map(|r| render_values(r)).collect();
+            rendered.sort();
+            (*t, rendered)
+        })
+        .collect();
+    if out.degraded {
+        // Quarantined instants are skipped; every instant that did
+        // arrive must still be exact, and in loop order.
+        let mut wi = 0usize;
+        for (t, rows) in &got {
+            let Some(pos) = want[wi..].iter().position(|(wt, _)| wt == t) else {
+                report.diffs.push(format!(
+                    "query {qi}: instant t={t} is not in the oracle's release sequence"
+                ));
+                return;
+            };
+            let (_, wrows) = &want[wi + pos];
+            if rows != wrows {
+                report.diffs.push(format!(
+                    "query {qi}: instant t={t} rows mismatch (degraded run): engine {:?} vs oracle {:?}",
+                    rows, wrows
+                ));
+                return;
+            }
+            wi += pos + 1;
+        }
+        return;
+    }
+    if got != want {
+        let gts: Vec<i64> = got.iter().map(|(t, _)| *t).collect();
+        let wts: Vec<i64> = want.iter().map(|(t, _)| *t).collect();
+        if gts != wts {
+            report.diffs.push(format!(
+                "query {qi}: released instants mismatch: engine {gts:?} vs oracle {wts:?}"
+            ));
+            return;
+        }
+        for ((t, g), (_, w)) in got.iter().zip(&want) {
+            if g != w {
+                report.diffs.push(format!(
+                    "query {qi}: instant t={t} rows mismatch: engine {g:?} vs oracle {w:?}"
+                ));
+                return;
+            }
+        }
+    }
+}
+
+fn render_values(row: &[tcq_common::Value]) -> String {
+    row.iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// `None` when `got` is a sub-multiset of `want`; otherwise the first
+/// over-delivered row.
+fn sub_multiset_violation(got: &[String], want: &[String]) -> Option<String> {
+    let mut counts: HashMap<&str, i64> = HashMap::new();
+    for w in want {
+        *counts.entry(w).or_insert(0) += 1;
+    }
+    for g in got {
+        let c = counts.entry(g).or_insert(0);
+        *c -= 1;
+        if *c < 0 {
+            return Some(g.clone());
+        }
+    }
+    None
+}
+
+fn seq_diff(qi: usize, got: &[String], want: &[String]) -> String {
+    let n = got.len().min(want.len());
+    for i in 0..n {
+        if got[i] != want[i] {
+            return format!(
+                "query {qi}: row {i} mismatch: engine [{}] vs oracle [{}]",
+                got[i], want[i]
+            );
+        }
+    }
+    format!(
+        "query {qi}: length mismatch: engine {} rows, oracle {} rows (first differing index {n})",
+        got.len(),
+        want.len()
+    )
+}
+
+fn first_multiset_diff(got_sorted: &[String], want_sorted: &[String]) -> String {
+    let n = got_sorted.len().min(want_sorted.len());
+    for i in 0..n {
+        if got_sorted[i] != want_sorted[i] {
+            return format!(
+                "; first sorted divergence: engine [{}] vs oracle [{}]",
+                got_sorted[i], want_sorted[i]
+            );
+        }
+    }
+    match got_sorted.len().cmp(&want_sorted.len()) {
+        std::cmp::Ordering::Greater => {
+            format!("; extra engine row [{}]", got_sorted[n])
+        }
+        std::cmp::Ordering::Less => {
+            format!("; missing row [{}]", want_sorted[n])
+        }
+        std::cmp::Ordering::Equal => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq::ResultSet;
+    use tcq_common::{Tuple, Value};
+
+    fn run_with(sets: Vec<ResultSet>, degraded: bool) -> EpisodeRun {
+        EpisodeRun {
+            outputs: vec![crate::driver::QueryOutput {
+                sql: "SELECT day FROM quotes".into(),
+                sets,
+                degraded,
+            }],
+            admitted: Default::default(),
+            final_punct: Default::default(),
+            shed: Default::default(),
+            invariant_failures: Vec::new(),
+            rendered: String::new(),
+        }
+    }
+
+    fn ep(policy: tcq_common::ShedPolicy) -> Episode {
+        Episode {
+            seed: 1,
+            policy,
+            batch_size: 1,
+            input_queue: 64,
+            flux_steps: 0,
+            queries: vec!["SELECT day FROM quotes".into()],
+            steps: Vec::new(),
+        }
+    }
+
+    fn set(rows: Vec<i64>) -> ResultSet {
+        ResultSet {
+            window_t: None,
+            rows: rows
+                .into_iter()
+                .map(|d| Tuple::at_seq(vec![Value::Int(d)], d))
+                .collect(),
+        }
+    }
+
+    fn oracle_rows(rows: Vec<i64>) -> OracleOutput {
+        OracleOutput {
+            queries: vec![OracleQuery::Unwindowed {
+                rows: rows.into_iter().map(|d| vec![Value::Int(d)]).collect(),
+                exact_order: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn exact_match_passes_and_mismatch_reports() {
+        let e = ep(tcq_common::ShedPolicy::Block);
+        let run = run_with(vec![set(vec![1, 2]), set(vec![3])], false);
+        assert!(diff_episode(&e, &run, &oracle_rows(vec![1, 2, 3]))
+            .diffs
+            .is_empty());
+        let report = diff_episode(&e, &run, &oracle_rows(vec![1, 2, 4]));
+        assert_eq!(report.diffs.len(), 1);
+        assert!(report.diffs[0].contains("row 2"), "{:?}", report.diffs);
+    }
+
+    #[test]
+    fn dropoldest_tolerates_missing_but_not_extra_rows() {
+        let e = ep(tcq_common::ShedPolicy::DropOldest);
+        let run = run_with(vec![set(vec![2])], false);
+        assert!(diff_episode(&e, &run, &oracle_rows(vec![1, 2, 3]))
+            .diffs
+            .is_empty());
+        let run = run_with(vec![set(vec![2, 9])], false);
+        let report = diff_episode(&e, &run, &oracle_rows(vec![1, 2, 3]));
+        assert_eq!(report.diffs.len(), 1, "{:?}", report.diffs);
+        assert!(report.diffs[0].contains("not in the oracle"));
+    }
+
+    #[test]
+    fn degraded_windowed_instants_must_be_a_subsequence() {
+        let e = ep(tcq_common::ShedPolicy::Block);
+        let oracle = OracleOutput {
+            queries: vec![OracleQuery::Windowed {
+                instants: vec![
+                    (1, vec![vec![Value::Int(10)]]),
+                    (2, vec![vec![Value::Int(20)]]),
+                    (3, vec![vec![Value::Int(30)]]),
+                ],
+            }],
+        };
+        let wset = |t: i64, v: i64| ResultSet {
+            window_t: Some(t),
+            rows: vec![Tuple::at_seq(vec![Value::Int(v)], t)],
+        };
+        // Instant 2 quarantined by a panic: still clean.
+        let run = run_with(vec![wset(1, 10), wset(3, 30)], true);
+        assert!(diff_episode(&e, &run, &oracle).diffs.is_empty());
+        // But a non-degraded run must produce every instant.
+        let run = run_with(vec![wset(1, 10), wset(3, 30)], false);
+        assert!(!diff_episode(&e, &run, &oracle).diffs.is_empty());
+        // And present instants must still be exact.
+        let run = run_with(vec![wset(1, 10), wset(3, 99)], true);
+        assert!(!diff_episode(&e, &run, &oracle).diffs.is_empty());
+    }
+}

@@ -1,0 +1,352 @@
+//! Runs an [`Episode`] against a real step-mode server.
+//!
+//! The driver is the only place where episode schedules touch the
+//! engine. Because `Config::step_mode` spawns no threads, every step is
+//! a plain function call and the whole run is a pure function of the
+//! episode — the same episode always yields the same [`EpisodeRun`],
+//! byte for byte (asserted by `check_episode`).
+//!
+//! Besides the per-query outputs, the driver records everything the
+//! oracle and differ need: the *admitted* trace (each stream's archive
+//! at the end of the run — exactly the tuples that survived overload
+//! triage), the final punctuation per stream, per-query degraded flags,
+//! and shed counters. It also self-checks engine invariants at every
+//! quiesce point: each EO input Fjord must satisfy `enqueued ==
+//! dequeued + depth` with `depth == 0`, and spill/attach backlogs must
+//! drain by the end of the episode.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use tcq::{Config, QueryHandle, ResultSet, Server, ShedStats};
+use tcq_common::{DataType, Field, Schema, Tuple, Value};
+use tcq_flux::{FaultAction, FaultSchedule, FluxCluster, GroupCount};
+use tcq_wrappers::{FlakySource, IterSource};
+
+use crate::episode::{Episode, Step};
+
+/// Everything one query produced over the run.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The submitted SQL.
+    pub sql: String,
+    /// Result sets in delivery order.
+    pub sets: Vec<ResultSet>,
+    /// Whether an injected panic degraded this query.
+    pub degraded: bool,
+}
+
+/// The observable outcome of one episode run.
+#[derive(Debug, Clone)]
+pub struct EpisodeRun {
+    /// Per-query outputs, parallel to `Episode::queries`.
+    pub outputs: Vec<QueryOutput>,
+    /// Per-stream admitted trace: the archive contents at the end of
+    /// the run, in arrival order. This is the trace the oracle replays.
+    pub admitted: BTreeMap<String, Vec<Tuple>>,
+    /// Per-stream final punctuation (the horizon the driver issues).
+    pub final_punct: BTreeMap<String, i64>,
+    /// Per-stream shed counters at the end of the run.
+    pub shed: BTreeMap<String, ShedStats>,
+    /// Engine invariant violations observed during the run (empty on a
+    /// healthy run). These are engine bugs, not oracle divergences.
+    pub invariant_failures: Vec<String>,
+    /// Canonical rendering of all outputs — the byte-identical-replay
+    /// comparand.
+    pub rendered: String,
+}
+
+/// The two streams every episode runs over.
+pub const STREAMS: [&str; 2] = ["quotes", "sensors"];
+
+fn episode_catalog(server: &Server) -> Result<(), String> {
+    server
+        .register_stream(
+            "quotes",
+            Schema::qualified(
+                "quotes",
+                vec![
+                    Field::new("day", DataType::Int),
+                    Field::new("sym", DataType::Str),
+                    Field::new("price", DataType::Float),
+                ],
+            ),
+        )
+        .map_err(|e| format!("register quotes: {e}"))?;
+    server
+        .register_stream(
+            "sensors",
+            Schema::qualified(
+                "sensors",
+                vec![
+                    Field::new("at", DataType::Int),
+                    Field::new("sid", DataType::Int),
+                    Field::new("reading", DataType::Float),
+                ],
+            ),
+        )
+        .map_err(|e| format!("register sensors: {e}"))?;
+    Ok(())
+}
+
+/// Render one tuple's fields (timestamps and intra-set order are the
+/// declared nondeterminism surface, so only field values identify a
+/// row).
+pub fn render_row(t: &Tuple) -> String {
+    t.fields()
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn render_outputs(outputs: &[QueryOutput]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (i, q) in outputs.iter().enumerate() {
+        let _ = writeln!(out, "query {i} degraded={}", q.degraded);
+        for rs in &q.sets {
+            match rs.window_t {
+                Some(t) => {
+                    let _ = write!(out, "  t={t}:");
+                }
+                None => {
+                    let _ = write!(out, "  batch:");
+                }
+            }
+            for row in &rs.rows {
+                let _ = write!(out, " [{}]", render_row(row));
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// Check every EO input Fjord's conservation invariant at a quiesce
+/// point (`FjordStats::is_quiescent`):
+/// `enqueued == dequeued + depth` and `depth == 0`.
+fn check_quiescent(server: &Server, at: &str, failures: &mut Vec<String>) {
+    for (eo, st) in server.eo_input_stats().iter().enumerate() {
+        if !st.is_quiescent() {
+            failures.push(format!(
+                "{at}: eo{eo} input not quiescent: enqueued {} != dequeued {} (in flight {})",
+                st.enqueued,
+                st.dequeued,
+                st.in_flight()
+            ));
+        }
+    }
+}
+
+/// Run the episode's embedded Flux chaos schedule (if any): a seeded
+/// kill/restart/rebalance storm on a replicated 5-machine cluster.
+/// Tuple conservation and zero state loss are engine invariants, not
+/// oracle questions, so violations go to `invariant_failures`.
+fn run_flux_chaos(ep: &Episode, failures: &mut Vec<String>) {
+    if ep.flux_steps == 0 {
+        return;
+    }
+    let mut cluster = FluxCluster::new(5, 32, &GroupCount::new(vec![0]), vec![0], true);
+    let mut schedule = FaultSchedule::new(ep.seed, 5, 3).with_bursts(10, 30);
+    let mut pushed = 0i64;
+    for step in 0..ep.flux_steps {
+        let (burst, action) = schedule.next_step();
+        for i in 0..burst as i64 {
+            let t = Tuple::at_seq(vec![Value::Int((pushed + i) % 13)], pushed + i);
+            if let Err(e) = cluster.route(0, &t) {
+                failures.push(format!("flux step {step}: route failed: {e}"));
+                return;
+            }
+        }
+        pushed += burst as i64;
+        let result = match action {
+            FaultAction::Kill(v) => cluster.kill_machine(v).map(|_| ()),
+            FaultAction::Restart(v) => cluster.restart_machine(v).map(|_| ()),
+            FaultAction::Rebalance => {
+                cluster.rebalance();
+                Ok(())
+            }
+            FaultAction::Calm => Ok(()),
+        };
+        if let Err(e) = result {
+            failures.push(format!("flux step {step}: {action:?} failed: {e}"));
+            return;
+        }
+        let total: i64 = cluster
+            .snapshot()
+            .iter()
+            .map(|t| t.field(t.arity() - 1).as_int().unwrap_or(0))
+            .sum();
+        if total != pushed {
+            failures.push(format!(
+                "flux step {step}: conservation violated: {total} counted of {pushed} routed"
+            ));
+            return;
+        }
+        if cluster.stats().state_lost != 0 {
+            failures.push(format!("flux step {step}: replicated takeover lost state"));
+            return;
+        }
+    }
+}
+
+/// Execute `ep` against a fresh step-mode server and record the run.
+pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
+    let config = Config {
+        step_mode: true,
+        executor_threads: 2,
+        seed: ep.seed,
+        batch_size: ep.batch_size.max(1),
+        input_queue: ep.input_queue.max(2),
+        shed_policy: ep.policy,
+        // Large enough that the egress QoS shed (oldest result set
+        // dropped when a client lags) never fires between settles —
+        // client lag is out of scope for the oracle contract.
+        result_buffer: 1 << 14,
+        ..Config::default()
+    };
+    let server = Server::start(config).map_err(|e| format!("start: {e}"))?;
+    episode_catalog(&server)?;
+
+    let mut invariant_failures = Vec::new();
+    run_flux_chaos(ep, &mut invariant_failures);
+
+    let mut handles: Vec<QueryHandle> = Vec::with_capacity(ep.queries.len());
+    for (i, sql) in ep.queries.iter().enumerate() {
+        handles.push(
+            server
+                .submit(sql)
+                .map_err(|e| format!("submit query {i}: {e}"))?,
+        );
+    }
+    let mut sets: Vec<Vec<ResultSet>> = vec![Vec::new(); handles.len()];
+    let drain_handles = |sets: &mut Vec<Vec<ResultSet>>| {
+        for (i, h) in handles.iter().enumerate() {
+            sets[i].extend(h.drain());
+        }
+    };
+
+    for (si, step) in ep.steps.iter().enumerate() {
+        match step {
+            Step::Row {
+                stream,
+                ticks,
+                fields,
+            } => {
+                server
+                    .push_at(stream, fields.clone(), *ticks)
+                    .map_err(|e| format!("step {si}: push {stream}@{ticks}: {e}"))?;
+            }
+            Step::Punctuate { stream, ticks } => {
+                server
+                    .punctuate(stream, *ticks)
+                    .map_err(|e| format!("step {si}: punctuate {stream}@{ticks}: {e}"))?;
+            }
+            Step::Panic { query } => {
+                let Some(h) = handles.get(*query) else {
+                    return Err(format!("step {si}: panic targets missing query {query}"));
+                };
+                server
+                    .inject_panic(h.id)
+                    .map_err(|e| format!("step {si}: inject_panic: {e}"))?;
+            }
+            Step::Source(spec) => {
+                let inner =
+                    IterSource::from_rows(format!("sim.{}", spec.stream), spec.rows.clone());
+                let src = FlakySource::new(inner, spec.seed, spec.fail_rate);
+                server
+                    .attach_source(&spec.stream, Box::new(src))
+                    .map_err(|e| format!("step {si}: attach_source {}: {e}", spec.stream))?;
+            }
+            Step::Wrapper { rounds } => {
+                for _ in 0..*rounds {
+                    if server.sim_step_wrapper().is_none() {
+                        return Err(format!("step {si}: wrapper stopped mid-episode"));
+                    }
+                }
+            }
+            Step::Settle => {
+                if !server.sim_settle(1_000_000) {
+                    return Err(format!("step {si}: settle did not converge"));
+                }
+                check_quiescent(
+                    &server,
+                    &format!("step {si} settle"),
+                    &mut invariant_failures,
+                );
+                drain_handles(&mut sets);
+            }
+        }
+    }
+
+    // End of schedule: let attached sources run dry (virtual-time
+    // timeout — each unit is one wrapper round), close every standing
+    // window with a final punctuation at the horizon, and settle.
+    if !server.drain_sources(Duration::from_millis(100_000)) {
+        invariant_failures.push("drain_sources timed out in virtual time".into());
+    }
+    let horizon = ep.horizon();
+    let mut final_punct = BTreeMap::new();
+    for stream in STREAMS {
+        server
+            .punctuate(stream, horizon)
+            .map_err(|e| format!("final punctuate {stream}: {e}"))?;
+        final_punct.insert(stream.to_string(), horizon);
+    }
+    if !server.sim_settle(1_000_000) {
+        return Err("final settle did not converge".into());
+    }
+    // One extra wrapper round + settle: a spill episode whose queues
+    // only emptied during the settle above re-ingests on the next
+    // wrapper round.
+    server.sim_step_wrapper();
+    if !server.sim_settle(1_000_000) {
+        return Err("post-spill settle did not converge".into());
+    }
+    check_quiescent(&server, "final settle", &mut invariant_failures);
+    drain_handles(&mut sets);
+
+    let mut admitted = BTreeMap::new();
+    let mut shed = BTreeMap::new();
+    for stream in STREAMS {
+        admitted.insert(
+            stream.to_string(),
+            server
+                .archive_rows(stream, i64::MIN, i64::MAX)
+                .map_err(|e| format!("archive_rows {stream}: {e}"))?,
+        );
+        let st = server
+            .shed_stats(stream)
+            .map_err(|e| format!("shed_stats {stream}: {e}"))?;
+        if st.spill_pending != 0 {
+            invariant_failures.push(format!(
+                "{stream}: {} spilled tuples never re-ingested",
+                st.spill_pending
+            ));
+        }
+        shed.insert(stream.to_string(), st);
+    }
+
+    let outputs: Vec<QueryOutput> = handles
+        .iter()
+        .zip(sets)
+        .enumerate()
+        .map(|(i, (h, sets))| QueryOutput {
+            sql: ep.queries[i].clone(),
+            sets,
+            degraded: h.is_degraded(),
+        })
+        .collect();
+    server.shutdown();
+
+    let rendered = render_outputs(&outputs);
+    Ok(EpisodeRun {
+        outputs,
+        admitted,
+        final_punct,
+        shed,
+        invariant_failures,
+        rendered,
+    })
+}

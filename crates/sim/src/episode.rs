@@ -1,0 +1,455 @@
+//! The replayable simulation unit and its plain-text serialization.
+//!
+//! An [`Episode`] is everything a run depends on: the root seed (which
+//! drives the engine's eddy lotteries, shed sampling, and backoff
+//! jitter via `SplitMix64::derive`), the engine knobs that shape
+//! overload behaviour, the CQ-SQL query set, and a totally ordered
+//! [`Step`] schedule interleaving the input trace with chaos actions.
+//! Running the same episode twice produces byte-identical engine output
+//! (the property `check_episode` asserts), so a failing episode is a
+//! complete bug report — the corpus under `tests/sim_corpus/` is a set
+//! of these files.
+//!
+//! The serialization is a deliberately simple line format (no external
+//! dependencies, diff-friendly, hand-editable while shrinking):
+//!
+//! ```text
+//! # tcq-sim episode
+//! seed 42
+//! policy sample 0.5
+//! batch 4
+//! queue 8
+//! flux 20
+//! query SELECT day, price FROM quotes WHERE price > 10.0
+//! step row quotes 3 i:3 s:msft f:52.5
+//! step punct quotes 64
+//! step panic 0
+//! step source sensors 7 0.25 2
+//! srow 1 i:1 i:4 f:2.5
+//! srow 2 i:2 i:4 f:3.5
+//! step wrapper 5
+//! step settle
+//! ```
+//!
+//! Floats round-trip exactly through Rust's shortest-representation
+//! `Display`; strings are restricted to non-whitespace tokens (the
+//! generator only emits such).
+
+use tcq_common::{ShedPolicy, Value};
+
+/// Rows an attached flaky source will deliver: `(ticks, fields)` in
+/// nondecreasing tick order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceSpec {
+    /// Stream the source feeds.
+    pub stream: String,
+    /// Seed of the `FlakySource` wrapper's own failure draw.
+    pub seed: u64,
+    /// Probability a poll fails transiently.
+    pub fail_rate: f64,
+    /// The underlying rows.
+    pub rows: Vec<(i64, Vec<Value>)>,
+}
+
+/// One schedule entry. The schedule is executed strictly in order; all
+/// engine progress happens inside `Wrapper` and `Settle` steps, so the
+/// interleaving of data and chaos is part of the episode identity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Push one tuple at an explicit logical tick.
+    Row {
+        stream: String,
+        ticks: i64,
+        fields: Vec<Value>,
+    },
+    /// Punctuate a stream: no rows at or before `ticks` remain.
+    Punctuate { stream: String, ticks: i64 },
+    /// Arm an operator panic in the `query`-th submitted query; its
+    /// next batch (or window evaluation) is quarantined.
+    Panic { query: usize },
+    /// Attach a `FlakySource` over the given rows.
+    Source(SourceSpec),
+    /// Run `rounds` Wrapper poll rounds (virtual milliseconds) without
+    /// quiescing the Execution Objects — sources poll and backlog
+    /// builds.
+    Wrapper { rounds: u64 },
+    /// Run the engine to quiescence (wrapper + every EO), then drain
+    /// all query handles. Every settle is a quiesce point at which the
+    /// driver asserts the Fjord conservation invariant.
+    Settle,
+}
+
+/// A complete replayable episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Episode {
+    /// Root seed: `Config::seed`, so eddy lotteries, shed sampling and
+    /// wrapper backoff jitter all derive from it.
+    pub seed: u64,
+    /// Engine-wide overload policy.
+    pub policy: ShedPolicy,
+    /// Pipeline batch size.
+    pub batch_size: usize,
+    /// EO input queue capacity (small values make shedding reachable).
+    pub input_queue: usize,
+    /// Steps of the embedded Flux chaos schedule (0 = none): a seeded
+    /// kill/restart/rebalance run against a replicated cluster whose
+    /// conservation invariants are self-checked by the driver.
+    pub flux_steps: u64,
+    /// CQ-SQL queries, submitted in order before the schedule runs.
+    pub queries: Vec<String>,
+    /// The schedule.
+    pub steps: Vec<Step>,
+}
+
+impl Episode {
+    /// A tick safely past every row and punctuation in the episode —
+    /// the driver's final punctuation, closing all standing windows.
+    pub fn horizon(&self) -> i64 {
+        let mut max = 0i64;
+        for s in &self.steps {
+            match s {
+                Step::Row { ticks, .. } | Step::Punctuate { ticks, .. } => max = max.max(*ticks),
+                Step::Source(src) => {
+                    for (t, _) in &src.rows {
+                        max = max.max(*t);
+                    }
+                }
+                _ => {}
+            }
+        }
+        max + 1_000
+    }
+
+    /// Serialize to the line format (inverse of [`Episode::parse`]).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("# tcq-sim episode\n");
+        let _ = writeln!(out, "seed {}", self.seed);
+        let policy = match self.policy {
+            ShedPolicy::Block => "block".to_string(),
+            ShedPolicy::DropNewest => "dropnewest".to_string(),
+            ShedPolicy::DropOldest => "dropoldest".to_string(),
+            ShedPolicy::Sample { rate } => format!("sample {rate}"),
+            ShedPolicy::Spill => "spill".to_string(),
+        };
+        let _ = writeln!(out, "policy {policy}");
+        let _ = writeln!(out, "batch {}", self.batch_size);
+        let _ = writeln!(out, "queue {}", self.input_queue);
+        let _ = writeln!(out, "flux {}", self.flux_steps);
+        for q in &self.queries {
+            let _ = writeln!(out, "query {}", q.replace('\n', " "));
+        }
+        for s in &self.steps {
+            match s {
+                Step::Row {
+                    stream,
+                    ticks,
+                    fields,
+                } => {
+                    let _ = writeln!(out, "step row {stream} {ticks} {}", encode_fields(fields));
+                }
+                Step::Punctuate { stream, ticks } => {
+                    let _ = writeln!(out, "step punct {stream} {ticks}");
+                }
+                Step::Panic { query } => {
+                    let _ = writeln!(out, "step panic {query}");
+                }
+                Step::Source(src) => {
+                    let _ = writeln!(
+                        out,
+                        "step source {} {} {} {}",
+                        src.stream,
+                        src.seed,
+                        src.fail_rate,
+                        src.rows.len()
+                    );
+                    for (t, fields) in &src.rows {
+                        let _ = writeln!(out, "srow {t} {}", encode_fields(fields));
+                    }
+                }
+                Step::Wrapper { rounds } => {
+                    let _ = writeln!(out, "step wrapper {rounds}");
+                }
+                Step::Settle => {
+                    let _ = writeln!(out, "step settle");
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse the line format produced by [`Episode::render`].
+    pub fn parse(text: &str) -> Result<Episode, String> {
+        let mut ep = Episode {
+            seed: 0,
+            policy: ShedPolicy::Block,
+            batch_size: 1,
+            input_queue: 4096,
+            flux_steps: 0,
+            queries: Vec::new(),
+            steps: Vec::new(),
+        };
+        let mut pending_srows = 0usize;
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let err = |msg: &str| format!("line {}: {msg}: {raw}", ln + 1);
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let head = it.next().unwrap();
+            if head == "srow" {
+                if pending_srows == 0 {
+                    return Err(err("srow outside a source step"));
+                }
+                pending_srows -= 1;
+                let t: i64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad srow tick"))?;
+                let fields = decode_fields(it).map_err(|m| err(&m))?;
+                match ep.steps.last_mut() {
+                    Some(Step::Source(src)) => src.rows.push((t, fields)),
+                    _ => return Err(err("srow outside a source step")),
+                }
+                continue;
+            }
+            if pending_srows > 0 {
+                return Err(err("source step truncated (missing srow lines)"));
+            }
+            match head {
+                "seed" => {
+                    ep.seed = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad seed"))?;
+                }
+                "policy" => {
+                    ep.policy = match it.next() {
+                        Some("block") => ShedPolicy::Block,
+                        Some("dropnewest") => ShedPolicy::DropNewest,
+                        Some("dropoldest") => ShedPolicy::DropOldest,
+                        Some("spill") => ShedPolicy::Spill,
+                        Some("sample") => ShedPolicy::Sample {
+                            rate: it
+                                .next()
+                                .and_then(|s| s.parse().ok())
+                                .ok_or_else(|| err("sample needs a rate"))?,
+                        },
+                        _ => return Err(err("unknown policy")),
+                    };
+                }
+                "batch" => {
+                    ep.batch_size = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad batch"))?;
+                }
+                "queue" => {
+                    ep.input_queue = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad queue"))?;
+                }
+                "flux" => {
+                    ep.flux_steps = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad flux"))?;
+                }
+                "query" => {
+                    let sql = line["query".len()..].trim().to_string();
+                    if sql.is_empty() {
+                        return Err(err("empty query"));
+                    }
+                    ep.queries.push(sql);
+                }
+                "step" => match it.next() {
+                    Some("row") => {
+                        let stream = it.next().ok_or_else(|| err("row needs a stream"))?;
+                        let ticks: i64 = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("bad row tick"))?;
+                        let fields = decode_fields(it).map_err(|m| err(&m))?;
+                        ep.steps.push(Step::Row {
+                            stream: stream.to_string(),
+                            ticks,
+                            fields,
+                        });
+                    }
+                    Some("punct") => {
+                        let stream = it.next().ok_or_else(|| err("punct needs a stream"))?;
+                        let ticks: i64 = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("bad punct tick"))?;
+                        ep.steps.push(Step::Punctuate {
+                            stream: stream.to_string(),
+                            ticks,
+                        });
+                    }
+                    Some("panic") => {
+                        let query: usize = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("bad panic index"))?;
+                        ep.steps.push(Step::Panic { query });
+                    }
+                    Some("source") => {
+                        let stream = it.next().ok_or_else(|| err("source needs a stream"))?;
+                        let seed: u64 = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("bad source seed"))?;
+                        let fail_rate: f64 = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("bad source fail_rate"))?;
+                        pending_srows = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("bad source row count"))?;
+                        ep.steps.push(Step::Source(SourceSpec {
+                            stream: stream.to_string(),
+                            seed,
+                            fail_rate,
+                            rows: Vec::with_capacity(pending_srows),
+                        }));
+                    }
+                    Some("wrapper") => {
+                        let rounds: u64 = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("bad wrapper rounds"))?;
+                        ep.steps.push(Step::Wrapper { rounds });
+                    }
+                    Some("settle") => ep.steps.push(Step::Settle),
+                    _ => return Err(err("unknown step")),
+                },
+                _ => return Err(err("unknown directive")),
+            }
+        }
+        if pending_srows > 0 {
+            return Err("source step truncated at end of file".into());
+        }
+        Ok(ep)
+    }
+}
+
+fn encode_fields(fields: &[Value]) -> String {
+    fields
+        .iter()
+        .map(|v| match v {
+            Value::Int(i) => format!("i:{i}"),
+            Value::Float(f) => format!("f:{f}"),
+            Value::Str(s) => format!("s:{s}"),
+            Value::Bool(b) => format!("b:{b}"),
+            Value::Null => "null".to_string(),
+            Value::Ts(t) => format!("t:{}", t.ticks()),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn decode_fields<'a>(it: impl Iterator<Item = &'a str>) -> Result<Vec<Value>, String> {
+    let mut out = Vec::new();
+    for tok in it {
+        let v = if tok == "null" {
+            Value::Null
+        } else if let Some(rest) = tok.strip_prefix("i:") {
+            Value::Int(rest.parse().map_err(|_| format!("bad int {tok}"))?)
+        } else if let Some(rest) = tok.strip_prefix("f:") {
+            Value::Float(rest.parse().map_err(|_| format!("bad float {tok}"))?)
+        } else if let Some(rest) = tok.strip_prefix("s:") {
+            Value::str(rest)
+        } else if let Some(rest) = tok.strip_prefix("b:") {
+            Value::Bool(rest.parse().map_err(|_| format!("bad bool {tok}"))?)
+        } else if let Some(rest) = tok.strip_prefix("t:") {
+            Value::Ts(tcq_common::Timestamp::logical(
+                rest.parse().map_err(|_| format!("bad ts {tok}"))?,
+            ))
+        } else {
+            return Err(format!("unknown value token {tok}"));
+        };
+        out.push(v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_episode() -> Episode {
+        Episode {
+            seed: 42,
+            policy: ShedPolicy::Sample { rate: 0.5 },
+            batch_size: 4,
+            input_queue: 8,
+            flux_steps: 20,
+            queries: vec!["SELECT day FROM quotes WHERE price > 10.0".into()],
+            steps: vec![
+                Step::Row {
+                    stream: "quotes".into(),
+                    ticks: 3,
+                    fields: vec![Value::Int(3), Value::str("msft"), Value::Float(52.5)],
+                },
+                Step::Source(SourceSpec {
+                    stream: "sensors".into(),
+                    seed: 7,
+                    fail_rate: 0.25,
+                    rows: vec![(1, vec![Value::Int(1), Value::Int(4), Value::Float(2.5)])],
+                }),
+                Step::Wrapper { rounds: 5 },
+                Step::Panic { query: 0 },
+                Step::Punctuate {
+                    stream: "quotes".into(),
+                    ticks: 64,
+                },
+                Step::Settle,
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let ep = sample_episode();
+        let text = ep.render();
+        let back = Episode::parse(&text).unwrap();
+        assert_eq!(ep, back);
+        // And rendering the parsed episode is byte-stable.
+        assert_eq!(text, back.render());
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        let vals = vec![
+            Value::Float(0.1),
+            Value::Float(1.0 / 3.0),
+            Value::Float(-52.5),
+            Value::Float(1e300),
+        ];
+        let enc = encode_fields(&vals);
+        let dec = decode_fields(enc.split_whitespace()).unwrap();
+        assert_eq!(vals, dec, "shortest-repr Display round-trips f64");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Episode::parse("seed x").is_err());
+        assert!(Episode::parse("policy maybe").is_err());
+        assert!(Episode::parse("step row quotes 1 z:9").is_err());
+        assert!(Episode::parse("srow 1 i:1").is_err(), "orphan srow");
+        assert!(
+            Episode::parse("step source s 1 0.5 2\nsrow 1 i:1").is_err(),
+            "truncated source rows"
+        );
+    }
+
+    #[test]
+    fn horizon_covers_all_ticks() {
+        let ep = sample_episode();
+        assert!(ep.horizon() > 64);
+    }
+}

@@ -1,0 +1,293 @@
+//! Seeded random episode generation.
+//!
+//! `generate(seed, index, opts)` is a pure function: the same
+//! `(seed, index)` always yields the same episode (draws come from
+//! `SplitMix64::derive(seed, "sim.gen", index)`, so other sim domains
+//! never perturb it). Episodes compose the engine's chaos levers —
+//! every shed policy, flaky sources with retry/backoff and give-up,
+//! operator-panic injection, Flux kill/restart schedules — against a
+//! query mix spanning all three execution classes (shared grouped
+//! filters, dedicated eddies with SteM joins, windowed queries with
+//! joins and aggregates).
+//!
+//! Invariants the generator maintains (so a failing check is an engine
+//! bug, not a malformed episode):
+//!
+//! * Per-stream ticks are nondecreasing (the ingest path enforces
+//!   monotone time; an out-of-order push would be dropped, muddying the
+//!   oracle comparison), and every row after a punctuation is strictly
+//!   later than it (a punctuation at `t` promises no more tuples with
+//!   tick <= `t`, and the engine releases windows on that promise).
+//! * At most one flaky source per stream, and once a stream is
+//!   source-fed no further direct rows or punctuations target it.
+//! * Float values are halves (`k * 0.5`), keeping every aggregate sum
+//!   exact in `f64` and therefore independent of summation order.
+//! * `Forever` window loops always have a `t`-tracking right bound, so
+//!   the release rule terminates them.
+
+use tcq_common::rng::SplitMix64;
+use tcq_common::{ShedPolicy, Value};
+
+use crate::episode::{Episode, SourceSpec, Step};
+
+/// Fixed choices for the smoke matrix; `None` means "draw randomly".
+#[derive(Debug, Clone, Default)]
+pub struct GenOptions {
+    /// Force the shed policy.
+    pub policy: Option<ShedPolicy>,
+    /// Force chaos (panics, flaky sources, flux faults) on or off.
+    pub faults: Option<bool>,
+}
+
+const SYMS: [&str; 4] = ["aapl", "ibm", "msft", "orcl"];
+
+/// Generate the `index`-th episode of a seed's stream.
+pub fn generate(seed: u64, index: u64, opts: &GenOptions) -> Episode {
+    let mut rng = SplitMix64::derive(seed, "sim.gen", index);
+    let policy = opts.policy.unwrap_or_else(|| match rng.next_below(5) {
+        0 => ShedPolicy::Block,
+        1 => ShedPolicy::DropNewest,
+        2 => ShedPolicy::DropOldest,
+        3 => ShedPolicy::Sample {
+            rate: 0.3 + 0.15 * rng.next_below(5) as f64,
+        },
+        _ => ShedPolicy::Spill,
+    });
+    let faults = opts.faults.unwrap_or_else(|| rng.next_below(2) == 1);
+
+    let n_queries = 1 + rng.next_below(3) as usize;
+    let mut queries = Vec::with_capacity(n_queries);
+    for _ in 0..n_queries {
+        queries.push(pick_query(&mut rng));
+    }
+
+    let mut steps = Vec::new();
+    let mut cursor = [0i64; 2]; // [quotes, sensors]
+    let mut sourced = [false, false];
+    let mut panics_left = if faults { 1 + rng.next_below(2) } else { 0 };
+    let mut sources_left = if faults { rng.next_below(2) } else { 0 };
+    let n_events = 20 + rng.next_below(41);
+    for _ in 0..n_events {
+        match rng.next_below(10) {
+            // Direct rows dominate the schedule.
+            0..=4 => {
+                let s = rng.next_below(3).min(1) as usize; // quotes 2/3 of the time
+                if sourced[s] {
+                    continue;
+                }
+                cursor[s] += rng.next_below(3) as i64;
+                steps.push(Step::Row {
+                    stream: stream_name(s).to_string(),
+                    ticks: cursor[s],
+                    fields: row_fields(&mut rng, s, cursor[s]),
+                });
+            }
+            5 => {
+                let s = rng.next_below(2) as usize;
+                if sourced[s] {
+                    continue;
+                }
+                steps.push(Step::Punctuate {
+                    stream: stream_name(s).to_string(),
+                    ticks: cursor[s],
+                });
+                // A punctuation promises no more tuples at or before its
+                // tick; later rows on this stream must be strictly later.
+                cursor[s] += 1;
+            }
+            6 => steps.push(Step::Wrapper {
+                rounds: 1 + rng.next_below(4),
+            }),
+            7 => steps.push(Step::Settle),
+            8 if panics_left > 0 => {
+                panics_left -= 1;
+                steps.push(Step::Panic {
+                    query: rng.next_below(n_queries as u64) as usize,
+                });
+            }
+            9 if sources_left > 0 => {
+                // A flaky source over the sensors stream; high fail
+                // rates exercise backoff and the give-up path.
+                let s = 1usize;
+                if sourced[s] {
+                    continue;
+                }
+                sourced[s] = true;
+                sources_left -= 1;
+                let n_rows = 3 + rng.next_below(10);
+                let mut rows = Vec::with_capacity(n_rows as usize);
+                for _ in 0..n_rows {
+                    cursor[s] += rng.next_below(3) as i64;
+                    rows.push((cursor[s], row_fields(&mut rng, s, cursor[s])));
+                }
+                steps.push(Step::Source(SourceSpec {
+                    stream: stream_name(s).to_string(),
+                    seed: rng.next_u64(),
+                    fail_rate: 0.15 * rng.next_below(7) as f64,
+                    rows,
+                }));
+                // Give the wrapper rounds to poll (and back off) in.
+                steps.push(Step::Wrapper {
+                    rounds: 4 + rng.next_below(12),
+                });
+            }
+            _ => {}
+        }
+    }
+    steps.push(Step::Settle);
+
+    Episode {
+        seed: seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        policy,
+        batch_size: [1, 2, 4, 7][rng.next_below(4) as usize],
+        input_queue: 8 + rng.next_below(57) as usize,
+        flux_steps: if faults { rng.next_below(3) * 15 } else { 0 },
+        queries,
+        steps,
+    }
+}
+
+fn stream_name(s: usize) -> &'static str {
+    ["quotes", "sensors"][s]
+}
+
+/// Field 0 mirrors the tick, so window bounds over logical time line up
+/// with the visible data; floats are halves (exact f64 sums).
+fn row_fields(rng: &mut SplitMix64, s: usize, tick: i64) -> Vec<Value> {
+    if s == 0 {
+        vec![
+            Value::Int(tick),
+            Value::str(SYMS[rng.next_below(SYMS.len() as u64) as usize]),
+            Value::Float(1.0 + rng.next_below(40) as f64 * 0.5),
+        ]
+    } else {
+        vec![
+            Value::Int(tick),
+            Value::Int(1 + rng.next_below(4) as i64),
+            Value::Float(rng.next_below(20) as f64 * 0.5),
+        ]
+    }
+}
+
+fn pick_query(rng: &mut SplitMix64) -> String {
+    let thresh = 1.0 + rng.next_below(30) as f64 * 0.5;
+    let hi = 10 + rng.next_below(40);
+    let width = 1 + rng.next_below(6);
+    match rng.next_below(9) {
+        // Shared class: grouped single-stream filters.
+        0 => format!("SELECT day, sym, price FROM quotes WHERE price > {thresh:?}"),
+        1 => format!("SELECT DISTINCT sym FROM quotes WHERE price > {thresh:?}"),
+        // Trivial eddy tap.
+        2 => "SELECT * FROM sensors".to_string(),
+        // Unwindowed SteM joins (self- and cross-stream).
+        3 => "SELECT a.day, a.sym, b.sym FROM quotes a, quotes b \
+              WHERE a.day = b.day AND a.price > b.price"
+            .to_string(),
+        4 => "SELECT q.sym, s.sid FROM quotes q, sensors s WHERE q.day = s.at".to_string(),
+        // Windowed: sliding grouped aggregate.
+        5 => format!(
+            "SELECT sym, COUNT(*), SUM(price) FROM quotes GROUP BY sym \
+             for (t = 1; t <= {hi}; t++) {{ WindowIs(quotes, t - {width}, t); }}"
+        ),
+        // Windowed: landmark projection with ORDER BY.
+        6 => format!(
+            "SELECT day, price FROM quotes WHERE price > {thresh:?} \
+             ORDER BY price DESC \
+             for (t = 1; t <= {hi}; t++) {{ WindowIs(quotes, 1, t); }}"
+        ),
+        // Windowed join over both streams.
+        7 => format!(
+            "SELECT q.day, s.sid FROM quotes q, sensors s WHERE q.day = s.at \
+             for (t = 2; t <= {hi}; t++) {{ \
+               WindowIs(q, t - {width}, t); WindowIs(s, t - {width}, t); }}"
+        ),
+        // Forever loop: the release rule (final punctuation) bounds it.
+        _ => format!(
+            "SELECT COUNT(*) FROM quotes \
+             for (t = 1; ; t++) {{ WindowIs(quotes, t - {width}, t); }}"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let opts = GenOptions::default();
+        let a = generate(7, 3, &opts);
+        let b = generate(7, 3, &opts);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn distinct_indices_differ() {
+        let opts = GenOptions::default();
+        assert_ne!(generate(7, 0, &opts), generate(7, 1, &opts));
+    }
+
+    #[test]
+    fn options_pin_policy_and_faults() {
+        let opts = GenOptions {
+            policy: Some(ShedPolicy::Spill),
+            faults: Some(false),
+        };
+        for i in 0..20 {
+            let ep = generate(11, i, &opts);
+            assert_eq!(ep.policy, ShedPolicy::Spill);
+            assert_eq!(ep.flux_steps, 0);
+            assert!(!ep
+                .steps
+                .iter()
+                .any(|s| matches!(s, Step::Panic { .. } | Step::Source(_))));
+        }
+    }
+
+    #[test]
+    fn ticks_are_nondecreasing_and_respect_punctuation() {
+        let opts = GenOptions::default();
+        for i in 0..50 {
+            let ep = generate(3, i, &opts);
+            let mut last = std::collections::HashMap::new();
+            let mut punct = std::collections::HashMap::new();
+            let mut check =
+                |stream: &str, t: i64, punct: &std::collections::HashMap<String, i64>| {
+                    let prev = last.entry(stream.to_string()).or_insert(i64::MIN);
+                    assert!(t >= *prev, "episode {i}: {stream} went {prev} -> {t}");
+                    let floor = punct.get(stream).copied().unwrap_or(i64::MIN);
+                    assert!(
+                        t > floor,
+                        "episode {i}: {stream} row at {t} <= punctuation {floor}"
+                    );
+                    *prev = t;
+                };
+            for s in &ep.steps {
+                match s {
+                    Step::Row { stream, ticks, .. } => check(stream, *ticks, &punct),
+                    Step::Source(src) => {
+                        for (t, _) in &src.rows {
+                            check(&src.stream, *t, &punct);
+                        }
+                    }
+                    Step::Punctuate { stream, ticks } => {
+                        punct.insert(stream.clone(), *ticks);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generated_queries_plan() {
+        let planner = tcq_sql::Planner::new(crate::oracle::sim_catalog());
+        let opts = GenOptions::default();
+        for i in 0..50 {
+            for q in &generate(5, i, &opts).queries {
+                planner.plan_sql(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+            }
+        }
+    }
+}

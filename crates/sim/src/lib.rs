@@ -1,0 +1,79 @@
+//! # sim
+//!
+//! Deterministic simulation testing for the TelegraphCQ engine.
+//!
+//! The engine's `Config::step_mode` removes every thread and wall clock
+//! from a server: the Wrapper and each Execution Object advance only
+//! when explicitly stepped, and one Wrapper poll round is one virtual
+//! millisecond. On top of that this crate builds the full
+//! simulation-testing loop:
+//!
+//! * [`episode`] — the replayable unit: `(seed, queries, input trace,
+//!   chaos schedule)` with a plain-text serialization, so any failure
+//!   is a small file that reproduces byte-identically.
+//! * [`driver`] — runs an episode against a real step-mode server and
+//!   records everything observable: per-query result sets, degraded
+//!   flags, shed counters, and the admitted (archived) trace.
+//! * [`oracle`] — a naive single-threaded reference interpreter over
+//!   the analyzed [`tcq_sql::QueryPlan`]: selections, grouped filters,
+//!   windowed joins and aggregates, and PSoup-style snapshot retrieval,
+//!   evaluated directly over the recorded trace with nested loops.
+//! * [`differ`] — compares engine output against the oracle modulo the
+//!   *declared* nondeterminism contract (intra-window row order, loss
+//!   admitted by non-`Block` shed policies, batches quarantined by
+//!   injected panics) — every divergence class is named in the differ,
+//!   never special-cased in a test.
+//! * [`gen`] — seeded random episodes composing the chaos levers:
+//!   flaky sources, operator-panic injection, eddy lottery reseeding,
+//!   Flux kill/restart schedules, and every shed policy.
+//! * [`shrink`] — greedy minimization of a failing episode to a small
+//!   replayable artifact for `tests/sim_corpus/`.
+//!
+//! The `tcq-sim` binary (`cargo run -p sim -- --seed <n> --episodes
+//! <k>`) wires these together; see DESIGN.md §11 for the determinism
+//! contract.
+
+pub mod differ;
+pub mod driver;
+pub mod episode;
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+
+pub use differ::{diff_episode, DiffReport};
+pub use driver::{run_episode, EpisodeRun, QueryOutput};
+pub use episode::{Episode, SourceSpec, Step};
+pub use gen::{generate, GenOptions};
+pub use oracle::{evaluate, OracleOutput};
+pub use shrink::shrink;
+
+/// One full check of an episode: run it twice (byte-identical replay),
+/// self-check engine invariants, and diff the first run against the
+/// reference oracle. Returns the list of failures (empty = pass).
+pub fn check_episode(ep: &Episode) -> Vec<String> {
+    let mut failures = Vec::new();
+    let run_a = match run_episode(ep) {
+        Ok(r) => r,
+        Err(e) => return vec![format!("harness: {e}")],
+    };
+    match run_episode(ep) {
+        Ok(run_b) => {
+            if run_a.rendered != run_b.rendered {
+                failures.push(
+                    "determinism: two runs of the same episode produced different bytes".into(),
+                );
+            }
+        }
+        Err(e) => failures.push(format!("harness (replay): {e}")),
+    }
+    failures.extend(run_a.invariant_failures.iter().cloned());
+    let oracle_out = match evaluate(ep, &run_a) {
+        Ok(o) => o,
+        Err(e) => {
+            failures.push(format!("oracle: {e}"));
+            return failures;
+        }
+    };
+    failures.extend(diff_episode(ep, &run_a, &oracle_out).diffs);
+    failures
+}

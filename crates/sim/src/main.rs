@@ -1,0 +1,220 @@
+//! `tcq-sim`: the deterministic simulation test binary.
+//!
+//! ```text
+//! tcq-sim --seed 42 --episodes 1000     # randomized episode sweep
+//! tcq-sim --smoke                       # fixed 200-episode CI matrix
+//!                                       #   (4 shed policies x fault/no-fault)
+//!                                       #   + replay of tests/sim_corpus/
+//! tcq-sim --replay tests/sim_corpus/spill-drain.episode
+//! ```
+//!
+//! Every episode is checked with `check_episode`: run twice
+//! (byte-identical replay), engine invariants asserted at each quiesce
+//! point, and the first run diffed against the reference oracle. A
+//! failing episode is shrunk to a minimal reproducer and written to the
+//! corpus directory; the process exits nonzero.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use sim::{check_episode, generate, shrink, Episode, GenOptions};
+use tcq_common::ShedPolicy;
+
+struct Args {
+    seed: u64,
+    episodes: u64,
+    smoke: bool,
+    replay: Vec<PathBuf>,
+    corpus: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 1,
+        episodes: 100,
+        smoke: false,
+        replay: Vec::new(),
+        corpus: PathBuf::from("tests/sim_corpus"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match a.as_str() {
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--episodes" => {
+                args.episodes = val("--episodes")?
+                    .parse()
+                    .map_err(|e| format!("--episodes: {e}"))?
+            }
+            "--smoke" => args.smoke = true,
+            "--replay" => args.replay.push(PathBuf::from(val("--replay")?)),
+            "--corpus" => args.corpus = PathBuf::from(val("--corpus")?),
+            "--help" | "-h" => {
+                println!(
+                    "tcq-sim: deterministic simulation testing\n\n\
+                     \t--seed <n>        root seed (default 1)\n\
+                     \t--episodes <k>    random episodes to run (default 100)\n\
+                     \t--smoke           fixed 200-episode matrix + corpus replay\n\
+                     \t--replay <file>   replay one episode file (repeatable)\n\
+                     \t--corpus <dir>    corpus directory (default tests/sim_corpus)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    // Chaos episodes inject operator panics that the engine's
+    // quarantine boundaries catch; keep the default hook from flooding
+    // stderr with backtraces for those expected faults.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected operator fault"))
+            || info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("injected operator fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tcq-sim: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = 0usize;
+    let mut checked = 0usize;
+
+    for path in &args.replay {
+        failed += replay_file(path) as usize;
+        checked += 1;
+    }
+    if !args.replay.is_empty() && !args.smoke {
+        return verdict(checked, failed);
+    }
+
+    if args.smoke {
+        // The CI matrix: every shed policy, with and without chaos.
+        let policies = [
+            ShedPolicy::Block,
+            ShedPolicy::DropNewest,
+            ShedPolicy::DropOldest,
+            ShedPolicy::Spill,
+        ];
+        for (pi, policy) in policies.iter().enumerate() {
+            for faults in [false, true] {
+                let opts = GenOptions {
+                    policy: Some(*policy),
+                    faults: Some(faults),
+                };
+                for i in 0..25u64 {
+                    let index = (pi as u64) * 1000 + (faults as u64) * 100 + i;
+                    failed += run_one(args.seed, index, &opts, &args.corpus) as usize;
+                    checked += 1;
+                }
+            }
+        }
+        // Always replay the checked-in regression corpus.
+        for path in corpus_files(&args.corpus) {
+            failed += replay_file(&path) as usize;
+            checked += 1;
+        }
+        return verdict(checked, failed);
+    }
+
+    let opts = GenOptions::default();
+    for i in 0..args.episodes {
+        failed += run_one(args.seed, i, &opts, &args.corpus) as usize;
+        checked += 1;
+        if (i + 1) % 100 == 0 {
+            eprintln!(
+                "tcq-sim: {}/{} episodes, {failed} failures",
+                i + 1,
+                args.episodes
+            );
+        }
+    }
+    verdict(checked, failed)
+}
+
+fn verdict(checked: usize, failed: usize) -> ExitCode {
+    if failed == 0 {
+        println!("tcq-sim: {checked} episodes clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("tcq-sim: {failed}/{checked} episodes FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+/// Returns `true` on failure.
+fn run_one(seed: u64, index: u64, opts: &GenOptions, corpus: &Path) -> bool {
+    let ep = generate(seed, index, opts);
+    let failures = check_episode(&ep);
+    if failures.is_empty() {
+        return false;
+    }
+    eprintln!("tcq-sim: episode (seed {seed}, index {index}) failed:");
+    for f in &failures {
+        eprintln!("  - {f}");
+    }
+    let small = shrink(&ep, 120);
+    let name = format!("shrunk-seed{seed}-ep{index}.episode");
+    let path = corpus.join(&name);
+    match std::fs::create_dir_all(corpus).and_then(|_| std::fs::write(&path, small.render())) {
+        Ok(()) => eprintln!("  shrunk reproducer written to {}", path.display()),
+        Err(e) => eprintln!("  could not write reproducer: {e}"),
+    }
+    true
+}
+
+/// Returns `true` on failure.
+fn replay_file(path: &Path) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tcq-sim: {}: {e}", path.display());
+            return true;
+        }
+    };
+    let ep = match Episode::parse(&text) {
+        Ok(ep) => ep,
+        Err(e) => {
+            eprintln!("tcq-sim: {}: parse error: {e}", path.display());
+            return true;
+        }
+    };
+    let failures = check_episode(&ep);
+    if failures.is_empty() {
+        println!("tcq-sim: replay {} clean", path.display());
+        false
+    } else {
+        eprintln!("tcq-sim: replay {} FAILED:", path.display());
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        true
+    }
+}
+
+fn corpus_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "episode"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}

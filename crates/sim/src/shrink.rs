@@ -1,0 +1,162 @@
+//! Greedy minimization of a failing episode.
+//!
+//! A randomly generated failure is typically dozens of steps and
+//! several queries; the corpus wants the smallest artifact that still
+//! reproduces. The shrinker runs ddmin-lite passes — drop step chunks
+//! of halving size, drop whole queries, zero the Flux schedule — and
+//! accepts a candidate only when it still fails *in the same category*
+//! (a candidate failing for a new reason, e.g. a harness error created
+//! by the mutation, is rejected). Every probe replays the episode twice
+//! (`check_episode`'s determinism run), so the run budget caps total
+//! work.
+
+use crate::episode::{Episode, Step};
+
+/// Coarse failure category: used to make sure shrinking preserves the
+/// original failure rather than trading it for a different one.
+fn category(failures: &[String]) -> String {
+    let first = failures.first().map(String::as_str).unwrap_or("");
+    first
+        .split(':')
+        .next()
+        .unwrap_or("")
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Minimize `ep`, which must currently fail `check_episode`. Returns
+/// the smallest still-failing episode found within ~`budget` episode
+/// checks (each check is two engine runs).
+pub fn shrink(ep: &Episode, budget: usize) -> Episode {
+    let original = category(&crate::check_episode(ep));
+    let mut best = ep.clone();
+    let mut left = budget;
+    let still_fails = |cand: &Episode, left: &mut usize| -> bool {
+        if *left == 0 {
+            return false;
+        }
+        *left -= 1;
+        let failures = crate::check_episode(cand);
+        !failures.is_empty() && category(&failures) == original
+    };
+
+    // 1. The Flux schedule is self-contained; drop it first.
+    if best.flux_steps > 0 {
+        let mut cand = best.clone();
+        cand.flux_steps = 0;
+        if still_fails(&cand, &mut left) {
+            best = cand;
+        }
+    }
+
+    // 2. Drop whole queries (fixing up panic-step indices).
+    let mut qi = 0;
+    while qi < best.queries.len() && best.queries.len() > 1 {
+        let cand = without_query(&best, qi);
+        if still_fails(&cand, &mut left) {
+            best = cand;
+        } else {
+            qi += 1;
+        }
+    }
+
+    // 3. ddmin-lite over steps: remove chunks of halving size.
+    let mut chunk = (best.steps.len() / 2).max(1);
+    loop {
+        let mut start = 0;
+        while start < best.steps.len() {
+            let mut cand = best.clone();
+            let end = (start + chunk).min(cand.steps.len());
+            cand.steps.drain(start..end);
+            if still_fails(&cand, &mut left) {
+                best = cand;
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 || left == 0 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // 4. Thin surviving source specs row by row.
+    let mut si = 0;
+    while si < best.steps.len() {
+        if let Step::Source(src) = &best.steps[si] {
+            let mut ri = 0;
+            let mut n = src.rows.len();
+            while ri < n {
+                let mut cand = best.clone();
+                if let Step::Source(s) = &mut cand.steps[si] {
+                    s.rows.remove(ri);
+                }
+                if still_fails(&cand, &mut left) {
+                    best = cand;
+                    n -= 1;
+                } else {
+                    ri += 1;
+                }
+            }
+        }
+        si += 1;
+    }
+    best
+}
+
+/// Remove query `qi`, dropping panic steps that targeted it and
+/// re-pointing panic steps at later queries.
+fn without_query(ep: &Episode, qi: usize) -> Episode {
+    let mut cand = ep.clone();
+    cand.queries.remove(qi);
+    cand.steps.retain_mut(|s| match s {
+        Step::Panic { query } if *query == qi => false,
+        Step::Panic { query } if *query > qi => {
+            *query -= 1;
+            true
+        }
+        _ => true,
+    });
+    cand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn without_query_repoints_panics() {
+        let ep = Episode {
+            seed: 1,
+            policy: tcq_common::ShedPolicy::Block,
+            batch_size: 1,
+            input_queue: 8,
+            flux_steps: 0,
+            queries: vec!["q0".into(), "q1".into(), "q2".into()],
+            steps: vec![
+                Step::Panic { query: 0 },
+                Step::Panic { query: 1 },
+                Step::Panic { query: 2 },
+            ],
+        };
+        let cand = without_query(&ep, 1);
+        assert_eq!(cand.queries, vec!["q0".to_string(), "q2".to_string()]);
+        assert_eq!(
+            cand.steps,
+            vec![Step::Panic { query: 0 }, Step::Panic { query: 1 }]
+        );
+    }
+
+    #[test]
+    fn category_groups_failures() {
+        assert_eq!(
+            category(&["query 3: rows mismatch".into()]),
+            category(&["query 3: instants mismatch".into()])
+        );
+        assert_ne!(
+            category(&["harness: settle".into()]),
+            category(&["determinism: bytes".into()])
+        );
+    }
+}

@@ -146,6 +146,14 @@ impl Parser {
         } else {
             None
         };
+        // The grammar puts ORDER BY before the for-loop; diagnose the
+        // common misplacement instead of a bare "trailing input".
+        if window.is_some() && self.at_keyword("ORDER") {
+            return Err(self.err(
+                "ORDER BY must precede the window for-loop: \
+                 SELECT ... ORDER BY ... for (...) { WindowIs(...); }",
+            ));
+        }
         Ok(QueryAst {
             distinct,
             select,
@@ -726,6 +734,22 @@ mod tests {
                 matches!(parse(bad), Err(TcqError::ParseError { .. })),
                 "{bad} should fail"
             );
+        }
+    }
+
+    #[test]
+    fn misplaced_order_by_gets_a_specific_error() {
+        let e =
+            parse("SELECT day FROM s for (t = 1; t <= 5; t++) { WindowIs(s, 1, t); } ORDER BY day")
+                .unwrap_err();
+        match e {
+            TcqError::ParseError { message, .. } => {
+                assert!(
+                    message.contains("ORDER BY must precede the window for-loop"),
+                    "got: {message}"
+                );
+            }
+            other => panic!("{other:?}"),
         }
     }
 

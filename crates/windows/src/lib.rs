@@ -43,4 +43,4 @@ pub mod spec;
 
 pub use agg::{AggKind, LandmarkAgg, SlidingAgg, WindowAgg};
 pub use buffer::{VecWindowBuffer, WindowSource};
-pub use spec::{Bound, ForLoop, LoopCond, WindowIs, WindowKind, WindowSeq};
+pub use spec::{right_released, Bound, ForLoop, LoopCond, WindowIs, WindowKind, WindowSeq};

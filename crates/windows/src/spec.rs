@@ -155,6 +155,21 @@ impl WindowIs {
     }
 }
 
+/// The window release rule: is a window right end at tick `right`
+/// provably complete, given the stream's high-water tick and its latest
+/// punctuation?
+///
+/// Released iff a strictly later tuple has arrived (`high_water >
+/// right` — per-stream timestamps are monotone, so a later tick closes
+/// every earlier one) or a punctuation covers it (`punct >= right` — a
+/// punctuation at `t` promises no more tuples with tick <= `t`). This
+/// single definition is shared by the executor's window driver and the
+/// simulation oracle, so the engine and its reference model cannot
+/// drift on when an instant fires.
+pub fn right_released(right: i64, high_water: i64, punct: i64) -> bool {
+    high_water > right || punct >= right
+}
+
 /// The paper's window taxonomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WindowKind {
@@ -422,5 +437,19 @@ mod tests {
     fn bound_eval_saturates() {
         let b = Bound::affine(i64::MAX, 2);
         assert_eq!(b.eval(2), i64::MAX);
+    }
+
+    #[test]
+    fn release_rule() {
+        // A strictly later tuple proves the right end complete...
+        assert!(right_released(5, 6, i64::MIN));
+        // ...a same-tick tuple does not (ties may still arrive)...
+        assert!(!right_released(5, 5, i64::MIN));
+        // ...but a punctuation at the right end does: no more tuples
+        // with tick <= 5 means tick 5 is closed.
+        assert!(right_released(5, 5, 5));
+        assert!(!right_released(5, i64::MIN, 4));
+        // No data, no punctuation: never released.
+        assert!(!right_released(5, i64::MIN, i64::MIN));
     }
 }

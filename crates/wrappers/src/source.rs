@@ -6,7 +6,7 @@ use std::io::{BufRead, BufReader};
 use std::path::Path;
 
 use tcq_common::rng::SplitMix64;
-use tcq_common::{Clock, DataType, Result, Schema, TcqError, Tuple, Value};
+use tcq_common::{Clock, DataType, Result, Schema, TcqError, Timestamp, Tuple, Value};
 use tcq_fjords::{DequeueResult, Fjord};
 
 /// A failure reported by [`Source::try_poll`].
@@ -124,6 +124,23 @@ impl<I: Iterator<Item = Tuple> + Send> IterSource<I> {
             done: false,
             name: name.into(),
         }
+    }
+}
+
+impl IterSource<std::vec::IntoIter<Tuple>> {
+    /// A source over pre-stamped logical-time rows: each `(ticks,
+    /// fields)` pair becomes a tuple at `Timestamp::logical(ticks)` —
+    /// the shape replayable traces (e.g. simulation episodes) are
+    /// written in.
+    pub fn from_rows(
+        name: impl Into<String>,
+        rows: impl IntoIterator<Item = (i64, Vec<Value>)>,
+    ) -> IterSource<std::vec::IntoIter<Tuple>> {
+        let tuples: Vec<Tuple> = rows
+            .into_iter()
+            .map(|(t, fields)| Tuple::new(fields, Timestamp::logical(t)))
+            .collect();
+        IterSource::new(name, tuples.into_iter())
     }
 }
 
@@ -311,6 +328,19 @@ mod tests {
         assert_eq!(s.poll(10).len(), 2);
         assert!(s.is_exhausted());
         assert_eq!(s.name(), "it");
+    }
+
+    #[test]
+    fn from_rows_stamps_logical_time() {
+        let mut s = IterSource::from_rows(
+            "trace",
+            vec![(3, vec![Value::Int(30)]), (7, vec![Value::Int(70)])],
+        );
+        let out = s.poll(10);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].ts(), Timestamp::logical(3));
+        assert_eq!(out[1].ts(), Timestamp::logical(7));
+        assert_eq!(out[1].fields()[0], Value::Int(70));
     }
 
     #[test]

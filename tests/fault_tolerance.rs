@@ -2,7 +2,7 @@
 //! join state movement, archive durability.
 
 use tcq_common::{Timestamp, Tuple, Value};
-use tcq_flux::{FluxCluster, GroupCount, WindowJoinOp};
+use tcq_flux::{FaultAction, FaultSchedule, FluxCluster, GroupCount, WindowJoinOp};
 
 fn row(k: i64, seq: i64) -> Tuple {
     Tuple::at_seq(vec![Value::Int(k)], seq)
@@ -154,63 +154,36 @@ fn archive_survives_reader_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// SplitMix64: a tiny deterministic PRNG so fault schedules are fully
-/// reproducible from a printed seed.
-struct SplitMix64(u64);
-
-impl SplitMix64 {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
-
 /// Drive one seeded kill/restart/rebalance schedule against a
 /// replicated cluster, checking conservation after every burst. Returns
-/// the final (pushed, stats) for cross-seed assertions.
+/// the final (pushed, stats) for cross-seed assertions. The schedule
+/// itself is the shared `tcq_flux::FaultSchedule` — the same generator
+/// the simulation harness composes into chaos episodes — so a failing
+/// seed here replays identically there.
 fn run_fault_schedule(seed: u64, cluster: &mut FluxCluster) -> i64 {
-    let machines = 5;
-    let mut rng = SplitMix64(seed);
-    let mut alive = vec![true; machines];
+    let mut schedule = FaultSchedule::new(seed, 5, 3);
     let mut pushed = 0i64;
     for step in 0..60 {
         // A burst of routed tuples between faults.
-        let burst = 50 + rng.below(150) as i64;
-        for i in 0..burst {
+        let (burst, action) = schedule.next_step();
+        for i in 0..burst as i64 {
             cluster
                 .route(0, &row((pushed + i) % 97, pushed + i))
                 .unwrap();
         }
-        pushed += burst;
-        let n_alive = alive.iter().filter(|a| **a).count();
-        match rng.below(4) {
-            // Kill a random alive machine, but keep >= 3 alive so a
-            // replica always exists and can be re-established.
-            0 if n_alive > 3 => {
-                let victims: Vec<usize> = (0..machines).filter(|&m| alive[m]).collect();
-                let v = victims[rng.below(victims.len() as u64) as usize];
-                cluster.kill_machine(v).unwrap();
-                alive[v] = false;
-            }
-            // Restart a random dead machine: it rejoins empty and is
-            // healed from the surviving replicas.
-            1 if n_alive < machines => {
-                let dead: Vec<usize> = (0..machines).filter(|&m| !alive[m]).collect();
-                let v = dead[rng.below(dead.len() as u64) as usize];
-                cluster.restart_machine(v).unwrap();
-                alive[v] = true;
-            }
-            2 => {
+        pushed += burst as i64;
+        match action {
+            // Kill a random alive machine; the schedule keeps >= 3
+            // alive so a replica always exists and can be
+            // re-established.
+            FaultAction::Kill(v) => cluster.kill_machine(v).unwrap(),
+            // Restart a dead machine: it rejoins empty and is healed
+            // from the surviving replicas.
+            FaultAction::Restart(v) => cluster.restart_machine(v).unwrap(),
+            FaultAction::Rebalance => {
                 cluster.rebalance();
             }
-            _ => {}
+            FaultAction::Calm => {}
         }
         assert_eq!(
             total_count(cluster),

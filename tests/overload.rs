@@ -2,11 +2,12 @@
 //! the Wrapper→Fjord boundary, spill-to-archive with re-ingestion,
 //! panic quarantine in the executor, and source retry/backoff.
 //!
-//! The load recipe: one EO with an artificial per-batch delay
-//! (`Config::eo_batch_delay`) and a tiny input queue, while the test
-//! thread pushes as fast as it can — queue depth crosses the high
-//! watermark within a few dozen pushes, deterministically engaging the
-//! policy under test.
+//! The load recipe runs in `Config::step_mode`: the single EO drains
+//! only when explicitly stepped (or when a full queue forces an inline
+//! drain), so pushing into the tiny input queue crosses the high
+//! watermark after a fixed number of pushes — the policy under test
+//! engages deterministically, with no wall-clock race against a slow
+//! executor thread.
 
 use std::time::Duration;
 
@@ -23,16 +24,27 @@ fn s_schema() -> Schema {
     )
 }
 
-/// A slow single EO behind an 8-slot queue: high watermark 7, low 2.
+/// A stepped single EO behind an 8-slot queue: high watermark 7, low 2.
 fn overload_config(policy: ShedPolicy) -> Config {
     Config {
+        step_mode: true,
         executor_threads: 1,
         input_queue: 8,
         batch_size: 1,
-        eo_batch_delay: Some(Duration::from_micros(500)),
         result_buffer: 1 << 14,
         shed_policy: policy,
         ..Config::default()
+    }
+}
+
+/// Fjord conservation at a quiesce point: every EO input queue has been
+/// drained, and its traffic counters balance exactly.
+fn assert_conserved(s: &Server) {
+    for (i, st) in s.eo_input_stats().iter().enumerate() {
+        assert!(
+            st.is_quiescent(),
+            "eo{i}.input: enqueued == dequeued + depth with depth 0 at quiesce: {st:?}"
+        );
     }
 }
 
@@ -61,17 +73,21 @@ fn seqs(h: &QueryHandle) -> Vec<i64> {
         .collect()
 }
 
-/// Wait for every pending spill episode of `stream` to re-ingest.
+/// Advance virtual time until every pending spill episode of `stream`
+/// has re-ingested: each Wrapper round re-ingests idle spill batches,
+/// and the bound is in rounds, not wall-clock seconds.
 fn await_spill_drained(s: &Server, stream: &str) {
-    let start = std::time::Instant::now();
-    while s.shed_stats(stream).unwrap().spill_pending > 0 {
-        assert!(
-            start.elapsed() < Duration::from_secs(30),
-            "spill never re-ingested: {:?}",
-            s.shed_stats(stream).unwrap()
-        );
-        std::thread::sleep(Duration::from_millis(1));
+    for _ in 0..10_000 {
+        if s.shed_stats(stream).unwrap().spill_pending == 0 {
+            return;
+        }
+        s.sim_step_wrapper();
+        s.sync();
     }
+    panic!(
+        "spill never re-ingested: {:?}",
+        s.shed_stats(stream).unwrap()
+    );
 }
 
 const N: i64 = 400;
@@ -84,6 +100,7 @@ fn block_policy_loses_nothing() {
         push_seq(&s, i);
     }
     s.sync();
+    assert_conserved(&s);
     let st = s.shed_stats("S").unwrap();
     assert_eq!(st.shed, 0, "backpressure never sheds");
     assert_eq!(st.spilled, 0);
@@ -99,6 +116,7 @@ fn drop_newest_conserves_and_sheds() {
         push_seq(&s, i);
     }
     s.sync();
+    assert_conserved(&s);
     let st = s.shed_stats("S").unwrap();
     let delivered = seqs(&h);
     assert!(st.shed > 0, "overload must engage: {st:?}");
@@ -118,6 +136,7 @@ fn drop_oldest_conserves_and_favors_fresh_data() {
         push_seq(&s, i);
     }
     s.sync();
+    assert_conserved(&s);
     let st = s.shed_stats("S").unwrap();
     let delivered = seqs(&h);
     assert!(st.shed > 0, "overload must engage: {st:?}");
@@ -135,6 +154,7 @@ fn sample_conserves_and_sheds() {
         push_seq(&s, i);
     }
     s.sync();
+    assert_conserved(&s);
     let st = s.shed_stats("S").unwrap();
     let delivered = seqs(&h);
     assert!(st.shed > 0, "overload must engage: {st:?}");
@@ -151,6 +171,7 @@ fn spill_delivers_everything_in_order_after_load_subsides() {
     }
     await_spill_drained(&s, "S");
     s.sync();
+    assert_conserved(&s);
     let st = s.shed_stats("S").unwrap();
     assert!(st.spilled > 0, "overload must engage: {st:?}");
     assert_eq!(st.reingested, st.spilled);
@@ -199,6 +220,7 @@ fn shed_counters_queryable_via_tcq_shed() {
     assert!(st.shed > 0, "overload must engage: {st:?}");
     s.emit_introspection();
     s.sync();
+    assert_conserved(&s);
     let rows: Vec<_> = shed_q.drain().into_iter().flat_map(|r| r.rows).collect();
     let shed_row = rows
         .iter()
@@ -222,6 +244,7 @@ fn flaky_source_retries_until_everything_arrives() {
     use tcq_wrappers::{FlakySource, IterSource};
 
     let s = Server::start(Config {
+        step_mode: true,
         executor_threads: 1,
         ..Config::default()
     })
@@ -235,6 +258,8 @@ fn flaky_source_retries_until_everything_arrives() {
     // transient fault, then the inner source drains in a single poll.
     let flaky = FlakySource::new(IterSource::new("gen", tuples.into_iter()), 3, 0.4);
     s.attach_source("S", Box::new(flaky)).unwrap();
+    // 30k virtual rounds (step mode counts the timeout in Wrapper
+    // rounds), far beyond the backoff ladder for one fault.
     assert!(s.drain_sources(Duration::from_secs(30)));
     let delivered = seqs(&h);
     assert_eq!(delivered.len(), 200, "transient faults lose nothing");
@@ -276,6 +301,7 @@ impl tcq_wrappers::Source for AlwaysFailing {
 #[test]
 fn wrapper_gives_up_after_retry_budget() {
     let s = Server::start(Config {
+        step_mode: true,
         executor_threads: 1,
         source_retry_max: 3,
         ..Config::default()
@@ -300,6 +326,7 @@ fn wrapper_gives_up_after_retry_budget() {
 fn drain_sources_timeout_is_counted() {
     use tcq_wrappers::ChannelSource;
     let s = Server::start(Config {
+        step_mode: true,
         executor_threads: 1,
         ..Config::default()
     })

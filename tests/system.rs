@@ -17,6 +17,18 @@ fn stock_schema() -> Schema {
     )
 }
 
+/// Fjord conservation at a quiesce point: every EO input queue has
+/// been drained, and its traffic counters balance exactly
+/// (`enqueued == dequeued + depth` with `depth == 0`).
+fn assert_conserved(s: &Server) {
+    for (i, st) in s.eo_input_stats().iter().enumerate() {
+        assert!(
+            st.is_quiescent(),
+            "eo{i}.input not conserved at quiesce: {st:?}"
+        );
+    }
+}
+
 fn sensor_schema() -> Schema {
     Schema::qualified(
         "sensors",
@@ -58,6 +70,7 @@ fn queries_add_and_remove_mid_stream() {
     s.stop_query(q1.id).unwrap();
     quote(3, 40.0);
     s.sync();
+    assert_conserved(&s);
 
     let q1_rows: Vec<f64> = q1
         .drain()
@@ -157,6 +170,7 @@ fn mixed_streams_and_query_classes() {
     }
     s.punctuate("Sensors", 25).unwrap();
     s.sync();
+    assert_conserved(&s);
 
     let stock_count: usize = stocks.drain().iter().map(|r| r.rows.len()).sum();
     assert_eq!(stock_count, 5);
@@ -173,7 +187,13 @@ fn mixed_streams_and_query_classes() {
 /// windows without explicit client punctuation.
 #[test]
 fn wrapper_auto_punctuates_on_source_exhaustion() {
-    let s = Server::start(Config::default()).unwrap();
+    // Step mode: `drain_sources` advances the Wrapper in virtual rounds,
+    // so the exhaustion -> auto-punctuation path is deterministic.
+    let s = Server::start(Config {
+        step_mode: true,
+        ..Config::default()
+    })
+    .unwrap();
     s.register_stream("ClosingStockPrices", stock_schema())
         .unwrap();
     let h = s
@@ -189,6 +209,7 @@ fn wrapper_auto_punctuates_on_source_exhaustion() {
     .unwrap();
     assert!(s.drain_sources(std::time::Duration::from_secs(10)));
     s.sync();
+    assert_conserved(&s);
     let sets = h.drain();
     assert_eq!(sets.len(), 3, "all three windows released, incl. the last");
     for rs in &sets {
@@ -226,6 +247,7 @@ fn shared_selection_fanout_is_correct() {
         .unwrap();
     }
     s.sync();
+    assert_conserved(&s);
     for (i, h) in handles.iter().enumerate() {
         let got: usize = h.drain().iter().map(|r| r.rows.len()).sum();
         let expected = (1..=10)
@@ -301,6 +323,7 @@ fn multiple_executor_threads() {
             .unwrap();
     }
     s.sync();
+    assert_conserved(&s);
     for (i, h) in qs.iter().enumerate() {
         let got: usize = h.drain().iter().map(|r| r.rows.len()).sum();
         assert_eq!(got, 20, "query {i} sees every tuple of its stream");
@@ -340,6 +363,7 @@ fn select_distinct_everywhere() {
     }
     s.punctuate("ClosingStockPrices", 8).unwrap();
     s.sync();
+    assert_conserved(&s);
     let streamed_rows: Vec<String> = streamed
         .drain()
         .into_iter()
