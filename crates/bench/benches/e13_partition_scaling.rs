@@ -1,0 +1,27 @@
+//! E13 — partitioned parallel scaling: one hot stream's pipeline
+//! (eddy routing, grouped filters, egress) hash-sharded across EO
+//! worker threads through the thread-backed Flux exchange, with a
+//! timestamp-order-restoring merge at the egress. Throughput should
+//! scale with partitions while `partitions <= cores`; outputs are
+//! byte-identical at every setting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcq_bench::e13_run;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_partition_scaling");
+    g.sample_size(10);
+    for &partitions in &[1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("partitions", partitions),
+            &partitions,
+            |b, &p| {
+                b.iter(|| e13_run(p, 50_000));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Regenerate every experiment table for EXPERIMENTS.md.
 //!
 //! ```sh
-//! cargo run --release -p tcq-bench --bin experiments        # all of E1–E12
+//! cargo run --release -p tcq-bench --bin experiments        # all of E1–E13
 //! cargo run --release -p tcq-bench --bin experiments e11    # just E11
 //! cargo run --release -p tcq-bench --bin experiments e4 e10 # a subset
 //! ```
@@ -19,7 +19,7 @@ fn main() {
     println!("TelegraphCQ-rs experiment report");
     println!("================================\n");
 
-    let table: [(&str, fn()); 12] = [
+    let table: [(&str, fn()); 13] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -32,6 +32,7 @@ fn main() {
         ("e10", e10),
         ("e11", e11),
         ("e12", e12),
+        ("e13", e13),
     ];
     let mut ran = false;
     for (name, run) in table {
@@ -41,7 +42,7 @@ fn main() {
         }
     }
     if !ran {
-        eprintln!("no experiment matches {args:?}; known: e1..e12");
+        eprintln!("no experiment matches {args:?}; known: e1..e13");
         std::process::exit(2);
     }
 }
@@ -349,6 +350,66 @@ fn e12() {
             );
         }
     }
+    println!();
+}
+
+fn e13() {
+    println!("E13 — partitioned parallel scaling via the Flux exchange (100k tuples)");
+    println!(
+        "  {} shared-class alerts + 1 tap; one hot stream sharded across EO workers",
+        E13_QUERIES
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!("  host cores: {cores} (speedup is only expected while partitions <= cores)");
+    println!(
+        "  {:<12} {:>12} {:>10} {:>12} {:>10} {:>10}",
+        "partitions", "tuples/s", "ms", "rows out", "alerts", "speedup"
+    );
+    let n = 100_000;
+    // Best of three per setting, interleaved, so a scheduling hiccup
+    // doesn't decide the verdict.
+    let best = |p: usize| {
+        (0..3)
+            .map(|_| e13_run(p, n))
+            .max_by(|a, b| a.tuples_per_sec.total_cmp(&b.tuples_per_sec))
+            .unwrap()
+    };
+    let mut results = Vec::new();
+    for &p in &[1usize, 2, 4] {
+        let r = best(p);
+        assert_eq!(r.rows_out, r.tuples, "tap delivers every tuple");
+        results.push(r);
+    }
+    let base = results[0].tuples_per_sec;
+    for r in &results {
+        assert_eq!(r.alerts, results[0].alerts, "answers identical");
+        println!(
+            "  {:<12} {:>12.0} {:>10.2} {:>12} {:>10} {:>9.2}x",
+            r.partitions,
+            r.tuples_per_sec,
+            r.elapsed_ms,
+            r.rows_out,
+            r.alerts,
+            r.tuples_per_sec / base.max(1e-9)
+        );
+    }
+    // Machine-readable record: speedup numbers are meaningless without
+    // the core count they were measured on.
+    let runs: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"partitions\":{},\"tuples_per_sec\":{:.0},\"speedup\":{:.3}}}",
+                r.partitions,
+                r.tuples_per_sec,
+                r.tuples_per_sec / base.max(1e-9)
+            )
+        })
+        .collect();
+    println!(
+        "  json: {{\"experiment\":\"e13\",\"cores\":{cores},\"tuples\":{n},\"runs\":[{}]}}",
+        runs.join(",")
+    );
     println!();
 }
 

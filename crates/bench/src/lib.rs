@@ -683,6 +683,127 @@ fn pipeline_run(config: tcq::Config, n: usize) -> E10Result {
     }
 }
 
+// --------------------------------------------------------------- E13 --
+
+/// E13 metrics: partitioned-parallel pipeline scaling through the
+/// thread-backed Flux exchange.
+#[derive(Debug, Clone, Copy)]
+pub struct E13Result {
+    /// `Config::partitions` the run used (1 = the unsharded engine).
+    pub partitions: usize,
+    /// Logical cores available on this host
+    /// (`std::thread::available_parallelism`). Speedup claims are only
+    /// meaningful when `cores >= partitions` — record it, don't assume.
+    pub cores: usize,
+    /// Source tuples ingested through the Wrapper.
+    pub tuples: u64,
+    /// Rows the always-true tap delivered (identical across partition
+    /// counts — the correctness anchor).
+    pub rows_out: u64,
+    /// Rows the selective alert queries delivered (also identical).
+    pub alerts: u64,
+    /// Wall time from source attach to pipeline drained.
+    pub elapsed_ms: f64,
+    /// Source tuples per second through the full pipeline.
+    pub tuples_per_sec: f64,
+}
+
+/// Standing-query count for the E13 workload: enough shared-class
+/// predicate work per tuple that the pipeline is compute-bound in the
+/// Execution Objects, which is the regime partitioning parallelizes.
+pub const E13_QUERIES: usize = 64;
+
+/// E13: the E10 pipeline workload made compute-heavy — [`E13_QUERIES`]
+/// selective shared-class alerts plus one always-true tap over the
+/// packet stream — run at `Config::partitions = partitions`. At 1 the
+/// stream's whole pipeline runs on its single home EO; above 1 every
+/// batch is hash-partitioned across that many EO worker threads through
+/// the Flux exchange and re-merged at the egress, so on a machine with
+/// `cores >= partitions` the per-tuple filter work runs genuinely in
+/// parallel. Outputs are byte-identical either way.
+pub fn e13_run(partitions: usize, n: usize) -> E13Result {
+    use tcq_common::{DataType, Field, Schema};
+    let config = tcq::Config {
+        batch_size: 256,
+        executor_threads: 1,
+        partitions,
+        result_buffer: n.max(1024),
+        ..tcq::Config::default()
+    };
+    let server = tcq::Server::start(config).expect("server starts");
+    server
+        .register_stream(
+            "packets",
+            Schema::qualified(
+                "packets",
+                vec![
+                    Field::new("sym", DataType::Str),
+                    Field::new("price", DataType::Float),
+                ],
+            ),
+        )
+        .expect("stream registers");
+    let alerts: Vec<tcq::QueryHandle> = (0..E13_QUERIES)
+        .map(|i| {
+            let threshold = 90.0 + (i % 100) as f64 / 10.0;
+            server
+                .submit(&format!(
+                    "SELECT price FROM packets WHERE price > {threshold:?}"
+                ))
+                .expect("alert submits")
+        })
+        .collect();
+    let tap = server
+        .submit("SELECT price FROM packets WHERE price >= 0.0")
+        .expect("tap submits");
+    // Drain the tap concurrently so its result Fjord never backs up;
+    // the selective alerts fit in their buffers and drain at the end.
+    let tap_id = tap.id;
+    let drainer = std::thread::spawn(move || {
+        let mut rows = 0u64;
+        while let Some(set) = tap.next_blocking() {
+            rows += set.rows.len() as u64;
+        }
+        rows
+    });
+    let tuples = packet_prices(n);
+    let start = Instant::now();
+    server
+        .attach_source(
+            "packets",
+            Box::new(tcq_wrappers::IterSource::new(
+                "packetgen",
+                tuples.into_iter(),
+            )),
+        )
+        .expect("source attaches");
+    assert!(
+        server.drain_sources(std::time::Duration::from_secs(300)),
+        "pipeline drains"
+    );
+    let elapsed = start.elapsed();
+    let _ = server.stop_query(tap_id);
+    server.sync();
+    let rows_out = drainer.join().expect("egress drainer");
+    let ingested = server.wrapper_ingested();
+    let alert_rows: u64 = alerts
+        .iter()
+        .flat_map(|h| h.drain())
+        .map(|set| set.rows.len() as u64)
+        .sum();
+    server.shutdown();
+    let secs = elapsed.as_secs_f64();
+    E13Result {
+        partitions,
+        cores: std::thread::available_parallelism().map_or(1, |c| c.get()),
+        tuples: ingested,
+        rows_out,
+        alerts: alert_rows,
+        elapsed_ms: secs * 1e3,
+        tuples_per_sec: n as f64 / secs.max(1e-9),
+    }
+}
+
 // --------------------------------------------------------------- E12 --
 
 /// E12 metrics: overload triage under a paced producer.
@@ -885,6 +1006,17 @@ mod tests {
         let s = e12_run(tcq::ShedPolicy::Spill, 4.0);
         assert_eq!(s.shed, 0, "spill never drops");
         assert_eq!(s.delivered, s.offered, "100% delivery after subside");
+    }
+
+    #[test]
+    fn e13_outputs_identical_across_partition_counts() {
+        let single = e13_run(1, 4_000);
+        let sharded = e13_run(4, 4_000);
+        for r in [&single, &sharded] {
+            assert_eq!(r.tuples, 4_000, "every source tuple ingested");
+            assert_eq!(r.rows_out, r.tuples, "tap delivers everything");
+        }
+        assert_eq!(single.alerts, sharded.alerts, "alert rows identical");
     }
 
     #[test]

@@ -433,6 +433,22 @@ impl CacqEngine {
     /// with match counters, completion bitmaps, and lineage sets drawn
     /// from reusable scratch instead of per-tuple allocations.
     pub fn push_batch(&mut self, stream: usize, tuples: &[Tuple]) -> Vec<(QueryId, Tuple)> {
+        self.push_batch_indexed(stream, tuples)
+            .into_iter()
+            .map(|(_, id, t)| (id, t))
+            .collect()
+    }
+
+    /// [`CacqEngine::push_batch`] with provenance: each delivery carries
+    /// the index of the arriving tuple (within `tuples`) it derives from
+    /// — for joins, the probing side. The Flux exchange uses this to
+    /// restore arrival order when a partitioned stream's deliveries are
+    /// merged across workers.
+    pub fn push_batch_indexed(
+        &mut self,
+        stream: usize,
+        tuples: &[Tuple],
+    ) -> Vec<(usize, QueryId, Tuple)> {
         let n = tuples.len();
         self.stats.tuples += n as u64;
         let mut out = Vec::new();
@@ -525,7 +541,7 @@ impl CacqEngine {
                 for slot in deliver.iter() {
                     if let Some(Some(q)) = self.queries.get(slot) {
                         self.stats.delivered += 1;
-                        out.push((q.id, tuple.clone()));
+                        out.push((t, q.id, tuple.clone()));
                     }
                 }
             }
@@ -570,7 +586,7 @@ impl CacqEngine {
                         for slot in combined.iter() {
                             if let Some(Some(id)) = slot_ids.get(slot) {
                                 self.stats.delivered += 1;
-                                out.push((*id, joined.clone()));
+                                out.push((t, *id, joined.clone()));
                             }
                         }
                     }

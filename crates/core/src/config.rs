@@ -75,6 +75,30 @@ pub struct Config {
     /// load-simulation knob for overload experiments (E12) and tests.
     /// `None` (the default) adds nothing to the hot path.
     pub eo_batch_delay: Option<std::time::Duration>,
+    /// Partitioned parallel execution degree (the Flux exchange; §6 of
+    /// the paper, after \[SHCF03\]).
+    ///
+    /// `1` (the default) is exactly the classic topology: every query
+    /// lives on one Execution Object chosen by stream footprint, and a
+    /// hot stream saturates one core. When `> 1`, the server runs this
+    /// many EO worker threads and hash-partitions each stream's pipeline
+    /// — eddy routing, grouped filters, SteM build/probe — across them
+    /// through a thread-backed Flux exchange: content-sensitive routing
+    /// at the Wrapper→EO boundary, punctuation broadcast to every
+    /// partition, and an order-restoring merge at the egress. Client
+    /// visible results (and window-release times) are byte-identical to
+    /// the `partitions: 1` run; queries whose state cannot be
+    /// partitioned (DISTINCT, multi-way joins) stay resident on one
+    /// partition. In `step_mode` the partitions drain round-robin in
+    /// virtual time, so simulation episodes remain deterministic at any
+    /// degree.
+    ///
+    /// `Config::default()` honors a `TCQ_PARTITIONS` environment
+    /// variable (ignored unless it parses to ≥ 1) so CI can replay the
+    /// entire test suite sharded — outputs are required to be identical,
+    /// making every existing assertion a partitioning regression test.
+    /// Explicit `partitions:` fields in struct literals still win.
+    pub partitions: usize,
     /// Deterministic single-threaded stepping (the simulation harness).
     ///
     /// When on, `Server::start` spawns no Wrapper or Executor threads;
@@ -108,6 +132,11 @@ impl Default for Config {
             shed_low_frac: 0.25,
             source_retry_max: 5,
             eo_batch_delay: None,
+            partitions: std::env::var("TCQ_PARTITIONS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&p| p >= 1)
+                .unwrap_or(1),
             step_mode: false,
         }
     }
@@ -126,5 +155,8 @@ mod tests {
         assert!(c.shed_policy.is_block(), "shedding is strictly opt-in");
         assert!(c.shed_low_frac < c.shed_high_frac);
         assert!(c.eo_batch_delay.is_none());
+        if std::env::var("TCQ_PARTITIONS").is_err() {
+            assert_eq!(c.partitions, 1, "partitioning is strictly opt-in");
+        }
     }
 }

@@ -31,7 +31,7 @@ use tcq_storage::StreamArchive;
 use tcq_windows::{AggKind, LandmarkAgg, LoopCond, WindowAgg};
 
 use crate::config::{Config, PolicyKind};
-use crate::query::{deliver, ResultSet, RunningQuery};
+use crate::query::{deliver, MergeRef, ResultSet, RunningQuery};
 
 /// Messages an Execution Object processes.
 pub enum ExecMsg {
@@ -43,6 +43,24 @@ pub enum ExecMsg {
         stream: usize,
         /// The tuples, oldest first.
         tuples: Vec<Tuple>,
+    },
+    /// One partition's share of an admitted batch, routed through the
+    /// Flux exchange (`Config::partitions > 1`). Every partition gets a
+    /// `DataPart` for every admitted batch — possibly with an empty
+    /// share — so egress merges can track admission order.
+    DataPart {
+        /// Global stream id.
+        stream: usize,
+        /// Global admission id (total order over all streams).
+        batch: u64,
+        /// High-water mark of the *full* batch (identical on every
+        /// partition, so window releases stay byte-identical).
+        hw: i64,
+        /// This partition's share: `(offset in the full batch, tuple)`.
+        part: Vec<(u32, Tuple)>,
+        /// The whole admitted batch, for queries resident on this
+        /// partition (windowless joins that could not pin, DISTINCT).
+        full: Arc<Vec<Tuple>>,
     },
     /// Fold a new query into the running executor.
     AddQuery(RunningQuery),
@@ -150,18 +168,27 @@ pub struct ExecutionObject {
     errors_tx: Sender<ErrorEvent>,
     /// Quarantined-batch count for this EO (flows into `tcq$operators`).
     quarantined: Option<Arc<tcq_metrics::Counter>>,
+    /// Conservation counters of the Flux exchange, present iff the
+    /// server runs partitioned (`Config::partitions > 1`); this EO is
+    /// partition `eo_id`.
+    exchange: Option<Arc<tcq_flux::ExchangeShared>>,
 }
 
 struct SharedQuery {
     /// Server-assigned query id (for fault attribution).
     qid: u64,
     plan: Arc<QueryPlan>,
+    /// Global id of the query's one stream (shared-class queries are
+    /// single-stream), for the must-offer rule on partitioned batches.
+    stream: usize,
     output: tcq_fjords::Fjord<ResultSet>,
     /// `SELECT DISTINCT` state (over unbounded streams, distinct keeps
     /// the seen-set; evicted alongside windows when the query has one).
     distinct: Option<tcq_eddy::DupElim>,
     degraded: Arc<AtomicBool>,
     panic_armed: bool,
+    /// Egress merge when the query is partitioned across EOs.
+    merge: Option<MergeRef>,
 }
 
 struct EddyQuery {
@@ -174,6 +201,10 @@ struct EddyQuery {
     distinct: Option<tcq_eddy::DupElim>,
     degraded: Arc<AtomicBool>,
     panic_armed: bool,
+    /// Egress merge when the query is partitioned across EOs; `None`
+    /// means the query is resident whole on this EO and consumes full
+    /// batches even in partitioned mode.
+    merge: Option<MergeRef>,
 }
 
 struct WindowedQuery {
@@ -222,6 +253,31 @@ fn report_quarantine(
     });
 }
 
+/// Offer one partition's result rows for one admitted batch to a
+/// partitioned query's egress merge, delivering whatever the offer
+/// releases. Data-path deliveries carry `window_t: None`; the merge's
+/// window slot is unused here.
+pub(crate) fn offer_and_deliver(
+    merge: &MergeRef,
+    output: &tcq_fjords::Fjord<ResultSet>,
+    part: usize,
+    batch: u64,
+    rows: Vec<(u32, Tuple)>,
+) {
+    let releases = merge.lock().unwrap().offer(part, batch, 0, rows);
+    for rel in releases {
+        if !rel.rows.is_empty() {
+            deliver(
+                output,
+                ResultSet {
+                    window_t: None,
+                    rows: rel.rows,
+                },
+            );
+        }
+    }
+}
+
 impl ExecutionObject {
     /// A fresh EO. With a registry, the EO's shared CACQ engine, every
     /// per-query eddy, and batch latency publish instruments under
@@ -232,6 +288,7 @@ impl ExecutionObject {
         archives: Arc<ArchiveSet>,
         metrics: Option<tcq_metrics::Registry>,
         errors_tx: Sender<ErrorEvent>,
+        exchange: Option<Arc<tcq_flux::ExchangeShared>>,
     ) -> ExecutionObject {
         let mut shared = CacqEngine::new();
         let batch_hist = metrics.as_ref().map(|r| {
@@ -256,6 +313,7 @@ impl ExecutionObject {
             batch_hist,
             errors_tx,
             quarantined,
+            exchange,
         }
     }
 
@@ -269,6 +327,13 @@ impl ExecutionObject {
     pub fn handle(&mut self, msg: ExecMsg) {
         match msg {
             ExecMsg::Data { stream, tuples } => self.on_data_batch(stream, tuples),
+            ExecMsg::DataPart {
+                stream,
+                batch,
+                hw,
+                part,
+                full,
+            } => self.on_data_part(stream, batch, hw, part, &full),
             ExecMsg::AddQuery(q) => self.add_query(q),
             ExecMsg::RemoveQuery(id) => self.remove_query(id),
             ExecMsg::Barrier(ack) => {
@@ -322,25 +387,36 @@ impl ExecutionObject {
             self.drive_windows();
             return;
         }
-        if let Some(spec) = sharable_spec(&plan, &q.stream_ids) {
-            let cacq_id = self
-                .shared
-                .add_query(spec)
-                .expect("sharable specs are valid");
-            self.shared_ids.insert(q.id, cacq_id);
-            let distinct = plan.distinct.then(tcq_eddy::DupElim::new);
-            self.shared_by_slot.insert(
-                cacq_id,
-                SharedQuery {
-                    qid: q.id,
-                    plan,
-                    output: q.output,
-                    distinct,
-                    degraded: q.degraded,
-                    panic_armed: false,
-                },
-            );
-            return;
+        // In partitioned mode only partitioned (merge-carrying) queries
+        // fold into the shared CACQ engine: the engine consumes this
+        // partition's *share* of each batch, while a query resident
+        // whole on this EO (e.g. DISTINCT, whose seen-set cannot shard
+        // without reordering output) must see full batches — it runs as
+        // a per-query eddy instead.
+        let share_scope = self.config.partitions <= 1 || q.merge.is_some();
+        if share_scope {
+            if let Some(spec) = sharable_spec(&plan, &q.stream_ids) {
+                let cacq_id = self
+                    .shared
+                    .add_query(spec)
+                    .expect("sharable specs are valid");
+                self.shared_ids.insert(q.id, cacq_id);
+                let distinct = plan.distinct.then(tcq_eddy::DupElim::new);
+                self.shared_by_slot.insert(
+                    cacq_id,
+                    SharedQuery {
+                        qid: q.id,
+                        plan,
+                        stream: q.stream_ids[0],
+                        output: q.output,
+                        distinct,
+                        degraded: q.degraded,
+                        panic_armed: false,
+                        merge: q.merge,
+                    },
+                );
+                return;
+            }
         }
         // Per-query adaptive eddy; the pipeline batch size doubles as
         // the eddy's §4.3 batching knob so whole batches share routing
@@ -369,6 +445,7 @@ impl ExecutionObject {
                 distinct,
                 degraded: q.degraded,
                 panic_armed: false,
+                merge: q.merge,
             },
         );
     }
@@ -527,6 +604,202 @@ impl ExecutionObject {
                     "eddy",
                     payload_str(e),
                 );
+            }
+        }
+
+        // Windowed class: high water may have released windows.
+        self.drive_windows();
+
+        if let (Some(hist), Some(start)) = (&self.batch_hist, timer) {
+            hist.record(start.elapsed().as_micros() as u64);
+        }
+    }
+
+    /// Process this partition's share of one admitted batch
+    /// (`Config::partitions > 1`). Partitioned queries consume the share
+    /// and *must offer* their results — empty included — to their egress
+    /// merge, or its admission-order watermark stalls; resident queries
+    /// consume the full batch exactly as in single-partition mode.
+    fn on_data_part(
+        &mut self,
+        stream: usize,
+        batch: u64,
+        hw: i64,
+        part: Vec<(u32, Tuple)>,
+        full: &Arc<Vec<Tuple>>,
+    ) {
+        tcq_metrics::tcq_trace!(
+            "eo{}: part stream={} batch={} share={}/{}",
+            self.eo_id,
+            stream,
+            batch,
+            part.len(),
+            full.len()
+        );
+        let timer = self.batch_hist.as_ref().map(|_| std::time::Instant::now());
+        if let Some(delay) = self.config.eo_batch_delay {
+            // The load-simulation cost scales with this partition's
+            // share: partitioned workers split a batch's work, which is
+            // exactly the speedup E13 measures.
+            if !self.config.step_mode && !full.is_empty() {
+                std::thread::sleep(delay.mul_f64(part.len() as f64 / full.len() as f64));
+            }
+        }
+        // The high-water mark is the *full* batch's — every partition
+        // advances identically, so window releases don't depend on which
+        // partition the right-end tuple hashed to.
+        let e = self.high_water.entry(stream).or_insert(i64::MIN);
+        *e = (*e).max(hw);
+        if let Some(ex) = &self.exchange {
+            ex.part(self.eo_id as usize)
+                .processed
+                .fetch_add(part.len() as u64, Ordering::SeqCst);
+        }
+        let part_of = self.eo_id as usize;
+        let (offsets, share): (Vec<u32>, Vec<Tuple>) = part.into_iter().unzip();
+
+        // Shared class over the share. Offsets key the merge's order
+        // restoration, so matches carry their index into the share.
+        let indexed = match catch_unwind(AssertUnwindSafe(|| {
+            self.shared.push_batch_indexed(stream, &share)
+        })) {
+            Ok(indexed) => indexed,
+            Err(e) => {
+                let payload = payload_str(e);
+                for sq in self.shared_by_slot.values() {
+                    sq.degraded.store(true, Ordering::Relaxed);
+                }
+                if let Some(c) = &self.quarantined {
+                    c.inc();
+                }
+                let _ = self.errors_tx.send(ErrorEvent {
+                    query: 0,
+                    operator: "cacq".to_string(),
+                    payload,
+                });
+                Vec::new()
+            }
+        };
+        let mut per_query: HashMap<u64, Vec<(u32, Tuple)>> = HashMap::new();
+        for (idx, cacq_id, t) in indexed {
+            per_query
+                .entry(cacq_id)
+                .or_default()
+                .push((offsets[idx], t));
+        }
+        for (cacq_id, sq) in self.shared_by_slot.iter_mut() {
+            let Some(merge) = &sq.merge else {
+                continue; // resident shared queries only exist at P=1
+            };
+            if sq.stream != stream {
+                continue; // merges only track batches of streams they read
+            }
+            let rows = per_query.remove(cacq_id).unwrap_or_default();
+            let armed = std::mem::take(&mut sq.panic_armed);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if armed {
+                    panic!("injected operator fault");
+                }
+                rows.iter()
+                    .filter_map(|(off, t)| sq.plan.project(t).ok().map(|p| (*off, p)))
+                    .collect::<Vec<(u32, Tuple)>>()
+            }));
+            let projected = match result {
+                Ok(projected) => projected,
+                Err(e) => {
+                    report_quarantine(
+                        &self.errors_tx,
+                        &self.quarantined,
+                        &sq.degraded,
+                        sq.qid,
+                        "shared_filter",
+                        payload_str(e),
+                    );
+                    // The batch is lost for this query (as at P=1), but
+                    // the merge still needs the offer to advance.
+                    Vec::new()
+                }
+            };
+            offer_and_deliver(merge, &sq.output, part_of, batch, projected);
+        }
+
+        // Eddy class: partitioned queries feed the share with driver
+        // attribution; resident queries feed the full batch, exactly the
+        // single-partition path.
+        for (&qid, eq) in self.eddies.iter_mut() {
+            let Some(positions) = eq.positions.get(&stream).cloned() else {
+                continue;
+            };
+            let armed = std::mem::take(&mut eq.panic_armed);
+            if let Some(merge) = &eq.merge {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if armed {
+                        panic!("injected operator fault");
+                    }
+                    let mut outs = Vec::new();
+                    for &pos in &positions {
+                        outs.extend(eq.eddy.push_batch_attributed(pos, share.clone()));
+                    }
+                    outs.iter()
+                        .filter_map(|(i, t)| {
+                            eq.plan.project(t).ok().map(|p| (offsets[*i as usize], p))
+                        })
+                        .collect::<Vec<(u32, Tuple)>>()
+                }));
+                let rows = match result {
+                    Ok(rows) => rows,
+                    Err(e) => {
+                        report_quarantine(
+                            &self.errors_tx,
+                            &self.quarantined,
+                            &eq.degraded,
+                            qid,
+                            "eddy",
+                            payload_str(e),
+                        );
+                        Vec::new()
+                    }
+                };
+                offer_and_deliver(merge, &eq.output, part_of, batch, rows);
+            } else {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if armed {
+                        panic!("injected operator fault");
+                    }
+                    let mut outs = Vec::new();
+                    for &pos in &positions {
+                        outs.extend(eq.eddy.push_batch(pos, (**full).clone()));
+                    }
+                    if !outs.is_empty() {
+                        let mut rows: Vec<Tuple> = outs
+                            .iter()
+                            .filter_map(|t| eq.plan.project(t).ok())
+                            .collect();
+                        if let Some(d) = &mut eq.distinct {
+                            rows.retain(|t| d.push(t.clone()).is_some());
+                        }
+                        if rows.is_empty() {
+                            return;
+                        }
+                        deliver(
+                            &eq.output,
+                            ResultSet {
+                                window_t: None,
+                                rows,
+                            },
+                        );
+                    }
+                }));
+                if let Err(e) = result {
+                    report_quarantine(
+                        &self.errors_tx,
+                        &self.quarantined,
+                        &eq.degraded,
+                        qid,
+                        "eddy",
+                        payload_str(e),
+                    );
+                }
             }
         }
 

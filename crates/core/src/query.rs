@@ -1,11 +1,18 @@
 //! Running queries, result sets, and client handles.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use tcq_common::{Schema, Tuple};
 use tcq_fjords::{DequeueResult, EnqueueResult, Fjord};
+use tcq_flux::OrderedMerge;
 use tcq_sql::QueryPlan;
+
+/// The egress merge of a partitioned query: one per query, shared by
+/// every partition's Execution Object (result offers) and the
+/// dispatcher's overload-triage path (empty offers for evicted shares).
+/// `None` on a query that lives whole on one EO.
+pub type MergeRef = Arc<Mutex<OrderedMerge<Tuple>>>;
 
 /// One delivery to a client: either a batch of streamed results
 /// (`window_t == None`) or the complete answer set for one window of the
@@ -21,7 +28,7 @@ pub struct ResultSet {
 }
 
 /// Internal representation of a registered query.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RunningQuery {
     /// Server-assigned id.
     pub id: u64,
@@ -36,6 +43,11 @@ pub struct RunningQuery {
     /// the query keeps running, but some batches may be missing from its
     /// answers. Shared with the client's [`QueryHandle`].
     pub degraded: Arc<AtomicBool>,
+    /// Present iff the query is partitioned across every EO
+    /// (`Config::partitions > 1` and the plan's state shards cleanly):
+    /// each partition offers its per-batch results here instead of
+    /// delivering directly.
+    pub merge: Option<MergeRef>,
 }
 
 /// A client's handle to a standing query.

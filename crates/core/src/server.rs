@@ -19,9 +19,19 @@ use tcq_sql::Planner;
 use tcq_storage::{BufferPool, Replacement, Spooler, StreamArchive};
 use tcq_wrappers::{Source, SourceError};
 
+use tcq_flux::{Exchange, ExchangeShared, OrderedMerge, RebalanceDecision};
+use tcq_sql::QueryPlan;
+
 use crate::config::Config;
-use crate::executor::{validate_plan, ArchiveSet, ErrorEvent, ExecMsg, ExecutionObject};
-use crate::query::{QueryHandle, ResultSet, RunningQuery};
+use crate::executor::{
+    offer_and_deliver, validate_plan, ArchiveSet, ErrorEvent, ExecMsg, ExecutionObject,
+};
+use crate::query::{MergeRef, QueryHandle, ResultSet, RunningQuery};
+
+/// Admitted batches between observed-depth rebalance passes of the Flux
+/// exchange. Counted, not timed, so partitioned step-mode runs stay
+/// deterministic.
+const REBALANCE_EVERY: u64 = 256;
 
 /// A running TelegraphCQ server.
 ///
@@ -353,11 +363,40 @@ struct Inner {
     metrics: Option<Registry>,
     /// Latency of the batched streamer path (archive + fan-out), µs.
     ingest_hist: Option<Arc<tcq_metrics::Histogram>>,
+    /// The thread-backed Flux exchange (`Config::partitions > 1`): hot
+    /// streams shard across the EO workers instead of broadcasting.
+    exchange: Option<ExchangeState>,
+}
+
+/// Dispatcher-side state of the thread-backed Flux exchange, present
+/// iff `Config::partitions > 1`.
+struct ExchangeState {
+    /// Routing tables + rebalancer. Data dispatch and control
+    /// broadcasts (AddQuery / RemoveQuery / InjectPanic) hold this lock
+    /// across all per-partition enqueues, so every partition's input
+    /// queue sees them in the same order relative to the data.
+    router: Mutex<Exchange>,
+    /// Conservation counters shared with the EO workers.
+    shared: Arc<ExchangeShared>,
+    /// Global admission ids (a total order over all streams' batches —
+    /// the egress merges release in this order).
+    next_batch: AtomicU64,
+    /// Admitted batches since start (rebalance cadence).
+    admits: AtomicU64,
 }
 
 struct QueryMeta {
-    eo: usize,
+    /// The EOs the query runs on: every partition for a partitioned
+    /// query, the home EO alone otherwise.
+    eos: Vec<usize>,
     output: Fjord<ResultSet>,
+    /// The egress merge of a partitioned query (shared with the EOs).
+    merge: Option<MergeRef>,
+    /// Global ids of the streams the query reads (overload triage
+    /// offers empty shares for evicted batches of these).
+    streams: Vec<usize>,
+    /// Streams this query pinned on a join key (unpinned on stop).
+    pinned: Vec<usize>,
 }
 
 enum WrapperMsg {
@@ -397,13 +436,32 @@ impl Server {
 
         // Executor: one input queue per EO; in threaded mode each EO
         // also gets its own thread, in step mode the EO objects are
-        // parked behind mutexes for explicit stepping.
+        // parked behind mutexes for explicit stepping. Partitioned mode
+        // dedicates one EO per Flux partition.
         let step_mode = config.step_mode;
+        let n_eos = if config.partitions > 1 {
+            config.partitions
+        } else {
+            config.executor_threads.max(1)
+        };
+        let exchange = (config.partitions > 1).then(|| {
+            let mut router = Exchange::new(config.partitions);
+            if let Some(registry) = &metrics {
+                router.bind_metrics(registry);
+            }
+            let shared = router.shared();
+            ExchangeState {
+                router: Mutex::new(router),
+                shared,
+                next_batch: AtomicU64::new(0),
+                admits: AtomicU64::new(0),
+            }
+        });
         let (errors_tx, errors_rx) = channel::<ErrorEvent>();
-        let mut eo_inputs = Vec::with_capacity(config.executor_threads.max(1));
+        let mut eo_inputs = Vec::with_capacity(n_eos);
         let mut threads = Vec::new();
         let mut sim_eos = Vec::new();
-        for eo_id in 0..config.executor_threads.max(1) {
+        for eo_id in 0..n_eos {
             let input: Fjord<ExecMsg> = Fjord::with_capacity(config.input_queue);
             if let Some(registry) = &metrics {
                 input.register_metrics(registry, &format!("eo{eo_id}.input"));
@@ -415,6 +473,7 @@ impl Server {
                 archives.clone(),
                 metrics.clone(),
                 errors_tx.clone(),
+                exchange.as_ref().map(|e| e.shared.clone()),
             );
             if step_mode {
                 sim_eos.push(Mutex::new(eo));
@@ -470,6 +529,7 @@ impl Server {
             _pool: pool,
             metrics,
             ingest_hist,
+            exchange,
             sim,
         });
 
@@ -751,26 +811,49 @@ impl Server {
         let mut footprint = stream_ids.clone();
         footprint.sort_unstable();
         footprint.dedup();
-        let eo = footprint.iter().sum::<usize>() % self.inner.eo_inputs.len();
+        let home = footprint.iter().sum::<usize>() % self.inner.eo_inputs.len();
+        let (eos, merge, pinned) = match &self.inner.exchange {
+            None => (vec![home], None, Vec::new()),
+            Some(ex) => classify_partitioned(ex, &plan, &stream_ids, home, id),
+        };
         let schema = plan.output_schema();
         let degraded = Arc::new(AtomicBool::new(false));
         let rq = RunningQuery {
             id,
             plan: Arc::new(plan),
-            stream_ids,
+            stream_ids: stream_ids.clone(),
             output: output.clone(),
             degraded: degraded.clone(),
+            merge: merge.clone(),
         };
         self.inner.queries.lock().unwrap().insert(
             id,
             QueryMeta {
-                eo,
+                eos: eos.clone(),
                 output: output.clone(),
+                merge,
+                streams: footprint,
+                pinned,
             },
         );
         // The QPQueue: "plans are then placed in the query plan queue
-        // ... the executor continually picks up fresh queries."
-        self.inner.eo_send(eo, ExecMsg::AddQuery(rq))?;
+        // ... the executor continually picks up fresh queries." A
+        // partitioned query is broadcast under the router lock so every
+        // partition folds it in at the same point of the batch order —
+        // all partitions then offer the exact same set of batches.
+        if eos.len() > 1 {
+            let ex = self
+                .inner
+                .exchange
+                .as_ref()
+                .expect("partitioned => exchange");
+            let _router = ex.router.lock().unwrap();
+            for &eo in &eos {
+                self.inner.eo_send(eo, ExecMsg::AddQuery(rq.clone()))?;
+            }
+        } else {
+            self.inner.eo_send(eos[0], ExecMsg::AddQuery(rq))?;
+        }
         Ok(QueryHandle::new(id, schema, output, degraded))
     }
 
@@ -783,7 +866,20 @@ impl Server {
             .unwrap()
             .remove(&id)
             .ok_or(TcqError::UnknownQuery(id))?;
-        self.inner.eo_send(meta.eo, ExecMsg::RemoveQuery(id))
+        if let Some(ex) = &self.inner.exchange {
+            let mut router = ex.router.lock().unwrap();
+            for &gid in &meta.pinned {
+                router.unpin(gid, id);
+            }
+            if meta.eos.len() > 1 {
+                // Same-order broadcast as AddQuery (see submit).
+                for &eo in &meta.eos {
+                    self.inner.eo_send(eo, ExecMsg::RemoveQuery(id))?;
+                }
+                return Ok(());
+            }
+        }
+        self.inner.eo_send(meta.eos[0], ExecMsg::RemoveQuery(id))
     }
 
     /// Wait until every tuple pushed (or submitted query) before this
@@ -909,15 +1005,30 @@ impl Server {
     /// boundary. The fault-injection lever behind the containment tests
     /// — the query degrades, siblings are untouched.
     pub fn inject_panic(&self, id: u64) -> Result<()> {
-        let eo = self
+        let eos = self
             .inner
             .queries
             .lock()
             .unwrap()
             .get(&id)
-            .map(|m| m.eo)
+            .map(|m| m.eos.clone())
             .ok_or(TcqError::UnknownQuery(id))?;
-        self.inner.eo_send(eo, ExecMsg::InjectPanic(id))
+        if eos.len() > 1 {
+            // Arm every partition at the same point of the batch order,
+            // so they all lose the *same* batch — exactly the one the
+            // single-partition run would have lost.
+            let ex = self
+                .inner
+                .exchange
+                .as_ref()
+                .expect("partitioned => exchange");
+            let _router = ex.router.lock().unwrap();
+            for &eo in &eos {
+                self.inner.eo_send(eo, ExecMsg::InjectPanic(id))?;
+            }
+            return Ok(());
+        }
+        self.inner.eo_send(eos[0], ExecMsg::InjectPanic(id))
     }
 
     /// Lock/throughput counters for each EO input queue, in EO order.
@@ -1009,6 +1120,14 @@ impl Server {
             );
             assert_eq!(depth, 0, "eo{i}.input not drained at quiesce: {st:?}");
         }
+        if let Some(ex) = &self.inner.exchange {
+            let in_flight = ex.shared.in_flight();
+            assert!(
+                in_flight.iter().all(|&n| n == 0),
+                "exchange shares in flight at quiesce \
+                 (routed - processed - evicted per partition): {in_flight:?}"
+            );
+        }
     }
 
     /// Stop all threads, closing every query's results.
@@ -1045,6 +1164,107 @@ impl Server {
             .copied()
             .ok_or_else(|| TcqError::UnknownStream(name.into()))
     }
+
+    /// Per-partition `(routed, processed, evicted)` conservation
+    /// counters of the Flux exchange; empty when `Config::partitions`
+    /// <= 1. At quiesce `routed == processed + evicted` per partition,
+    /// and summed `routed` equals the tuples admitted on partitioned
+    /// streams.
+    pub fn partition_stats(&self) -> Vec<(u64, u64, u64)> {
+        let Some(ex) = &self.inner.exchange else {
+            return Vec::new();
+        };
+        (0..ex.shared.partitions())
+            .map(|i| {
+                let p = ex.shared.part(i);
+                (
+                    p.routed.load(Ordering::SeqCst),
+                    p.processed.load(Ordering::SeqCst),
+                    p.evicted.load(Ordering::SeqCst),
+                )
+            })
+            .collect()
+    }
+
+    /// Observed-depth rebalance passes the Flux exchange has performed
+    /// (0 when `Config::partitions` <= 1).
+    pub fn flux_rebalances(&self) -> u64 {
+        self.inner
+            .exchange
+            .as_ref()
+            .map(|ex| ex.router.lock().unwrap().rebalances())
+            .unwrap_or(0)
+    }
+}
+
+/// Map a join edge's full-layout column offset to
+/// `(stream position, column within that stream)`.
+fn locate(plan: &QueryPlan, col: usize) -> (usize, usize) {
+    let mut base = 0usize;
+    for (pos, bs) in plan.streams.iter().enumerate() {
+        let len = bs.schema.len();
+        if col < base + len {
+            return (pos, col - base);
+        }
+        base += len;
+    }
+    panic!("join column {col} outside the plan's layout");
+}
+
+/// Decide where a query runs in partitioned mode.
+///
+/// Partitioned across every EO (returning the egress merge every
+/// partition offers into):
+/// * single-stream unwindowed plans without DISTINCT — stateless
+///   per-tuple pipelines, any partition computes its share alone;
+/// * two-stream unwindowed equi-joins whose inputs can *pin* on the
+///   first join edge's key columns (same key type, no conflicting pin)
+///   — matching tuples co-locate, so per-partition SteMs see exactly
+///   the pairs that can join. Later edges and filters apply locally.
+///
+/// Everything else — windowed queries (window scans read the shared
+/// archive on one EO), DISTINCT (a sharded seen-set would dedup
+/// differently than arrival order), self-joins, >2-way joins,
+/// non-equi-joins, pin conflicts — stays resident whole on its home EO
+/// and keeps consuming full batches.
+fn classify_partitioned(
+    ex: &ExchangeState,
+    plan: &QueryPlan,
+    stream_ids: &[usize],
+    home: usize,
+    qid: u64,
+) -> (Vec<usize>, Option<MergeRef>, Vec<usize>) {
+    let partitions = ex.shared.partitions();
+    let all: Vec<usize> = (0..partitions).collect();
+    let merge = || Some(Arc::new(Mutex::new(OrderedMerge::new(partitions))));
+    let resident = (vec![home], None, Vec::new());
+    if plan.window.is_some() || plan.distinct {
+        return resident;
+    }
+    if plan.streams.len() == 1 {
+        ex.router.lock().unwrap().ensure_stream(stream_ids[0]);
+        return (all, merge(), Vec::new());
+    }
+    if plan.streams.len() == 2 && stream_ids[0] != stream_ids[1] && !plan.joins.is_empty() {
+        let edge = &plan.joins[0];
+        let (pa, ca) = locate(plan, edge.a);
+        let (pb, cb) = locate(plan, edge.b);
+        if pa != pb {
+            let (key0, key1) = if pa == 0 { (ca, cb) } else { (cb, ca) };
+            let t0 = plan.streams[0].schema.field(key0).data_type;
+            let t1 = plan.streams[1].schema.field(key1).data_type;
+            if t0 == t1 {
+                let mut router = ex.router.lock().unwrap();
+                if router.pin(stream_ids[0], qid, vec![key0]) {
+                    if router.pin(stream_ids[1], qid, vec![key1]) {
+                        return (all, merge(), vec![stream_ids[0], stream_ids[1]]);
+                    }
+                    router.unpin(stream_ids[0], qid);
+                }
+            }
+        }
+    }
+    resident
 }
 
 impl Inner {
@@ -1179,8 +1399,12 @@ impl Inner {
     }
 
     /// Enqueue a batch on every EO input (blocking on full queues on
-    /// the threaded path; inline-draining them in step mode).
+    /// the threaded path; inline-draining them in step mode). With the
+    /// Flux exchange up, the batch is sharded instead of broadcast.
     fn fan_out(&self, gid: usize, tuples: Vec<Tuple>) -> Result<()> {
+        if let Some(ex) = &self.exchange {
+            return self.fan_out_partitioned(ex, gid, tuples);
+        }
         for eo in 0..self.eo_inputs.len() {
             self.eo_send(
                 eo,
@@ -1191,6 +1415,88 @@ impl Inner {
             )?;
         }
         Ok(())
+    }
+
+    /// Shard one admitted batch across the EO partitions through the
+    /// Flux exchange. Every partition receives a `DataPart` — possibly
+    /// with an empty share — so egress merges see an offer for every
+    /// batch from every partition; the `full` batch rides along as a
+    /// cheap `Arc` clone for queries resident on one partition. Every
+    /// `REBALANCE_EVERY` admits, an observed-depth rebalance pass runs
+    /// and its decisions are reported on `tcq$flux`.
+    fn fan_out_partitioned(
+        &self,
+        ex: &ExchangeState,
+        gid: usize,
+        tuples: Vec<Tuple>,
+    ) -> Result<()> {
+        let hw = tuples
+            .iter()
+            .map(|t| t.ts().ticks())
+            .max()
+            .unwrap_or(i64::MIN);
+        let decisions = {
+            let mut router = ex.router.lock().unwrap();
+            let parts = router.partition_batch(gid, &tuples);
+            let batch = ex.next_batch.fetch_add(1, Ordering::Relaxed) + 1;
+            let full = Arc::new(tuples);
+            for (eo, part) in parts.into_iter().enumerate() {
+                self.eo_send(
+                    eo,
+                    ExecMsg::DataPart {
+                        stream: gid,
+                        batch,
+                        hw,
+                        part,
+                        full: full.clone(),
+                    },
+                )?;
+            }
+            let admits = ex.admits.fetch_add(1, Ordering::Relaxed) + 1;
+            if admits.is_multiple_of(REBALANCE_EVERY) {
+                let depths: Vec<usize> = self.eo_inputs.iter().map(|q| q.len()).collect();
+                router.rebalance(&depths)
+            } else {
+                Vec::new()
+            }
+        };
+        if !decisions.is_empty() {
+            // Outside the router lock: these rows re-enter ingest_batch
+            // → fan_out_partitioned. The nested call cannot rebalance
+            // again into recursion — the pass above reset the traffic
+            // counters, so an immediate second pass moves nothing.
+            self.emit_rebalance_rows(&decisions);
+        }
+        Ok(())
+    }
+
+    /// One `tcq$flux` row per (rebalance decision, metric): which
+    /// stream moved how many mini-partitions, and the observed-depth
+    /// imbalance (max/mean × 100) before and after.
+    fn emit_rebalance_rows(&self, decisions: &[RebalanceDecision]) {
+        let Some(gid) = self.by_name.read().unwrap().get("tcq$flux").copied() else {
+            return;
+        };
+        let ts = self.streams.read().unwrap()[gid].clock.tick();
+        let mut rows = Vec::with_capacity(decisions.len() * 3);
+        for d in decisions {
+            let name = format!("exchange.rebalance.s{}", d.stream);
+            for (metric, value) in [
+                ("minis_moved", d.minis_moved as i64),
+                ("imbalance_before_x100", d.imbalance_before_x100),
+                ("imbalance_after_x100", d.imbalance_after_x100),
+            ] {
+                rows.push(Tuple::new(
+                    vec![
+                        Value::str(name.clone()),
+                        Value::str(metric),
+                        Value::Int(value),
+                    ],
+                    ts,
+                ));
+            }
+        }
+        let _ = self.ingest_batch(gid, rows);
     }
 
     /// Deepest EO input queue — the overload signal the watermarks are
@@ -1240,21 +1546,57 @@ impl Inner {
                 // low watermark, then admit the fresh batch
                 // (freshest-data-wins). With several EOs each queue holds
                 // its own copy of every batch, so eviction counts are
-                // per-queue-copy; at one EO they are exact tuple counts.
+                // per-queue-copy; at one EO — and in partitioned mode,
+                // where shares are disjoint — they are exact tuple
+                // counts.
                 let mut evicted = 0u64;
-                for input in &self.eo_inputs {
+                let mut evicted_parts: Vec<(usize, u64)> = Vec::new();
+                for (eo_idx, input) in self.eo_inputs.iter().enumerate() {
                     while input.len() > low {
-                        let victims = input.evict_oldest_where(
-                            1,
-                            |m| matches!(m, ExecMsg::Data { stream, .. } if *stream == gid),
-                        );
+                        let victims = input.evict_oldest_where(1, |m| {
+                            matches!(m,
+                                ExecMsg::Data { stream, .. } if *stream == gid)
+                                || matches!(m,
+                                ExecMsg::DataPart { stream, .. } if *stream == gid)
+                        });
                         if victims.is_empty() {
                             break;
                         }
                         for v in victims {
-                            if let ExecMsg::Data { tuples, .. } = v {
-                                evicted += tuples.len() as u64;
+                            match v {
+                                ExecMsg::Data { tuples, .. } => {
+                                    evicted += tuples.len() as u64;
+                                }
+                                ExecMsg::DataPart { batch, part, .. } => {
+                                    evicted += part.len() as u64;
+                                    if let Some(ex) = &self.exchange {
+                                        ex.shared
+                                            .part(eo_idx)
+                                            .evicted
+                                            .fetch_add(part.len() as u64, Ordering::SeqCst);
+                                    }
+                                    evicted_parts.push((eo_idx, batch));
+                                }
+                                _ => {}
                             }
+                        }
+                    }
+                }
+                // An evicted share still owes its queries an (empty)
+                // offer, or their egress merges stall waiting for the
+                // partition that will never report.
+                if !evicted_parts.is_empty() {
+                    let merges: Vec<(MergeRef, Fjord<ResultSet>)> = self
+                        .queries
+                        .lock()
+                        .unwrap()
+                        .values()
+                        .filter(|m| m.merge.is_some() && m.streams.contains(&gid))
+                        .map(|m| (m.merge.clone().expect("filtered"), m.output.clone()))
+                        .collect();
+                    for (eo_idx, batch) in evicted_parts {
+                        for (merge, output) in &merges {
+                            offer_and_deliver(merge, output, eo_idx, batch, Vec::new());
                         }
                     }
                 }
@@ -1438,6 +1780,12 @@ impl Inner {
         }
         if o_gid.is_none() && f_gid.is_none() {
             return;
+        }
+        // Refresh the exchange's depth gauges + skew histogram so the
+        // snapshot below carries current readings.
+        if let Some(ex) = &self.exchange {
+            let depths: Vec<usize> = self.eo_inputs.iter().map(|q| q.len()).collect();
+            ex.router.lock().unwrap().observe(&depths);
         }
         let snap = registry.snapshot();
         let flat = |gid: usize, families: &[&str]| {

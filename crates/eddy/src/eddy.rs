@@ -179,7 +179,9 @@ pub struct Eddy {
     batch_size: usize,
     fix_ops: usize,
     pending: VecDeque<Routed>,
-    out: Vec<Tuple>,
+    /// Emitted results, each tagged with its driver's arrival sequence
+    /// (the latest-arriving component that finalized the derivation).
+    out: Vec<(u64, Tuple)>,
     stats: Vec<OpStats>,
     eddy_stats: EddyStats,
     next_seq: u64,
@@ -360,7 +362,7 @@ impl Eddy {
             if cands.is_empty() {
                 if complete {
                     self.eddy_stats.emitted += 1;
-                    self.out.push(rt.tuple);
+                    self.out.push((rt.seq, rt.tuple));
                 } else {
                     self.eddy_stats.stranded += 1;
                 }
@@ -384,6 +386,13 @@ impl Eddy {
 
     /// Drain all pending routing work, then take the emitted outputs.
     pub fn run(&mut self) -> Vec<Tuple> {
+        self.run_attributed().into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// [`Eddy::run`] with provenance: each output is tagged with the
+    /// arrival sequence of its driver (for a join result, the
+    /// latest-arriving component; for a filtered singleton, itself).
+    pub fn run_attributed(&mut self) -> Vec<(u64, Tuple)> {
         while !self.pending.is_empty() {
             self.step();
         }
@@ -403,6 +412,27 @@ impl Eddy {
     pub fn push_batch(&mut self, stream: usize, tuples: Vec<Tuple>) -> Vec<Tuple> {
         self.submit_batch(stream, tuples);
         self.run()
+    }
+
+    /// Submit a batch and drain, attributing every output to the *index
+    /// within this batch* of its driver tuple. Because each push fully
+    /// drains the pending queue, every emission's driver belongs to the
+    /// submitted batch; the Flux exchange uses the index to restore
+    /// arrival order when merging a partitioned stream across workers.
+    pub fn push_batch_attributed(
+        &mut self,
+        stream: usize,
+        tuples: Vec<Tuple>,
+    ) -> Vec<(u32, Tuple)> {
+        let base = self.next_seq;
+        self.submit_batch(stream, tuples);
+        self.run_attributed()
+            .into_iter()
+            .map(|(seq, t)| {
+                debug_assert!(seq >= base, "driver predates the submitted batch");
+                ((seq - base) as u32, t)
+            })
+            .collect()
     }
 
     /// Tuples currently awaiting routing.
@@ -440,7 +470,7 @@ impl Eddy {
         if self.candidates(&rt).is_empty() {
             if rt.coverage == self.all_streams {
                 self.eddy_stats.emitted += 1;
-                self.out.push(rt.tuple);
+                self.out.push((rt.seq, rt.tuple));
             } else {
                 self.eddy_stats.stranded += 1;
             }

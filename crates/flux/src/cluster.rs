@@ -296,6 +296,21 @@ impl FluxCluster {
         moved
     }
 
+    /// [`FluxCluster::rebalance`] driven by an *observed* load vector
+    /// (e.g. per-partition input Fjord depths from the thread-backed
+    /// exchange) instead of the simulated work accumulators: the
+    /// observation overwrites each live machine's work before the same
+    /// greedy pass runs. Returns partitions moved.
+    pub fn rebalance_observed(&mut self, observed: &[f64]) -> usize {
+        assert_eq!(observed.len(), self.machines.len());
+        for (m, &load) in self.machines.iter_mut().zip(observed) {
+            if m.alive {
+                m.work = load;
+            }
+        }
+        self.rebalance()
+    }
+
     /// Kill a machine (fault injection). Partitions with a live replica
     /// are promoted; others lose their state and restart empty on a live
     /// machine.

@@ -1,0 +1,751 @@
+//! The thread-backed Flux exchange: intra-machine partitioned
+//! parallelism (§6 of the paper, after \[SHCF03\]).
+//!
+//! Where [`crate::cluster::FluxCluster`] simulates a shared-nothing
+//! cluster inside one thread, this module is the *real* exchange the
+//! server interposes at the Wrapper→EO boundary when
+//! `Config::partitions > 1`:
+//!
+//! * [`Exchange`] — content-sensitive routing. Each stream hashes over
+//!   [`MINI_PARTITIONS`] mini-partitions which an assignment map folds
+//!   onto the EO worker partitions. Join queries *pin* their input
+//!   streams on the equi-join key columns so matching tuples co-locate;
+//!   unpinned streams hash the whole tuple and stay movable, so
+//!   [`Exchange::rebalance`] can remap their mini-partitions away from
+//!   the deepest input Fjord (observed queue depth is the load signal,
+//!   exactly Flux's "local bottleneck detection").
+//! * [`OrderedMerge`] — the egress. Partitions process disjoint shares
+//!   of each admitted batch concurrently, so per-query results come back
+//!   out of order; the merge holds them until every partition has
+//!   reported for a batch, then releases batches in admission order with
+//!   rows restored to arrival order. Client-visible output is
+//!   byte-identical to the single-partition run.
+//! * [`ExchangeShared`] — per-partition conservation counters
+//!   (`routed == processed + evicted` at every quiesce), shared with the
+//!   EO worker threads.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tcq_common::Tuple;
+use tcq_stems::Key;
+
+/// Mini-partitions per stream route. Routing hashes into this many
+/// buckets; the assignment map folds buckets onto EO partitions, so a
+/// rebalance moves whole buckets without rehashing anything.
+pub const MINI_PARTITIONS: usize = 64;
+
+/// Per-partition conservation counters, maintained across the
+/// Wrapper→EO boundary: the dispatcher bumps `routed` (and `evicted`,
+/// when overload triage drops a partitioned batch from an input Fjord),
+/// the EO worker bumps `processed`. At quiesce
+/// `routed == processed + evicted` per partition.
+#[derive(Debug, Default)]
+pub struct PartitionCounters {
+    /// Tuples routed to this partition's share of admitted batches.
+    pub routed: AtomicU64,
+    /// Tuples of shares the partition's EO actually consumed.
+    pub processed: AtomicU64,
+    /// Tuples of shares evicted from the partition's input Fjord by
+    /// overload triage before the EO saw them.
+    pub evicted: AtomicU64,
+}
+
+/// Counter block shared between the dispatcher and the EO workers.
+#[derive(Debug)]
+pub struct ExchangeShared {
+    parts: Vec<PartitionCounters>,
+}
+
+impl ExchangeShared {
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Counters for one partition.
+    pub fn part(&self, i: usize) -> &PartitionCounters {
+        &self.parts[i]
+    }
+
+    /// `(routed, processed, evicted)` summed over partitions.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        let mut t = (0, 0, 0);
+        for p in &self.parts {
+            t.0 += p.routed.load(Ordering::SeqCst);
+            t.1 += p.processed.load(Ordering::SeqCst);
+            t.2 += p.evicted.load(Ordering::SeqCst);
+        }
+        t
+    }
+
+    /// Per-partition `routed - processed - evicted` (tuples still in
+    /// flight inside input Fjords); every entry must be zero at quiesce.
+    pub fn in_flight(&self) -> Vec<i64> {
+        self.parts
+            .iter()
+            .map(|p| {
+                p.routed.load(Ordering::SeqCst) as i64
+                    - p.processed.load(Ordering::SeqCst) as i64
+                    - p.evicted.load(Ordering::SeqCst) as i64
+            })
+            .collect()
+    }
+}
+
+/// One stream's routing state.
+struct StreamRoute {
+    /// Hash columns. `Some` = pinned on an equi-join key (assignment
+    /// frozen at the identity fold so both join sides co-locate);
+    /// `None` = whole-tuple hash, movable by rebalance.
+    key_cols: Option<Vec<usize>>,
+    /// Queries pinning `key_cols` (the pin lifts when all are removed).
+    pins: Vec<u64>,
+    /// mini-partition → EO partition.
+    assign: Vec<u32>,
+    /// Tuples routed per mini-partition since the last rebalance (the
+    /// weight used to pick which buckets to move).
+    traffic: Vec<u64>,
+}
+
+impl StreamRoute {
+    fn new(partitions: usize) -> StreamRoute {
+        StreamRoute {
+            key_cols: None,
+            pins: Vec::new(),
+            assign: default_assign(partitions),
+            traffic: vec![0; MINI_PARTITIONS],
+        }
+    }
+}
+
+/// The identity fold: mini-partition `m` → partition `m % partitions`.
+/// Pinned streams always use this, so two streams pinned on the same
+/// key values agree on the destination partition.
+fn default_assign(partitions: usize) -> Vec<u32> {
+    (0..MINI_PARTITIONS)
+        .map(|m| (m % partitions) as u32)
+        .collect()
+}
+
+/// One rebalance outcome for one stream (reported on `tcq$flux`).
+#[derive(Debug, Clone)]
+pub struct RebalanceDecision {
+    /// Stream whose mini-partitions moved.
+    pub stream: usize,
+    /// Buckets remapped for this stream.
+    pub minis_moved: usize,
+    /// Observed-depth imbalance (max/mean × 100) before the pass.
+    pub imbalance_before_x100: i64,
+    /// Projected imbalance (× 100) after the moves take effect.
+    pub imbalance_after_x100: i64,
+}
+
+/// Registry instruments (bound on [`Exchange::bind_metrics`]).
+struct ExchangeMetrics {
+    /// Per partition: (depth, routed, processed, evicted) gauges.
+    parts: Vec<[Arc<tcq_metrics::Gauge>; 4]>,
+    /// Depth skew (max/mean × 100) recorded on every observation.
+    skew: Arc<tcq_metrics::Histogram>,
+    rebalances: Arc<tcq_metrics::Counter>,
+    minis_moved: Arc<tcq_metrics::Counter>,
+}
+
+/// The dispatcher-side router. Lives under the server's dispatch lock;
+/// the counters it shares with EO workers are atomic.
+pub struct Exchange {
+    partitions: usize,
+    routes: BTreeMap<usize, StreamRoute>,
+    shared: Arc<ExchangeShared>,
+    metrics: Option<ExchangeMetrics>,
+    rebalances: u64,
+}
+
+impl Exchange {
+    /// An exchange over `partitions` EO workers.
+    pub fn new(partitions: usize) -> Exchange {
+        assert!(partitions >= 1, "need at least one partition");
+        Exchange {
+            partitions,
+            routes: BTreeMap::new(),
+            shared: Arc::new(ExchangeShared {
+                parts: (0..partitions)
+                    .map(|_| PartitionCounters::default())
+                    .collect(),
+            }),
+            metrics: None,
+            rebalances: 0,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// The counter block to hand to EO workers.
+    pub fn shared(&self) -> Arc<ExchangeShared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Rebalance passes performed so far.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// Make sure `stream` has a route (whole-tuple hash until pinned).
+    pub fn ensure_stream(&mut self, stream: usize) {
+        self.routes
+            .entry(stream)
+            .or_insert_with(|| StreamRoute::new(self.partitions));
+    }
+
+    /// Pin `stream`'s routing to hash on `key_cols` for query `qid`
+    /// (equi-join co-location). Returns `false` — leaving the route
+    /// untouched — when the stream is already pinned on different
+    /// columns; the caller must then keep the query resident instead.
+    /// The first pin resets the assignment to the identity fold so both
+    /// sides of the join agree partition-wise.
+    pub fn pin(&mut self, stream: usize, qid: u64, key_cols: Vec<usize>) -> bool {
+        self.ensure_stream(stream);
+        let route = self.routes.get_mut(&stream).unwrap();
+        match &route.key_cols {
+            Some(existing) if *existing != key_cols => return false,
+            Some(_) => {}
+            None => {
+                route.key_cols = Some(key_cols);
+                route.assign = default_assign(self.partitions);
+            }
+        }
+        if !route.pins.contains(&qid) {
+            route.pins.push(qid);
+        }
+        true
+    }
+
+    /// Drop query `qid`'s pin on `stream`. When the last pin lifts the
+    /// stream goes back to whole-tuple hashing and becomes movable.
+    pub fn unpin(&mut self, stream: usize, qid: u64) {
+        if let Some(route) = self.routes.get_mut(&stream) {
+            route.pins.retain(|&q| q != qid);
+            if route.pins.is_empty() {
+                route.key_cols = None;
+            }
+        }
+    }
+
+    /// Split one admitted batch of `stream` into per-partition shares.
+    /// Every share keeps the tuple's offset within the original batch so
+    /// the egress merge can restore arrival order. Shares may be empty —
+    /// the dispatcher still broadcasts them, because the merge needs an
+    /// offer from every partition before it can release the batch.
+    pub fn partition_batch(&mut self, stream: usize, tuples: &[Tuple]) -> Vec<Vec<(u32, Tuple)>> {
+        self.ensure_stream(stream);
+        let route = self.routes.get_mut(&stream).unwrap();
+        let mut shares: Vec<Vec<(u32, Tuple)>> = vec![Vec::new(); self.partitions];
+        for (i, t) in tuples.iter().enumerate() {
+            let mini = mini_of(route.key_cols.as_deref(), t);
+            route.traffic[mini] += 1;
+            let p = route.assign[mini] as usize;
+            self.shared.parts[p].routed.fetch_add(1, Ordering::SeqCst);
+            shares[p].push((i as u32, t.clone()));
+        }
+        shares
+    }
+
+    /// Destination partition for one tuple (probe/testing aid; does not
+    /// count traffic).
+    pub fn partition_of(&mut self, stream: usize, tuple: &Tuple) -> usize {
+        self.ensure_stream(stream);
+        let route = &self.routes[&stream];
+        route.assign[mini_of(route.key_cols.as_deref(), tuple)] as usize
+    }
+
+    /// One online-repartitioning pass driven by *observed* per-partition
+    /// input-Fjord depths (the paper's "local bottleneck detection"):
+    /// greedily remap the busiest movable mini-partitions from the
+    /// deepest to the shallowest queue until the projected gap halves.
+    /// Pinned streams never move (co-location is a correctness
+    /// invariant, not a load preference). Returns one decision per
+    /// stream that moved; empty when balanced or nothing is movable.
+    pub fn rebalance(&mut self, depths: &[usize]) -> Vec<RebalanceDecision> {
+        assert_eq!(depths.len(), self.partitions);
+        let mut load: Vec<f64> = depths.iter().map(|&d| d as f64).collect();
+        let before = imbalance_x100(&load);
+        // Scale mini traffic into depth units: a mini carrying fraction
+        // f of a partition's routed traffic accounts for f of its depth.
+        let mut part_traffic = vec![0u64; self.partitions];
+        for r in self.routes.values() {
+            for (m, &t) in r.traffic.iter().enumerate() {
+                part_traffic[r.assign[m] as usize] += t;
+            }
+        }
+        let mut moves: BTreeMap<usize, usize> = BTreeMap::new();
+        for _ in 0..MINI_PARTITIONS {
+            let Some((src, dst)) = hottest_and_coolest(&load) else {
+                break;
+            };
+            let gap = load[src] - load[dst];
+            if gap <= 1.0 {
+                break;
+            }
+            // Busiest movable mini on `src` that fits in half the gap
+            // (so a move cannot overshoot and oscillate).
+            let mut best: Option<(usize, usize, f64, u64)> = None;
+            for (&gid, r) in &self.routes {
+                if r.key_cols.is_some() {
+                    continue;
+                }
+                for m in 0..MINI_PARTITIONS {
+                    if r.assign[m] as usize != src || r.traffic[m] == 0 {
+                        continue;
+                    }
+                    let w = load[src] * r.traffic[m] as f64 / part_traffic[src].max(1) as f64;
+                    if w <= gap / 2.0 + 1e-9 && best.as_ref().is_none_or(|b| r.traffic[m] > b.3) {
+                        best = Some((gid, m, w, r.traffic[m]));
+                    }
+                }
+            }
+            let Some((gid, m, w, _)) = best else { break };
+            let r = self.routes.get_mut(&gid).unwrap();
+            part_traffic[src] -= r.traffic[m];
+            part_traffic[dst] += r.traffic[m];
+            r.assign[m] = dst as u32;
+            load[src] -= w;
+            load[dst] += w;
+            *moves.entry(gid).or_default() += 1;
+        }
+        if moves.is_empty() {
+            return Vec::new();
+        }
+        let after = imbalance_x100(&load);
+        self.rebalances += 1;
+        let total: usize = moves.values().sum();
+        if let Some(m) = &self.metrics {
+            m.rebalances.inc();
+            m.minis_moved.add(total as u64);
+        }
+        // Start a fresh measurement interval.
+        for r in self.routes.values_mut() {
+            r.traffic.iter_mut().for_each(|t| *t = 0);
+        }
+        moves
+            .into_iter()
+            .map(|(stream, minis_moved)| RebalanceDecision {
+                stream,
+                minis_moved,
+                imbalance_before_x100: before,
+                imbalance_after_x100: after,
+            })
+            .collect()
+    }
+
+    /// Bind per-partition gauges, the `partition_skew` histogram, and
+    /// rebalance counters under the `flux` family (visible on
+    /// `tcq$flux`).
+    pub fn bind_metrics(&mut self, registry: &tcq_metrics::Registry) {
+        let parts = (0..self.partitions)
+            .map(|i| {
+                let inst = format!("exchange.p{i}");
+                [
+                    registry.gauge("flux", &inst, "depth"),
+                    registry.gauge("flux", &inst, "routed"),
+                    registry.gauge("flux", &inst, "processed"),
+                    registry.gauge("flux", &inst, "evicted"),
+                ]
+            })
+            .collect();
+        self.metrics = Some(ExchangeMetrics {
+            parts,
+            skew: registry.histogram_with_bounds(
+                "flux",
+                "exchange",
+                "partition_skew",
+                &[100, 110, 125, 150, 200, 300, 500, 1000],
+            ),
+            rebalances: registry.counter("flux", "exchange", "rebalances"),
+            minis_moved: registry.counter("flux", "exchange", "minis_moved"),
+        });
+    }
+
+    /// Refresh the per-partition gauges from observed depths and the
+    /// shared counters, and record the current depth skew
+    /// (max/mean × 100) into the `partition_skew` histogram. No-op when
+    /// metrics are unbound.
+    pub fn observe(&self, depths: &[usize]) {
+        let Some(m) = &self.metrics else {
+            return;
+        };
+        for (i, gauges) in m.parts.iter().enumerate() {
+            let p = &self.shared.parts[i];
+            gauges[0].set(depths.get(i).copied().unwrap_or(0) as i64);
+            gauges[1].set(p.routed.load(Ordering::SeqCst) as i64);
+            gauges[2].set(p.processed.load(Ordering::SeqCst) as i64);
+            gauges[3].set(p.evicted.load(Ordering::SeqCst) as i64);
+        }
+        let load: Vec<f64> = depths.iter().map(|&d| d as f64).collect();
+        m.skew.record(imbalance_x100(&load) as u64);
+    }
+}
+
+/// Mini-partition of a tuple: hash of the pinned key columns, or of the
+/// whole tuple when unpinned. Uses the SteM `Key` encoding so `Int(3)`
+/// hashes identically wherever the value appears.
+fn mini_of(key_cols: Option<&[usize]>, tuple: &Tuple) -> usize {
+    let mut h = DefaultHasher::new();
+    match key_cols {
+        Some(cols) => Key::from_tuple(tuple, cols).hash(&mut h),
+        None => {
+            for v in tuple.fields() {
+                v.key_bytes().hash(&mut h);
+            }
+        }
+    }
+    (h.finish() % MINI_PARTITIONS as u64) as usize
+}
+
+/// max/mean × 100 over the load vector (100 = perfectly balanced).
+fn imbalance_x100(load: &[f64]) -> i64 {
+    if load.is_empty() {
+        return 100;
+    }
+    let max = load.iter().cloned().fold(0.0, f64::max);
+    let mean = load.iter().sum::<f64>() / load.len() as f64;
+    if mean <= 0.0 {
+        100
+    } else {
+        (max / mean * 100.0).round() as i64
+    }
+}
+
+fn hottest_and_coolest(load: &[f64]) -> Option<(usize, usize)> {
+    let mut hot = 0;
+    let mut cool = 0;
+    for i in 1..load.len() {
+        if load[i] > load[hot] {
+            hot = i;
+        }
+        if load[i] < load[cool] {
+            cool = i;
+        }
+    }
+    (hot != cool).then_some((hot, cool))
+}
+
+/// One released batch of per-query results, in admission order.
+#[derive(Debug)]
+pub struct Release<T> {
+    /// Global admission id of the batch.
+    pub batch: u64,
+    /// The high-water mark the producing partitions reported for it.
+    pub window_t: i64,
+    /// Rows restored to single-partition order (batch offset, then the
+    /// producing partition's emission order for equal offsets).
+    pub rows: Vec<T>,
+}
+
+/// The egress merge for one partitioned query.
+///
+/// Every partition offers its result rows for every admitted batch of
+/// the query's streams — *including empty offers* — in admission order
+/// (the per-partition input Fjords are FIFO). A batch is released once
+/// every partition's offer watermark has reached it, so releases happen
+/// in admission order with rows sorted by their offset in the original
+/// batch: exactly the single-partition output.
+///
+/// An offer at or below the released watermark (possible when overload
+/// triage evicts a batch from one partition's queue *after* the merge
+/// already gave up on it) is passed straight through rather than
+/// reordered — by then the batch's slot in the output is gone either
+/// way, matching the single-partition engine's loss behaviour.
+#[derive(Debug)]
+pub struct OrderedMerge<T> {
+    /// Highest batch id each partition has offered (`None` until its
+    /// first offer).
+    offered: Vec<Option<u64>>,
+    /// Batches waiting for stragglers: batch → (window_t, tagged rows).
+    pending: BTreeMap<u64, (i64, Vec<(u32, T)>)>,
+    /// Every batch ≤ this has been released.
+    released: Option<u64>,
+}
+
+impl<T> OrderedMerge<T> {
+    /// A merge fed by `partitions` producers.
+    pub fn new(partitions: usize) -> OrderedMerge<T> {
+        assert!(partitions >= 1, "need at least one producer");
+        OrderedMerge {
+            offered: vec![None; partitions],
+            pending: BTreeMap::new(),
+            released: None,
+        }
+    }
+
+    /// Partition `part` reports its rows for `batch`. Returns every
+    /// batch this offer completes, in admission order.
+    pub fn offer(
+        &mut self,
+        part: usize,
+        batch: u64,
+        window_t: i64,
+        rows: Vec<(u32, T)>,
+    ) -> Vec<Release<T>> {
+        if self.released.is_some_and(|r| batch <= r) {
+            // Late offer for an already-released batch: pass through.
+            if rows.is_empty() {
+                return Vec::new();
+            }
+            let mut rows = rows;
+            rows.sort_by_key(|r| r.0);
+            return vec![Release {
+                batch,
+                window_t,
+                rows: rows.into_iter().map(|(_, t)| t).collect(),
+            }];
+        }
+        let slot = self
+            .pending
+            .entry(batch)
+            .or_insert_with(|| (window_t, Vec::new()));
+        slot.1.extend(rows);
+        if self.offered[part].is_none_or(|w| batch > w) {
+            self.offered[part] = Some(batch);
+        }
+        self.drain()
+    }
+
+    /// Release every pending batch all partitions have reported past.
+    fn drain(&mut self) -> Vec<Release<T>> {
+        let mut watermark = u64::MAX;
+        for o in &self.offered {
+            match o {
+                None => return Vec::new(),
+                Some(w) => watermark = watermark.min(*w),
+            }
+        }
+        let mut out = Vec::new();
+        while let Some((&b, _)) = self.pending.iter().next() {
+            if b > watermark {
+                break;
+            }
+            let (window_t, mut rows) = self.pending.remove(&b).unwrap();
+            rows.sort_by_key(|r| r.0);
+            self.released = Some(b);
+            out.push(Release {
+                batch: b,
+                window_t,
+                rows: rows.into_iter().map(|(_, t)| t).collect(),
+            });
+        }
+        out
+    }
+
+    /// Rows buffered while waiting for straggler partitions.
+    pub fn buffered(&self) -> usize {
+        self.pending.values().map(|(_, rows)| rows.len()).sum()
+    }
+
+    /// The released watermark (`None` before the first release).
+    pub fn released_through(&self) -> Option<u64> {
+        self.released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::Value;
+
+    fn row(k: i64, seq: i64) -> Tuple {
+        Tuple::at_seq(vec![Value::Int(k), Value::Int(seq)], seq)
+    }
+
+    #[test]
+    fn shares_cover_the_batch_exactly_once() {
+        let mut ex = Exchange::new(4);
+        let batch: Vec<Tuple> = (0..100).map(|i| row(i % 7, i)).collect();
+        let shares = ex.partition_batch(9, &batch);
+        assert_eq!(shares.len(), 4);
+        let mut seen: Vec<u32> = shares
+            .iter()
+            .flat_map(|s| s.iter().map(|(o, _)| *o))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<u32>>());
+        let (routed, _, _) = ex.shared().totals();
+        assert_eq!(routed, 100);
+    }
+
+    #[test]
+    fn pinned_streams_colocate_join_keys() {
+        let mut ex = Exchange::new(4);
+        assert!(ex.pin(1, 40, vec![0]));
+        assert!(ex.pin(2, 40, vec![1]));
+        for k in 0..50 {
+            let left = Tuple::at_seq(vec![Value::Int(k)], k);
+            let right = Tuple::at_seq(vec![Value::str("x"), Value::Int(k)], k);
+            assert_eq!(
+                ex.partition_of(1, &left),
+                ex.partition_of(2, &right),
+                "key {k} must land on one partition on both sides"
+            );
+        }
+    }
+
+    #[test]
+    fn conflicting_pin_is_refused_and_harmless() {
+        let mut ex = Exchange::new(2);
+        assert!(ex.pin(1, 40, vec![0]));
+        assert!(!ex.pin(1, 41, vec![1]), "different key columns");
+        assert!(ex.pin(1, 42, vec![0]), "same key columns stack");
+        ex.unpin(1, 40);
+        assert!(!ex.pin(1, 41, vec![1]), "still pinned by qid 42");
+        ex.unpin(1, 42);
+        assert!(ex.pin(1, 41, vec![1]), "last unpin lifts the key");
+    }
+
+    #[test]
+    fn rebalance_moves_unpinned_minis_toward_shallow_queues() {
+        let mut ex = Exchange::new(2);
+        // All traffic on stream 5; assignment starts even, but feed
+        // enough distinct tuples that both partitions carry minis.
+        let batch: Vec<Tuple> = (0..2000).map(|i| row(i, i)).collect();
+        ex.partition_batch(5, &batch);
+        // Partition 0's queue is observed far deeper.
+        let decisions = ex.rebalance(&[1000, 10]);
+        assert!(!decisions.is_empty(), "skewed depths must trigger moves");
+        let d = &decisions[0];
+        assert_eq!(d.stream, 5);
+        assert!(d.minis_moved > 0);
+        assert!(
+            d.imbalance_after_x100 < d.imbalance_before_x100,
+            "projected imbalance must improve: {} -> {}",
+            d.imbalance_before_x100,
+            d.imbalance_after_x100
+        );
+        assert_eq!(ex.rebalances(), 1);
+    }
+
+    #[test]
+    fn rebalance_never_moves_pinned_streams() {
+        let mut ex = Exchange::new(2);
+        ex.pin(5, 40, vec![0]);
+        let batch: Vec<Tuple> = (0..2000).map(|i| row(i, i)).collect();
+        ex.partition_batch(5, &batch);
+        assert!(
+            ex.rebalance(&[1000, 10]).is_empty(),
+            "pinned minis must stay put"
+        );
+    }
+
+    #[test]
+    fn balanced_depths_do_not_rebalance() {
+        let mut ex = Exchange::new(4);
+        let batch: Vec<Tuple> = (0..400).map(|i| row(i, i)).collect();
+        ex.partition_batch(5, &batch);
+        assert!(ex.rebalance(&[10, 10, 10, 10]).is_empty());
+    }
+
+    #[test]
+    fn merge_releases_in_admission_order() {
+        let mut m: OrderedMerge<i64> = OrderedMerge::new(2);
+        // Partition 1 races ahead through batch 2; nothing releases
+        // until partition 0 catches up.
+        assert!(m.offer(1, 1, 10, vec![(1, 101)]).is_empty());
+        assert!(m.offer(1, 2, 20, vec![(0, 200)]).is_empty());
+        let r = m.offer(0, 1, 10, vec![(0, 100)]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].batch, 1);
+        assert_eq!(r[0].window_t, 10);
+        assert_eq!(r[0].rows, vec![100, 101], "offset order restored");
+        let r = m.offer(0, 2, 20, vec![(1, 201)]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].rows, vec![200, 201]);
+        assert_eq!(m.released_through(), Some(2));
+        assert_eq!(m.buffered(), 0);
+    }
+
+    #[test]
+    fn empty_offers_advance_the_watermark() {
+        let mut m: OrderedMerge<i64> = OrderedMerge::new(3);
+        assert!(m.offer(0, 7, 5, vec![(2, 2)]).is_empty());
+        assert!(m.offer(1, 7, 5, vec![]).is_empty());
+        let r = m.offer(2, 7, 5, vec![(0, 0)]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].rows, vec![0, 2]);
+    }
+
+    #[test]
+    fn one_offer_can_release_several_batches() {
+        let mut m: OrderedMerge<i64> = OrderedMerge::new(2);
+        for b in 1..=3 {
+            assert!(m.offer(0, b, b as i64, vec![(0, b as i64)]).is_empty());
+        }
+        assert_eq!(m.buffered(), 3);
+        // Partition 1's watermark jumps straight to 3, flushing all
+        // three buffered batches in admission order.
+        let r = m.offer(1, 3, 3, vec![]);
+        assert_eq!(r.iter().map(|x| x.batch).collect::<Vec<_>>(), [1, 2, 3]);
+        assert_eq!(m.released_through(), Some(3));
+        assert_eq!(m.buffered(), 0);
+    }
+
+    #[test]
+    fn late_offer_after_release_passes_through() {
+        let mut m: OrderedMerge<i64> = OrderedMerge::new(2);
+        m.offer(0, 1, 0, vec![(0, 1)]);
+        let r = m.offer(1, 1, 0, vec![]);
+        assert_eq!(r.len(), 1);
+        let late = m.offer(1, 1, 0, vec![(1, 9)]);
+        assert_eq!(late.len(), 1, "late rows still reach the client");
+        assert_eq!(late[0].rows, vec![9]);
+        assert!(m.offer(0, 1, 0, vec![]).is_empty(), "late empty is silent");
+    }
+
+    #[test]
+    fn merge_is_byte_identical_to_single_partition_order() {
+        // Simulate 4 partitions sharding batches of 8 rows round-robin
+        // by offset and offering in a scrambled partition order.
+        let mut m: OrderedMerge<(u64, u32)> = OrderedMerge::new(4);
+        let mut got: Vec<(u64, u32)> = Vec::new();
+        for batch in 1..=5u64 {
+            for part in [2usize, 0, 3, 1] {
+                let rows: Vec<(u32, (u64, u32))> = (0..8u32)
+                    .filter(|o| (*o as usize) % 4 == part)
+                    .map(|o| (o, (batch, o)))
+                    .collect();
+                for rel in m.offer(part, batch, 0, rows) {
+                    got.extend(rel.rows);
+                }
+            }
+        }
+        let want: Vec<(u64, u32)> = (1..=5u64)
+            .flat_map(|b| (0..8u32).map(move |o| (b, o)))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn observe_records_skew_and_gauges() {
+        let registry = tcq_metrics::Registry::new();
+        let mut ex = Exchange::new(2);
+        ex.bind_metrics(&registry);
+        let batch: Vec<Tuple> = (0..100).map(|i| row(i, i)).collect();
+        ex.partition_batch(3, &batch);
+        ex.observe(&[30, 10]);
+        let snap = registry.snapshot();
+        assert_eq!(snap.value("flux", "exchange.p0", "depth"), Some(30));
+        assert_eq!(snap.value("flux", "exchange.p1", "depth"), Some(10));
+        let routed: i64 = (0..2)
+            .map(|i| {
+                snap.value("flux", &format!("exchange.p{i}"), "routed")
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(routed, 100);
+        // skew = 30 / 20 * 100 = 150, recorded once.
+        assert_eq!(snap.value("flux", "exchange", "partition_skew"), Some(1));
+    }
+}

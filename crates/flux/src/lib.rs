@@ -49,10 +49,23 @@
 //! assert_eq!(total, 1000);
 //! ```
 
+//!
+//! ## The thread-backed exchange
+//!
+//! [`exchange`] is the *real* (non-simulated) Flux layer: when the
+//! server runs with `Config::partitions > 1`, an [`exchange::Exchange`]
+//! routes each stream's tuples across EO worker threads (equi-join keys
+//! pinned for co-location, everything else movable under observed-depth
+//! rebalancing) and an [`exchange::OrderedMerge`] restores admission
+//! order at the egress so client-visible output is byte-identical to
+//! the single-partition run.
+
 pub mod chaos;
 pub mod cluster;
+pub mod exchange;
 pub mod op;
 
 pub use chaos::{FaultAction, FaultSchedule};
 pub use cluster::{ClusterStats, FluxCluster};
+pub use exchange::{Exchange, ExchangeShared, OrderedMerge, RebalanceDecision, Release};
 pub use op::{GroupCount, PartitionedOp, WindowJoinOp};

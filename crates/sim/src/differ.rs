@@ -274,6 +274,7 @@ mod tests {
             batch_size: 1,
             input_queue: 64,
             flux_steps: 0,
+            partitions: 1,
             queries: vec!["SELECT day FROM quotes".into()],
             steps: Vec::new(),
         }

@@ -199,6 +199,7 @@ pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
         seed: ep.seed,
         batch_size: ep.batch_size.max(1),
         input_queue: ep.input_queue.max(2),
+        partitions: ep.partitions.max(1),
         shed_policy: ep.policy,
         // Large enough that the egress QoS shed (oldest result set
         // dropped when a client lags) never fires between settles —

@@ -95,6 +95,13 @@ pub struct Episode {
     /// kill/restart/rebalance run against a replicated cluster whose
     /// conservation invariants are self-checked by the driver.
     pub flux_steps: u64,
+    /// EO partition count (`Config::partitions`). 1 — the default, and
+    /// what episodes without a `partitions` line parse to — is the
+    /// single-partition engine; > 1 shards every stream through the
+    /// thread-backed Flux exchange, which must be invisible here: the
+    /// run stays a pure function of the episode and the oracle diff is
+    /// unchanged.
+    pub partitions: usize,
     /// CQ-SQL queries, submitted in order before the schedule runs.
     pub queries: Vec<String>,
     /// The schedule.
@@ -136,6 +143,11 @@ impl Episode {
         let _ = writeln!(out, "batch {}", self.batch_size);
         let _ = writeln!(out, "queue {}", self.input_queue);
         let _ = writeln!(out, "flux {}", self.flux_steps);
+        // Only non-default partition counts are written, so pre-existing
+        // episodes render byte-stably.
+        if self.partitions != 1 {
+            let _ = writeln!(out, "partitions {}", self.partitions);
+        }
         for q in &self.queries {
             let _ = writeln!(out, "query {}", q.replace('\n', " "));
         }
@@ -186,6 +198,7 @@ impl Episode {
             batch_size: 1,
             input_queue: 4096,
             flux_steps: 0,
+            partitions: 1,
             queries: Vec::new(),
             steps: Vec::new(),
         };
@@ -256,6 +269,13 @@ impl Episode {
                         .next()
                         .and_then(|s| s.parse().ok())
                         .ok_or_else(|| err("bad flux"))?;
+                }
+                "partitions" => {
+                    ep.partitions = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&p| p >= 1)
+                        .ok_or_else(|| err("bad partitions"))?;
                 }
                 "query" => {
                     let sql = line["query".len()..].trim().to_string();
@@ -388,6 +408,7 @@ mod tests {
             batch_size: 4,
             input_queue: 8,
             flux_steps: 20,
+            partitions: 4,
             queries: vec!["SELECT day FROM quotes WHERE price > 10.0".into()],
             steps: vec![
                 Step::Row {
@@ -438,6 +459,7 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_input() {
         assert!(Episode::parse("seed x").is_err());
+        assert!(Episode::parse("partitions 0").is_err());
         assert!(Episode::parse("policy maybe").is_err());
         assert!(Episode::parse("step row quotes 1 z:9").is_err());
         assert!(Episode::parse("srow 1 i:1").is_err(), "orphan srow");
@@ -445,6 +467,15 @@ mod tests {
             Episode::parse("step source s 1 0.5 2\nsrow 1 i:1").is_err(),
             "truncated source rows"
         );
+    }
+
+    #[test]
+    fn partitions_default_to_one_and_stay_off_the_wire() {
+        // Pre-existing corpus files have no `partitions` line: they
+        // parse to 1 and keep rendering without the line.
+        let ep = Episode::parse("seed 3\nflux 0").unwrap();
+        assert_eq!(ep.partitions, 1);
+        assert!(!ep.render().contains("partitions"));
     }
 
     #[test]

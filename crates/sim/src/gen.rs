@@ -37,6 +37,11 @@ pub struct GenOptions {
     pub policy: Option<ShedPolicy>,
     /// Force chaos (panics, flaky sources, flux faults) on or off.
     pub faults: Option<bool>,
+    /// Force `Config::partitions` (`None` = 1, the single-partition
+    /// engine). Set to shard the episode across EO partitions through
+    /// the Flux exchange — the outputs must be identical either way, so
+    /// this knob widens coverage without touching the oracle.
+    pub partitions: Option<usize>,
 }
 
 const SYMS: [&str; 4] = ["aapl", "ibm", "msft", "orcl"];
@@ -142,6 +147,7 @@ pub fn generate(seed: u64, index: u64, opts: &GenOptions) -> Episode {
         batch_size: [1, 2, 4, 7][rng.next_below(4) as usize],
         input_queue: 8 + rng.next_below(57) as usize,
         flux_steps: if faults { rng.next_below(3) * 15 } else { 0 },
+        partitions: opts.partitions.unwrap_or(1).max(1),
         queries,
         steps,
     }
@@ -233,6 +239,7 @@ mod tests {
         let opts = GenOptions {
             policy: Some(ShedPolicy::Spill),
             faults: Some(false),
+            partitions: None,
         };
         for i in 0..20 {
             let ep = generate(11, i, &opts);

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! tcq-sim --seed 42 --episodes 1000     # randomized episode sweep
-//! tcq-sim --smoke                       # fixed 200-episode CI matrix
-//!                                       #   (4 shed policies x fault/no-fault)
+//! tcq-sim --smoke                       # fixed 240-episode CI matrix
+//!                                       #   (4 shed policies x fault/no-fault,
+//!                                       #    + a partitions=4 slice per policy)
 //!                                       #   + replay of tests/sim_corpus/
 //! tcq-sim --replay tests/sim_corpus/spill-drain.episode
 //! ```
@@ -54,7 +55,7 @@ fn parse_args() -> Result<Args, String> {
                     "tcq-sim: deterministic simulation testing\n\n\
                      \t--seed <n>        root seed (default 1)\n\
                      \t--episodes <k>    random episodes to run (default 100)\n\
-                     \t--smoke           fixed 200-episode matrix + corpus replay\n\
+                     \t--smoke           fixed 240-episode matrix + corpus replay\n\
                      \t--replay <file>   replay one episode file (repeatable)\n\
                      \t--corpus <dir>    corpus directory (default tests/sim_corpus)"
                 );
@@ -115,12 +116,29 @@ fn main() -> ExitCode {
                 let opts = GenOptions {
                     policy: Some(*policy),
                     faults: Some(faults),
+                    partitions: None,
                 };
                 for i in 0..25u64 {
                     let index = (pi as u64) * 1000 + (faults as u64) * 100 + i;
                     failed += run_one(args.seed, index, &opts, &args.corpus) as usize;
                     checked += 1;
                 }
+            }
+        }
+        // Partitioned slice: the same generator stream sharded across 4
+        // EO partitions through the Flux exchange, with chaos on. The
+        // driver and oracle are unchanged — partitioning must be
+        // invisible to both.
+        for (pi, policy) in policies.iter().enumerate() {
+            let opts = GenOptions {
+                policy: Some(*policy),
+                faults: Some(true),
+                partitions: Some(4),
+            };
+            for i in 0..10u64 {
+                let index = 10_000 + (pi as u64) * 1000 + i;
+                failed += run_one(args.seed, index, &opts, &args.corpus) as usize;
+                checked += 1;
             }
         }
         // Always replay the checked-in regression corpus.

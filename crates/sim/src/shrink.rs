@@ -50,6 +50,16 @@ pub fn shrink(ep: &Episode, budget: usize) -> Episode {
         }
     }
 
+    // 1b. If the failure survives without partitioning, the exchange is
+    // exonerated and the reproducer gets much easier to read.
+    if best.partitions > 1 {
+        let mut cand = best.clone();
+        cand.partitions = 1;
+        if still_fails(&cand, &mut left) {
+            best = cand;
+        }
+    }
+
     // 2. Drop whole queries (fixing up panic-step indices).
     let mut qi = 0;
     while qi < best.queries.len() && best.queries.len() > 1 {
@@ -133,6 +143,7 @@ mod tests {
             batch_size: 1,
             input_queue: 8,
             flux_steps: 0,
+            partitions: 1,
             queries: vec!["q0".into(), "q1".into(), "q2".into()],
             steps: vec![
                 Step::Panic { query: 0 },

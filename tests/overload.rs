@@ -520,3 +520,95 @@ fn async_index_pending_gauge_reaches_tcq_operators() {
     assert_eq!(gauge_row.field(2).as_int(), Some(2));
     s.shutdown();
 }
+
+// ------------------------------------------- partitioned parallelism --
+
+/// Shedding composes with the Flux exchange. At `partitions: 4` each
+/// admitted batch is split into disjoint per-partition shares, so the
+/// evicted-tuple counts are exact (never the over-count a broadcast
+/// would give): delivered + shed == pushed, per-partition
+/// `routed == processed + evicted`, and an evicted share still sends an
+/// empty offer so the ordered merge never stalls — the freshest tuple
+/// is always delivered.
+#[test]
+fn drop_oldest_partitioned_conserves_exactly() {
+    for partitions in [1usize, 4] {
+        let s = Server::start(Config {
+            partitions,
+            ..overload_config(ShedPolicy::DropOldest)
+        })
+        .unwrap();
+        s.register_stream("S", s_schema()).unwrap();
+        let h = tap(&s);
+        for i in 1..=N {
+            push_seq(&s, i);
+        }
+        s.sync();
+        assert_conserved(&s);
+        s.assert_quiescent();
+        let st = s.shed_stats("S").unwrap();
+        let delivered = seqs(&h);
+        assert!(
+            st.shed > 0,
+            "overload must engage at p={partitions}: {st:?}"
+        );
+        assert_eq!(
+            delivered.len() as u64 + st.shed,
+            N as u64,
+            "every tuple delivered or counted shed at p={partitions}"
+        );
+        assert_eq!(
+            delivered.last().copied(),
+            Some(N),
+            "freshest-data-wins survives the merge at p={partitions}"
+        );
+        if partitions > 1 {
+            let stats = s.partition_stats();
+            for (i, (routed, processed, evicted)) in stats.iter().enumerate() {
+                assert_eq!(*routed, processed + evicted, "partition {i} conservation");
+            }
+            let routed: u64 = stats.iter().map(|(r, _, _)| r).sum();
+            let evicted: u64 = stats.iter().map(|(_, _, e)| e).sum();
+            assert_eq!(routed, N as u64, "each tuple routed to exactly one share");
+            assert_eq!(evicted, st.shed, "exchange evictions match the shed ledger");
+        }
+        s.shutdown();
+    }
+}
+
+/// The router-lock broadcast invariant: `InjectPanic` reaches every
+/// partition at the same point of the batch order, so all partitions
+/// lose the SAME batch and the partitioned run degrades exactly like
+/// the single-partition one — one batch lost, byte-identical recovery.
+#[test]
+fn injected_panic_partitioned_loses_one_batch_everywhere() {
+    let run = |partitions: usize| {
+        let s = Server::start(Config {
+            step_mode: true,
+            partitions,
+            ..Config::default()
+        })
+        .unwrap();
+        s.register_stream("S", s_schema()).unwrap();
+        let victim = tap(&s);
+        let sibling = s.submit("SELECT seq FROM S WHERE seq >= -1").unwrap();
+        for i in 1..=3 {
+            push_seq(&s, i);
+        }
+        s.sync();
+        s.inject_panic(victim.id).unwrap();
+        for i in 4..=6 {
+            push_seq(&s, i);
+        }
+        s.sync();
+        let out = (seqs(&victim), seqs(&sibling), victim.is_degraded());
+        s.shutdown();
+        out
+    };
+    let (v1, sib1, d1) = run(1);
+    let (v4, sib4, d4) = run(4);
+    assert_eq!(v1, vec![1, 2, 3, 5, 6], "one armed batch lost at p=1");
+    assert_eq!(v4, v1, "partitions lose the same single batch");
+    assert_eq!(sib4, sib1, "sibling byte-identical across partition counts");
+    assert!(d1 && d4);
+}

@@ -576,3 +576,94 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 }
+
+/// Run a mixed workload — a continuous selection and a windowed count
+/// over stream `s`, plus a pinned two-stream equi-join against `r` — in
+/// deterministic step mode at one partition count, and return every
+/// query's full drained output in delivery order (no sorting: the
+/// egress merge must restore byte-identical order, not just the same
+/// multiset).
+fn partitioned_answers(
+    partitions: usize,
+    batch_size: usize,
+    prices: &[i64],
+    keys: &[i64],
+) -> Vec<Vec<tcq::ResultSet>> {
+    use tcq_common::{DataType, Field, Schema};
+
+    let server = tcq::Server::start(tcq::Config {
+        step_mode: true,
+        batch_size,
+        partitions,
+        ..tcq::Config::default()
+    })
+    .expect("server starts");
+    server
+        .register_stream(
+            "s",
+            Schema::qualified("s", vec![Field::new("price", DataType::Int)]),
+        )
+        .expect("s registers");
+    server
+        .register_stream(
+            "r",
+            Schema::qualified(
+                "r",
+                vec![
+                    Field::new("k", DataType::Int),
+                    Field::new("w", DataType::Int),
+                ],
+            ),
+        )
+        .expect("r registers");
+    let select = server
+        .submit("SELECT price FROM s WHERE price >= 50")
+        .expect("selection submits");
+    let horizon = prices.len() as i64;
+    let windowed = server
+        .submit(&format!(
+            "SELECT COUNT(*) AS n FROM s \
+             for (t = 1; t <= {horizon}; t++) {{ WindowIs(s, 1, t); }}"
+        ))
+        .expect("windowed submits");
+    let join = server
+        .submit("SELECT r.w FROM s, r WHERE s.price = r.k")
+        .expect("join submits");
+    for (i, &p) in prices.iter().enumerate() {
+        let ts = i as i64 + 1;
+        server
+            .push_at("s", vec![Value::Int(p)], ts)
+            .expect("s push");
+        if let Some(&k) = keys.get(i) {
+            server
+                .push_at("r", vec![Value::Int(k), Value::Int(k * 10)], ts)
+                .expect("r push");
+        }
+    }
+    server.punctuate("s", horizon).expect("punctuate");
+    server.sync();
+    server.assert_quiescent();
+    let out = vec![select.drain(), windowed.drain(), join.drain()];
+    server.shutdown();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The Flux tentpole invariant: sharding the pipeline across EO
+    /// partitions is invisible to clients. For random stream contents,
+    /// batch sizes, and partition counts, every query's output — row
+    /// order included — is byte-identical to the single-partition run.
+    #[test]
+    fn partitioned_pipeline_equals_single_partition(
+        prices in proptest::collection::vec(0i64..100, 4..60),
+        keys in proptest::collection::vec(0i64..100, 0..60),
+        batch in prop_oneof![Just(1usize), Just(7usize), Just(32usize)],
+        partitions in prop_oneof![Just(2usize), Just(3usize), Just(4usize)],
+    ) {
+        let reference = partitioned_answers(1, batch, &prices, &keys);
+        let sharded = partitioned_answers(partitions, batch, &prices, &keys);
+        prop_assert_eq!(reference, sharded);
+    }
+}

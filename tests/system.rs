@@ -478,7 +478,15 @@ fn introspection_streams_queryable_live() {
     s.sync();
 
     let rows: Vec<_> = queues.drain().into_iter().flat_map(|r| r.rows).collect();
-    let n_eos = Config::default().executor_threads;
+    // One EO input queue per worker: `partitions` exchange workers when
+    // partitioning is on (e.g. the TCQ_PARTITIONS=4 CI shard), else the
+    // classic `executor_threads` pool.
+    let cfg = Config::default();
+    let n_eos = if cfg.partitions > 1 {
+        cfg.partitions
+    } else {
+        cfg.executor_threads
+    };
     assert_eq!(rows.len(), n_eos, "one row per EO input queue");
     let snap = s.metrics().unwrap().snapshot();
     for row in &rows {
@@ -559,6 +567,236 @@ fn fjord_counters_conserved_at_quiesce() {
     }
     let got: usize = h.drain().iter().map(|r| r.rows.len()).sum();
     assert_eq!(got, 495);
+    s.shutdown();
+}
+
+// ------------------------------------------------ partitioned parallelism --
+
+/// Conservation across the Flux exchange at a quiesce point: per
+/// partition `routed == processed + evicted`, and nothing in flight.
+fn assert_partitions_conserved(s: &Server) {
+    for (i, (routed, processed, evicted)) in s.partition_stats().iter().enumerate() {
+        assert_eq!(
+            *routed,
+            processed + evicted,
+            "partition {i} share conservation at quiesce"
+        );
+    }
+}
+
+/// One workload, two stream classes (shared-style selection and a bare
+/// tap), run to quiesce; returns every query's drained result sets.
+fn partitioned_workload(partitions: usize) -> Vec<Vec<tcq::ResultSet>> {
+    let s = Server::start(Config {
+        partitions,
+        ..Config::default()
+    })
+    .unwrap();
+    s.register_stream("ClosingStockPrices", stock_schema())
+        .unwrap();
+    let selection = s
+        .submit("SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > 55.0")
+        .unwrap();
+    let tap = s
+        .submit("SELECT stockSymbol, closingPrice FROM ClosingStockPrices")
+        .unwrap();
+    let windowed = s
+        .submit(
+            "SELECT COUNT(*) AS n FROM ClosingStockPrices \
+             for (t = 20; t <= 60; t += 20) { WindowIs(ClosingStockPrices, t - 19, t); }",
+        )
+        .unwrap();
+    for day in 1..=60i64 {
+        for (sym, price) in [("MSFT", 50.0 + day as f64), ("IBM", 90.0 - day as f64)] {
+            s.push_at(
+                "ClosingStockPrices",
+                vec![Value::Int(day), Value::str(sym), Value::Float(price)],
+                day,
+            )
+            .unwrap();
+        }
+    }
+    s.punctuate("ClosingStockPrices", 60).unwrap();
+    s.sync();
+    assert_conserved(&s);
+    s.assert_quiescent();
+    if partitions > 1 {
+        assert_partitions_conserved(&s);
+        let total: u64 = s.partition_stats().iter().map(|(r, _, _)| r).sum();
+        assert_eq!(total, 120, "every admitted tuple routed exactly once");
+    }
+    let out = vec![selection.drain(), tap.drain(), windowed.drain()];
+    s.shutdown();
+    out
+}
+
+/// The tentpole identity: sharding the pipeline across 4 EO workers
+/// through the Flux exchange leaves client-visible results — streamed
+/// rows, their order, and window-release sets — byte-identical to the
+/// single-partition run.
+#[test]
+fn partitioned_output_identical_to_single_partition() {
+    let single = partitioned_workload(1);
+    let sharded = partitioned_workload(4);
+    assert_eq!(
+        single, sharded,
+        "partitions: 4 must be invisible to the client"
+    );
+}
+
+/// A two-stream streaming equi-join pins both inputs on the join key so
+/// matches co-locate; results match the single-partition run exactly.
+#[test]
+fn partitioned_join_colocates_and_matches() {
+    let run = |partitions: usize| {
+        let s = Server::start(Config {
+            partitions,
+            ..Config::default()
+        })
+        .unwrap();
+        s.register_stream(
+            "L",
+            Schema::qualified(
+                "l",
+                vec![
+                    Field::new("k", DataType::Int),
+                    Field::new("v", DataType::Int),
+                ],
+            ),
+        )
+        .unwrap();
+        s.register_stream(
+            "R",
+            Schema::qualified(
+                "r",
+                vec![
+                    Field::new("k", DataType::Int),
+                    Field::new("w", DataType::Int),
+                ],
+            ),
+        )
+        .unwrap();
+        let h = s
+            .submit("SELECT l.v, r.w FROM L l, R r WHERE l.k = r.k")
+            .unwrap();
+        for i in 1..=80i64 {
+            s.push_at("L", vec![Value::Int(i % 7), Value::Int(i)], i)
+                .unwrap();
+            s.push_at("R", vec![Value::Int(i % 7), Value::Int(i * 100)], i)
+                .unwrap();
+        }
+        s.sync();
+        s.assert_quiescent();
+        if partitions > 1 {
+            assert_partitions_conserved(&s);
+        }
+        let out = h.drain();
+        s.shutdown();
+        out
+    };
+    let single = run(1);
+    let sharded = run(4);
+    let rows: usize = single.iter().map(|r| r.rows.len()).sum();
+    assert!(rows > 80, "the join actually produced matches: {rows}");
+    assert_eq!(single, sharded, "co-located join output byte-identical");
+}
+
+/// Step mode composes with partitions: the deterministic round-robin
+/// drain yields the same answers at 1 and 4 partitions, twice over.
+#[test]
+fn partitioned_step_mode_is_deterministic() {
+    let run = |partitions: usize| {
+        let s = Server::start(Config {
+            step_mode: true,
+            partitions,
+            ..Config::default()
+        })
+        .unwrap();
+        s.register_stream("ClosingStockPrices", stock_schema())
+            .unwrap();
+        let h = s
+            .submit("SELECT closingPrice FROM ClosingStockPrices WHERE closingPrice > 10.0")
+            .unwrap();
+        for day in 1..=50i64 {
+            s.push_at(
+                "ClosingStockPrices",
+                vec![
+                    Value::Int(day),
+                    Value::str("MSFT"),
+                    Value::Float(day as f64),
+                ],
+                day,
+            )
+            .unwrap();
+        }
+        s.sync();
+        s.assert_quiescent();
+        let out: Vec<String> = h
+            .drain()
+            .into_iter()
+            .flat_map(|r| r.rows)
+            .map(|t| format!("{t}"))
+            .collect();
+        s.shutdown();
+        out
+    };
+    let p1 = run(1);
+    assert_eq!(p1.len(), 40);
+    assert_eq!(p1, run(4), "partitioned step mode matches single");
+    assert_eq!(run(4), run(4), "and replays identically");
+}
+
+/// The exchange's per-partition gauges and skew histogram surface in
+/// the registry and on the `tcq$flux` introspection stream.
+#[test]
+fn partition_metrics_reach_tcq_flux() {
+    let s = Server::start(Config {
+        partitions: 4,
+        ..Config::default()
+    })
+    .unwrap();
+    s.register_stream("ClosingStockPrices", stock_schema())
+        .unwrap();
+    let flux_q = s
+        .submit("SELECT name, metric, value FROM tcq$flux")
+        .unwrap();
+    for day in 1..=40i64 {
+        s.push_at(
+            "ClosingStockPrices",
+            vec![
+                Value::Int(day),
+                Value::str("MSFT"),
+                Value::Float(day as f64),
+            ],
+            day,
+        )
+        .unwrap();
+    }
+    s.sync();
+    s.emit_introspection();
+    s.sync();
+    let snap = s.metrics().unwrap().snapshot();
+    // tcq$* rows themselves route through the exchange, so the gauge
+    // total covers the 40 stream tuples plus the introspection rows.
+    let routed: i64 = (0..4)
+        .map(|i| {
+            snap.value("flux", &format!("exchange.p{i}"), "routed")
+                .unwrap()
+        })
+        .sum();
+    assert!(routed >= 40, "per-partition routed gauges cover the stream");
+    assert!(
+        snap.value("flux", "exchange", "partition_skew").unwrap() >= 1,
+        "skew histogram records observations"
+    );
+    let rows: Vec<_> = flux_q.drain().into_iter().flat_map(|r| r.rows).collect();
+    assert!(
+        rows.iter().any(|r| {
+            r.field(0).as_str() == Some("flux.exchange.p0")
+                && r.field(1).as_str() == Some("processed")
+        }),
+        "tcq$flux carries per-partition exchange rows"
+    );
     s.shutdown();
 }
 
