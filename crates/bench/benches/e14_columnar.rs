@@ -1,0 +1,23 @@
+//! E14 — columnar vectorized batch execution: typed column batches with
+//! selection bitmaps through the eddy's filter fast path and the window
+//! driver's aggregate kernels, timed against the batched row path on
+//! the same workloads. Answers are asserted byte-identical inside the
+//! runners.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcq_bench::{e14_agg_run, e14_filter_run};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_columnar");
+    g.sample_size(10);
+    g.bench_function("filter_heavy_100k", |b| {
+        b.iter(|| e14_filter_run(100_000, 1));
+    });
+    g.bench_function("aggregate_heavy_100k", |b| {
+        b.iter(|| e14_agg_run(100_000, 1));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

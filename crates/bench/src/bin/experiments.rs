@@ -1,7 +1,7 @@
 //! Regenerate every experiment table for EXPERIMENTS.md.
 //!
 //! ```sh
-//! cargo run --release -p tcq-bench --bin experiments        # all of E1–E13
+//! cargo run --release -p tcq-bench --bin experiments        # all of E1–E14
 //! cargo run --release -p tcq-bench --bin experiments e11    # just E11
 //! cargo run --release -p tcq-bench --bin experiments e4 e10 # a subset
 //! ```
@@ -19,7 +19,7 @@ fn main() {
     println!("TelegraphCQ-rs experiment report");
     println!("================================\n");
 
-    let table: [(&str, fn()); 13] = [
+    let table: [(&str, fn()); 14] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -33,6 +33,7 @@ fn main() {
         ("e11", e11),
         ("e12", e12),
         ("e13", e13),
+        ("e14", e14),
     ];
     let mut ran = false;
     for (name, run) in table {
@@ -42,7 +43,7 @@ fn main() {
         }
     }
     if !ran {
-        eprintln!("no experiment matches {args:?}; known: e1..e13");
+        eprintln!("no experiment matches {args:?}; known: e1..e14");
         std::process::exit(2);
     }
 }
@@ -409,6 +410,34 @@ fn e13() {
     println!(
         "  json: {{\"experiment\":\"e13\",\"cores\":{cores},\"tuples\":{n},\"runs\":[{}]}}",
         runs.join(",")
+    );
+    println!();
+}
+
+fn e14() {
+    println!("E14 — columnar vectorized execution vs the batched row path (batch {E14_BATCH})");
+    println!("  typed column batches + selection bitmaps; answers byte-identical by assert");
+    let n = 200_000;
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!(
+        "  {:<30} {:>10} {:>10} {:>13} {:>10}",
+        "workload", "outputs", "row ms", "columnar ms", "speedup"
+    );
+    let f = e14_filter_run(n, 3);
+    let a = e14_agg_run(n, 3);
+    for (name, l) in [
+        ("filter-heavy (3 arith preds)", &f),
+        ("aggregate-heavy (5 agg kinds)", &a),
+    ] {
+        println!(
+            "  {:<30} {:>10} {:>10.2} {:>13.2} {:>9.2}x",
+            name, l.outputs, l.row_ms, l.columnar_ms, l.speedup
+        );
+    }
+    println!(
+        "  json: {{\"experiment\":\"e14\",\"cores\":{cores},\"tuples\":{n},\"batch\":{E14_BATCH},\
+\"filter_speedup\":{:.3},\"agg_speedup\":{:.3}}}",
+        f.speedup, a.speedup
     );
     println!();
 }

@@ -11,9 +11,11 @@
 //! queries use them — the work-sharing CACQ demonstrates against
 //! query-at-a-time execution (experiment E4).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
-use tcq_common::{CmpOp, Result, TcqError, Timestamp, Tuple, Value};
+use tcq_common::batch::ColumnData;
+use tcq_common::{CmpOp, ColumnBatch, Result, TcqError, Timestamp, Tuple, Value};
 use tcq_stems::Key;
 
 use crate::bitset::QuerySet;
@@ -98,6 +100,11 @@ pub struct CacqStats {
     pub delivered: u64,
     /// SteM probes performed.
     pub probes: u64,
+    /// Batches processed through the columnar filter stage.
+    pub columnar_batches: u64,
+    /// Rows the columnar stage evaluated with the generic row kernel
+    /// because a predicated column was not strictly typed.
+    pub columnar_fallback_rows: u64,
 }
 
 #[derive(Debug)]
@@ -210,6 +217,12 @@ pub struct CacqEngine {
     lineage_scratch: QuerySet,
     /// Probe-combination scratch (`lineage ∩ stored lineage`).
     combined_scratch: QuerySet,
+    /// Interned predicate strings: every string threshold admitted into a
+    /// grouped filter (and its `eq`-map key) shares one `Arc<str>` per
+    /// distinct spelling, so admitting the thousandth `symbol = "MSFT"`
+    /// query allocates nothing. The pool is bounded by the workload's
+    /// predicate vocabulary and retained across query removal.
+    str_pool: HashSet<Arc<str>>,
     next_id: QueryId,
     stats: CacqStats,
     /// Bound registry instruments; `None` until
@@ -229,6 +242,10 @@ struct CacqMetrics {
     delivered: std::sync::Arc<tcq_metrics::Counter>,
     probes: std::sync::Arc<tcq_metrics::Counter>,
     queries: std::sync::Arc<tcq_metrics::Gauge>,
+    /// Columnar batches and row-fallback rows, published under
+    /// `("operators", instance)` so `tcq$operators` surfaces them.
+    columnar_batches: std::sync::Arc<tcq_metrics::Counter>,
+    columnar_fallback_rows: std::sync::Arc<tcq_metrics::Counter>,
 }
 
 impl CacqEngine {
@@ -256,6 +273,12 @@ impl CacqEngine {
             delivered: registry.counter("cacq", instance, "delivered"),
             probes: registry.counter("cacq", instance, "probes"),
             queries: registry.gauge("cacq", instance, "queries"),
+            columnar_batches: registry.counter("operators", instance, "columnar.batches"),
+            columnar_fallback_rows: registry.counter(
+                "operators",
+                instance,
+                "columnar.fallback_rows",
+            ),
         });
         self.sync_metrics();
     }
@@ -270,6 +293,10 @@ impl CacqEngine {
                 .add(self.stats.delivered - self.synced.delivered);
             m.probes.add(self.stats.probes - self.synced.probes);
             m.queries.set(self.by_id.len() as i64);
+            m.columnar_batches
+                .add(self.stats.columnar_batches - self.synced.columnar_batches);
+            m.columnar_fallback_rows
+                .add(self.stats.columnar_fallback_rows - self.synced.columnar_fallback_rows);
             self.synced = self.stats;
         }
     }
@@ -280,6 +307,23 @@ impl CacqEngine {
             .values()
             .map(|j| j.left.len() + j.right.len())
             .sum()
+    }
+
+    /// Canonicalize a predicate threshold: string values are deduplicated
+    /// through [`CacqEngine::str_pool`] so every grouped-filter entry (and
+    /// equality key) for one spelling shares a single allocation.
+    fn intern(&mut self, v: &Value) -> Value {
+        match v {
+            Value::Str(s) => {
+                if let Some(pooled) = self.str_pool.get(s.as_ref() as &str) {
+                    Value::Str(pooled.clone())
+                } else {
+                    self.str_pool.insert(s.clone());
+                    Value::Str(s.clone())
+                }
+            }
+            other => other.clone(),
+        }
     }
 
     /// Register a query; it participates in processing immediately
@@ -321,10 +365,11 @@ impl CacqEngine {
 
         for sel in &spec.selections {
             let key = (sel.stream, sel.col);
+            let threshold = self.intern(&sel.value);
             self.filters
                 .entry(key)
                 .or_default()
-                .insert(sel.op, sel.value.clone(), slot);
+                .insert(sel.op, threshold, slot);
             let counts = self.col_pred_count.entry(key).or_default();
             if counts.len() <= slot {
                 counts.resize(slot + 1, 0);
@@ -451,13 +496,58 @@ impl CacqEngine {
     ) -> Vec<(usize, QueryId, Tuple)> {
         let n = tuples.len();
         self.stats.tuples += n as u64;
-        let mut out = Vec::new();
         if n == 0 {
-            return out;
+            return Vec::new();
         }
+        if self.seed_lineage(stream, n) {
+            self.filter_stage_rows(stream, tuples);
+        }
+        let out = self.deliver(stream, tuples);
+        self.sync_metrics();
+        out
+    }
 
-        // Seed every tuple's lineage with the stream's interested slots:
-        // predicate-less (join-side) slots pass trivially and stay set.
+    /// [`CacqEngine::push_batch_indexed`] over a typed column batch: the
+    /// grouped-filter stage reads each predicated column as a typed slice
+    /// (via [`GroupedFilter::for_each_match_num`] /
+    /// [`GroupedFilter::for_each_match_str`]) instead of dispatching on a
+    /// boxed [`Value`] per tuple. Columns the batch could not type
+    /// strictly (mixed types, timestamps, or a ragged batch) fall back to
+    /// the generic row kernel, counted in `columnar_fallback_rows`.
+    /// Deliveries — including join probes and builds, which consume the
+    /// retained original rows — are byte-identical to
+    /// `push_batch_indexed(stream, batch.rows())`.
+    pub fn push_batch_columnar(
+        &mut self,
+        stream: usize,
+        batch: &ColumnBatch,
+    ) -> Vec<(usize, QueryId, Tuple)> {
+        let n = batch.len();
+        self.stats.tuples += n as u64;
+        if n == 0 {
+            return Vec::new();
+        }
+        self.stats.columnar_batches += 1;
+        if self.seed_lineage(stream, n) {
+            if batch.num_cols() == 0 {
+                // Ragged batch: no typed columns at all; every predicated
+                // column re-runs the row kernel for every row.
+                let cols = self.filter_cols.get(&stream).map_or(0, Vec::len);
+                self.stats.columnar_fallback_rows += (cols * n) as u64;
+                self.filter_stage_rows(stream, batch.rows());
+            } else {
+                self.filter_stage_columnar(stream, batch);
+            }
+        }
+        let out = self.deliver(stream, batch.rows());
+        self.sync_metrics();
+        out
+    }
+
+    /// Seed every tuple's lineage with the stream's interested slots:
+    /// predicate-less (join-side) slots pass trivially and stay set.
+    /// Returns whether any query is interested in the stream at all.
+    fn seed_lineage(&mut self, stream: usize, n: usize) -> bool {
         if self.passed_scratch.len() < n {
             self.passed_scratch.resize_with(n, QuerySet::new);
         }
@@ -468,61 +558,141 @@ impl CacqEngine {
                 None => p.clear(),
             }
         }
+        interested.is_some()
+    }
 
-        // 1. Grouped filters, column-major. For each predicated column:
-        //    count satisfied predicates per slot (generation-stamped
-        //    counters), mark slots whose conjunction on *this column*
-        //    completed, and veto the rest word-parallel. Work per tuple
-        //    is O(log preds + matches), not O(queries), and the filter
-        //    map is probed once per column per batch.
-        if interested.is_some() {
-            if let Some(cols) = self.filter_cols.get(&stream) {
-                for &col in cols {
-                    let Some(gf) = self.filters.get(&(stream, col)) else {
-                        continue;
-                    };
-                    self.stats.filter_lookups += n as u64;
-                    let needs = &self.col_pred_count[&(stream, col)];
-                    let predicated = &self.col_predicated[&(stream, col)];
-                    let counters = &mut self.counters;
-                    let gens = &mut self.gens;
-                    let touched = &mut self.touched;
-                    let matched = &mut self.matched_scratch;
-                    for (t, tuple) in tuples.iter().enumerate() {
-                        self.cur_gen += 1;
-                        let cur_gen = self.cur_gen;
-                        touched.clear();
-                        matched.clear();
-                        if let Some(v) = tuple.get(col) {
-                            gf.for_each_match(v, |slot| {
-                                if slot >= counters.len() {
-                                    counters.resize(slot + 1, 0);
-                                    gens.resize(slot + 1, 0);
-                                }
-                                if gens[slot] != cur_gen {
-                                    gens[slot] = cur_gen;
-                                    counters[slot] = 0;
-                                    touched.push(slot);
-                                }
-                                counters[slot] += 1;
-                            });
+    /// Stage 1, row layout: grouped filters, column-major. For each
+    /// predicated column: count satisfied predicates per slot
+    /// (generation-stamped counters), mark slots whose conjunction on
+    /// *this column* completed, and veto the rest word-parallel. Work per
+    /// tuple is O(log preds + matches), not O(queries), and the filter
+    /// map is probed once per column per batch.
+    fn filter_stage_rows(&mut self, stream: usize, tuples: &[Tuple]) {
+        let n = tuples.len();
+        let Some(cols) = self.filter_cols.get(&stream) else {
+            return;
+        };
+        for &col in cols {
+            let Some(gf) = self.filters.get(&(stream, col)) else {
+                continue;
+            };
+            self.stats.filter_lookups += n as u64;
+            let needs = &self.col_pred_count[&(stream, col)];
+            let predicated = &self.col_predicated[&(stream, col)];
+            let counters = &mut self.counters;
+            let gens = &mut self.gens;
+            let touched = &mut self.touched;
+            let matched = &mut self.matched_scratch;
+            for (t, tuple) in tuples.iter().enumerate() {
+                self.cur_gen += 1;
+                let cur_gen = self.cur_gen;
+                touched.clear();
+                matched.clear();
+                if let Some(v) = tuple.get(col) {
+                    gf.for_each_match(v, |slot| {
+                        if slot >= counters.len() {
+                            counters.resize(slot + 1, 0);
+                            gens.resize(slot + 1, 0);
                         }
-                        for &slot in touched.iter() {
-                            let need = needs.get(slot).copied().unwrap_or(0);
-                            if need > 0 && counters[slot] == need {
-                                matched.insert(slot);
-                            }
+                        if gens[slot] != cur_gen {
+                            gens[slot] = cur_gen;
+                            counters[slot] = 0;
+                            touched.push(slot);
                         }
-                        self.passed_scratch[t].mask_failed(predicated, matched);
+                        counters[slot] += 1;
+                    });
+                }
+                for &slot in touched.iter() {
+                    let need = needs.get(slot).copied().unwrap_or(0);
+                    if need > 0 && counters[slot] == need {
+                        matched.insert(slot);
                     }
                 }
+                self.passed_scratch[t].mask_failed(predicated, matched);
             }
         }
+    }
 
-        // 2 & 3. Deliver per tuple, in arrival order: selection-only
-        // matches first, then shared joins (probe the opposite side —
-        // earlier arrivals only, including earlier batch members — then
-        // build).
+    /// Stage 1, columnar layout: the same column-major conjunction
+    /// counting, but each predicated column is read as a typed slice with
+    /// the matching [`GroupedFilter`] kernel. NULL slots (unset validity
+    /// bits) satisfy nothing without entering a kernel; `Mixed` columns
+    /// re-run the generic row kernel per value.
+    fn filter_stage_columnar(&mut self, stream: usize, batch: &ColumnBatch) {
+        let n = batch.len();
+        let Some(cols) = self.filter_cols.get(&stream) else {
+            return;
+        };
+        for &col in cols {
+            let Some(gf) = self.filters.get(&(stream, col)) else {
+                continue;
+            };
+            self.stats.filter_lookups += n as u64;
+            if matches!(batch.col(col), Some(c) if matches!(c.data, ColumnData::Mixed(_))) {
+                self.stats.columnar_fallback_rows += n as u64;
+            }
+            let needs = &self.col_pred_count[&(stream, col)];
+            let predicated = &self.col_predicated[&(stream, col)];
+            let counters = &mut self.counters;
+            let gens = &mut self.gens;
+            let touched = &mut self.touched;
+            let matched = &mut self.matched_scratch;
+            let column = batch.col(col);
+            for t in 0..n {
+                self.cur_gen += 1;
+                let cur_gen = self.cur_gen;
+                touched.clear();
+                matched.clear();
+                let mut cb = |slot: usize| {
+                    if slot >= counters.len() {
+                        counters.resize(slot + 1, 0);
+                        gens.resize(slot + 1, 0);
+                    }
+                    if gens[slot] != cur_gen {
+                        gens[slot] = cur_gen;
+                        counters[slot] = 0;
+                        touched.push(slot);
+                    }
+                    counters[slot] += 1;
+                };
+                match column.map(|c| (&c.data, &c.valid)) {
+                    Some((ColumnData::Int(xs), valid)) if valid.get(t) => {
+                        gf.for_each_match_num(&Value::Int(xs[t]), xs[t] as f64, &mut cb);
+                    }
+                    Some((ColumnData::Float(xs), valid)) if valid.get(t) => {
+                        gf.for_each_match_num(&Value::Float(xs[t]), xs[t], &mut cb);
+                    }
+                    Some((ColumnData::Bool(bs), valid)) if valid.get(t) => {
+                        gf.for_each_match_num(&Value::Bool(bs[t]), bs[t] as i64 as f64, &mut cb);
+                    }
+                    Some((ColumnData::Str(ss), valid)) if valid.get(t) => {
+                        gf.for_each_match_str(&ss[t], &mut cb);
+                    }
+                    Some((ColumnData::Mixed(vs), _)) if !vs[t].is_null() => {
+                        gf.for_each_match(&vs[t], &mut cb);
+                    }
+                    // A NULL matches no predicate, and a predicated column
+                    // beyond the batch arity satisfies nothing (the row
+                    // path's `tuple.get(col)` is None).
+                    _ => {}
+                }
+                for &slot in touched.iter() {
+                    let need = needs.get(slot).copied().unwrap_or(0);
+                    if need > 0 && counters[slot] == need {
+                        matched.insert(slot);
+                    }
+                }
+                self.passed_scratch[t].mask_failed(predicated, matched);
+            }
+        }
+    }
+
+    /// Stages 2 & 3. Deliver per tuple, in arrival order: selection-only
+    /// matches first, then shared joins (probe the opposite side —
+    /// earlier arrivals only, including earlier batch members — then
+    /// build).
+    fn deliver(&mut self, stream: usize, tuples: &[Tuple]) -> Vec<(usize, QueryId, Tuple)> {
+        let mut out = Vec::new();
         let sel_only = self.selection_only.get(&stream);
         let slot_ids: Vec<Option<QueryId>> = if self.joins.is_empty() {
             Vec::new()
@@ -596,7 +766,6 @@ impl CacqEngine {
                 }
             }
         }
-        self.sync_metrics();
         out
     }
 
@@ -928,5 +1097,142 @@ mod tests {
         e.push(0, Tuple::at_seq(vec![Value::Null, Value::Float(1.0)], 1));
         let out = e.push(1, Tuple::at_seq(vec![Value::Null, Value::Float(2.0)], 2));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn push_batch_columnar_matches_row_path() {
+        let build = || {
+            let mut e = CacqEngine::new();
+            e.add_query(QuerySpec::select(
+                0,
+                vec![
+                    (1, CmpOp::Gt, Value::Float(10.0)),
+                    (1, CmpOp::Lt, Value::Float(90.0)),
+                ],
+            ))
+            .unwrap();
+            e.add_query(QuerySpec::select(
+                0,
+                vec![
+                    (0, CmpOp::Eq, Value::str("MSFT")),
+                    (1, CmpOp::Gt, Value::Float(50.0)),
+                ],
+            ))
+            .unwrap();
+            e.add_query(QuerySpec::select(
+                0,
+                vec![(0, CmpOp::Ne, Value::str("IBM"))],
+            ))
+            .unwrap();
+            e.add_query(QuerySpec {
+                selections: vec![Selection {
+                    stream: 0,
+                    col: 1,
+                    op: CmpOp::Gt,
+                    value: Value::Float(20.0),
+                }],
+                join: Some(join_spec()),
+            })
+            .unwrap();
+            e
+        };
+        let syms = ["MSFT", "IBM", "ORCL"];
+        let batch0: Vec<Tuple> = (0..64)
+            .map(|i| {
+                let price = if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float((i * 13 % 100) as f64)
+                };
+                Tuple::at_seq(vec![Value::str(syms[i as usize % 3]), price], i)
+            })
+            .collect();
+        let batch1: Vec<Tuple> = (0..16)
+            .map(|i| stock(syms[i as usize % 3], i as f64, 100 + i))
+            .collect();
+
+        let mut rows = build();
+        let mut a = Vec::new();
+        a.extend(rows.push_batch_indexed(0, &batch0));
+        a.extend(rows.push_batch_indexed(1, &batch1));
+
+        let mut cols = build();
+        let mut b = Vec::new();
+        b.extend(cols.push_batch_columnar(0, &ColumnBatch::from_tuples(batch0)));
+        b.extend(cols.push_batch_columnar(1, &ColumnBatch::from_tuples(batch1)));
+
+        let fmt = |v: &[(usize, QueryId, Tuple)]| -> Vec<String> {
+            v.iter().map(|(i, q, t)| format!("{i}:{q}:{t:?}")).collect()
+        };
+        assert_eq!(fmt(&b), fmt(&a));
+        assert_eq!(cols.stats().delivered, rows.stats().delivered);
+        assert_eq!(cols.stats().columnar_batches, 2);
+        assert_eq!(
+            cols.stats().columnar_fallback_rows,
+            0,
+            "strictly typed columns need no row fallback"
+        );
+        assert_eq!(rows.stats().columnar_batches, 0);
+    }
+
+    #[test]
+    fn columnar_mixed_column_falls_back_per_row() {
+        let mut e = CacqEngine::new();
+        e.add_query(QuerySpec::select(
+            0,
+            vec![(0, CmpOp::Gt, Value::Float(1.5))],
+        ))
+        .unwrap();
+        // Alternating Int/Float: the column types as Mixed.
+        let tuples: Vec<Tuple> = (0..8)
+            .map(|i| {
+                let v = if i % 2 == 0 {
+                    Value::Int(i)
+                } else {
+                    Value::Float(i as f64)
+                };
+                Tuple::at_seq(vec![v], i)
+            })
+            .collect();
+        let want = {
+            let mut r = CacqEngine::new();
+            r.add_query(QuerySpec::select(
+                0,
+                vec![(0, CmpOp::Gt, Value::Float(1.5))],
+            ))
+            .unwrap();
+            r.push_batch(0, &tuples)
+        };
+        let got: Vec<(QueryId, Tuple)> = e
+            .push_batch_columnar(0, &ColumnBatch::from_tuples(tuples))
+            .into_iter()
+            .map(|(_, q, t)| (q, t))
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(e.stats().columnar_fallback_rows, 8);
+    }
+
+    #[test]
+    fn string_thresholds_are_interned() {
+        let mut e = CacqEngine::new();
+        for _ in 0..50 {
+            e.add_query(QuerySpec::select(
+                0,
+                vec![(0, CmpOp::Eq, Value::str("MSFT"))],
+            ))
+            .unwrap();
+            e.add_query(QuerySpec::select(
+                0,
+                vec![(0, CmpOp::Lt, Value::str("ZZZ"))],
+            ))
+            .unwrap();
+        }
+        assert_eq!(
+            e.str_pool.len(),
+            2,
+            "one pooled Arc per distinct predicate spelling"
+        );
+        // Still matches correctly through the pooled thresholds.
+        assert_eq!(e.push(0, stock("MSFT", 1.0, 1)).len(), 100);
     }
 }

@@ -78,27 +78,10 @@ impl RangeList {
     /// `threshold > v` (strict) or `threshold >= v`.
     fn suffix_above(&self, v: &Value, strict: bool, f: &mut impl FnMut(usize)) {
         match v {
-            Value::Str(s) => {
-                let start = if strict {
-                    self.strs.partition_point(|(t, _)| t.as_ref() <= s.as_ref())
-                } else {
-                    self.strs.partition_point(|(t, _)| t.as_ref() < s.as_ref())
-                };
-                for (_, q) in &self.strs[start..] {
-                    f(*q);
-                }
-            }
+            Value::Str(s) => self.suffix_above_str(s, strict, f),
             other => {
-                let Some(x) = as_num(other) else { return };
-                let start = if strict {
-                    self.nums.partition_point(|(t, _)| *t <= x)
-                } else {
-                    self.nums.partition_point(|(t, _)| *t < x)
-                };
-                for (t, q) in &self.nums[start..] {
-                    if !t.is_nan() {
-                        f(*q);
-                    }
+                if let Some(x) = as_num(other) {
+                    self.suffix_above_num(x, strict, f);
                 }
             }
         }
@@ -108,29 +91,66 @@ impl RangeList {
     /// `threshold < v` (strict) or `threshold <= v`.
     fn prefix_below(&self, v: &Value, strict: bool, f: &mut impl FnMut(usize)) {
         match v {
-            Value::Str(s) => {
-                let end = if strict {
-                    self.strs.partition_point(|(t, _)| t.as_ref() < s.as_ref())
-                } else {
-                    self.strs.partition_point(|(t, _)| t.as_ref() <= s.as_ref())
-                };
-                for (_, q) in &self.strs[..end] {
-                    f(*q);
-                }
-            }
+            Value::Str(s) => self.prefix_below_str(s, strict, f),
             other => {
-                let Some(x) = as_num(other) else { return };
-                let end = if strict {
-                    self.nums.partition_point(|(t, _)| *t < x)
-                } else {
-                    self.nums.partition_point(|(t, _)| *t <= x)
-                };
-                for (t, q) in &self.nums[..end] {
-                    if !t.is_nan() {
-                        f(*q);
-                    }
+                if let Some(x) = as_num(other) {
+                    self.prefix_below_num(x, strict, f);
                 }
             }
+        }
+    }
+
+    /// [`RangeList::suffix_above`] with a pre-coerced numeric view —
+    /// the columnar kernels extract the f64 once per value instead of
+    /// re-matching the `Value` per list.
+    fn suffix_above_num(&self, x: f64, strict: bool, f: &mut impl FnMut(usize)) {
+        let start = if strict {
+            self.nums.partition_point(|(t, _)| *t <= x)
+        } else {
+            self.nums.partition_point(|(t, _)| *t < x)
+        };
+        for (t, q) in &self.nums[start..] {
+            if !t.is_nan() {
+                f(*q);
+            }
+        }
+    }
+
+    /// [`RangeList::prefix_below`] on the numeric list only.
+    fn prefix_below_num(&self, x: f64, strict: bool, f: &mut impl FnMut(usize)) {
+        let end = if strict {
+            self.nums.partition_point(|(t, _)| *t < x)
+        } else {
+            self.nums.partition_point(|(t, _)| *t <= x)
+        };
+        for (t, q) in &self.nums[..end] {
+            if !t.is_nan() {
+                f(*q);
+            }
+        }
+    }
+
+    /// [`RangeList::suffix_above`] on the string list only.
+    fn suffix_above_str(&self, s: &str, strict: bool, f: &mut impl FnMut(usize)) {
+        let start = if strict {
+            self.strs.partition_point(|(t, _)| t.as_ref() <= s)
+        } else {
+            self.strs.partition_point(|(t, _)| t.as_ref() < s)
+        };
+        for (_, q) in &self.strs[start..] {
+            f(*q);
+        }
+    }
+
+    /// [`RangeList::prefix_below`] on the string list only.
+    fn prefix_below_str(&self, s: &str, strict: bool, f: &mut impl FnMut(usize)) {
+        let end = if strict {
+            self.strs.partition_point(|(t, _)| t.as_ref() < s)
+        } else {
+            self.strs.partition_point(|(t, _)| t.as_ref() <= s)
+        };
+        for (_, q) in &self.strs[..end] {
+            f(*q);
         }
     }
 }
@@ -233,6 +253,60 @@ impl GroupedFilter {
                 Some(std::cmp::Ordering::Less) | Some(std::cmp::Ordering::Greater)
             ) {
                 f(*q);
+            }
+        }
+    }
+
+    /// [`GroupedFilter::for_each_match`] for a non-NULL numeric-ish value
+    /// from a typed column (Int/Float/Bool): `x` is the caller's
+    /// precomputed [`as_num`] view of `v`, so the four range lists run
+    /// their binary searches on a raw f64 with no per-list re-coercion,
+    /// and `v` is consulted only for the (exact-typed) equality and
+    /// inequality predicates. Matches `for_each_match(v, f)` exactly.
+    pub fn for_each_match_num(&self, v: &Value, x: f64, mut f: impl FnMut(usize)) {
+        self.lt.suffix_above_num(x, true, &mut f);
+        self.le.suffix_above_num(x, false, &mut f);
+        self.gt.prefix_below_num(x, true, &mut f);
+        self.ge.prefix_below_num(x, false, &mut f);
+        if !self.eq.is_empty() {
+            if let Some(qs) = self.eq.get(&v.key_bytes()) {
+                for &q in qs {
+                    f(q);
+                }
+            }
+        }
+        for (t, q) in &self.ne {
+            if matches!(
+                v.sql_cmp(t),
+                Some(std::cmp::Ordering::Less) | Some(std::cmp::Ordering::Greater)
+            ) {
+                f(*q);
+            }
+        }
+    }
+
+    /// [`GroupedFilter::for_each_match`] for a string value from a typed
+    /// column: only the string sides of the range lists are walked, and
+    /// inequality reduces to exact string comparison (a string never
+    /// compares against a non-string threshold). Matches
+    /// `for_each_match(&Value::Str(s), f)` exactly.
+    pub fn for_each_match_str(&self, s: &Arc<str>, mut f: impl FnMut(usize)) {
+        self.lt.suffix_above_str(s, true, &mut f);
+        self.le.suffix_above_str(s, false, &mut f);
+        self.gt.prefix_below_str(s, true, &mut f);
+        self.ge.prefix_below_str(s, false, &mut f);
+        if !self.eq.is_empty() {
+            if let Some(qs) = self.eq.get(&KeyRepr::Str(s.clone())) {
+                for &q in qs {
+                    f(q);
+                }
+            }
+        }
+        for (t, q) in &self.ne {
+            if let Value::Str(ts) = t {
+                if ts.as_ref() != s.as_ref() {
+                    f(*q);
+                }
             }
         }
     }
@@ -355,6 +429,64 @@ mod tests {
         // binary search, not a 10k walk (asserted behaviourally).
         assert_eq!(gf.matches(&Value::Int(5)).len(), 5);
         assert_eq!(gf.matches(&Value::Int(9_999)).len(), 9_999);
+    }
+
+    #[test]
+    fn typed_kernels_match_generic_path() {
+        let ops = [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ];
+        let mut gf = GroupedFilter::new();
+        let mut x = 99u64;
+        for q in 0..120 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let op = ops[(x >> 33) as usize % ops.len()];
+            // Mix numeric, float, string, and bool thresholds.
+            let th = match (x >> 40) % 4 {
+                0 => Value::Int(((x >> 45) % 30) as i64),
+                1 => Value::Float(((x >> 45) % 30) as f64 / 2.0),
+                2 => Value::str(format!("s{:02}", (x >> 45) % 20)),
+                _ => Value::Bool((x >> 45).is_multiple_of(2)),
+            };
+            gf.insert(op, th, q);
+        }
+        let collect = |run: &dyn Fn(&mut Vec<usize>)| {
+            let mut got = Vec::new();
+            run(&mut got);
+            got.sort_unstable();
+            got
+        };
+        for i in -3i64..33 {
+            let v = Value::Int(i);
+            let x = as_num(&v).unwrap();
+            let want = collect(&|out| gf.for_each_match(&v, |q| out.push(q)));
+            let got = collect(&|out| gf.for_each_match_num(&v, x, |q| out.push(q)));
+            assert_eq!(got, want, "int {i}");
+            let vf = Value::Float(i as f64 / 2.0);
+            let xf = as_num(&vf).unwrap();
+            let want = collect(&|out| gf.for_each_match(&vf, |q| out.push(q)));
+            let got = collect(&|out| gf.for_each_match_num(&vf, xf, |q| out.push(q)));
+            assert_eq!(got, want, "float {i}");
+        }
+        for i in 0..25 {
+            let s: Arc<str> = Arc::from(format!("s{i:02}").as_str());
+            let v = Value::Str(s.clone());
+            let want = collect(&|out| gf.for_each_match(&v, |q| out.push(q)));
+            let got = collect(&|out| gf.for_each_match_str(&s, |q| out.push(q)));
+            assert_eq!(got, want, "str s{i:02}");
+        }
+        for b in [true, false] {
+            let v = Value::Bool(b);
+            let x = as_num(&v).unwrap();
+            let want = collect(&|out| gf.for_each_match(&v, |q| out.push(q)));
+            let got = collect(&|out| gf.for_each_match_num(&v, x, |q| out.push(q)));
+            assert_eq!(got, want, "bool {b}");
+        }
     }
 
     #[test]

@@ -12,7 +12,6 @@
 //! [`Expr::conjuncts`] are provided here, next to the evaluator they must
 //! agree with.
 
-use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -154,64 +153,53 @@ impl Expr {
         Expr::Or(Box::new(self), Box::new(other))
     }
 
-    /// Evaluate against a tuple.
-    pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
-        Ok(self.eval_ref(tuple)?.into_owned())
-    }
-
-    /// Evaluate against a tuple without cloning leaf values.
+    /// Evaluate against a tuple (the row evaluator).
     ///
-    /// Column references and literals borrow (`Cow::Borrowed`) from the
-    /// tuple and the expression respectively; only computed results
-    /// (comparisons, arithmetic, boolean combinators) are owned. This is
-    /// the predicate-evaluation hot path: `WHERE sym = 'MSFT'` over a
-    /// `Str` column performs no allocation per tuple.
-    pub fn eval_ref<'a>(&'a self, tuple: &'a Tuple) -> Result<Cow<'a, Value>> {
+    /// This is the documented fallback for expressions the vectorized
+    /// evaluator (`Expr::eval_pred_batch` in `vexpr`) cannot handle:
+    /// mixed-type columns, timestamps, and boolean-valued
+    /// sub-expressions in value positions. Hot predicates go through the
+    /// columnar path; projection at egress and the non-vectorizable
+    /// remainder come through here.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
         match self {
-            Expr::Column(idx) => tuple.get(*idx).map(Cow::Borrowed).ok_or_else(|| {
+            Expr::Column(idx) => tuple.get(*idx).cloned().ok_or_else(|| {
                 TcqError::ExecError(format!(
                     "column index {idx} out of range for arity {}",
                     tuple.arity()
                 ))
             }),
-            Expr::Literal(v) => Ok(Cow::Borrowed(v)),
+            Expr::Literal(v) => Ok(v.clone()),
             Expr::Cmp(op, a, b) => {
-                let (va, vb) = (a.eval_ref(tuple)?, b.eval_ref(tuple)?);
-                Ok(Cow::Owned(match va.sql_cmp(vb.as_ref()) {
+                let (va, vb) = (a.eval(tuple)?, b.eval(tuple)?);
+                Ok(match va.sql_cmp(&vb) {
                     Some(ord) => Value::Bool(op.matches(ord)),
                     None => Value::Null,
-                }))
+                })
             }
-            Expr::Arith(op, a, b) => arith(
-                *op,
-                a.eval_ref(tuple)?.as_ref(),
-                b.eval_ref(tuple)?.as_ref(),
-            )
-            .map(Cow::Owned),
+            Expr::Arith(op, a, b) => arith(*op, &a.eval(tuple)?, &b.eval(tuple)?),
             Expr::And(a, b) => {
-                let va = a.eval_ref(tuple)?;
-                let vb = b.eval_ref(tuple)?;
-                Ok(Cow::Owned(tvl_and(va.as_ref(), vb.as_ref())))
+                let va = a.eval(tuple)?;
+                let vb = b.eval(tuple)?;
+                Ok(tvl_and(&va, &vb))
             }
             Expr::Or(a, b) => {
-                let va = a.eval_ref(tuple)?;
-                let vb = b.eval_ref(tuple)?;
-                Ok(Cow::Owned(tvl_or(va.as_ref(), vb.as_ref())))
+                let va = a.eval(tuple)?;
+                let vb = b.eval(tuple)?;
+                Ok(tvl_or(&va, &vb))
             }
-            Expr::Not(a) => Ok(Cow::Owned(match a.eval_ref(tuple)?.as_ref() {
-                Value::Bool(b) => Value::Bool(!b),
-                Value::Null => Value::Null,
-                other => {
-                    return Err(TcqError::TypeError(format!(
-                        "NOT applied to non-boolean {other}"
-                    )))
-                }
-            })),
-            Expr::IsNull(a) => Ok(Cow::Owned(Value::Bool(a.eval_ref(tuple)?.is_null()))),
-            Expr::Neg(a) => match a.eval_ref(tuple)?.as_ref() {
-                Value::Int(i) => Ok(Cow::Owned(Value::Int(-i))),
-                Value::Float(f) => Ok(Cow::Owned(Value::Float(-f))),
-                Value::Null => Ok(Cow::Owned(Value::Null)),
+            Expr::Not(a) => match a.eval(tuple)? {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                Value::Null => Ok(Value::Null),
+                other => Err(TcqError::TypeError(format!(
+                    "NOT applied to non-boolean {other}"
+                ))),
+            },
+            Expr::IsNull(a) => Ok(Value::Bool(a.eval(tuple)?.is_null())),
+            Expr::Neg(a) => match a.eval(tuple)? {
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                Value::Null => Ok(Value::Null),
                 other => Err(TcqError::TypeError(format!("cannot negate {other}"))),
             },
         }
@@ -219,7 +207,7 @@ impl Expr {
 
     /// Evaluate as a predicate: `true` only when the result is SQL TRUE.
     pub fn eval_pred(&self, tuple: &Tuple) -> Result<bool> {
-        Ok(self.eval_ref(tuple)?.as_bool().unwrap_or(false))
+        Ok(self.eval(tuple)?.as_bool().unwrap_or(false))
     }
 
     /// Collect the set of column positions this expression reads.

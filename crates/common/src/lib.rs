@@ -21,6 +21,7 @@
 //!   [`expr::Expr`], so the SQL front end, the Eddy operators, CACQ and
 //!   PSoup agree on evaluation semantics.
 
+pub mod batch;
 pub mod catalog;
 pub mod error;
 pub mod expr;
@@ -30,7 +31,9 @@ pub mod shed;
 pub mod time;
 pub mod tuple;
 pub mod value;
+pub mod vexpr;
 
+pub use batch::{Bitmap, Column, ColumnBatch, ColumnData};
 pub use catalog::{Catalog, StreamDef, StreamKind};
 pub use error::{Result, TcqError};
 pub use expr::{BinOp, CmpOp, Expr};
@@ -39,3 +42,4 @@ pub use shed::ShedPolicy;
 pub use time::{Clock, TimeDomain, Timestamp};
 pub use tuple::Tuple;
 pub use value::{DataType, Value};
+pub use vexpr::{select_rows, PredBits, Selection};

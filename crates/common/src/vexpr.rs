@@ -1,0 +1,772 @@
+//! Vectorized expression evaluation over [`ColumnBatch`]es.
+//!
+//! [`Expr::eval_pred_batch`] evaluates a predicate against a whole batch
+//! at once, writing selection bitmaps instead of materializing one
+//! `Value` per row. The result is exactly the row evaluator's, bit for
+//! bit: a row passes iff `eval_pred(row)` would return `Ok(true)`.
+//!
+//! # Tri-state + error encoding
+//!
+//! SQL predicates are three-valued (TRUE / FALSE / UNKNOWN) and the row
+//! evaluator can additionally *fail* (division by zero, integer
+//! overflow, type errors), in which case callers drop the row
+//! (`eval_pred(..).unwrap_or(false)`). A [`PredBits`] therefore carries
+//! three bitmaps:
+//!
+//! * `t` — rows where the predicate is TRUE,
+//! * `v` — rows where it is TRUE or FALSE (unset ⇒ UNKNOWN),
+//! * `err` — rows where *any* sub-expression errored.
+//!
+//! Because the row evaluator computes both operands of `AND`/`OR`
+//! eagerly and propagates the first error (`FALSE AND error` is an
+//! error, not FALSE), error bits are OR-ed through every combinator
+//! rather than folded into UNKNOWN — folding would diverge on
+//! `error OR TRUE`. At `err` rows the `t`/`v` bits are unspecified; the
+//! final selection is [`PredBits::pass`] = `t & !err`.
+//!
+//! # Fallback rules
+//!
+//! `eval_pred_batch` returns `None` — *fall back to the row evaluator* —
+//! when the expression touches a column the batch could not type
+//! strictly ([`ColumnData::Mixed`]: mixed types, timestamps, all-NULL),
+//! references a column the batch does not have, or uses a
+//! boolean-valued sub-expression in a value position (e.g.
+//! `(a > b) = (c > d)`). [`select_rows`] packages the
+//! vectorize-or-fall-back decision per conjunct for operators.
+
+use std::borrow::Cow;
+use std::sync::Arc;
+
+use crate::batch::{Bitmap, ColumnBatch, ColumnData};
+use crate::expr::{BinOp, CmpOp, Expr};
+use crate::time::Timestamp;
+use crate::value::Value;
+
+/// The tri-state result of a vectorized predicate (see module docs).
+#[derive(Debug, Clone)]
+pub struct PredBits {
+    /// Rows where the predicate is TRUE (unspecified at `err` rows).
+    pub t: Bitmap,
+    /// Rows where the predicate is TRUE or FALSE (unset ⇒ UNKNOWN;
+    /// unspecified at `err` rows).
+    pub v: Bitmap,
+    /// Rows where some sub-expression errored.
+    pub err: Bitmap,
+}
+
+impl PredBits {
+    /// The rows a filter keeps: TRUE and error-free — exactly
+    /// `eval_pred(row).unwrap_or(false)`.
+    pub fn pass(&self) -> Bitmap {
+        let mut p = self.t.clone();
+        p.and_not_assign(&self.err);
+        p
+    }
+
+    fn unknown(n: usize, err: Bitmap) -> PredBits {
+        PredBits {
+            t: Bitmap::zeros(n),
+            v: Bitmap::zeros(n),
+            err,
+        }
+    }
+
+    fn broadcast(n: usize, val: Option<bool>, err: Bitmap) -> PredBits {
+        match val {
+            Some(true) => PredBits {
+                t: Bitmap::ones(n),
+                v: Bitmap::ones(n),
+                err,
+            },
+            Some(false) => PredBits {
+                t: Bitmap::zeros(n),
+                v: Bitmap::ones(n),
+                err,
+            },
+            None => PredBits::unknown(n, err),
+        }
+    }
+}
+
+/// Fold `filters` (implicitly AND-ed, evaluated independently) into one
+/// selection over `batch`, vectorizing each conjunct when possible and
+/// falling back to the row evaluator for the rest. Rows already
+/// filtered out are not row-evaluated again.
+pub struct Selection {
+    /// Rows that pass every filter.
+    pub sel: Bitmap,
+    /// Rows evaluated through the row-path fallback (for the
+    /// `columnar.fallback_rows` counter).
+    pub fallback_rows: u64,
+}
+
+/// See [`Selection`].
+pub fn select_rows(filters: &[Expr], batch: &ColumnBatch) -> Selection {
+    let n = batch.len();
+    let mut sel = Bitmap::ones(n);
+    let mut fallback_rows = 0u64;
+    for f in filters {
+        if sel.none_set() {
+            break;
+        }
+        match f.eval_pred_batch(batch) {
+            Some(bits) => sel.and_assign(&bits.pass()),
+            None => {
+                for (i, row) in batch.rows().iter().enumerate() {
+                    if sel.get(i) {
+                        fallback_rows += 1;
+                        if !f.eval_pred(row).unwrap_or(false) {
+                            sel.set(i, false);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Selection { sel, fallback_rows }
+}
+
+impl Expr {
+    /// Vectorized predicate evaluation; `None` means "not vectorizable
+    /// for this batch — use the row evaluator" (see module docs for the
+    /// fallback rules).
+    pub fn eval_pred_batch(&self, batch: &ColumnBatch) -> Option<PredBits> {
+        pred(self, batch)
+    }
+}
+
+/// A value-typed intermediate: one typed source per row plus validity
+/// and error bitmaps. Slots that are invalid or errored hold defaults.
+struct Vals<'a> {
+    src: Src<'a>,
+    valid: Bitmap,
+    err: Bitmap,
+}
+
+enum Src<'a> {
+    I(Cow<'a, [i64]>),
+    F(Cow<'a, [f64]>),
+    B(&'a [bool]),
+    S(&'a [Arc<str>]),
+    CI(i64),
+    CF(f64),
+    CB(bool),
+    CS(Arc<str>),
+    CT(Timestamp),
+    /// No data: every row is NULL except where `err` is set.
+    None_,
+}
+
+/// Integer view of a source (only when no float conversion is needed —
+/// SQL compares and computes Int×Int in the integer domain).
+enum IntView<'a> {
+    Slice(&'a [i64]),
+    Const(i64),
+}
+
+impl IntView<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> i64 {
+        match self {
+            IntView::Slice(s) => s[i],
+            IntView::Const(c) => *c,
+        }
+    }
+}
+
+/// Float view of a numeric source (mixed Int/Float goes through f64,
+/// matching `Value::as_float` coercion).
+enum FloatView<'a> {
+    I(&'a [i64]),
+    F(&'a [f64]),
+    Const(f64),
+}
+
+impl FloatView<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            FloatView::I(s) => s[i] as f64,
+            FloatView::F(s) => s[i],
+            FloatView::Const(c) => *c,
+        }
+    }
+}
+
+enum StrView<'a> {
+    Slice(&'a [Arc<str>]),
+    Const(&'a str),
+}
+
+impl StrView<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> &str {
+        match self {
+            StrView::Slice(s) => &s[i],
+            StrView::Const(c) => c,
+        }
+    }
+}
+
+enum BoolView<'a> {
+    Slice(&'a [bool]),
+    Const(bool),
+}
+
+impl BoolView<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        match self {
+            BoolView::Slice(s) => s[i],
+            BoolView::Const(c) => *c,
+        }
+    }
+}
+
+fn int_view<'a>(s: &'a Src<'_>) -> Option<IntView<'a>> {
+    match s {
+        Src::I(d) => Some(IntView::Slice(d)),
+        Src::CI(c) => Some(IntView::Const(*c)),
+        _ => None,
+    }
+}
+
+fn float_view<'a>(s: &'a Src<'_>) -> Option<FloatView<'a>> {
+    match s {
+        Src::I(d) => Some(FloatView::I(d)),
+        Src::F(d) => Some(FloatView::F(d)),
+        Src::CI(c) => Some(FloatView::Const(*c as f64)),
+        Src::CF(c) => Some(FloatView::Const(*c)),
+        _ => None,
+    }
+}
+
+fn str_view<'a>(s: &'a Src<'_>) -> Option<StrView<'a>> {
+    match s {
+        Src::S(d) => Some(StrView::Slice(d)),
+        Src::CS(c) => Some(StrView::Const(c)),
+        _ => None,
+    }
+}
+
+fn bool_view<'a>(s: &'a Src<'_>) -> Option<BoolView<'a>> {
+    match s {
+        Src::B(d) => Some(BoolView::Slice(d)),
+        Src::CB(c) => Some(BoolView::Const(*c)),
+        _ => None,
+    }
+}
+
+/// Boolean-context evaluation.
+fn pred(e: &Expr, batch: &ColumnBatch) -> Option<PredBits> {
+    let n = batch.len();
+    match e {
+        Expr::And(a, b) => {
+            let (pa, pb) = (pred(a, batch)?, pred(b, batch)?);
+            // FALSE dominates NULL: F = Fa | Fb, T = Ta & Tb.
+            let fa = pa.v.and(&pa.t.not());
+            let fb = pb.v.and(&pb.t.not());
+            let t = pa.t.and(&pb.t);
+            let f = fa.or(&fb);
+            Some(PredBits {
+                v: t.or(&f),
+                t,
+                err: pa.err.or(&pb.err),
+            })
+        }
+        Expr::Or(a, b) => {
+            let (pa, pb) = (pred(a, batch)?, pred(b, batch)?);
+            // TRUE dominates NULL: T = Ta | Tb, F = Fa & Fb.
+            let fa = pa.v.and(&pa.t.not());
+            let fb = pb.v.and(&pb.t.not());
+            let t = pa.t.or(&pb.t);
+            let f = fa.and(&fb);
+            Some(PredBits {
+                v: t.or(&f),
+                t,
+                err: pa.err.or(&pb.err),
+            })
+        }
+        Expr::Not(a) => not_batch(a, batch),
+        Expr::Cmp(op, a, b) => cmp_batch(*op, a, b, batch),
+        Expr::IsNull(a) => isnull_batch(a, batch),
+        // A value expression in boolean context: `as_bool` semantics —
+        // non-boolean values behave like UNKNOWN (never an error).
+        other => vals(other, batch).map(|va| vals_to_pred(&va, n)),
+    }
+}
+
+/// Value-context evaluation; `None` ⇒ fall back to rows.
+fn vals<'a>(e: &'a Expr, batch: &'a ColumnBatch) -> Option<Vals<'a>> {
+    let n = batch.len();
+    match e {
+        Expr::Column(idx) => {
+            let col = batch.col(*idx)?;
+            let src = match &col.data {
+                ColumnData::Int(d) => Src::I(Cow::Borrowed(&d[..])),
+                ColumnData::Float(d) => Src::F(Cow::Borrowed(&d[..])),
+                ColumnData::Bool(d) => Src::B(d),
+                ColumnData::Str(d) => Src::S(d),
+                ColumnData::Mixed(_) => return None,
+            };
+            Some(Vals {
+                src,
+                valid: col.valid.clone(),
+                err: Bitmap::zeros(n),
+            })
+        }
+        Expr::Literal(v) => {
+            let (src, valid) = match v {
+                Value::Int(i) => (Src::CI(*i), Bitmap::ones(n)),
+                Value::Float(f) => (Src::CF(*f), Bitmap::ones(n)),
+                Value::Bool(b) => (Src::CB(*b), Bitmap::ones(n)),
+                Value::Str(s) => (Src::CS(s.clone()), Bitmap::ones(n)),
+                Value::Ts(t) => (Src::CT(*t), Bitmap::ones(n)),
+                Value::Null => (Src::None_, Bitmap::zeros(n)),
+            };
+            Some(Vals {
+                src,
+                valid,
+                err: Bitmap::zeros(n),
+            })
+        }
+        Expr::Arith(op, a, b) => arith_batch(*op, a, b, batch),
+        Expr::Neg(a) => neg_batch(a, batch),
+        // Boolean-valued expressions in value position fall back.
+        _ => None,
+    }
+}
+
+/// `as_bool` coercion of a value result into predicate bits: booleans
+/// pass through, everything else (numbers, strings, NULL) is UNKNOWN.
+fn vals_to_pred(va: &Vals<'_>, n: usize) -> PredBits {
+    match &va.src {
+        Src::CB(c) => PredBits::broadcast(n, Some(*c), va.err.clone()),
+        Src::B(d) => {
+            let t = Bitmap::from_fn(n, |i| va.valid.get(i) && d[i]);
+            PredBits {
+                t,
+                v: va.valid.clone(),
+                err: va.err.clone(),
+            }
+        }
+        _ => PredBits::unknown(n, va.err.clone()),
+    }
+}
+
+/// NOT is strict about types in the row evaluator (`NOT 5` is a type
+/// error, not UNKNOWN), so it needs the value-level view of its child.
+fn not_batch(a: &Expr, batch: &ColumnBatch) -> Option<PredBits> {
+    let n = batch.len();
+    if matches!(
+        a,
+        Expr::Column(_) | Expr::Literal(_) | Expr::Arith(..) | Expr::Neg(_)
+    ) {
+        let va = vals(a, batch)?;
+        return Some(match &va.src {
+            Src::CB(c) => PredBits::broadcast(n, Some(!*c), va.err),
+            Src::B(d) => {
+                let t = Bitmap::from_fn(n, |i| va.valid.get(i) && !d[i]);
+                PredBits {
+                    t,
+                    v: va.valid,
+                    err: va.err,
+                }
+            }
+            // All rows NULL except err rows.
+            Src::None_ => PredBits::unknown(n, va.err),
+            // Non-boolean: every non-NULL row is a type error.
+            _ => {
+                let mut err = va.err;
+                err.or_assign(&va.valid);
+                PredBits::unknown(n, err)
+            }
+        });
+    }
+    let pa = pred(a, batch)?;
+    let t = pa.v.and(&pa.t.not());
+    Some(PredBits {
+        t,
+        v: pa.v,
+        err: pa.err,
+    })
+}
+
+fn isnull_batch(a: &Expr, batch: &ColumnBatch) -> Option<PredBits> {
+    let n = batch.len();
+    if let Some(va) = vals(a, batch) {
+        return Some(PredBits {
+            t: va.valid.not(),
+            v: Bitmap::ones(n),
+            err: va.err,
+        });
+    }
+    // Boolean-valued child: NULL ⇔ UNKNOWN.
+    let pa = pred(a, batch)?;
+    Some(PredBits {
+        t: pa.v.not(),
+        v: Bitmap::ones(n),
+        err: pa.err,
+    })
+}
+
+fn cmp_batch(op: CmpOp, a: &Expr, b: &Expr, batch: &ColumnBatch) -> Option<PredBits> {
+    let n = batch.len();
+    let (va, vb) = (vals(a, batch)?, vals(b, batch)?);
+    let err = va.err.or(&vb.err);
+    if matches!(va.src, Src::None_) || matches!(vb.src, Src::None_) {
+        return Some(PredBits::unknown(n, err));
+    }
+    let valid = va.valid.and(&vb.valid);
+    // Int × Int stays in the integer domain (total order).
+    if let (Some(x), Some(y)) = (int_view(&va.src), int_view(&vb.src)) {
+        let t = Bitmap::from_fn(n, |i| valid.get(i) && op.matches(x.get(i).cmp(&y.get(i))));
+        return Some(PredBits { t, v: valid, err });
+    }
+    // Mixed numeric through f64; NaN compares UNKNOWN (partial order).
+    if let (Some(x), Some(y)) = (float_view(&va.src), float_view(&vb.src)) {
+        let t = Bitmap::from_fn(n, |i| {
+            valid.get(i)
+                && x.get(i)
+                    .partial_cmp(&y.get(i))
+                    .is_some_and(|o| op.matches(o))
+        });
+        let v = Bitmap::from_fn(n, |i| {
+            valid.get(i) && x.get(i).partial_cmp(&y.get(i)).is_some()
+        });
+        return Some(PredBits { t, v, err });
+    }
+    if let (Some(x), Some(y)) = (str_view(&va.src), str_view(&vb.src)) {
+        let t = Bitmap::from_fn(n, |i| valid.get(i) && op.matches(x.get(i).cmp(y.get(i))));
+        return Some(PredBits { t, v: valid, err });
+    }
+    if let (Some(x), Some(y)) = (bool_view(&va.src), bool_view(&vb.src)) {
+        let t = Bitmap::from_fn(n, |i| valid.get(i) && op.matches(x.get(i).cmp(&y.get(i))));
+        return Some(PredBits { t, v: valid, err });
+    }
+    if let (Src::CT(x), Src::CT(y)) = (&va.src, &vb.src) {
+        let r = x.partial_cmp(y).map(|o| op.matches(o));
+        return Some(match r {
+            Some(bit) => {
+                let t = if bit { valid.clone() } else { Bitmap::zeros(n) };
+                PredBits { t, v: valid, err }
+            }
+            None => PredBits::unknown(n, err),
+        });
+    }
+    // Cross-type (string vs numeric, bool vs numeric, timestamp vs
+    // anything else): sql_cmp is UNKNOWN for every such pair.
+    Some(PredBits::unknown(n, err))
+}
+
+fn arith_batch<'a>(
+    op: BinOp,
+    a: &'a Expr,
+    b: &'a Expr,
+    batch: &'a ColumnBatch,
+) -> Option<Vals<'a>> {
+    let n = batch.len();
+    let (va, vb) = (vals(a, batch)?, vals(b, batch)?);
+    let mut err = va.err.or(&vb.err);
+    if matches!(va.src, Src::None_) || matches!(vb.src, Src::None_) {
+        // NULL operand rows are NULL; only inherited errors remain.
+        return Some(Vals {
+            src: Src::None_,
+            valid: Bitmap::zeros(n),
+            err,
+        });
+    }
+    let valid = va.valid.and(&vb.valid);
+    // Int × Int: checked integer ops; div/mod by zero and overflow are
+    // per-row errors (NULL short-circuits *before* the zero check, as in
+    // the row evaluator — the `valid` gate encodes that).
+    if let (Some(x), Some(y)) = (int_view(&va.src), int_view(&vb.src)) {
+        let mut data = vec![0i64; n];
+        for (i, slot) in data.iter_mut().enumerate() {
+            if !valid.get(i) {
+                continue;
+            }
+            let (p, q) = (x.get(i), y.get(i));
+            let r = match op {
+                BinOp::Add => p.checked_add(q),
+                BinOp::Sub => p.checked_sub(q),
+                BinOp::Mul => p.checked_mul(q),
+                BinOp::Div => {
+                    if q == 0 {
+                        None
+                    } else {
+                        p.checked_div(q)
+                    }
+                }
+                BinOp::Mod => {
+                    if q == 0 {
+                        None
+                    } else {
+                        p.checked_rem(q)
+                    }
+                }
+            };
+            match r {
+                Some(r) => *slot = r,
+                None => err.set(i, true),
+            }
+        }
+        return Some(Vals {
+            src: Src::I(Cow::Owned(data)),
+            valid,
+            err,
+        });
+    }
+    if let (Some(x), Some(y)) = (float_view(&va.src), float_view(&vb.src)) {
+        let mut data = vec![0.0f64; n];
+        for (i, slot) in data.iter_mut().enumerate() {
+            let (p, q) = (x.get(i), y.get(i));
+            *slot = match op {
+                BinOp::Add => p + q,
+                BinOp::Sub => p - q,
+                BinOp::Mul => p * q,
+                BinOp::Div => p / q,
+                BinOp::Mod => p % q,
+            };
+        }
+        return Some(Vals {
+            src: Src::F(Cow::Owned(data)),
+            valid,
+            err,
+        });
+    }
+    // Non-numeric operand: every row where both sides are non-NULL is a
+    // type error; NULL rows stay NULL.
+    err.or_assign(&valid);
+    Some(Vals {
+        src: Src::None_,
+        valid: Bitmap::zeros(n),
+        err,
+    })
+}
+
+fn neg_batch<'a>(a: &'a Expr, batch: &'a ColumnBatch) -> Option<Vals<'a>> {
+    let n = batch.len();
+    let va = vals(a, batch)?;
+    Some(match &va.src {
+        // Plain negation, like the row evaluator (invalid/err slots hold
+        // 0, so the map is total).
+        Src::I(d) => Vals {
+            src: Src::I(Cow::Owned(d.iter().map(|&x| -x).collect())),
+            valid: va.valid,
+            err: va.err,
+        },
+        Src::F(d) => Vals {
+            src: Src::F(Cow::Owned(d.iter().map(|&x| -x).collect())),
+            valid: va.valid,
+            err: va.err,
+        },
+        Src::CI(c) => Vals {
+            src: Src::CI(-*c),
+            valid: va.valid,
+            err: va.err,
+        },
+        Src::CF(c) => Vals {
+            src: Src::CF(-*c),
+            valid: va.valid,
+            err: va.err,
+        },
+        Src::None_ => va,
+        // Strings, bools, timestamps: type error at every non-NULL row.
+        _ => {
+            let mut err = va.err;
+            err.or_assign(&va.valid);
+            Vals {
+                src: Src::None_,
+                valid: Bitmap::zeros(n),
+                err,
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    fn batch(rows: Vec<Vec<Value>>) -> ColumnBatch {
+        ColumnBatch::from_tuples(
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, vals)| Tuple::at_seq(vals, i as i64))
+                .collect(),
+        )
+    }
+
+    /// The ground truth: batch selection == per-row eval_pred.
+    fn assert_matches_rows(e: &Expr, b: &ColumnBatch) {
+        let bits = e
+            .eval_pred_batch(b)
+            .unwrap_or_else(|| panic!("expected {e} to vectorize"));
+        let pass = bits.pass();
+        for (i, row) in b.rows().iter().enumerate() {
+            assert_eq!(
+                pass.get(i),
+                e.eval_pred(row).unwrap_or(false),
+                "row {i} diverges for {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn cmp_kernels_match_rows() {
+        let b = batch(vec![
+            vec![Value::Int(1), Value::Float(0.5), Value::str("a")],
+            vec![Value::Null, Value::Float(2.5), Value::str("bb")],
+            vec![Value::Int(-3), Value::Null, Value::Null],
+            vec![Value::Int(7), Value::Float(7.0), Value::str("a")],
+        ]);
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            assert_matches_rows(&Expr::col(0).cmp(op, Expr::lit(1i64)), &b);
+            assert_matches_rows(&Expr::col(0).cmp(op, Expr::col(1)), &b);
+            assert_matches_rows(&Expr::col(1).cmp(op, Expr::lit(2.0f64)), &b);
+            assert_matches_rows(&Expr::col(2).cmp(op, Expr::lit("a")), &b);
+            // Cross-type: statically UNKNOWN.
+            assert_matches_rows(&Expr::col(2).cmp(op, Expr::lit(1i64)), &b);
+        }
+    }
+
+    #[test]
+    fn nan_compares_unknown() {
+        let b = batch(vec![vec![Value::Float(f64::NAN)], vec![Value::Float(1.0)]]);
+        let e = Expr::col(0).cmp(CmpOp::Le, Expr::lit(f64::MAX));
+        assert_matches_rows(&e, &b);
+        let bits = e.eval_pred_batch(&b).unwrap();
+        assert!(!bits.v.get(0), "NaN row is UNKNOWN");
+        assert!(bits.v.get(1));
+    }
+
+    #[test]
+    fn and_or_not_isnull_match_rows() {
+        let b = batch(vec![
+            vec![Value::Int(5), Value::Bool(true)],
+            vec![Value::Null, Value::Bool(false)],
+            vec![Value::Int(0), Value::Null],
+            vec![Value::Int(-5), Value::Bool(true)],
+        ]);
+        let lo = Expr::col(0).cmp(CmpOp::Ge, Expr::lit(0i64));
+        let hi = Expr::col(0).cmp(CmpOp::Lt, Expr::lit(4i64));
+        assert_matches_rows(&lo.clone().and(hi.clone()), &b);
+        assert_matches_rows(&lo.clone().or(hi.clone()), &b);
+        assert_matches_rows(&Expr::Not(Box::new(lo.clone())), &b);
+        assert_matches_rows(&Expr::IsNull(Box::new(Expr::col(0))), &b);
+        assert_matches_rows(&Expr::IsNull(Box::new(lo.clone())), &b);
+        assert_matches_rows(&Expr::col(1).and(lo), &b);
+        assert_matches_rows(&Expr::Not(Box::new(Expr::col(1))), &b);
+    }
+
+    #[test]
+    fn errors_propagate_not_fold_to_null() {
+        // `1/0 = 1 OR TRUE`: the row path errors (OR evaluates both
+        // sides eagerly) and drops the row; NULL-folding would keep it.
+        let div0 = Expr::Arith(
+            BinOp::Div,
+            Box::new(Expr::lit(1i64)),
+            Box::new(Expr::col(0)),
+        )
+        .cmp(CmpOp::Eq, Expr::lit(1i64));
+        let e = div0.or(Expr::lit(true));
+        let b = batch(vec![
+            vec![Value::Int(0)],
+            vec![Value::Int(1)],
+            vec![Value::Null],
+        ]);
+        assert_matches_rows(&e, &b);
+        let bits = e.eval_pred_batch(&b).unwrap();
+        assert!(!bits.pass().get(0), "error row dropped despite OR TRUE");
+        assert!(bits.pass().get(1));
+        assert!(bits.pass().get(2), "NULL divisor is NULL, not an error");
+    }
+
+    #[test]
+    fn arith_kernels_match_rows() {
+        let b = batch(vec![
+            vec![Value::Int(10), Value::Int(3), Value::Float(2.5)],
+            vec![Value::Int(i64::MAX), Value::Int(2), Value::Float(0.0)],
+            vec![Value::Int(-7), Value::Int(0), Value::Null],
+            vec![Value::Null, Value::Int(5), Value::Float(-1.0)],
+        ]);
+        for op in [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Mod] {
+            let ii = Expr::Arith(op, Box::new(Expr::col(0)), Box::new(Expr::col(1)))
+                .cmp(CmpOp::Gt, Expr::lit(0i64));
+            assert_matches_rows(&ii, &b);
+            let ff = Expr::Arith(op, Box::new(Expr::col(0)), Box::new(Expr::col(2)))
+                .cmp(CmpOp::Gt, Expr::lit(0.0f64));
+            assert_matches_rows(&ff, &b);
+        }
+        let neg = Expr::Neg(Box::new(Expr::col(0))).cmp(CmpOp::Lt, Expr::lit(0i64));
+        assert_matches_rows(&neg, &b);
+    }
+
+    #[test]
+    fn type_errors_in_arith_match_rows() {
+        let b = batch(vec![
+            vec![Value::str("x"), Value::Int(1)],
+            vec![Value::Null, Value::Int(2)],
+        ]);
+        let e = Expr::Arith(BinOp::Add, Box::new(Expr::col(0)), Box::new(Expr::col(1)))
+            .cmp(CmpOp::Eq, Expr::lit(1i64));
+        assert_matches_rows(&e, &b);
+        let n = Expr::Neg(Box::new(Expr::col(0))).cmp(CmpOp::Eq, Expr::lit(1i64));
+        assert_matches_rows(&n, &b);
+    }
+
+    #[test]
+    fn mixed_columns_and_bad_indexes_fall_back() {
+        let b = batch(vec![
+            vec![Value::Int(1)],
+            vec![Value::Float(2.0)], // column 0 is Mixed
+        ]);
+        let e = Expr::col(0).cmp(CmpOp::Gt, Expr::lit(0i64));
+        assert!(e.eval_pred_batch(&b).is_none());
+        let oob = Expr::col(9).cmp(CmpOp::Gt, Expr::lit(0i64));
+        assert!(oob.eval_pred_batch(&b).is_none());
+    }
+
+    #[test]
+    fn select_rows_folds_filters_with_fallback() {
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| vec![Value::Int(i), Value::Float(i as f64 / 2.0)])
+            .collect();
+        let b = batch(rows);
+        let vec_filter = Expr::col(0).cmp(CmpOp::Ge, Expr::lit(10i64));
+        // Not vectorizable: boolean-valued comparison in value position.
+        let fb_filter = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::col(0).cmp(CmpOp::Lt, Expr::lit(50i64))),
+            Box::new(Expr::lit(true)),
+        );
+        let s = select_rows(&[vec_filter.clone(), fb_filter.clone()], &b);
+        assert_eq!(s.sel.count_ones(), 40);
+        assert_eq!(s.fallback_rows, 90, "only still-selected rows re-checked");
+        for (i, row) in b.rows().iter().enumerate() {
+            let want = vec_filter.eval_pred(row).unwrap_or(false)
+                && fb_filter.eval_pred(row).unwrap_or(false);
+            assert_eq!(s.sel.get(i), want);
+        }
+    }
+
+    #[test]
+    fn literal_predicates_broadcast() {
+        let b = batch(vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        assert_matches_rows(&Expr::lit(true), &b);
+        assert_matches_rows(&Expr::lit(false), &b);
+        assert_matches_rows(&Expr::Literal(Value::Null), &b);
+        // Non-boolean literal as a predicate: UNKNOWN, not an error.
+        assert_matches_rows(&Expr::lit(5i64), &b);
+        assert_matches_rows(&Expr::lit(5i64).and(Expr::lit(false)), &b);
+    }
+}

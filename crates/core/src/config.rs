@@ -99,6 +99,25 @@ pub struct Config {
     /// making every existing assertion a partitioning regression test.
     /// Explicit `partitions:` fields in struct literals still win.
     pub partitions: usize,
+    /// Columnar vectorized batch execution (default on).
+    ///
+    /// When on, the hot operators consume typed column batches
+    /// (`tcq_common::ColumnBatch`) instead of interpreting one boxed
+    /// `Value` at a time: filter-only eddies fold their predicates into
+    /// selection bitmaps via the vectorized evaluator, CACQ grouped
+    /// filters probe typed column slices, windowed aggregates run
+    /// columnar sum/count/min/max kernels, and SteMs hash key columns a
+    /// batch at a time. Row⇄column conversion is confined to the batch
+    /// boundary; expressions the vectorized evaluator cannot handle
+    /// (mixed-type columns, timestamps) fall back to the row evaluator
+    /// per batch, counted on `tcq$operators` as `columnar.fallback_rows`.
+    /// Results are byte-identical to the row path either way.
+    ///
+    /// `Config::default()` honors a `TCQ_COLUMNAR` environment variable
+    /// (`0` disables, anything else leaves it on) as the escape hatch,
+    /// so CI replays the full test suite on both paths. Explicit
+    /// `columnar:` fields in struct literals still win.
+    pub columnar: bool,
     /// Deterministic single-threaded stepping (the simulation harness).
     ///
     /// When on, `Server::start` spawns no Wrapper or Executor threads;
@@ -137,6 +156,7 @@ impl Default for Config {
                 .and_then(|v| v.parse().ok())
                 .filter(|&p| p >= 1)
                 .unwrap_or(1),
+            columnar: std::env::var("TCQ_COLUMNAR").map_or(true, |v| v != "0"),
             step_mode: false,
         }
     }
@@ -157,6 +177,9 @@ mod tests {
         assert!(c.eo_batch_delay.is_none());
         if std::env::var("TCQ_PARTITIONS").is_err() {
             assert_eq!(c.partitions, 1, "partitioning is strictly opt-in");
+        }
+        if std::env::var("TCQ_COLUMNAR").is_err() {
+            assert!(c.columnar, "columnar execution is the default");
         }
     }
 }

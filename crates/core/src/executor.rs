@@ -24,7 +24,7 @@ use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex, RwLock};
 
 use tcq_cacq::{CacqEngine, QuerySpec, Selection};
-use tcq_common::{Timestamp, Tuple, Value};
+use tcq_common::{ColumnBatch, Expr, Timestamp, Tuple, Value};
 use tcq_eddy::{Eddy, FixedPolicy, LotteryPolicy, NaivePolicy, RoutingPolicy};
 use tcq_sql::QueryPlan;
 use tcq_storage::StreamArchive;
@@ -422,9 +422,10 @@ impl ExecutionObject {
         // the eddy's §4.3 batching knob so whole batches share routing
         // decisions.
         let mut eddy = plan
-            .build_eddy_batched(
+            .build_eddy_vectorized(
                 make_policy(&self.config, self.eo_id ^ q.id),
                 self.config.batch_size,
+                self.config.columnar,
             )
             .expect("planned queries compile");
         if let Some(registry) = &self.metrics {
@@ -490,27 +491,41 @@ impl ExecutionObject {
         }
 
         // Shared class: one grouped-filter pass per predicated column
-        // per batch. A panic in the shared engine is quarantined but not
-        // attributable to one query, so every folded query is degraded.
-        let matched =
-            match catch_unwind(AssertUnwindSafe(|| self.shared.push_batch(stream, &tuples))) {
-                Ok(matched) => matched,
-                Err(e) => {
-                    let payload = payload_str(e);
-                    for sq in self.shared_by_slot.values() {
-                        sq.degraded.store(true, Ordering::Relaxed);
-                    }
-                    if let Some(c) = &self.quarantined {
-                        c.inc();
-                    }
-                    let _ = self.errors_tx.send(ErrorEvent {
-                        query: 0,
-                        operator: "cacq".to_string(),
-                        payload,
-                    });
-                    Vec::new()
+        // per batch. With columnar execution on, the batch is transposed
+        // once at this ingress boundary and the engine's typed kernels
+        // consume column slices; downstream consumers still see rows. A
+        // panic in the shared engine is quarantined but not attributable
+        // to one query, so every folded query is degraded.
+        let columnar = self.config.columnar && !self.shared_ids.is_empty();
+        let matched = match catch_unwind(AssertUnwindSafe(|| {
+            if columnar {
+                let batch = ColumnBatch::from_tuples(tuples.clone());
+                self.shared
+                    .push_batch_columnar(stream, &batch)
+                    .into_iter()
+                    .map(|(_, id, t)| (id, t))
+                    .collect()
+            } else {
+                self.shared.push_batch(stream, &tuples)
+            }
+        })) {
+            Ok(matched) => matched,
+            Err(e) => {
+                let payload = payload_str(e);
+                for sq in self.shared_by_slot.values() {
+                    sq.degraded.store(true, Ordering::Relaxed);
                 }
-            };
+                if let Some(c) = &self.quarantined {
+                    c.inc();
+                }
+                let _ = self.errors_tx.send(ErrorEvent {
+                    query: 0,
+                    operator: "cacq".to_string(),
+                    payload,
+                });
+                Vec::new()
+            }
+        };
         if !matched.is_empty() {
             // Group per query into one result set.
             let mut per_query: HashMap<u64, Vec<Tuple>> = HashMap::new();
@@ -660,8 +675,14 @@ impl ExecutionObject {
 
         // Shared class over the share. Offsets key the merge's order
         // restoration, so matches carry their index into the share.
+        let columnar = self.config.columnar && !self.shared_ids.is_empty();
         let indexed = match catch_unwind(AssertUnwindSafe(|| {
-            self.shared.push_batch_indexed(stream, &share)
+            if columnar {
+                let batch = ColumnBatch::from_tuples(share.clone());
+                self.shared.push_batch_columnar(stream, &batch)
+            } else {
+                self.shared.push_batch_indexed(stream, &share)
+            }
         })) {
             Ok(indexed) => indexed,
             Err(e) => {
@@ -903,8 +924,22 @@ impl ExecutionObject {
         // Fresh adaptive plan per window: window semantics are
         // set-at-a-time (§4.1.1), so each instant gets an independent
         // evaluation over its tuple sets.
+        // Single-stream windows are filter-only eddies, so feeding whole
+        // scan batches (instead of one row at a time) preserves output
+        // order exactly — and lets the columnar fast path vectorize the
+        // window's predicates. Multi-stream windows keep the row-at-a-
+        // time round-robin feed so joins see both sides interleaved.
+        let columnar = self.config.columnar && plan.streams.len() == 1;
         let mut eddy = plan
-            .build_eddy(make_policy(&self.config, self.eo_id ^ id ^ t as u64))
+            .build_eddy_vectorized(
+                make_policy(&self.config, self.eo_id ^ id ^ t as u64),
+                if columnar {
+                    self.config.batch_size.max(1)
+                } else {
+                    1
+                },
+                columnar,
+            )
             .expect("planned queries compile");
         let mut full_rows = Vec::new();
         // Collect each stream's window scan, then feed all streams
@@ -930,16 +965,28 @@ impl ExecutionObject {
             };
             per_stream.push(rows);
         }
-        let max_len = per_stream.iter().map(Vec::len).max().unwrap_or(0);
-        for i in 0..max_len {
-            for (pos, rows) in per_stream.iter().enumerate() {
-                if let Some(row) = rows.get(i) {
-                    full_rows.extend(eddy.push(pos, row.clone()));
+        if columnar {
+            let rows = per_stream.pop().unwrap_or_default();
+            for chunk in rows.chunks(self.config.batch_size.max(1)) {
+                full_rows.extend(eddy.push_batch(0, chunk.to_vec()));
+            }
+        } else {
+            let max_len = per_stream.iter().map(Vec::len).max().unwrap_or(0);
+            for i in 0..max_len {
+                for (pos, rows) in per_stream.iter().enumerate() {
+                    if let Some(row) = rows.get(i) {
+                        full_rows.extend(eddy.push(pos, row.clone()));
+                    }
                 }
             }
         }
         let mut rows = if plan.is_aggregating() {
-            aggregate_rows(&plan, &full_rows)
+            if self.config.columnar {
+                aggregate_rows_columnar(&plan, &full_rows)
+                    .unwrap_or_else(|| aggregate_rows(&plan, &full_rows))
+            } else {
+                aggregate_rows(&plan, &full_rows)
+            }
         } else {
             let mut rows: Vec<Tuple> = full_rows
                 .iter()
@@ -1046,6 +1093,147 @@ pub fn aggregate_rows(plan: &QueryPlan, rows: &[Tuple]) -> Vec<Tuple> {
     // Deterministic order for tests and clients.
     out.sort_by_key(|t| format!("{t}"));
     out
+}
+
+/// [`LandmarkAgg`]'s accumulation state, folded over a typed column
+/// slice. The member functions mirror `LandmarkAgg::push`/`value`
+/// operation for operation so the columnar result — including float
+/// rounding, which depends on addition order — is byte-identical to the
+/// row path's.
+#[derive(Default)]
+struct ColumnAcc {
+    count: u64,
+    sum: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl ColumnAcc {
+    fn add(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    fn value(&self, kind: AggKind) -> Value {
+        match kind {
+            AggKind::Count => Value::Int(self.count as i64),
+            AggKind::Sum if self.count > 0 => Value::Float(self.sum),
+            AggKind::Avg if self.count > 0 => Value::Float(self.sum / self.count as f64),
+            AggKind::Min => self.min.map(Value::Float).unwrap_or(Value::Null),
+            AggKind::Max => self.max.map(Value::Float).unwrap_or(Value::Null),
+            _ => Value::Null,
+        }
+    }
+}
+
+/// Fold one typed column in row order, skipping rows whose value has no
+/// float view (NULLs, booleans, strings) — exactly the rows
+/// `LandmarkAgg::push` ignores.
+fn fold_column(col: &tcq_common::batch::Column) -> ColumnAcc {
+    use tcq_common::batch::ColumnData;
+    let mut acc = ColumnAcc::default();
+    match &col.data {
+        ColumnData::Int(xs) => {
+            for (i, &x) in xs.iter().enumerate() {
+                if col.valid.get(i) {
+                    acc.add(x as f64);
+                }
+            }
+        }
+        ColumnData::Float(xs) => {
+            for (i, &x) in xs.iter().enumerate() {
+                if col.valid.get(i) {
+                    acc.add(x);
+                }
+            }
+        }
+        ColumnData::Mixed(vs) => {
+            for v in vs {
+                if let Some(x) = v.as_float() {
+                    acc.add(x);
+                }
+            }
+        }
+        // No float view: SQL aggregates skip every row.
+        ColumnData::Bool(_) | ColumnData::Str(_) => {}
+    }
+    acc
+}
+
+/// Vectorized counterpart of [`aggregate_rows`] for ungrouped plans
+/// whose aggregate arguments are plain column references: each
+/// referenced column is transposed once (only those columns — not the
+/// whole row) and folded in row order, reproducing [`LandmarkAgg`]'s
+/// accumulation (and so its float rounding) exactly. Returns `None`
+/// when the plan needs the general row path — GROUP BY, computed
+/// aggregate arguments, or a ragged row set the transpose cannot type.
+pub fn aggregate_rows_columnar(plan: &QueryPlan, rows: &[Tuple]) -> Option<Vec<Tuple>> {
+    if !plan.group_by.is_empty() {
+        return None;
+    }
+    for col in &plan.outputs {
+        if let Some((_, Some(arg))) = &col.agg {
+            if !matches!(arg, Expr::Column(_)) {
+                return None;
+            }
+        }
+    }
+    let arity = rows.first().map_or(0, Tuple::arity);
+    if rows.iter().any(|t| t.arity() != arity) {
+        return None; // ragged rows: no typed columns to fold
+    }
+    // Transpose and fold each referenced column exactly once, even when
+    // several aggregates read it (COUNT/SUM/AVG over the same column).
+    let mut folded: HashMap<usize, ColumnAcc> = HashMap::new();
+    for col in &plan.outputs {
+        if let Some((_, Some(Expr::Column(c)))) = &col.agg {
+            folded.entry(*c).or_insert_with(|| {
+                if *c < arity {
+                    fold_column(&tcq_common::batch::column_at(rows, *c))
+                } else {
+                    // Out of range: the row path's argument evaluates to
+                    // NULL on every row — nothing accumulates.
+                    ColumnAcc::default()
+                }
+            });
+        }
+    }
+    let mut fields = Vec::with_capacity(plan.outputs.len());
+    for col in &plan.outputs {
+        match &col.agg {
+            None => {
+                // Ungrouped plain output: first row's value (the row
+                // path's `members.first()`), NULL over an empty window.
+                let e = col.expr.as_ref().expect("plain outputs have exprs");
+                fields.push(
+                    rows.first()
+                        .map(|r| e.eval(r).unwrap_or(Value::Null))
+                        .unwrap_or(Value::Null),
+                );
+            }
+            Some((kind, arg)) => {
+                let value = match arg {
+                    // COUNT(*)-style: every row contributes Int(1).
+                    // Summing 1.0 per row is exact in f64, so the
+                    // closed form equals the row path's fold.
+                    None => ColumnAcc {
+                        count: rows.len() as u64,
+                        sum: rows.len() as f64,
+                        min: (!rows.is_empty()).then_some(1.0),
+                        max: (!rows.is_empty()).then_some(1.0),
+                    }
+                    .value(*kind),
+                    Some(Expr::Column(c)) => folded[c].value(*kind),
+                    Some(_) => unreachable!("checked above"),
+                };
+                fields.push(value);
+            }
+        }
+    }
+    let ts = rows.last().map(|r| r.ts()).unwrap_or(Timestamp::logical(0));
+    Some(vec![Tuple::new(fields, ts)])
 }
 
 /// Validate a plan for submission (executor-level constraints).
@@ -1168,6 +1356,47 @@ mod tests {
         let out = aggregate_rows(&p, &[]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].fields(), &[Value::Int(0), Value::Null]);
+    }
+
+    #[test]
+    fn columnar_window_aggregates_match_row_path() {
+        let planner = Planner::new(catalog());
+        let p = planner
+            .plan_sql(
+                "SELECT COUNT(*) AS n, SUM(v) AS s, MIN(v) AS lo, MAX(v) AS hi, AVG(v) AS m \
+                 FROM s for (; t == 0; t = -1) { WindowIs(s, 1, 10); }",
+            )
+            .unwrap();
+        let mut rows: Vec<Tuple> = (0..97i64)
+            .map(|i| {
+                let v = if i % 13 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(i as f64 * 0.37 - 5.0)
+                };
+                Tuple::at_seq(vec![Value::Int(i % 7), v], i)
+            })
+            .collect();
+        assert_eq!(
+            aggregate_rows_columnar(&p, &rows).expect("vectorizable"),
+            aggregate_rows(&p, &rows)
+        );
+        rows.clear();
+        assert_eq!(
+            aggregate_rows_columnar(&p, &rows).expect("vectorizable"),
+            aggregate_rows(&p, &rows),
+            "empty window: COUNT 0, NULL elsewhere"
+        );
+        let grouped = planner
+            .plan_sql(
+                "SELECT k, COUNT(*) AS n FROM s GROUP BY k \
+                 for (; t == 0; t = -1) { WindowIs(s, 1, 10); }",
+            )
+            .unwrap();
+        assert!(
+            aggregate_rows_columnar(&grouped, &[]).is_none(),
+            "GROUP BY needs the row path"
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use tcq_common::{Expr, Timestamp, Tuple};
+use tcq_common::{Bitmap, ColumnBatch, Expr, Timestamp, Tuple};
 
 use crate::layout::Layout;
 use crate::mask::Mask;
@@ -72,6 +72,12 @@ pub struct EddyStats {
     /// Tuples finalized with incomplete coverage (disconnected join
     /// graphs; indicates a malformed query).
     pub stranded: u64,
+    /// Batches taken by the columnar fast path (selection-bitmap
+    /// evaluation over a [`ColumnBatch`]).
+    pub columnar_batches: u64,
+    /// Rows the columnar path re-checked with the row evaluator because a
+    /// predicate was not vectorizable over the batch's column types.
+    pub columnar_fallback_rows: u64,
 }
 
 /// A tuple in flight, with its routing lineage.
@@ -94,6 +100,7 @@ pub struct EddyBuilder {
     policy: Box<dyn RoutingPolicy>,
     batch_size: usize,
     fix_ops: usize,
+    columnar: bool,
 }
 
 impl EddyBuilder {
@@ -105,6 +112,7 @@ impl EddyBuilder {
             policy,
             batch_size: 1,
             fix_ops: 1,
+            columnar: false,
         }
     }
 
@@ -141,6 +149,24 @@ impl EddyBuilder {
         self
     }
 
+    /// Enable the columnar fast path (off by default).
+    ///
+    /// When on, a batch submitted to a *filter-only, single-stream* eddy
+    /// with no artificial costs is converted to a [`ColumnBatch`] once and
+    /// every predicate is folded into a selection bitmap by the vectorized
+    /// evaluator ([`Expr::eval_pred_batch`]); survivors are emitted as the
+    /// original tuples, so results are byte-identical to row routing (an
+    /// AND of filters is order-insensitive and the selected subset
+    /// preserves arrival order). Eddies with SteMs, multiple streams, or
+    /// cost-burning filters route row-at-a-time as before. Left off by
+    /// direct constructions so decision-count assertions keep their exact
+    /// row-path semantics; the executor turns it on from
+    /// `Config::columnar`.
+    pub fn columnar(mut self, on: bool) -> EddyBuilder {
+        self.columnar = on;
+        self
+    }
+
     /// Finish.
     pub fn build(self) -> Eddy {
         let n_ops = self.ops.len();
@@ -149,6 +175,15 @@ impl EddyBuilder {
             self.layout.stream_count() <= 64,
             "an eddy supports at most 64 base streams"
         );
+        let columnar = self.columnar
+            && self.layout.stream_count() == 1
+            && !self.ops.is_empty()
+            && self
+                .ops
+                .iter()
+                .all(|op| matches!(op, EddyOp::Filter(f) if f.artificial_cost == 0));
+        let columnar_builds =
+            self.columnar && self.ops.iter().any(|op| matches!(op, EddyOp::Stem(_)));
         Eddy {
             all_streams: Mask::first_n(self.layout.stream_count()),
             layout: self.layout,
@@ -156,6 +191,8 @@ impl EddyBuilder {
             policy: self.policy,
             batch_size: self.batch_size,
             fix_ops: self.fix_ops,
+            columnar,
+            columnar_builds,
             pending: VecDeque::new(),
             out: Vec::new(),
             stats: vec![OpStats::default(); n_ops],
@@ -178,6 +215,13 @@ pub struct Eddy {
     policy: Box<dyn RoutingPolicy>,
     batch_size: usize,
     fix_ops: usize,
+    /// Columnar eligibility, resolved at build time (filter-only,
+    /// single-stream, no artificial costs, and the builder opted in).
+    columnar: bool,
+    /// Columnar SteM builds (builder opted in and the eddy has SteMs):
+    /// batches route row-at-a-time, but eager builds hash their key
+    /// columns from a [`ColumnBatch`] built once per submitted batch.
+    columnar_builds: bool,
     pending: VecDeque<Routed>,
     /// Emitted results, each tagged with its driver's arrival sequence
     /// (the latest-arriving component that finalized the derivation).
@@ -206,6 +250,10 @@ struct EddyMetrics {
     emitted: std::sync::Arc<tcq_metrics::Counter>,
     dropped: std::sync::Arc<tcq_metrics::Counter>,
     stranded: std::sync::Arc<tcq_metrics::Counter>,
+    /// Columnar fast-path batches and row-fallback rows, published under
+    /// `("operators", instance)` so `tcq$operators` surfaces them.
+    columnar_batches: std::sync::Arc<tcq_metrics::Counter>,
+    columnar_fallback_rows: std::sync::Arc<tcq_metrics::Counter>,
     /// Per module, in op-index order: routed / survived / cost.
     per_op: Vec<[std::sync::Arc<tcq_metrics::Counter>; 3]>,
     synced: EddyStats,
@@ -267,6 +315,12 @@ impl Eddy {
             emitted: registry.counter("eddy", instance, "emitted"),
             dropped: registry.counter("eddy", instance, "dropped"),
             stranded: registry.counter("eddy", instance, "stranded"),
+            columnar_batches: registry.counter("operators", instance, "columnar.batches"),
+            columnar_fallback_rows: registry.counter(
+                "operators",
+                instance,
+                "columnar.fallback_rows",
+            ),
             per_op,
             synced: EddyStats::default(),
             synced_ops: vec![OpStats::default(); self.stats.len()],
@@ -287,6 +341,10 @@ impl Eddy {
         m.emitted.add(self.eddy_stats.emitted - m.synced.emitted);
         m.dropped.add(self.eddy_stats.dropped - m.synced.dropped);
         m.stranded.add(self.eddy_stats.stranded - m.synced.stranded);
+        m.columnar_batches
+            .add(self.eddy_stats.columnar_batches - m.synced.columnar_batches);
+        m.columnar_fallback_rows
+            .add(self.eddy_stats.columnar_fallback_rows - m.synced.columnar_fallback_rows);
         m.synced = self.eddy_stats;
         for (i, instruments) in m.per_op.iter().enumerate() {
             let cur = self.stats[i];
@@ -338,16 +396,38 @@ impl Eddy {
         if tuples.is_empty() {
             return;
         }
+        if self.columnar && self.pending.is_empty() {
+            self.submit_batch_columnar(tuples);
+            return;
+        }
         let base_seq = self.next_seq;
         self.next_seq += tuples.len() as u64;
         self.eddy_stats.submitted += tuples.len() as u64;
-        for op in &mut self.ops {
-            if let EddyOp::Stem(s) = op {
-                if s.stream == stream {
-                    s.build_batch(&tuples, base_seq);
+        let tuples = if self.columnar_builds
+            && self
+                .ops
+                .iter()
+                .any(|op| matches!(op, EddyOp::Stem(s) if s.stream == stream))
+        {
+            let batch = ColumnBatch::from_tuples(tuples);
+            for op in &mut self.ops {
+                if let EddyOp::Stem(s) = op {
+                    if s.stream == stream {
+                        s.build_batch_columnar(&batch, base_seq);
+                    }
                 }
             }
-        }
+            batch.into_rows()
+        } else {
+            for op in &mut self.ops {
+                if let EddyOp::Stem(s) = op {
+                    if s.stream == stream {
+                        s.build_batch(&tuples, base_seq);
+                    }
+                }
+            }
+            tuples
+        };
         let coverage = Mask::bit(stream);
         let cands = self.candidates_for(coverage, Mask::EMPTY);
         let complete = coverage == self.all_streams;
@@ -369,6 +449,72 @@ impl Eddy {
             } else {
                 self.pending.push_back(rt);
             }
+        }
+    }
+
+    /// The columnar fast path: fold every filter predicate into one
+    /// selection bitmap over a [`ColumnBatch`] built once for the batch.
+    ///
+    /// Only reached for filter-only single-stream eddies (build-time
+    /// `columnar` eligibility), so coverage is complete on arrival, every
+    /// module is eligible, and remapping is the identity. The filters are
+    /// applied in op-index order; because they conjoin, the surviving set
+    /// — and therefore the emitted tuples, which are the original arrivals
+    /// in arrival order — is byte-identical to any row routing. Per-op
+    /// stats record the still-selected counts before/after each filter so
+    /// selectivities (and policy observations) keep their sequential
+    /// meaning. Predicates the vectorized evaluator declines (mixed-type
+    /// columns, timestamp columns, ragged batches) are re-checked by the
+    /// row evaluator for the still-selected rows only, counted in
+    /// `columnar_fallback_rows`.
+    fn submit_batch_columnar(&mut self, tuples: Vec<Tuple>) {
+        let n = tuples.len();
+        let base_seq = self.next_seq;
+        self.next_seq += n as u64;
+        self.eddy_stats.submitted += n as u64;
+        self.eddy_stats.decisions += 1;
+        self.eddy_stats.columnar_batches += 1;
+        let batch = ColumnBatch::from_tuples(tuples);
+        let mut sel = Bitmap::ones(n);
+        for op in 0..self.ops.len() {
+            let routed = sel.count_ones() as u64;
+            if routed == 0 {
+                break;
+            }
+            let EddyOp::Filter(f) = &self.ops[op] else {
+                unreachable!("columnar eligibility admits only filters");
+            };
+            match f.predicate.eval_pred_batch(&batch) {
+                Some(bits) => sel.and_assign(&bits.pass()),
+                None => {
+                    for (i, row) in batch.rows().iter().enumerate() {
+                        if sel.get(i) {
+                            self.eddy_stats.columnar_fallback_rows += 1;
+                            if !f.predicate.eval_pred(row).unwrap_or(false) {
+                                sel.set(i, false);
+                            }
+                        }
+                    }
+                }
+            }
+            let survived = sel.count_ones() as u64;
+            let st = &mut self.stats[op];
+            st.routed += routed;
+            st.survived += survived;
+            st.cost += routed;
+            self.policy.observe(&Observation {
+                op,
+                routed,
+                survived,
+                cost: routed,
+            });
+        }
+        let survived = sel.count_ones() as u64;
+        self.eddy_stats.emitted += survived;
+        self.eddy_stats.dropped += n as u64 - survived;
+        let rows = batch.into_rows();
+        for i in sel.iter_ones() {
+            self.out.push((base_seq + i as u64, rows[i].clone()));
         }
     }
 
@@ -960,6 +1106,175 @@ mod tests {
         assert_eq!(out.len(), 10);
         // With fix_ops=2, each tuple takes one decision, not two.
         assert_eq!(e.stats().decisions, 30);
+    }
+
+    /// Row vs columnar two-filter eddy over an arithmetic predicate mix:
+    /// identical outputs in identical order, one decision per batch.
+    #[test]
+    fn columnar_filters_match_row_path() {
+        let build = |columnar: bool| {
+            EddyBuilder::new(vec![2], Box::new(LotteryPolicy::new(5)))
+                .filter(FilterOp::new(
+                    "f0",
+                    Expr::Arith(
+                        tcq_common::BinOp::Mul,
+                        Box::new(Expr::col(0)),
+                        Box::new(Expr::lit(3i64)),
+                    )
+                    .cmp(CmpOp::Ge, Expr::lit(30i64)),
+                ))
+                .filter(FilterOp::new(
+                    "f1",
+                    Expr::col(1).cmp(
+                        CmpOp::Lt,
+                        Expr::Arith(
+                            tcq_common::BinOp::Add,
+                            Box::new(Expr::col(0)),
+                            Box::new(Expr::lit(40i64)),
+                        ),
+                    ),
+                ))
+                .batch_size(16)
+                .columnar(columnar)
+                .build()
+        };
+        let tuples: Vec<Tuple> = (0..200).map(|i| int_tuple(&[i % 37, i % 53], i)).collect();
+        let mut row = build(false);
+        let mut col = build(true);
+        let a = row.push_batch(0, tuples.clone());
+        let b = col.push_batch(0, tuples);
+        assert_eq!(a, b, "columnar must be byte-identical to row routing");
+        assert_eq!(col.stats().emitted, row.stats().emitted);
+        assert_eq!(col.stats().dropped, row.stats().dropped);
+        assert_eq!(col.stats().columnar_batches, 1);
+        assert_eq!(col.stats().columnar_fallback_rows, 0);
+        assert_eq!(col.stats().decisions, 1, "one decision per columnar batch");
+        assert_eq!(row.stats().columnar_batches, 0);
+    }
+
+    /// A predicate the vectorized evaluator declines (mixed-type column)
+    /// falls back to the row evaluator for still-selected rows only.
+    #[test]
+    fn columnar_fallback_counts_row_evals() {
+        let mut e = EddyBuilder::new(vec![1], Box::new(FixedPolicy::new(vec![0, 1])))
+            .filter(FilterOp::new(
+                "half",
+                Expr::col(0).cmp(CmpOp::Lt, Expr::lit(Value::Float(1.0))),
+            ))
+            .filter(FilterOp::new(
+                "mixed",
+                Expr::col(0).cmp(CmpOp::Ge, Expr::lit(0i64)),
+            ))
+            .columnar(true)
+            .build();
+        // Alternating Int/Float column: strictly typed columns reject it,
+        // so both predicates fall back row-wise.
+        let tuples: Vec<Tuple> = (0..10)
+            .map(|i| {
+                let v = if i % 2 == 0 {
+                    Value::Int(i % 3)
+                } else {
+                    Value::Float((i % 3) as f64)
+                };
+                Tuple::at_seq(vec![v], i)
+            })
+            .collect();
+        let out = e.push_batch(0, tuples);
+        assert_eq!(out.len(), 4, "values 0 of either type pass `< 1.0`");
+        assert_eq!(e.stats().columnar_batches, 1);
+        // First filter re-checks all 10 rows; the second only survivors.
+        assert_eq!(e.stats().columnar_fallback_rows, 14);
+    }
+
+    /// Build-time eligibility: SteMs, extra streams, or artificial cost
+    /// disable the fast path even when the builder asked for it.
+    #[test]
+    fn columnar_requires_filter_only_single_stream() {
+        let with_stem = EddyBuilder::new(vec![2, 2], Box::new(NaivePolicy::new(1)))
+            .stem(StemOp::new("stemS", 0, vec![0], vec![2]))
+            .stem(StemOp::new("stemT", 1, vec![0], vec![0]))
+            .columnar(true)
+            .build();
+        assert!(!with_stem.columnar);
+        let with_cost = EddyBuilder::new(vec![1], Box::new(NaivePolicy::new(1)))
+            .filter(FilterOp::new("f", Expr::lit(true)).with_cost(10))
+            .columnar(true)
+            .build();
+        assert!(!with_cost.columnar);
+        let plain = EddyBuilder::new(vec![1], Box::new(NaivePolicy::new(1)))
+            .filter(FilterOp::new("f", Expr::lit(true)))
+            .columnar(true)
+            .build();
+        assert!(plain.columnar);
+    }
+
+    /// A join eddy never takes the filter fast path, but with columnar on
+    /// its eager SteM builds hash key columns batch-wise — results and
+    /// routing statistics must be untouched.
+    #[test]
+    fn columnar_stem_builds_do_not_change_join_results() {
+        let build = |columnar: bool| {
+            EddyBuilder::new(vec![2, 2], Box::new(FixedPolicy::new(vec![0, 1, 2, 3])))
+                .filter(FilterOp::new(
+                    "sa",
+                    Expr::col(1).cmp(CmpOp::Gt, Expr::lit(20i64)),
+                ))
+                .filter(FilterOp::new(
+                    "tb",
+                    Expr::col(3).cmp(CmpOp::Lt, Expr::lit(160i64)),
+                ))
+                .stem(StemOp::new("stemS", 0, vec![0], vec![2]))
+                .stem(StemOp::new("stemT", 1, vec![0], vec![0]))
+                .batch_size(16)
+                .columnar(columnar)
+                .build()
+        };
+        let s_batch: Vec<Tuple> = (0..40)
+            .map(|i| int_tuple(&[i % 5, i * 3 % 60], i))
+            .collect();
+        let t_batch: Vec<Tuple> = (0..40)
+            .map(|i| int_tuple(&[i % 5, i * 9 % 200], 100 + i))
+            .collect();
+        let run = |mut e: Eddy| {
+            let mut out = Vec::new();
+            out.extend(e.push_batch(0, s_batch.clone()));
+            out.extend(e.push_batch(1, t_batch.clone()));
+            (out, e.stats().decisions, e.stats().emitted)
+        };
+        let (a, da, ea) = run(build(false));
+        let (b, db, eb) = run(build(true));
+        assert_eq!(a, b);
+        assert_eq!((da, ea), (db, eb), "routing must be unchanged");
+    }
+
+    #[test]
+    fn columnar_metrics_publish_under_operators() {
+        let registry = tcq_metrics::Registry::new();
+        let mut e = EddyBuilder::new(vec![1], Box::new(FixedPolicy::new(vec![0, 1])))
+            .filter(FilterOp::new(
+                "gt10",
+                Expr::col(0).cmp(CmpOp::Gt, Expr::lit(10i64)),
+            ))
+            .filter(FilterOp::new(
+                "lt20",
+                Expr::col(0).cmp(CmpOp::Lt, Expr::lit(20i64)),
+            ))
+            .columnar(true)
+            .build();
+        e.bind_metrics(&registry, "q0");
+        let out = e.push_batch(0, (0..30).map(|v| int_tuple(&[v], v)).collect());
+        assert_eq!(out.len(), 9);
+        let snap = registry.snapshot();
+        assert_eq!(snap.value("operators", "q0", "columnar.batches"), Some(1));
+        assert_eq!(
+            snap.value("operators", "q0", "columnar.fallback_rows"),
+            Some(0)
+        );
+        // Per-op counters keep their sequential meaning.
+        assert_eq!(snap.value("operators", "q0.gt10", "routed"), Some(30));
+        assert_eq!(snap.value("operators", "q0.gt10", "survived"), Some(19));
+        assert_eq!(snap.value("operators", "q0.lt20", "routed"), Some(19));
+        assert_eq!(snap.value("operators", "q0.lt20", "survived"), Some(9));
     }
 
     #[test]

@@ -182,6 +182,16 @@ impl StemOp {
         }
     }
 
+    /// [`StemOp::build_batch`] from a typed column batch: index keys are
+    /// extracted column-wise (`SteM::build_batch_columnar`) instead of per
+    /// tuple field array. Stored tuples and assigned ids are identical.
+    pub fn build_batch_columnar(&mut self, batch: &tcq_common::ColumnBatch, base_seq: u64) {
+        let ids = self.stem.build_batch_columnar(batch);
+        for (i, id) in ids.enumerate() {
+            self.seqs.insert(id, base_seq + i as u64);
+        }
+    }
+
     /// Probe with a driver tuple: uses the first covered spec's index,
     /// verifies any other covered specs' key equalities, and returns
     /// stored tuples built strictly before arrival `before_seq` (the

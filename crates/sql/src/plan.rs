@@ -551,9 +551,25 @@ impl QueryPlan {
         policy: Box<dyn RoutingPolicy>,
         batch_size: usize,
     ) -> Result<Eddy> {
+        self.build_eddy_vectorized(policy, batch_size, false)
+    }
+
+    /// Like [`QueryPlan::build_eddy_batched`], additionally opting the
+    /// eddy into columnar execution (`Config::columnar`): filter-only
+    /// single-stream plans route whole [`tcq_common::ColumnBatch`]es
+    /// through vectorized predicate kernels, and join plans build their
+    /// SteM hash keys from column slices. Results are byte-identical to
+    /// the row path either way.
+    pub fn build_eddy_vectorized(
+        &self,
+        policy: Box<dyn RoutingPolicy>,
+        batch_size: usize,
+        columnar: bool,
+    ) -> Result<Eddy> {
         let layout = self.layout();
         let mut builder = EddyBuilder::new(self.streams.iter().map(|s| s.arity).collect(), policy)
-            .batch_size(batch_size);
+            .batch_size(batch_size)
+            .columnar(columnar);
         for (i, f) in self.filters.iter().enumerate() {
             builder = builder.filter(FilterOp::new(format!("filter{i}"), f.clone()));
         }

@@ -8,6 +8,11 @@
 //! * Window sequences match closed-form bounds.
 //! * Flux routing preserves exactly-once tuple accounting across
 //!   rebalances.
+//! * Columnar vectorized execution ≡ row execution, byte for byte:
+//!   the eddy's selection-bitmap fast path, the window driver's
+//!   aggregate kernels, and the full pipeline at partitions ∈ {1, 4},
+//!   across batch sizes, selection densities (0% / ~50% / 100%), and
+//!   null-heavy columns.
 
 use proptest::prelude::*;
 
@@ -339,6 +344,119 @@ fn adaptive_and_static_answers_identical_under_drift() {
     assert_eq!(a_out, f_out, "answers agree; only routing work differs");
 }
 
+/// Map a generated `(marker, v)` pair to a possibly-NULL Int field:
+/// marker 0 leaves a NULL (~one row in five), so the columnar valid
+/// bitmaps carry real holes, not just all-ones.
+fn opt_int(marker: u8, v: i64) -> Value {
+    if marker == 0 {
+        Value::Null
+    } else {
+        Value::Int(v)
+    }
+}
+
+/// Same, as a Float column; halves are exact in f64, so row and
+/// columnar arithmetic cannot diverge by rounding.
+fn opt_float(marker: u8, v: i64) -> Value {
+    if marker == 0 {
+        Value::Null
+    } else {
+        Value::Float(v as f64 / 2.0)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Columnar tentpole invariant, eddy layer: the vectorized filter
+    /// fast path emits byte-identical tuples in identical order to the
+    /// row path, for any mix of Int/Float/NULL columns, any batch
+    /// size, and any selection density — the threshold strategies pin
+    /// the 0% and 100% corners explicitly and sweep the middle.
+    #[test]
+    fn columnar_eddy_equals_row_eddy(
+        rows in proptest::collection::vec(
+            ((0u8..5, -100i64..100), (0u8..5, -100i64..100)), 1..250),
+        lo in prop_oneof![Just(-200i64), Just(0i64), Just(200i64), -120i64..120],
+        hi in prop_oneof![Just(-200i64), Just(0i64), Just(200i64), -120i64..120],
+        batch in prop_oneof![Just(1usize), Just(7usize), Just(64usize), Just(256usize)],
+    ) {
+        use tcq_common::BinOp;
+        let build = |columnar: bool| {
+            EddyBuilder::new(vec![2], Box::new(FixedPolicy::new(vec![0, 1, 2])))
+                .filter(FilterOp::new("fi", Expr::col(0).cmp(CmpOp::Ge, Expr::lit(lo))))
+                .filter(FilterOp::new(
+                    "ff",
+                    Expr::Arith(
+                        BinOp::Mul,
+                        Box::new(Expr::col(1)),
+                        Box::new(Expr::lit(2.0f64)),
+                    )
+                    .cmp(CmpOp::Lt, Expr::lit(hi as f64)),
+                ))
+                .filter(FilterOp::new(
+                    "fa",
+                    Expr::Arith(BinOp::Add, Box::new(Expr::col(0)), Box::new(Expr::col(1)))
+                        .cmp(CmpOp::Ne, Expr::lit(7i64)),
+                ))
+                .batch_size(batch)
+                .columnar(columnar)
+                .build()
+        };
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &((mi, vi), (mf, vf)))| {
+                Tuple::at_seq(vec![opt_int(mi, vi), opt_float(mf, vf)], i as i64)
+            })
+            .collect();
+        let mut row_eddy = build(false);
+        let mut col_eddy = build(true);
+        let mut row_out = Vec::new();
+        let mut col_out = Vec::new();
+        for chunk in tuples.chunks(batch) {
+            row_out.extend(row_eddy.push_batch(0, chunk.to_vec()));
+            col_out.extend(col_eddy.push_batch(0, chunk.to_vec()));
+        }
+        prop_assert_eq!(&row_out, &col_out);
+        prop_assert_eq!(row_eddy.stats().emitted, col_eddy.stats().emitted);
+        prop_assert_eq!(row_eddy.stats().dropped, col_eddy.stats().dropped);
+    }
+
+    /// Columnar tentpole invariant, window-aggregate layer: the
+    /// columnar fold matches `aggregate_rows` byte for byte across all
+    /// five aggregate kinds, including null-heavy and empty inputs.
+    #[test]
+    fn columnar_aggregates_equal_row_aggregates(
+        vals in proptest::collection::vec((0u8..5, -1000i64..1000), 0..150),
+    ) {
+        use tcq_common::{Catalog, DataType, Field, Schema};
+        use tcq_sql::Planner;
+        let catalog = Catalog::new();
+        catalog
+            .register_stream(
+                "m",
+                Schema::qualified("m", vec![Field::new("v", DataType::Float)]),
+            )
+            .unwrap();
+        let plan = Planner::new(catalog)
+            .plan_sql(
+                "SELECT COUNT(*) AS n, SUM(v) AS s, AVG(v) AS a, \
+                 MIN(v) AS lo, MAX(v) AS hi FROM m",
+            )
+            .unwrap();
+        let rows: Vec<Tuple> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, v))| Tuple::at_seq(vec![opt_float(m, v)], i as i64))
+            .collect();
+        let row = tcq::executor::aggregate_rows(&plan, &rows);
+        let col = tcq::executor::aggregate_rows_columnar(&plan, &rows)
+            .expect("single-group column-arg plan is vectorizable");
+        prop_assert_eq!(row, col);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -586,6 +704,7 @@ proptest! {
 fn partitioned_answers(
     partitions: usize,
     batch_size: usize,
+    columnar: bool,
     prices: &[i64],
     keys: &[i64],
 ) -> Vec<Vec<tcq::ResultSet>> {
@@ -595,6 +714,7 @@ fn partitioned_answers(
         step_mode: true,
         batch_size,
         partitions,
+        columnar,
         ..tcq::Config::default()
     })
     .expect("server starts");
@@ -662,8 +782,27 @@ proptest! {
         batch in prop_oneof![Just(1usize), Just(7usize), Just(32usize)],
         partitions in prop_oneof![Just(2usize), Just(3usize), Just(4usize)],
     ) {
-        let reference = partitioned_answers(1, batch, &prices, &keys);
-        let sharded = partitioned_answers(partitions, batch, &prices, &keys);
+        // Honor the TCQ_COLUMNAR escape hatch so the CI matrix runs
+        // this invariant on both execution paths.
+        let columnar = tcq::Config::default().columnar;
+        let reference = partitioned_answers(1, batch, columnar, &prices, &keys);
+        let sharded = partitioned_answers(partitions, batch, columnar, &prices, &keys);
         prop_assert_eq!(reference, sharded);
+    }
+
+    /// Columnar tentpole invariant, pipeline layer: flipping
+    /// `Config::columnar` is invisible to clients — every query's
+    /// drained output (row order included) is byte-identical between
+    /// the columnar and row paths, at one partition and at four.
+    #[test]
+    fn columnar_pipeline_equals_row_pipeline(
+        prices in proptest::collection::vec(0i64..100, 4..60),
+        keys in proptest::collection::vec(0i64..100, 0..60),
+        batch in prop_oneof![Just(1usize), Just(7usize), Just(32usize)],
+        partitions in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        let row = partitioned_answers(partitions, batch, false, &prices, &keys);
+        let col = partitioned_answers(partitions, batch, true, &prices, &keys);
+        prop_assert_eq!(row, col);
     }
 }

@@ -432,24 +432,33 @@ fn engine_agrees_with_oracle_on_corpus() {
     }
 }
 
+/// Injected operator faults are caught by the engine's quarantine
+/// boundaries; keep their backtraces out of the test output. Installed
+/// once — several tests replay fault-injecting episodes and
+/// `set_hook` must not race between them.
+fn silence_injected_fault_panics() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.contains("injected operator fault"))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.contains("injected operator fault"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
 #[test]
 fn random_episode_smoke() {
-    // Injected operator faults are caught by the engine's quarantine
-    // boundaries; keep their backtraces out of the test output.
-    let default_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(move |info| {
-        let injected = info
-            .payload()
-            .downcast_ref::<&str>()
-            .is_some_and(|s| s.contains("injected operator fault"))
-            || info
-                .payload()
-                .downcast_ref::<String>()
-                .is_some_and(|s| s.contains("injected operator fault"));
-        if !injected {
-            default_hook(info);
-        }
-    }));
+    silence_injected_fault_panics();
     let opts = GenOptions::default();
     for i in 0..25 {
         let ep = generate(0xC0FFEE, i, &opts);
@@ -457,6 +466,35 @@ fn random_episode_smoke() {
         assert!(
             failures.is_empty(),
             "episode {i} failed:\n{}",
+            failures.join("\n")
+        );
+    }
+}
+
+/// Replay every previously-shrunk reproducer in `tests/sim_corpus/`
+/// through the full `check_episode` loop from inside `cargo test`.
+/// The sim driver builds its server from `..Config::default()`, so the
+/// CI matrix (`TCQ_COLUMNAR` × `TCQ_PARTITIONS`) replays the corpus on
+/// both execution paths, not just the one `tcq-sim --smoke` ran under.
+#[test]
+fn sim_corpus_replays_cleanly() {
+    silence_injected_fault_panics();
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/sim_corpus");
+    let mut episodes: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "episode"))
+        .collect();
+    episodes.sort();
+    assert!(!episodes.is_empty(), "empty corpus at {}", dir.display());
+    for path in &episodes {
+        let name = path.file_name().unwrap().to_string_lossy();
+        let text = std::fs::read_to_string(path).unwrap();
+        let ep = sim::Episode::parse(&text).unwrap_or_else(|e| panic!("{name}: parse: {e}"));
+        let failures = check_episode(&ep);
+        assert!(
+            failures.is_empty(),
+            "{name} failed:\n{}",
             failures.join("\n")
         );
     }
