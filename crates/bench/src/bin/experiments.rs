@@ -1,7 +1,7 @@
 //! Regenerate every experiment table for EXPERIMENTS.md.
 //!
 //! ```sh
-//! cargo run --release -p tcq-bench --bin experiments        # all of E1–E14
+//! cargo run --release -p tcq-bench --bin experiments        # all of E1–E15
 //! cargo run --release -p tcq-bench --bin experiments e11    # just E11
 //! cargo run --release -p tcq-bench --bin experiments e4 e10 # a subset
 //! ```
@@ -19,7 +19,7 @@ fn main() {
     println!("TelegraphCQ-rs experiment report");
     println!("================================\n");
 
-    let table: [(&str, fn()); 14] = [
+    let table: [(&str, fn()); 15] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -34,6 +34,7 @@ fn main() {
         ("e12", e12),
         ("e13", e13),
         ("e14", e14),
+        ("e15", e15),
     ];
     let mut ran = false;
     for (name, run) in table {
@@ -43,7 +44,7 @@ fn main() {
         }
     }
     if !ran {
-        eprintln!("no experiment matches {args:?}; known: e1..e14");
+        eprintln!("no experiment matches {args:?}; known: e1..e15");
         std::process::exit(2);
     }
 }
@@ -438,6 +439,79 @@ fn e14() {
         "  json: {{\"experiment\":\"e14\",\"cores\":{cores},\"tuples\":{n},\"batch\":{E14_BATCH},\
 \"filter_speedup\":{:.3},\"agg_speedup\":{:.3}}}",
         f.speedup, a.speedup
+    );
+    println!();
+}
+
+fn e15() {
+    println!("E15 — durability: WAL overhead and recovery time (batch 256)");
+    println!("  E10 pipeline with every admitted batch CRC-framed into the WAL");
+    let n = 100_000;
+    let batch = 256usize;
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!(
+        "  {:<14} {:>12} {:>10} {:>12} {:>10}",
+        "durability", "tuples/s", "ms", "rows out", "overhead"
+    );
+    let mut base = 0.0f64;
+    let mut overheads = Vec::new();
+    for durability in [
+        tcq::Durability::Off,
+        tcq::Durability::Buffered,
+        tcq::Durability::Fsync,
+    ] {
+        // Best of three: scheduler noise on small runners swings a
+        // single pass far more than the logging overhead being priced.
+        let mut best = e15_run(durability, batch, n);
+        for _ in 0..2 {
+            let r = e15_run(durability, batch, n);
+            assert_eq!(r.rows_out, n as u64, "durable pipeline loses no rows");
+            if r.tuples_per_sec > best.tuples_per_sec {
+                best = r;
+            }
+        }
+        if base == 0.0 {
+            base = best.tuples_per_sec;
+        }
+        let overhead = 1.0 - best.tuples_per_sec / base.max(1e-9);
+        overheads.push(format!(
+            "{{\"mode\":\"{}\",\"tuples_per_sec\":{:.0},\"overhead\":{:.4}}}",
+            durability.name(),
+            best.tuples_per_sec,
+            overhead
+        ));
+        println!(
+            "  {:<14} {:>12.0} {:>10.1} {:>12} {:>9.1}%",
+            durability.name(),
+            best.tuples_per_sec,
+            n as f64 / best.tuples_per_sec * 1e3,
+            best.rows_out,
+            overhead * 100.0
+        );
+    }
+    println!("  recovery time vs WAL tail length (no checkpoint, batch 64):");
+    println!(
+        "  {:<14} {:>12} {:>14} {:>12}",
+        "rows logged", "wal bytes", "replayed", "recover ms"
+    );
+    let mut points = Vec::new();
+    for rows in [5_000usize, 20_000, 80_000] {
+        let p = e15_recovery_run(rows);
+        assert!(p.replayed_batches > 0, "replay saw the logged history");
+        points.push(format!(
+            "{{\"rows\":{},\"wal_bytes\":{},\"recover_ms\":{:.1}}}",
+            p.rows, p.wal_bytes, p.recover_ms
+        ));
+        println!(
+            "  {:<14} {:>12} {:>14} {:>12.1}",
+            p.rows, p.wal_bytes, p.replayed_batches, p.recover_ms
+        );
+    }
+    println!(
+        "  json: {{\"experiment\":\"e15\",\"cores\":{cores},\"tuples\":{n},\"batch\":{batch},\
+\"modes\":[{}],\"recovery\":[{}]}}",
+        overheads.join(","),
+        points.join(",")
     );
     println!();
 }

@@ -1054,6 +1054,113 @@ pub fn e12_run(policy: tcq::ShedPolicy, load_x: f64) -> E12Result {
     }
 }
 
+// --------------------------------------------------------------- E15 --
+
+static E15_DIR_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn e15_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tcq-e15-{tag}-{}-{}",
+        std::process::id(),
+        E15_DIR_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Total bytes of WAL segments and checkpoints under an archive root.
+fn wal_dir_bytes(archive_root: &std::path::Path) -> u64 {
+    let Ok(rd) = std::fs::read_dir(archive_root.join("wal")) else {
+        return 0;
+    };
+    rd.filter_map(|e| e.ok())
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum()
+}
+
+/// E15 throughput leg: the E10 pipeline with write-ahead logging on.
+/// Same workload and shape as [`e10_run`], but every admitted batch is
+/// CRC-framed into the WAL before fan-out — `Buffered` prices the
+/// logging itself, `Fsync` adds a disk barrier per commit. Comparing
+/// `tuples_per_sec` against the `Off` baseline prices durability
+/// (Buffered ≤ 15% is the acceptance bar).
+pub fn e15_run(durability: tcq::Durability, batch_size: usize, n: usize) -> E10Result {
+    let dir = e15_dir("tput");
+    let config = tcq::Config {
+        batch_size,
+        executor_threads: 2,
+        result_buffer: n.max(1024),
+        durability,
+        archive_dir: Some(dir.clone()),
+        ..tcq::Config::default()
+    };
+    let result = pipeline_run(config, n);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// E15 recovery leg: one measured crash/restart.
+#[derive(Debug, Clone, Copy)]
+pub struct E15Recovery {
+    /// Rows admitted (and logged) before the crash.
+    pub rows: usize,
+    /// WAL bytes on disk at the crash point (the tail replay must read).
+    pub wal_bytes: u64,
+    /// Batch records the replay re-admitted.
+    pub replayed_batches: u64,
+    /// Wall-clock for `Server::recover()` on the rebooted server.
+    pub recover_ms: f64,
+}
+
+/// E15 recovery leg: admit `rows` tuples under Buffered durability,
+/// crash (drop the server without shutdown), reboot from the same
+/// directory, and time the WAL replay. Checkpointing is disabled (the
+/// threshold is set above the log size) so `rows` directly controls the
+/// WAL tail length — sweeping it yields the recovery-time-vs-log-length
+/// curve.
+pub fn e15_recovery_run(rows: usize) -> E15Recovery {
+    use tcq_common::{DataType, Field, Schema};
+    let dir = e15_dir("recover");
+    let config = tcq::Config {
+        step_mode: true,
+        batch_size: 64,
+        durability: tcq::Durability::Buffered,
+        // Never checkpoint: keep the whole history in the replay tail.
+        checkpoint_bytes: u64::MAX,
+        archive_dir: Some(dir.clone()),
+        ..tcq::Config::default()
+    };
+    let schema = Schema::qualified("s", vec![Field::new("price", DataType::Int)]);
+    {
+        let server = tcq::Server::start(config.clone()).expect("server starts");
+        server.register_stream("s", schema.clone()).expect("stream");
+        for i in 0..rows {
+            server
+                .push_at("s", vec![tcq_common::Value::Int(i as i64)], i as i64 + 1)
+                .expect("push");
+        }
+        server.punctuate("s", rows as i64 + 1).expect("punctuate");
+        server.sync();
+        // Crash: drop without shutdown, as a process kill would.
+    }
+    let wal_bytes = wal_dir_bytes(&dir);
+    let server = tcq::Server::start(config).expect("server reboots");
+    server.register_stream("s", schema).expect("stream");
+    let start = Instant::now();
+    let report = server.recover().expect("recovery replays");
+    let recover_ms = start.elapsed().as_secs_f64() * 1e3;
+    server.sync();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    E15Recovery {
+        rows,
+        wal_bytes,
+        replayed_batches: report.batches,
+        recover_ms,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

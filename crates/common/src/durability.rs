@@ -1,0 +1,68 @@
+//! The engine-wide durability mode.
+//!
+//! Shared between the server configuration (`tcq::Config::durability`),
+//! the storage-layer write-ahead log (which maps `Buffered`/`Fsync`
+//! onto its sync policy), and the simulation episode format (which
+//! serializes the mode as a `durability` line so crash chaos is part of
+//! a replayable episode).
+
+/// How hard the engine tries to survive a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// No write-ahead log at all: every byte of engine state dies with
+    /// the process. The pre-durability behaviour, and the default.
+    #[default]
+    Off,
+    /// Log every admitted batch and punctuation, but let the OS page
+    /// cache decide when bytes hit the platter. Survives a process
+    /// crash (the common case); an OS crash may lose the buffered tail,
+    /// which recovery truncates to the last valid frame.
+    Buffered,
+    /// `fdatasync` on every commit: survives power loss at the cost of
+    /// one sync per admitted batch.
+    Fsync,
+}
+
+impl Durability {
+    /// Whether any logging happens at all.
+    pub fn is_off(&self) -> bool {
+        matches!(self, Durability::Off)
+    }
+
+    /// Canonical lowercase name (the episode-format token).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Durability::Off => "off",
+            Durability::Buffered => "buffered",
+            Durability::Fsync => "fsync",
+        }
+    }
+
+    /// Parse the canonical name (inverse of [`Durability::name`]).
+    pub fn parse(s: &str) -> Option<Durability> {
+        match s {
+            "off" => Some(Durability::Off),
+            "buffered" => Some(Durability::Buffered),
+            "fsync" => Some(Durability::Fsync),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for d in [Durability::Off, Durability::Buffered, Durability::Fsync] {
+            assert_eq!(Durability::parse(d.name()), Some(d));
+        }
+        assert_eq!(Durability::parse("paranoid"), None);
+    }
+
+    #[test]
+    fn default_is_off() {
+        assert!(Durability::default().is_off());
+    }
+}

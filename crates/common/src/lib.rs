@@ -23,6 +23,7 @@
 
 pub mod batch;
 pub mod catalog;
+pub mod durability;
 pub mod error;
 pub mod expr;
 pub mod rng;
@@ -35,6 +36,7 @@ pub mod vexpr;
 
 pub use batch::{Bitmap, Column, ColumnBatch, ColumnData};
 pub use catalog::{Catalog, StreamDef, StreamKind};
+pub use durability::Durability;
 pub use error::{Result, TcqError};
 pub use expr::{BinOp, CmpOp, Expr};
 pub use schema::{Field, Schema};

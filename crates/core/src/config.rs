@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use tcq_common::ShedPolicy;
+use tcq_common::{Durability, ShedPolicy};
 
 /// Which routing policy the FrontEnd compiles into adaptive plans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +118,34 @@ pub struct Config {
     /// so CI replays the full test suite on both paths. Explicit
     /// `columnar:` fields in struct literals still win.
     pub columnar: bool,
+    /// Durability mode (default [`Durability::Off`]).
+    ///
+    /// When on, every admitted batch and punctuation is logged to a
+    /// segmented write-ahead log under `<archive_dir>/wal` at the
+    /// Wrapper ingress commit point (spill-to-archive triage logs at
+    /// the same point, so the spill path rides the same log).
+    /// `Buffered` writes without syncing (survives a process crash);
+    /// `Fsync` adds a `sync_data` per commit (survives power loss).
+    /// After a crash, restart the server on the same `archive_dir`,
+    /// re-register streams and re-submit queries, then call
+    /// [`crate::Server::recover`] to replay the checkpoint + log tail —
+    /// the engine's determinism rebuilds archives, operator state, and
+    /// the full result stream. See DESIGN.md §14.
+    ///
+    /// `Config::default()` honors a `TCQ_DURABILITY` environment
+    /// variable (`off` / `buffered` / `fsync`), so CI can replay the
+    /// whole test suite with logging on. Explicit `durability:` fields
+    /// in struct literals still win.
+    pub durability: Durability,
+    /// WAL segment size: the log rotates to a new `seg-N.wal` once the
+    /// current one exceeds this many bytes.
+    pub wal_segment_bytes: u64,
+    /// Checkpoint cadence: at a punctuation boundary, once at least
+    /// this many WAL bytes accumulated since the last checkpoint, the
+    /// engine snapshots every stream's archive + punctuation state into
+    /// a `ckpt-N.ckpt` file and prunes the segments it supersedes.
+    /// Bounds both recovery reads and disk usage.
+    pub checkpoint_bytes: u64,
     /// Deterministic single-threaded stepping (the simulation harness).
     ///
     /// When on, `Server::start` spawns no Wrapper or Executor threads;
@@ -157,6 +185,12 @@ impl Default for Config {
                 .filter(|&p| p >= 1)
                 .unwrap_or(1),
             columnar: std::env::var("TCQ_COLUMNAR").map_or(true, |v| v != "0"),
+            durability: std::env::var("TCQ_DURABILITY")
+                .ok()
+                .and_then(|v| Durability::parse(&v))
+                .unwrap_or(Durability::Off),
+            wal_segment_bytes: 4 << 20,
+            checkpoint_bytes: 4 << 20,
             step_mode: false,
         }
     }
@@ -181,5 +215,10 @@ mod tests {
         if std::env::var("TCQ_COLUMNAR").is_err() {
             assert!(c.columnar, "columnar execution is the default");
         }
+        if std::env::var("TCQ_DURABILITY").is_err() {
+            assert!(c.durability.is_off(), "durability is strictly opt-in");
+        }
+        assert!(c.wal_segment_bytes > 0);
+        assert!(c.checkpoint_bytes > 0);
     }
 }

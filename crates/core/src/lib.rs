@@ -67,5 +67,5 @@ pub mod server;
 
 pub use config::Config;
 pub use query::{QueryHandle, ResultSet};
-pub use server::{Server, ShedStats};
-pub use tcq_common::ShedPolicy;
+pub use server::{RecoveryReport, Server, ShedStats};
+pub use tcq_common::{Durability, ShedPolicy};

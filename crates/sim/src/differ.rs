@@ -24,6 +24,14 @@
 //!   a degraded windowed query a subsequence of instants, each present
 //!   instant still exact.
 //!
+//! * **Crash/recovery is invisible** — deliberately *not* a tolerance.
+//!   A `Step::Crash` discards the result sets collected so far, and the
+//!   recovered server regenerates the entire stream by replaying the
+//!   WAL; the differ compares that regenerated stream against the
+//!   oracle with the exact same contract as an uncrashed run. Any
+//!   recovery-induced loss, duplication, or reordering is a reportable
+//!   diff.
+//!
 //! Everything else — a row with different values, an extra row, an
 //! instant the oracle never released, counts off by one — is a
 //! reportable diff.
@@ -275,6 +283,8 @@ mod tests {
             input_queue: 64,
             flux_steps: 0,
             partitions: 1,
+            durability: tcq_common::Durability::Off,
+            columnar: None,
             queries: vec!["SELECT day FROM quotes".into()],
             steps: Vec::new(),
         }

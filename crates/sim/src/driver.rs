@@ -16,6 +16,7 @@
 //! drain by the end of the episode.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use tcq::{Config, QueryHandle, ResultSet, Server, ShedStats};
@@ -191,8 +192,35 @@ fn run_flux_chaos(ep: &Episode, failures: &mut Vec<String>) {
     }
 }
 
+/// Disambiguates concurrently running durable episodes' archive
+/// directories (the name never reaches any recorded output, so this
+/// nondeterminism cannot leak into the replay comparison).
+static EPISODE_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// Execute `ep` against a fresh step-mode server and record the run.
+///
+/// When the episode enables durability the server runs over a
+/// persistent scratch directory so `Step::Crash` can drop the whole
+/// server (no shutdown — exactly what a process kill leaves on disk),
+/// reboot from that directory, re-register/re-submit, and replay the
+/// WAL through [`Server::recover`]. Result sets collected before the
+/// crash are discarded: the recovered incarnation regenerates the
+/// entire result stream, and that regenerated stream is what the
+/// oracle must match byte for byte.
 pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
+    if ep.steps.contains(&Step::Crash) && ep.durability.is_off() {
+        return Err("episode has `step crash` but durability is off".into());
+    }
+    let base = Config::default();
+    let archive_dir = (!ep.durability.is_off()).then(|| {
+        let dir = std::env::temp_dir().join(format!(
+            "tcq-sim-ep-{}-{}",
+            std::process::id(),
+            EPISODE_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
     let config = Config {
         step_mode: true,
         executor_threads: 2,
@@ -201,32 +229,41 @@ pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
         input_queue: ep.input_queue.max(2),
         partitions: ep.partitions.max(1),
         shed_policy: ep.policy,
+        durability: ep.durability,
+        columnar: ep.columnar.unwrap_or(base.columnar),
+        archive_dir: archive_dir.clone(),
         // Large enough that the egress QoS shed (oldest result set
         // dropped when a client lags) never fires between settles —
         // client lag is out of scope for the oracle contract.
         result_buffer: 1 << 14,
-        ..Config::default()
+        ..base
     };
-    let server = Server::start(config).map_err(|e| format!("start: {e}"))?;
-    episode_catalog(&server)?;
+
+    fn boot(ep: &Episode, config: &Config) -> Result<(Server, Vec<QueryHandle>), String> {
+        let server = Server::start(config.clone()).map_err(|e| format!("start: {e}"))?;
+        episode_catalog(&server)?;
+        let mut handles = Vec::with_capacity(ep.queries.len());
+        for (i, sql) in ep.queries.iter().enumerate() {
+            handles.push(
+                server
+                    .submit(sql)
+                    .map_err(|e| format!("submit query {i}: {e}"))?,
+            );
+        }
+        Ok((server, handles))
+    }
+    fn drain_handles(handles: &[QueryHandle], sets: &mut [Vec<ResultSet>]) {
+        for (i, h) in handles.iter().enumerate() {
+            sets[i].extend(h.drain());
+        }
+    }
+
+    let (mut server, mut handles) = boot(ep, &config)?;
 
     let mut invariant_failures = Vec::new();
     run_flux_chaos(ep, &mut invariant_failures);
 
-    let mut handles: Vec<QueryHandle> = Vec::with_capacity(ep.queries.len());
-    for (i, sql) in ep.queries.iter().enumerate() {
-        handles.push(
-            server
-                .submit(sql)
-                .map_err(|e| format!("submit query {i}: {e}"))?,
-        );
-    }
     let mut sets: Vec<Vec<ResultSet>> = vec![Vec::new(); handles.len()];
-    let drain_handles = |sets: &mut Vec<Vec<ResultSet>>| {
-        for (i, h) in handles.iter().enumerate() {
-            sets[i].extend(h.drain());
-        }
-    };
 
     for (si, step) in ep.steps.iter().enumerate() {
         match step {
@@ -276,7 +313,32 @@ pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
                     &format!("step {si} settle"),
                     &mut invariant_failures,
                 );
-                drain_handles(&mut sets);
+                drain_handles(&handles, &mut sets);
+            }
+            Step::Crash => {
+                // Drop everything without shutdown: in step mode there
+                // are no threads, so this is exactly the disk state a
+                // process kill leaves behind — committed WAL records
+                // survive, in-flight engine state evaporates.
+                drop(std::mem::take(&mut handles));
+                drop(server);
+                for s in sets.iter_mut() {
+                    s.clear();
+                }
+                let (s2, h2) = boot(ep, &config).map_err(|e| format!("step {si}: reboot: {e}"))?;
+                server = s2;
+                handles = h2;
+                server
+                    .recover()
+                    .map_err(|e| format!("step {si}: recover: {e}"))?;
+                if !server.sim_settle(1_000_000) {
+                    return Err(format!("step {si}: post-recovery settle did not converge"));
+                }
+                check_quiescent(
+                    &server,
+                    &format!("step {si} recovery"),
+                    &mut invariant_failures,
+                );
             }
         }
     }
@@ -306,7 +368,7 @@ pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
         return Err("post-spill settle did not converge".into());
     }
     check_quiescent(&server, "final settle", &mut invariant_failures);
-    drain_handles(&mut sets);
+    drain_handles(&handles, &mut sets);
 
     let mut admitted = BTreeMap::new();
     let mut shed = BTreeMap::new();
@@ -340,6 +402,9 @@ pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
         })
         .collect();
     server.shutdown();
+    if let Some(dir) = &archive_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
 
     let rendered = render_outputs(&outputs);
     Ok(EpisodeRun {

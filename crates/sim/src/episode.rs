@@ -35,7 +35,7 @@
 //! `Display`; strings are restricted to non-whitespace tokens (the
 //! generator only emits such).
 
-use tcq_common::{ShedPolicy, Value};
+use tcq_common::{Durability, ShedPolicy, Value};
 
 /// Rows an attached flaky source will deliver: `(ticks, fields)` in
 /// nondecreasing tick order.
@@ -77,6 +77,14 @@ pub enum Step {
     /// all query handles. Every settle is a quiesce point at which the
     /// driver asserts the Fjord conservation invariant.
     Settle,
+    /// Crash the whole server (drop it without shutdown, exactly as a
+    /// process kill leaves the disk) and reboot it from the same
+    /// archive directory: re-register streams, re-submit queries, then
+    /// replay the WAL via `Server::recover`. Requires the episode's
+    /// `durability` to be on; any result sets collected before the
+    /// crash are discarded (the recovered incarnation regenerates the
+    /// entire result stream).
+    Crash,
 }
 
 /// A complete replayable episode.
@@ -102,6 +110,17 @@ pub struct Episode {
     /// run stays a pure function of the episode and the oracle diff is
     /// unchanged.
     pub partitions: usize,
+    /// Durability mode (`Config::durability`). `Off` — the default, and
+    /// what episodes without a `durability` line parse to — runs without
+    /// a WAL; `Buffered`/`Fsync` log every admit and make `step crash`
+    /// legal. Like partitioning, durability must be invisible to the
+    /// oracle diff when no crash fires.
+    pub durability: Durability,
+    /// Columnar execution override (`Config::columnar`). `None` — the
+    /// default, and what episodes without a `columnar` line parse to —
+    /// inherits the engine default; `Some(_)` pins it, letting corpus
+    /// files and the recovery sweep exercise both paths explicitly.
+    pub columnar: Option<bool>,
     /// CQ-SQL queries, submitted in order before the schedule runs.
     pub queries: Vec<String>,
     /// The schedule.
@@ -148,6 +167,12 @@ impl Episode {
         if self.partitions != 1 {
             let _ = writeln!(out, "partitions {}", self.partitions);
         }
+        if !self.durability.is_off() {
+            let _ = writeln!(out, "durability {}", self.durability.name());
+        }
+        if let Some(columnar) = self.columnar {
+            let _ = writeln!(out, "columnar {}", columnar as u8);
+        }
         for q in &self.queries {
             let _ = writeln!(out, "query {}", q.replace('\n', " "));
         }
@@ -185,6 +210,9 @@ impl Episode {
                 Step::Settle => {
                     let _ = writeln!(out, "step settle");
                 }
+                Step::Crash => {
+                    let _ = writeln!(out, "step crash");
+                }
             }
         }
         out
@@ -199,6 +227,8 @@ impl Episode {
             input_queue: 4096,
             flux_steps: 0,
             partitions: 1,
+            durability: Durability::Off,
+            columnar: None,
             queries: Vec::new(),
             steps: Vec::new(),
         };
@@ -277,6 +307,19 @@ impl Episode {
                         .filter(|&p| p >= 1)
                         .ok_or_else(|| err("bad partitions"))?;
                 }
+                "durability" => {
+                    ep.durability = it
+                        .next()
+                        .and_then(Durability::parse)
+                        .ok_or_else(|| err("bad durability"))?;
+                }
+                "columnar" => {
+                    ep.columnar = match it.next() {
+                        Some("0") => Some(false),
+                        Some("1") => Some(true),
+                        _ => return Err(err("bad columnar (0 or 1)")),
+                    };
+                }
                 "query" => {
                     let sql = line["query".len()..].trim().to_string();
                     if sql.is_empty() {
@@ -345,6 +388,7 @@ impl Episode {
                         ep.steps.push(Step::Wrapper { rounds });
                     }
                     Some("settle") => ep.steps.push(Step::Settle),
+                    Some("crash") => ep.steps.push(Step::Crash),
                     _ => return Err(err("unknown step")),
                 },
                 _ => return Err(err("unknown directive")),
@@ -409,8 +453,11 @@ mod tests {
             input_queue: 8,
             flux_steps: 20,
             partitions: 4,
+            durability: Durability::Buffered,
+            columnar: Some(false),
             queries: vec!["SELECT day FROM quotes WHERE price > 10.0".into()],
             steps: vec![
+                Step::Crash,
                 Step::Row {
                     stream: "quotes".into(),
                     ticks: 3,
@@ -476,6 +523,27 @@ mod tests {
         let ep = Episode::parse("seed 3\nflux 0").unwrap();
         assert_eq!(ep.partitions, 1);
         assert!(!ep.render().contains("partitions"));
+    }
+
+    #[test]
+    fn durability_defaults_off_and_stays_off_the_wire() {
+        let ep = Episode::parse("seed 3\nflux 0").unwrap();
+        assert!(ep.durability.is_off());
+        assert!(ep.columnar.is_none());
+        assert!(!ep.render().contains("durability"));
+        assert!(!ep.render().contains("columnar"));
+    }
+
+    #[test]
+    fn durability_and_crash_round_trip() {
+        let text = "seed 9\ndurability fsync\ncolumnar 1\nstep crash\n";
+        let ep = Episode::parse(text).unwrap();
+        assert_eq!(ep.durability, Durability::Fsync);
+        assert_eq!(ep.columnar, Some(true));
+        assert_eq!(ep.steps, vec![Step::Crash]);
+        assert_eq!(Episode::parse(&ep.render()).unwrap(), ep);
+        assert!(Episode::parse("durability always").is_err());
+        assert!(Episode::parse("columnar maybe").is_err());
     }
 
     #[test]

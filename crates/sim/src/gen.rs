@@ -26,7 +26,7 @@
 //!   the release rule terminates them.
 
 use tcq_common::rng::SplitMix64;
-use tcq_common::{ShedPolicy, Value};
+use tcq_common::{Durability, ShedPolicy, Value};
 
 use crate::episode::{Episode, SourceSpec, Step};
 
@@ -42,6 +42,12 @@ pub struct GenOptions {
     /// the Flux exchange — the outputs must be identical either way, so
     /// this knob widens coverage without touching the oracle.
     pub partitions: Option<usize>,
+    /// Enable whole-server crash chaos (`false` = never). When on, the
+    /// episode draws a `Buffered`/`Fsync` durability mode and sprinkles
+    /// `Step::Crash` into the schedule — the driver kills the server,
+    /// reboots it from disk, and replays the WAL; the recovered output
+    /// must still match the oracle byte for byte.
+    pub crashes: bool,
 }
 
 const SYMS: [&str; 4] = ["aapl", "ibm", "msft", "orcl"];
@@ -59,6 +65,17 @@ pub fn generate(seed: u64, index: u64, opts: &GenOptions) -> Episode {
         _ => ShedPolicy::Spill,
     });
     let faults = opts.faults.unwrap_or_else(|| rng.next_below(2) == 1);
+    let durability = if opts.crashes {
+        // Both durable modes; Fsync only differs by a sync_data call,
+        // but drawing it keeps that code path in the matrix.
+        if rng.next_below(3) == 0 {
+            Durability::Fsync
+        } else {
+            Durability::Buffered
+        }
+    } else {
+        Durability::Off
+    };
 
     let n_queries = 1 + rng.next_below(3) as usize;
     let mut queries = Vec::with_capacity(n_queries);
@@ -71,9 +88,14 @@ pub fn generate(seed: u64, index: u64, opts: &GenOptions) -> Episode {
     let mut sourced = [false, false];
     let mut panics_left = if faults { 1 + rng.next_below(2) } else { 0 };
     let mut sources_left = if faults { rng.next_below(2) } else { 0 };
+    let mut crashes_left = if opts.crashes {
+        1 + rng.next_below(2)
+    } else {
+        0
+    };
     let n_events = 20 + rng.next_below(41);
     for _ in 0..n_events {
-        match rng.next_below(10) {
+        match rng.next_below(11) {
             // Direct rows dominate the schedule.
             0..=4 => {
                 let s = rng.next_below(3).min(1) as usize; // quotes 2/3 of the time
@@ -136,6 +158,19 @@ pub fn generate(seed: u64, index: u64, opts: &GenOptions) -> Episode {
                     rounds: 4 + rng.next_below(12),
                 });
             }
+            10 if crashes_left > 0 => {
+                crashes_left -= 1;
+                steps.push(Step::Crash);
+                // The crash tears any attached source down with the
+                // server (undelivered rows are simply never admitted),
+                // so its stream reopens for direct rows — every future
+                // tick is past the whole source trace, because the
+                // cursor advanced through it at generation time. No
+                // second source attaches (one source per stream per
+                // episode keeps delivery timing reasoning simple).
+                sourced = [false, false];
+                sources_left = 0;
+            }
             _ => {}
         }
     }
@@ -148,6 +183,8 @@ pub fn generate(seed: u64, index: u64, opts: &GenOptions) -> Episode {
         input_queue: 8 + rng.next_below(57) as usize,
         flux_steps: if faults { rng.next_below(3) * 15 } else { 0 },
         partitions: opts.partitions.unwrap_or(1).max(1),
+        durability,
+        columnar: None,
         queries,
         steps,
     }
@@ -240,16 +277,35 @@ mod tests {
             policy: Some(ShedPolicy::Spill),
             faults: Some(false),
             partitions: None,
+            crashes: false,
         };
         for i in 0..20 {
             let ep = generate(11, i, &opts);
             assert_eq!(ep.policy, ShedPolicy::Spill);
             assert_eq!(ep.flux_steps, 0);
+            assert!(ep.durability.is_off());
             assert!(!ep
                 .steps
                 .iter()
-                .any(|s| matches!(s, Step::Panic { .. } | Step::Source(_))));
+                .any(|s| matches!(s, Step::Panic { .. } | Step::Source(_) | Step::Crash)));
         }
+    }
+
+    #[test]
+    fn crash_chaos_is_durable_and_opt_in() {
+        let opts = GenOptions {
+            crashes: true,
+            ..GenOptions::default()
+        };
+        let mut saw_crash = false;
+        for i in 0..20 {
+            let ep = generate(13, i, &opts);
+            // Crash chaos always runs durable, or the driver would
+            // reject the episode.
+            assert!(!ep.durability.is_off());
+            saw_crash |= ep.steps.contains(&Step::Crash);
+        }
+        assert!(saw_crash, "20 crash-enabled episodes produced no crash");
     }
 
     #[test]

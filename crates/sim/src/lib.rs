@@ -25,7 +25,8 @@
 //!   never special-cased in a test.
 //! * [`gen`] — seeded random episodes composing the chaos levers:
 //!   flaky sources, operator-panic injection, eddy lottery reseeding,
-//!   Flux kill/restart schedules, and every shed policy.
+//!   Flux kill/restart schedules, whole-server crash/recovery over the
+//!   WAL (`GenOptions::crashes`), and every shed policy.
 //! * [`shrink`] — greedy minimization of a failing episode to a small
 //!   replayable artifact for `tests/sim_corpus/`.
 //!

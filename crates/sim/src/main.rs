@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! tcq-sim --seed 42 --episodes 1000     # randomized episode sweep
-//! tcq-sim --smoke                       # fixed 240-episode CI matrix
+//! tcq-sim --smoke                       # fixed 344-episode CI matrix
 //!                                       #   (4 shed policies x fault/no-fault,
-//!                                       #    + a partitions=4 slice per policy)
+//!                                       #    + a partitions=4 slice per policy,
+//!                                       #    + a 104-episode durable crash/
+//!                                       #      recovery slice)
 //!                                       #   + replay of tests/sim_corpus/
 //! tcq-sim --replay tests/sim_corpus/spill-drain.episode
 //! ```
@@ -55,7 +57,7 @@ fn parse_args() -> Result<Args, String> {
                     "tcq-sim: deterministic simulation testing\n\n\
                      \t--seed <n>        root seed (default 1)\n\
                      \t--episodes <k>    random episodes to run (default 100)\n\
-                     \t--smoke           fixed 240-episode matrix + corpus replay\n\
+                     \t--smoke           fixed 344-episode matrix + corpus replay\n\
                      \t--replay <file>   replay one episode file (repeatable)\n\
                      \t--corpus <dir>    corpus directory (default tests/sim_corpus)"
                 );
@@ -117,6 +119,7 @@ fn main() -> ExitCode {
                     policy: Some(*policy),
                     faults: Some(faults),
                     partitions: None,
+                    crashes: false,
                 };
                 for i in 0..25u64 {
                     let index = (pi as u64) * 1000 + (faults as u64) * 100 + i;
@@ -134,11 +137,33 @@ fn main() -> ExitCode {
                 policy: Some(*policy),
                 faults: Some(true),
                 partitions: Some(4),
+                crashes: false,
             };
             for i in 0..10u64 {
                 let index = 10_000 + (pi as u64) * 1000 + i;
                 failed += run_one(args.seed, index, &opts, &args.corpus) as usize;
                 checked += 1;
+            }
+        }
+        // Crash slice: durable episodes with whole-server kill/reboot
+        // chaos, across every shed policy (faults on) and a partitioned
+        // column. Recovery must be invisible to the oracle diff: the
+        // rebooted server replays the WAL and regenerates the entire
+        // result stream byte-identically.
+        for (pi, policy) in policies.iter().enumerate() {
+            for partitions in [None, Some(4)] {
+                let opts = GenOptions {
+                    policy: Some(*policy),
+                    faults: Some(true),
+                    partitions,
+                    crashes: true,
+                };
+                for i in 0..13u64 {
+                    let index =
+                        20_000 + (pi as u64) * 1000 + partitions.unwrap_or(1) as u64 * 100 + i;
+                    failed += run_one(args.seed, index, &opts, &args.corpus) as usize;
+                    checked += 1;
+                }
             }
         }
         // Always replay the checked-in regression corpus.

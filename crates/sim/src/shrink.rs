@@ -60,6 +60,25 @@ pub fn shrink(ep: &Episode, budget: usize) -> Episode {
         }
     }
 
+    // 1c. If the failure survives without the crashes, recovery is
+    // exonerated; if it then survives with durability off too, the WAL
+    // is exonerated entirely. (Dropping durability while crash steps
+    // remain would be rejected by the driver, so try crashes first.)
+    if best.steps.contains(&Step::Crash) {
+        let mut cand = best.clone();
+        cand.steps.retain(|s| !matches!(s, Step::Crash));
+        if still_fails(&cand, &mut left) {
+            best = cand;
+        }
+    }
+    if !best.durability.is_off() && !best.steps.contains(&Step::Crash) {
+        let mut cand = best.clone();
+        cand.durability = tcq_common::Durability::Off;
+        if still_fails(&cand, &mut left) {
+            best = cand;
+        }
+    }
+
     // 2. Drop whole queries (fixing up panic-step indices).
     let mut qi = 0;
     while qi < best.queries.len() && best.queries.len() > 1 {
@@ -144,6 +163,8 @@ mod tests {
             input_queue: 8,
             flux_steps: 0,
             partitions: 1,
+            durability: tcq_common::Durability::Off,
+            columnar: None,
             queries: vec!["q0".into(), "q1".into(), "q2".into()],
             steps: vec![
                 Step::Panic { query: 0 },

@@ -23,10 +23,17 @@
 //!   [`bufferpool::Replacement::Clock`]), since "the buffer pool must be
 //!   tuned to both accept new bursty streaming data, as well as service
 //!   queries that access historical data".
+//! * [`wal`] — the durability layer: a segmented CRC-framed write-ahead
+//!   log of admitted batches and punctuations, with torn-tail
+//!   truncation and a compacting checkpointer; recovery replays the
+//!   newest checkpoint plus the log tail through the engine's normal
+//!   admit path (see DESIGN.md §14).
 
 pub mod archive;
 pub mod bufferpool;
 pub mod codec;
+pub mod wal;
 
 pub use archive::{ArchiveStats, Spooler, StreamArchive};
 pub use bufferpool::{BufferPool, PoolStats, Replacement};
+pub use wal::{read_log, WalRecord, WalScan, WalWriter, WalWriterStats};

@@ -1,0 +1,636 @@
+//! Segmented write-ahead log + checkpointer (the durability layer).
+//!
+//! The WAL records the engine's *logical* history: every admitted batch
+//! and every punctuation, per stream, in the exact total order the
+//! Wrapper ingress committed them. Because the engine is a
+//! deterministic function of that history (the property the simulation
+//! harness replays on), recovery does not need deep operator snapshots
+//! — it re-ingests the logged sequence through the normal admit path
+//! and every derived structure (archives, SteM state, window buffers,
+//! PSoup results) grows back identical.
+//!
+//! On-disk layout, all little-endian, under one directory:
+//!
+//! ```text
+//! wal/seg-00000001.wal      frame*          (appended, possibly torn)
+//! wal/ckpt-00000003.ckpt    frame*          (tmp-written, renamed)
+//!
+//! frame   := len:u32 crc:u32 payload        len = payload length,
+//!                                           crc = crc32(payload)
+//! payload := kind:u8 body
+//!   1 STREAM  gid:u32 name_len:u32 utf8     stream declaration
+//!   2 BATCH   gid:u32 count:u32 tuple*      admitted batch (codec tuples)
+//!   3 PUNCT   gid:u32 ticks:i64             punctuation
+//! ```
+//!
+//! **Torn tails.** Only the last segment can be torn (rotation and
+//! checkpointing happen strictly after a commit returns). A reader
+//! stops at the first frame whose header is short, whose length is
+//! implausible, or whose CRC disagrees — everything before that point
+//! is the longest valid prefix and is exactly what recovery replays.
+//! [`WalWriter::open`] physically truncates the tear so new appends
+//! continue from a clean boundary.
+//!
+//! **Checkpoints are compaction.** A checkpoint written while segment
+//! `S` is current snapshots every stream's archive (as BATCH frames)
+//! plus the last punctuation per stream; the writer then rotates to
+//! `S+1` and deletes segments `<= S` and older checkpoints. Recovery
+//! reads the newest *valid* checkpoint `K` then segments `> K`; an
+//! unreadable checkpoint falls back to the next older one (or the full
+//! segment chain), so a crash during checkpointing loses nothing.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use tcq_common::{Result, TcqError, Tuple};
+
+use crate::codec::{crc32, encode_tuple, Decoder};
+
+/// Upper bound on one frame's payload (plausibility check while
+/// scanning: a length field beyond this is treated as a torn tail, not
+/// an allocation request).
+pub const MAX_FRAME: u32 = 1 << 26;
+
+/// One logical WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A stream existed under this (gid, name) when the record was
+    /// logged. Recovery maps logged gids onto the freshly registered
+    /// streams *by name*, so registration order may differ across
+    /// incarnations without corrupting the replay.
+    StreamDecl { gid: u32, name: String },
+    /// One admitted batch, in admission order.
+    Batch { gid: u32, tuples: Vec<Tuple> },
+    /// A punctuation: no tuple of `gid` at or before `ticks` remains.
+    Punct { gid: u32, ticks: i64 },
+}
+
+const KIND_STREAM: u8 = 1;
+const KIND_BATCH: u8 = 2;
+const KIND_PUNCT: u8 = 3;
+
+/// Frame one payload in place: reserve the `len | crc` header, let
+/// `write_payload` append the body directly to `out`, then backfill the
+/// header — no intermediate buffer, which matters on the admit path
+/// where every batch passes through here.
+fn frame_into(out: &mut Vec<u8>, write_payload: impl FnOnce(&mut Vec<u8>)) {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 8]);
+    write_payload(out);
+    let len = (out.len() - start - 8) as u32;
+    let crc = crc32(&out[start + 8..]);
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Append one CRC-framed batch record built from *borrowed* tuples —
+/// the zero-copy twin of `encode_record(WalRecord::Batch { .. })`, so
+/// the engine can log an admitted batch without cloning it first.
+pub fn encode_batch_record(gid: u32, tuples: &[Tuple], out: &mut Vec<u8>) {
+    frame_into(out, |payload| {
+        payload.push(KIND_BATCH);
+        payload.extend_from_slice(&gid.to_le_bytes());
+        payload.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
+        for t in tuples {
+            encode_tuple(t, payload);
+        }
+    });
+}
+
+/// Append one CRC-framed record to `out`.
+pub fn encode_record(rec: &WalRecord, out: &mut Vec<u8>) {
+    match rec {
+        WalRecord::StreamDecl { gid, name } => frame_into(out, |payload| {
+            payload.push(KIND_STREAM);
+            payload.extend_from_slice(&gid.to_le_bytes());
+            payload.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            payload.extend_from_slice(name.as_bytes());
+        }),
+        WalRecord::Batch { gid, tuples } => encode_batch_record(*gid, tuples, out),
+        WalRecord::Punct { gid, ticks } => frame_into(out, |payload| {
+            payload.push(KIND_PUNCT);
+            payload.extend_from_slice(&gid.to_le_bytes());
+            payload.extend_from_slice(&ticks.to_le_bytes());
+        }),
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Result<WalRecord> {
+    let mut d = Decoder::new(payload);
+    let rec = match d.u8()? {
+        KIND_STREAM => {
+            let gid = d.u32()?;
+            let len = d.u32()? as usize;
+            let name = std::str::from_utf8(d.take(len)?)
+                .map_err(|_| TcqError::StorageError("invalid utf8 in stream name".into()))?
+                .to_string();
+            WalRecord::StreamDecl { gid, name }
+        }
+        KIND_BATCH => {
+            let gid = d.u32()?;
+            let n = d.u32()? as usize;
+            let mut tuples = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                tuples.push(d.tuple()?);
+            }
+            WalRecord::Batch { gid, tuples }
+        }
+        KIND_PUNCT => WalRecord::Punct {
+            gid: d.u32()?,
+            ticks: d.i64()?,
+        },
+        kind => {
+            return Err(TcqError::StorageError(format!(
+                "unknown wal record kind {kind}"
+            )))
+        }
+    };
+    if !d.is_exhausted() {
+        return Err(TcqError::StorageError(
+            "trailing bytes in wal record".into(),
+        ));
+    }
+    Ok(rec)
+}
+
+/// Scan `buf` frame by frame, returning every record of the longest
+/// valid prefix and that prefix's byte length. Never errs: a torn,
+/// truncated, or bit-flipped frame simply ends the prefix — bytes
+/// beyond `valid_len` are the tail recovery truncates.
+pub fn read_frames(buf: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while buf.len() - pos >= 8 {
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_FRAME || (len as usize) > buf.len() - pos - 8 {
+            break;
+        }
+        let payload = &buf[pos + 8..pos + 8 + len as usize];
+        if crc32(payload) != crc {
+            break;
+        }
+        match decode_payload(payload) {
+            Ok(rec) => records.push(rec),
+            Err(_) => break,
+        }
+        pos += 8 + len as usize;
+    }
+    (records, pos)
+}
+
+fn seg_path(dir: &Path, n: u64) -> PathBuf {
+    dir.join(format!("seg-{n:08}.wal"))
+}
+
+fn ckpt_path(dir: &Path, n: u64) -> PathBuf {
+    dir.join(format!("ckpt-{n:08}.ckpt"))
+}
+
+/// Numbered WAL files under `dir`: `(segments, checkpoints)`, each
+/// sorted ascending by number.
+fn list_dir(dir: &Path) -> (Vec<u64>, Vec<u64>) {
+    let mut segs = Vec::new();
+    let mut ckpts = Vec::new();
+    let Ok(rd) = fs::read_dir(dir) else {
+        return (segs, ckpts);
+    };
+    for entry in rd.filter_map(|e| e.ok()) {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(n) = name
+            .strip_prefix("seg-")
+            .and_then(|r| r.strip_suffix(".wal"))
+            .and_then(|r| r.parse().ok())
+        {
+            segs.push(n);
+        } else if let Some(n) = name
+            .strip_prefix("ckpt-")
+            .and_then(|r| r.strip_suffix(".ckpt"))
+            .and_then(|r| r.parse().ok())
+        {
+            ckpts.push(n);
+        }
+    }
+    segs.sort_unstable();
+    ckpts.sort_unstable();
+    (segs, ckpts)
+}
+
+/// Whether `dir` holds any WAL state worth recovering from.
+pub fn has_log(dir: &Path) -> bool {
+    let (segs, ckpts) = list_dir(dir);
+    !segs.is_empty() || !ckpts.is_empty()
+}
+
+/// Byte counters the writer maintains (mirrored onto `tcq$wal`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalWriterStats {
+    /// Payload + framing bytes handed to the OS.
+    pub appended_bytes: u64,
+    /// Bytes covered by an explicit fsync (equals `appended_bytes` in
+    /// `Fsync` mode, 0 in `Buffered`).
+    pub synced_bytes: u64,
+    /// Torn-tail bytes truncated when the log was opened.
+    pub truncated_bytes: u64,
+    /// Records appended.
+    pub records: u64,
+    /// Commit (write) calls.
+    pub commits: u64,
+    /// fsync calls.
+    pub syncs: u64,
+}
+
+/// The appender: one open segment file, frames buffered per commit.
+///
+/// `append` only encodes into an in-memory buffer; `commit` hands the
+/// whole buffer to the OS in one write (and one `sync_data` when
+/// `fsync` is on) — that is the atomicity unit the engine relies on:
+/// a batch and its bookkeeping either both survive or neither does.
+pub struct WalWriter {
+    dir: PathBuf,
+    fsync: bool,
+    segment_bytes: u64,
+    seg_no: u64,
+    file: File,
+    seg_len: u64,
+    buf: Vec<u8>,
+    stats: WalWriterStats,
+}
+
+impl WalWriter {
+    /// Open (or create) the log in `dir`, truncating any torn tail of
+    /// the last segment so appends continue from a clean frame
+    /// boundary. `fsync` selects the `Durability::Fsync` behaviour;
+    /// segments rotate once they exceed `segment_bytes`.
+    pub fn open(dir: &Path, fsync: bool, segment_bytes: u64) -> Result<WalWriter> {
+        fs::create_dir_all(dir).map_err(|e| TcqError::StorageError(e.to_string()))?;
+        let (segs, ckpts) = list_dir(dir);
+        let mut stats = WalWriterStats::default();
+        let (seg_no, seg_len) = match segs.last().copied() {
+            Some(last) => {
+                let path = seg_path(dir, last);
+                let bytes = fs::read(&path).map_err(|e| TcqError::StorageError(e.to_string()))?;
+                let (_, valid) = read_frames(&bytes);
+                if valid < bytes.len() {
+                    stats.truncated_bytes = (bytes.len() - valid) as u64;
+                    let f = OpenOptions::new()
+                        .write(true)
+                        .open(&path)
+                        .map_err(|e| TcqError::StorageError(e.to_string()))?;
+                    f.set_len(valid as u64)
+                        .map_err(|e| TcqError::StorageError(e.to_string()))?;
+                }
+                if valid as u64 >= segment_bytes {
+                    (last + 1, 0)
+                } else {
+                    (last, valid as u64)
+                }
+            }
+            // All segments pruned (or a fresh log): continue after the
+            // newest checkpoint so file numbers stay totally ordered.
+            None => (ckpts.last().map_or(1, |k| k + 1), 0),
+        };
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(seg_path(dir, seg_no))
+            .map_err(|e| TcqError::StorageError(e.to_string()))?;
+        Ok(WalWriter {
+            dir: dir.to_path_buf(),
+            fsync,
+            segment_bytes,
+            seg_no,
+            file,
+            seg_len,
+            buf: Vec::new(),
+            stats,
+        })
+    }
+
+    /// Stage one record for the next [`WalWriter::commit`].
+    pub fn append(&mut self, rec: &WalRecord) {
+        encode_record(rec, &mut self.buf);
+        self.stats.records += 1;
+    }
+
+    /// Stage one batch record from borrowed tuples — the admit-path
+    /// fast lane: no `WalRecord` allocation, no tuple clones.
+    pub fn append_batch(&mut self, gid: u32, tuples: &[Tuple]) {
+        encode_batch_record(gid, tuples, &mut self.buf);
+        self.stats.records += 1;
+    }
+
+    /// Flush everything staged since the last commit to the current
+    /// segment (one write, plus one `sync_data` in fsync mode),
+    /// rotating afterwards if the segment is full. Returns the bytes
+    /// written.
+    pub fn commit(&mut self) -> Result<u64> {
+        if self.buf.is_empty() {
+            return Ok(0);
+        }
+        let n = self.buf.len() as u64;
+        self.file
+            .write_all(&self.buf)
+            .map_err(|e| TcqError::StorageError(e.to_string()))?;
+        self.buf.clear();
+        self.seg_len += n;
+        self.stats.appended_bytes += n;
+        self.stats.commits += 1;
+        if self.fsync {
+            self.file
+                .sync_data()
+                .map_err(|e| TcqError::StorageError(e.to_string()))?;
+            self.stats.synced_bytes += n;
+            self.stats.syncs += 1;
+        }
+        if self.seg_len >= self.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(n)
+    }
+
+    /// Close the current segment and start the next one.
+    pub fn rotate(&mut self) -> Result<u64> {
+        if self.fsync {
+            let _ = self.file.sync_data();
+        }
+        self.seg_no += 1;
+        self.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(seg_path(&self.dir, self.seg_no))
+            .map_err(|e| TcqError::StorageError(e.to_string()))?;
+        self.seg_len = 0;
+        Ok(self.seg_no)
+    }
+
+    /// The current segment's number.
+    pub fn seg_no(&self) -> u64 {
+        self.seg_no
+    }
+
+    /// Writer-side byte counters.
+    pub fn stats(&self) -> WalWriterStats {
+        self.stats
+    }
+
+    /// Write checkpoint `seq` (covering segments `<= seq`) atomically
+    /// (tmp + fsync + rename), rotate past it, and prune the segments
+    /// and older checkpoints it supersedes. Returns the checkpoint's
+    /// size in bytes. Call with `seq == self.seg_no()`.
+    pub fn checkpoint(&mut self, seq: u64, records: &[WalRecord]) -> Result<u64> {
+        let mut buf = Vec::new();
+        for rec in records {
+            encode_record(rec, &mut buf);
+        }
+        let bytes = buf.len() as u64;
+        let tmp = self.dir.join(format!("ckpt-{seq:08}.tmp"));
+        let final_path = ckpt_path(&self.dir, seq);
+        let io = |e: std::io::Error| TcqError::StorageError(e.to_string());
+        {
+            let mut f = File::create(&tmp).map_err(io)?;
+            f.write_all(&buf).map_err(io)?;
+            f.sync_all().map_err(io)?;
+        }
+        fs::rename(&tmp, &final_path).map_err(io)?;
+        if self.seg_no <= seq {
+            self.seg_no = seq;
+            self.rotate()?;
+        }
+        let (segs, ckpts) = list_dir(&self.dir);
+        for s in segs.into_iter().filter(|&s| s <= seq) {
+            let _ = fs::remove_file(seg_path(&self.dir, s));
+        }
+        for c in ckpts.into_iter().filter(|&c| c < seq) {
+            let _ = fs::remove_file(ckpt_path(&self.dir, c));
+        }
+        Ok(bytes)
+    }
+}
+
+/// What [`read_log`] recovered.
+#[derive(Debug, Clone, Default)]
+pub struct WalScan {
+    /// The replayable history: checkpoint records first, then the WAL
+    /// tail in commit order.
+    pub records: Vec<WalRecord>,
+    /// Valid bytes read across checkpoint + segments.
+    pub bytes: u64,
+    /// Torn bytes ignored past the last valid frame.
+    pub truncated: u64,
+    /// Tail segments read (not counting the checkpoint).
+    pub segments: usize,
+    /// The checkpoint the scan started from, if any.
+    pub checkpoint: Option<u64>,
+}
+
+/// Read the recoverable history from `dir`: the newest checkpoint whose
+/// frames all verify, then every later segment up to the first torn
+/// frame. Returns an empty scan for a missing or empty directory.
+pub fn read_log(dir: &Path) -> Result<WalScan> {
+    let (segs, ckpts) = list_dir(dir);
+    let mut scan = WalScan::default();
+    // Newest fully valid checkpoint wins; an unreadable one (crash while
+    // checkpointing would have left only a .tmp, but be defensive about
+    // bit rot too) falls back to the next older.
+    for &k in ckpts.iter().rev() {
+        let Ok(bytes) = fs::read(ckpt_path(dir, k)) else {
+            continue;
+        };
+        let (records, valid) = read_frames(&bytes);
+        if valid == bytes.len() {
+            scan.records = records;
+            scan.bytes = valid as u64;
+            scan.checkpoint = Some(k);
+            break;
+        }
+    }
+    let floor = scan.checkpoint.unwrap_or(0);
+    for &s in segs.iter().filter(|&&s| s > floor) {
+        let bytes =
+            fs::read(seg_path(dir, s)).map_err(|e| TcqError::StorageError(e.to_string()))?;
+        let (records, valid) = read_frames(&bytes);
+        scan.records.extend(records);
+        scan.bytes += valid as u64;
+        scan.segments += 1;
+        if valid < bytes.len() {
+            // A tear ends the recoverable history: anything in a later
+            // segment would be out of order relative to the lost tail.
+            scan.truncated = (bytes.len() - valid) as u64;
+            break;
+        }
+    }
+    Ok(scan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::Value;
+
+    fn tdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tcq-wal-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn batch(gid: u32, n: usize) -> WalRecord {
+        WalRecord::Batch {
+            gid,
+            tuples: (0..n)
+                .map(|i| Tuple::at_seq(vec![Value::Int(i as i64), Value::str("x")], i as i64))
+                .collect(),
+        }
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::StreamDecl {
+                gid: 0,
+                name: "quotes".into(),
+            },
+            batch(0, 3),
+            WalRecord::Punct { gid: 0, ticks: 7 },
+            batch(0, 1),
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        for r in &recs {
+            encode_record(r, &mut buf);
+        }
+        let (back, valid) = read_frames(&buf);
+        assert_eq!(back, recs);
+        assert_eq!(valid, buf.len());
+    }
+
+    #[test]
+    fn torn_tail_yields_longest_valid_prefix() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        let mut ends = Vec::new();
+        for r in &recs {
+            encode_record(r, &mut buf);
+            ends.push(buf.len());
+        }
+        // Cut at every byte: the prefix recovered is exactly the frames
+        // that end at or before the cut.
+        for cut in 0..buf.len() {
+            let (back, valid) = read_frames(&buf[..cut]);
+            let want = ends.iter().filter(|&&e| e <= cut).count();
+            assert_eq!(back.len(), want, "cut at {cut}");
+            assert_eq!(valid, if want == 0 { 0 } else { ends[want - 1] });
+            assert_eq!(back[..], recs[..want]);
+        }
+    }
+
+    #[test]
+    fn bit_flip_ends_the_prefix() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        for r in &recs {
+            encode_record(r, &mut buf);
+        }
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x10;
+        let (back, valid) = read_frames(&buf);
+        assert!(back.len() < recs.len());
+        assert!(valid <= mid);
+        assert_eq!(back[..], recs[..back.len()]);
+    }
+
+    #[test]
+    fn writer_reader_round_trip_with_rotation() {
+        let dir = tdir("rotate");
+        let recs = sample_records();
+        {
+            // Tiny segments: every commit rotates.
+            let mut w = WalWriter::open(&dir, false, 16).unwrap();
+            for r in &recs {
+                w.append(r);
+                w.commit().unwrap();
+            }
+            assert!(w.seg_no() > 1, "rotation happened");
+        }
+        let scan = read_log(&dir).unwrap();
+        assert_eq!(scan.records, recs);
+        assert_eq!(scan.truncated, 0);
+        assert!(scan.segments > 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_and_appends() {
+        let dir = tdir("torn");
+        {
+            let mut w = WalWriter::open(&dir, true, 1 << 20).unwrap();
+            for r in sample_records() {
+                w.append(&r);
+            }
+            w.commit().unwrap();
+        }
+        // Tear the tail: append garbage that looks like a frame header.
+        let seg = seg_path(&dir, 1);
+        let mut bytes = fs::read(&seg).unwrap();
+        let whole = bytes.len();
+        bytes.extend_from_slice(&[9, 0, 0, 0, 1, 2, 3, 4, 5]);
+        fs::write(&seg, &bytes).unwrap();
+        {
+            let mut w = WalWriter::open(&dir, false, 1 << 20).unwrap();
+            assert_eq!(w.stats().truncated_bytes, 9);
+            w.append(&WalRecord::Punct { gid: 0, ticks: 99 });
+            w.commit().unwrap();
+        }
+        assert_eq!(fs::read(&seg).unwrap().len(), whole + 8 + 13);
+        let scan = read_log(&dir).unwrap();
+        let mut want = sample_records();
+        want.push(WalRecord::Punct { gid: 0, ticks: 99 });
+        assert_eq!(scan.records, want);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_recovery_prefers_it() {
+        let dir = tdir("ckpt");
+        let mut w = WalWriter::open(&dir, false, 1 << 20).unwrap();
+        w.append(&batch(0, 5));
+        w.commit().unwrap();
+        // Snapshot replaces the logged history...
+        let snap = vec![
+            WalRecord::StreamDecl {
+                gid: 0,
+                name: "quotes".into(),
+            },
+            batch(0, 5),
+        ];
+        let seq = w.seg_no();
+        w.checkpoint(seq, &snap).unwrap();
+        // ...and the tail continues after it.
+        w.append(&WalRecord::Punct { gid: 0, ticks: 4 });
+        w.commit().unwrap();
+        let scan = read_log(&dir).unwrap();
+        assert_eq!(scan.checkpoint, Some(seq));
+        let mut want = snap;
+        want.push(WalRecord::Punct { gid: 0, ticks: 4 });
+        assert_eq!(scan.records, want);
+        // The superseded segment is gone.
+        let (segs, ckpts) = list_dir(&dir);
+        assert_eq!(ckpts, vec![seq]);
+        assert!(segs.iter().all(|&s| s > seq));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_or_missing_dir_recovers_to_nothing() {
+        let dir = tdir("empty");
+        assert!(!has_log(&dir));
+        let scan = read_log(&dir).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.checkpoint, None);
+    }
+}

@@ -1,0 +1,168 @@
+//! Crash-recovery sweep: kill and restart the server at every round of
+//! a small fixed episode, under every (partitions × columnar) corner.
+//!
+//! Each probe inserts a `Step::Crash` at one schedule position and runs
+//! the full `check_episode` loop: the episode executes twice
+//! (byte-identical replay), the driver asserts Fjord conservation at
+//! every quiesce point — including the post-recovery settle — and the
+//! first run is diffed against the reference oracle. Crash placement is
+//! therefore exhaustive over the schedule: before the first row, mid
+//! window, between punctuation and settle, and after the final settle.
+//! A double-crash probe checks that recovery composes (crash, recover,
+//! crash again, recover again — still byte-identical to the oracle).
+
+use sim::{check_episode, Episode, Step};
+use tcq_common::{Durability, ShedPolicy, Value};
+
+fn row(stream: &str, tick: i64, fields: Vec<Value>) -> Step {
+    Step::Row {
+        stream: stream.to_string(),
+        ticks: tick,
+        fields,
+    }
+}
+
+fn quote(tick: i64, sym: &str, price: f64) -> Step {
+    row(
+        "quotes",
+        tick,
+        vec![Value::Int(tick), Value::str(sym), Value::Float(price)],
+    )
+}
+
+fn sensor(tick: i64, sid: i64, reading: f64) -> Step {
+    row(
+        "sensors",
+        tick,
+        vec![Value::Int(tick), Value::Int(sid), Value::Float(reading)],
+    )
+}
+
+fn punct(stream: &str, tick: i64) -> Step {
+    Step::Punctuate {
+        stream: stream.to_string(),
+        ticks: tick,
+    }
+}
+
+/// A small episode touching all three execution classes (shared grouped
+/// filter, windowed aggregate, cross-stream join) with mid-schedule
+/// punctuations so some windows release before any crash point.
+fn base_episode(partitions: usize, columnar: bool, durability: Durability) -> Episode {
+    Episode {
+        seed: 0xD15C,
+        policy: ShedPolicy::Block,
+        batch_size: 2,
+        input_queue: 16,
+        flux_steps: 0,
+        partitions,
+        durability,
+        columnar: Some(columnar),
+        queries: vec![
+            "SELECT sym, COUNT(*), SUM(price) FROM quotes GROUP BY sym \
+             for (t = 1; t <= 8; t++) { WindowIs(quotes, t - 3, t); }"
+                .into(),
+            "SELECT day, sym, price FROM quotes WHERE price > 3.0".into(),
+            "SELECT q.sym, s.sid FROM quotes q, sensors s WHERE q.day = s.at".into(),
+        ],
+        steps: vec![
+            quote(1, "aapl", 4.5),
+            sensor(1, 2, 0.5),
+            quote(2, "ibm", 6.0),
+            quote(3, "aapl", 2.5),
+            punct("quotes", 3),
+            Step::Settle,
+            sensor(3, 1, 1.5),
+            quote(4, "msft", 9.0),
+            quote(5, "ibm", 1.5),
+            Step::Wrapper { rounds: 2 },
+            punct("quotes", 5),
+            quote(6, "orcl", 3.5),
+            punct("sensors", 6),
+            Step::Settle,
+        ],
+    }
+}
+
+fn assert_clean(ep: &Episode, what: &str) {
+    let failures = check_episode(ep);
+    assert!(
+        failures.is_empty(),
+        "{what} failed:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Crash at every schedule position, across the engine matrix.
+#[test]
+fn crash_at_every_round_recovers_to_oracle() {
+    for partitions in [1usize, 4] {
+        for columnar in [false, true] {
+            let base = base_episode(partitions, columnar, Durability::Buffered);
+            for at in 0..=base.steps.len() {
+                let mut ep = base.clone();
+                ep.steps.insert(at, Step::Crash);
+                assert_clean(
+                    &ep,
+                    &format!("crash at step {at} (partitions={partitions}, columnar={columnar})"),
+                );
+            }
+        }
+    }
+}
+
+/// Two crashes in one episode: recovery must compose with itself.
+#[test]
+fn double_crash_recovers_to_oracle() {
+    for partitions in [1usize, 4] {
+        let base = base_episode(partitions, true, Durability::Buffered);
+        for (a, b) in [(2usize, 8usize), (5, 11), (0, 14)] {
+            let mut ep = base.clone();
+            // Insert the later position first so `a` stays valid.
+            ep.steps.insert(b, Step::Crash);
+            ep.steps.insert(a, Step::Crash);
+            assert_clean(
+                &ep,
+                &format!("double crash at steps {a},{b} (partitions={partitions})"),
+            );
+        }
+    }
+}
+
+/// Fsync mode is the same replay path plus a sync per commit; one sweep
+/// column keeps it honest without doubling the matrix.
+#[test]
+fn fsync_crash_sweep_recovers_to_oracle() {
+    let base = base_episode(1, true, Durability::Fsync);
+    for at in [0, 4, 7, base.steps.len()] {
+        let mut ep = base.clone();
+        ep.steps.insert(at, Step::Crash);
+        assert_clean(&ep, &format!("fsync crash at step {at}"));
+    }
+}
+
+/// Durability without any crash must be invisible: the logged run's
+/// output is byte-identical to the oracle exactly like an unlogged one
+/// (and the episode file round-trips its durability line).
+#[test]
+fn durable_episode_without_crash_is_invisible() {
+    for durability in [Durability::Off, Durability::Buffered, Durability::Fsync] {
+        let ep = base_episode(1, true, durability);
+        assert_clean(&ep, &format!("no-crash run under {}", durability.name()));
+        let round_trip = Episode::parse(&ep.render()).unwrap();
+        assert_eq!(round_trip, ep);
+    }
+}
+
+/// A crash step in a non-durable episode is a driver error, reported as
+/// a harness failure rather than a panic or a silent skip.
+#[test]
+fn crash_without_durability_is_rejected() {
+    let mut ep = base_episode(1, true, Durability::Off);
+    ep.steps.insert(3, Step::Crash);
+    let failures = check_episode(&ep);
+    assert!(
+        failures.iter().any(|f| f.contains("durability is off")),
+        "expected a durability rejection, got: {failures:?}"
+    );
+}
