@@ -423,7 +423,9 @@ struct WalShared {
     state: Mutex<WalState>,
     /// True while `Server::recover` replays history through the admit
     /// path; the logging hooks skip re-logging replayed records (they
-    /// are already on disk).
+    /// are already on disk). The flag is server-global, so live
+    /// ingestion must not overlap the replay — `attach_source` rejects
+    /// attaches while a scan is pending to enforce the ordering.
     replaying: AtomicBool,
     /// The scan loaded at start from a pre-existing log, pending a
     /// `Server::recover` call.
@@ -954,8 +956,11 @@ impl Server {
     /// newest checkpoint plus the WAL tail, in commit order, through
     /// the normal admit path. Call after re-registering every stream
     /// and re-submitting standing queries on a server started over the
-    /// same `archive_dir` — the engine's determinism then rebuilds
-    /// archives, operator state, and the full result stream. Torn log
+    /// same `archive_dir`, and before attaching any source —
+    /// [`Server::attach_source`] rejects attaches while a scan is
+    /// pending, so live ingestion cannot race the replay. The engine's
+    /// determinism then rebuilds archives, operator state, and the
+    /// full result stream. Torn log
     /// tails (a crash mid-write) are truncated to the longest valid
     /// record prefix; the lost suffix never committed, so the recovered
     /// state is exactly the last consistent prefix of history.
@@ -1053,7 +1058,21 @@ impl Server {
     }
 
     /// Attach an ingress source to a stream; the Wrapper thread polls it.
+    ///
+    /// Errors while a durable log is pending recovery: a source
+    /// attached before [`Server::recover`] would ingest concurrently
+    /// with the replay (which suppresses WAL logging engine-wide), so
+    /// its batches would interleave nondeterministically and miss the
+    /// log. Call `recover()` first.
     pub fn attach_source(&self, stream: &str, source: Box<dyn Source>) -> Result<()> {
+        if let Some(wal) = &self.inner.wal {
+            if wal.pending.lock().unwrap().is_some() {
+                return Err(TcqError::ExecError(
+                    "attach_source: a durable log is pending recovery; call Server::recover() first"
+                        .into(),
+                ));
+            }
+        }
         let gid = self.stream_id(stream)?;
         let guard = self.inner.wrapper_tx.lock().unwrap();
         let tx = guard.as_ref().ok_or(TcqError::Closed("wrapper"))?;
@@ -2750,6 +2769,32 @@ mod tests {
         let dir = temp_dir("off");
         let s = durable_server(&dir, Durability::Off);
         assert!(s.recover().is_err());
+        s.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attach_source_rejected_until_pending_log_recovered() {
+        use tcq_wrappers::StockTicker;
+        let dir = temp_dir("attach-order");
+        {
+            let s = durable_server(&dir, Durability::Buffered);
+            quote(&s, 1, "MSFT", 50.0);
+            s.sync();
+            s.shutdown();
+        }
+        // Reboot over the same dir: a scan is pending, so a source
+        // attached now would race the replay and skip the WAL.
+        let s = durable_server(&dir, Durability::Buffered);
+        let src = || Box::new(StockTicker::with_symbols(7, vec!["MSFT"], Some(1)));
+        let err = s.attach_source("ClosingStockPrices", src()).unwrap_err();
+        assert!(
+            err.to_string().contains("pending recovery"),
+            "unexpected error: {err}"
+        );
+        s.recover().unwrap();
+        s.attach_source("ClosingStockPrices", src()).unwrap();
+        assert!(s.drain_sources(std::time::Duration::from_secs(10)));
         s.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

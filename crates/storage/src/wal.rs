@@ -33,11 +33,24 @@
 //!
 //! **Checkpoints are compaction.** A checkpoint written while segment
 //! `S` is current snapshots every stream's archive (as BATCH frames)
-//! plus the last punctuation per stream; the writer then rotates to
-//! `S+1` and deletes segments `<= S` and older checkpoints. Recovery
-//! reads the newest *valid* checkpoint `K` then segments `> K`; an
-//! unreadable checkpoint falls back to the next older one (or the full
-//! segment chain), so a crash during checkpointing loses nothing.
+//! plus the last punctuation per stream. It is written tmp + fsync +
+//! rename (with the rename made durable by a directory fsync) and then
+//! *verified readable* before anything it supersedes is pruned; only
+//! then does the writer rotate to `S+1`, delete segments `<= S`, and
+//! delete checkpoints older than the immediate predecessor. A crash at
+//! any point of that protocol loses nothing: an unrenamed checkpoint is
+//! just a `.tmp`, and [`WalWriter::open`] clamps the resume segment
+//! past the newest checkpoint, so a crash between rename and rotate
+//! can never strand post-reboot appends in a superseded segment.
+//!
+//! Recovery reads the newest checkpoint whose frames all verify, then
+//! the *contiguous* run of segments after it — a gap in segment
+//! numbers ends the readable history, because whatever followed the
+//! gap is out of order relative to the pruned middle. The retained
+//! predecessor checkpoint is a last-resort fallback for bit rot in the
+//! newest one: its own tail segments were compacted away, so falling
+//! back recovers an older — but still consistent — prefix, not the
+//! full history.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
@@ -180,6 +193,14 @@ pub fn read_frames(buf: &[u8]) -> (Vec<WalRecord>, usize) {
     (records, pos)
 }
 
+/// Fsync `dir` itself so renames, creations, and unlinks inside it are
+/// durable — a file's own fsync does not cover its directory entry.
+fn sync_dir(dir: &Path) -> Result<()> {
+    File::open(dir)
+        .and_then(|f| f.sync_all())
+        .map_err(|e| TcqError::StorageError(e.to_string()))
+}
+
 fn seg_path(dir: &Path, n: u64) -> PathBuf {
     dir.join(format!("seg-{n:08}.wal"))
 }
@@ -268,7 +289,15 @@ impl WalWriter {
         fs::create_dir_all(dir).map_err(|e| TcqError::StorageError(e.to_string()))?;
         let (segs, ckpts) = list_dir(dir);
         let mut stats = WalWriterStats::default();
-        let (seg_no, seg_len) = match segs.last().copied() {
+        // A checkpoint at `K` supersedes every segment `<= K`, and
+        // recovery only reads segments `> K`. A crash between the
+        // checkpoint rename and the rotate that follows it leaves
+        // seg-K on disk next to ckpt-K; resuming appends into seg-K
+        // would put every post-reboot commit in a file the next
+        // recovery never reads. Clamp the resume point past the newest
+        // checkpoint and finish the interrupted prune instead.
+        let floor = ckpts.last().map_or(0, |k| k + 1);
+        let (seg_no, seg_len) = match segs.last().copied().filter(|&last| last >= floor) {
             Some(last) => {
                 let path = seg_path(dir, last);
                 let bytes = fs::read(&path).map_err(|e| TcqError::StorageError(e.to_string()))?;
@@ -288,15 +317,22 @@ impl WalWriter {
                     (last, valid as u64)
                 }
             }
-            // All segments pruned (or a fresh log): continue after the
-            // newest checkpoint so file numbers stay totally ordered.
-            None => (ckpts.last().map_or(1, |k| k + 1), 0),
+            // All live segments pruned (or a fresh log): continue after
+            // the newest checkpoint so file numbers stay totally
+            // ordered.
+            None => (floor.max(1), 0),
         };
+        for s in segs.into_iter().filter(|&s| s < floor) {
+            let _ = fs::remove_file(seg_path(dir, s));
+        }
         let file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(seg_path(dir, seg_no))
             .map_err(|e| TcqError::StorageError(e.to_string()))?;
+        // Make the segment's directory entry (and any prune above)
+        // durable before the first append lands in it.
+        sync_dir(dir)?;
         Ok(WalWriter {
             dir: dir.to_path_buf(),
             fsync,
@@ -362,6 +398,12 @@ impl WalWriter {
             .append(true)
             .open(seg_path(&self.dir, self.seg_no))
             .map_err(|e| TcqError::StorageError(e.to_string()))?;
+        if self.fsync {
+            // Power loss must not drop the new segment's directory
+            // entry while keeping later ones — that would read as a
+            // gap and end recovery early.
+            sync_dir(&self.dir)?;
+        }
         self.seg_len = 0;
         Ok(self.seg_no)
     }
@@ -377,9 +419,10 @@ impl WalWriter {
     }
 
     /// Write checkpoint `seq` (covering segments `<= seq`) atomically
-    /// (tmp + fsync + rename), rotate past it, and prune the segments
-    /// and older checkpoints it supersedes. Returns the checkpoint's
-    /// size in bytes. Call with `seq == self.seg_no()`.
+    /// (tmp + fsync + rename + directory fsync), verify it reads back,
+    /// rotate past it, and prune the segments and all but the
+    /// immediately preceding checkpoint it supersedes. Returns the
+    /// checkpoint's size in bytes. Call with `seq == self.seg_no()`.
     pub fn checkpoint(&mut self, seq: u64, records: &[WalRecord]) -> Result<u64> {
         let mut buf = Vec::new();
         for rec in records {
@@ -395,6 +438,22 @@ impl WalWriter {
             f.sync_all().map_err(io)?;
         }
         fs::rename(&tmp, &final_path).map_err(io)?;
+        // The rename must be durable before anything it supersedes is
+        // unlinked, or power loss could surface the unlinks without
+        // the checkpoint.
+        sync_dir(&self.dir)?;
+        // Verify the checkpoint reads back before pruning the history
+        // it replaces: a checkpoint that cannot be read must not cost
+        // the segments that could rebuild it.
+        let back = fs::read(&final_path).map_err(io)?;
+        let (_, valid) = read_frames(&back);
+        if valid != back.len() {
+            let _ = fs::remove_file(&final_path);
+            return Err(TcqError::StorageError(format!(
+                "checkpoint {seq} failed read-back verification ({valid} of {} bytes valid)",
+                back.len()
+            )));
+        }
         if self.seg_no <= seq {
             self.seg_no = seq;
             self.rotate()?;
@@ -403,7 +462,11 @@ impl WalWriter {
         for s in segs.into_iter().filter(|&s| s <= seq) {
             let _ = fs::remove_file(seg_path(&self.dir, s));
         }
-        for c in ckpts.into_iter().filter(|&c| c < seq) {
+        // Keep the newest older checkpoint as a bit-rot fallback (its
+        // tail segments are gone, so it recovers an older but still
+        // consistent prefix); prune everything before it.
+        let prev = ckpts.iter().rev().find(|&&c| c < seq).copied();
+        for c in ckpts.into_iter().filter(|&c| c < seq && Some(c) != prev) {
             let _ = fs::remove_file(ckpt_path(&self.dir, c));
         }
         Ok(bytes)
@@ -427,8 +490,9 @@ pub struct WalScan {
 }
 
 /// Read the recoverable history from `dir`: the newest checkpoint whose
-/// frames all verify, then every later segment up to the first torn
-/// frame. Returns an empty scan for a missing or empty directory.
+/// frames all verify, then the contiguous run of later segments up to
+/// the first torn frame or numbering gap. Returns an empty scan for a
+/// missing or empty directory.
 pub fn read_log(dir: &Path) -> Result<WalScan> {
     let (segs, ckpts) = list_dir(dir);
     let mut scan = WalScan::default();
@@ -448,7 +512,17 @@ pub fn read_log(dir: &Path) -> Result<WalScan> {
         }
     }
     let floor = scan.checkpoint.unwrap_or(0);
+    let mut prev = floor;
     for &s in segs.iter().filter(|&&s| s > floor) {
+        // Segment numbers are contiguous while a log is healthy; a
+        // gap means compaction pruned the middle (e.g. this scan fell
+        // back past a bit-rotted newest checkpoint whose tail segments
+        // are gone). History past a gap is out of order relative to
+        // the pruned part — stop at the consistent prefix.
+        if s != prev + 1 {
+            break;
+        }
+        prev = s;
         let bytes =
             fs::read(seg_path(dir, s)).map_err(|e| TcqError::StorageError(e.to_string()))?;
         let (records, valid) = read_frames(&bytes);
@@ -622,6 +696,81 @@ mod tests {
         let (segs, ckpts) = list_dir(&dir);
         assert_eq!(ckpts, vec![seq]);
         assert!(segs.iter().all(|&s| s > seq));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_resumes_past_checkpoint_left_by_interrupted_rotate() {
+        // Crash window inside checkpoint(): ckpt-K renamed into place
+        // but the rotate/prune that follows never ran, so disk holds
+        // both ckpt-K and seg-K. Post-reboot appends must not land in
+        // seg-K — recovery reads only segments > K and would silently
+        // drop them.
+        let dir = tdir("ckpt-crash");
+        let snap = vec![
+            WalRecord::StreamDecl {
+                gid: 0,
+                name: "quotes".into(),
+            },
+            batch(0, 2),
+        ];
+        let seq;
+        {
+            let mut w = WalWriter::open(&dir, false, 1 << 20).unwrap();
+            w.append(&batch(0, 2));
+            w.commit().unwrap();
+            seq = w.seg_no();
+            // Hand-write the checkpoint without rotating or pruning,
+            // exactly what the crash leaves behind.
+            let mut buf = Vec::new();
+            for r in &snap {
+                encode_record(r, &mut buf);
+            }
+            fs::write(ckpt_path(&dir, seq), &buf).unwrap();
+        }
+        {
+            let mut w = WalWriter::open(&dir, false, 1 << 20).unwrap();
+            assert!(w.seg_no() > seq, "resume clamped past the checkpoint");
+            w.append(&WalRecord::Punct { gid: 0, ticks: 5 });
+            w.commit().unwrap();
+        }
+        let scan = read_log(&dir).unwrap();
+        assert_eq!(scan.checkpoint, Some(seq));
+        let mut want = snap;
+        want.push(WalRecord::Punct { gid: 0, ticks: 5 });
+        assert_eq!(scan.records, want, "post-reboot commit survives recovery");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn previous_checkpoint_retained_as_bit_rot_fallback() {
+        let dir = tdir("ckpt-prev");
+        let mut w = WalWriter::open(&dir, false, 1 << 20).unwrap();
+        let ckpt = |w: &mut WalWriter, fill: WalRecord, snap: WalRecord| {
+            w.append(&fill);
+            w.commit().unwrap();
+            let seq = w.seg_no();
+            w.checkpoint(seq, std::slice::from_ref(&snap)).unwrap();
+            seq
+        };
+        let seq1 = ckpt(&mut w, batch(0, 1), batch(0, 1));
+        let seq2 = ckpt(&mut w, batch(0, 2), batch(0, 3));
+        // Newest + immediate predecessor survive.
+        assert_eq!(list_dir(&dir).1, vec![seq1, seq2]);
+        // A third checkpoint drops the first.
+        let seq3 = ckpt(&mut w, batch(0, 4), batch(0, 5));
+        assert_eq!(list_dir(&dir).1, vec![seq2, seq3]);
+        // Bit rot in the newest: recovery falls back to the
+        // predecessor's consistent (if older) prefix, and the segment
+        // numbering gap keeps it from replaying out-of-order tail.
+        let p = ckpt_path(&dir, seq3);
+        let mut bytes = fs::read(&p).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&p, &bytes).unwrap();
+        let scan = read_log(&dir).unwrap();
+        assert_eq!(scan.checkpoint, Some(seq2));
+        assert_eq!(scan.records, vec![batch(0, 3)]);
         let _ = fs::remove_dir_all(&dir);
     }
 
