@@ -6,7 +6,12 @@ use std::fmt;
 pub type Result<T, E = TcqError> = std::result::Result<T, E>;
 
 /// Errors raised by TelegraphCQ-rs components.
+///
+/// Marked `#[non_exhaustive]`: storage and environmental failures grow
+/// new shapes over time, and downstream matches must keep a wildcard
+/// arm rather than assume the failure taxonomy is closed.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum TcqError {
     /// A column reference matched no schema field.
     UnknownColumn {
@@ -41,8 +46,13 @@ pub enum TcqError {
     PlanError(String),
     /// Query execution failed.
     ExecError(String),
-    /// Storage-layer failure (archive, buffer pool, spill I/O).
+    /// Storage-layer failure (archive, buffer pool, WAL, spill I/O).
     StorageError(String),
+    /// The server is read-only: a persistent storage failure drove the
+    /// health state machine to refuse new admissions (see the
+    /// `tcq$health` stream for the transition record). Carries the
+    /// cause of the transition.
+    ReadOnly(String),
     /// A Flux machine or partition operation failed.
     ClusterError(String),
     /// An operation on a shut-down or disconnected component.
@@ -75,6 +85,9 @@ impl fmt::Display for TcqError {
             TcqError::PlanError(m) => write!(f, "plan error: {m}"),
             TcqError::ExecError(m) => write!(f, "execution error: {m}"),
             TcqError::StorageError(m) => write!(f, "storage error: {m}"),
+            TcqError::ReadOnly(cause) => {
+                write!(f, "server is read-only after storage failure: {cause}")
+            }
             TcqError::ClusterError(m) => write!(f, "cluster error: {m}"),
             TcqError::Closed(what) => write!(f, "{what} is closed"),
             TcqError::UnknownQuery(id) => write!(f, "unknown query id {id}"),

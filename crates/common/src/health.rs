@@ -1,0 +1,138 @@
+//! The engine-wide health state machine for environmental failure.
+//!
+//! Storage beneath a continuous query engine can fail while the engine
+//! itself is perfectly capable of serving: an `EIO` on a WAL append, a
+//! failed `fsync`, a disk filling up mid-checkpoint. The paper's stance
+//! on uncertainty — meet it with *declared, bounded* degradation rather
+//! than silent loss or a crash — is applied to the machine itself here:
+//!
+//! ```text
+//!                 wal error, heal fails          archive/spill error
+//!   Healthy ────────────────────────▶ DurabilityDegraded ──────────▶ ReadOnly
+//!      │                                                               ▲
+//!      └───────────────── wal/archive error under OnStorageError::Halt ┘
+//! ```
+//!
+//! * **Healthy** — everything the configuration promises holds.
+//! * **DurabilityDegraded** — the engine keeps admitting and serving,
+//!   but the write-ahead log is disabled: rows admitted from here on
+//!   are *declared at risk* (they would not survive a crash) and
+//!   counted exactly, so `ingested == delivered + shed + spilled +
+//!   lost_declared` stays an identity rather than a hope.
+//! * **ReadOnly** — admission of non-system streams is refused (each
+//!   refusal counted); standing queries keep draining what was already
+//!   admitted, and the `tcq$*` introspection streams keep flowing so
+//!   the failure itself remains observable.
+//!
+//! Transitions are one-way within a server incarnation: health is a
+//! statement about what this process can still promise, and a disk that
+//! "seems fine again" after a failed fsync is exactly the situation the
+//! fsyncgate rules forbid trusting. (A *counted* fault that heals
+//! before degradation is different — the failed operation's effects are
+//! re-anchored through a verified checkpoint, and the state never
+//! leaves `Healthy`.) Recovery into a fresh process starts at
+//! `Healthy` again.
+
+/// What the server does when the storage layer fails persistently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnStorageError {
+    /// Declare and degrade: try to re-anchor the log via a verified
+    /// checkpoint; if that also fails, drop to `DurabilityDegraded`
+    /// (keep serving, count every at-risk row) and only go `ReadOnly`
+    /// if the serving path itself is implicated. The default: a stream
+    /// engine's first duty is to keep the data moving.
+    #[default]
+    Degrade,
+    /// Stop admitting immediately on any persistent storage failure
+    /// (transition straight to `ReadOnly`). For deployments where an
+    /// unlogged row is worse than a refused one.
+    Halt,
+}
+
+impl OnStorageError {
+    /// Canonical lowercase name (the env-var / episode token).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OnStorageError::Degrade => "degrade",
+            OnStorageError::Halt => "halt",
+        }
+    }
+
+    /// Parse the canonical name (inverse of [`OnStorageError::name`]).
+    pub fn parse(s: &str) -> Option<OnStorageError> {
+        match s {
+            "degrade" => Some(OnStorageError::Degrade),
+            "halt" => Some(OnStorageError::Halt),
+            _ => None,
+        }
+    }
+}
+
+/// The server's current promise level (see the module docs for the
+/// transition diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum HealthState {
+    /// Every configured guarantee holds.
+    #[default]
+    Healthy,
+    /// Serving continues; durability does not. Admitted rows are
+    /// declared at risk and counted.
+    DurabilityDegraded,
+    /// Non-system admission refused; draining and introspection
+    /// continue.
+    ReadOnly,
+}
+
+impl HealthState {
+    /// Canonical name (the `tcq$health` row token).
+    pub fn name(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::DurabilityDegraded => "durability_degraded",
+            HealthState::ReadOnly => "read_only",
+        }
+    }
+
+    /// Parse the canonical name (inverse of [`HealthState::name`]).
+    pub fn parse(s: &str) -> Option<HealthState> {
+        match s {
+            "healthy" => Some(HealthState::Healthy),
+            "durability_degraded" => Some(HealthState::DurabilityDegraded),
+            "read_only" => Some(HealthState::ReadOnly),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in [OnStorageError::Degrade, OnStorageError::Halt] {
+            assert_eq!(OnStorageError::parse(p.name()), Some(p));
+        }
+        for s in [
+            HealthState::Healthy,
+            HealthState::DurabilityDegraded,
+            HealthState::ReadOnly,
+        ] {
+            assert_eq!(HealthState::parse(s.name()), Some(s));
+        }
+        assert_eq!(OnStorageError::parse("retry"), None);
+        assert_eq!(HealthState::parse("mostly_fine"), None);
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(OnStorageError::default(), OnStorageError::Degrade);
+        assert_eq!(HealthState::default(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn states_order_by_severity() {
+        assert!(HealthState::Healthy < HealthState::DurabilityDegraded);
+        assert!(HealthState::DurabilityDegraded < HealthState::ReadOnly);
+    }
+}

@@ -26,6 +26,8 @@ pub mod catalog;
 pub mod durability;
 pub mod error;
 pub mod expr;
+pub mod health;
+pub mod membudget;
 pub mod rng;
 pub mod schema;
 pub mod shed;
@@ -39,6 +41,8 @@ pub use catalog::{Catalog, StreamDef, StreamKind};
 pub use durability::Durability;
 pub use error::{Result, TcqError};
 pub use expr::{BinOp, CmpOp, Expr};
+pub use health::{HealthState, OnStorageError};
+pub use membudget::{approx_keyed_tuples_bytes, approx_tuples_bytes, BudgetSet, MemBudget};
 pub use schema::{Field, Schema};
 pub use shed::ShedPolicy;
 pub use time::{Clock, TimeDomain, Timestamp};

@@ -1,0 +1,365 @@
+//! Byte-accounted memory budgets for in-flight tuple data.
+//!
+//! Under a flood, the engine's queues are bounded in *tuples*
+//! (`Config::input_queue`) but a tuple's footprint varies by orders of
+//! magnitude (one `Int` vs. a wide row of strings), so tuple-bounded
+//! queues alone cannot promise bounded memory. A [`MemBudget`] closes
+//! that gap with lock-light byte accounting: the Wrapper *charges* an
+//! estimate for every batch it fans out to the Execution Objects and
+//! the EOs *release* the identical estimate when they consume (or
+//! shedding evicts) the batch, so `used` tracks the bytes currently
+//! in flight between admission and execution.
+//!
+//! Enforcement happens **before** admission: when a batch would push
+//! `used` past the limit, the ingress forces the shed machinery
+//! (evict-oldest to make room, else drop the batch and count it shed)
+//! instead of admitting — which is what makes `high_water <= limit` an
+//! invariant rather than an aspiration, and an OOM kill impossible to
+//! reach through the ingest path.
+//!
+//! The estimate ([`approx_tuples_bytes`]) is deliberately a *deep*
+//! per-copy upper bound: broadcast fan-out shares tuple payloads via
+//! `Arc`, so the budget over-counts shared bytes. Over-counting is the
+//! safe direction for a limit — the engine stays under budget even if
+//! every `Arc` were the last owner.
+//!
+//! A [`BudgetSet`] pairs one optional global budget with optional
+//! per-stream budgets (one noisy stream must not starve the rest of
+//! the engine's headroom); `tcq$*` system streams are exempt, because
+//! introspection must keep flowing precisely when the engine is under
+//! pressure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::tuple::Tuple;
+
+/// One byte-accounted budget (global or per-stream): a limit plus
+/// atomically maintained usage counters. All methods are lock-free.
+#[derive(Debug)]
+pub struct MemBudget {
+    limit: u64,
+    used: AtomicU64,
+    high_water: AtomicU64,
+    charged: AtomicU64,
+    released: AtomicU64,
+    denials: AtomicU64,
+}
+
+impl MemBudget {
+    /// A budget of `limit` bytes.
+    pub fn new(limit: u64) -> MemBudget {
+        MemBudget {
+            limit,
+            used: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+            charged: AtomicU64::new(0),
+            released: AtomicU64::new(0),
+            denials: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Bytes currently charged.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// The most bytes ever charged at once. With enforcement at the
+    /// ingress this never exceeds [`MemBudget::limit`].
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes charged / released over the budget's lifetime.
+    pub fn totals(&self) -> (u64, u64) {
+        (
+            self.charged.load(Ordering::Relaxed),
+            self.released.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Times [`MemBudget::fits`] said no.
+    pub fn denials(&self) -> u64 {
+        self.denials.load(Ordering::Relaxed)
+    }
+
+    /// Whether `bytes` more would stay within the limit. Counts a
+    /// denial when the answer is no.
+    pub fn fits(&self, bytes: u64) -> bool {
+        if self.used().saturating_add(bytes) <= self.limit {
+            true
+        } else {
+            self.denials.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Charge `bytes` unconditionally (the caller checked
+    /// [`MemBudget::fits`] first — only a single ingress thread
+    /// charges, so check-then-charge cannot overshoot).
+    pub fn charge(&self, bytes: u64) {
+        let now = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.charged.fetch_add(bytes, Ordering::Relaxed);
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Release `bytes` (saturating: shutdown races may release after a
+    /// reset, which must not wrap).
+    pub fn release(&self, bytes: u64) {
+        self.released.fetch_add(bytes, Ordering::Relaxed);
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// Estimated deep size of a batch ([`Tuple::approx_bytes`] summed).
+/// Charge and release sites must use this same function so accounting
+/// is exactly symmetric.
+pub fn approx_tuples_bytes(tuples: &[Tuple]) -> u64 {
+    tuples.iter().map(|t| t.approx_bytes() as u64).sum()
+}
+
+/// [`approx_tuples_bytes`] for a mini-partition-keyed batch (the
+/// partitioned fan-out's message shape).
+pub fn approx_keyed_tuples_bytes(part: &[(u32, Tuple)]) -> u64 {
+    part.iter().map(|(_, t)| t.approx_bytes() as u64).sum()
+}
+
+/// One registered stream's budget membership.
+#[derive(Debug)]
+struct StreamSlot {
+    /// System (`tcq$*`) streams are wholly exempt — charges, releases
+    /// and fits checks all no-op, so introspection rows flow (and cost
+    /// nothing against the limit) precisely when the engine is under
+    /// pressure reporting on itself.
+    exempt: bool,
+    /// The per-stream budget, when a per-stream limit is configured.
+    budget: Option<Arc<MemBudget>>,
+}
+
+/// The engine's budgets: at most one global, plus at most one
+/// per-stream (same per-stream limit for every non-system stream).
+/// Constructed only when a limit is configured, so the unbudgeted
+/// engine pays nothing.
+#[derive(Debug)]
+pub struct BudgetSet {
+    global: Option<MemBudget>,
+    stream_limit: Option<u64>,
+    /// Indexed by global stream id (registration order).
+    streams: RwLock<Vec<StreamSlot>>,
+}
+
+impl BudgetSet {
+    /// A budget set from the configured limits; `None` when neither
+    /// limit is set (budgeting off).
+    pub fn new(global: Option<u64>, per_stream: Option<u64>) -> Option<Arc<BudgetSet>> {
+        if global.is_none() && per_stream.is_none() {
+            return None;
+        }
+        Some(Arc::new(BudgetSet {
+            global: global.map(MemBudget::new),
+            stream_limit: per_stream,
+            streams: RwLock::new(Vec::new()),
+        }))
+    }
+
+    /// Register the next stream (call in global-stream-id order).
+    /// System streams are exempt from budgeting entirely.
+    pub fn register_stream(&self, system: bool) {
+        let mut v = self.streams.write().unwrap();
+        let budget = match self.stream_limit {
+            Some(limit) if !system => Some(Arc::new(MemBudget::new(limit))),
+            _ => None,
+        };
+        v.push(StreamSlot {
+            exempt: system,
+            budget,
+        });
+    }
+
+    /// Whether stream `gid` is exempt from budgeting. Unregistered gids
+    /// are treated as budgeted (global limit still applies).
+    fn exempt(&self, gid: usize) -> bool {
+        self.streams
+            .read()
+            .unwrap()
+            .get(gid)
+            .is_some_and(|s| s.exempt)
+    }
+
+    /// The global budget, if one is configured.
+    pub fn global(&self) -> Option<&MemBudget> {
+        self.global.as_ref()
+    }
+
+    /// Stream `gid`'s budget, if it has one.
+    pub fn stream(&self, gid: usize) -> Option<Arc<MemBudget>> {
+        self.streams
+            .read()
+            .unwrap()
+            .get(gid)
+            .and_then(|s| s.budget.clone())
+    }
+
+    /// Every per-stream budget, as `(gid, budget)` pairs (for gauge
+    /// emission).
+    pub fn streams_snapshot(&self) -> Vec<(usize, Arc<MemBudget>)> {
+        self.streams
+            .read()
+            .unwrap()
+            .iter()
+            .enumerate()
+            .filter_map(|(gid, s)| s.budget.clone().map(|b| (gid, b)))
+            .collect()
+    }
+
+    /// Whether charging `bytes` against stream `gid` stays within both
+    /// the global and the stream budget. Always true for exempt
+    /// streams.
+    pub fn fits(&self, gid: usize, bytes: u64) -> bool {
+        if self.exempt(gid) {
+            return true;
+        }
+        let global_ok = self.global.as_ref().is_none_or(|b| b.fits(bytes));
+        let stream_ok = self.stream(gid).is_none_or(|b| b.fits(bytes));
+        global_ok && stream_ok
+    }
+
+    /// Whether `bytes` could *ever* fit (even against empty budgets) —
+    /// the escape hatch for a single batch larger than a limit, which
+    /// would otherwise wait for headroom that can never appear.
+    pub fn fits_ever(&self, gid: usize, bytes: u64) -> bool {
+        if self.exempt(gid) {
+            return true;
+        }
+        let global_ok = self.global.as_ref().is_none_or(|b| bytes <= b.limit());
+        let stream_ok = self.stream(gid).is_none_or(|b| bytes <= b.limit());
+        global_ok && stream_ok
+    }
+
+    /// Charge `bytes` against stream `gid` (and the global budget).
+    /// No-op for exempt streams.
+    pub fn charge(&self, gid: usize, bytes: u64) {
+        if self.exempt(gid) {
+            return;
+        }
+        if let Some(b) = &self.global {
+            b.charge(bytes);
+        }
+        if let Some(b) = self.stream(gid) {
+            b.charge(bytes);
+        }
+    }
+
+    /// Release `bytes` charged against stream `gid`. No-op for exempt
+    /// streams (nothing was charged).
+    pub fn release(&self, gid: usize, bytes: u64) {
+        if self.exempt(gid) {
+            return;
+        }
+        if let Some(b) = &self.global {
+            b.release(bytes);
+        }
+        if let Some(b) = self.stream(gid) {
+            b.release(bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn tuple(vals: Vec<Value>) -> Tuple {
+        Tuple::at_seq(vals, 0)
+    }
+
+    #[test]
+    fn charge_release_symmetry() {
+        let b = MemBudget::new(1000);
+        assert!(b.fits(600));
+        b.charge(600);
+        assert_eq!(b.used(), 600);
+        assert!(!b.fits(600), "would exceed");
+        assert_eq!(b.denials(), 1);
+        b.release(600);
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.high_water(), 600);
+        assert_eq!(b.totals(), (600, 600));
+    }
+
+    #[test]
+    fn release_saturates() {
+        let b = MemBudget::new(10);
+        b.charge(4);
+        b.release(9);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn estimator_scales_with_payload() {
+        let small = approx_tuples_bytes(&[tuple(vec![Value::Int(1)])]);
+        let big = approx_tuples_bytes(&[tuple(vec![Value::str("x".repeat(1000))])]);
+        assert!(small > 0);
+        assert!(big >= small + 1000, "strings charge their length");
+    }
+
+    #[test]
+    fn budget_set_enforces_both_limits() {
+        let set = BudgetSet::new(Some(100), Some(40)).unwrap();
+        set.register_stream(false); // gid 0
+        set.register_stream(false); // gid 1
+        assert!(set.fits(0, 40));
+        set.charge(0, 40);
+        assert!(!set.fits(0, 1), "stream budget exhausted");
+        assert!(set.fits(1, 40), "sibling stream has its own budget");
+        set.charge(1, 40);
+        assert!(!set.fits(1, 30), "global budget near exhausted");
+        set.release(0, 40);
+        set.release(1, 40);
+        assert_eq!(set.global().unwrap().used(), 0);
+        assert_eq!(set.stream(0).unwrap().used(), 0);
+        assert_eq!(set.streams_snapshot().len(), 2);
+    }
+
+    #[test]
+    fn system_streams_fully_exempt() {
+        let set = BudgetSet::new(Some(100), Some(40)).unwrap();
+        set.register_stream(false); // gid 0
+        set.register_stream(true); // gid 1: tcq$* exempt
+        assert!(set.stream(1).is_none());
+        // Exempt charges never touch the global budget: introspection
+        // cannot push a loaded engine past its limit, and the matching
+        // releases cannot corrupt the accounting either.
+        set.charge(1, 1_000_000);
+        assert_eq!(set.global().unwrap().used(), 0);
+        assert!(set.fits(1, 1_000_000));
+        set.release(1, 1_000_000);
+        assert_eq!(set.global().unwrap().used(), 0);
+        // fits_ever: a batch bigger than the limit can never fit.
+        assert!(!set.fits_ever(0, 101));
+        assert!(set.fits_ever(0, 40));
+        assert!(!set.fits_ever(0, 41), "per-stream limit binds too");
+        assert!(set.fits_ever(1, 1 << 40), "exempt always fits");
+    }
+
+    #[test]
+    fn disabled_when_unconfigured() {
+        assert!(BudgetSet::new(None, None).is_none());
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use tcq_common::{Durability, ShedPolicy};
+use tcq_common::{Durability, OnStorageError, ShedPolicy};
 
 /// Which routing policy the FrontEnd compiles into adaptive plans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +146,36 @@ pub struct Config {
     /// a `ckpt-N.ckpt` file and prunes the segments it supersedes.
     /// Bounds both recovery reads and disk usage.
     pub checkpoint_bytes: u64,
+    /// What to do when the storage layer fails persistently — i.e.
+    /// when a WAL write/sync/checkpoint error survives the one heal
+    /// attempt (seal the poisoned segment, re-anchor at a verified
+    /// checkpoint). [`OnStorageError::Degrade`] (the default) keeps
+    /// serving with durability declared lost and every at-risk row
+    /// counted; [`OnStorageError::Halt`] refuses further admission
+    /// instead. Transitions are recorded on the `tcq$health` stream.
+    ///
+    /// `Config::default()` honors a `TCQ_ON_STORAGE_ERROR` environment
+    /// variable (`degrade` / `halt`). Explicit fields in struct
+    /// literals still win.
+    pub on_storage_error: OnStorageError,
+    /// Global memory budget for in-flight tuple data, in bytes (`None`
+    /// = unbudgeted). When a batch would push the in-flight estimate
+    /// past this limit, the ingress forces the shed machinery
+    /// (evict-oldest, else drop-and-count) instead of admitting, so
+    /// the high-water mark provably stays at or under the limit — a
+    /// flood degrades per policy instead of OOMing. The budget gauge
+    /// is published as a `mem.budget` row on `tcq$queues`.
+    ///
+    /// `Config::default()` honors `TCQ_MEM_BUDGET` (bytes).
+    pub mem_budget_bytes: Option<u64>,
+    /// Per-stream memory budget, in bytes (`None` = no per-stream
+    /// cap). One noisy stream then sheds against its own cap before it
+    /// can exhaust the global budget for everyone else. `tcq$*` system
+    /// streams are exempt (introspection must keep flowing under
+    /// pressure).
+    ///
+    /// `Config::default()` honors `TCQ_MEM_BUDGET_STREAM` (bytes).
+    pub mem_budget_stream_bytes: Option<u64>,
     /// Deterministic single-threaded stepping (the simulation harness).
     ///
     /// When on, `Server::start` spawns no Wrapper or Executor threads;
@@ -191,6 +221,18 @@ impl Default for Config {
                 .unwrap_or(Durability::Off),
             wal_segment_bytes: 4 << 20,
             checkpoint_bytes: 4 << 20,
+            on_storage_error: std::env::var("TCQ_ON_STORAGE_ERROR")
+                .ok()
+                .and_then(|v| OnStorageError::parse(&v))
+                .unwrap_or_default(),
+            mem_budget_bytes: std::env::var("TCQ_MEM_BUDGET")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&b| b > 0),
+            mem_budget_stream_bytes: std::env::var("TCQ_MEM_BUDGET_STREAM")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&b| b > 0),
             step_mode: false,
         }
     }
@@ -220,5 +262,11 @@ mod tests {
         }
         assert!(c.wal_segment_bytes > 0);
         assert!(c.checkpoint_bytes > 0);
+        if std::env::var("TCQ_ON_STORAGE_ERROR").is_err() {
+            assert_eq!(c.on_storage_error, OnStorageError::Degrade);
+        }
+        if std::env::var("TCQ_MEM_BUDGET").is_err() {
+            assert!(c.mem_budget_bytes.is_none(), "budgets are strictly opt-in");
+        }
     }
 }

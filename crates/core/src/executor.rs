@@ -24,6 +24,7 @@ use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex, RwLock};
 
 use tcq_cacq::{CacqEngine, QuerySpec, Selection};
+use tcq_common::membudget::{approx_keyed_tuples_bytes, approx_tuples_bytes, BudgetSet};
 use tcq_common::{ColumnBatch, Expr, Timestamp, Tuple, Value};
 use tcq_eddy::{Eddy, FixedPolicy, LotteryPolicy, NaivePolicy, RoutingPolicy};
 use tcq_sql::QueryPlan;
@@ -83,17 +84,45 @@ pub enum ExecMsg {
     InjectPanic(u64),
 }
 
-/// A quarantined operator fault, drained by the server onto the
-/// `tcq$errors` introspection stream.
+/// What class of failure produced a `tcq$errors` row — so operators
+/// can alert on environmental (storage) faults separately from query
+/// bugs and flaky sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// A panic inside the per-query quarantine boundary.
+    OperatorPanic,
+    /// An ingress source that exhausted its transient-failure retries.
+    Source,
+    /// An environmental storage failure (WAL, checkpoint, spill,
+    /// spooler).
+    Storage,
+}
+
+impl ErrorKind {
+    /// The `tcq$errors.kind` column token.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorKind::OperatorPanic => "operator_panic",
+            ErrorKind::Source => "source",
+            ErrorKind::Storage => "storage",
+        }
+    }
+}
+
+/// A quarantined fault, drained by the server onto the `tcq$errors`
+/// introspection stream.
 #[derive(Debug, Clone)]
 pub struct ErrorEvent {
     /// Owning query id (0 when the fault hit shared machinery not
     /// attributable to one query).
     pub query: u64,
-    /// The operator (executor stage) that panicked.
+    /// The operator (executor stage) that panicked, the source name,
+    /// or the storage operation that failed.
     pub operator: String,
-    /// The panic payload, stringified.
+    /// The panic payload or error message, stringified.
     pub payload: String,
+    /// Failure class (the `kind` column).
+    pub kind: ErrorKind,
 }
 
 /// The registry of per-stream archives, shared by the Wrapper (writer)
@@ -172,6 +201,10 @@ pub struct ExecutionObject {
     /// server runs partitioned (`Config::partitions > 1`); this EO is
     /// partition `eo_id`.
     exchange: Option<Arc<tcq_flux::ExchangeShared>>,
+    /// Memory budgets charged at the Wrapper fan-out; this EO releases
+    /// each data message's charge as it consumes it. `None` when
+    /// budgeting is off.
+    budget: Option<Arc<BudgetSet>>,
 }
 
 struct SharedQuery {
@@ -250,6 +283,7 @@ fn report_quarantine(
         query,
         operator: operator.to_string(),
         payload,
+        kind: ErrorKind::OperatorPanic,
     });
 }
 
@@ -289,6 +323,7 @@ impl ExecutionObject {
         metrics: Option<tcq_metrics::Registry>,
         errors_tx: Sender<ErrorEvent>,
         exchange: Option<Arc<tcq_flux::ExchangeShared>>,
+        budget: Option<Arc<BudgetSet>>,
     ) -> ExecutionObject {
         let mut shared = CacqEngine::new();
         let batch_hist = metrics.as_ref().map(|r| {
@@ -314,6 +349,7 @@ impl ExecutionObject {
             errors_tx,
             quarantined,
             exchange,
+            budget,
         }
     }
 
@@ -325,6 +361,20 @@ impl ExecutionObject {
     /// Process one message. Returns `false` only for barrier plumbing
     /// errors (ignored by the caller).
     pub fn handle(&mut self, msg: ExecMsg) {
+        if let Some(budget) = &self.budget {
+            // The message is leaving the queue: its in-flight charge
+            // (made at fan-out, with the identical estimator) ends
+            // here, whatever processing does with it.
+            match &msg {
+                ExecMsg::Data { stream, tuples } => {
+                    budget.release(*stream, approx_tuples_bytes(tuples));
+                }
+                ExecMsg::DataPart { stream, part, .. } => {
+                    budget.release(*stream, approx_keyed_tuples_bytes(part));
+                }
+                _ => {}
+            }
+        }
         match msg {
             ExecMsg::Data { stream, tuples } => self.on_data_batch(stream, tuples),
             ExecMsg::DataPart {
@@ -522,6 +572,7 @@ impl ExecutionObject {
                     query: 0,
                     operator: "cacq".to_string(),
                     payload,
+                    kind: ErrorKind::OperatorPanic,
                 });
                 Vec::new()
             }
@@ -697,6 +748,7 @@ impl ExecutionObject {
                     query: 0,
                     operator: "cacq".to_string(),
                     payload,
+                    kind: ErrorKind::OperatorPanic,
                 });
                 Vec::new()
             }

@@ -67,5 +67,6 @@ pub mod server;
 
 pub use config::Config;
 pub use query::{QueryHandle, ResultSet};
-pub use server::{RecoveryReport, Server, ShedStats};
-pub use tcq_common::{Durability, ShedPolicy};
+pub use server::{HealthReport, RecoveryReport, Server, ShedStats};
+pub use tcq_common::{Durability, HealthState, OnStorageError, ShedPolicy};
+pub use tcq_storage::{FaultKind, FaultPlan};

@@ -9,16 +9,17 @@ use std::sync::Arc;
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Mutex, RwLock};
 
+use tcq_common::membudget::{approx_keyed_tuples_bytes, approx_tuples_bytes};
 use tcq_common::rng::SplitMix64;
 use tcq_common::{
-    Catalog, Clock, DataType, Durability, Field, Result, Schema, ShedPolicy, TcqError, Timestamp,
-    Tuple, Value,
+    BudgetSet, Catalog, Clock, DataType, Durability, Field, HealthState, OnStorageError, Result,
+    Schema, ShedPolicy, TcqError, Timestamp, Tuple, Value,
 };
 use tcq_fjords::{DequeueResult, EnqueueResult, Fjord};
 use tcq_metrics::{tcq_trace, Registry};
 use tcq_sql::Planner;
 use tcq_storage::wal::{self, WalRecord, WalWriter};
-use tcq_storage::{BufferPool, Replacement, Spooler, StreamArchive};
+use tcq_storage::{BufferPool, FaultPlan, Replacement, Spooler, StreamArchive};
 use tcq_wrappers::{Source, SourceError};
 
 use tcq_flux::{Exchange, ExchangeShared, OrderedMerge, RebalanceDecision};
@@ -26,7 +27,7 @@ use tcq_sql::QueryPlan;
 
 use crate::config::Config;
 use crate::executor::{
-    offer_and_deliver, validate_plan, ArchiveSet, ErrorEvent, ExecMsg, ExecutionObject,
+    offer_and_deliver, validate_plan, ArchiveSet, ErrorEvent, ErrorKind, ExecMsg, ExecutionObject,
 };
 use crate::query::{MergeRef, QueryHandle, ResultSet, RunningQuery};
 
@@ -131,6 +132,67 @@ pub struct ShedStats {
     pub reingested: u64,
     /// Spilled tuples still awaiting re-ingestion.
     pub spill_pending: u64,
+}
+
+/// The engine-health state machine plus the bookkeeping the
+/// degradation paths update, behind one Mutex (storage failures are
+/// rare; the healthy path takes this lock only at the ingest gate).
+struct HealthShared {
+    state: Mutex<HealthInner>,
+}
+
+struct HealthInner {
+    state: HealthState,
+    /// Cause of the last transition (the `ReadOnly` error text).
+    cause: String,
+    /// Transitions awaiting emission onto `tcq$health`. Bounded: the
+    /// machine is one-way, so at most two entries ever accumulate.
+    pending: Vec<(HealthState, String)>,
+    /// Non-system tuples admitted while `DurabilityDegraded`: they are
+    /// archived and delivered, but the WAL no longer covers them, so a
+    /// crash before the next healthy checkpoint loses exactly these.
+    at_risk_rows: u64,
+    /// Ingest rows refused while `ReadOnly`.
+    rejected_rows: u64,
+    /// Storage failures survived by seal-and-checkpoint healing.
+    healed: u64,
+    /// Storage errors observed on any path (WAL, archive, spill).
+    storage_errors: u64,
+}
+
+impl Default for HealthInner {
+    fn default() -> HealthInner {
+        HealthInner {
+            state: HealthState::Healthy,
+            cause: String::new(),
+            pending: Vec::new(),
+            at_risk_rows: 0,
+            rejected_rows: 0,
+            healed: 0,
+            storage_errors: 0,
+        }
+    }
+}
+
+/// A public snapshot of the health machine (see
+/// [`Server::health_report`]). The durability contract under failure:
+/// `at_risk_rows` counts exactly the admitted rows a crash would lose
+/// (declared loss — never silent), and `rejected_rows` the rows the
+/// read-only gate refused.
+#[derive(Debug, Clone, Default)]
+pub struct HealthReport {
+    /// Current state of the one-way machine.
+    pub state: HealthState,
+    /// Cause of the last degrading transition (empty while healthy).
+    pub cause: String,
+    /// Admitted rows the WAL no longer covers (lost by a crash).
+    pub at_risk_rows: u64,
+    /// Rows refused by the read-only admission gate.
+    pub rejected_rows: u64,
+    /// Storage failures healed without degrading.
+    pub healed: u64,
+    /// Storage errors observed on any path.
+    pub storage_errors: u64,
 }
 
 /// One ingress source hosted by the Wrapper loop.
@@ -249,6 +311,17 @@ impl WrapperLoop {
                             ws.src.name(),
                             ws.failures
                         );
+                        // Surface the give-up on `tcq$errors` alongside
+                        // quarantined operator faults (kind=source).
+                        let _ = inner.errors_tx.send(ErrorEvent {
+                            query: 0,
+                            operator: ws.src.name().to_string(),
+                            payload: format!(
+                                "gave up after {} transient failures: {msg}",
+                                ws.failures
+                            ),
+                            kind: ErrorKind::Source,
+                        });
                         exhausted_gids.push(ws.gid);
                         return false;
                     }
@@ -292,9 +365,11 @@ impl WrapperLoop {
         }
         // Re-ingest any spill episode whose queues have drained below
         // the low watermark, and surface quarantined faults onto
-        // `tcq$errors`.
+        // `tcq$errors` and health transitions onto `tcq$health`.
         inner.drain_idle_spills();
+        inner.pump_spooler_errors();
         inner.pump_errors();
+        inner.pump_health();
         self.rounds += 1;
         // Emit introspection rows on the configured tick. These do not
         // count as source production, so idle detection and
@@ -359,6 +434,18 @@ struct Inner {
     spill_pending: AtomicU64,
     /// Quarantined-fault events from the EOs, drained onto `tcq$errors`.
     errors_rx: Mutex<Receiver<ErrorEvent>>,
+    /// Producer side of the same channel, for engine-level events
+    /// (source give-ups, storage failures) to ride next to EO faults.
+    errors_tx: Sender<ErrorEvent>,
+    /// The environmental-degradation state machine
+    /// (`Healthy → DurabilityDegraded → ReadOnly`; one-way per
+    /// incarnation — see DESIGN.md §15).
+    health: HealthShared,
+    /// Byte-accounted memory budgets (`Config::mem_budget_bytes` /
+    /// `mem_budget_stream_bytes`); `None` when budgeting is off.
+    budget: Option<Arc<BudgetSet>>,
+    /// Spooler write failures already surfaced onto `tcq$errors`.
+    spooler_errors_seen: AtomicU64,
     shutting_down: AtomicBool,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Present iff `Config::step_mode`: the thread-less engine the
@@ -415,6 +502,11 @@ struct WalState {
     /// WAL bytes since the last checkpoint (the cadence counter and
     /// the `checkpoint_age_bytes` gauge).
     bytes_since_ckpt: u64,
+    /// True once the engine stopped logging (`DurabilityDegraded` or
+    /// `ReadOnly` after a persistent storage failure). Never cleared
+    /// within an incarnation — see the fsyncgate rules on
+    /// [`Inner::wal_failure`].
+    disabled: bool,
 }
 
 /// Durability plumbing on the `Inner`, present iff
@@ -528,6 +620,7 @@ impl Server {
                     declared: Vec::new(),
                     punctuated: Vec::new(),
                     bytes_since_ckpt: 0,
+                    disabled: false,
                 }),
                 replaying: AtomicBool::new(false),
                 pending: Mutex::new(pending),
@@ -542,8 +635,9 @@ impl Server {
             config.buffer_pool_segments,
             Replacement::Clock,
         )));
-        let spooler = Spooler::start();
+        let spooler = Spooler::start()?;
         let archives = Arc::new(ArchiveSet::new());
+        let budget = BudgetSet::new(config.mem_budget_bytes, config.mem_budget_stream_bytes);
         let catalog = Catalog::new();
         let planner = Planner::new(catalog.clone());
 
@@ -592,6 +686,7 @@ impl Server {
                 metrics.clone(),
                 errors_tx.clone(),
                 exchange.as_ref().map(|e| e.shared.clone()),
+                budget.clone(),
             );
             if step_mode {
                 sim_eos.push(Mutex::new(eo));
@@ -640,6 +735,12 @@ impl Server {
             pending_attach: AtomicU64::new(0),
             spill_pending: AtomicU64::new(0),
             errors_rx: Mutex::new(errors_rx),
+            errors_tx,
+            health: HealthShared {
+                state: Mutex::new(HealthInner::default()),
+            },
+            budget,
+            spooler_errors_seen: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             threads: Mutex::new(threads),
             _spooler: spooler,
@@ -797,7 +898,8 @@ impl Server {
                 ],
             ),
         )?;
-        // Quarantined operator faults: one row per caught panic.
+        // Quarantined faults: one row per caught operator panic,
+        // source give-up, or storage failure (`kind` tells them apart).
         self.register_stream(
             "tcq$errors",
             Schema::qualified(
@@ -806,6 +908,21 @@ impl Server {
                     Field::new("qid", DataType::Int),
                     Field::new("operator", DataType::Str),
                     Field::new("payload", DataType::Str),
+                    Field::new("kind", DataType::Str),
+                ],
+            ),
+        )?;
+        // Environmental health: one row per state-machine transition
+        // (`healthy → durability_degraded → read_only`), stamped with
+        // the health stream's tick at emission.
+        self.register_stream(
+            "tcq$health",
+            Schema::qualified(
+                "tcq$health",
+                vec![
+                    Field::new("state", DataType::Str),
+                    Field::new("cause", DataType::Str),
+                    Field::new("at", DataType::Int),
                 ],
             ),
         )?;
@@ -891,6 +1008,11 @@ impl Server {
         }
         let mut streams = self.inner.streams.write().unwrap();
         debug_assert_eq!(streams.len(), gid);
+        // Budget slots are registered under the streams write lock, so
+        // slot order matches gid order. System streams are exempt.
+        if let Some(budget) = &self.inner.budget {
+            budget.register_stream(lname.starts_with("tcq$"));
+        }
         streams.push(StreamRuntime {
             arity,
             lname: lname.clone(),
@@ -1298,6 +1420,44 @@ impl Server {
         })
     }
 
+    /// The engine's current health state
+    /// (`Healthy → DurabilityDegraded → ReadOnly`, one-way per
+    /// incarnation).
+    pub fn health(&self) -> HealthState {
+        self.inner.health.state.lock().unwrap().state
+    }
+
+    /// Snapshot the health machine: state, cause, and the declared-loss
+    /// accounting (`at_risk_rows` is exactly what a crash would lose).
+    pub fn health_report(&self) -> HealthReport {
+        let h = self.inner.health.state.lock().unwrap();
+        HealthReport {
+            state: h.state,
+            cause: h.cause.clone(),
+            at_risk_rows: h.at_risk_rows,
+            rejected_rows: h.rejected_rows,
+            healed: h.healed,
+            storage_errors: h.storage_errors,
+        }
+    }
+
+    /// Arm a deterministic storage fault on the WAL's injectable I/O
+    /// layer: after `plan.after` matching operations, the next
+    /// `plan.count` fail (EIO, short write, fsync failure, ENOSPC, or
+    /// torn rename), then the plan heals. The environmental
+    /// fault-injection lever behind the degradation tests and the
+    /// simulator's `step diskfault` chaos arm. Errors when durability
+    /// is off (there is no WAL I/O to fault).
+    pub fn inject_storage_fault(&self, plan: FaultPlan) -> Result<()> {
+        let Some(wal) = &self.inner.wal else {
+            return Err(TcqError::ExecError(
+                "inject_storage_fault: Config::durability is Off".into(),
+            ));
+        };
+        wal.state.lock().unwrap().writer.fault_io().arm(plan);
+        Ok(())
+    }
+
     /// Arm a deterministic operator fault in query `id`: its next batch
     /// (or window evaluation) panics inside the executor's quarantine
     /// boundary. The fault-injection lever behind the containment tests
@@ -1664,10 +1824,30 @@ impl Inner {
             return Ok(());
         }
         tcq_trace!("ingest: stream={} batch={}", gid, tuples.len());
+        let (shed, system) = {
+            let streams = self.streams.read().unwrap();
+            let rt = &streams[gid];
+            (rt.shed.clone(), rt.wal_skip())
+        };
+        // The read-only gate: after a persistent storage failure the
+        // engine refuses new admissions rather than silently growing
+        // state it can no longer serve or recover. System streams pass
+        // — introspection must keep reporting the failure.
+        if !system {
+            let mut h = self.health.state.lock().unwrap();
+            if h.state == HealthState::ReadOnly {
+                h.rejected_rows += tuples.len() as u64;
+                return Err(TcqError::ReadOnly(h.cause.clone()));
+            }
+        }
         let timer = self.ingest_hist.as_ref().map(|_| std::time::Instant::now());
-        let shed = self.streams.read().unwrap()[gid].shed.clone();
         let mut st = shed.lock().unwrap();
-        let result = if st.policy.is_block() && st.spill.is_none() {
+        let result = if !system && self.budget_enforce(gid, &tuples, &mut st) {
+            // Over the memory budget with nothing left to evict: the
+            // batch is dropped and counted shed — bounded memory is
+            // the contract, and declared loss beats an OOM kill.
+            Ok(())
+        } else if st.policy.is_block() && st.spill.is_none() {
             // Fast path: pure backpressure, no triage bookkeeping.
             drop(st);
             self.admit(gid, tuples)
@@ -1680,7 +1860,64 @@ impl Inner {
         result
     }
 
+    /// Memory-budget admission control: when the batch's fan-out
+    /// charge would breach a budget, evict this stream's oldest queued
+    /// batches (freshest-data-wins, mirroring `DropOldest`) until it
+    /// fits, releasing their charges. Returns `true` when the batch
+    /// still cannot fit and must be dropped (counted shed).
+    fn budget_enforce(&self, gid: usize, tuples: &[Tuple], st: &mut ShedState) -> bool {
+        let Some(budget) = &self.budget else {
+            return false;
+        };
+        let bytes = approx_tuples_bytes(tuples) * self.fan_copies();
+        if budget.fits(gid, bytes) {
+            return false;
+        }
+        let mut evicted = 0u64;
+        let mut evicted_parts: Vec<(usize, u64)> = Vec::new();
+        'queues: for (eo_idx, input) in self.eo_inputs.iter().enumerate() {
+            loop {
+                if budget.fits(gid, bytes) {
+                    break 'queues;
+                }
+                let victims = input.evict_oldest_where(1, |m| {
+                    matches!(m,
+                        ExecMsg::Data { stream, .. } if *stream == gid)
+                        || matches!(m,
+                        ExecMsg::DataPart { stream, .. } if *stream == gid)
+                });
+                if victims.is_empty() {
+                    break;
+                }
+                for v in victims {
+                    self.account_eviction(eo_idx, v, &mut evicted, &mut evicted_parts);
+                }
+            }
+        }
+        self.offer_evicted_parts(gid, evicted_parts);
+        st.shed += evicted;
+        if budget.fits(gid, bytes) {
+            return false;
+        }
+        st.shed += tuples.len() as u64;
+        true
+    }
+
+    /// How many budget-charged copies of a broadcast batch the fan-out
+    /// produces (partitioned shares are disjoint: one copy total).
+    fn fan_copies(&self) -> u64 {
+        if self.exchange.is_some() {
+            1
+        } else {
+            self.eo_inputs.len().max(1) as u64
+        }
+    }
+
     /// Archive a batch and fan it out to the EOs (the accepted path).
+    /// An archive write failure escalates straight to `ReadOnly`: the
+    /// archive is the serving truth (window scans, the recorded
+    /// trace), so continuing to admit over a hole would corrupt
+    /// results, not just durability.
     fn admit(&self, gid: usize, tuples: Vec<Tuple>) -> Result<()> {
         let high_water = tuples.iter().map(|t| t.ts().ticks()).max().unwrap();
         self.streams.read().unwrap()[gid]
@@ -1690,7 +1927,9 @@ impl Inner {
             let archive = self.archives.get(gid);
             let mut archive = archive.lock().unwrap();
             for tuple in &tuples {
-                archive.append(tuple.clone())?;
+                archive
+                    .append(tuple.clone())
+                    .map_err(|e| self.storage_escalate("archive append", e))?;
             }
         }
         self.wal_log_batch(gid, &tuples)?;
@@ -1704,7 +1943,12 @@ impl Inner {
         if let Some(ex) = &self.exchange {
             return self.fan_out_partitioned(ex, gid, tuples);
         }
+        let bytes = approx_tuples_bytes(&tuples);
+        self.budget_headroom(gid, bytes * self.fan_copies());
         for eo in 0..self.eo_inputs.len() {
+            if let Some(budget) = &self.budget {
+                budget.charge(gid, bytes);
+            }
             self.eo_send(
                 eo,
                 ExecMsg::Data {
@@ -1714,6 +1958,31 @@ impl Inner {
             )?;
         }
         Ok(())
+    }
+
+    /// Wait for budget headroom before a fan-out that did not pass the
+    /// ingest gate (spill re-ingest, recovery replay): the EOs are
+    /// consuming, so headroom appears as they drain — backpressure, not
+    /// loss. In step mode the single thread drains the EOs inline.
+    /// Batches that could never fit charge through regardless (the
+    /// high-water gauge then records the honest overshoot).
+    fn budget_headroom(&self, gid: usize, bytes: u64) {
+        let Some(budget) = &self.budget else { return };
+        if !budget.fits_ever(gid, bytes) {
+            return;
+        }
+        while !budget.fits(gid, bytes) {
+            if let Some(sim) = &self.sim {
+                if self.sim_quiesce_eos(sim) == 0 {
+                    return;
+                }
+            } else {
+                if self.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
     }
 
     /// Shard one admitted batch across the EO partitions through the
@@ -1734,12 +2003,16 @@ impl Inner {
             .map(|t| t.ts().ticks())
             .max()
             .unwrap_or(i64::MIN);
+        self.budget_headroom(gid, approx_tuples_bytes(&tuples));
         let decisions = {
             let mut router = ex.router.lock().unwrap();
             let parts = router.partition_batch(gid, &tuples);
             let batch = ex.next_batch.fetch_add(1, Ordering::Relaxed) + 1;
             let full = Arc::new(tuples);
             for (eo, part) in parts.into_iter().enumerate() {
+                if let Some(budget) = &self.budget {
+                    budget.charge(gid, approx_keyed_tuples_bytes(&part));
+                }
                 self.eo_send(
                     eo,
                     ExecMsg::DataPart {
@@ -1862,43 +2135,11 @@ impl Inner {
                             break;
                         }
                         for v in victims {
-                            match v {
-                                ExecMsg::Data { tuples, .. } => {
-                                    evicted += tuples.len() as u64;
-                                }
-                                ExecMsg::DataPart { batch, part, .. } => {
-                                    evicted += part.len() as u64;
-                                    if let Some(ex) = &self.exchange {
-                                        ex.shared
-                                            .part(eo_idx)
-                                            .evicted
-                                            .fetch_add(part.len() as u64, Ordering::SeqCst);
-                                    }
-                                    evicted_parts.push((eo_idx, batch));
-                                }
-                                _ => {}
-                            }
+                            self.account_eviction(eo_idx, v, &mut evicted, &mut evicted_parts);
                         }
                     }
                 }
-                // An evicted share still owes its queries an (empty)
-                // offer, or their egress merges stall waiting for the
-                // partition that will never report.
-                if !evicted_parts.is_empty() {
-                    let merges: Vec<(MergeRef, Fjord<ResultSet>)> = self
-                        .queries
-                        .lock()
-                        .unwrap()
-                        .values()
-                        .filter(|m| m.merge.is_some() && m.streams.contains(&gid))
-                        .map(|m| (m.merge.clone().expect("filtered"), m.output.clone()))
-                        .collect();
-                    for (eo_idx, batch) in evicted_parts {
-                        for (merge, output) in &merges {
-                            offer_and_deliver(merge, output, eo_idx, batch, Vec::new());
-                        }
-                    }
-                }
+                self.offer_evicted_parts(gid, evicted_parts);
                 st.shed += evicted;
                 self.admit(gid, tuples)
             }
@@ -1949,13 +2190,82 @@ impl Inner {
                     st.spill_dir = Some(dir);
                 }
                 let n = tuples.len() as u64;
-                let spill = st.spill.as_mut().expect("just created");
-                for tuple in tuples {
-                    spill.append(tuple)?;
+                if let Some(spill) = st.spill.as_mut() {
+                    for tuple in tuples {
+                        // A spill-archive write failure risks serving
+                        // correctness (the episode would re-ingest a
+                        // hole), so it escalates like a main-archive
+                        // failure rather than just erroring out.
+                        if let Err(e) = spill.append(tuple) {
+                            return Err(self.storage_escalate("spill append", e));
+                        }
+                    }
                 }
                 st.spilled += n;
                 self.spill_pending.fetch_add(n, Ordering::Relaxed);
                 Ok(())
+            }
+        }
+    }
+
+    /// Account one evicted data message: release its budget charge,
+    /// maintain the exchange conservation counters, and record
+    /// partition shares that still owe their egress merges an empty
+    /// offer.
+    fn account_eviction(
+        &self,
+        eo_idx: usize,
+        victim: ExecMsg,
+        evicted: &mut u64,
+        evicted_parts: &mut Vec<(usize, u64)>,
+    ) {
+        match victim {
+            ExecMsg::Data { stream, tuples } => {
+                *evicted += tuples.len() as u64;
+                if let Some(budget) = &self.budget {
+                    budget.release(stream, approx_tuples_bytes(&tuples));
+                }
+            }
+            ExecMsg::DataPart {
+                stream,
+                batch,
+                part,
+                ..
+            } => {
+                *evicted += part.len() as u64;
+                if let Some(budget) = &self.budget {
+                    budget.release(stream, approx_keyed_tuples_bytes(&part));
+                }
+                if let Some(ex) = &self.exchange {
+                    ex.shared
+                        .part(eo_idx)
+                        .evicted
+                        .fetch_add(part.len() as u64, Ordering::SeqCst);
+                }
+                evicted_parts.push((eo_idx, batch));
+            }
+            _ => {}
+        }
+    }
+
+    /// An evicted share still owes its queries an (empty) offer, or
+    /// their egress merges stall waiting for the partition that will
+    /// never report.
+    fn offer_evicted_parts(&self, gid: usize, evicted_parts: Vec<(usize, u64)>) {
+        if evicted_parts.is_empty() {
+            return;
+        }
+        let merges: Vec<(MergeRef, Fjord<ResultSet>)> = self
+            .queries
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|m| m.merge.is_some() && m.streams.contains(&gid))
+            .map(|m| (m.merge.clone().expect("filtered"), m.output.clone()))
+            .collect();
+        for (eo_idx, batch) in evicted_parts {
+            for (merge, output) in &merges {
+                offer_and_deliver(merge, output, eo_idx, batch, Vec::new());
             }
         }
     }
@@ -1969,9 +2279,25 @@ impl Inner {
             return Ok(());
         };
         let dir = st.spill_dir.take();
-        let rows = spill
-            .scan(Timestamp::logical(i64::MIN), Timestamp::logical(i64::MAX))
-            .unwrap_or_default();
+        let rows = match spill.scan(Timestamp::logical(i64::MIN), Timestamp::logical(i64::MAX)) {
+            Ok(rows) => rows,
+            Err(e) => {
+                // The episode is unreadable: its pending tuples cannot
+                // be delivered. Declare them shed (they are still in
+                // the main archive, so historical scans keep them),
+                // close the episode so `spill_pending()` returns to
+                // zero, and escalate — a storage layer that eats
+                // spill segments cannot be trusted to keep serving.
+                let lost = st.spill_pending();
+                st.shed += lost;
+                st.reingested += lost;
+                self.spill_pending.fetch_sub(lost, Ordering::Relaxed);
+                if let Some(dir) = dir {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+                return Err(self.storage_escalate("spill re-ingest scan", e));
+            }
+        };
         drop(spill);
         let n = rows.len() as u64;
         tcq_trace!("shed: {} re-ingesting {} spilled tuples", st.lname, n);
@@ -2032,12 +2358,60 @@ impl Inner {
                         Value::Int(e.query as i64),
                         Value::str(e.operator),
                         Value::str(e.payload),
+                        Value::str(e.kind.name()),
                     ],
                     ts,
                 )
             })
             .collect();
         let _ = self.ingest_batch(gid, rows);
+    }
+
+    /// Drain pending health-machine transitions onto `tcq$health`.
+    /// Transitions are consumed even when the stream is unregistered
+    /// (metrics off), mirroring `pump_errors`.
+    fn pump_health(&self) {
+        let pending: Vec<(HealthState, String)> = {
+            let mut h = self.health.state.lock().unwrap();
+            if h.pending.is_empty() {
+                return;
+            }
+            std::mem::take(&mut h.pending)
+        };
+        let Some(gid) = self.by_name.read().unwrap().get("tcq$health").copied() else {
+            return;
+        };
+        let ts = self.streams.read().unwrap()[gid].clock.tick();
+        let rows: Vec<Tuple> = pending
+            .into_iter()
+            .map(|(state, cause)| {
+                Tuple::new(
+                    vec![
+                        Value::str(state.name()),
+                        Value::str(cause),
+                        Value::Int(ts.ticks()),
+                    ],
+                    ts,
+                )
+            })
+            .collect();
+        let _ = self.ingest_batch(gid, rows);
+    }
+
+    /// Surface archive-spooler write failures (they happen on the
+    /// spooler's own thread, where no caller can observe a `Result`)
+    /// as `kind=storage` rows on `tcq$errors`.
+    fn pump_spooler_errors(&self) {
+        let now = self._spooler.error_count();
+        let seen = self.spooler_errors_seen.swap(now, Ordering::Relaxed);
+        if now > seen {
+            let _ = self.errors_tx.send(ErrorEvent {
+                query: 0,
+                operator: "spooler".to_string(),
+                payload: format!("{} archive spool write failure(s)", now - seen),
+                kind: ErrorKind::Storage,
+            });
+        }
     }
 
     /// Build and ingest one row set per introspection stream. `tcq$queues`
@@ -2060,7 +2434,7 @@ impl Inner {
         };
         if let Some(gid) = q_gid {
             let ts = self.streams.read().unwrap()[gid].clock.tick();
-            let rows: Vec<Tuple> = self
+            let mut rows: Vec<Tuple> = self
                 .eo_inputs
                 .iter()
                 .enumerate()
@@ -2080,6 +2454,41 @@ impl Inner {
                     )
                 })
                 .collect();
+            // Memory budgets ride the queue stream: the columns reuse
+            // the 7-column shape as (name, used, limit, charged,
+            // released, high_water, denials).
+            if let Some(budget) = &self.budget {
+                let clamp = |v: u64| v.min(i64::MAX as u64) as i64;
+                let mut gauge = |name: String, b: &tcq_common::MemBudget| {
+                    let (charged, released) = b.totals();
+                    rows.push(Tuple::new(
+                        vec![
+                            Value::str(name),
+                            Value::Int(clamp(b.used())),
+                            Value::Int(clamp(b.limit())),
+                            Value::Int(clamp(charged)),
+                            Value::Int(clamp(released)),
+                            Value::Int(clamp(b.high_water())),
+                            Value::Int(clamp(b.denials())),
+                        ],
+                        ts,
+                    ));
+                };
+                if let Some(b) = budget.global() {
+                    gauge("mem.budget".to_string(), b);
+                }
+                let names: Vec<String> = {
+                    let streams = self.streams.read().unwrap();
+                    streams.iter().map(|rt| rt.lname.clone()).collect()
+                };
+                for (sgid, b) in budget.streams_snapshot() {
+                    let name = names
+                        .get(sgid)
+                        .map(|n| format!("mem.budget.{n}"))
+                        .unwrap_or_else(|| format!("mem.budget.s{sgid}"));
+                    gauge(name, &b);
+                }
+            }
             let _ = self.ingest_batch(gid, rows);
         }
         if o_gid.is_none() && f_gid.is_none() && w_gid.is_none() {
@@ -2156,8 +2565,11 @@ impl Inner {
             };
             let _ = self.ingest_batch(gid, rows);
         }
-        // Quarantined faults ride the same emission point.
+        // Quarantined faults and health transitions ride the same
+        // emission point.
+        self.pump_spooler_errors();
         self.pump_errors();
+        self.pump_health();
     }
 
     /// Fan a punctuation out to every EO.
@@ -2172,6 +2584,10 @@ impl Inner {
     /// Log one admitted batch to the WAL and commit it. No-op when
     /// durability is off, while replaying (the history is already on
     /// disk), and for `tcq$*` introspection streams (derived state).
+    /// A commit failure is routed through [`Inner::wal_failure`]
+    /// instead of erroring out: the batch is already archived and
+    /// delivered, so the question is only whether its durability can
+    /// be healed or must be declared lost-on-crash.
     fn wal_log_batch(&self, gid: usize, tuples: &[Tuple]) -> Result<()> {
         let Some(wal) = &self.wal else { return Ok(()) };
         if wal.replaying.load(Ordering::Relaxed) || tuples.is_empty() {
@@ -2186,11 +2602,21 @@ impl Inner {
             rt.lname.clone()
         };
         let mut st = wal.state.lock().unwrap();
+        if st.disabled {
+            // DurabilityDegraded: admission continues, coverage does
+            // not. Every uncovered row joins the declared-loss ledger.
+            self.health.state.lock().unwrap().at_risk_rows += tuples.len() as u64;
+            return Ok(());
+        }
         self.wal_ensure_declared(&mut st, gid, &lname);
         st.writer.append_batch(gid as u32, tuples);
-        let n = st.writer.commit()?;
-        st.bytes_since_ckpt += n;
-        Ok(())
+        match st.writer.commit() {
+            Ok(n) => {
+                st.bytes_since_ckpt += n;
+                Ok(())
+            }
+            Err(e) => self.wal_failure(wal, &mut st, tuples.len() as u64, e),
+        }
     }
 
     /// Log a punctuation to the WAL, remember it as the stream's restore
@@ -2211,6 +2637,9 @@ impl Inner {
             rt.lname.clone()
         };
         let mut st = wal.state.lock().unwrap();
+        if st.disabled {
+            return Ok(());
+        }
         self.wal_ensure_declared(&mut st, gid, &lname);
         if st.punctuated.len() <= gid {
             st.punctuated.resize(gid + 1, None);
@@ -2220,12 +2649,110 @@ impl Inner {
             gid: gid as u32,
             ticks,
         });
-        let n = st.writer.commit()?;
-        st.bytes_since_ckpt += n;
+        match st.writer.commit() {
+            Ok(n) => st.bytes_since_ckpt += n,
+            Err(e) => return self.wal_failure(wal, &mut st, 0, e),
+        }
         if st.bytes_since_ckpt >= self.config.checkpoint_bytes {
-            self.wal_checkpoint_locked(wal, &mut st)?;
+            // Checkpoints write a fresh tmp file each attempt, so the
+            // heal inside `wal_failure` may safely retry one (unlike
+            // re-syncing a poisoned segment, which it never does).
+            if let Err(e) = self.wal_checkpoint_locked(wal, &mut st) {
+                return self.wal_failure(wal, &mut st, 0, e);
+            }
         }
         Ok(())
+    }
+
+    /// Handle a WAL storage failure per `Config::on_storage_error`,
+    /// following the fsyncgate rules: a failed fsync (or write) may
+    /// have invalidated the kernel's dirty pages, so the writer NEVER
+    /// retries the same segment file.
+    ///
+    /// * `Degrade` (default): heal by sealing the poisoned segment
+    ///   (fresh file, staged buffer discarded) and writing a full
+    ///   archive-snapshot checkpoint. `admit` archives before logging,
+    ///   so the batch whose commit failed is inside the snapshot —
+    ///   nothing is lost and the engine stays `Healthy`. If the heal
+    ///   itself fails, transition to `DurabilityDegraded`: logging
+    ///   stops and every subsequent admitted row is counted at-risk
+    ///   (declared, never silent).
+    /// * `Halt`: transition straight to `ReadOnly` — stop admitting.
+    ///
+    /// Returns `Ok` in every case: the triggering batch was already
+    /// archived and delivered; only its crash-durability is in doubt,
+    /// and that doubt is recorded, not thrown.
+    fn wal_failure(
+        &self,
+        wal: &WalShared,
+        st: &mut WalState,
+        rows: u64,
+        err: TcqError,
+    ) -> Result<()> {
+        let cause = err.to_string();
+        self.health.state.lock().unwrap().storage_errors += 1;
+        let _ = self.errors_tx.send(ErrorEvent {
+            query: 0,
+            operator: "wal".to_string(),
+            payload: cause.clone(),
+            kind: ErrorKind::Storage,
+        });
+        match self.config.on_storage_error {
+            OnStorageError::Halt => {
+                st.disabled = true;
+                self.health_transition(HealthState::ReadOnly, &cause, rows);
+                Ok(())
+            }
+            OnStorageError::Degrade => {
+                let healed = st
+                    .writer
+                    .seal_and_reset()
+                    .and_then(|_| self.wal_checkpoint_locked(wal, st));
+                match healed {
+                    Ok(()) => {
+                        self.health.state.lock().unwrap().healed += 1;
+                        Ok(())
+                    }
+                    Err(heal_err) => {
+                        st.disabled = true;
+                        let cause = format!("{cause}; heal failed: {heal_err}");
+                        self.health_transition(HealthState::DurabilityDegraded, &cause, rows);
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record a one-way health transition (severity only increases —
+    /// recovery into a fresh incarnation is the only way back) and
+    /// queue it for `tcq$health`. `rows` admitted-but-uncovered rows
+    /// join the declared-loss ledger either way.
+    fn health_transition(&self, to: HealthState, cause: &str, rows: u64) {
+        let mut h = self.health.state.lock().unwrap();
+        h.at_risk_rows += rows;
+        if h.state < to {
+            h.state = to;
+            h.cause = cause.to_string();
+            h.pending.push((to, cause.to_string()));
+        }
+    }
+
+    /// Escalate a serving-path storage failure (main archive, spill
+    /// episode): whatever the policy, the engine goes `ReadOnly` —
+    /// these files back window scans and spill re-ingest, so admitting
+    /// more work over them would corrupt results, not just weaken
+    /// durability. Returns the error for the caller to propagate.
+    fn storage_escalate(&self, what: &str, err: TcqError) -> TcqError {
+        self.health.state.lock().unwrap().storage_errors += 1;
+        let _ = self.errors_tx.send(ErrorEvent {
+            query: 0,
+            operator: what.to_string(),
+            payload: err.to_string(),
+            kind: ErrorKind::Storage,
+        });
+        self.health_transition(HealthState::ReadOnly, &format!("{what}: {err}"), 0);
+        err
     }
 
     /// Re-declare `(gid, name)` once per WAL-writer incarnation, before

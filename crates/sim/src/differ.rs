@@ -271,6 +271,7 @@ mod tests {
             final_punct: Default::default(),
             shed: Default::default(),
             invariant_failures: Vec::new(),
+            health: Default::default(),
             rendered: String::new(),
         }
     }
@@ -285,6 +286,7 @@ mod tests {
             partitions: 1,
             durability: tcq_common::Durability::Off,
             columnar: None,
+            on_storage_error: None,
             queries: vec!["SELECT day FROM quotes".into()],
             steps: Vec::new(),
         }

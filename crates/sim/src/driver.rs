@@ -19,8 +19,10 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use tcq::{Config, QueryHandle, ResultSet, Server, ShedStats};
-use tcq_common::{DataType, Field, Schema, Tuple, Value};
+use tcq::{
+    Config, FaultPlan, HealthReport, HealthState, QueryHandle, ResultSet, Server, ShedStats,
+};
+use tcq_common::{DataType, Field, Schema, TcqError, Tuple, Value};
 use tcq_flux::{FaultAction, FaultSchedule, FluxCluster, GroupCount};
 use tcq_wrappers::{FlakySource, IterSource};
 
@@ -52,6 +54,9 @@ pub struct EpisodeRun {
     /// Engine invariant violations observed during the run (empty on a
     /// healthy run). These are engine bugs, not oracle divergences.
     pub invariant_failures: Vec<String>,
+    /// The final incarnation's health snapshot: `Healthy` unless a
+    /// `step diskfault` persisted into declared degradation.
+    pub health: HealthReport,
     /// Canonical rendering of all outputs — the byte-identical-replay
     /// comparand.
     pub rendered: String,
@@ -192,6 +197,51 @@ fn run_flux_chaos(ep: &Episode, failures: &mut Vec<String>) {
     }
 }
 
+/// Check the declared-loss conservation contract of the health machine
+/// against the driver's own shadow counters: a healthy engine carries
+/// no declared loss, and a degraded one declares every row the next
+/// crash would lose — in the at-risk ledger, the rejected ledger, or
+/// the shed counters — never a silent number. The ledger comparisons
+/// only hold when every ingress is a driver push (an attached source
+/// delivers rows the driver cannot count), and the at-risk equality
+/// additionally needs the lossless `Block` policy: under a lossy
+/// policy a pushed row may be shed before it reaches the WAL, in which
+/// case its loss is declared in `tcq$shed` instead of at-risk.
+fn check_declared_loss(
+    server: &Server,
+    at: &str,
+    ep: &Episode,
+    pushed_at_risk: u64,
+    refused: u64,
+    failures: &mut Vec<String>,
+) {
+    let report = server.health_report();
+    if report.state == HealthState::Healthy {
+        if report.at_risk_rows != 0 || report.rejected_rows != 0 {
+            failures.push(format!(
+                "{at}: healthy engine carries declared loss (at_risk {}, rejected {})",
+                report.at_risk_rows, report.rejected_rows
+            ));
+        }
+        return;
+    }
+    if ep.steps.iter().any(|s| matches!(s, Step::Source(_))) {
+        return;
+    }
+    if ep.policy.is_block() && report.at_risk_rows != pushed_at_risk {
+        failures.push(format!(
+            "{at}: at-risk ledger says {} rows but {} were admitted while degraded",
+            report.at_risk_rows, pushed_at_risk
+        ));
+    }
+    if report.rejected_rows != refused {
+        failures.push(format!(
+            "{at}: rejected ledger says {} rows but {} pushes were refused",
+            report.rejected_rows, refused
+        ));
+    }
+}
+
 /// Disambiguates concurrently running durable episodes' archive
 /// directories (the name never reaches any recorded output, so this
 /// nondeterminism cannot leak into the replay comparison).
@@ -208,8 +258,13 @@ static EPISODE_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 /// entire result stream, and that regenerated stream is what the
 /// oracle must match byte for byte.
 pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
-    if ep.steps.contains(&Step::Crash) && ep.durability.is_off() {
-        return Err("episode has `step crash` but durability is off".into());
+    if ep.durability.is_off() {
+        if ep.steps.contains(&Step::Crash) {
+            return Err("episode has `step crash` but durability is off".into());
+        }
+        if ep.steps.iter().any(|s| matches!(s, Step::DiskFault { .. })) {
+            return Err("episode has `step diskfault` but durability is off".into());
+        }
     }
     let base = Config::default();
     let archive_dir = (!ep.durability.is_off()).then(|| {
@@ -231,6 +286,7 @@ pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
         shed_policy: ep.policy,
         durability: ep.durability,
         columnar: ep.columnar.unwrap_or(base.columnar),
+        on_storage_error: ep.on_storage_error.unwrap_or(base.on_storage_error),
         archive_dir: archive_dir.clone(),
         // Large enough that the egress QoS shed (oldest result set
         // dropped when a client lags) never fires between settles —
@@ -265,17 +321,38 @@ pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
 
     let mut sets: Vec<Vec<ResultSet>> = vec![Vec::new(); handles.len()];
 
+    // Shadow ledgers for the declared-loss contract, per incarnation:
+    // rows the driver pushed while the engine was already degraded
+    // (each must appear in `at_risk_rows`) and pushes the read-only
+    // gate refused (each must appear in `rejected_rows`).
+    let mut pushed_at_risk = 0u64;
+    let mut refused = 0u64;
+
     for (si, step) in ep.steps.iter().enumerate() {
         match step {
             Step::Row {
                 stream,
                 ticks,
                 fields,
-            } => {
-                server
-                    .push_at(stream, fields.clone(), *ticks)
-                    .map_err(|e| format!("step {si}: push {stream}@{ticks}: {e}"))?;
-            }
+            } => match server.push_at(stream, fields.clone(), *ticks) {
+                Ok(()) => {
+                    if server.health() != HealthState::Healthy {
+                        pushed_at_risk += 1;
+                    }
+                }
+                Err(TcqError::ReadOnly(_)) => {
+                    // Loss must be declared before it happens: a refusal
+                    // from anything but a read-only engine is a bug.
+                    refused += 1;
+                    if server.health() != HealthState::ReadOnly {
+                        invariant_failures.push(format!(
+                            "step {si}: push refused as read-only but health is {}",
+                            server.health().name()
+                        ));
+                    }
+                }
+                Err(e) => return Err(format!("step {si}: push {stream}@{ticks}: {e}")),
+            },
             Step::Punctuate { stream, ticks } => {
                 server
                     .punctuate(stream, *ticks)
@@ -315,7 +392,29 @@ pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
                 );
                 drain_handles(&handles, &mut sets);
             }
+            Step::DiskFault { kind, after, count } => {
+                server
+                    .inject_storage_fault(FaultPlan {
+                        kind: *kind,
+                        after: *after,
+                        count: *count,
+                    })
+                    .map_err(|e| format!("step {si}: inject_storage_fault: {e}"))?;
+            }
             Step::Crash => {
+                // The dying incarnation's declared-loss ledger is
+                // checked at the moment of death: whatever the crash
+                // loses must already be counted.
+                check_declared_loss(
+                    &server,
+                    &format!("step {si} crash"),
+                    ep,
+                    pushed_at_risk,
+                    refused,
+                    &mut invariant_failures,
+                );
+                pushed_at_risk = 0;
+                refused = 0;
                 // Drop everything without shutdown: in step mode there
                 // are no threads, so this is exactly the disk state a
                 // process kill leaves behind — committed WAL records
@@ -368,6 +467,15 @@ pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
         return Err("post-spill settle did not converge".into());
     }
     check_quiescent(&server, "final settle", &mut invariant_failures);
+    check_declared_loss(
+        &server,
+        "end of run",
+        ep,
+        pushed_at_risk,
+        refused,
+        &mut invariant_failures,
+    );
+    let health = server.health_report();
     drain_handles(&handles, &mut sets);
 
     let mut admitted = BTreeMap::new();
@@ -406,13 +514,30 @@ pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
         let _ = std::fs::remove_dir_all(dir);
     }
 
-    let rendered = render_outputs(&outputs);
+    let mut rendered = render_outputs(&outputs);
+    if health.state != HealthState::Healthy {
+        // Degradation is part of the replay identity (the cause string
+        // is not: it can embed the scratch directory path). Healthy
+        // runs render nothing, keeping pre-existing episodes
+        // byte-stable.
+        use std::fmt::Write;
+        let _ = writeln!(
+            rendered,
+            "health {} at_risk={} rejected={} healed={} storage_errors={}",
+            health.state.name(),
+            health.at_risk_rows,
+            health.rejected_rows,
+            health.healed,
+            health.storage_errors
+        );
+    }
     Ok(EpisodeRun {
         outputs,
         admitted,
         final_punct,
         shed,
         invariant_failures,
+        health,
         rendered,
     })
 }

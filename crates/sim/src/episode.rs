@@ -35,7 +35,8 @@
 //! `Display`; strings are restricted to non-whitespace tokens (the
 //! generator only emits such).
 
-use tcq_common::{Durability, ShedPolicy, Value};
+use tcq::FaultKind;
+use tcq_common::{Durability, OnStorageError, ShedPolicy, Value};
 
 /// Rows an attached flaky source will deliver: `(ticks, fields)` in
 /// nondecreasing tick order.
@@ -85,6 +86,18 @@ pub enum Step {
     /// crash are discarded (the recovered incarnation regenerates the
     /// entire result stream).
     Crash,
+    /// Arm a counted storage fault on the WAL's injectable I/O layer:
+    /// after `after` matching operations succeed, the next `count` of
+    /// them fail, then the fault heals. Requires the episode's
+    /// `durability` to be on (there is no WAL I/O to fault otherwise).
+    /// The engine must either heal (byte-exact oracle equality) or
+    /// declare degradation with exact loss accounting — the driver
+    /// asserts both.
+    DiskFault {
+        kind: FaultKind,
+        after: u32,
+        count: u32,
+    },
 }
 
 /// A complete replayable episode.
@@ -121,6 +134,11 @@ pub struct Episode {
     /// inherits the engine default; `Some(_)` pins it, letting corpus
     /// files and the recovery sweep exercise both paths explicitly.
     pub columnar: Option<bool>,
+    /// Storage-failure policy (`Config::on_storage_error`). `None` —
+    /// the default, and what episodes without an `onerror` line parse
+    /// to — inherits the engine default (`Degrade`); `Some(Halt)` makes
+    /// a persistent disk fault drive the read-only admission gate.
+    pub on_storage_error: Option<OnStorageError>,
     /// CQ-SQL queries, submitted in order before the schedule runs.
     pub queries: Vec<String>,
     /// The schedule.
@@ -173,6 +191,9 @@ impl Episode {
         if let Some(columnar) = self.columnar {
             let _ = writeln!(out, "columnar {}", columnar as u8);
         }
+        if let Some(policy) = self.on_storage_error {
+            let _ = writeln!(out, "onerror {}", policy.name());
+        }
         for q in &self.queries {
             let _ = writeln!(out, "query {}", q.replace('\n', " "));
         }
@@ -213,6 +234,9 @@ impl Episode {
                 Step::Crash => {
                     let _ = writeln!(out, "step crash");
                 }
+                Step::DiskFault { kind, after, count } => {
+                    let _ = writeln!(out, "step diskfault {} {after} {count}", kind.name());
+                }
             }
         }
         out
@@ -229,6 +253,7 @@ impl Episode {
             partitions: 1,
             durability: Durability::Off,
             columnar: None,
+            on_storage_error: None,
             queries: Vec::new(),
             steps: Vec::new(),
         };
@@ -320,6 +345,13 @@ impl Episode {
                         _ => return Err(err("bad columnar (0 or 1)")),
                     };
                 }
+                "onerror" => {
+                    ep.on_storage_error = Some(
+                        it.next()
+                            .and_then(OnStorageError::parse)
+                            .ok_or_else(|| err("bad onerror (degrade or halt)"))?,
+                    );
+                }
                 "query" => {
                     let sql = line["query".len()..].trim().to_string();
                     if sql.is_empty() {
@@ -389,6 +421,21 @@ impl Episode {
                     }
                     Some("settle") => ep.steps.push(Step::Settle),
                     Some("crash") => ep.steps.push(Step::Crash),
+                    Some("diskfault") => {
+                        let kind = it
+                            .next()
+                            .and_then(FaultKind::parse)
+                            .ok_or_else(|| err("bad diskfault kind"))?;
+                        let after: u32 = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("bad diskfault after"))?;
+                        let count: u32 = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("bad diskfault count"))?;
+                        ep.steps.push(Step::DiskFault { kind, after, count });
+                    }
                     _ => return Err(err("unknown step")),
                 },
                 _ => return Err(err("unknown directive")),
@@ -455,9 +502,15 @@ mod tests {
             partitions: 4,
             durability: Durability::Buffered,
             columnar: Some(false),
+            on_storage_error: Some(OnStorageError::Halt),
             queries: vec!["SELECT day FROM quotes WHERE price > 10.0".into()],
             steps: vec![
                 Step::Crash,
+                Step::DiskFault {
+                    kind: FaultKind::ShortWrite,
+                    after: 2,
+                    count: 1,
+                },
                 Step::Row {
                     stream: "quotes".into(),
                     ticks: 3,
@@ -530,8 +583,10 @@ mod tests {
         let ep = Episode::parse("seed 3\nflux 0").unwrap();
         assert!(ep.durability.is_off());
         assert!(ep.columnar.is_none());
+        assert!(ep.on_storage_error.is_none());
         assert!(!ep.render().contains("durability"));
         assert!(!ep.render().contains("columnar"));
+        assert!(!ep.render().contains("onerror"));
     }
 
     #[test]
@@ -544,6 +599,25 @@ mod tests {
         assert_eq!(Episode::parse(&ep.render()).unwrap(), ep);
         assert!(Episode::parse("durability always").is_err());
         assert!(Episode::parse("columnar maybe").is_err());
+    }
+
+    #[test]
+    fn diskfault_and_onerror_round_trip() {
+        let text = "seed 4\ndurability buffered\nonerror halt\nstep diskfault fsyncfail 1 2\n";
+        let ep = Episode::parse(text).unwrap();
+        assert_eq!(ep.on_storage_error, Some(OnStorageError::Halt));
+        assert_eq!(
+            ep.steps,
+            vec![Step::DiskFault {
+                kind: FaultKind::FsyncFail,
+                after: 1,
+                count: 2,
+            }]
+        );
+        assert_eq!(Episode::parse(&ep.render()).unwrap(), ep);
+        assert!(Episode::parse("onerror retry").is_err());
+        assert!(Episode::parse("step diskfault gremlins 0 1").is_err());
+        assert!(Episode::parse("step diskfault eio x 1").is_err());
     }
 
     #[test]

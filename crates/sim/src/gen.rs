@@ -25,8 +25,9 @@
 //! * `Forever` window loops always have a `t`-tracking right bound, so
 //!   the release rule terminates them.
 
+use tcq::FaultKind;
 use tcq_common::rng::SplitMix64;
-use tcq_common::{Durability, ShedPolicy, Value};
+use tcq_common::{Durability, OnStorageError, ShedPolicy, Value};
 
 use crate::episode::{Episode, SourceSpec, Step};
 
@@ -48,6 +49,13 @@ pub struct GenOptions {
     /// reboots it from disk, and replays the WAL; the recovered output
     /// must still match the oracle byte for byte.
     pub crashes: bool,
+    /// Enable counted storage-fault chaos (`false` = never). When on,
+    /// the episode runs durable and sprinkles `step diskfault` arms
+    /// into the schedule — the WAL's I/O layer fails deterministically
+    /// and the engine must heal (byte-exact) or degrade with exact
+    /// declared-loss accounting. A quarter of these episodes draw
+    /// `onerror halt`, driving the read-only admission gate.
+    pub diskfaults: bool,
 }
 
 const SYMS: [&str; 4] = ["aapl", "ibm", "msft", "orcl"];
@@ -65,9 +73,13 @@ pub fn generate(seed: u64, index: u64, opts: &GenOptions) -> Episode {
         _ => ShedPolicy::Spill,
     });
     let faults = opts.faults.unwrap_or_else(|| rng.next_below(2) == 1);
-    let durability = if opts.crashes {
+    let durability = if opts.crashes || opts.diskfaults {
         // Both durable modes; Fsync only differs by a sync_data call,
-        // but drawing it keeps that code path in the matrix.
+        // but drawing it keeps that code path in the matrix. (Disk
+        // faults need a WAL to fail, so they force durability on too;
+        // under Fsync every commit syncs, so `fsyncfail` plans fire on
+        // commits, while under Buffered they wait for a rotation or
+        // checkpoint.)
         if rng.next_below(3) == 0 {
             Durability::Fsync
         } else {
@@ -75,6 +87,15 @@ pub fn generate(seed: u64, index: u64, opts: &GenOptions) -> Episode {
         }
     } else {
         Durability::Off
+    };
+    let on_storage_error = if opts.diskfaults {
+        Some(if rng.next_below(4) == 0 {
+            OnStorageError::Halt
+        } else {
+            OnStorageError::Degrade
+        })
+    } else {
+        None
     };
 
     let n_queries = 1 + rng.next_below(3) as usize;
@@ -176,6 +197,24 @@ pub fn generate(seed: u64, index: u64, opts: &GenOptions) -> Episode {
     }
     steps.push(Step::Settle);
 
+    // Disk-fault arms are inserted as a separate pass (guarded draws,
+    // so enabling them never perturbs the other slices' episodes).
+    // Kind, window, and position are all drawn: a plan the schedule
+    // never reaches is legitimate coverage of the heal-by-default path.
+    if opts.diskfaults {
+        let n = 1 + rng.next_below(3);
+        for _ in 0..n {
+            let kind = FaultKind::ALL[rng.next_below(FaultKind::ALL.len() as u64) as usize];
+            let fault = Step::DiskFault {
+                kind,
+                after: rng.next_below(4) as u32,
+                count: 1 + rng.next_below(4) as u32,
+            };
+            let pos = rng.next_below(steps.len() as u64 + 1) as usize;
+            steps.insert(pos, fault);
+        }
+    }
+
     Episode {
         seed: seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         policy,
@@ -185,6 +224,7 @@ pub fn generate(seed: u64, index: u64, opts: &GenOptions) -> Episode {
         partitions: opts.partitions.unwrap_or(1).max(1),
         durability,
         columnar: None,
+        on_storage_error,
         queries,
         steps,
     }
@@ -278,16 +318,18 @@ mod tests {
             faults: Some(false),
             partitions: None,
             crashes: false,
+            diskfaults: false,
         };
         for i in 0..20 {
             let ep = generate(11, i, &opts);
             assert_eq!(ep.policy, ShedPolicy::Spill);
             assert_eq!(ep.flux_steps, 0);
             assert!(ep.durability.is_off());
-            assert!(!ep
-                .steps
-                .iter()
-                .any(|s| matches!(s, Step::Panic { .. } | Step::Source(_) | Step::Crash)));
+            assert!(ep.on_storage_error.is_none());
+            assert!(!ep.steps.iter().any(|s| matches!(
+                s,
+                Step::Panic { .. } | Step::Source(_) | Step::Crash | Step::DiskFault { .. }
+            )));
         }
     }
 
@@ -306,6 +348,26 @@ mod tests {
             saw_crash |= ep.steps.contains(&Step::Crash);
         }
         assert!(saw_crash, "20 crash-enabled episodes produced no crash");
+    }
+
+    #[test]
+    fn diskfault_chaos_is_durable_and_opt_in() {
+        let opts = GenOptions {
+            diskfaults: true,
+            ..GenOptions::default()
+        };
+        let (mut saw_fault, mut saw_halt) = (false, false);
+        for i in 0..30 {
+            let ep = generate(17, i, &opts);
+            // Disk-fault chaos always runs durable with a pinned
+            // storage-error policy, or the driver would reject it.
+            assert!(!ep.durability.is_off());
+            assert!(ep.on_storage_error.is_some());
+            saw_fault |= ep.steps.iter().any(|s| matches!(s, Step::DiskFault { .. }));
+            saw_halt |= ep.on_storage_error == Some(OnStorageError::Halt);
+        }
+        assert!(saw_fault, "30 diskfault-enabled episodes armed no fault");
+        assert!(saw_halt, "30 diskfault-enabled episodes never drew halt");
     }
 
     #[test]

@@ -26,7 +26,10 @@
 //! * [`gen`] — seeded random episodes composing the chaos levers:
 //!   flaky sources, operator-panic injection, eddy lottery reseeding,
 //!   Flux kill/restart schedules, whole-server crash/recovery over the
-//!   WAL (`GenOptions::crashes`), and every shed policy.
+//!   WAL (`GenOptions::crashes`), counted storage faults against the
+//!   WAL's I/O layer (`GenOptions::diskfaults`, the `step diskfault`
+//!   arm — the engine must heal byte-exactly or degrade with declared
+//!   loss), and every shed policy.
 //! * [`shrink`] — greedy minimization of a failing episode to a small
 //!   replayable artifact for `tests/sim_corpus/`.
 //!

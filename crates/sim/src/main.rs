@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! tcq-sim --seed 42 --episodes 1000     # randomized episode sweep
-//! tcq-sim --smoke                       # fixed 344-episode CI matrix
+//! tcq-sim --smoke                       # fixed 408-episode CI matrix
 //!                                       #   (4 shed policies x fault/no-fault,
 //!                                       #    + a partitions=4 slice per policy,
 //!                                       #    + a 104-episode durable crash/
-//!                                       #      recovery slice)
+//!                                       #      recovery slice,
+//!                                       #    + a 64-episode disk-fault slice)
 //!                                       #   + replay of tests/sim_corpus/
 //! tcq-sim --replay tests/sim_corpus/spill-drain.episode
 //! ```
@@ -57,7 +58,7 @@ fn parse_args() -> Result<Args, String> {
                     "tcq-sim: deterministic simulation testing\n\n\
                      \t--seed <n>        root seed (default 1)\n\
                      \t--episodes <k>    random episodes to run (default 100)\n\
-                     \t--smoke           fixed 344-episode matrix + corpus replay\n\
+                     \t--smoke           fixed 408-episode matrix + corpus replay\n\
                      \t--replay <file>   replay one episode file (repeatable)\n\
                      \t--corpus <dir>    corpus directory (default tests/sim_corpus)"
                 );
@@ -120,6 +121,7 @@ fn main() -> ExitCode {
                     faults: Some(faults),
                     partitions: None,
                     crashes: false,
+                    diskfaults: false,
                 };
                 for i in 0..25u64 {
                     let index = (pi as u64) * 1000 + (faults as u64) * 100 + i;
@@ -138,6 +140,7 @@ fn main() -> ExitCode {
                 faults: Some(true),
                 partitions: Some(4),
                 crashes: false,
+                diskfaults: false,
             };
             for i in 0..10u64 {
                 let index = 10_000 + (pi as u64) * 1000 + i;
@@ -157,10 +160,33 @@ fn main() -> ExitCode {
                     faults: Some(true),
                     partitions,
                     crashes: true,
+                    diskfaults: false,
                 };
                 for i in 0..13u64 {
                     let index =
                         20_000 + (pi as u64) * 1000 + partitions.unwrap_or(1) as u64 * 100 + i;
+                    failed += run_one(args.seed, index, &opts, &args.corpus) as usize;
+                    checked += 1;
+                }
+            }
+        }
+        // Disk-fault slice: durable episodes whose WAL I/O fails
+        // deterministically (EIO, short write, fsync failure, ENOSPC,
+        // torn rename), with and without crash interleavings, across
+        // every shed policy. The oracle contract: byte-exact equality
+        // when the fault heals, or a *declared* degraded state with
+        // exact conservation — no silent loss in any schedule.
+        for (pi, policy) in policies.iter().enumerate() {
+            for crashes in [false, true] {
+                let opts = GenOptions {
+                    policy: Some(*policy),
+                    faults: Some(false),
+                    partitions: None,
+                    crashes,
+                    diskfaults: true,
+                };
+                for i in 0..8u64 {
+                    let index = 30_000 + (pi as u64) * 1000 + (crashes as u64) * 100 + i;
                     failed += run_one(args.seed, index, &opts, &args.corpus) as usize;
                     checked += 1;
                 }

@@ -61,9 +61,11 @@ pub fn shrink(ep: &Episode, budget: usize) -> Episode {
     }
 
     // 1c. If the failure survives without the crashes, recovery is
-    // exonerated; if it then survives with durability off too, the WAL
-    // is exonerated entirely. (Dropping durability while crash steps
-    // remain would be rejected by the driver, so try crashes first.)
+    // exonerated; likewise without the disk faults, the storage-failure
+    // machinery is; if it then survives with durability off too, the
+    // WAL is exonerated entirely. (Dropping durability while crash or
+    // diskfault steps remain would be rejected by the driver, so try
+    // the steps first.)
     if best.steps.contains(&Step::Crash) {
         let mut cand = best.clone();
         cand.steps.retain(|s| !matches!(s, Step::Crash));
@@ -71,9 +73,26 @@ pub fn shrink(ep: &Episode, budget: usize) -> Episode {
             best = cand;
         }
     }
-    if !best.durability.is_off() && !best.steps.contains(&Step::Crash) {
+    if best
+        .steps
+        .iter()
+        .any(|s| matches!(s, Step::DiskFault { .. }))
+    {
+        let mut cand = best.clone();
+        cand.steps.retain(|s| !matches!(s, Step::DiskFault { .. }));
+        if still_fails(&cand, &mut left) {
+            best = cand;
+        }
+    }
+    if !best.durability.is_off()
+        && !best
+            .steps
+            .iter()
+            .any(|s| matches!(s, Step::Crash | Step::DiskFault { .. }))
+    {
         let mut cand = best.clone();
         cand.durability = tcq_common::Durability::Off;
+        cand.on_storage_error = None;
         if still_fails(&cand, &mut left) {
             best = cand;
         }
@@ -165,6 +184,7 @@ mod tests {
             partitions: 1,
             durability: tcq_common::Durability::Off,
             columnar: None,
+            on_storage_error: None,
             queries: vec!["q0".into(), "q1".into(), "q2".into()],
             steps: vec![
                 Step::Panic { query: 0 },

@@ -64,8 +64,10 @@ pub struct Spooler {
 }
 
 impl Spooler {
-    /// Start the spooler thread.
-    pub fn start() -> Spooler {
+    /// Start the spooler thread. Errs (instead of panicking) when the
+    /// OS refuses the thread — a resource-exhaustion condition the
+    /// caller should surface like any other storage failure.
+    pub fn start() -> Result<Spooler, TcqError> {
         let (tx, rx): (Sender<SpoolJob>, Receiver<SpoolJob>) = unbounded();
         let errors = Arc::new(AtomicU64::new(0));
         let errs = errors.clone();
@@ -92,12 +94,12 @@ impl Spooler {
                     }
                 }
             })
-            .expect("spawn spooler");
-        Spooler {
+            .map_err(|e| TcqError::StorageError(format!("spawn spooler: {e}")))?;
+        Ok(Spooler {
             tx,
             handle: Some(handle),
             errors,
-        }
+        })
     }
 
     /// Number of failed writes observed.
@@ -416,7 +418,7 @@ mod tests {
     #[test]
     fn background_spooler_writes_files() {
         let dir = tmp_dir("bg");
-        let spooler = Spooler::start();
+        let spooler = Spooler::start().unwrap();
         let mut a = StreamArchive::new(2, &dir, 5, pool(), Some(&spooler));
         for i in 1..=20 {
             a.append(tup(i)).unwrap();

@@ -1,0 +1,374 @@
+//! Deterministic failpoint-style I/O fault injection.
+//!
+//! Every file operation on the WAL's hot path (create, append, fsync,
+//! rename, read) is routed through a [`FaultIo`] handle. By default the
+//! handle is a zero-cost pass-through to `std::fs`. Arming a
+//! [`FaultPlan`] makes a *specific, counted* subset of operations fail
+//! — after `after` matching operations succeed, the next `count` of
+//! them return an injected error (or, for the torn variants, corrupt
+//! the file the way a real tear would) and then the plan is spent and
+//! the fault "heals".
+//!
+//! The counting makes fault schedules replayable: in the simulation
+//! harness's step mode the sequence of storage operations is a pure
+//! function of the episode, so `(kind, after, count)` pins the exact
+//! commit, rotation, or checkpoint that fails — which is what lets the
+//! sim assert byte-exact recovery (fault healed) or exact conservation
+//! (fault persisted into degradation) for every schedule.
+//!
+//! Fault kinds and the operation class each one targets:
+//!
+//! | kind         | fails on            | observable effect                    |
+//! |--------------|---------------------|--------------------------------------|
+//! | `eio`        | `write_all`         | error, nothing written               |
+//! | `shortwrite` | `write_all`         | half the bytes land, then error      |
+//! | `enospc`     | `write_all`         | error, nothing written               |
+//! | `fsyncfail`  | `sync_data/all/dir` | error; dirty pages must be presumed  |
+//! |              |                     | dropped (fsyncgate: never retry)     |
+//! | `tornrename` | `rename`            | destination holds a truncated prefix |
+//! |              |                     | of the source; call reports success  |
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which environmental failure to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Generic I/O error on a data write; nothing reaches the file.
+    Eio,
+    /// A write that tears: the first half of the buffer lands, then the
+    /// operation errors. Exercises torn-tail truncation on recovery.
+    ShortWrite,
+    /// A failed fsync (`sync_data` / `sync_all` / directory fsync).
+    FsyncFail,
+    /// Disk full on a data write; nothing reaches the file.
+    Enospc,
+    /// A rename that silently leaves a truncated destination — the
+    /// crash-window shape checkpoint read-back verification exists for.
+    TornRename,
+}
+
+impl FaultKind {
+    /// Canonical lowercase name (the episode-format token).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Eio => "eio",
+            FaultKind::ShortWrite => "shortwrite",
+            FaultKind::FsyncFail => "fsyncfail",
+            FaultKind::Enospc => "enospc",
+            FaultKind::TornRename => "tornrename",
+        }
+    }
+
+    /// Parse the canonical name (inverse of [`FaultKind::name`]).
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "eio" => Some(FaultKind::Eio),
+            "shortwrite" => Some(FaultKind::ShortWrite),
+            "fsyncfail" => Some(FaultKind::FsyncFail),
+            "enospc" => Some(FaultKind::Enospc),
+            "tornrename" => Some(FaultKind::TornRename),
+            _ => None,
+        }
+    }
+
+    /// All kinds, for generators and exhaustive tests.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Eio,
+        FaultKind::ShortWrite,
+        FaultKind::FsyncFail,
+        FaultKind::Enospc,
+        FaultKind::TornRename,
+    ];
+}
+
+/// One armed fault schedule: let `after` matching operations pass, then
+/// fail the next `count` of them, then heal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Matching operations that succeed before the first failure.
+    pub after: u32,
+    /// Consecutive matching operations that fail (`u32::MAX` ≈ a fault
+    /// that never heals, e.g. a genuinely full disk).
+    pub count: u32,
+}
+
+/// The operation classes a plan can match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Write,
+    Sync,
+    Rename,
+}
+
+impl FaultKind {
+    fn class(&self) -> OpClass {
+        match self {
+            FaultKind::Eio | FaultKind::ShortWrite | FaultKind::Enospc => OpClass::Write,
+            FaultKind::FsyncFail => OpClass::Sync,
+            FaultKind::TornRename => OpClass::Rename,
+        }
+    }
+
+    fn error(&self) -> io::Error {
+        io::Error::other(format!("injected fault: {}", self.name()))
+    }
+}
+
+#[derive(Debug)]
+struct PlanState {
+    plan: FaultPlan,
+    passed: u32,
+    fired: u32,
+}
+
+#[derive(Debug, Default)]
+struct FaultInner {
+    plan: Mutex<Option<PlanState>>,
+    injected: AtomicU64,
+}
+
+/// A cloneable fault-injection handle shared by every file operation of
+/// one WAL. Default-constructed it injects nothing; the lock is only
+/// ever contended by I/O calls (per commit, not per tuple), so the
+/// pass-through cost is one uncontended mutex acquire per operation.
+#[derive(Debug, Clone, Default)]
+pub struct FaultIo {
+    inner: Arc<FaultInner>,
+}
+
+impl FaultIo {
+    /// A pass-through handle with no plan armed.
+    pub fn new() -> FaultIo {
+        FaultIo::default()
+    }
+
+    /// Arm `plan`, replacing any existing one (spent or not).
+    pub fn arm(&self, plan: FaultPlan) {
+        *self.inner.plan.lock().unwrap() = Some(PlanState {
+            plan,
+            passed: 0,
+            fired: 0,
+        });
+    }
+
+    /// Disarm without waiting for the plan to spend itself.
+    pub fn clear(&self) {
+        *self.inner.plan.lock().unwrap() = None;
+    }
+
+    /// Whether an armed plan still has failures left to deliver.
+    pub fn armed(&self) -> bool {
+        self.inner
+            .plan
+            .lock()
+            .unwrap()
+            .as_ref()
+            .is_some_and(|s| s.fired < s.plan.count)
+    }
+
+    /// Total faults injected over this handle's lifetime.
+    pub fn injected(&self) -> u64 {
+        self.inner.injected.load(Ordering::Relaxed)
+    }
+
+    /// Consult the plan for one operation of `class`; `Some(kind)`
+    /// means this operation must fail.
+    fn decide(&self, class: OpClass) -> Option<FaultKind> {
+        let mut guard = self.inner.plan.lock().unwrap();
+        let state = guard.as_mut()?;
+        if state.plan.kind.class() != class {
+            return None;
+        }
+        if state.passed < state.plan.after {
+            state.passed += 1;
+            return None;
+        }
+        if state.fired < state.plan.count {
+            state.fired += 1;
+            let kind = state.plan.kind;
+            if state.fired == state.plan.count {
+                // Spent: the fault heals; later operations pass.
+                *guard = None;
+            }
+            self.inner.injected.fetch_add(1, Ordering::Relaxed);
+            return Some(kind);
+        }
+        None
+    }
+
+    /// Create-or-truncate `path` for writing (checkpoint tmp files).
+    pub fn create(&self, path: &Path) -> io::Result<File> {
+        File::create(path)
+    }
+
+    /// Open `path` for appending, creating it if absent (segments).
+    pub fn open_append(&self, path: &Path) -> io::Result<File> {
+        OpenOptions::new().create(true).append(true).open(path)
+    }
+
+    /// Read the whole of `path` (recovery scans, read-back verify).
+    pub fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    /// Write all of `buf` to `file`, subject to the armed plan.
+    pub fn write_all(&self, file: &mut File, buf: &[u8]) -> io::Result<()> {
+        match self.decide(OpClass::Write) {
+            None => file.write_all(buf),
+            Some(FaultKind::ShortWrite) => {
+                // Land a torn prefix for real, then report failure: the
+                // file now ends mid-frame exactly like a kernel short
+                // write surfaced by a later error would leave it.
+                let _ = file.write_all(&buf[..buf.len() / 2]);
+                Err(FaultKind::ShortWrite.error())
+            }
+            Some(kind) => Err(kind.error()),
+        }
+    }
+
+    /// `sync_data` on `file`, subject to the armed plan.
+    pub fn sync_data(&self, file: &File) -> io::Result<()> {
+        match self.decide(OpClass::Sync) {
+            None => file.sync_data(),
+            Some(kind) => Err(kind.error()),
+        }
+    }
+
+    /// `sync_all` on `file`, subject to the armed plan.
+    pub fn sync_all(&self, file: &File) -> io::Result<()> {
+        match self.decide(OpClass::Sync) {
+            None => file.sync_all(),
+            Some(kind) => Err(kind.error()),
+        }
+    }
+
+    /// Fsync the directory `dir` itself (durable renames/creates),
+    /// subject to the armed plan.
+    pub fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        match self.decide(OpClass::Sync) {
+            None => File::open(dir).and_then(|f| f.sync_all()),
+            Some(kind) => Err(kind.error()),
+        }
+    }
+
+    /// Rename `from` to `to`, subject to the armed plan. A torn rename
+    /// *reports success* while leaving a truncated destination — the
+    /// failure mode only read-back verification can catch.
+    pub fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.decide(OpClass::Rename) {
+            None => fs::rename(from, to),
+            Some(_) => {
+                let bytes = fs::read(from)?;
+                fs::write(to, &bytes[..bytes.len() / 2])?;
+                fs::remove_file(from)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tfile(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("tcq-faultio-{}-{tag}", std::process::id()));
+        let _ = fs::remove_file(&d);
+        d
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(FaultKind::parse("gremlins"), None);
+    }
+
+    #[test]
+    fn passthrough_without_plan() {
+        let io = FaultIo::new();
+        let path = tfile("pass");
+        let mut f = io.create(&path).unwrap();
+        io.write_all(&mut f, b"hello").unwrap();
+        io.sync_all(&f).unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"hello");
+        assert_eq!(io.injected(), 0);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn counted_window_then_heals() {
+        let io = FaultIo::new();
+        io.arm(FaultPlan {
+            kind: FaultKind::Eio,
+            after: 1,
+            count: 2,
+        });
+        let path = tfile("count");
+        let mut f = io.create(&path).unwrap();
+        io.write_all(&mut f, b"a").unwrap(); // after=1 passes
+        assert!(io.write_all(&mut f, b"b").is_err());
+        assert!(io.armed());
+        assert!(io.write_all(&mut f, b"c").is_err());
+        assert!(!io.armed(), "plan spent");
+        io.write_all(&mut f, b"d").unwrap(); // healed
+        assert_eq!(io.read(&path).unwrap(), b"ad");
+        assert_eq!(io.injected(), 2);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn short_write_lands_half() {
+        let io = FaultIo::new();
+        io.arm(FaultPlan {
+            kind: FaultKind::ShortWrite,
+            after: 0,
+            count: 1,
+        });
+        let path = tfile("short");
+        let mut f = io.create(&path).unwrap();
+        assert!(io.write_all(&mut f, b"12345678").is_err());
+        assert_eq!(io.read(&path).unwrap(), b"1234");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sync_faults_only_hit_syncs() {
+        let io = FaultIo::new();
+        io.arm(FaultPlan {
+            kind: FaultKind::FsyncFail,
+            after: 0,
+            count: 1,
+        });
+        let path = tfile("sync");
+        let mut f = io.create(&path).unwrap();
+        io.write_all(&mut f, b"x").unwrap(); // writes unaffected
+        assert!(io.sync_data(&f).is_err());
+        io.sync_data(&f).unwrap();
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_rename_reports_success_with_truncated_destination() {
+        let io = FaultIo::new();
+        io.arm(FaultPlan {
+            kind: FaultKind::TornRename,
+            after: 0,
+            count: 1,
+        });
+        let src = tfile("torn-src");
+        let dst = tfile("torn-dst");
+        fs::write(&src, b"0123456789").unwrap();
+        io.rename(&src, &dst).unwrap();
+        assert!(!src.exists());
+        assert_eq!(io.read(&dst).unwrap(), b"01234");
+        let _ = fs::remove_file(&dst);
+    }
+}

@@ -28,12 +28,18 @@
 //!   truncation and a compacting checkpointer; recovery replays the
 //!   newest checkpoint plus the log tail through the engine's normal
 //!   admit path (see DESIGN.md §14).
+//! * [`faultio`] — deterministic failpoint-style fault injection for
+//!   the WAL's file operations (EIO, short write, fsync failure,
+//!   ENOSPC, torn rename), so every storage error branch is exercised
+//!   on a replayable schedule (see DESIGN.md §15).
 
 pub mod archive;
 pub mod bufferpool;
 pub mod codec;
+pub mod faultio;
 pub mod wal;
 
 pub use archive::{ArchiveStats, Spooler, StreamArchive};
 pub use bufferpool::{BufferPool, PoolStats, Replacement};
+pub use faultio::{FaultIo, FaultKind, FaultPlan};
 pub use wal::{read_log, WalRecord, WalScan, WalWriter, WalWriterStats};

@@ -53,12 +53,12 @@
 //! full history.
 
 use std::fs::{self, File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use tcq_common::{Result, TcqError, Tuple};
 
 use crate::codec::{crc32, encode_tuple, Decoder};
+use crate::faultio::FaultIo;
 
 /// Upper bound on one frame's payload (plausibility check while
 /// scanning: a length field beyond this is treated as a torn tail, not
@@ -193,14 +193,6 @@ pub fn read_frames(buf: &[u8]) -> (Vec<WalRecord>, usize) {
     (records, pos)
 }
 
-/// Fsync `dir` itself so renames, creations, and unlinks inside it are
-/// durable — a file's own fsync does not cover its directory entry.
-fn sync_dir(dir: &Path) -> Result<()> {
-    File::open(dir)
-        .and_then(|f| f.sync_all())
-        .map_err(|e| TcqError::StorageError(e.to_string()))
-}
-
 fn seg_path(dir: &Path, n: u64) -> PathBuf {
     dir.join(format!("seg-{n:08}.wal"))
 }
@@ -278,6 +270,7 @@ pub struct WalWriter {
     seg_len: u64,
     buf: Vec<u8>,
     stats: WalWriterStats,
+    io: FaultIo,
 }
 
 impl WalWriter {
@@ -286,6 +279,18 @@ impl WalWriter {
     /// boundary. `fsync` selects the `Durability::Fsync` behaviour;
     /// segments rotate once they exceed `segment_bytes`.
     pub fn open(dir: &Path, fsync: bool, segment_bytes: u64) -> Result<WalWriter> {
+        WalWriter::open_with_io(dir, fsync, segment_bytes, FaultIo::new())
+    }
+
+    /// [`WalWriter::open`] with every subsequent file operation routed
+    /// through `io`, so tests and the simulation harness can fail a
+    /// specific write, sync, or rename on a replayable schedule.
+    pub fn open_with_io(
+        dir: &Path,
+        fsync: bool,
+        segment_bytes: u64,
+        io: FaultIo,
+    ) -> Result<WalWriter> {
         fs::create_dir_all(dir).map_err(|e| TcqError::StorageError(e.to_string()))?;
         let (segs, ckpts) = list_dir(dir);
         let mut stats = WalWriterStats::default();
@@ -325,14 +330,13 @@ impl WalWriter {
         for s in segs.into_iter().filter(|&s| s < floor) {
             let _ = fs::remove_file(seg_path(dir, s));
         }
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(seg_path(dir, seg_no))
+        let file = io
+            .open_append(&seg_path(dir, seg_no))
             .map_err(|e| TcqError::StorageError(e.to_string()))?;
         // Make the segment's directory entry (and any prune above)
         // durable before the first append lands in it.
-        sync_dir(dir)?;
+        io.sync_dir(dir)
+            .map_err(|e| TcqError::StorageError(e.to_string()))?;
         Ok(WalWriter {
             dir: dir.to_path_buf(),
             fsync,
@@ -342,7 +346,13 @@ impl WalWriter {
             seg_len,
             buf: Vec::new(),
             stats,
+            io,
         })
+    }
+
+    /// The fault-injection handle every file operation goes through.
+    pub fn fault_io(&self) -> &FaultIo {
+        &self.io
     }
 
     /// Stage one record for the next [`WalWriter::commit`].
@@ -362,22 +372,27 @@ impl WalWriter {
     /// segment (one write, plus one `sync_data` in fsync mode),
     /// rotating afterwards if the segment is full. Returns the bytes
     /// written.
+    ///
+    /// On error the staged buffer is *retained* (the caller decides
+    /// whether the batch is lost); a failed write or sync must not be
+    /// retried against the same segment — per the fsync-failure rules,
+    /// recover via [`WalWriter::seal_and_reset`] instead.
     pub fn commit(&mut self) -> Result<u64> {
         if self.buf.is_empty() {
             return Ok(0);
         }
         let n = self.buf.len() as u64;
-        self.file
-            .write_all(&self.buf)
-            .map_err(|e| TcqError::StorageError(e.to_string()))?;
+        self.io
+            .write_all(&mut self.file, &self.buf)
+            .map_err(|e| TcqError::StorageError(format!("wal append: {e}")))?;
         self.buf.clear();
         self.seg_len += n;
         self.stats.appended_bytes += n;
         self.stats.commits += 1;
         if self.fsync {
-            self.file
-                .sync_data()
-                .map_err(|e| TcqError::StorageError(e.to_string()))?;
+            self.io
+                .sync_data(&self.file)
+                .map_err(|e| TcqError::StorageError(format!("wal fsync: {e}")))?;
             self.stats.synced_bytes += n;
             self.stats.syncs += 1;
         }
@@ -390,20 +405,48 @@ impl WalWriter {
     /// Close the current segment and start the next one.
     pub fn rotate(&mut self) -> Result<u64> {
         if self.fsync {
-            let _ = self.file.sync_data();
+            // A failed sync here means the closing segment's tail may
+            // never reach the platter. It must propagate: pretending
+            // the rotation was clean would hand recovery a hole that
+            // was never declared.
+            self.io
+                .sync_data(&self.file)
+                .map_err(|e| TcqError::StorageError(format!("wal rotate fsync: {e}")))?;
         }
         self.seg_no += 1;
-        self.file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(seg_path(&self.dir, self.seg_no))
-            .map_err(|e| TcqError::StorageError(e.to_string()))?;
+        self.file = self
+            .io
+            .open_append(&seg_path(&self.dir, self.seg_no))
+            .map_err(|e| TcqError::StorageError(format!("wal rotate: {e}")))?;
         if self.fsync {
             // Power loss must not drop the new segment's directory
             // entry while keeping later ones — that would read as a
             // gap and end recovery early.
-            sync_dir(&self.dir)?;
+            self.io
+                .sync_dir(&self.dir)
+                .map_err(|e| TcqError::StorageError(format!("wal rotate dirsync: {e}")))?;
         }
+        self.seg_len = 0;
+        Ok(self.seg_no)
+    }
+
+    /// Abandon the current segment after a failed commit: discard the
+    /// staged (never-acknowledged) bytes and continue in a fresh
+    /// segment, deliberately *without* re-syncing the poisoned file —
+    /// after a failed fsync the kernel may already have dropped the
+    /// dirty pages while clearing the error, so a retried fsync that
+    /// reports success proves nothing (the fsyncgate lesson). The
+    /// abandoned segment keeps whatever valid prefix actually landed;
+    /// a torn tail is truncated by the next recovery scan. Callers
+    /// should follow up with a full checkpoint so history re-anchors at
+    /// a verified snapshot.
+    pub fn seal_and_reset(&mut self) -> Result<u64> {
+        self.buf.clear();
+        self.seg_no += 1;
+        self.file = self
+            .io
+            .open_append(&seg_path(&self.dir, self.seg_no))
+            .map_err(|e| TcqError::StorageError(format!("wal seal: {e}")))?;
         self.seg_len = 0;
         Ok(self.seg_no)
     }
@@ -431,27 +474,46 @@ impl WalWriter {
         let bytes = buf.len() as u64;
         let tmp = self.dir.join(format!("ckpt-{seq:08}.tmp"));
         let final_path = ckpt_path(&self.dir, seq);
-        let io = |e: std::io::Error| TcqError::StorageError(e.to_string());
-        {
-            let mut f = File::create(&tmp).map_err(io)?;
-            f.write_all(&buf).map_err(io)?;
-            f.sync_all().map_err(io)?;
+        let err = |stage: &str, e: std::io::Error| {
+            TcqError::StorageError(format!("checkpoint {stage}: {e}"))
+        };
+        let staged = (|| {
+            let mut f = self.io.create(&tmp).map_err(|e| err("create", e))?;
+            self.io
+                .write_all(&mut f, &buf)
+                .map_err(|e| err("write", e))?;
+            self.io.sync_all(&f).map_err(|e| err("fsync", e))
+        })();
+        if let Err(e) = staged {
+            // A failed stage leaves only the tmp file; nothing it
+            // superseded was touched, so remove it and report.
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
         }
-        fs::rename(&tmp, &final_path).map_err(io)?;
+        self.io
+            .rename(&tmp, &final_path)
+            .map_err(|e| err("rename", e))?;
         // The rename must be durable before anything it supersedes is
         // unlinked, or power loss could surface the unlinks without
         // the checkpoint.
-        sync_dir(&self.dir)?;
+        self.io.sync_dir(&self.dir).map_err(|e| err("dirsync", e))?;
         // Verify the checkpoint reads back before pruning the history
         // it replaces: a checkpoint that cannot be read must not cost
-        // the segments that could rebuild it.
-        let back = fs::read(&final_path).map_err(io)?;
-        let (_, valid) = read_frames(&back);
-        if valid != back.len() {
+        // the segments that could rebuild it (and a torn rename — the
+        // destination holding a truncated prefix — is only caught
+        // here).
+        let back = self.io.read(&final_path).map_err(|e| err("readback", e))?;
+        let (back_records, valid) = read_frames(&back);
+        if valid != back.len() || back_records.len() != records.len() {
+            // The record-count check catches a truncation that happens
+            // to end exactly on a frame boundary, which byte-level
+            // validation alone would bless.
             let _ = fs::remove_file(&final_path);
             return Err(TcqError::StorageError(format!(
-                "checkpoint {seq} failed read-back verification ({valid} of {} bytes valid)",
-                back.len()
+                "checkpoint {seq} failed read-back verification ({valid} of {} bytes, {} of {} records valid)",
+                back.len(),
+                back_records.len(),
+                records.len()
             )));
         }
         if self.seg_no <= seq {
@@ -771,6 +833,169 @@ mod tests {
         let scan = read_log(&dir).unwrap();
         assert_eq!(scan.checkpoint, Some(seq2));
         assert_eq!(scan.records, vec![batch(0, 3)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    use crate::faultio::{FaultIo, FaultKind, FaultPlan};
+
+    fn faulty(dir: &Path, fsync: bool, seg_bytes: u64) -> (WalWriter, FaultIo) {
+        let io = FaultIo::new();
+        let w = WalWriter::open_with_io(dir, fsync, seg_bytes, io.clone()).unwrap();
+        (w, io)
+    }
+
+    #[test]
+    fn enospc_during_checkpoint_preserves_history() {
+        let dir = tdir("enospc-ckpt");
+        let (mut w, io) = faulty(&dir, false, 1 << 20);
+        let recs = sample_records();
+        for r in &recs {
+            w.append(r);
+        }
+        w.commit().unwrap();
+        // Disk fills exactly as the checkpoint body is written.
+        io.arm(FaultPlan {
+            kind: FaultKind::Enospc,
+            after: 0,
+            count: 1,
+        });
+        let seq = w.seg_no();
+        let err = w.checkpoint(seq, &recs).unwrap_err();
+        assert!(err.to_string().contains("enospc"), "{err}");
+        // Nothing the checkpoint would have superseded was touched —
+        // recovery still reads the full logged history, and no stray
+        // tmp file is left behind.
+        let scan = read_log(&dir).unwrap();
+        assert_eq!(scan.records, recs);
+        assert_eq!(scan.checkpoint, None);
+        assert!(!dir.join(format!("ckpt-{seq:08}.tmp")).exists());
+        // Space frees up (the plan is spent): the retry succeeds.
+        w.checkpoint(seq, &recs).unwrap();
+        assert_eq!(read_log(&dir).unwrap().checkpoint, Some(seq));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_failure_during_rotation_propagates_and_seal_recovers() {
+        let dir = tdir("fsyncfail-rotate");
+        // Tiny segments: the first commit triggers a rotation.
+        let (mut w, io) = faulty(&dir, true, 8);
+        // Commit syncs once, then rotation syncs the closing segment:
+        // pass the first, fail the second.
+        io.arm(FaultPlan {
+            kind: FaultKind::FsyncFail,
+            after: 1,
+            count: 1,
+        });
+        w.append(&batch(0, 2));
+        let err = w.commit().unwrap_err();
+        assert!(err.to_string().contains("rotate fsync"), "{err}");
+        // Per the fsync rules the segment is abandoned, not re-synced;
+        // a verified checkpoint re-anchors history.
+        w.seal_and_reset().unwrap();
+        let snap = sample_records();
+        let seq = w.seg_no();
+        w.checkpoint(seq, &snap).unwrap();
+        let scan = read_log(&dir).unwrap();
+        assert_eq!(scan.checkpoint, Some(seq));
+        assert_eq!(scan.records, snap);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_write_tears_tail_and_checkpoint_reanchors() {
+        let dir = tdir("shortwrite");
+        let (mut w, io) = faulty(&dir, false, 1 << 20);
+        w.append(&batch(0, 3));
+        w.commit().unwrap();
+        io.arm(FaultPlan {
+            kind: FaultKind::ShortWrite,
+            after: 0,
+            count: 1,
+        });
+        w.append(&batch(0, 5));
+        assert!(w.commit().is_err());
+        // The torn frame is invisible to recovery; the prior commit
+        // survives intact.
+        let scan = read_log(&dir).unwrap();
+        assert_eq!(scan.records, vec![batch(0, 3)]);
+        assert!(scan.truncated > 0, "tear detected");
+        // A tear ends recoverable history, so recovery would never
+        // read segments appended after it — healing therefore demands
+        // a checkpoint, not just a fresh segment.
+        w.seal_and_reset().unwrap();
+        let snap = vec![batch(0, 3), batch(0, 5)];
+        let seq = w.seg_no();
+        w.checkpoint(seq, &snap).unwrap();
+        w.append(&WalRecord::Punct { gid: 0, ticks: 9 });
+        w.commit().unwrap();
+        let scan = read_log(&dir).unwrap();
+        let mut want = snap;
+        want.push(WalRecord::Punct { gid: 0, ticks: 9 });
+        assert_eq!(scan.records, want);
+        assert_eq!(scan.truncated, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_rename_checkpoint_caught_by_readback() {
+        let dir = tdir("tornrename");
+        let (mut w, io) = faulty(&dir, false, 1 << 20);
+        let recs = sample_records();
+        for r in &recs {
+            w.append(r);
+        }
+        w.commit().unwrap();
+        io.arm(FaultPlan {
+            kind: FaultKind::TornRename,
+            after: 0,
+            count: 1,
+        });
+        let seq = w.seg_no();
+        // The rename itself reports success; only read-back
+        // verification notices the truncated checkpoint — and it must
+        // not cost the segments that could rebuild it.
+        let err = w.checkpoint(seq, &recs).unwrap_err();
+        assert!(err.to_string().contains("read-back"), "{err}");
+        let scan = read_log(&dir).unwrap();
+        assert_eq!(scan.records, recs);
+        assert_eq!(scan.checkpoint, None);
+        // Healed: the retry lands and compacts.
+        w.checkpoint(seq, &recs).unwrap();
+        assert_eq!(read_log(&dir).unwrap().checkpoint, Some(seq));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eio_on_commit_loses_only_the_staged_batch() {
+        let dir = tdir("eio");
+        let (mut w, io) = faulty(&dir, false, 1 << 20);
+        w.append(&batch(0, 2));
+        w.commit().unwrap();
+        io.arm(FaultPlan {
+            kind: FaultKind::Eio,
+            after: 0,
+            count: 1,
+        });
+        w.append(&batch(0, 7));
+        assert!(w.commit().is_err());
+        // Nothing reached the file: no tear, just a missing batch.
+        let scan = read_log(&dir).unwrap();
+        assert_eq!(scan.records, vec![batch(0, 2)]);
+        assert_eq!(scan.truncated, 0);
+        // seal_and_reset discards the staged bytes (they were never
+        // acknowledged); the next commit starts clean.
+        w.seal_and_reset().unwrap();
+        w.append(&WalRecord::Punct { gid: 0, ticks: 3 });
+        w.commit().unwrap();
+        // The fresh segment is contiguous with the abandoned one, so
+        // the post-heal tail is readable even without a checkpoint
+        // (the abandoned segment has no tear in the EIO case).
+        let scan = read_log(&dir).unwrap();
+        assert_eq!(
+            scan.records,
+            vec![batch(0, 2), WalRecord::Punct { gid: 0, ticks: 3 }]
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -132,7 +132,7 @@ fn archive_survives_reader_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 
     {
-        let spooler = Spooler::start();
+        let spooler = Spooler::start().unwrap();
         let pool = Arc::new(Mutex::new(BufferPool::new(4, Replacement::Lru)));
         let mut a = StreamArchive::new(1, &dir, 16, pool, Some(&spooler));
         for i in 1..=160 {

@@ -576,6 +576,61 @@ fn drop_oldest_partitioned_conserves_exactly() {
     }
 }
 
+/// A flood against a small global memory budget must complete without
+/// the in-flight estimate ever crossing the limit: breaching admission
+/// evicts via the shed machinery (declared loss) instead of growing
+/// toward an OOM kill. The `mem.budget` gauge row on `tcq$queues`
+/// reuses the queue columns as (name, used, limit, charged, released,
+/// high_water, denials), so the high-water reading is queryable through
+/// the ordinary introspection path.
+#[test]
+fn memory_budget_flood_stays_under_budget() {
+    const BUDGET: u64 = 4096;
+    let s = Server::start(Config {
+        mem_budget_bytes: Some(BUDGET),
+        ..overload_config(ShedPolicy::DropOldest)
+    })
+    .unwrap();
+    s.register_stream("S", s_schema()).unwrap();
+    let h = tap(&s);
+    let gauges = s
+        .submit("SELECT * FROM tcq$queues WHERE depth >= 0")
+        .unwrap();
+    for i in 1..=N {
+        push_seq(&s, i);
+    }
+    s.sync();
+    s.emit_introspection();
+    s.sync();
+    assert_conserved(&s);
+    s.assert_quiescent();
+    let st = s.shed_stats("S").unwrap();
+    let delivered = seqs(&h);
+    assert_eq!(
+        delivered.len() as u64 + st.shed,
+        N as u64,
+        "every tuple delivered or counted shed under the budget: {st:?}"
+    );
+    let budget_rows: Vec<_> = gauges
+        .drain()
+        .into_iter()
+        .flat_map(|r| r.rows)
+        .filter(|t| t.field(0).as_str() == Some("mem.budget"))
+        .collect();
+    let gauge = budget_rows.last().expect("global budget gauge published");
+    assert_eq!(gauge.field(2).as_int(), Some(BUDGET as i64), "limit column");
+    let high_water = gauge.field(5).as_int().unwrap();
+    assert!(
+        high_water > 0,
+        "the flood actually charged the budget: {gauge:?}"
+    );
+    assert!(
+        high_water as u64 <= BUDGET,
+        "in-flight high water {high_water} must never exceed the budget {BUDGET}"
+    );
+    s.shutdown();
+}
+
 /// The router-lock broadcast invariant: `InjectPanic` reaches every
 /// partition at the same point of the batch order, so all partitions
 /// lose the SAME batch and the partitioned run degrades exactly like

@@ -11,8 +11,9 @@
 //! A double-crash probe checks that recovery composes (crash, recover,
 //! crash again, recover again — still byte-identical to the oracle).
 
-use sim::{check_episode, Episode, Step};
-use tcq_common::{Durability, ShedPolicy, Value};
+use sim::{check_episode, run_episode, Episode, Step};
+use tcq::{Config, FaultKind, FaultPlan, HealthState, Server};
+use tcq_common::{DataType, Durability, Field, OnStorageError, Schema, ShedPolicy, Value};
 
 fn row(stream: &str, tick: i64, fields: Vec<Value>) -> Step {
     Step::Row {
@@ -58,6 +59,7 @@ fn base_episode(partitions: usize, columnar: bool, durability: Durability) -> Ep
         partitions,
         durability,
         columnar: Some(columnar),
+        on_storage_error: None,
         queries: vec![
             "SELECT sym, COUNT(*), SUM(price) FROM quotes GROUP BY sym \
              for (t = 1; t <= 8; t++) { WindowIs(quotes, t - 3, t); }"
@@ -165,4 +167,251 @@ fn crash_without_durability_is_rejected() {
         failures.iter().any(|f| f.contains("durability is off")),
         "expected a durability rejection, got: {failures:?}"
     );
+}
+
+// ---------------------------------------------------------------------
+// Environmental faults: counted I/O failures against the WAL's storage
+// layer. The oracle contract is heal-or-declare — either the engine
+// absorbs the fault (seal + checkpoint) and stays byte-exact, or it
+// degrades with every at-risk/refused row on a declared ledger.
+// ---------------------------------------------------------------------
+
+fn diskfault(kind: FaultKind, after: u32, count: u32) -> Step {
+    Step::DiskFault { kind, after, count }
+}
+
+/// Every fault kind, injected at several schedule positions, must leave
+/// the run clean: short counted faults heal through the fsyncgate path
+/// (seal the poisoned segment, re-anchor on a verified checkpoint) and
+/// the output stays byte-identical to the oracle.
+#[test]
+fn diskfault_of_every_kind_heals_or_declares() {
+    let base = base_episode(1, true, Durability::Fsync);
+    for kind in FaultKind::ALL {
+        for at in [0usize, 5, 10, base.steps.len()] {
+            let mut ep = base.clone();
+            ep.steps.insert(at, diskfault(kind, 0, 1));
+            assert_clean(&ep, &format!("{} fault at step {at}", kind.name()));
+        }
+    }
+}
+
+/// A persistent fault (count outlives the heal attempt) degrades the
+/// engine; a later crash then loses exactly the declared at-risk rows.
+/// The driver cross-checks its own push ledger against the engine's at
+/// the crash, and the recovered incarnation must still replay to the
+/// oracle byte for byte.
+#[test]
+fn persistent_diskfault_then_crash_conserves_declared_loss() {
+    let base = base_episode(1, true, Durability::Fsync);
+    for kind in [FaultKind::Eio, FaultKind::FsyncFail, FaultKind::Enospc] {
+        let mut ep = base.clone();
+        // Insert the later position first so the fault index stays valid.
+        ep.steps.insert(10, Step::Crash);
+        ep.steps.insert(3, diskfault(kind, 0, 64));
+        assert_clean(&ep, &format!("persistent {} then crash", kind.name()));
+    }
+}
+
+/// Under `onerror halt` the first storage failure sends the engine
+/// straight to read-only: subsequent pushes are refused (and counted on
+/// the rejected ledger), punctuations still close windows, and the
+/// delivered output still matches the oracle over the admitted trace.
+#[test]
+fn halt_policy_goes_read_only_and_refuses_ingest() {
+    let mut ep = base_episode(1, true, Durability::Fsync);
+    ep.on_storage_error = Some(OnStorageError::Halt);
+    ep.steps.insert(0, diskfault(FaultKind::Eio, 0, 1));
+    assert_clean(&ep, "halt episode");
+    let run = run_episode(&ep).expect("halt episode runs");
+    assert_eq!(run.health.state, HealthState::ReadOnly);
+    assert!(
+        run.health.rejected_rows > 0,
+        "pushes after the transition must be refused, got {:?}",
+        run.health
+    );
+}
+
+/// A disk-fault step in a non-durable episode targets a WAL that does
+/// not exist; like `crash`, it is a harness error, never a silent skip.
+#[test]
+fn diskfault_without_durability_is_rejected() {
+    let mut ep = base_episode(1, true, Durability::Off);
+    ep.steps.insert(3, diskfault(FaultKind::Eio, 0, 1));
+    let failures = check_episode(&ep);
+    assert!(
+        failures.iter().any(|f| f.contains("durability is off")),
+        "expected a durability rejection, got: {failures:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Server-level fault anatomy: pin the exact degradation and recovery
+// sequence for the two classic incidents — ENOSPC while writing a
+// checkpoint, and a failed fsync at segment rotation.
+// ---------------------------------------------------------------------
+
+static FAULT_DIR_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tcq-recovery-{tag}-{}-{}",
+        std::process::id(),
+        FAULT_DIR_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic step-mode durable server over `dir` with one
+/// integer-valued stream. `checkpoint_bytes: 1` makes every
+/// punctuation a checkpoint; a tiny `wal_segment_bytes` makes every
+/// commit a rotation.
+fn fault_server(dir: &std::path::Path, checkpoint_bytes: u64, wal_segment_bytes: u64) -> Server {
+    let server = Server::start(Config {
+        step_mode: true,
+        durability: Durability::Fsync,
+        archive_dir: Some(dir.to_path_buf()),
+        checkpoint_bytes,
+        wal_segment_bytes,
+        ..Config::default()
+    })
+    .expect("durable server starts");
+    server
+        .register_stream(
+            "s",
+            Schema::qualified("s", vec![Field::new("v", DataType::Int)]),
+        )
+        .expect("stream registers");
+    server
+}
+
+fn archived_ints(server: &Server) -> Vec<i64> {
+    server
+        .archive_rows("s", i64::MIN, i64::MAX)
+        .expect("archive scan")
+        .iter()
+        .map(|t| t.field(0).as_int().expect("int field"))
+        .collect()
+}
+
+/// ENOSPC during a checkpoint: the punctuation's commit fails, and the
+/// heal's replacement checkpoint hits the same full disk, so the engine
+/// must degrade — and after a crash, recovery lands on the last
+/// *verified* checkpoint plus the committed WAL tail, with the one
+/// at-risk row as the only (declared) loss.
+#[test]
+fn enospc_during_checkpoint_recovers_to_last_verified_checkpoint() {
+    let dir = scratch_dir("enospc");
+    {
+        let server = fault_server(&dir, 1, 4 << 20);
+        for t in 1..=3i64 {
+            server
+                .push_at("s", vec![Value::Int(t * 10)], t)
+                .expect("push");
+        }
+        server.sync();
+        server.punctuate("s", 3).expect("punctuate"); // checkpoint #1, verified
+        server.sync();
+        assert_eq!(server.health(), HealthState::Healthy);
+        for t in 4..=5i64 {
+            server
+                .push_at("s", vec![Value::Int(t * 10)], t)
+                .expect("push");
+        }
+        server.sync();
+        server
+            .inject_storage_fault(FaultPlan {
+                kind: FaultKind::Enospc,
+                after: 0,
+                count: u32::MAX,
+            })
+            .expect("arm fault");
+        // Storage failure is not an ingest error: the call still
+        // succeeds, the damage lands on the health ledger instead.
+        server.punctuate("s", 5).expect("punctuate under ENOSPC");
+        server.sync();
+        assert_eq!(server.health(), HealthState::DurabilityDegraded);
+        let report = server.health_report();
+        assert!(report.storage_errors >= 1, "error counted: {report:?}");
+        assert_eq!(report.at_risk_rows, 0, "no rows admitted since degrading");
+        server
+            .push_at("s", vec![Value::Int(60)], 6)
+            .expect("degraded engine still admits");
+        server.sync();
+        assert_eq!(server.health_report().at_risk_rows, 1);
+        drop(server); // crash: no shutdown, disk left as a kill would
+    }
+    let server = fault_server(&dir, 1, 4 << 20);
+    server.recover().expect("recovery replays");
+    server.sync();
+    assert_eq!(
+        server.health(),
+        HealthState::Healthy,
+        "a fresh incarnation starts healthy"
+    );
+    assert_eq!(
+        archived_ints(&server),
+        vec![10, 20, 30, 40, 50],
+        "checkpoint #1 plus the committed tail; only the declared at-risk row is lost"
+    );
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A failed fsync at segment rotation: the commit's own data sync
+/// passes (`after: 1`), the rotation sync fails, and the heal's
+/// checkpoint fsync fails too. The row whose commit triggered the
+/// rotation was already durable in the abandoned segment, so recovery
+/// replays it — no torn state, and recovering twice lands identically.
+#[test]
+fn fsync_failure_during_rotation_degrades_without_torn_state() {
+    let dir = scratch_dir("rotate");
+    {
+        // One-byte segments: every commit fills the segment and rotates.
+        let server = fault_server(&dir, 1, 1);
+        for t in 1..=2i64 {
+            server
+                .push_at("s", vec![Value::Int(t * 10)], t)
+                .expect("push");
+        }
+        server.sync();
+        server.punctuate("s", 2).expect("punctuate"); // checkpoint #1
+        server.sync();
+        assert_eq!(server.health(), HealthState::Healthy);
+        server
+            .inject_storage_fault(FaultPlan {
+                kind: FaultKind::FsyncFail,
+                after: 1,
+                count: u32::MAX,
+            })
+            .expect("arm fault");
+        server
+            .push_at("s", vec![Value::Int(30)], 3)
+            .expect("push whose rotation sync fails");
+        server.sync();
+        assert_eq!(server.health(), HealthState::DurabilityDegraded);
+        // The triggering row is declared at risk too — conservatively,
+        // since only its *rotation* sync failed, not its data sync.
+        assert_eq!(server.health_report().at_risk_rows, 1);
+        server
+            .push_at("s", vec![Value::Int(40)], 4)
+            .expect("degraded engine still admits");
+        server.sync();
+        assert_eq!(server.health_report().at_risk_rows, 2);
+        drop(server); // crash
+    }
+    for incarnation in 0..2 {
+        let server = fault_server(&dir, 1, 1);
+        server.recover().expect("recovery replays");
+        server.sync();
+        assert_eq!(server.health(), HealthState::Healthy);
+        assert_eq!(
+            archived_ints(&server),
+            vec![10, 20, 30],
+            "incarnation {incarnation}: checkpoint, plus the row synced before the failed rotation"
+        );
+        drop(server); // crash again: recovery must be idempotent
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

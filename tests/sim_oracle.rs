@@ -149,9 +149,15 @@ fn introspection_rows() -> Vec<(&'static str, Vec<Vec<Value>>)> {
                     Value::Int(3),
                     s("shared_filter"),
                     s("injected operator fault"),
+                    s("operator_panic"),
                 ],
-                vec![Value::Int(1), s("eddy"), s("boom")],
-                vec![Value::Int(2), s("shared_filter"), s("div by zero")],
+                vec![Value::Int(1), s("eddy"), s("boom"), s("operator_panic")],
+                vec![
+                    Value::Int(2),
+                    s("shared_filter"),
+                    s("div by zero"),
+                    s("operator_panic"),
+                ],
             ],
         ),
     ]
@@ -238,6 +244,7 @@ fn corpus_catalog() -> Catalog {
                 Field::new("qid", DataType::Int),
                 Field::new("operator", DataType::Str),
                 Field::new("payload", DataType::Str),
+                Field::new("kind", DataType::Str),
             ],
         ),
     )

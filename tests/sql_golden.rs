@@ -102,6 +102,7 @@ fn catalog() -> Catalog {
                 Field::new("qid", DataType::Int),
                 Field::new("operator", DataType::Str),
                 Field::new("payload", DataType::Str),
+                Field::new("kind", DataType::Str),
             ],
         ),
     )
