@@ -874,6 +874,31 @@ mod tests {
     }
 
     #[test]
+    fn join_passes_delta_signs_through() {
+        let mut e = CacqEngine::new();
+        e.add_query(QuerySpec {
+            selections: vec![],
+            join: Some(join_spec()),
+        })
+        .unwrap();
+        assert!(e.push(0, stock("K", 1.0, 1)).is_empty());
+        // A retraction delta probing the join retracts its matches:
+        // the concatenated result carries the product of the signs.
+        let out = e.push(1, stock("K", 2.0, 2).with_sign(-1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.sign(), -1);
+        // Selections pass tuples through untouched — sign included.
+        let mut sel = CacqEngine::new();
+        sel.add_query(QuerySpec::select(
+            0,
+            vec![(1, CmpOp::Gt, Value::Float(0.0))],
+        ))
+        .unwrap();
+        let out = sel.push(0, stock("A", 1.0, 1).with_sign(-1));
+        assert_eq!(out[0].1.sign(), -1);
+    }
+
+    #[test]
     fn join_with_selections_vetoes_lineage() {
         let mut e = CacqEngine::new();
         // q1: join with left.price > 5; q2: join with no selections.

@@ -255,6 +255,13 @@ impl ColumnBatch {
         &self.rows
     }
 
+    /// Delta sign per row (`+1` assertion, `-1` retraction), in arrival
+    /// order. Signs ride on the retained row-form tuples, so the columnar
+    /// path carries them losslessly through selection and re-batching.
+    pub fn signs(&self) -> impl Iterator<Item = i8> + '_ {
+        self.rows.iter().map(Tuple::sign)
+    }
+
     /// Column `idx`, if decomposed.
     pub fn col(&self, idx: usize) -> Option<&Column> {
         self.cols.get(idx)
@@ -364,6 +371,21 @@ mod tests {
 
     fn t(vals: Vec<Value>, seq: i64) -> Tuple {
         Tuple::at_seq(vals, seq)
+    }
+
+    #[test]
+    fn signs_survive_batching_and_selection() {
+        let rows = vec![
+            t(vec![Value::Int(1)], 1),
+            t(vec![Value::Int(2)], 2).with_sign(-1),
+            t(vec![Value::Int(3)], 3),
+        ];
+        let batch = ColumnBatch::from_tuples(rows);
+        assert_eq!(batch.signs().collect::<Vec<_>>(), vec![1, -1, 1]);
+        let sel = Bitmap::from_fn(3, |i| i != 0);
+        let kept = batch.selected(&sel);
+        assert_eq!(kept[0].sign(), -1);
+        assert_eq!(kept[1].sign(), 1);
     }
 
     #[test]

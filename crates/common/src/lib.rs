@@ -23,6 +23,7 @@
 
 pub mod batch;
 pub mod catalog;
+pub mod consistency;
 pub mod durability;
 pub mod error;
 pub mod expr;
@@ -38,6 +39,7 @@ pub mod vexpr;
 
 pub use batch::{Bitmap, Column, ColumnBatch, ColumnData};
 pub use catalog::{Catalog, StreamDef, StreamKind};
+pub use consistency::Consistency;
 pub use durability::Durability;
 pub use error::{Result, TcqError};
 pub use expr::{BinOp, CmpOp, Expr};

@@ -11,23 +11,32 @@ use std::sync::Arc;
 use crate::time::Timestamp;
 use crate::value::Value;
 
-/// An immutable record with a timestamp.
+/// An immutable record with a timestamp and a delta sign.
 ///
 /// Within the Eddy, routing state (lineage) is carried *next to* the tuple
 /// by the router, not inside it, so `Tuple` itself stays small and shareable
 /// across queries (essential for CACQ-style shared processing).
+///
+/// The `sign` makes every tuple a delta row: `+1` asserts the row, `-1`
+/// retracts a previously asserted copy. Ordinary stream tuples are always
+/// `+1`; retractions only appear in query *output* under
+/// [`crate::Consistency::Speculative`], when a late event-time arrival
+/// forces an already-emitted window result to be amended.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Tuple {
     fields: Arc<[Value]>,
     ts: Timestamp,
+    sign: i8,
 }
 
 impl Tuple {
-    /// Build a tuple from field values, stamped at `ts`.
+    /// Build a tuple from field values, stamped at `ts` (an assertion,
+    /// `sign = +1`).
     pub fn new(fields: Vec<Value>, ts: Timestamp) -> Tuple {
         Tuple {
             fields: fields.into(),
             ts,
+            sign: 1,
         }
     }
 
@@ -37,9 +46,28 @@ impl Tuple {
         Tuple::new(fields, Timestamp::logical(seq))
     }
 
-    /// The tuple's timestamp (arrival instant in the source's domain).
+    /// The tuple's timestamp (event instant in the source's domain).
     pub fn ts(&self) -> Timestamp {
         self.ts
+    }
+
+    /// The delta sign: `+1` asserts this row, `-1` retracts it.
+    pub fn sign(&self) -> i8 {
+        self.sign
+    }
+
+    /// `true` when this tuple retracts a previously emitted row.
+    pub fn is_retraction(&self) -> bool {
+        self.sign < 0
+    }
+
+    /// The same row carrying `sign` (fields are shared, not copied).
+    pub fn with_sign(&self, sign: i8) -> Tuple {
+        Tuple {
+            fields: self.fields.clone(),
+            ts: self.ts,
+            sign,
+        }
     }
 
     /// Number of fields.
@@ -75,7 +103,13 @@ impl Tuple {
             Some(std::cmp::Ordering::Less) => other.ts,
             _ => self.ts,
         };
-        Tuple::new(fields, ts)
+        Tuple {
+            fields: fields.into(),
+            ts,
+            // Signs multiply: retracting either join input retracts the
+            // joined row (a -1 · -1 pair re-asserts, as in delta algebra).
+            sign: self.sign * other.sign,
+        }
     }
 
     /// A new tuple keeping only the fields at `indexes` (projection).
@@ -84,6 +118,7 @@ impl Tuple {
         Tuple {
             fields,
             ts: self.ts,
+            sign: self.sign,
         }
     }
 
@@ -92,6 +127,7 @@ impl Tuple {
         Tuple {
             fields: self.fields.clone(),
             ts,
+            sign: self.sign,
         }
     }
 
@@ -111,6 +147,9 @@ impl Tuple {
 
 impl fmt::Debug for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign < 0 {
+            f.write_str("-")?;
+        }
         write!(f, "Tuple[{}](", self.ts)?;
         for (i, v) in self.fields.iter().enumerate() {
             if i > 0 {
@@ -198,5 +237,30 @@ mod tests {
     fn display_formats_fields() {
         let tp = t(vec![Value::Int(1), Value::str("x")], 1);
         assert_eq!(tp.to_string(), "1 | x");
+    }
+
+    #[test]
+    fn signs_default_positive_and_propagate() {
+        let tp = t(vec![Value::Int(1), Value::str("x")], 4);
+        assert_eq!(tp.sign(), 1);
+        assert!(!tp.is_retraction());
+
+        let neg = tp.with_sign(-1);
+        assert!(neg.is_retraction());
+        assert!(Arc::ptr_eq(&tp.fields, &neg.fields));
+        // Sign participates in equality: a retraction is not its assertion.
+        assert_ne!(tp, neg);
+        assert_eq!(tp.fields(), neg.fields());
+
+        // Projection and restamping preserve the sign.
+        assert_eq!(neg.project(&[0]).sign(), -1);
+        assert_eq!(neg.restamped(Timestamp::logical(9)).sign(), -1);
+
+        // Join concatenation multiplies signs.
+        let pos = t(vec![Value::Int(2)], 5);
+        assert_eq!(pos.concat(&neg).sign(), -1);
+        assert_eq!(neg.concat(&pos).sign(), -1);
+        assert_eq!(neg.concat(&neg).sign(), 1);
+        assert_eq!(pos.concat(&pos).sign(), 1);
     }
 }

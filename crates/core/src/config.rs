@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use tcq_common::{Durability, OnStorageError, ShedPolicy};
+use tcq_common::{Consistency, Durability, OnStorageError, ShedPolicy};
 
 /// Which routing policy the FrontEnd compiles into adaptive plans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,6 +176,24 @@ pub struct Config {
     ///
     /// `Config::default()` honors `TCQ_MEM_BUDGET_STREAM` (bytes).
     pub mem_budget_stream_bytes: Option<u64>,
+    /// Default consistency level for queries that do not carry their own
+    /// `WITH CONSISTENCY` clause (default [`Consistency::Watermark`]).
+    ///
+    /// Matters only for windowed queries over streams whose tuples
+    /// actually arrive out of event-time order: `Watermark` holds each
+    /// window instant on a disordered stream until a low-watermark
+    /// (punctuation) proves it complete, while `Speculative` emits the
+    /// instant as soon as the stream head passes it and amends it with
+    /// signed retraction deltas when late tuples land inside. In-order
+    /// streams release identically under both levels, so flipping the
+    /// default is invisible to them.
+    ///
+    /// `Config::default()` honors a `TCQ_CONSISTENCY` environment
+    /// variable (`watermark` / `speculative`), so CI can replay the full
+    /// test suite with speculation as the default. Explicit
+    /// `consistency:` fields in struct literals and per-query clauses
+    /// still win.
+    pub consistency: Consistency,
     /// Deterministic single-threaded stepping (the simulation harness).
     ///
     /// When on, `Server::start` spawns no Wrapper or Executor threads;
@@ -233,6 +251,10 @@ impl Default for Config {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .filter(|&b| b > 0),
+            consistency: std::env::var("TCQ_CONSISTENCY")
+                .ok()
+                .and_then(|v| Consistency::parse(&v))
+                .unwrap_or_default(),
             step_mode: false,
         }
     }
@@ -267,6 +289,13 @@ mod tests {
         }
         if std::env::var("TCQ_MEM_BUDGET").is_err() {
             assert!(c.mem_budget_bytes.is_none(), "budgets are strictly opt-in");
+        }
+        if std::env::var("TCQ_CONSISTENCY").is_err() {
+            assert_eq!(
+                c.consistency,
+                Consistency::Watermark,
+                "speculation is strictly opt-in"
+            );
         }
     }
 }

@@ -17,7 +17,7 @@
 //!   through a fresh adaptive plan, aggregated if requested, and emitted
 //!   as one [`ResultSet`] per loop instant.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
@@ -25,11 +25,11 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use tcq_cacq::{CacqEngine, QuerySpec, Selection};
 use tcq_common::membudget::{approx_keyed_tuples_bytes, approx_tuples_bytes, BudgetSet};
-use tcq_common::{ColumnBatch, Expr, Timestamp, Tuple, Value};
+use tcq_common::{ColumnBatch, Consistency, Expr, Timestamp, Tuple, Value};
 use tcq_eddy::{Eddy, FixedPolicy, LotteryPolicy, NaivePolicy, RoutingPolicy};
 use tcq_sql::QueryPlan;
 use tcq_storage::StreamArchive;
-use tcq_windows::{AggKind, LandmarkAgg, LoopCond, WindowAgg};
+use tcq_windows::{AggKind, LoopCond, RetractableAgg, WindowAgg};
 
 use crate::config::{Config, PolicyKind};
 use crate::query::{deliver, MergeRef, ResultSet, RunningQuery};
@@ -82,6 +82,14 @@ pub enum ExecMsg {
     /// fault-injection hook behind the containment tests — expression
     /// evaluation itself returns `Result`s, so real panics need a lever.
     InjectPanic(u64),
+    /// Declare a stream event-time disordered before any evidence
+    /// arrives: its tuples may lag the stream head by a bounded amount,
+    /// so `Consistency::Watermark` queries must not release windows on
+    /// the high-water mark alone — a straggler could still land in
+    /// them. Without the declaration the flag is raised only
+    /// organically, at the first observed regression, which is too late
+    /// for windows the high-water mark already released.
+    Disordered(usize),
 }
 
 /// What class of failure produced a `tcq$errors` row — so operators
@@ -186,6 +194,11 @@ pub struct ExecutionObject {
     windowed: HashMap<u64, WindowedQuery>,
     /// Newest timestamp ticks seen per global stream.
     high_water: HashMap<usize, i64>,
+    /// Streams observed *disordered*: some tuple arrived below the
+    /// running high-water mark. Once set, the stream's head no longer
+    /// proves completeness — window releases switch to the
+    /// consistency-aware rule ([`tcq_windows::right_released_at`]).
+    disordered: HashSet<usize>,
     /// Punctuations: ticks known complete per global stream.
     punctuated: HashMap<usize, i64>,
     /// Engine-wide metrics registry (`None` when metrics are off).
@@ -248,6 +261,16 @@ struct WindowedQuery {
     /// The next instant awaiting evaluation.
     pending_t: Option<i64>,
     output: tcq_fjords::Fjord<ResultSet>,
+    /// Effective consistency level: the query's `WITH CONSISTENCY`
+    /// clause, falling back to [`Config::consistency`].
+    consistency: Consistency,
+    /// Instants already emitted speculatively — instant → the rows last
+    /// delivered (post-aggregation, sorted), the baseline a late
+    /// arrival's retraction deltas diff against. Populated only under
+    /// [`Consistency::Speculative`]; entries are pruned once a
+    /// punctuation proves their windows closed (no more amendments
+    /// possible), and the query is torn down only when this is empty.
+    emitted: BTreeMap<i64, Vec<Tuple>>,
     degraded: Arc<AtomicBool>,
     panic_armed: bool,
 }
@@ -343,6 +366,7 @@ impl ExecutionObject {
             eddies: HashMap::new(),
             windowed: HashMap::new(),
             high_water: HashMap::new(),
+            disordered: HashSet::new(),
             punctuated: HashMap::new(),
             metrics,
             batch_hist,
@@ -392,9 +416,16 @@ impl ExecutionObject {
             ExecMsg::Punctuate { stream, ticks } => {
                 let p = self.punctuated.entry(stream).or_insert(i64::MIN);
                 *p = (*p).max(ticks);
+                // A punctuation proves windows it covers closed: their
+                // speculative baselines can never be amended again, so
+                // drop them (and let finished queries tear down).
+                self.prune_amendable();
                 self.drive_windows();
             }
             ExecMsg::InjectPanic(id) => self.arm_panic(id),
+            ExecMsg::Disordered(stream) => {
+                self.disordered.insert(stream);
+            }
         }
     }
 
@@ -421,6 +452,7 @@ impl ExecutionObject {
             let header = seq.header;
             let mut loop_values = header.values();
             let pending_t = loop_values.next();
+            let consistency = plan.consistency.unwrap_or(self.config.consistency);
             self.windowed.insert(
                 q.id,
                 WindowedQuery {
@@ -429,6 +461,8 @@ impl ExecutionObject {
                     loop_values,
                     pending_t,
                     output: q.output,
+                    consistency,
+                    emitted: BTreeMap::new(),
                     degraded: q.degraded,
                     panic_armed: false,
                 },
@@ -535,9 +569,20 @@ impl ExecutionObject {
                 std::thread::sleep(delay);
             }
         }
+        // Advance the stream head, noting *late* ticks (below the
+        // running high-water mark): they flag the stream disordered and
+        // may re-open speculatively emitted windows.
         let hw = self.high_water.entry(stream).or_insert(i64::MIN);
+        let mut late: Vec<i64> = Vec::new();
         for t in &tuples {
-            *hw = (*hw).max(t.ts().ticks());
+            let ticks = t.ts().ticks();
+            if ticks < *hw {
+                late.push(ticks);
+            }
+            *hw = (*hw).max(ticks);
+        }
+        if !late.is_empty() {
+            self.disordered.insert(stream);
         }
 
         // Shared class: one grouped-filter pass per predicated column
@@ -673,7 +718,9 @@ impl ExecutionObject {
             }
         }
 
-        // Windowed class: high water may have released windows.
+        // Windowed class: late arrivals may amend speculatively emitted
+        // instants; the new high water may release further windows.
+        self.amend_windows(stream, &late);
         self.drive_windows();
 
         if let (Some(hist), Some(start)) = (&self.batch_hist, timer) {
@@ -713,9 +760,22 @@ impl ExecutionObject {
         }
         // The high-water mark is the *full* batch's — every partition
         // advances identically, so window releases don't depend on which
-        // partition the right-end tuple hashed to.
+        // partition the right-end tuple hashed to. Disorder detection
+        // walks the full batch for the same reason: every partition
+        // flags the stream at the same admitted batch.
         let e = self.high_water.entry(stream).or_insert(i64::MIN);
+        let mut late: Vec<i64> = Vec::new();
+        for t in full.iter() {
+            let ticks = t.ts().ticks();
+            if ticks < *e {
+                late.push(ticks);
+            }
+            *e = (*e).max(ticks);
+        }
         *e = (*e).max(hw);
+        if !late.is_empty() {
+            self.disordered.insert(stream);
+        }
         if let Some(ex) = &self.exchange {
             ex.part(self.eo_id as usize)
                 .processed
@@ -876,7 +936,9 @@ impl ExecutionObject {
             }
         }
 
-        // Windowed class: high water may have released windows.
+        // Windowed class: late arrivals may amend speculatively emitted
+        // instants; the new high water may release further windows.
+        self.amend_windows(stream, &late);
         self.drive_windows();
 
         if let (Some(hist), Some(start)) = (&self.batch_hist, timer) {
@@ -901,13 +963,22 @@ impl ExecutionObject {
         }
     }
 
-    /// Returns `true` when the query's loop is exhausted.
+    /// Returns `true` when the query's loop is exhausted — and, for a
+    /// speculative query, its emitted baselines are all pruned: until a
+    /// punctuation proves its windows closed, the query stays resident
+    /// so late arrivals can still retract what it emitted.
     fn drive_one(&mut self, id: u64) -> bool {
         loop {
-            let (t, evaluable) = {
+            let (t, evaluable, amendable) = {
                 let wq = self.windowed.get(&id).expect("caller checked");
-                let Some(t) = wq.pending_t else { return true };
-                (t, self.window_released(wq, t))
+                let Some(t) = wq.pending_t else {
+                    return wq.emitted.is_empty();
+                };
+                (
+                    t,
+                    self.window_released(wq, t),
+                    self.instant_amendable(wq, t),
+                )
             };
             if !evaluable {
                 return false;
@@ -927,7 +998,26 @@ impl ExecutionObject {
             }));
             let wq = self.windowed.get_mut(&id).expect("still present");
             match result {
-                Ok(rs) => deliver(&wq.output, rs),
+                Ok(rs) => {
+                    let snapshot = wq
+                        .plan
+                        .window
+                        .as_ref()
+                        .is_some_and(|seq| seq.header.cond == LoopCond::Once);
+                    if wq.consistency == Consistency::Speculative && amendable && !snapshot {
+                        // Record the baseline (empty included: a late
+                        // arrival may add rows to an empty instant).
+                        // Instants a punctuation already proved closed
+                        // skip this — no amendable tuple can arrive, so
+                        // holding a baseline would only defer teardown.
+                        // Snapshot queries are exempt either way: a
+                        // one-shot read answers as of submission and
+                        // tears down; it has no standing consumer left
+                        // to fold a retraction into.
+                        wq.emitted.insert(t, rs.rows.clone());
+                    }
+                    deliver(&wq.output, rs);
+                }
                 Err(e) => report_quarantine(
                     &self.errors_tx,
                     &self.quarantined,
@@ -939,15 +1029,19 @@ impl ExecutionObject {
             }
             wq.pending_t = wq.loop_values.next();
             if wq.pending_t.is_none() {
-                return true;
+                let wq = self.windowed.get(&id).expect("still present");
+                return wq.emitted.is_empty();
             }
         }
     }
 
     /// A window is released when, for every windowed stream, its right
-    /// end is provably complete per [`tcq_windows::right_released`] —
-    /// the same rule the simulation oracle applies, so engine and
-    /// reference model agree on when an instant fires.
+    /// end is provably complete per
+    /// [`tcq_windows::right_released_at`] — the consistency-aware rule
+    /// the simulation oracle also applies, so engine and reference
+    /// model agree on when an instant fires. On streams never seen out
+    /// of order both consistency levels reduce to the classic
+    /// [`tcq_windows::right_released`].
     fn window_released(&self, wq: &WindowedQuery, t: i64) -> bool {
         let seq = wq.plan.window.as_ref().expect("windowed");
         for (pos, bs) in wq.plan.streams.iter().enumerate() {
@@ -961,11 +1055,158 @@ impl ExecutionObject {
             let gid = wq.stream_ids[pos];
             let hw = self.high_water.get(&gid).copied().unwrap_or(i64::MIN);
             let punct = self.punctuated.get(&gid).copied().unwrap_or(i64::MIN);
-            if !tcq_windows::right_released(right.ticks(), hw, punct) {
+            if !tcq_windows::right_released_at(
+                right.ticks(),
+                hw,
+                punct,
+                self.disordered.contains(&gid),
+                wq.consistency,
+            ) {
                 return false;
             }
         }
         true
+    }
+
+    /// Re-open speculatively emitted instants a late arrival on
+    /// `stream` lands in, re-evaluate each, and emit compensating
+    /// deltas. Only *windowed* inputs re-open: an unwindowed
+    /// (whole-relation) input follows the same contract as in-order
+    /// appends — instants already emitted are not revisited.
+    fn amend_windows(&mut self, stream: usize, late: &[i64]) {
+        if late.is_empty() {
+            return;
+        }
+        let mut ids: Vec<u64> = self
+            .windowed
+            .iter()
+            .filter(|(_, wq)| {
+                wq.consistency == Consistency::Speculative
+                    && !wq.emitted.is_empty()
+                    && wq.stream_ids.contains(&stream)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable(); // deterministic amendment order
+        for id in ids {
+            let affected: Vec<i64> = {
+                let wq = &self.windowed[&id];
+                let seq = wq.plan.window.as_ref().expect("windowed");
+                wq.emitted
+                    .keys()
+                    .copied()
+                    .filter(|&t| {
+                        wq.plan.streams.iter().enumerate().any(|(pos, bs)| {
+                            bs.windowed
+                                && wq.stream_ids[pos] == stream
+                                && seq.window_for(&bs.alias).is_some_and(|w| {
+                                    let (l, r) = w.at(t, seq.domain);
+                                    late.iter().any(|&ts| ts >= l.ticks() && ts <= r.ticks())
+                                })
+                        })
+                    })
+                    .collect()
+            };
+            for t in affected {
+                self.amend_instant(id, t);
+            }
+        }
+    }
+
+    /// Re-evaluate one speculatively emitted instant and emit the
+    /// compensating delta result set: sign −1 rows retract output that
+    /// no longer holds, +1 rows assert the replacements (CEDR-style
+    /// amendment). Downstream consumers — PSoup folds, `tcq$` result
+    /// streams — fold by sign, converging on the answer a
+    /// watermark-held evaluation would have produced.
+    fn amend_instant(&mut self, id: u64, t: i64) {
+        let armed = {
+            let wq = self.windowed.get_mut(&id).expect("caller checked");
+            std::mem::take(&mut wq.panic_armed)
+        };
+        // Same quarantine boundary as first evaluation: a panicking
+        // amendment costs the query that delta, nothing else.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if armed {
+                panic!("injected operator fault");
+            }
+            self.evaluate_window(id, t)
+        }));
+        let wq = self.windowed.get_mut(&id).expect("still present");
+        match result {
+            Ok(rs) => {
+                let old = wq.emitted.insert(t, rs.rows.clone()).unwrap_or_default();
+                let deltas = amendment_deltas(&old, &rs.rows);
+                if !deltas.is_empty() {
+                    deliver(
+                        &wq.output,
+                        ResultSet {
+                            window_t: Some(t),
+                            rows: deltas,
+                        },
+                    );
+                }
+            }
+            Err(e) => report_quarantine(
+                &self.errors_tx,
+                &self.quarantined,
+                &wq.degraded,
+                id,
+                "window_amend",
+                payload_str(e),
+            ),
+        }
+    }
+
+    /// True while some windowed stream could still deliver a late
+    /// tuple into instant `t`'s window — its punctuation has not yet
+    /// covered the window's right end. Unwindowed inputs never re-open
+    /// instants (see `amend_windows`), so they don't hold them.
+    fn instant_amendable(&self, wq: &WindowedQuery, t: i64) -> bool {
+        let seq = wq.plan.window.as_ref().expect("windowed");
+        !wq.plan.streams.iter().enumerate().all(|(pos, bs)| {
+            if !bs.windowed {
+                return true;
+            }
+            let Some(w) = seq.window_for(&bs.alias) else {
+                return true;
+            };
+            let (_, right) = w.at(t, seq.domain);
+            let punct = self
+                .punctuated
+                .get(&wq.stream_ids[pos])
+                .copied()
+                .unwrap_or(i64::MIN);
+            punct >= right.ticks()
+        })
+    }
+
+    /// Drop speculative baselines of instants whose windows a
+    /// punctuation has proven closed — every windowed stream's right
+    /// end is at or below its punctuation, so no amendable tuple can
+    /// still arrive. Queries whose loop finished then tear down in the
+    /// next `drive_windows` pass.
+    fn prune_amendable(&mut self) {
+        let ids: Vec<u64> = self.windowed.keys().copied().collect();
+        for id in ids {
+            let wq = &self.windowed[&id];
+            if wq.emitted.is_empty() {
+                continue;
+            }
+            let drop: Vec<i64> = wq
+                .emitted
+                .keys()
+                .copied()
+                .filter(|&t| !self.instant_amendable(wq, t))
+                .collect();
+            if drop.is_empty() {
+                continue;
+            }
+            let wq = self.windowed.get_mut(&id).expect("still present");
+            for t in drop {
+                wq.emitted.remove(&t);
+            }
+        }
     }
 
     /// Scan, execute, and (if requested) aggregate one window.
@@ -1087,7 +1328,46 @@ fn sharable_spec(plan: &QueryPlan, stream_ids: &[usize]) -> Option<QuerySpec> {
     })
 }
 
-/// Recompute aggregates over one window's joined rows.
+/// The multiset difference between a speculatively emitted result set
+/// and its re-evaluation, as signed delta rows: each row of `old` not
+/// in `new` appears once with sign −1 (a retraction), each row of `new`
+/// not in `old` once with sign +1. Rows common to both cancel. Folding
+/// the deltas into `old` yields exactly `new`. Output order is
+/// deterministic: retractions in `old`'s order, then assertions in
+/// `new`'s order.
+pub fn amendment_deltas(old: &[Tuple], new: &[Tuple]) -> Vec<Tuple> {
+    let mut surplus: HashMap<&Tuple, i64> = HashMap::new();
+    for r in new {
+        *surplus.entry(r).or_insert(0) += 1;
+    }
+    for r in old {
+        *surplus.entry(r).or_insert(0) -= 1;
+    }
+    let mut out = Vec::new();
+    for r in old {
+        if let Some(c) = surplus.get_mut(r) {
+            if *c < 0 {
+                *c += 1;
+                out.push(r.with_sign(-1));
+            }
+        }
+    }
+    for r in new {
+        if let Some(c) = surplus.get_mut(r) {
+            if *c > 0 {
+                *c -= 1;
+                out.push(r.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Recompute aggregates over one window's joined rows. The fold is
+/// retraction-aware: a row with sign −1 withdraws its contribution
+/// ([`RetractableAgg`]'s compensation state), so a signed row set
+/// aggregates to the same answer as the folded multiset. Over ordinary
+/// all-positive rows this is byte-identical to the landmark fold.
 pub fn aggregate_rows(plan: &QueryPlan, rows: &[Tuple]) -> Vec<Tuple> {
     use tcq_common::value::KeyRepr;
     // Group rows.
@@ -1119,18 +1399,14 @@ pub fn aggregate_rows(plan: &QueryPlan, rows: &[Tuple]) -> Vec<Tuple> {
                     fields.push(v);
                 }
                 Some((kind, arg)) => {
-                    let mut acc = LandmarkAgg::new(*kind);
+                    let mut acc = RetractableAgg::new(*kind);
                     for r in members {
                         let v = match arg {
                             // COUNT(*): every row counts.
                             None => Value::Int(1),
                             Some(e) => e.eval(r).unwrap_or(Value::Null),
                         };
-                        if *kind == AggKind::Count && arg.is_none() {
-                            acc.push(r.ts(), &Value::Int(1));
-                        } else {
-                            acc.push(r.ts(), &v);
-                        }
+                        acc.apply(&v, r.sign());
                     }
                     fields.push(acc.value());
                 }
@@ -1147,11 +1423,11 @@ pub fn aggregate_rows(plan: &QueryPlan, rows: &[Tuple]) -> Vec<Tuple> {
     out
 }
 
-/// [`LandmarkAgg`]'s accumulation state, folded over a typed column
-/// slice. The member functions mirror `LandmarkAgg::push`/`value`
-/// operation for operation so the columnar result — including float
-/// rounding, which depends on addition order — is byte-identical to the
-/// row path's.
+/// The row path's accumulation state, folded over a typed column
+/// slice. The member functions mirror the all-positive
+/// [`RetractableAgg`] fold operation for operation so the columnar
+/// result — including float rounding, which depends on addition order —
+/// is byte-identical to the row path's.
 #[derive(Default)]
 struct ColumnAcc {
     count: u64,
@@ -1182,7 +1458,7 @@ impl ColumnAcc {
 
 /// Fold one typed column in row order, skipping rows whose value has no
 /// float view (NULLs, booleans, strings) — exactly the rows
-/// `LandmarkAgg::push` ignores.
+/// `RetractableAgg::apply` ignores.
 fn fold_column(col: &tcq_common::batch::Column) -> ColumnAcc {
     use tcq_common::batch::ColumnData;
     let mut acc = ColumnAcc::default();
@@ -1220,9 +1496,14 @@ fn fold_column(col: &tcq_common::batch::Column) -> ColumnAcc {
 /// whole row) and folded in row order, reproducing [`LandmarkAgg`]'s
 /// accumulation (and so its float rounding) exactly. Returns `None`
 /// when the plan needs the general row path — GROUP BY, computed
-/// aggregate arguments, or a ragged row set the transpose cannot type.
+/// aggregate arguments, a ragged row set the transpose cannot type, or
+/// retraction rows (the typed columns carry no signs; the row path's
+/// compensation state handles them).
 pub fn aggregate_rows_columnar(plan: &QueryPlan, rows: &[Tuple]) -> Option<Vec<Tuple>> {
     if !plan.group_by.is_empty() {
+        return None;
+    }
+    if rows.iter().any(Tuple::is_retraction) {
         return None;
     }
     for col in &plan.outputs {
@@ -1449,6 +1730,68 @@ mod tests {
             aggregate_rows_columnar(&grouped, &[]).is_none(),
             "GROUP BY needs the row path"
         );
+    }
+
+    #[test]
+    fn amendment_deltas_fold_to_new_rows() {
+        let row = |k: i64, t: i64| Tuple::at_seq(vec![Value::Int(k)], t);
+        let old = vec![row(1, 1), row(2, 2), row(2, 2), row(3, 3)];
+        let new = vec![row(2, 2), row(3, 3), row(4, 4)];
+        let deltas = amendment_deltas(&old, &new);
+        // One 2 survives, the 1 and the duplicate 2 retract, the 4 asserts.
+        assert_eq!(
+            deltas,
+            vec![row(1, 1).with_sign(-1), row(2, 2).with_sign(-1), row(4, 4)]
+        );
+        // Folding the deltas into old yields exactly new (as multisets).
+        let mut folded: Vec<Tuple> = old.clone();
+        for d in &deltas {
+            if d.is_retraction() {
+                let pos = folded
+                    .iter()
+                    .position(|r| r == &d.with_sign(1))
+                    .expect("retraction matches a folded row");
+                folded.remove(pos);
+            } else {
+                folded.push(d.clone());
+            }
+        }
+        folded.sort_by_key(|t| format!("{t}"));
+        let mut want = new.clone();
+        want.sort_by_key(|t| format!("{t}"));
+        assert_eq!(folded, want);
+        // Identical sets produce no deltas.
+        assert!(amendment_deltas(&new, &new).is_empty());
+        // A same-fields, different-ts row is a retract + assert pair.
+        let deltas = amendment_deltas(&[row(7, 1)], &[row(7, 9)]);
+        assert_eq!(deltas, vec![row(7, 1).with_sign(-1), row(7, 9)]);
+    }
+
+    #[test]
+    fn aggregates_compensate_signed_rows() {
+        let planner = Planner::new(catalog());
+        let p = planner
+            .plan_sql(
+                "SELECT COUNT(*) AS n, SUM(v) AS s, MIN(v) AS lo, MAX(v) AS hi FROM s \
+                 for (; t == 0; t = -1) { WindowIs(s, 1, 10); }",
+            )
+            .unwrap();
+        let keep = vec![
+            Tuple::at_seq(vec![Value::Int(1), Value::Float(2.5)], 1),
+            Tuple::at_seq(vec![Value::Int(2), Value::Float(4.0)], 2),
+        ];
+        let mut signed = keep.clone();
+        let spurious = Tuple::at_seq(vec![Value::Int(3), Value::Float(9.0)], 3);
+        signed.push(spurious.clone());
+        signed.push(spurious.with_sign(-1));
+        // The +9.0/−9.0 pair cancels: MAX falls back to 4.0, COUNT to 2
+        // (the output row's ts is just the last member's — skip it).
+        let folded = aggregate_rows(&p, &signed);
+        let plain = aggregate_rows(&p, &keep);
+        assert_eq!(folded.len(), 1);
+        assert_eq!(folded[0].fields(), plain[0].fields());
+        // The columnar path refuses signed rows (no sign column).
+        assert!(aggregate_rows_columnar(&p, &signed).is_none());
     }
 
     #[test]

@@ -230,6 +230,9 @@ struct WrapperLoop {
     /// Completed poll rounds — the virtual clock.
     rounds: u64,
     last_emit_round: u64,
+    /// Last source low-watermark forwarded as a punctuation, per global
+    /// stream — so a stalled watermark is not re-punctuated every round.
+    watermarks: HashMap<usize, i64>,
 }
 
 impl WrapperLoop {
@@ -244,13 +247,15 @@ impl WrapperLoop {
             last_emit: std::time::Instant::now(),
             rounds: 0,
             last_emit_round: 0,
+            watermarks: HashMap::new(),
         }
     }
 
     /// One poll round: accept attaches, poll every ready source
-    /// non-blockingly, stamp + archive + fan out tuples, punctuate
-    /// streams whose last source finished, re-ingest drained spills,
-    /// surface quarantined faults, and emit introspection on the tick.
+    /// non-blockingly, stamp + archive + fan out tuples, forward source
+    /// low-watermarks as punctuations, punctuate streams whose last
+    /// source finished, re-ingest drained spills, surface quarantined
+    /// faults, and emit introspection on the tick.
     /// Transient source faults retry with seeded-jitter exponential
     /// backoff, giving up past `source_retry_max`.
     fn poll_round(&mut self, inner: &Inner, rx: &Receiver<WrapperMsg>) -> WrapperStep {
@@ -341,8 +346,9 @@ impl WrapperLoop {
             for t in batch {
                 pending.push(t);
                 if pending.len() >= batch_size {
-                    // Ingest failures (e.g. out-of-order source) drop
-                    // the batch; the source stays attached.
+                    // Ingest failures (e.g. a source stamping a foreign
+                    // time domain) drop the batch; the source stays
+                    // attached.
                     let _ = inner.ingest_batch(ws.gid, std::mem::take(pending));
                 }
             }
@@ -357,10 +363,44 @@ impl WrapperLoop {
         });
         // When a stream's last source finishes, punctuate at the stream
         // clock: its final windows can close.
+        let mut punctuated = 0usize;
         for gid in exhausted_gids {
             if !self.sources.iter().any(|ws| ws.gid == gid) {
                 let ticks = inner.streams.read().unwrap()[gid].clock.now().ticks();
-                let _ = inner.punctuate_gid(gid, ticks);
+                if inner.punctuate_gid(gid, ticks).is_ok() {
+                    punctuated += 1;
+                }
+            }
+        }
+        // Forward source low-watermarks as punctuations: a watermark at
+        // `w` promises every future tuple ticks strictly > `w` — exactly
+        // a punctuation at `w`, and the only completeness proof an
+        // out-of-order stream gives Watermark-consistency windows. With
+        // several sources on one stream the stream-level watermark is
+        // their minimum, and exists only when every source promises one.
+        // (A Vec keyed by first appearance, not a HashMap, so step-mode
+        // punctuation order is deterministic.)
+        let mut stream_marks: Vec<(usize, Option<i64>)> = Vec::new();
+        for ws in &self.sources {
+            let w = ws.src.watermark();
+            match stream_marks.iter_mut().find(|(g, _)| *g == ws.gid) {
+                Some((_, m)) => {
+                    *m = match (*m, w) {
+                        (Some(cur), Some(w)) => Some(cur.min(w)),
+                        _ => None,
+                    }
+                }
+                None => stream_marks.push((ws.gid, w)),
+            }
+        }
+        for (gid, mark) in stream_marks {
+            let Some(w) = mark else { continue };
+            let last = self.watermarks.entry(gid).or_insert(i64::MIN);
+            if w > *last {
+                *last = w;
+                if inner.punctuate_gid(gid, w).is_ok() {
+                    punctuated += 1;
+                }
             }
         }
         // Re-ingest any spill episode whose queues have drained below
@@ -389,7 +429,12 @@ impl WrapperLoop {
         inner
             .wrapper_ingested
             .fetch_add(produced as u64, Ordering::Relaxed);
-        let idle = produced == 0;
+        // A watermark-only round still made progress: its punctuation is
+        // in flight to the EOs, and windows it releases have not been
+        // driven yet. Counting it idle would let the `drain_sources`
+        // quiesce barrier return (or spin forever at its timeout in step
+        // mode) with deliverable results still pending.
+        let idle = produced == 0 && punctuated == 0;
         inner.wrapper_idle.store(
             (idle && self.sources.iter().all(|ws| ws.src.is_exhausted())
                 || self.sources.is_empty())
@@ -1041,9 +1086,12 @@ impl Server {
         self.inner.ingest(gid, tuple)
     }
 
-    /// Push one tuple stamped at an explicit logical tick (must be
-    /// non-decreasing per stream) — e.g. the paper's trading-day
-    /// timestamps, where several quotes share one day.
+    /// Push one tuple stamped at an explicit logical tick — e.g. the
+    /// paper's trading-day timestamps, where several quotes share one
+    /// day. Ticks may run backwards (bounded-disorder event time):
+    /// out-of-order tuples are admitted, and windowed queries resolve
+    /// the uncertainty per their consistency level — hold for a
+    /// watermark, or emit speculatively and retract.
     pub fn push_at(&self, stream: &str, fields: Vec<Value>, ticks: i64) -> Result<()> {
         let gid = self.stream_id(stream)?;
         let tuple = {
@@ -1072,6 +1120,24 @@ impl Server {
             .clock
             .advance_to(ticks);
         self.inner.punctuate_gid(gid, ticks)
+    }
+
+    /// Declare `stream` event-time disordered before any data arrives:
+    /// its tuples may lag the stream head by a bounded amount, so
+    /// `Consistency::Watermark` queries release windows only on
+    /// punctuation, never on the high-water mark alone. Without the
+    /// declaration the engine learns of disorder at the first actual
+    /// regression — after the high-water mark may already have released
+    /// windows a straggler could still amend. Wrappers whose sources
+    /// reorder (e.g. [`tcq_wrappers::DisorderSource`]) should declare
+    /// their stream at attach time; re-declare after a crash restart,
+    /// before [`Server::recover`] replays the log.
+    pub fn declare_disordered(&self, stream: &str) -> Result<()> {
+        let gid = self.stream_id(stream)?;
+        for eo in 0..self.inner.eo_inputs.len() {
+            self.inner.eo_send(eo, ExecMsg::Disordered(gid))?;
+        }
+        Ok(())
     }
 
     /// Replay the durable history left by a crashed incarnation: the
@@ -2951,6 +3017,75 @@ mod tests {
         let sizes: Vec<usize> = sets.iter().map(|r| r.rows.len()).collect();
         assert_eq!(sizes, vec![1, 2, 1, 2]);
         s.shutdown();
+    }
+
+    #[test]
+    fn speculative_deltas_fold_to_watermark_answer() {
+        use std::collections::BTreeMap;
+        let sql = "SELECT COUNT(*) AS n FROM ClosingStockPrices \
+                   WHERE stockSymbol = 'MSFT' \
+                   for (t = 2; t <= 5; t++) { WindowIs(ClosingStockPrices, t - 1, t); }";
+        // Two admission rounds with a sync between: the engine evaluates
+        // whatever round one admitted before round two's stragglers land.
+        let run = |sql: &str, round1: &[i64], round2: &[i64]| {
+            let s = Server::start(Config {
+                step_mode: true,
+                ..Config::default()
+            })
+            .unwrap();
+            s.register_stream("ClosingStockPrices", stock_schema())
+                .unwrap();
+            let h = s.submit(sql).unwrap();
+            for &day in round1 {
+                quote(&s, day, "MSFT", 50.0);
+            }
+            s.sync();
+            for &day in round2 {
+                quote(&s, day, "MSFT", 50.0);
+            }
+            s.punctuate("ClosingStockPrices", 5).unwrap();
+            s.sync();
+            let sets = h.drain();
+            let finished = h.is_finished();
+            s.shutdown();
+            (sets, finished)
+        };
+        // Fold a delivery sequence per window instant: retractions cancel
+        // one previously delivered row (compare fields — an amendment's
+        // recomputed row may carry a different member timestamp).
+        let fold = |sets: &[crate::ResultSet]| {
+            let mut folded: BTreeMap<i64, Vec<Vec<Value>>> = BTreeMap::new();
+            let mut deltas = 0usize;
+            for rs in sets {
+                let acc = folded.entry(rs.window_t.expect("windowed")).or_default();
+                for row in &rs.rows {
+                    if row.is_retraction() {
+                        deltas += 1;
+                        let fields = row.fields().to_vec();
+                        let i = acc
+                            .iter()
+                            .position(|r| *r == fields)
+                            .expect("retraction matches an emitted row");
+                        acc.remove(i);
+                    } else {
+                        acc.push(row.fields().to_vec());
+                    }
+                }
+            }
+            (folded, deltas)
+        };
+        // Oracle: in-order arrival under the default (watermark) level.
+        let (oracle, _) = run(sql, &[1, 2, 3, 4, 5], &[]);
+        // Day 3 straggles in after day 5 under SPECULATIVE: instants 3
+        // and 4 are emitted early (undercounted), then amended.
+        let spec_sql = format!("{sql} WITH CONSISTENCY SPECULATIVE");
+        let (spec, finished) = run(&spec_sql, &[1, 2, 4, 5], &[3]);
+        assert!(finished, "punctuation prunes speculative state");
+        let (folded, deltas) = fold(&spec);
+        assert!(deltas >= 2, "late day 3 amends instants 3 and 4");
+        let (want, zero) = fold(&oracle);
+        assert_eq!(zero, 0, "in-order watermark run emits no deltas");
+        assert_eq!(folded, want, "deltas fold to the in-order answer");
     }
 
     #[test]

@@ -136,7 +136,9 @@ impl Layout {
             Some(std::cmp::Ordering::Less) => matched.ts(),
             _ => driver.ts(),
         };
-        Tuple::new(fields, ts)
+        // Delta algebra: a join result's sign is the product of its
+        // components' signs, so retraction deltas flow through joins.
+        Tuple::new(fields, ts).with_sign(driver.sign() * matched.sign())
     }
 }
 
@@ -224,5 +226,20 @@ mod tests {
             ]
         );
         assert_eq!(merged.ts().ticks(), 9);
+    }
+
+    #[test]
+    fn merge_multiplies_signs() {
+        let l = layout();
+        let driver = Tuple::at_seq(vec![Value::Int(99)], 5);
+        let matched = Tuple::at_seq(vec![Value::Int(1), Value::Int(2)], 3);
+        // Positive components join positively.
+        assert_eq!(l.merge(&driver, Mask::bit(2), &matched, 0).sign(), 1);
+        // A retraction component retracts the join result...
+        let retracted = matched.with_sign(-1);
+        assert_eq!(l.merge(&driver, Mask::bit(2), &retracted, 0).sign(), -1);
+        // ...and two retractions cancel (delta algebra).
+        let neg_driver = driver.with_sign(-1);
+        assert_eq!(l.merge(&neg_driver, Mask::bit(2), &retracted, 0).sign(), 1);
     }
 }

@@ -85,6 +85,8 @@ pub struct PsoupStats {
     pub retrievals: u64,
     /// Predicate evaluations performed by recompute retrievals.
     pub recompute_evals: u64,
+    /// Retraction deltas folded into SteMs (speculative upstreams).
+    pub retracted: u64,
 }
 
 #[derive(Debug)]
@@ -204,12 +206,49 @@ impl PSoup {
     }
 
     /// Process one arriving tuple: store it (new data), probe the Query
-    /// SteM (old queries), and materialize matches.
+    /// SteM (old queries), and materialize matches. A retraction delta
+    /// (sign −1, from a speculative upstream) instead cancels its
+    /// positive counterpart in the Data SteM and every matching Results
+    /// Structure, so materialized answers fold to the corrected stream.
     pub fn push(&mut self, stream: usize, tuple: Tuple) {
         self.stats.tuples += 1;
+        if tuple.is_retraction() {
+            self.retract_delta(stream, &tuple);
+            return;
+        }
         self.data.entry(stream).or_default().append(tuple.clone());
 
-        // Probe the Query SteM: count satisfied predicates per slot.
+        for slot in self.matching_slots(stream, &tuple).iter() {
+            if let Some(Some(entry)) = self.queries.get_mut(slot) {
+                self.stats.materialized += 1;
+                entry.results.append(tuple.clone());
+            }
+        }
+    }
+
+    /// Fold a retraction delta: remove the positive counterpart from the
+    /// stream's Data SteM and from the Results Structure of every query
+    /// it had matched. A retraction whose counterpart was never stored
+    /// (or already evicted) is a no-op on that structure.
+    fn retract_delta(&mut self, stream: usize, tuple: &Tuple) {
+        self.stats.retracted += 1;
+        if let Some(data) = self.data.get_mut(&stream) {
+            data.retract(tuple);
+        }
+        for slot in self.matching_slots(stream, tuple).iter() {
+            if let Some(Some(entry)) = self.queries.get_mut(slot) {
+                if entry.results.retract(tuple) {
+                    self.stats.materialized -= 1;
+                }
+            }
+        }
+    }
+
+    /// Probe the Query SteM: the slots whose full conjunction the tuple's
+    /// fields satisfy (sign-independent — a retraction matches exactly
+    /// the queries its positive counterpart matched).
+    fn matching_slots(&self, stream: usize, tuple: &Tuple) -> QuerySet {
+        // Count satisfied predicates per slot.
         let mut counters: HashMap<usize, u32> = HashMap::new();
         for ((s, col), gf) in &self.filters {
             if *s != stream {
@@ -231,12 +270,7 @@ impl PSoup {
                 passed.insert(slot);
             }
         }
-        for slot in passed.iter() {
-            if let Some(Some(entry)) = self.queries.get_mut(slot) {
-                self.stats.materialized += 1;
-                entry.results.append(tuple.clone());
-            }
-        }
+        passed
     }
 
     /// Retrieve the current answer of query `id` as of time `now`:
@@ -446,6 +480,48 @@ mod tests {
             p.push(0, stock("MSFT", 1.0, i));
         }
         assert!(p.results_bytes() > before);
+    }
+
+    #[test]
+    fn retraction_cancels_materialized_result() {
+        let mut p = PSoup::new();
+        let q = p.register_query(msft_over(10, 50.0)).unwrap();
+        p.push(0, stock("MSFT", 60.0, 1));
+        p.push(0, stock("MSFT", 70.0, 2));
+        // The speculative upstream amends: the 60.0 row never happened.
+        p.push(0, stock("MSFT", 60.0, 1).with_sign(-1));
+        let now = Timestamp::logical(2);
+        let r = p.retrieve(q, now).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].field(1), &Value::Float(70.0));
+        // Data SteM folded too: recompute agrees with materialized.
+        assert_eq!(p.retrieve_recompute(q, now).unwrap(), r);
+        assert_eq!(p.stats().retracted, 1);
+    }
+
+    #[test]
+    fn unmatched_retraction_is_noop() {
+        let mut p = PSoup::new();
+        let q = p.register_query(msft_over(10, 0.0)).unwrap();
+        p.push(0, stock("MSFT", 60.0, 1));
+        let mat_before = p.stats().materialized;
+        // Retraction of a row never pushed folds to nothing.
+        p.push(0, stock("MSFT", 99.0, 1).with_sign(-1));
+        assert_eq!(p.stats().materialized, mat_before);
+        assert_eq!(p.retrieve(q, Timestamp::logical(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn retraction_of_nonmatching_row_folds_data_stem_only() {
+        let mut p = PSoup::new();
+        // Query matches MSFT only; an IBM row lives in the Data SteM but
+        // no Results Structure.
+        let q = p.register_query(msft_over(10, 0.0)).unwrap();
+        p.push(0, stock("IBM", 5.0, 1));
+        p.push(0, stock("IBM", 5.0, 1).with_sign(-1));
+        let now = Timestamp::logical(1);
+        assert!(p.retrieve(q, now).unwrap().is_empty());
+        assert!(p.retrieve_recompute(q, now).unwrap().is_empty());
     }
 
     #[test]

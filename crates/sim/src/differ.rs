@@ -22,7 +22,20 @@
 //!   one window instant (windowed) per arming and mark the query
 //!   degraded: a degraded unwindowed query must produce a sub-multiset;
 //!   a degraded windowed query a subsequence of instants, each present
-//!   instant still exact.
+//!   instant still exact. For a *speculative* degraded query the
+//!   quarantine may also swallow an amendment, leaving a present
+//!   instant stale — the same tolerance applied to deltas, so there
+//!   only the instant subsequence is checked.
+//! * **Speculative deltas fold, they don't compare.** A query at
+//!   `Consistency::Speculative` may deliver an instant several times —
+//!   a provisional baseline followed by amendment sets whose sign = -1
+//!   rows each cancel one previously delivered row (matched by fields:
+//!   an amendment's recomputed row may carry a different member
+//!   timestamp, which is inside the declared nondeterminism surface).
+//!   The differ folds the delivery sequence per instant and compares
+//!   the folded state against the oracle's final contents. A Watermark
+//!   query delivering an instant twice, or any retraction from one, is
+//!   a reportable diff — folding never masks it.
 //!
 //! * **Crash/recovery is invisible** — deliberately *not* a tolerance.
 //!   A `Step::Crash` discards the result sets collected so far, and the
@@ -38,11 +51,12 @@
 
 use std::collections::HashMap;
 
-use tcq_common::ShedPolicy;
+use tcq_common::{Consistency, ShedPolicy};
+use tcq_sql::Planner;
 
 use crate::driver::{render_row, EpisodeRun};
 use crate::episode::Episode;
-use crate::oracle::{OracleOutput, OracleQuery};
+use crate::oracle::{episode_consistency, sim_catalog, OracleOutput, OracleQuery};
 
 /// The outcome of one comparison.
 #[derive(Debug, Clone, Default)]
@@ -62,13 +76,23 @@ pub fn diff_episode(ep: &Episode, run: &EpisodeRun, oracle: &OracleOutput) -> Di
         ));
         return report;
     }
+    let planner = Planner::new(sim_catalog());
+    let default_level = episode_consistency(ep);
     for (qi, (out, expected)) in run.outputs.iter().zip(&oracle.queries).enumerate() {
         match expected {
             OracleQuery::Unwindowed { rows, exact_order } => {
                 diff_unwindowed(ep, qi, out, rows, *exact_order, &mut report);
             }
             OracleQuery::Windowed { instants } => {
-                diff_windowed(qi, out, instants, &mut report);
+                // Only a speculative query's deliveries fold; the level
+                // is the query's own clause or the episode default.
+                let speculative = planner
+                    .plan_sql(&out.sql)
+                    .ok()
+                    .and_then(|p| p.consistency)
+                    .unwrap_or(default_level)
+                    == Consistency::Speculative;
+                diff_windowed(qi, out, instants, speculative, &mut report);
             }
         }
     }
@@ -127,8 +151,13 @@ fn diff_windowed(
     qi: usize,
     out: &crate::driver::QueryOutput,
     expected: &[(i64, Vec<Vec<tcq_common::Value>>)],
+    speculative: bool,
     report: &mut DiffReport,
 ) {
+    // Fold the delivery sequence into one state per instant. For a
+    // Watermark query folding is the identity — each instant arrives
+    // once and positive-only, and any violation of that is reported
+    // rather than silently merged away.
     let mut got: Vec<(i64, Vec<String>)> = Vec::new();
     for rs in &out.sets {
         let Some(t) = rs.window_t else {
@@ -137,9 +166,46 @@ fn diff_windowed(
             ));
             return;
         };
-        let mut rows: Vec<String> = rs.rows.iter().map(render_row).collect();
+        let slot = match got.iter().position(|(gt, _)| *gt == t) {
+            Some(i) if speculative => i,
+            Some(_) => {
+                report.diffs.push(format!(
+                    "query {qi}: instant t={t} delivered twice by a non-speculative query"
+                ));
+                return;
+            }
+            None => {
+                got.push((t, Vec::new()));
+                got.len() - 1
+            }
+        };
+        for row in &rs.rows {
+            let rendered = render_row(row);
+            if !row.is_retraction() {
+                got[slot].1.push(rendered);
+                continue;
+            }
+            if !speculative {
+                report.diffs.push(format!(
+                    "query {qi}: retraction [{rendered}] from a non-speculative query"
+                ));
+                return;
+            }
+            match got[slot].1.iter().position(|r| *r == rendered) {
+                Some(i) => {
+                    got[slot].1.remove(i);
+                }
+                None => {
+                    report.diffs.push(format!(
+                        "query {qi}: retraction [{rendered}] at t={t} cancels no delivered row"
+                    ));
+                    return;
+                }
+            }
+        }
+    }
+    for (_, rows) in &mut got {
         rows.sort();
-        got.push((t, rows));
     }
     let want: Vec<(i64, Vec<String>)> = expected
         .iter()
@@ -151,7 +217,10 @@ fn diff_windowed(
         .collect();
     if out.degraded {
         // Quarantined instants are skipped; every instant that did
-        // arrive must still be exact, and in loop order.
+        // arrive must still be exact, and in loop order. A speculative
+        // quarantine may instead have swallowed an amendment, leaving a
+        // present instant stale — the same tolerance applied to deltas,
+        // so only the subsequence is checked there.
         let mut wi = 0usize;
         for (t, rows) in &got {
             let Some(pos) = want[wi..].iter().position(|(wt, _)| wt == t) else {
@@ -161,7 +230,7 @@ fn diff_windowed(
                 return;
             };
             let (_, wrows) = &want[wi + pos];
-            if rows != wrows {
+            if rows != wrows && !speculative {
                 report.diffs.push(format!(
                     "query {qi}: instant t={t} rows mismatch (degraded run): engine {:?} vs oracle {:?}",
                     rows, wrows
@@ -190,6 +259,64 @@ fn diff_windowed(
             }
         }
     }
+}
+
+/// Canonical folded final answers of a run, for engine-to-engine
+/// (metamorphic) comparison: per query, unwindowed rows as a sorted
+/// multiset and windowed instants folded by sign (each retraction
+/// cancels one delivered row, matched by fields), rows sorted within
+/// each instant. Timestamps are excluded throughout — an aggregate
+/// row's timestamp is its last window member in *arrival* order, which
+/// legitimately differs between a shuffled run and its in-order twin.
+/// Errors when a retraction cancels nothing.
+pub fn fold_final_answers(run: &EpisodeRun) -> Result<String, String> {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (qi, q) in run.outputs.iter().enumerate() {
+        let _ = writeln!(out, "query {qi}");
+        let mut batch: Vec<String> = Vec::new();
+        let mut instants: Vec<(i64, Vec<String>)> = Vec::new();
+        for rs in &q.sets {
+            let Some(t) = rs.window_t else {
+                batch.extend(rs.rows.iter().map(render_row));
+                continue;
+            };
+            let slot = match instants.iter().position(|(gt, _)| *gt == t) {
+                Some(i) => i,
+                None => {
+                    instants.push((t, Vec::new()));
+                    instants.len() - 1
+                }
+            };
+            for row in &rs.rows {
+                let rendered = render_row(row);
+                if !row.is_retraction() {
+                    instants[slot].1.push(rendered);
+                    continue;
+                }
+                let Some(i) = instants[slot].1.iter().position(|r| *r == rendered) else {
+                    return Err(format!(
+                        "query {qi}: retraction [{rendered}] at t={t} cancels no delivered row"
+                    ));
+                };
+                instants[slot].1.remove(i);
+            }
+        }
+        batch.sort();
+        for r in batch {
+            let _ = writeln!(out, "  [{r}]");
+        }
+        instants.sort_by_key(|(t, _)| *t);
+        for (t, mut rows) in instants {
+            rows.sort();
+            let _ = write!(out, "  t={t}:");
+            for r in rows {
+                let _ = write!(out, " [{r}]");
+            }
+            let _ = writeln!(out);
+        }
+    }
+    Ok(out)
 }
 
 fn render_values(row: &[tcq_common::Value]) -> String {
@@ -261,9 +388,13 @@ mod tests {
     use tcq_common::{Tuple, Value};
 
     fn run_with(sets: Vec<ResultSet>, degraded: bool) -> EpisodeRun {
+        run_with_sql("SELECT day FROM quotes", sets, degraded)
+    }
+
+    fn run_with_sql(sql: &str, sets: Vec<ResultSet>, degraded: bool) -> EpisodeRun {
         EpisodeRun {
             outputs: vec![crate::driver::QueryOutput {
-                sql: "SELECT day FROM quotes".into(),
+                sql: sql.into(),
                 sets,
                 degraded,
             }],
@@ -287,6 +418,7 @@ mod tests {
             durability: tcq_common::Durability::Off,
             columnar: None,
             on_storage_error: None,
+            consistency: None,
             queries: vec!["SELECT day FROM quotes".into()],
             steps: Vec::new(),
         }
@@ -338,7 +470,12 @@ mod tests {
 
     #[test]
     fn degraded_windowed_instants_must_be_a_subsequence() {
-        let e = ep(tcq_common::ShedPolicy::Block);
+        // Pin the level: under Speculative a degraded run only owes a
+        // subsequence (a quarantined amendment may leave an instant
+        // stale), so the "present instants are exact" half below is a
+        // Watermark-only contract — independent of TCQ_CONSISTENCY.
+        let mut e = ep(tcq_common::ShedPolicy::Block);
+        e.consistency = Some(tcq_common::Consistency::Watermark);
         let oracle = OracleOutput {
             queries: vec![OracleQuery::Windowed {
                 instants: vec![
@@ -361,5 +498,59 @@ mod tests {
         // And present instants must still be exact.
         let run = run_with(vec![wset(1, 10), wset(3, 99)], true);
         assert!(!diff_episode(&e, &run, &oracle).diffs.is_empty());
+    }
+
+    #[test]
+    fn speculative_deltas_fold_before_comparison() {
+        let spec_sql = "SELECT COUNT(*) AS n FROM quotes \
+                        for (t = 1; t <= 2; t++) { WindowIs(quotes, 1, t); } \
+                        WITH CONSISTENCY SPECULATIVE";
+        let e = ep(tcq_common::ShedPolicy::Block);
+        let oracle = OracleOutput {
+            queries: vec![OracleQuery::Windowed {
+                instants: vec![
+                    (1, vec![vec![Value::Int(1)]]),
+                    (2, vec![vec![Value::Int(3)]]),
+                ],
+            }],
+        };
+        let wset = |t: i64, rows: Vec<(i64, i8)>| ResultSet {
+            window_t: Some(t),
+            rows: rows
+                .into_iter()
+                .map(|(v, sign)| Tuple::at_seq(vec![Value::Int(v)], t).with_sign(sign))
+                .collect(),
+        };
+        // Baselines for both instants, then a late straggler amends
+        // instant 2: retract the provisional count, assert the new one.
+        let sets = vec![
+            wset(1, vec![(1, 1)]),
+            wset(2, vec![(2, 1)]),
+            wset(2, vec![(2, -1), (3, 1)]),
+        ];
+        let run = run_with_sql(spec_sql, sets.clone(), false);
+        assert!(
+            diff_episode(&e, &run, &oracle).diffs.is_empty(),
+            "{:?}",
+            diff_episode(&e, &run, &oracle).diffs
+        );
+        // A retraction that cancels nothing is a reportable diff...
+        let bad = vec![wset(1, vec![(1, 1)]), wset(2, vec![(9, -1)])];
+        let run = run_with_sql(spec_sql, bad, false);
+        let report = diff_episode(&e, &run, &oracle);
+        assert!(report.diffs[0].contains("cancels no delivered row"));
+        // ...and a Watermark query never folds: re-delivering an
+        // instant or retracting from one is reported, not merged. The
+        // clause is explicit so TCQ_CONSISTENCY cannot flip the level.
+        let wm_sql = "SELECT COUNT(*) AS n FROM quotes \
+                      for (t = 1; t <= 2; t++) { WindowIs(quotes, 1, t); } \
+                      WITH CONSISTENCY WATERMARK";
+        let run = run_with_sql(wm_sql, sets, false);
+        let report = diff_episode(&e, &run, &oracle);
+        assert!(
+            report.diffs[0].contains("delivered twice") || report.diffs[0].contains("retraction"),
+            "{:?}",
+            report.diffs
+        );
     }
 }

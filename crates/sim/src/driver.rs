@@ -24,7 +24,7 @@ use tcq::{
 };
 use tcq_common::{DataType, Field, Schema, TcqError, Tuple, Value};
 use tcq_flux::{FaultAction, FaultSchedule, FluxCluster, GroupCount};
-use tcq_wrappers::{FlakySource, IterSource};
+use tcq_wrappers::{DisorderSource, FlakySource, IterSource};
 
 use crate::episode::{Episode, Step};
 
@@ -287,6 +287,7 @@ pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
         durability: ep.durability,
         columnar: ep.columnar.unwrap_or(base.columnar),
         on_storage_error: ep.on_storage_error.unwrap_or(base.on_storage_error),
+        consistency: ep.consistency.unwrap_or(base.consistency),
         archive_dir: archive_dir.clone(),
         // Large enough that the egress QoS shed (oldest result set
         // dropped when a client lags) never fires between settles —
@@ -298,6 +299,16 @@ pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
     fn boot(ep: &Episode, config: &Config) -> Result<(Server, Vec<QueryHandle>), String> {
         let server = Server::start(config.clone()).map_err(|e| format!("start: {e}"))?;
         episode_catalog(&server)?;
+        // Disorder declarations are boot-scoped: every incarnation
+        // (including crash reboots, before `recover` replays the WAL)
+        // learns which streams may deliver stragglers *before* any
+        // data, so a Watermark query never releases a window on the
+        // high-water mark that a late tuple could still amend.
+        for stream in ep.disorder_declarations().keys() {
+            server
+                .declare_disordered(stream)
+                .map_err(|e| format!("declare_disordered {stream}: {e}"))?;
+        }
         let mut handles = Vec::with_capacity(ep.queries.len());
         for (i, sql) in ep.queries.iter().enumerate() {
             handles.push(
@@ -370,9 +381,21 @@ pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
                 let inner =
                     IterSource::from_rows(format!("sim.{}", spec.stream), spec.rows.clone());
                 let src = FlakySource::new(inner, spec.seed, spec.fail_rate);
-                server
-                    .attach_source(&spec.stream, Box::new(src))
-                    .map_err(|e| format!("step {si}: attach_source {}: {e}", spec.stream))?;
+                // A source feeding a declared-disordered stream is
+                // wrapped in the seeded bounded shuffle — outermost, so
+                // the Wrapper sees its low-watermarks.
+                let attached = match ep.disorder_declarations().get(&spec.stream) {
+                    Some(&bound) => server.attach_source(
+                        &spec.stream,
+                        Box::new(DisorderSource::new(
+                            src,
+                            spec.seed ^ 0x6cf5_3d6a_9f8e_21b7,
+                            bound,
+                        )),
+                    ),
+                    None => server.attach_source(&spec.stream, Box::new(src)),
+                };
+                attached.map_err(|e| format!("step {si}: attach_source {}: {e}", spec.stream))?;
             }
             Step::Wrapper { rounds } => {
                 for _ in 0..*rounds {
@@ -438,6 +461,11 @@ pub fn run_episode(ep: &Episode) -> Result<EpisodeRun, String> {
                     &format!("step {si} recovery"),
                     &mut invariant_failures,
                 );
+            }
+            Step::Disorder { .. } => {
+                // Declarations are boot-scoped (applied in `boot`, before
+                // any data); the step's schedule position only marks
+                // where the generator started shuffling.
             }
         }
     }

@@ -36,7 +36,7 @@
 //! generator only emits such).
 
 use tcq::FaultKind;
-use tcq_common::{Durability, OnStorageError, ShedPolicy, Value};
+use tcq_common::{Consistency, Durability, OnStorageError, ShedPolicy, Value};
 
 /// Rows an attached flaky source will deliver: `(ticks, fields)` in
 /// nondecreasing tick order.
@@ -98,6 +98,18 @@ pub enum Step {
         after: u32,
         count: u32,
     },
+    /// Declare a stream event-time disordered with the given bound:
+    /// its `Row` ticks may regress below the running maximum by up to
+    /// `bound`, and any source attached to it is wrapped in a
+    /// `DisorderSource` (seeded bounded shuffle plus low-watermarks).
+    /// The declaration is boot-scoped — the driver collects every
+    /// `Disorder` step and issues `Server::declare_disordered` for its
+    /// stream at every boot (including crash reboots), *before* any
+    /// data, because a `Watermark`-level query must never release a
+    /// window on the high-water mark that a straggler could still
+    /// amend. The step's schedule position therefore only marks where
+    /// the generator started shuffling.
+    Disorder { stream: String, bound: i64 },
 }
 
 /// A complete replayable episode.
@@ -139,6 +151,12 @@ pub struct Episode {
     /// to — inherits the engine default (`Degrade`); `Some(Halt)` makes
     /// a persistent disk fault drive the read-only admission gate.
     pub on_storage_error: Option<OnStorageError>,
+    /// Default consistency level for the episode's queries
+    /// (`Config::consistency`). `None` — the default, and what episodes
+    /// without a `consistency` line parse to — inherits the engine
+    /// default; `Some(_)` pins it. Queries carrying their own
+    /// `WITH CONSISTENCY` clause override it per query either way.
+    pub consistency: Option<Consistency>,
     /// CQ-SQL queries, submitted in order before the schedule runs.
     pub queries: Vec<String>,
     /// The schedule.
@@ -162,6 +180,66 @@ impl Episode {
             }
         }
         max + 1_000
+    }
+
+    /// Event-time disorder declarations: stream name → largest declared
+    /// bound, collected from every [`Step::Disorder`] in the schedule.
+    /// Boot-scoped (see the step's docs), so the collection ignores
+    /// schedule position.
+    pub fn disorder_declarations(&self) -> std::collections::BTreeMap<String, i64> {
+        let mut out = std::collections::BTreeMap::new();
+        for s in &self.steps {
+            if let Step::Disorder { stream, bound } = s {
+                let e = out.entry(stream.clone()).or_insert(*bound);
+                *e = (*e).max(*bound);
+            }
+        }
+        out
+    }
+
+    /// True iff any stream is declared event-time disordered.
+    pub fn has_disorder(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s, Step::Disorder { .. }))
+    }
+
+    /// The metamorphic twin of a disordered episode: each disordered
+    /// stream's `Row` ticks are re-sorted into event-time order across
+    /// that stream's existing schedule slots (a stable sort, so the
+    /// interleaving with other streams and with chaos steps is
+    /// untouched), and the disorder declarations are dropped — which
+    /// also unwraps any `DisorderSource`. The twin delivers the same
+    /// multiset of (tick, fields) per stream, merely in order; both
+    /// runs must fold to the same final answers.
+    pub fn in_order(&self) -> Episode {
+        let mut ep = self.clone();
+        for stream in self.disorder_declarations().keys() {
+            let slots: Vec<usize> = ep
+                .steps
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, Step::Row { stream: st, .. } if st == stream))
+                .map(|(i, _)| i)
+                .collect();
+            let mut rows: Vec<(i64, Vec<Value>)> = slots
+                .iter()
+                .map(|&i| match &ep.steps[i] {
+                    Step::Row { ticks, fields, .. } => (*ticks, fields.clone()),
+                    _ => unreachable!("slots hold Row steps"),
+                })
+                .collect();
+            rows.sort_by_key(|(t, _)| *t);
+            for (&i, (ticks, fields)) in slots.iter().zip(rows) {
+                ep.steps[i] = Step::Row {
+                    stream: stream.clone(),
+                    ticks,
+                    fields,
+                };
+            }
+        }
+        ep.steps.retain(|s| !matches!(s, Step::Disorder { .. }));
+        ep
     }
 
     /// Serialize to the line format (inverse of [`Episode::parse`]).
@@ -193,6 +271,9 @@ impl Episode {
         }
         if let Some(policy) = self.on_storage_error {
             let _ = writeln!(out, "onerror {}", policy.name());
+        }
+        if let Some(level) = self.consistency {
+            let _ = writeln!(out, "consistency {}", level.name());
         }
         for q in &self.queries {
             let _ = writeln!(out, "query {}", q.replace('\n', " "));
@@ -237,6 +318,9 @@ impl Episode {
                 Step::DiskFault { kind, after, count } => {
                     let _ = writeln!(out, "step diskfault {} {after} {count}", kind.name());
                 }
+                Step::Disorder { stream, bound } => {
+                    let _ = writeln!(out, "step disorder {stream} {bound}");
+                }
             }
         }
         out
@@ -254,6 +338,7 @@ impl Episode {
             durability: Durability::Off,
             columnar: None,
             on_storage_error: None,
+            consistency: None,
             queries: Vec::new(),
             steps: Vec::new(),
         };
@@ -352,6 +437,13 @@ impl Episode {
                             .ok_or_else(|| err("bad onerror (degrade or halt)"))?,
                     );
                 }
+                "consistency" => {
+                    ep.consistency = Some(
+                        it.next()
+                            .and_then(Consistency::parse)
+                            .ok_or_else(|| err("bad consistency (watermark or speculative)"))?,
+                    );
+                }
                 "query" => {
                     let sql = line["query".len()..].trim().to_string();
                     if sql.is_empty() {
@@ -436,6 +528,18 @@ impl Episode {
                             .ok_or_else(|| err("bad diskfault count"))?;
                         ep.steps.push(Step::DiskFault { kind, after, count });
                     }
+                    Some("disorder") => {
+                        let stream = it.next().ok_or_else(|| err("disorder needs a stream"))?;
+                        let bound: i64 = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&b| b >= 1)
+                            .ok_or_else(|| err("bad disorder bound"))?;
+                        ep.steps.push(Step::Disorder {
+                            stream: stream.to_string(),
+                            bound,
+                        });
+                    }
                     _ => return Err(err("unknown step")),
                 },
                 _ => return Err(err("unknown directive")),
@@ -503,8 +607,13 @@ mod tests {
             durability: Durability::Buffered,
             columnar: Some(false),
             on_storage_error: Some(OnStorageError::Halt),
+            consistency: Some(Consistency::Speculative),
             queries: vec!["SELECT day FROM quotes WHERE price > 10.0".into()],
             steps: vec![
+                Step::Disorder {
+                    stream: "quotes".into(),
+                    bound: 3,
+                },
                 Step::Crash,
                 Step::DiskFault {
                     kind: FaultKind::ShortWrite,
@@ -584,9 +693,11 @@ mod tests {
         assert!(ep.durability.is_off());
         assert!(ep.columnar.is_none());
         assert!(ep.on_storage_error.is_none());
+        assert!(ep.consistency.is_none());
         assert!(!ep.render().contains("durability"));
         assert!(!ep.render().contains("columnar"));
         assert!(!ep.render().contains("onerror"));
+        assert!(!ep.render().contains("consistency"));
     }
 
     #[test]
@@ -624,5 +735,67 @@ mod tests {
     fn horizon_covers_all_ticks() {
         let ep = sample_episode();
         assert!(ep.horizon() > 64);
+    }
+
+    #[test]
+    fn disorder_and_consistency_round_trip() {
+        let text = "seed 8\nconsistency speculative\nstep disorder quotes 4\n";
+        let ep = Episode::parse(text).unwrap();
+        assert_eq!(ep.consistency, Some(Consistency::Speculative));
+        assert_eq!(
+            ep.steps,
+            vec![Step::Disorder {
+                stream: "quotes".into(),
+                bound: 4,
+            }]
+        );
+        assert_eq!(ep.disorder_declarations().get("quotes"), Some(&4));
+        assert_eq!(Episode::parse(&ep.render()).unwrap(), ep);
+        assert!(Episode::parse("consistency eventual").is_err());
+        assert!(Episode::parse("step disorder quotes 0").is_err());
+        assert!(Episode::parse("step disorder quotes").is_err());
+    }
+
+    #[test]
+    fn in_order_twin_sorts_rows_and_drops_declarations() {
+        let row = |ticks: i64| Step::Row {
+            stream: "quotes".into(),
+            ticks,
+            fields: vec![Value::Int(ticks)],
+        };
+        let ep = Episode {
+            steps: vec![
+                Step::Disorder {
+                    stream: "quotes".into(),
+                    bound: 3,
+                },
+                row(5),
+                Step::Settle,
+                row(2),
+                Step::Row {
+                    stream: "sensors".into(),
+                    ticks: 9,
+                    fields: vec![Value::Int(9)],
+                },
+                row(4),
+            ],
+            ..Episode::parse("seed 1").unwrap()
+        };
+        let twin = ep.in_order();
+        assert!(!twin.has_disorder());
+        let quote_ticks: Vec<i64> = twin
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Row { stream, ticks, .. } if stream == "quotes" => Some(*ticks),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(quote_ticks, vec![2, 4, 5], "quotes rows now in order");
+        // The untouched stream and the schedule shape are preserved.
+        assert!(matches!(twin.steps[1], Step::Settle));
+        assert!(
+            matches!(&twin.steps[3], Step::Row { stream, ticks: 9, .. } if stream == "sensors")
+        );
     }
 }

@@ -27,7 +27,7 @@
 
 use tcq::FaultKind;
 use tcq_common::rng::SplitMix64;
-use tcq_common::{Durability, OnStorageError, ShedPolicy, Value};
+use tcq_common::{Consistency, Durability, OnStorageError, ShedPolicy, Value};
 
 use crate::episode::{Episode, SourceSpec, Step};
 
@@ -56,6 +56,22 @@ pub struct GenOptions {
     /// declared-loss accounting. A quarter of these episodes draw
     /// `onerror halt`, driving the read-only admission gate.
     pub diskfaults: bool,
+    /// Enable event-time disorder chaos (`false` = never). When on,
+    /// the episode declares the quotes stream (and, half the time,
+    /// sensors too) disordered via `step disorder`, draws those
+    /// streams' row ticks with a seeded bounded shuffle plus 1-in-8
+    /// maximum-lag stragglers, stops punctuating them mid-episode (the
+    /// promise would be violated), attaches only non-flaky sources to
+    /// them, and pins the episode consistency — so `check_episode`'s
+    /// order-shuffle metamorphic comparison stays eligible.
+    pub disorder: bool,
+    /// Force the episode's `consistency` pin. `None` draws one when
+    /// `disorder` is on (both levels, evenly) and pins nothing
+    /// otherwise.
+    pub consistency: Option<Consistency>,
+    /// Force the episode's `columnar` pin (`None` = leave unpinned, the
+    /// engine default).
+    pub columnar: Option<bool>,
 }
 
 const SYMS: [&str; 4] = ["aapl", "ibm", "msft", "orcl"];
@@ -73,7 +89,31 @@ pub fn generate(seed: u64, index: u64, opts: &GenOptions) -> Episode {
         _ => ShedPolicy::Spill,
     });
     let faults = opts.faults.unwrap_or_else(|| rng.next_below(2) == 1);
-    let durability = if opts.crashes || opts.diskfaults {
+    // Guarded draws (taken only when the disorder arm is enabled, so
+    // every other slice's episodes stay byte-identical): per-stream
+    // disorder bounds and the episode consistency pin.
+    let disorder_bounds: [Option<i64>; 2] = if opts.disorder {
+        let bound = 2 + rng.next_below(4) as i64;
+        let sensors_too = rng.next_below(2) == 1;
+        [Some(bound), sensors_too.then_some(bound)]
+    } else {
+        [None, None]
+    };
+    let consistency = opts.consistency.or_else(|| {
+        opts.disorder.then(|| {
+            if rng.next_below(2) == 0 {
+                Consistency::Watermark
+            } else {
+                Consistency::Speculative
+            }
+        })
+    });
+    let durability = if opts.disorder && opts.crashes {
+        // Crash + disorder episodes stay metamorphic-eligible: only
+        // Fsync guarantees the kill loses no admitted suffix, so the
+        // shuffled run and its in-order twin lose identically (nothing).
+        Durability::Fsync
+    } else if opts.crashes || opts.diskfaults {
         // Both durable modes; Fsync only differs by a sync_data call,
         // but drawing it keeps that code path in the matrix. (Disk
         // faults need a WAL to fail, so they force durability on too;
@@ -101,10 +141,30 @@ pub fn generate(seed: u64, index: u64, opts: &GenOptions) -> Episode {
     let n_queries = 1 + rng.next_below(3) as usize;
     let mut queries = Vec::with_capacity(n_queries);
     for _ in 0..n_queries {
-        queries.push(pick_query(&mut rng));
+        let mut q = pick_query(&mut rng);
+        if opts.disorder && rng.next_below(4) == 0 {
+            // Per-query override of the episode pin, both levels.
+            let level = if rng.next_below(2) == 0 {
+                "WATERMARK"
+            } else {
+                "SPECULATIVE"
+            };
+            q.push_str(&format!(" WITH CONSISTENCY {level}"));
+        }
+        queries.push(q);
     }
 
     let mut steps = Vec::new();
+    // Declarations lead the schedule: they are boot-scoped anyway, and
+    // leading keeps every shuffled row covered by one.
+    for (s, bound) in disorder_bounds.iter().enumerate() {
+        if let Some(bound) = bound {
+            steps.push(Step::Disorder {
+                stream: stream_name(s).to_string(),
+                bound: *bound,
+            });
+        }
+    }
     let mut cursor = [0i64; 2]; // [quotes, sensors]
     let mut sourced = [false, false];
     let mut panics_left = if faults { 1 + rng.next_below(2) } else { 0 };
@@ -124,15 +184,32 @@ pub fn generate(seed: u64, index: u64, opts: &GenOptions) -> Episode {
                     continue;
                 }
                 cursor[s] += rng.next_below(3) as i64;
+                // Bounded shuffle on a declared-disordered stream: the
+                // emitted tick lags the advancing cursor by up to the
+                // bound, with a 1-in-8 maximum-lag straggler.
+                let ticks = match disorder_bounds[s] {
+                    Some(bound) => {
+                        let lag = if rng.next_below(8) == 0 {
+                            bound
+                        } else {
+                            rng.next_below(bound as u64 + 1) as i64
+                        };
+                        (cursor[s] - lag).max(0)
+                    }
+                    None => cursor[s],
+                };
                 steps.push(Step::Row {
                     stream: stream_name(s).to_string(),
-                    ticks: cursor[s],
-                    fields: row_fields(&mut rng, s, cursor[s]),
+                    ticks,
+                    fields: row_fields(&mut rng, s, ticks),
                 });
             }
             5 => {
                 let s = rng.next_below(2) as usize;
-                if sourced[s] {
+                if sourced[s] || disorder_bounds[s].is_some() {
+                    // A disordered stream cannot be punctuated at its
+                    // cursor: a straggler below the cursor may still be
+                    // drawn, which would violate the promise.
                     continue;
                 }
                 steps.push(Step::Punctuate {
@@ -168,10 +245,18 @@ pub fn generate(seed: u64, index: u64, opts: &GenOptions) -> Episode {
                     cursor[s] += rng.next_below(3) as i64;
                     rows.push((cursor[s], row_fields(&mut rng, s, cursor[s])));
                 }
+                let mut fail_rate = 0.15 * rng.next_below(7) as f64;
+                if disorder_bounds[s].is_some() {
+                    // The driver wraps this source in a DisorderSource;
+                    // keeping it non-flaky keeps the episode eligible
+                    // for the metamorphic in-order twin (give-up drops
+                    // would differ between the two poll orders).
+                    fail_rate = 0.0;
+                }
                 steps.push(Step::Source(SourceSpec {
                     stream: stream_name(s).to_string(),
                     seed: rng.next_u64(),
-                    fail_rate: 0.15 * rng.next_below(7) as f64,
+                    fail_rate,
                     rows,
                 }));
                 // Give the wrapper rounds to poll (and back off) in.
@@ -223,8 +308,9 @@ pub fn generate(seed: u64, index: u64, opts: &GenOptions) -> Episode {
         flux_steps: if faults { rng.next_below(3) * 15 } else { 0 },
         partitions: opts.partitions.unwrap_or(1).max(1),
         durability,
-        columnar: None,
+        columnar: opts.columnar,
         on_storage_error,
+        consistency,
         queries,
         steps,
     }
@@ -316,9 +402,7 @@ mod tests {
         let opts = GenOptions {
             policy: Some(ShedPolicy::Spill),
             faults: Some(false),
-            partitions: None,
-            crashes: false,
-            diskfaults: false,
+            ..GenOptions::default()
         };
         for i in 0..20 {
             let ep = generate(11, i, &opts);
@@ -413,6 +497,72 @@ mod tests {
             for q in &generate(5, i, &opts).queries {
                 planner.plan_sql(q).unwrap_or_else(|e| panic!("{q}: {e}"));
             }
+        }
+    }
+
+    #[test]
+    fn disorder_chaos_respects_bound_and_suppresses_punctuation() {
+        let opts = GenOptions {
+            disorder: true,
+            ..GenOptions::default()
+        };
+        let (mut saw_disorder, mut saw_regression, mut saw_pin) = (false, false, false);
+        for i in 0..30 {
+            let ep = generate(23, i, &opts);
+            let declared = ep.disorder_declarations();
+            assert!(!declared.is_empty(), "episode {i}: no disorder declared");
+            saw_disorder = true;
+            saw_pin |= ep.consistency.is_some();
+            // A disordered stream's ticks may regress, but never by more
+            // than the declared bound below the running maximum, and the
+            // stream is never punctuated mid-episode.
+            let mut hw = std::collections::HashMap::new();
+            for s in &ep.steps {
+                match s {
+                    Step::Row { stream, ticks, .. } => {
+                        let prev = hw.entry(stream.clone()).or_insert(i64::MIN);
+                        if let Some(bound) = declared.get(stream) {
+                            saw_regression |= *ticks < *prev;
+                            assert!(
+                                *prev == i64::MIN || *ticks >= *prev - bound,
+                                "episode {i}: {stream} tick {ticks} lags high-water \
+                                 {prev} beyond bound {bound}"
+                            );
+                        } else {
+                            assert!(*ticks >= *prev, "episode {i}: undeclared regression");
+                        }
+                        *prev = (*prev).max(*ticks);
+                    }
+                    Step::Punctuate { stream, .. } => {
+                        assert!(
+                            !declared.contains_key(stream),
+                            "episode {i}: punctuated disordered stream {stream}"
+                        );
+                    }
+                    Step::Source(spec) if declared.contains_key(&spec.stream) => {
+                        assert_eq!(
+                            spec.fail_rate, 0.0,
+                            "episode {i}: flaky source on disordered {}",
+                            spec.stream
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_disorder && saw_pin, "disorder arm never engaged");
+        assert!(saw_regression, "30 disorder episodes never shuffled a tick");
+    }
+
+    #[test]
+    fn disorder_chaos_is_opt_in() {
+        // The guarded draws must leave the default stream byte-identical
+        // to what it was before the disorder arm existed.
+        let opts = GenOptions::default();
+        for i in 0..30 {
+            let ep = generate(23, i, &opts);
+            assert!(!ep.has_disorder(), "episode {i}: disorder without opt-in");
+            assert!(ep.consistency.is_none(), "episode {i}: pinned consistency");
         }
     }
 }

@@ -29,7 +29,11 @@
 //!   WAL (`GenOptions::crashes`), counted storage faults against the
 //!   WAL's I/O layer (`GenOptions::diskfaults`, the `step diskfault`
 //!   arm — the engine must heal byte-exactly or degrade with declared
-//!   loss), and every shed policy.
+//!   loss), event-time disorder (`GenOptions::disorder`, the `step
+//!   disorder` arm — bounded tick shuffles plus late stragglers, run
+//!   at either consistency level and checked against the in-order
+//!   twin by [`check_episode`]'s metamorphic comparison), and every
+//!   shed policy.
 //! * [`shrink`] — greedy minimization of a failing episode to a small
 //!   replayable artifact for `tests/sim_corpus/`.
 //!
@@ -44,16 +48,49 @@ pub mod gen;
 pub mod oracle;
 pub mod shrink;
 
-pub use differ::{diff_episode, DiffReport};
+pub use differ::{diff_episode, fold_final_answers, DiffReport};
 pub use driver::{run_episode, EpisodeRun, QueryOutput};
 pub use episode::{Episode, SourceSpec, Step};
 pub use gen::{generate, GenOptions};
 pub use oracle::{evaluate, OracleOutput};
 pub use shrink::shrink;
 
+/// Whether an episode qualifies for the metamorphic order-shuffle
+/// check: re-running with every disordered stream's rows sorted into
+/// event-time order must fold to the same final answers. That only
+/// holds when the in-order twin is loss-free and delivery-identical:
+///
+/// * the episode actually declares disorder, under the lossless
+///   order-preserving `Block` policy,
+/// * no injected panics or disk faults (quarantine/degradation could
+///   swallow different batches in the two runs),
+/// * a crash only with `Fsync` durability (a buffered tail lost at the
+///   kill would differ between the two arrival orders), and never with
+///   a source on a disordered stream (rows a dying source never
+///   delivered depend on the shuffle), and
+/// * no *flaky* source on a disordered stream (the unwrapped twin
+///   draws a different failure sequence).
+pub fn metamorphic_eligible(ep: &Episode) -> bool {
+    let declared = ep.disorder_declarations();
+    let has_crash = ep.steps.contains(&Step::Crash);
+    ep.has_disorder()
+        && ep.policy.is_block()
+        && !ep
+            .steps
+            .iter()
+            .any(|s| matches!(s, Step::Panic { .. } | Step::DiskFault { .. }))
+        && (!has_crash || ep.durability == tcq_common::Durability::Fsync)
+        && !ep.steps.iter().any(|s| {
+            matches!(s, Step::Source(spec)
+                if declared.contains_key(&spec.stream) && (spec.fail_rate > 0.0 || has_crash))
+        })
+}
+
 /// One full check of an episode: run it twice (byte-identical replay),
-/// self-check engine invariants, and diff the first run against the
-/// reference oracle. Returns the list of failures (empty = pass).
+/// self-check engine invariants, diff the first run against the
+/// reference oracle, and — when [`metamorphic_eligible`] — assert the
+/// order-shuffle metamorphic property against the in-order twin.
+/// Returns the list of failures (empty = pass).
 pub fn check_episode(ep: &Episode) -> Vec<String> {
     let mut failures = Vec::new();
     let run_a = match run_episode(ep) {
@@ -79,5 +116,21 @@ pub fn check_episode(ep: &Episode) -> Vec<String> {
         }
     };
     failures.extend(diff_episode(ep, &run_a, &oracle_out).diffs);
+    if metamorphic_eligible(ep) {
+        match run_episode(&ep.in_order()) {
+            Ok(twin) => match (fold_final_answers(&run_a), fold_final_answers(&twin)) {
+                (Ok(a), Ok(b)) => {
+                    if a != b {
+                        failures.push(format!(
+                            "metamorphic: shuffled and in-order runs fold to different \
+                             final answers\n--- shuffled ---\n{a}--- in-order ---\n{b}"
+                        ));
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => failures.push(format!("metamorphic: {e}")),
+            },
+            Err(e) => failures.push(format!("metamorphic (in-order twin): {e}")),
+        }
+    }
     failures
 }

@@ -2,12 +2,13 @@
 //!
 //! ```text
 //! tcq-sim --seed 42 --episodes 1000     # randomized episode sweep
-//! tcq-sim --smoke                       # fixed 408-episode CI matrix
+//! tcq-sim --smoke                       # fixed 472-episode CI matrix
 //!                                       #   (4 shed policies x fault/no-fault,
 //!                                       #    + a partitions=4 slice per policy,
 //!                                       #    + a 104-episode durable crash/
 //!                                       #      recovery slice,
-//!                                       #    + a 64-episode disk-fault slice)
+//!                                       #    + a 64-episode disk-fault slice,
+//!                                       #    + a 64-episode out-of-order slice)
 //!                                       #   + replay of tests/sim_corpus/
 //! tcq-sim --replay tests/sim_corpus/spill-drain.episode
 //! ```
@@ -22,7 +23,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use sim::{check_episode, generate, shrink, Episode, GenOptions};
-use tcq_common::ShedPolicy;
+use tcq_common::{Consistency, ShedPolicy};
 
 struct Args {
     seed: u64,
@@ -58,7 +59,7 @@ fn parse_args() -> Result<Args, String> {
                     "tcq-sim: deterministic simulation testing\n\n\
                      \t--seed <n>        root seed (default 1)\n\
                      \t--episodes <k>    random episodes to run (default 100)\n\
-                     \t--smoke           fixed 408-episode matrix + corpus replay\n\
+                     \t--smoke           fixed 472-episode matrix + corpus replay\n\
                      \t--replay <file>   replay one episode file (repeatable)\n\
                      \t--corpus <dir>    corpus directory (default tests/sim_corpus)"
                 );
@@ -119,9 +120,7 @@ fn main() -> ExitCode {
                 let opts = GenOptions {
                     policy: Some(*policy),
                     faults: Some(faults),
-                    partitions: None,
-                    crashes: false,
-                    diskfaults: false,
+                    ..GenOptions::default()
                 };
                 for i in 0..25u64 {
                     let index = (pi as u64) * 1000 + (faults as u64) * 100 + i;
@@ -139,8 +138,7 @@ fn main() -> ExitCode {
                 policy: Some(*policy),
                 faults: Some(true),
                 partitions: Some(4),
-                crashes: false,
-                diskfaults: false,
+                ..GenOptions::default()
             };
             for i in 0..10u64 {
                 let index = 10_000 + (pi as u64) * 1000 + i;
@@ -160,7 +158,7 @@ fn main() -> ExitCode {
                     faults: Some(true),
                     partitions,
                     crashes: true,
-                    diskfaults: false,
+                    ..GenOptions::default()
                 };
                 for i in 0..13u64 {
                     let index =
@@ -181,14 +179,52 @@ fn main() -> ExitCode {
                 let opts = GenOptions {
                     policy: Some(*policy),
                     faults: Some(false),
-                    partitions: None,
                     crashes,
                     diskfaults: true,
+                    ..GenOptions::default()
                 };
                 for i in 0..8u64 {
                     let index = 30_000 + (pi as u64) * 1000 + (crashes as u64) * 100 + i;
                     failed += run_one(args.seed, index, &opts, &args.corpus) as usize;
                     checked += 1;
+                }
+            }
+        }
+        // Out-of-order slice: event-time disorder chaos across both
+        // consistency levels, single- and 4-partition engines, columnar
+        // and row execution, with and without crash/reboot
+        // interleavings. The shed policy is pinned to `Block` so every
+        // episode additionally runs the order-shuffle metamorphic
+        // check: the shuffled run and its in-order twin must fold to
+        // identical final answers.
+        for (ci, consistency) in [Consistency::Watermark, Consistency::Speculative]
+            .iter()
+            .enumerate()
+        {
+            for partitions in [None, Some(4)] {
+                for crashes in [false, true] {
+                    for columnar in [false, true] {
+                        let opts = GenOptions {
+                            policy: Some(ShedPolicy::Block),
+                            faults: Some(false),
+                            partitions,
+                            crashes,
+                            disorder: true,
+                            consistency: Some(*consistency),
+                            columnar: Some(columnar),
+                            ..GenOptions::default()
+                        };
+                        for i in 0..4u64 {
+                            let index = 40_000
+                                + (ci as u64) * 1000
+                                + partitions.unwrap_or(1) as u64 * 100
+                                + (crashes as u64) * 20
+                                + (columnar as u64) * 10
+                                + i;
+                            failed += run_one(args.seed, index, &opts, &args.corpus) as usize;
+                            checked += 1;
+                        }
+                    }
                 }
             }
         }

@@ -16,10 +16,20 @@
 //! is exact; `DropOldest` evicts after archiving and injected panics
 //! quarantine delivered batches, so there the engine legitimately holds
 //! a subset — the [`crate::differ`] owns those rules.
+//!
+//! Event time needs no special machinery here: the trace is stored in
+//! arrival order but every window instant re-scans it by *tick*, so the
+//! oracle's per-instant contents are disorder-proof by construction.
+//! Only the release rule is consistency-aware — the oracle mirrors the
+//! executor's [`tcq_windows::right_released_at`], detecting each
+//! stream's disorder organically from the trace (a tick below the
+//! running maximum). Speculative engines amend released instants with
+//! signed deltas; the differ folds those before comparing against the
+//! final per-instant contents computed here.
 
 use std::collections::{BTreeMap, HashMap};
 
-use tcq_common::{Catalog, DataType, Field, Schema, Tuple, Value};
+use tcq_common::{Catalog, Consistency, DataType, Field, Schema, Tuple, Value};
 use tcq_sql::{Planner, QueryPlan};
 use tcq_windows::{AggKind, LandmarkAgg, WindowAgg};
 
@@ -84,22 +94,34 @@ pub fn sim_catalog() -> Catalog {
 /// Evaluate every episode query over the run's admitted trace.
 pub fn evaluate(ep: &Episode, run: &EpisodeRun) -> Result<OracleOutput, String> {
     let planner = Planner::new(sim_catalog());
+    let default_level = episode_consistency(ep);
     let mut queries = Vec::with_capacity(ep.queries.len());
     for (i, sql) in ep.queries.iter().enumerate() {
         let plan = planner
             .plan_sql(sql)
             .map_err(|e| format!("query {i} plans in the engine but not the oracle: {e}"))?;
+        let level = plan.consistency.unwrap_or(default_level);
         queries.push(
             evaluate_plan(
                 &plan,
                 &run.admitted,
                 &run.final_punct,
                 ep.policy_is_order_preserving(),
+                level,
             )
             .map_err(|e| format!("query {i}: {e}"))?,
         );
     }
     Ok(OracleOutput { queries })
+}
+
+/// The consistency level an episode's clause-less queries run at: the
+/// episode pin when present, else the engine default (which honors the
+/// `TCQ_CONSISTENCY` environment override, exactly as the driver's
+/// `Config::default()` base does).
+pub fn episode_consistency(ep: &Episode) -> Consistency {
+    ep.consistency
+        .unwrap_or_else(|| tcq::Config::default().consistency)
 }
 
 impl Episode {
@@ -122,6 +144,7 @@ pub fn evaluate_plan(
     trace: &BTreeMap<String, Vec<Tuple>>,
     punct: &BTreeMap<String, i64>,
     order_preserving: bool,
+    consistency: Consistency,
 ) -> Result<OracleQuery, String> {
     // Per-position input relations, in FROM order (a self-join binds the
     // same trace at two positions).
@@ -132,7 +155,7 @@ pub fn evaluate_plan(
     }
     match &plan.window {
         None => evaluate_unwindowed(plan, &inputs, order_preserving),
-        Some(_) => evaluate_windowed(plan, &inputs, punct),
+        Some(_) => evaluate_windowed(plan, &inputs, punct, consistency),
     }
 }
 
@@ -173,6 +196,7 @@ fn evaluate_windowed(
     plan: &QueryPlan,
     inputs: &[&[Tuple]],
     punct: &BTreeMap<String, i64>,
+    consistency: Consistency,
 ) -> Result<OracleQuery, String> {
     let seq = plan.window.as_ref().expect("windowed");
     // Per-stream release inputs: the engine's high water is the max
@@ -187,6 +211,22 @@ fn evaluate_windowed(
                 .unwrap_or(i64::MIN)
         })
         .collect();
+    // Disorder is detected the way the executor detects it: a tick
+    // below the stream's running maximum, in arrival order. The trace
+    // preserves arrival order, so the final flag here equals the
+    // engine's organically raised one.
+    let disordered: Vec<bool> = inputs
+        .iter()
+        .map(|rows| {
+            let mut hw = i64::MIN;
+            rows.iter().any(|t| {
+                let tick = t.ts().ticks();
+                let late = tick < hw;
+                hw = hw.max(tick);
+                late
+            })
+        })
+        .collect();
     let puncts: Vec<i64> = plan
         .streams
         .iter()
@@ -199,11 +239,13 @@ fn evaluate_windowed(
         .collect();
     let mut instants = Vec::new();
     for t in seq.header.values() {
-        // The executor's release rule (`tcq_windows::right_released`,
+        // The executor's release rule (`tcq_windows::right_released_at`,
         // the shared definition), evaluated at the final state: every
         // windowed stream's right end must be provably complete. The
         // engine stops driving at its first unreleased instant, and
-        // release is monotone in run time, so the final state decides
+        // release is monotone in run time (high water and punctuation
+        // only grow; a disorder declaration tightens Watermark release
+        // from boot, before any data), so the final state decides
         // exactly the evaluated prefix.
         let mut released = true;
         for (pos, bs) in plan.streams.iter().enumerate() {
@@ -214,7 +256,13 @@ fn evaluate_windowed(
                 continue;
             };
             let (_, right) = w.at(t, seq.domain);
-            if !tcq_windows::right_released(right.ticks(), hws[pos], puncts[pos]) {
+            if !tcq_windows::right_released_at(
+                right.ticks(),
+                hws[pos],
+                puncts[pos],
+                disordered[pos],
+                consistency,
+            ) {
                 released = false;
                 break;
             }
@@ -433,7 +481,7 @@ mod tests {
 
     fn eval(sql: &str) -> OracleQuery {
         let plan = Planner::new(sim_catalog()).plan_sql(sql).unwrap();
-        evaluate_plan(&plan, &trace(), &punct(), true).unwrap()
+        evaluate_plan(&plan, &trace(), &punct(), true, Consistency::Watermark).unwrap()
     }
 
     #[test]
@@ -485,12 +533,63 @@ mod tests {
         let mut p = BTreeMap::new();
         p.insert("quotes".to_string(), 2i64);
         p.insert("sensors".to_string(), 2i64);
-        let OracleQuery::Windowed { instants } = evaluate_plan(&plan, &trace(), &p, true).unwrap()
+        let OracleQuery::Windowed { instants } =
+            evaluate_plan(&plan, &trace(), &p, true, Consistency::Watermark).unwrap()
         else {
             panic!("windowed")
         };
         // hw = 3 releases right ends < 3; punct = 2 releases right <= 2.
         assert_eq!(instants.last().unwrap().0, 2);
+    }
+
+    #[test]
+    fn disordered_trace_release_depends_on_consistency() {
+        // Arrival order 1, 3, 2: the stream is observed disordered, so
+        // under Watermark only the punctuation (tick 2) releases, while
+        // Speculative keeps trusting the head (hw = 3).
+        let mut m = BTreeMap::new();
+        m.insert(
+            "quotes".to_string(),
+            vec![
+                Tuple::at_seq(vec![Value::Int(1), Value::str("a"), Value::Float(1.0)], 1),
+                Tuple::at_seq(vec![Value::Int(3), Value::str("a"), Value::Float(1.0)], 3),
+                Tuple::at_seq(vec![Value::Int(2), Value::str("a"), Value::Float(1.0)], 2),
+            ],
+        );
+        let mut p = BTreeMap::new();
+        p.insert("quotes".to_string(), 2i64);
+        let plan = Planner::new(sim_catalog())
+            .plan_sql(
+                "SELECT COUNT(*) FROM quotes for (t = 1; ; t++) { WindowIs(quotes, t - 1, t); }",
+            )
+            .unwrap();
+        let last_instant = |p: &BTreeMap<String, i64>, level| {
+            let OracleQuery::Windowed { instants } =
+                evaluate_plan(&plan, &m, p, true, level).unwrap()
+            else {
+                panic!("windowed")
+            };
+            instants.last().unwrap().0
+        };
+        assert_eq!(last_instant(&p, Consistency::Watermark), 2);
+        assert_eq!(last_instant(&p, Consistency::Speculative), 2);
+        // With a stale punctuation the gap shows: Speculative still
+        // releases on the head, Watermark stops trusting it entirely.
+        p.insert("quotes".to_string(), i64::MIN);
+        assert_eq!(last_instant(&p, Consistency::Speculative), 2);
+        let OracleQuery::Windowed { instants } =
+            evaluate_plan(&plan, &m, &p, true, Consistency::Watermark).unwrap()
+        else {
+            panic!("windowed")
+        };
+        assert!(instants.is_empty(), "no punctuation, no watermark release");
+        // The out-of-order tick still lands in its window's contents.
+        let OracleQuery::Windowed { instants } =
+            evaluate_plan(&plan, &m, &p, true, Consistency::Speculative).unwrap()
+        else {
+            panic!("windowed")
+        };
+        assert_eq!(instants[1], (2, vec![vec![Value::Int(2)]]));
     }
 
     #[test]

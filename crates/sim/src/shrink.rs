@@ -33,7 +33,7 @@ pub fn shrink(ep: &Episode, budget: usize) -> Episode {
     let mut best = ep.clone();
     let mut left = budget;
     let still_fails = |cand: &Episode, left: &mut usize| -> bool {
-        if *left == 0 {
+        if *left == 0 || !disorder_well_formed(cand) {
             return false;
         }
         *left -= 1;
@@ -98,6 +98,26 @@ pub fn shrink(ep: &Episode, budget: usize) -> Episode {
         }
     }
 
+    // 1d. If the failure survives with every disordered stream's rows
+    // sorted back into event-time order (declarations dropped too),
+    // event-time disorder is exonerated and the reproducer reads like
+    // an ordinary in-order episode.
+    if best.has_disorder() {
+        let cand = best.in_order();
+        if still_fails(&cand, &mut left) {
+            best = cand;
+        }
+    }
+    // 1e. Drop the consistency pin when the failure isn't about it
+    // (the episode then runs at the engine default).
+    if best.consistency.is_some() {
+        let mut cand = best.clone();
+        cand.consistency = None;
+        if still_fails(&cand, &mut left) {
+            best = cand;
+        }
+    }
+
     // 2. Drop whole queries (fixing up panic-step indices).
     let mut qi = 0;
     while qi < best.queries.len() && best.queries.len() > 1 {
@@ -153,6 +173,41 @@ pub fn shrink(ep: &Episode, budget: usize) -> Episode {
     best
 }
 
+/// ddmin can drop a `step disorder` declaration while shuffled rows
+/// survive. The driver would happily run such a candidate, but the
+/// engine would then see *organic* disorder the episode never declared
+/// — a different behavior than anything the original episode
+/// exercised, and one the coarse category check can mistake for the
+/// original failure. Reject those candidates outright: every tick
+/// regression must be covered by that stream's declaration and bound.
+fn disorder_well_formed(ep: &Episode) -> bool {
+    let declared = ep.disorder_declarations();
+    let mut hw: std::collections::HashMap<String, i64> = std::collections::HashMap::new();
+    let mut ok = true;
+    let mut see = |stream: &str, t: i64, ok: &mut bool| {
+        let prev = hw.entry(stream.to_string()).or_insert(i64::MIN);
+        if t < *prev {
+            match declared.get(stream) {
+                Some(bound) => *ok &= t >= *prev - bound,
+                None => *ok = false,
+            }
+        }
+        *prev = (*prev).max(t);
+    };
+    for s in &ep.steps {
+        match s {
+            Step::Row { stream, ticks, .. } => see(stream, *ticks, &mut ok),
+            Step::Source(src) => {
+                for (t, _) in &src.rows {
+                    see(&src.stream, *t, &mut ok);
+                }
+            }
+            _ => {}
+        }
+    }
+    ok
+}
+
 /// Remove query `qi`, dropping panic steps that targeted it and
 /// re-pointing panic steps at later queries.
 fn without_query(ep: &Episode, qi: usize) -> Episode {
@@ -185,6 +240,7 @@ mod tests {
             durability: tcq_common::Durability::Off,
             columnar: None,
             on_storage_error: None,
+            consistency: None,
             queries: vec!["q0".into(), "q1".into(), "q2".into()],
             steps: vec![
                 Step::Panic { query: 0 },
@@ -210,5 +266,48 @@ mod tests {
             category(&["harness: settle".into()]),
             category(&["determinism: bytes".into()])
         );
+    }
+
+    #[test]
+    fn undeclared_regression_is_rejected() {
+        let row = |t: i64| Step::Row {
+            stream: "quotes".into(),
+            ticks: t,
+            fields: vec![],
+        };
+        let mut ep = Episode {
+            seed: 1,
+            policy: tcq_common::ShedPolicy::Block,
+            batch_size: 1,
+            input_queue: 8,
+            flux_steps: 0,
+            partitions: 1,
+            durability: tcq_common::Durability::Off,
+            columnar: None,
+            on_storage_error: None,
+            consistency: None,
+            queries: vec!["q0".into()],
+            steps: vec![
+                Step::Disorder {
+                    stream: "quotes".into(),
+                    bound: 2,
+                },
+                row(3),
+                row(1),
+            ],
+        };
+        assert!(disorder_well_formed(&ep));
+        // ddmin dropping the declaration (but not the shuffled rows)
+        // must be rejected, as must a regression beyond the bound.
+        ep.steps.remove(0);
+        assert!(!disorder_well_formed(&ep));
+        ep.steps.insert(
+            0,
+            Step::Disorder {
+                stream: "quotes".into(),
+                bound: 1,
+            },
+        );
+        assert!(!disorder_well_formed(&ep));
     }
 }

@@ -1,6 +1,6 @@
 //! Abstract syntax for CQ-SQL queries.
 
-use tcq_common::{BinOp, CmpOp, Value};
+use tcq_common::{BinOp, CmpOp, Consistency, Value};
 
 /// An unresolved scalar expression (column names, not positions).
 #[derive(Debug, Clone, PartialEq)]
@@ -136,4 +136,7 @@ pub struct QueryAst {
     pub order_by: Vec<(AstExpr, bool)>,
     /// Optional windowing clause.
     pub window: Option<AstForLoop>,
+    /// `WITH CONSISTENCY WATERMARK|SPECULATIVE`; `None` defers to the
+    /// engine default.
+    pub consistency: Option<Consistency>,
 }

@@ -1,6 +1,6 @@
 //! Recursive-descent parser for CQ-SQL.
 
-use tcq_common::{BinOp, CmpOp, Result, TcqError, Value};
+use tcq_common::{BinOp, CmpOp, Consistency, Result, TcqError, Value};
 
 use crate::ast::{
     AstBound, AstExpr, AstForLoop, AstLoopCond, AstLoopStep, AstWindowIs, FromItem, QueryAst,
@@ -154,6 +154,21 @@ impl Parser {
                  SELECT ... ORDER BY ... for (...) { WindowIs(...); }",
             ));
         }
+        // Trailing consistency clause (after the for-loop, if any).
+        let consistency = if self.eat_keyword("WITH") {
+            self.expect_keyword("CONSISTENCY")?;
+            let level = self.ident("consistency level")?;
+            match Consistency::parse(&level) {
+                Some(c) => Some(c),
+                None => {
+                    return Err(self.err(format!(
+                        "unknown consistency level {level}: expected WATERMARK or SPECULATIVE"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
         Ok(QueryAst {
             distinct,
             select,
@@ -162,6 +177,7 @@ impl Parser {
             group_by,
             order_by,
             window,
+            consistency,
         })
     }
 
@@ -240,7 +256,7 @@ impl Parser {
         // Optional alias: a bare identifier that is not a clause keyword.
         let alias = match self.peek() {
             Some(Tok::Ident(s))
-                if !["WHERE", "GROUP", "ORDER", "FOR", "AS"]
+                if !["WHERE", "GROUP", "ORDER", "FOR", "AS", "WITH"]
                     .iter()
                     .any(|k| s.eq_ignore_ascii_case(k)) =>
             {
@@ -750,6 +766,35 @@ mod tests {
                 );
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_consistency_clause() {
+        // Default: no clause.
+        assert_eq!(parse("SELECT * FROM s").unwrap().consistency, None);
+        // Unwindowed and windowed positions, both levels, any case.
+        let q = parse("SELECT * FROM s WITH CONSISTENCY SPECULATIVE").unwrap();
+        assert_eq!(q.consistency, Some(Consistency::Speculative));
+        let q = parse(
+            "SELECT * FROM s for (;;) { WindowIs(s, t - 4, t); } \
+             with consistency watermark",
+        )
+        .unwrap();
+        assert_eq!(q.consistency, Some(Consistency::Watermark));
+        // `WITH` never parses as a FROM alias.
+        let q = parse("SELECT * FROM s WITH CONSISTENCY WATERMARK").unwrap();
+        assert_eq!(q.from[0].alias, None);
+        // Bad levels and truncated clauses are positioned errors.
+        for bad in [
+            "SELECT * FROM s WITH CONSISTENCY EVENTUAL",
+            "SELECT * FROM s WITH",
+            "SELECT * FROM s WITH CONSISTENCY",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(TcqError::ParseError { .. })),
+                "{bad} should fail"
+            );
         }
     }
 

@@ -8,7 +8,9 @@
 //! then emits the adaptive plan — an Eddy wired with filter modules and
 //! SteMs — that the executor folds into its running dataflow.
 
-use tcq_common::{Catalog, CmpOp, Expr, Field, Result, Schema, StreamKind, TcqError, Tuple, Value};
+use tcq_common::{
+    Catalog, CmpOp, Consistency, Expr, Field, Result, Schema, StreamKind, TcqError, Tuple, Value,
+};
 use tcq_eddy::{Eddy, EddyBuilder, FilterOp, Layout, RoutingPolicy, StemOp};
 use tcq_windows::{AggKind, Bound, ForLoop, LoopCond, WindowIs, WindowSeq};
 
@@ -74,6 +76,9 @@ pub struct QueryPlan {
     /// ORDER BY: output column positions with descending flags, applied
     /// per result set.
     pub order_by: Vec<(usize, bool)>,
+    /// Per-query consistency level from `WITH CONSISTENCY`; `None`
+    /// defers to the engine default (see `Config::consistency`).
+    pub consistency: Option<Consistency>,
 }
 
 /// Plans queries against a catalog.
@@ -270,6 +275,7 @@ impl Planner {
             window,
             distinct: ast.distinct,
             order_by,
+            consistency: ast.consistency,
         })
     }
 }
@@ -529,6 +535,9 @@ impl QueryPlan {
             },
             cols.join(", ")
         );
+        if let Some(c) = self.consistency {
+            let _ = writeln!(out, "  consistency: {c}");
+        }
         out
     }
 

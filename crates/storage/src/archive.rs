@@ -155,6 +155,10 @@ pub struct StreamArchive {
     segment_tuples: usize,
     tail: VecDeque<Tuple>,
     tail_min: Option<i64>,
+    tail_max: Option<i64>,
+    /// Max timestamp ever appended (tail or sealed), i.e. the stream
+    /// head. With out-of-order arrival this is *not* the last tuple.
+    head: Option<Timestamp>,
     shared: Arc<Mutex<Shared>>,
     spool_tx: Option<Sender<SpoolJob>>,
     pool: Arc<Mutex<BufferPool>>,
@@ -180,6 +184,8 @@ impl StreamArchive {
             segment_tuples: segment_tuples.max(1),
             tail: VecDeque::new(),
             tail_min: None,
+            tail_max: None,
+            head: None,
             shared: Arc::new(Mutex::new(Shared::default())),
             spool_tx: spooler.map(|s| s.tx.clone()),
             pool,
@@ -205,23 +211,26 @@ impl StreamArchive {
         self.shared.lock().unwrap().segments.len()
     }
 
-    /// Append an arriving tuple (must be timestamp-monotone within the
-    /// stream). Seals the tail into a segment when it fills.
+    /// Append an arriving tuple. Tuples are stored in arrival order;
+    /// event timestamps may run backwards within the stream's one time
+    /// domain (disorder-tolerant ingest) — only a tuple from a
+    /// *different* domain is rejected. Seals the tail into a segment
+    /// when it fills.
     pub fn append(&mut self, t: Tuple) -> Result<()> {
-        if let Some(last) = self.tail.back() {
-            if matches!(
-                t.ts().partial_cmp(&last.ts()),
-                Some(std::cmp::Ordering::Less) | None
-            ) {
+        if let Some(head) = self.head {
+            if !t.ts().comparable(&head) {
                 return Err(TcqError::StorageError(format!(
-                    "out-of-order append: {} after {}",
+                    "cross-domain append: {} into a stream at {}",
                     t.ts(),
-                    last.ts()
+                    head
                 )));
             }
         }
-        if self.tail_min.is_none() {
-            self.tail_min = Some(t.ts().ticks());
+        let ticks = t.ts().ticks();
+        self.tail_min = Some(self.tail_min.map_or(ticks, |m| m.min(ticks)));
+        self.tail_max = Some(self.tail_max.map_or(ticks, |m| m.max(ticks)));
+        if self.head.is_none_or(|h| ticks > h.ticks()) {
+            self.head = Some(t.ts());
         }
         self.tail.push_back(t);
         self.stats.appended += 1;
@@ -241,7 +250,7 @@ impl StreamArchive {
         self.next_seg += 1;
         self.stats.sealed += 1;
         let min_ticks = self.tail_min.take().expect("tail had tuples");
-        let max_ticks = tuples.last().expect("nonempty").ts().ticks();
+        let max_ticks = self.tail_max.take().expect("tail had tuples");
         let path = self.dir.join(format!("seg-{:08}.tcq", seg_no));
         let bytes = encode_batch(&tuples);
         let resident = Arc::new(tuples);
@@ -364,14 +373,7 @@ impl WindowSource for StreamArchive {
     }
 
     fn high_water(&self) -> Option<Timestamp> {
-        if let Some(t) = self.tail.back() {
-            return Some(t.ts());
-        }
-        let shared = self.shared.lock().unwrap();
-        shared
-            .segments
-            .last()
-            .map(|m| Timestamp::logical(m.max_ticks))
+        self.head
     }
 }
 
@@ -451,13 +453,26 @@ mod tests {
     }
 
     #[test]
-    fn out_of_order_appends_rejected() {
+    fn out_of_order_appends_accepted_cross_domain_rejected() {
         let dir = tmp_dir("ooo");
-        let mut a = StreamArchive::new(4, &dir, 10, pool(), None);
-        a.append(tup(5)).unwrap();
-        assert!(a.append(tup(3)).is_err());
-        // Equal timestamps fine.
-        a.append(tup(5)).unwrap();
+        let mut a = StreamArchive::new(4, &dir, 3, pool(), None);
+        for seq in [5, 3, 5, 2, 9, 4, 1] {
+            a.append(tup(seq)).unwrap();
+        }
+        // The stream head is the true max, not the last arrival, even
+        // once the max lives in a sealed segment rather than the tail.
+        assert!(a.segment_count() >= 1);
+        assert_eq!(a.high_water(), Some(Timestamp::logical(9)));
+        // Scans filter by event time regardless of arrival order.
+        let got = a
+            .scan(Timestamp::logical(2), Timestamp::logical(4))
+            .unwrap();
+        let ticks: Vec<i64> = got.iter().map(|t| t.ts().ticks()).collect();
+        assert_eq!(ticks, vec![3, 2, 4], "arrival order within the range");
+        // A different time domain is still an error.
+        assert!(a
+            .append(Tuple::new(vec![Value::Int(0)], Timestamp::physical(7)))
+            .is_err());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -4,6 +4,9 @@
 //!
 //! ```text
 //! tuple   := ts_domain:u32 ts_ticks:i64 arity:u32 value*
+//!   The arity word's high bit is the delta sign (set = retraction);
+//!   the low 31 bits are the field count. Assertions (`sign = +1`)
+//!   encode with the bit clear, so pre-sign segments decode unchanged.
 //! value   := tag:u8 payload
 //!   0 NULL        (no payload)
 //!   1 BOOL        u8
@@ -21,7 +24,8 @@ use tcq_common::{Result, TcqError, TimeDomain, Timestamp, Tuple, Value};
 pub fn encode_tuple(t: &Tuple, out: &mut Vec<u8>) {
     out.extend_from_slice(&t.ts().domain().0.to_le_bytes());
     out.extend_from_slice(&t.ts().ticks().to_le_bytes());
-    out.extend_from_slice(&(t.arity() as u32).to_le_bytes());
+    let sign_bit = if t.is_retraction() { 1u32 << 31 } else { 0 };
+    out.extend_from_slice(&(t.arity() as u32 | sign_bit).to_le_bytes());
     for v in t.fields() {
         encode_value(v, out);
     }
@@ -100,7 +104,9 @@ impl<'a> Decoder<'a> {
     pub fn tuple(&mut self) -> Result<Tuple> {
         let domain = TimeDomain(self.u32()?);
         let ticks = self.i64()?;
-        let arity = self.u32()? as usize;
+        let arity_word = self.u32()?;
+        let sign: i8 = if arity_word & (1 << 31) != 0 { -1 } else { 1 };
+        let arity = (arity_word & !(1 << 31)) as usize;
         if arity > 1 << 20 {
             return Err(TcqError::StorageError(format!(
                 "implausible arity {arity} (corrupt segment?)"
@@ -110,7 +116,7 @@ impl<'a> Decoder<'a> {
         for _ in 0..arity {
             fields.push(self.value()?);
         }
-        Ok(Tuple::new(fields, Timestamp::new(domain, ticks)))
+        Ok(Tuple::new(fields, Timestamp::new(domain, ticks)).with_sign(sign))
     }
 
     fn value(&mut self) -> Result<Value> {
@@ -253,6 +259,16 @@ mod tests {
         assert_eq!(back, t);
         assert_eq!(back.ts(), t.ts());
         assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn round_trip_preserves_sign() {
+        let t = sample().with_sign(-1);
+        let mut buf = Vec::new();
+        encode_tuple(&t, &mut buf);
+        let back = Decoder::new(&buf).tuple().unwrap();
+        assert_eq!(back.sign(), -1);
+        assert_eq!(back, t);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! [`WindowAgg::state_bytes`] so experiment E8 can chart the paper's
 //! memory claim directly.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use tcq_common::{Timestamp, Value};
 
@@ -224,6 +224,113 @@ impl WindowAgg for SlidingAgg {
     }
 }
 
+/// A retraction-aware aggregate with compensation state, for amending
+/// speculatively emitted windows when late event-time arrivals land
+/// inside them.
+///
+/// COUNT/SUM/AVG compensate by subtracting from running totals; MIN and
+/// MAX cannot (the retracted value may *be* the extreme), so they keep
+/// the window's value multiset in a `BTreeMap` ordered by the float's
+/// total order — the extreme is the first/last key, and retraction is a
+/// decrement.
+///
+/// When every application is an assertion, [`RetractableAgg::value`] is
+/// byte-identical to [`LandmarkAgg`] fed the same values.
+#[derive(Debug, Clone)]
+pub struct RetractableAgg {
+    kind: AggKind,
+    count: i64,
+    sum: f64,
+    /// Value multiset (MIN/MAX only): total-order key → (value, count).
+    values: BTreeMap<u64, (f64, i64)>,
+}
+
+/// Monotone map from f64 to u64 under IEEE total order, so a `BTreeMap`
+/// keyed by it iterates values ascending.
+fn total_order_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+impl RetractableAgg {
+    /// A fresh aggregate of `kind`.
+    pub fn new(kind: AggKind) -> RetractableAgg {
+        RetractableAgg {
+            kind,
+            count: 0,
+            sum: 0.0,
+            values: BTreeMap::new(),
+        }
+    }
+
+    /// Assert (`sign > 0`) or retract (`sign < 0`) one value. NULLs are
+    /// ignored (SQL semantics); callers pass `Value::Int(1)` per row for
+    /// COUNT, mirroring [`WindowAgg::push`].
+    pub fn apply(&mut self, v: &Value, sign: i8) {
+        let Some(x) = v.as_float() else { return };
+        let delta = sign.signum() as i64;
+        self.count += delta;
+        self.sum += x * delta as f64;
+        if matches!(self.kind, AggKind::Min | AggKind::Max) {
+            let slot = self.values.entry(total_order_key(x)).or_insert((x, 0));
+            slot.1 += delta;
+            if slot.1 <= 0 {
+                self.values.remove(&total_order_key(x));
+            }
+        }
+    }
+
+    /// Assert one value.
+    pub fn push_value(&mut self, v: &Value) {
+        self.apply(v, 1);
+    }
+
+    /// Retract one previously asserted value.
+    pub fn retract(&mut self, v: &Value) {
+        self.apply(v, -1);
+    }
+
+    /// Net row count (assertions minus retractions).
+    pub fn net_count(&self) -> i64 {
+        self.count
+    }
+}
+
+impl WindowAgg for RetractableAgg {
+    fn push(&mut self, _ts: Timestamp, v: &Value) {
+        self.apply(v, 1);
+    }
+
+    fn value(&self) -> Value {
+        match self.kind {
+            AggKind::Count => Value::Int(self.count),
+            AggKind::Sum if self.count > 0 => Value::Float(self.sum),
+            AggKind::Avg if self.count > 0 => Value::Float(self.sum / self.count as f64),
+            AggKind::Min => self
+                .values
+                .values()
+                .next()
+                .map(|&(x, _)| Value::Float(x))
+                .unwrap_or(Value::Null),
+            AggKind::Max => self
+                .values
+                .values()
+                .next_back()
+                .map(|&(x, _)| Value::Float(x))
+                .unwrap_or(Value::Null),
+            _ => Value::Null,
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.values.len() * std::mem::size_of::<(u64, (f64, i64))>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +450,81 @@ mod tests {
                 .fold(f64::NEG_INFINITY, f64::max);
             assert_eq!(a.value(), Value::Float(brute), "at t={t}");
         }
+    }
+
+    #[test]
+    fn retractable_matches_landmark_without_retractions() {
+        for kind in [
+            AggKind::Count,
+            AggKind::Sum,
+            AggKind::Avg,
+            AggKind::Min,
+            AggKind::Max,
+        ] {
+            let mut l = LandmarkAgg::new(kind);
+            let mut r = RetractableAgg::new(kind);
+            for (t, v) in [(1, 5.5), (2, -3.0), (3, 9.25), (4, 0.0)] {
+                l.push(ts(t), &Value::Float(v));
+                r.push(ts(t), &Value::Float(v));
+            }
+            assert_eq!(l.value(), r.value(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn retraction_compensates_every_kind() {
+        for (kind, expect) in [
+            (AggKind::Count, Value::Int(2)),
+            (AggKind::Sum, Value::Float(5.5 + 0.5)),
+            (AggKind::Avg, Value::Float(3.0)),
+            (AggKind::Min, Value::Float(0.5)),
+            (AggKind::Max, Value::Float(5.5)),
+        ] {
+            let mut r = RetractableAgg::new(kind);
+            for v in [5.5, 9.0, 0.5] {
+                r.push_value(&Value::Float(v));
+            }
+            // Retract the 9.0 — the MAX at the time.
+            r.retract(&Value::Float(9.0));
+            assert_eq!(r.value(), expect, "{kind}");
+        }
+    }
+
+    #[test]
+    fn retraction_with_duplicate_extremes() {
+        let mut r = RetractableAgg::new(AggKind::Max);
+        r.push_value(&Value::Float(7.0));
+        r.push_value(&Value::Float(7.0));
+        r.retract(&Value::Float(7.0));
+        assert_eq!(r.value(), Value::Float(7.0), "one copy remains");
+        r.retract(&Value::Float(7.0));
+        assert_eq!(r.value(), Value::Null);
+    }
+
+    #[test]
+    fn retract_to_empty_matches_fresh() {
+        for kind in [AggKind::Count, AggKind::Sum, AggKind::Avg, AggKind::Min] {
+            let mut r = RetractableAgg::new(kind);
+            r.push_value(&Value::Float(2.5));
+            r.retract(&Value::Float(2.5));
+            assert_eq!(r.value(), RetractableAgg::new(kind).value(), "{kind}");
+            assert_eq!(r.net_count(), 0);
+        }
+        // Retractions ignore NULLs like assertions do.
+        let mut r = RetractableAgg::new(AggKind::Count);
+        r.retract(&Value::Null);
+        assert_eq!(r.value(), Value::Int(0));
+    }
+
+    #[test]
+    fn total_order_key_sorts_negatives() {
+        let mut r = RetractableAgg::new(AggKind::Min);
+        for v in [3.0, -7.5, 0.0, -0.5] {
+            r.push_value(&Value::Float(v));
+        }
+        assert_eq!(r.value(), Value::Float(-7.5));
+        r.retract(&Value::Float(-7.5));
+        assert_eq!(r.value(), Value::Float(-0.5));
     }
 
     #[test]

@@ -49,6 +49,27 @@ impl VecWindowBuffer {
         true
     }
 
+    /// Fold a retraction delta: remove one stored occurrence of the
+    /// tuple's positive counterpart (same fields, same timestamp).
+    /// Returns `true` when a row was cancelled, `false` when nothing
+    /// matched — the retraction refers to a row never stored here or
+    /// already evicted, and folds to a no-op.
+    pub fn retract(&mut self, t: &Tuple) -> bool {
+        let positive = t.with_sign(1);
+        let lo = self.partition_point(t.ts());
+        let hi = self.tuples.partition_point(|u| {
+            !matches!(
+                u.ts().partial_cmp(&t.ts()),
+                Some(std::cmp::Ordering::Greater) | None
+            )
+        });
+        if let Some(off) = self.tuples[lo..hi].iter().position(|u| *u == positive) {
+            self.tuples.remove(lo + off);
+            return true;
+        }
+        false
+    }
+
     /// Evict tuples with timestamp strictly before `bound`. Returns the
     /// evicted tuples (so the caller may spool them to the archive — "data
     /// must be processed on-the-fly as it arrives and can be spooled to
@@ -171,6 +192,22 @@ mod tests {
         let mut b = filled(2);
         let alien = Tuple::new(vec![Value::Int(9)], Timestamp::physical(99));
         assert!(!b.append(alien));
+    }
+
+    #[test]
+    fn retraction_cancels_one_occurrence() {
+        let mut b = VecWindowBuffer::new();
+        b.append(Tuple::at_seq(vec![Value::Int(1)], 5));
+        b.append(Tuple::at_seq(vec![Value::Int(1)], 5));
+        b.append(Tuple::at_seq(vec![Value::Int(2)], 6));
+        // Cancel one of the duplicate rows at t5.
+        let delta = Tuple::at_seq(vec![Value::Int(1)], 5).with_sign(-1);
+        assert!(b.retract(&delta));
+        assert_eq!(b.scan_window(ts(5), ts(5)).len(), 1);
+        // A retraction of a row never stored is a no-op.
+        let phantom = Tuple::at_seq(vec![Value::Int(9)], 5).with_sign(-1);
+        assert!(!b.retract(&phantom));
+        assert_eq!(b.len(), 2);
     }
 
     #[test]

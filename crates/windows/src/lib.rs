@@ -41,6 +41,8 @@ pub mod agg;
 pub mod buffer;
 pub mod spec;
 
-pub use agg::{AggKind, LandmarkAgg, SlidingAgg, WindowAgg};
+pub use agg::{AggKind, LandmarkAgg, RetractableAgg, SlidingAgg, WindowAgg};
 pub use buffer::{VecWindowBuffer, WindowSource};
-pub use spec::{right_released, Bound, ForLoop, LoopCond, WindowIs, WindowKind, WindowSeq};
+pub use spec::{
+    right_released, right_released_at, Bound, ForLoop, LoopCond, WindowIs, WindowKind, WindowSeq,
+};

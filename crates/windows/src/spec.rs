@@ -16,7 +16,7 @@
 //! what lets us *classify* the resulting window sequence into the
 //! paper's taxonomy ([`WindowKind`]) and derive eviction safety.
 
-use tcq_common::{TimeDomain, Timestamp};
+use tcq_common::{Consistency, TimeDomain, Timestamp};
 
 /// An affine function of the loop variable: `coeff · t + offset`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,6 +168,36 @@ impl WindowIs {
 /// drift on when an instant fires.
 pub fn right_released(right: i64, high_water: i64, punct: i64) -> bool {
     high_water > right || punct >= right
+}
+
+/// The consistency-aware release rule for event-time streams.
+///
+/// [`right_released`]'s `high_water > right` clause bakes in the
+/// in-order assumption: a later tick only closes earlier ones when
+/// per-stream timestamps are monotone. Once a stream has been observed
+/// *disordered* (some tuple arrived below the running high-water mark),
+/// that clause becomes a guess — how the two consistency levels differ
+/// is precisely whether they still take it:
+///
+/// * [`Consistency::Watermark`] stops trusting the head on a disordered
+///   stream and waits for a watermark/punctuation (`punct >= right`,
+///   the only completeness proof left).
+/// * [`Consistency::Speculative`] keeps releasing on the head and
+///   compensates later arrivals with signed retraction deltas.
+///
+/// On a stream never seen out of order (`disordered == false`) both
+/// levels reduce to [`right_released`] exactly.
+pub fn right_released_at(
+    right: i64,
+    high_water: i64,
+    punct: i64,
+    disordered: bool,
+    consistency: Consistency,
+) -> bool {
+    match consistency {
+        Consistency::Watermark => punct >= right || (!disordered && high_water > right),
+        Consistency::Speculative => right_released(right, high_water, punct),
+    }
 }
 
 /// The paper's window taxonomy.
@@ -449,6 +479,29 @@ mod tests {
         // with tick <= 5 means tick 5 is closed.
         assert!(right_released(5, 5, 5));
         assert!(!right_released(5, i64::MIN, 4));
+        // Consistency-aware rule: identical on ordered streams...
+        for c in [Consistency::Watermark, Consistency::Speculative] {
+            assert!(right_released_at(5, 6, i64::MIN, false, c));
+            assert!(!right_released_at(5, 5, i64::MIN, false, c));
+            assert!(right_released_at(5, i64::MIN, 5, false, c));
+        }
+        // ...but a disordered stream head only releases speculatively.
+        assert!(!right_released_at(
+            5,
+            6,
+            i64::MIN,
+            true,
+            Consistency::Watermark
+        ));
+        assert!(right_released_at(
+            5,
+            6,
+            i64::MIN,
+            true,
+            Consistency::Speculative
+        ));
+        // A watermark releases regardless of disorder.
+        assert!(right_released_at(5, 6, 5, true, Consistency::Watermark));
         // No data, no punctuation: never released.
         assert!(!right_released(5, i64::MIN, i64::MIN));
     }

@@ -50,4 +50,6 @@ pub mod source;
 pub use egress::{PullEgress, PushEgress};
 pub use gen::{DriftGen, PacketGen, SensorGen, StockTicker};
 pub use remote::SimulatedRemoteIndex;
-pub use source::{ChannelSource, CsvSource, FlakySource, IterSource, Source, SourceError};
+pub use source::{
+    ChannelSource, CsvSource, DisorderSource, FlakySource, IterSource, Source, SourceError,
+};

@@ -44,9 +44,141 @@ pub trait Source: Send {
     /// Whether the source can never produce again.
     fn is_exhausted(&self) -> bool;
 
+    /// The source's current low-watermark: a promise that every future
+    /// tuple from this source has a timestamp strictly greater than the
+    /// returned tick. Generalizes punctuation to out-of-order sources —
+    /// the Wrapper forwards watermarks as punctuations each poll round.
+    /// In-order sources may leave the default (`None`); their stream
+    /// head already is the completeness proof.
+    fn watermark(&self) -> Option<i64> {
+        None
+    }
+
     /// Source name for diagnostics.
     fn name(&self) -> &str {
         "source"
+    }
+}
+
+/// A source wrapper that delivers its inner (timestamp-ordered) source's
+/// tuples out of order, within a bounded disorder: each emitted tuple's
+/// event timestamp lags the maximum timestamp already emitted by at most
+/// `bound` ticks. The shuffle is drawn from a seeded SplitMix64 stream,
+/// so a given `(seed, bound)` produces one deterministic arrival order —
+/// the order-shuffle metamorphic harness replays on this.
+///
+/// A small slice of tuples become *late stragglers*: they are pinned in
+/// the reorder buffer until the disorder bound forces them out, so the
+/// worst-case lateness is actually exercised rather than just permitted.
+///
+/// [`Source::watermark`] reports `min(pending event times) - 1` (or the
+/// stream head once the buffer drains), which is exactly the promise the
+/// reorder buffer can keep.
+pub struct DisorderSource<S: Source> {
+    inner: S,
+    rng: SplitMix64,
+    bound: i64,
+    /// Reorder buffer: (tuple, straggler?).
+    hold: Vec<(Tuple, bool)>,
+    /// Max timestamp pulled from the inner source so far.
+    head: i64,
+    name: String,
+}
+
+impl<S: Source> DisorderSource<S> {
+    /// Wrap `inner`, shuffling arrivals within `bound` ticks of disorder.
+    /// `bound <= 0` passes tuples through unshuffled.
+    pub fn new(inner: S, seed: u64, bound: i64) -> DisorderSource<S> {
+        let name = format!("disorder({})", inner.name());
+        DisorderSource {
+            inner,
+            rng: SplitMix64::new(seed),
+            bound: bound.max(0),
+            hold: Vec::new(),
+            head: i64::MIN,
+            name,
+        }
+    }
+
+    fn pending_min(&self) -> Option<i64> {
+        self.hold.iter().map(|(t, _)| t.ts().ticks()).min()
+    }
+}
+
+impl<S: Source> Source for DisorderSource<S> {
+    fn poll(&mut self, max: usize) -> Vec<Tuple> {
+        self.try_poll(max).unwrap_or_default()
+    }
+
+    fn try_poll(&mut self, max: usize) -> std::result::Result<Vec<Tuple>, SourceError> {
+        let fresh = self.inner.try_poll(max.max(1))?;
+        for t in fresh {
+            self.head = self.head.max(t.ts().ticks());
+            // ~1 in 8 tuples straggles to the edge of the bound.
+            let straggler = self.bound > 0 && self.rng.next_u64().is_multiple_of(8);
+            self.hold.push((t, straggler));
+        }
+        let mut out = Vec::new();
+        // Keep roughly a bound's worth of tuples in the reorder buffer
+        // while the inner source still produces; drain fully once it is
+        // exhausted so our exhaustion implies full delivery.
+        let target_hold = if self.inner.is_exhausted() {
+            0
+        } else {
+            self.bound as usize
+        };
+        while self.hold.len() > target_hold && out.len() < max {
+            let min_ts = self.pending_min().expect("hold is non-empty");
+            // Any pending tuple within `bound` of the oldest may go next:
+            // whatever order the rest are emitted in, nothing ends up more
+            // than `bound` ticks behind the emitted head. Stragglers stay
+            // pinned until they are the oldest tuple themselves.
+            let candidates: Vec<usize> = self
+                .hold
+                .iter()
+                .enumerate()
+                .filter(|(_, (t, straggler))| {
+                    let ts = t.ts().ticks();
+                    ts <= min_ts.saturating_add(self.bound) && (!straggler || ts == min_ts)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let pick = if candidates.is_empty() {
+                // Every in-bound tuple is a pinned straggler: force the
+                // oldest one out (it has reached maximal lateness).
+                self.hold
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (t, _))| t.ts().ticks())
+                    .map(|(i, _)| i)
+                    .expect("hold is non-empty")
+            } else {
+                candidates[(self.rng.next_u64() % candidates.len() as u64) as usize]
+            };
+            out.push(self.hold.swap_remove(pick).0);
+        }
+        Ok(out)
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.inner.is_exhausted() && self.hold.is_empty()
+    }
+
+    fn watermark(&self) -> Option<i64> {
+        if self.head == i64::MIN {
+            return None;
+        }
+        // Everything still pending (or yet to be pulled from the ordered
+        // inner source) has ts >= pending_min (resp. >= head, where equal
+        // timestamps are still possible — hence the -1).
+        Some(match self.pending_min() {
+            Some(m) => m - 1,
+            None => self.head - 1,
+        })
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -459,6 +591,70 @@ mod tests {
             }
         }
         assert_eq!(got, 8);
+    }
+
+    fn drain_disordered(seed: u64, bound: i64, n: i64) -> (Vec<Tuple>, Vec<(usize, Option<i64>)>) {
+        let tuples: Vec<Tuple> = (0..n)
+            .map(|i| Tuple::at_seq(vec![Value::Int(i)], i))
+            .collect();
+        let mut s = DisorderSource::new(IterSource::new("it", tuples.into_iter()), seed, bound);
+        let mut out = Vec::new();
+        let mut watermarks = Vec::new();
+        while !s.is_exhausted() {
+            out.extend(s.poll(4));
+            watermarks.push((out.len(), s.watermark()));
+        }
+        (out, watermarks)
+    }
+
+    #[test]
+    fn disorder_source_shuffles_within_bound_and_loses_nothing() {
+        let (out, watermarks) = drain_disordered(11, 4, 40);
+        assert_eq!(out.len(), 40, "every tuple is delivered");
+        let mut ticks: Vec<i64> = out.iter().map(|t| t.ts().ticks()).collect();
+        let shuffled = ticks.windows(2).any(|w| w[0] > w[1]);
+        assert!(shuffled, "bound 4 over 40 tuples must reorder something");
+        // Bounded disorder: nothing lags the emitted head by more than 4.
+        let mut head = ticks[0];
+        for &t in &ticks {
+            assert!(head - t <= 4, "tuple at {t} lags head {head} beyond bound");
+            head = head.max(t);
+        }
+        ticks.sort_unstable();
+        assert_eq!(ticks, (0..40).collect::<Vec<_>>());
+        // Watermarks only promise what later arrivals keep: after a
+        // watermark of w, no tuple with ts <= w may still arrive.
+        for (emitted, wm) in watermarks {
+            if let Some(w) = wm {
+                assert!(
+                    out[emitted..].iter().all(|t| t.ts().ticks() > w),
+                    "tuple arrived at or below watermark {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disorder_source_is_deterministic_per_seed() {
+        let (a, _) = drain_disordered(77, 3, 30);
+        let (b, _) = drain_disordered(77, 3, 30);
+        let (c, _) = drain_disordered(78, 3, 30);
+        let order = |v: &[Tuple]| v.iter().map(|t| t.ts().ticks()).collect::<Vec<_>>();
+        assert_eq!(order(&a), order(&b), "same seed, same arrival order");
+        assert_ne!(order(&a), order(&c), "different seed, different shuffle");
+    }
+
+    #[test]
+    fn disorder_bound_zero_passes_through_in_order() {
+        let (out, _) = drain_disordered(5, 0, 20);
+        let ticks: Vec<i64> = out.iter().map(|t| t.ts().ticks()).collect();
+        assert_eq!(ticks, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_watermark_is_none() {
+        let s = IterSource::new("it", Vec::new().into_iter());
+        assert_eq!(s.watermark(), None);
     }
 
     #[test]

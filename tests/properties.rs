@@ -13,6 +13,10 @@
 //!   aggregate kernels, and the full pipeline at partitions ∈ {1, 4},
 //!   across batch sizes, selection densities (0% / ~50% / 100%), and
 //!   null-heavy columns.
+//! * Out-of-order arrival is metamorphic: a bounded event-time shuffle
+//!   of the input folds to the same final answers as the in-order run,
+//!   at both consistency levels, across partitions, columnar modes,
+//!   and crash/reboot interleavings.
 
 use proptest::prelude::*;
 
@@ -941,6 +945,118 @@ proptest! {
         let (got, consumed) = read_frames(&buf);
         prop_assert_eq!(consumed, start);
         prop_assert_eq!(got, records[..f].to_vec());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Out-of-order arrival: the order-shuffle metamorphic property (§16)
+// ---------------------------------------------------------------------
+
+/// Build a disorder episode over the sim harness's `quotes` stream:
+/// each drawn `(advance, lag, v)` advances the stream head by
+/// `advance` and emits a row `lag` ticks behind it (every lag is
+/// within `bound`, so the declaration covers the shuffle). Prices are
+/// halves — exact in f64 — so aggregate sums cannot drift with fold
+/// order.
+fn disorder_episode(
+    rows: &[(i64, i64, i64)],
+    bound: i64,
+    consistency: tcq_common::Consistency,
+    partitions: usize,
+    columnar: bool,
+    crash: bool,
+) -> sim::Episode {
+    let syms = ["aapl", "ibm", "msft", "orcl"];
+    let mut steps = vec![sim::Step::Disorder {
+        stream: "quotes".into(),
+        bound,
+    }];
+    let mut cursor = 0i64;
+    for (i, &(advance, lag, v)) in rows.iter().enumerate() {
+        cursor += advance;
+        let ticks = (cursor - lag).max(0);
+        steps.push(sim::Step::Row {
+            stream: "quotes".into(),
+            ticks,
+            fields: vec![
+                Value::Int(ticks),
+                Value::str(syms[v as usize % 4]),
+                Value::Float(v as f64 / 2.0),
+            ],
+        });
+        if crash && i == rows.len() / 2 {
+            steps.push(sim::Step::Crash);
+        }
+    }
+    steps.push(sim::Step::Settle);
+    sim::Episode {
+        seed: 0x0D15_0BDE,
+        policy: tcq::ShedPolicy::Block,
+        batch_size: 2,
+        input_queue: 64,
+        flux_steps: 0,
+        partitions,
+        durability: if crash {
+            tcq::Durability::Fsync
+        } else {
+            tcq::Durability::Off
+        },
+        columnar: Some(columnar),
+        on_storage_error: None,
+        consistency: Some(consistency),
+        queries: vec![
+            "SELECT sym, price FROM quotes WHERE price >= 5".into(),
+            "SELECT COUNT(*), SUM(price) FROM quotes \
+             for (t = 2; t <= 40; t += 3) { WindowIs(quotes, t - 5, t); }"
+                .into(),
+        ],
+        steps,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The event-time tentpole invariant: for any bounded shuffle of
+    /// arrival order, any consistency level, partitions ∈ {1, 4},
+    /// columnar ∈ {0, 1}, and an optional crash/reboot in the middle,
+    /// the episode passes the full sim check — byte-identical replay,
+    /// engine invariants, the differential oracle (which folds
+    /// speculative retractions), *and* the order-shuffle metamorphic
+    /// comparison against the in-order twin.
+    #[test]
+    fn out_of_order_runs_fold_to_in_order_answers(
+        rows in proptest::collection::vec((0i64..3, 0i64..4, 0i64..40), 4..32),
+        bound in 3i64..6,
+        level_pick in 0u8..2,
+        partitions in prop_oneof![Just(1usize), Just(4usize)],
+        columnar_pick in 0u8..2,
+        crash_pick in 0u8..2,
+    ) {
+        let consistency = if level_pick == 0 {
+            tcq_common::Consistency::Watermark
+        } else {
+            tcq_common::Consistency::Speculative
+        };
+        let ep = disorder_episode(
+            &rows,
+            bound,
+            consistency,
+            partitions,
+            columnar_pick == 1,
+            crash_pick == 1,
+        );
+        prop_assert!(
+            sim::metamorphic_eligible(&ep),
+            "the property episode must always run the metamorphic check"
+        );
+        let failures = sim::check_episode(&ep);
+        prop_assert!(
+            failures.is_empty(),
+            "{} shuffle failed:\n{}",
+            consistency.name(),
+            failures.join("\n")
+        );
     }
 }
 

@@ -60,6 +60,7 @@ fn base_episode(partitions: usize, columnar: bool, durability: Durability) -> Ep
         durability,
         columnar: Some(columnar),
         on_storage_error: None,
+        consistency: None,
         queries: vec![
             "SELECT sym, COUNT(*), SUM(price) FROM quotes GROUP BY sym \
              for (t = 1; t <= 8; t++) { WindowIs(quotes, t - 3, t); }"

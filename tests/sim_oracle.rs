@@ -30,7 +30,9 @@ use std::path::{Path, PathBuf};
 use sim::oracle::{evaluate_plan, OracleQuery};
 use sim::{check_episode, generate, GenOptions};
 use tcq::{Config, Server};
-use tcq_common::{Catalog, DataType, Field, Schema, Timestamp, Tuple, Value};
+use tcq_common::{
+    Catalog, Consistency, DataType, Field, Schema, ShedPolicy, Timestamp, Tuple, Value,
+};
 use tcq_sql::Planner;
 
 fn corpus_dir() -> PathBuf {
@@ -313,7 +315,9 @@ fn oracle_corpus_matches_goldens() {
         let plan = planner
             .plan_sql(&sql)
             .unwrap_or_else(|e| panic!("{name}: fails to plan: {e}"));
-        let result = evaluate_plan(&plan, &trace, &punct, true)
+        // Goldens pin semantics at the default `Watermark` level; the
+        // trace is fully punctuated, so both levels agree anyway.
+        let result = evaluate_plan(&plan, &trace, &punct, true, Consistency::Watermark)
             .unwrap_or_else(|e| panic!("{name}: oracle evaluation failed: {e}"));
         let got = format!(
             "-- oracle: {name}\n{}\n=== RESULT ===\n{}",
@@ -391,7 +395,10 @@ fn engine_agrees_with_oracle_on_corpus() {
             continue;
         }
         let plan = planner.plan_sql(&sql).unwrap();
-        let oracle = evaluate_plan(&plan, &trace, &punct, true).unwrap();
+        // The engine leg honors `TCQ_CONSISTENCY`; evaluate the oracle
+        // at the same level so the CI speculative leg stays comparable.
+        let oracle =
+            evaluate_plan(&plan, &trace, &punct, true, Config::default().consistency).unwrap();
         let sets = run_engine(&sql);
         match &oracle {
             OracleQuery::Unwindowed { rows, exact_order } => {
@@ -474,6 +481,48 @@ fn random_episode_smoke() {
             failures.is_empty(),
             "episode {i} failed:\n{}",
             failures.join("\n")
+        );
+    }
+}
+
+/// Out-of-order arrival through the full `check_episode` loop: the
+/// generator's disorder arm shuffles event timestamps within a declared
+/// bound (plus maximum-lag stragglers), and the oracle diff must hold
+/// with **no new tolerances** at both consistency levels. `Block` + no
+/// faults keeps every episode eligible for the order-shuffle
+/// metamorphic check, which re-runs it with rows sorted into event-time
+/// order and compares folded final answers.
+#[test]
+fn out_of_order_episode_smoke() {
+    silence_injected_fault_panics();
+    for (j, consistency) in [Consistency::Watermark, Consistency::Speculative]
+        .iter()
+        .enumerate()
+    {
+        let opts = GenOptions {
+            policy: Some(ShedPolicy::Block),
+            faults: Some(false),
+            disorder: true,
+            consistency: Some(*consistency),
+            ..GenOptions::default()
+        };
+        let mut metamorphic = 0usize;
+        for i in 0..8 {
+            let ep = generate(0xD150 + j as u64, i, &opts);
+            assert!(ep.has_disorder(), "disorder opt-in produced none");
+            metamorphic += sim::metamorphic_eligible(&ep) as usize;
+            let failures = check_episode(&ep);
+            assert!(
+                failures.is_empty(),
+                "{} episode {i} failed:\n{}",
+                consistency.name(),
+                failures.join("\n")
+            );
+        }
+        assert!(
+            metamorphic > 0,
+            "no {} episode ran the metamorphic check",
+            consistency.name()
         );
     }
 }
