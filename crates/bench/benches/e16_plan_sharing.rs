@@ -1,0 +1,25 @@
+//! E16 — cross-query plan sharing vs query-at-a-time execution as the
+//! family of near-identical standing queries grows (§17). Each query
+//! pairs an indexable threshold with a non-indexable residual factor,
+//! so with sharing off none of them fold into the seed CACQ engine —
+//! the comparison prices exactly the residual-widening machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcq_bench::e16_run;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e16_plan_sharing");
+    g.sample_size(10);
+    for &k in &[256usize, 1_024, 4_096] {
+        g.bench_with_input(BenchmarkId::new("shared", k), &k, |b, &k| {
+            b.iter(|| e16_run(true, k, 4_096));
+        });
+        g.bench_with_input(BenchmarkId::new("unshared", k), &k, |b, &k| {
+            b.iter(|| e16_run(false, k, 4_096));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -19,7 +19,7 @@ fn main() {
     println!("TelegraphCQ-rs experiment report");
     println!("================================\n");
 
-    let table: [(&str, fn()); 15] = [
+    let table: [(&str, fn()); 16] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -35,6 +35,7 @@ fn main() {
         ("e13", e13),
         ("e14", e14),
         ("e15", e15),
+        ("e16", e16),
     ];
     let mut ran = false;
     for (name, run) in table {
@@ -44,7 +45,7 @@ fn main() {
         }
     }
     if !ran {
-        eprintln!("no experiment matches {args:?}; known: e1..e15");
+        eprintln!("no experiment matches {args:?}; known: e1..e16");
         std::process::exit(2);
     }
 }
@@ -511,6 +512,55 @@ fn e15() {
         "  json: {{\"experiment\":\"e15\",\"cores\":{cores},\"tuples\":{n},\"batch\":{batch},\
 \"modes\":[{}],\"recovery\":[{}]}}",
         overheads.join(","),
+        points.join(",")
+    );
+    println!();
+}
+
+fn e16() {
+    println!("E16 — cross-query plan sharing at K near-identical queries (one core)");
+    println!("  K selections (varied threshold + non-indexable residual) over one stream;");
+    println!("  sharing on = one CACQ dataflow + per-query residuals, off = K eddies");
+    println!(
+        "  {:<9} {:>10} {:>10} {:>12} {:>12} {:>9}",
+        "queries", "admit ms", "ms", "tuples/s", "rows out", "speedup"
+    );
+    let n = 8_192;
+    let mut points = Vec::new();
+    for k in [256usize, 1_024, 4_096] {
+        let off = e16_run(false, k, n);
+        let on = e16_run(true, k, n);
+        // Correctness gate first: sharing must be invisible to answers.
+        assert_eq!(
+            on.digests, off.digests,
+            "sharing changed an answer at K={k}"
+        );
+        assert_eq!(on.result_rows, off.result_rows);
+        let speedup = on.tuples_per_sec / off.tuples_per_sec.max(1e-9);
+        for (label, r) in [("off", &off), ("on", &on)] {
+            println!(
+                "  {:<4}{:<5} {:>10.1} {:>10.1} {:>12.0} {:>12} {:>9}",
+                label,
+                r.queries,
+                r.admit_ms,
+                r.ingest_ms,
+                r.tuples_per_sec,
+                r.result_rows,
+                if label == "on" {
+                    format!("{speedup:.1}x")
+                } else {
+                    "-".to_string()
+                }
+            );
+        }
+        points.push(format!(
+            "{{\"queries\":{k},\"off_tps\":{:.0},\"on_tps\":{:.0},\
+\"off_admit_ms\":{:.1},\"on_admit_ms\":{:.1},\"speedup\":{:.2}}}",
+            off.tuples_per_sec, on.tuples_per_sec, off.admit_ms, on.admit_ms, speedup
+        ));
+    }
+    println!(
+        "  json: {{\"experiment\":\"e16\",\"tuples\":{n},\"points\":[{}]}}",
         points.join(",")
     );
     println!();

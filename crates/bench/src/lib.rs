@@ -1161,6 +1161,124 @@ pub fn e15_recovery_run(rows: usize) -> E15Recovery {
     }
 }
 
+// --------------------------------------------------------------- E16 --
+
+/// E16 metrics: cross-query plan sharing at K near-identical queries.
+#[derive(Debug, Clone)]
+pub struct E16Result {
+    /// Standing queries admitted.
+    pub queries: usize,
+    /// Wall-clock to submit (plan + admit) all of them.
+    pub admit_ms: f64,
+    /// Wall-clock to push the whole trace through the engine.
+    pub ingest_ms: f64,
+    /// Input tuples per second of ingest wall-clock (the steady-state
+    /// rate the stream can sustain with this query population).
+    pub tuples_per_sec: f64,
+    /// Result rows delivered across all queries.
+    pub result_rows: u64,
+    /// Per-query FNV digest of every delivered row in delivery order —
+    /// compared across the sharing-on and sharing-off legs to assert
+    /// the outputs are byte-identical.
+    pub digests: Vec<u64>,
+}
+
+/// E16: K near-identical selections over one stream, each pairing an
+/// indexable threshold (varied per query) with a non-indexable residual
+/// factor (`price > day`), pushed a fixed trace on one core in
+/// deterministic step mode. With `Config::plan_sharing` on, the family
+/// compiles to one shared CACQ grouped-filter dataflow plus per-query
+/// residual predicates, so each input tuple is matched once; off, every
+/// query runs a dedicated eddy that evaluates every tuple. The digests
+/// pin byte-identical answers either way.
+pub fn e16_run(plan_sharing: bool, k: usize, n: usize) -> E16Result {
+    use tcq_common::{DataType, Field, Schema};
+    let server = tcq::Server::start(tcq::Config {
+        step_mode: true,
+        batch_size: 64,
+        executor_threads: 1,
+        result_buffer: 4096,
+        plan_sharing,
+        ..tcq::Config::default()
+    })
+    .expect("server starts");
+    server
+        .register_stream(
+            "quotes",
+            Schema::qualified(
+                "quotes",
+                vec![
+                    Field::new("day", DataType::Int),
+                    Field::new("sym", DataType::Str),
+                    Field::new("price", DataType::Int),
+                ],
+            ),
+        )
+        .expect("quotes registers");
+    let t_admit = Instant::now();
+    let handles: Vec<tcq::QueryHandle> = (0..k)
+        .map(|i| {
+            let thresh = 200 + (i % 16) as i64 * 3;
+            let proj = ["day, sym, price", "sym, price", "day, price"][i % 3];
+            server
+                .submit(&format!(
+                    "SELECT {proj} FROM quotes WHERE price > {thresh} AND price > day"
+                ))
+                .expect("family member submits")
+        })
+        .collect();
+    let admit_ms = t_admit.elapsed().as_secs_f64() * 1e3;
+
+    let syms = ["aapl", "ibm", "msft", "orcl"];
+    let mut digests = vec![0xcbf2_9ce4_8422_2325u64; k];
+    let mut result_rows = 0u64;
+    let drain = |digests: &mut Vec<u64>, rows: &mut u64| {
+        for (q, h) in handles.iter().enumerate() {
+            for set in h.drain() {
+                for row in &set.rows {
+                    let mut d = digests[q];
+                    for b in format!("{row:?}").bytes() {
+                        d = (d ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                    }
+                    digests[q] = d;
+                    *rows += 1;
+                }
+            }
+        }
+    };
+    let t_ingest = Instant::now();
+    for i in 0..n {
+        server
+            .push_at(
+                "quotes",
+                vec![
+                    Value::Int((i as i64 * 13) % 64),
+                    Value::str(syms[i % 4]),
+                    Value::Int((i as i64 * 37) % 256),
+                ],
+                i as i64 + 1,
+            )
+            .expect("push");
+        // Fold results as they arrive so the drained rows never pile up
+        // in memory (K x n output rows would, at 4096 queries).
+        if i % 256 == 255 {
+            drain(&mut digests, &mut result_rows);
+        }
+    }
+    server.sync();
+    let ingest_ms = t_ingest.elapsed().as_secs_f64() * 1e3;
+    drain(&mut digests, &mut result_rows);
+    server.shutdown();
+    E16Result {
+        queries: k,
+        admit_ms,
+        ingest_ms,
+        tuples_per_sec: n as f64 / (ingest_ms / 1e3),
+        result_rows,
+        digests,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1278,6 +1396,17 @@ mod tests {
         assert!(f.outputs > 0, "filters must pass something");
         let a = e14_agg_run(20_000, 1);
         assert_eq!(a.outputs, 1, "one scalar aggregate row");
+    }
+
+    #[test]
+    fn e16_sharing_is_invisible_to_answers() {
+        // Small sizes keep this a correctness smoke; the speedup claim
+        // lives in the release-mode experiment run.
+        let off = e16_run(false, 48, 1_024);
+        let on = e16_run(true, 48, 1_024);
+        assert_eq!(on.digests, off.digests, "sharing changed an answer");
+        assert_eq!(on.result_rows, off.result_rows);
+        assert!(on.result_rows > 0, "family must deliver something");
     }
 
     #[test]

@@ -176,6 +176,26 @@ pub struct Config {
     ///
     /// `Config::default()` honors `TCQ_MEM_BUDGET_STREAM` (bytes).
     pub mem_budget_stream_bytes: Option<u64>,
+    /// Cross-query plan sharing at admit time (default on).
+    ///
+    /// When on, the planner derives a shareable-core signature for every
+    /// admitted query (see `tcq_planner::core_signature`) and the
+    /// executor folds queries with equal cores into one dataflow plus
+    /// per-query residuals: unwindowed single-stream selections whose
+    /// indexable factors go through the shared CACQ grouped-filter
+    /// engine even when some factors are general expressions (applied as
+    /// per-query residual predicates), and windowed single-stream
+    /// families that share one per-instant archive scan + grouped-filter
+    /// pass instead of building K fresh eddies. Answers are required to
+    /// be byte-identical with sharing on or off; the `tcq$plans`
+    /// introspection stream reports signatures, share counts, and
+    /// residual counts.
+    ///
+    /// `Config::default()` honors a `TCQ_PLAN_SHARING` environment
+    /// variable (`0` disables — the escape hatch CI uses to replay the
+    /// suite unshared). Explicit `plan_sharing:` fields in struct
+    /// literals still win.
+    pub plan_sharing: bool,
     /// Default consistency level for queries that do not carry their own
     /// `WITH CONSISTENCY` clause (default [`Consistency::Watermark`]).
     ///
@@ -251,6 +271,7 @@ impl Default for Config {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .filter(|&b| b > 0),
+            plan_sharing: std::env::var("TCQ_PLAN_SHARING").map_or(true, |v| v != "0"),
             consistency: std::env::var("TCQ_CONSISTENCY")
                 .ok()
                 .and_then(|v| Consistency::parse(&v))
@@ -289,6 +310,9 @@ mod tests {
         }
         if std::env::var("TCQ_MEM_BUDGET").is_err() {
             assert!(c.mem_budget_bytes.is_none(), "budgets are strictly opt-in");
+        }
+        if std::env::var("TCQ_PLAN_SHARING").is_err() {
+            assert!(c.plan_sharing, "plan sharing is the default");
         }
         if std::env::var("TCQ_CONSISTENCY").is_err() {
             assert_eq!(

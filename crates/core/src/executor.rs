@@ -16,6 +16,16 @@
 //!   end, the window's tuple sets are scanned from the archive, run
 //!   through a fresh adaptive plan, aggregated if requested, and emitted
 //!   as one [`ResultSet`] per loop instant.
+//!
+//! With [`Config::plan_sharing`] on (the default), the classes share
+//! more aggressively: unwindowed selections fold into the CACQ engine
+//! even when some predicate factors are not indexable (the rest ride as
+//! per-query residuals applied at delivery), and windowed single-stream
+//! queries with the same (source, window sequence, consistency) core —
+//! detected via `tcq_planner::core_signature` — form a
+//! [`WindowFamily`] that runs one archive scan plus one grouped-filter
+//! pass per loop instant instead of K fresh eddies. Either way the
+//! answers are byte-identical to the unshared paths.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -27,6 +37,7 @@ use tcq_cacq::{CacqEngine, QuerySpec, Selection};
 use tcq_common::membudget::{approx_keyed_tuples_bytes, approx_tuples_bytes, BudgetSet};
 use tcq_common::{ColumnBatch, Consistency, Expr, Timestamp, Tuple, Value};
 use tcq_eddy::{Eddy, FixedPolicy, LotteryPolicy, NaivePolicy, RoutingPolicy};
+use tcq_planner::{core_signature, CoreKind};
 use tcq_sql::QueryPlan;
 use tcq_storage::StreamArchive;
 use tcq_windows::{AggKind, LoopCond, RetractableAgg, WindowAgg};
@@ -192,6 +203,15 @@ pub struct ExecutionObject {
     shared_ids: HashMap<u64, u64>,
     eddies: HashMap<u64, EddyQuery>,
     windowed: HashMap<u64, WindowedQuery>,
+    /// Windowed plan-sharing families ([`Config::plan_sharing`]), keyed
+    /// by the planner's shared-core key: members share one per-instant
+    /// archive scan and grouped-filter pass.
+    win_families: HashMap<String, WindowFamily>,
+    /// windowed qid → owning family key.
+    win_family_of: HashMap<u64, String>,
+    /// Per-stream data versions, bumped once per data message — family
+    /// scan caches re-scan when the version moved.
+    data_versions: HashMap<usize, u64>,
     /// Newest timestamp ticks seen per global stream.
     high_water: HashMap<usize, i64>,
     /// Streams observed *disordered*: some tuple arrived below the
@@ -227,6 +247,11 @@ struct SharedQuery {
     /// Global id of the query's one stream (shared-class queries are
     /// single-stream), for the must-offer rule on partitioned batches.
     stream: usize,
+    /// Predicate factors the grouped-filter engine cannot absorb
+    /// ([`Config::plan_sharing`] residual widening) — applied to the
+    /// engine's matches before projection, with the same pass rule the
+    /// eddy's filters would use. Empty when sharing is off.
+    residual: Vec<Expr>,
     output: tcq_fjords::Fjord<ResultSet>,
     /// `SELECT DISTINCT` state (over unbounded streams, distinct keeps
     /// the seen-set; evicted alongside windows when the query has one).
@@ -273,6 +298,44 @@ struct WindowedQuery {
     emitted: BTreeMap<i64, Vec<Tuple>>,
     degraded: Arc<AtomicBool>,
     panic_armed: bool,
+}
+
+/// One windowed plan-sharing family: every member is a single-stream
+/// windowed query over the same (source, window sequence, consistency)
+/// core. Per loop instant the family scans the window once and runs one
+/// grouped-filter pass over the scan for all members together, instead
+/// of each member building a fresh eddy over its own re-scan.
+struct WindowFamily {
+    /// Global id of the one stream every member scans.
+    gid: usize,
+    /// Private grouped-filter engine over the members' indexable
+    /// predicate factors.
+    engine: CacqEngine,
+    members: HashMap<u64, FamilyMember>,
+    /// The last instant's scan + match lists, reused while neither the
+    /// instant, the archive, nor the membership changed (members are
+    /// driven one at a time, so K members would otherwise re-scan K
+    /// times per instant).
+    cache: Option<FamilyEval>,
+}
+
+/// One member's share of a [`WindowFamily`].
+struct FamilyMember {
+    /// Engine slot for the member's indexable factors; `None` members
+    /// have no indexable factor and consider every scanned row.
+    cacq_id: Option<u64>,
+    /// Factors the engine cannot absorb, applied per candidate row.
+    residual: Vec<Expr>,
+}
+
+/// A cached family evaluation: the window scan for instant `t` at
+/// archive version `version`, plus each engine slot's matching row
+/// indices in scan order.
+struct FamilyEval {
+    t: i64,
+    version: u64,
+    rows: Vec<Tuple>,
+    matches: HashMap<u64, Vec<u32>>,
 }
 
 /// Stringify a panic payload for the `tcq$errors` record.
@@ -365,6 +428,9 @@ impl ExecutionObject {
             shared_ids: HashMap::new(),
             eddies: HashMap::new(),
             windowed: HashMap::new(),
+            win_families: HashMap::new(),
+            win_family_of: HashMap::new(),
+            data_versions: HashMap::new(),
             high_water: HashMap::new(),
             disordered: HashSet::new(),
             punctuated: HashMap::new(),
@@ -453,6 +519,13 @@ impl ExecutionObject {
             let mut loop_values = header.values();
             let pending_t = loop_values.next();
             let consistency = plan.consistency.unwrap_or(self.config.consistency);
+            if self.config.plan_sharing {
+                if let Some(core) = core_signature(&plan, consistency) {
+                    if core.kind == CoreKind::Window {
+                        self.join_family(q.id, core.key, &plan, q.stream_ids[0]);
+                    }
+                }
+            }
             self.windowed.insert(
                 q.id,
                 WindowedQuery {
@@ -479,7 +552,9 @@ impl ExecutionObject {
         // a per-query eddy instead.
         let share_scope = self.config.partitions <= 1 || q.merge.is_some();
         if share_scope {
-            if let Some(spec) = sharable_spec(&plan, &q.stream_ids) {
+            if let Some((spec, residual)) =
+                sharable_spec(&plan, &q.stream_ids, self.config.plan_sharing)
+            {
                 let cacq_id = self
                     .shared
                     .add_query(spec)
@@ -492,6 +567,7 @@ impl ExecutionObject {
                         qid: q.id,
                         plan,
                         stream: q.stream_ids[0],
+                        residual,
                         output: q.output,
                         distinct,
                         degraded: q.degraded,
@@ -535,6 +611,71 @@ impl ExecutionObject {
         );
     }
 
+    /// Enroll windowed query `qid` in the family for shared-core `key`,
+    /// creating the family on first membership. The query's indexable
+    /// predicate factors fold into the family's grouped-filter engine;
+    /// the rest become its residual.
+    fn join_family(&mut self, qid: u64, key: String, plan: &QueryPlan, gid: usize) {
+        let fam = self
+            .win_families
+            .entry(key.clone())
+            .or_insert_with(|| WindowFamily {
+                gid,
+                engine: CacqEngine::new(),
+                members: HashMap::new(),
+                cache: None,
+            });
+        let mut selections = Vec::new();
+        let mut residual = Vec::new();
+        for f in &plan.filters {
+            match f.as_single_column_cmp() {
+                Some((col, op, value)) => selections.push(Selection {
+                    stream: gid,
+                    col,
+                    op,
+                    value,
+                }),
+                None => residual.push(f.clone()),
+            }
+        }
+        let cacq_id = if selections.is_empty() {
+            None
+        } else {
+            Some(
+                fam.engine
+                    .add_query(QuerySpec {
+                        selections,
+                        join: None,
+                    })
+                    .expect("indexable specs are valid"),
+            )
+        };
+        fam.members.insert(qid, FamilyMember { cacq_id, residual });
+        fam.cache = None;
+        self.win_family_of.insert(qid, key);
+    }
+
+    /// Remove query `id` from its window family, if any. Reference
+    /// counted: the family (and its engine) lives while any sibling
+    /// does, and siblings' engine slots are untouched by the removal.
+    fn leave_family(&mut self, id: u64) {
+        let Some(key) = self.win_family_of.remove(&id) else {
+            return;
+        };
+        let Some(fam) = self.win_families.get_mut(&key) else {
+            return;
+        };
+        if let Some(m) = fam.members.remove(&id) {
+            if let Some(cid) = m.cacq_id {
+                let _ = fam.engine.remove_query(cid);
+            }
+        }
+        fam.cache = None;
+        if fam.members.is_empty() {
+            self.win_families.remove(&key);
+        }
+    }
+
     fn remove_query(&mut self, id: u64) {
         if let Some(cacq_id) = self.shared_ids.remove(&id) {
             let _ = self.shared.remove_query(cacq_id);
@@ -548,6 +689,7 @@ impl ExecutionObject {
         if let Some(wq) = self.windowed.remove(&id) {
             wq.output.close();
         }
+        self.leave_family(id);
     }
 
     fn on_data_batch(&mut self, stream: usize, tuples: Vec<Tuple>) {
@@ -584,6 +726,7 @@ impl ExecutionObject {
         if !late.is_empty() {
             self.disordered.insert(stream);
         }
+        *self.data_versions.entry(stream).or_insert(0) += 1;
 
         // Shared class: one grouped-filter pass per predicated column
         // per batch. With columnar execution on, the batch is transposed
@@ -637,6 +780,7 @@ impl ExecutionObject {
                         }
                         let mut projected: Vec<Tuple> = rows
                             .iter()
+                            .filter(|t| sq.residual.iter().all(|e| e.eval_pred(t).unwrap_or(false)))
                             .filter_map(|t| sq.plan.project(t).ok())
                             .collect();
                         if let Some(d) = &mut sq.distinct {
@@ -776,6 +920,7 @@ impl ExecutionObject {
         if !late.is_empty() {
             self.disordered.insert(stream);
         }
+        *self.data_versions.entry(stream).or_insert(0) += 1;
         if let Some(ex) = &self.exchange {
             ex.part(self.eo_id as usize)
                 .processed
@@ -834,6 +979,7 @@ impl ExecutionObject {
                     panic!("injected operator fault");
                 }
                 rows.iter()
+                    .filter(|(_, t)| sq.residual.iter().all(|e| e.eval_pred(t).unwrap_or(false)))
                     .filter_map(|(off, t)| sq.plan.project(t).ok().map(|p| (*off, p)))
                     .collect::<Vec<(u32, Tuple)>>()
             }));
@@ -960,6 +1106,7 @@ impl ExecutionObject {
             if let Some(wq) = self.windowed.remove(&id) {
                 wq.output.close();
             }
+            self.leave_family(id);
         }
     }
 
@@ -1211,6 +1358,49 @@ impl ExecutionObject {
 
     /// Scan, execute, and (if requested) aggregate one window.
     fn evaluate_window(&mut self, id: u64, t: i64) -> ResultSet {
+        let plan = self.windowed.get(&id).expect("caller checked").plan.clone();
+        // Survivor collection: through the window family's shared scan
+        // + grouped-filter pass when the query is enrolled in one, else
+        // a fresh per-query adaptive eddy over the query's own scan.
+        // Both produce the same rows in scan order — a single-stream
+        // window passes a row iff every predicate factor eval_preds
+        // true, however the factors are grouped — so the finish below
+        // is path-independent.
+        let full_rows = if self.win_family_of.contains_key(&id) {
+            self.family_window_rows(id, t)
+        } else {
+            self.unshared_window_rows(id, t)
+        };
+        let mut rows = if plan.is_aggregating() {
+            if self.config.columnar {
+                aggregate_rows_columnar(&plan, &full_rows)
+                    .unwrap_or_else(|| aggregate_rows(&plan, &full_rows))
+            } else {
+                aggregate_rows(&plan, &full_rows)
+            }
+        } else {
+            let mut rows: Vec<Tuple> = full_rows
+                .iter()
+                .filter_map(|r| plan.project(r).ok())
+                .collect();
+            if plan.distinct {
+                // DISTINCT is per window instant (each window's output is
+                // an independent set).
+                let mut d = tcq_eddy::DupElim::new();
+                rows.retain(|r| d.push(r.clone()).is_some());
+            }
+            rows
+        };
+        plan.sort_rows(&mut rows);
+        ResultSet {
+            window_t: Some(t),
+            rows,
+        }
+    }
+
+    /// One window instant's surviving rows through a fresh per-query
+    /// adaptive eddy (the unshared path).
+    fn unshared_window_rows(&mut self, id: u64, t: i64) -> Vec<Tuple> {
         let wq = self.windowed.get(&id).expect("caller checked");
         let plan = wq.plan.clone();
         let seq = plan.window.as_ref().expect("windowed");
@@ -1273,59 +1463,125 @@ impl ExecutionObject {
                 }
             }
         }
-        let mut rows = if plan.is_aggregating() {
-            if self.config.columnar {
-                aggregate_rows_columnar(&plan, &full_rows)
-                    .unwrap_or_else(|| aggregate_rows(&plan, &full_rows))
-            } else {
-                aggregate_rows(&plan, &full_rows)
-            }
+        full_rows
+    }
+
+    /// One window instant's surviving rows through the query's window
+    /// family: the scan and the grouped-filter pass run once per
+    /// (instant, archive version) and are shared by every member; this
+    /// member then keeps its engine matches (or, with no indexable
+    /// factor, every scanned row) that also pass its residual factors —
+    /// in scan order, exactly the unshared path's survivors.
+    fn family_window_rows(&mut self, id: u64, t: i64) -> Vec<Tuple> {
+        let wq = self.windowed.get(&id).expect("caller checked");
+        let plan = wq.plan.clone();
+        let seq = plan.window.as_ref().expect("windowed");
+        let gid = wq.stream_ids[0];
+        let key = self.win_family_of.get(&id).expect("caller checked").clone();
+        let version = self.data_versions.get(&gid).copied().unwrap_or(0);
+        let bs = &plan.streams[0];
+        let (l, r) = if bs.windowed {
+            let w = seq.window_for(&bs.alias).expect("windowed stream");
+            w.at(t, seq.domain)
         } else {
-            let mut rows: Vec<Tuple> = full_rows
-                .iter()
-                .filter_map(|r| plan.project(r).ok())
-                .collect();
-            if plan.distinct {
-                // DISTINCT is per window instant (each window's output is
-                // an independent set).
-                let mut d = tcq_eddy::DupElim::new();
-                rows.retain(|r| d.push(r.clone()).is_some());
-            }
-            rows
+            (
+                Timestamp::new(seq.domain, i64::MIN),
+                Timestamp::new(seq.domain, i64::MAX),
+            )
         };
-        plan.sort_rows(&mut rows);
-        ResultSet {
-            window_t: Some(t),
-            rows,
+        let archives = &self.archives;
+        let columnar = self.config.columnar;
+        let fam = self.win_families.get_mut(&key).expect("member has family");
+        debug_assert_eq!(fam.gid, gid, "family keys pin the stream");
+        let stale = fam
+            .cache
+            .as_ref()
+            .is_none_or(|c| c.t != t || c.version != version);
+        if stale {
+            let archive = archives.get(gid);
+            let rows = archive.lock().unwrap().scan(l, r).unwrap_or_default();
+            // One grouped-filter pass for all members with indexable
+            // factors; the columnar engine path is byte-identical to
+            // the row path, so either works under any config.
+            let indexed = if columnar && !rows.is_empty() {
+                let batch = ColumnBatch::from_tuples(rows.clone());
+                fam.engine.push_batch_columnar(gid, &batch)
+            } else {
+                fam.engine.push_batch_indexed(gid, &rows)
+            };
+            let mut matches: HashMap<u64, Vec<u32>> = HashMap::new();
+            for (idx, cacq_id, _) in indexed {
+                matches.entry(cacq_id).or_default().push(idx as u32);
+            }
+            fam.cache = Some(FamilyEval {
+                t,
+                version,
+                rows,
+                matches,
+            });
         }
+        let cache = fam.cache.as_ref().expect("just filled");
+        let member = fam.members.get(&id).expect("member registered");
+        let candidates: Box<dyn Iterator<Item = &Tuple>> = match member.cacq_id {
+            Some(cid) => {
+                let idxs: &[u32] = cache.matches.get(&cid).map_or(&[], |v| v.as_slice());
+                Box::new(idxs.iter().map(|&i| &cache.rows[i as usize]))
+            }
+            None => Box::new(cache.rows.iter()),
+        };
+        candidates
+            .filter(|row| {
+                member
+                    .residual
+                    .iter()
+                    .all(|e| e.eval_pred(row).unwrap_or(false))
+            })
+            .cloned()
+            .collect()
     }
 }
 
-/// Whether a plan can fold into the shared CACQ engine, and its spec.
-fn sharable_spec(plan: &QueryPlan, stream_ids: &[usize]) -> Option<QuerySpec> {
+/// Whether a plan can fold into the shared CACQ engine: its indexable
+/// factors as the engine spec, plus — when `widen` (plan sharing on) —
+/// the non-indexable rest as a per-query residual applied at delivery.
+/// Without widening every factor must be indexable (the seed shared
+/// class, exactly).
+fn sharable_spec(
+    plan: &QueryPlan,
+    stream_ids: &[usize],
+    widen: bool,
+) -> Option<(QuerySpec, Vec<Expr>)> {
     if plan.streams.len() != 1 || !plan.joins.is_empty() || plan.is_aggregating() {
         return None;
     }
     let gid = stream_ids[0];
     let mut selections = Vec::new();
+    let mut residual = Vec::new();
     for f in &plan.filters {
-        let (col, op, value) = f.as_single_column_cmp()?;
-        selections.push(Selection {
-            stream: gid,
-            col,
-            op,
-            value,
-        });
+        match f.as_single_column_cmp() {
+            Some((col, op, value)) => selections.push(Selection {
+                stream: gid,
+                col,
+                op,
+                value,
+            }),
+            None if widen => residual.push(f.clone()),
+            None => return None,
+        }
     }
     if selections.is_empty() {
-        // A predicate-less tap runs as a trivial eddy instead (the CACQ
-        // engine indexes predicates; there is nothing to share here).
+        // A predicate-less (or fully residual) tap runs as a trivial
+        // eddy instead: the CACQ engine indexes predicates; there is
+        // nothing to share here.
         return None;
     }
-    Some(QuerySpec {
-        selections,
-        join: None,
-    })
+    Some((
+        QuerySpec {
+            selections,
+            join: None,
+        },
+        residual,
+    ))
 }
 
 /// The multiset difference between a speculatively emitted result set
@@ -1637,15 +1893,29 @@ mod tests {
         let p = planner
             .plan_sql("SELECT v FROM s WHERE k > 5 AND v < 2.0")
             .unwrap();
-        assert!(sharable_spec(&p, &[0]).is_some());
+        assert!(sharable_spec(&p, &[0], false).is_some());
         let p2 = planner.plan_sql("SELECT v FROM s WHERE k > v").unwrap();
         assert!(
-            sharable_spec(&p2, &[0]).is_none(),
+            sharable_spec(&p2, &[0], false).is_none(),
             "multi-variable factor is not groupable"
+        );
+        // Residual widening (plan sharing on) keeps the indexable factor
+        // in the engine and carries the general one as a residual.
+        let p2b = planner
+            .plan_sql("SELECT v FROM s WHERE k > 5 AND k > v")
+            .unwrap();
+        assert!(sharable_spec(&p2b, &[0], false).is_none());
+        let (spec, residual) = sharable_spec(&p2b, &[0], true).unwrap();
+        assert_eq!(spec.selections.len(), 1);
+        assert_eq!(residual.len(), 1);
+        // A fully residual predicate still has nothing to index.
+        assert!(
+            sharable_spec(&p2, &[0], true).is_none(),
+            "no indexable factor ⇒ eddy, even widened"
         );
         let p3 = planner.plan_sql("SELECT v FROM s").unwrap();
         assert!(
-            sharable_spec(&p3, &[0]).is_none(),
+            sharable_spec(&p3, &[0], true).is_none(),
             "a bare tap runs as an eddy"
         );
     }

@@ -17,7 +17,7 @@ use tcq_common::{
 };
 use tcq_fjords::{DequeueResult, EnqueueResult, Fjord};
 use tcq_metrics::{tcq_trace, Registry};
-use tcq_sql::Planner;
+use tcq_planner::CqPlanner;
 use tcq_storage::wal::{self, WalRecord, WalWriter};
 use tcq_storage::{BufferPool, FaultPlan, Replacement, Spooler, StreamArchive};
 use tcq_wrappers::{Source, SourceError};
@@ -459,12 +459,15 @@ struct SimState {
 struct Inner {
     config: Config,
     catalog: Catalog,
-    planner: Planner,
+    planner: CqPlanner,
     archives: Arc<ArchiveSet>,
     streams: RwLock<Vec<StreamRuntime>>,
     by_name: RwLock<HashMap<String, usize>>,
     eo_inputs: Vec<Fjord<ExecMsg>>,
     queries: Mutex<HashMap<u64, QueryMeta>>,
+    /// Admit-time plan-signature index over standing queries (drives
+    /// the `tcq$plans` introspection stream).
+    plans: Mutex<HashMap<u64, PlanInfo>>,
     next_qid: AtomicU64,
     /// Wrapper-process channel for attaching sources.
     wrapper_tx: Mutex<Option<Sender<WrapperMsg>>>,
@@ -592,6 +595,18 @@ pub struct RecoveryReport {
     pub from_checkpoint: Option<u64>,
 }
 
+/// Plan-sharing bookkeeping for one standing query: which signature
+/// group it belongs to and how many residual (non-indexable) predicate
+/// factors ride outside the shared core.
+struct PlanInfo {
+    /// Full-plan signature (hex hash of the canonical render).
+    full: String,
+    /// Shared-core grouping key, when the plan has one.
+    core: Option<tcq_planner::CoreSignature>,
+    /// Predicate factors the grouped-filter engine cannot absorb.
+    residuals: u64,
+}
+
 struct QueryMeta {
     /// The EOs the query runs on: every partition for a partitioned
     /// query, the home EO alone otherwise.
@@ -684,7 +699,7 @@ impl Server {
         let archives = Arc::new(ArchiveSet::new());
         let budget = BudgetSet::new(config.mem_budget_bytes, config.mem_budget_stream_bytes);
         let catalog = Catalog::new();
-        let planner = Planner::new(catalog.clone());
+        let planner = CqPlanner::new(catalog.clone());
 
         let metrics = config.metrics.then(Registry::new);
         let ingest_hist = metrics
@@ -768,6 +783,7 @@ impl Server {
             config,
             catalog,
             planner,
+            plans: Mutex::new(HashMap::new()),
             archives,
             streams: RwLock::new(Vec::new()),
             by_name: RwLock::new(HashMap::new()),
@@ -940,6 +956,22 @@ impl Server {
                     Field::new("name", DataType::Str),
                     Field::new("metric", DataType::Str),
                     Field::new("value", DataType::Int),
+                ],
+            ),
+        )?;
+        // Plan sharing: one row per plan-signature group among standing
+        // queries — the shared-core key (or full signature when a plan
+        // has no shareable core), how many queries share it, and how
+        // many residual predicate factors ride outside the core.
+        self.register_stream(
+            "tcq$plans",
+            Schema::qualified(
+                "tcq$plans",
+                vec![
+                    Field::new("signature", DataType::Str),
+                    Field::new("kind", DataType::Str),
+                    Field::new("members", DataType::Int),
+                    Field::new("residuals", DataType::Int),
                 ],
             ),
         )?;
@@ -1272,19 +1304,27 @@ impl Server {
         })
     }
 
-    /// Parse and analyze a query, returning the adaptive plan's
-    /// human-readable description without registering it (EXPLAIN).
+    /// Parse and analyze a query, returning the planner's logical +
+    /// physical plan rendering without registering it (EXPLAIN).
     pub fn explain(&self, sql: &str) -> Result<String> {
-        let plan = self.inner.planner.plan_sql(sql)?;
-        validate_plan(&plan)?;
-        Ok(plan.explain())
+        let planned = self.inner.planner.plan_sql(sql)?;
+        validate_plan(&planned.physical)?;
+        Ok(planned.explain(self.inner.config.consistency))
     }
 
     /// Parse, analyze, optimize, and fold a continuous query into the
     /// running executor. Returns the client's handle.
     pub fn submit(&self, sql: &str) -> Result<QueryHandle> {
-        let plan = self.inner.planner.plan_sql(sql)?;
-        validate_plan(&plan)?;
+        let planned = self.inner.planner.plan_sql(sql)?;
+        validate_plan(&planned.physical)?;
+        let signature = planned.signature(self.inner.config.consistency);
+        let residuals = planned
+            .physical
+            .filters
+            .iter()
+            .filter(|f| f.as_single_column_cmp().is_none())
+            .count() as u64;
+        let plan = planned.physical;
         let stream_ids: Vec<usize> = plan
             .streams
             .iter()
@@ -1322,6 +1362,14 @@ impl Server {
                 pinned,
             },
         );
+        self.inner.plans.lock().unwrap().insert(
+            id,
+            PlanInfo {
+                full: signature.full,
+                core: signature.core,
+                residuals,
+            },
+        );
         // The QPQueue: "plans are then placed in the query plan queue
         // ... the executor continually picks up fresh queries." A
         // partitioned query is broadcast under the router lock so every
@@ -1352,6 +1400,7 @@ impl Server {
             .unwrap()
             .remove(&id)
             .ok_or(TcqError::UnknownQuery(id))?;
+        self.inner.plans.lock().unwrap().remove(&id);
         if let Some(ex) = &self.inner.exchange {
             let mut router = ex.router.lock().unwrap();
             for &gid in &meta.pinned {
@@ -2433,6 +2482,51 @@ impl Inner {
         let _ = self.ingest_batch(gid, rows);
     }
 
+    /// Snapshot the plan-signature index onto `tcq$plans`: one row per
+    /// signature group among the standing queries, in deterministic
+    /// (kind, signature) order. Groups keyed by a shared core report
+    /// the core key; unshareable plans group by full signature with
+    /// `kind = "none"`.
+    fn emit_plans(&self) {
+        let Some(gid) = self.by_name.read().unwrap().get("tcq$plans").copied() else {
+            return;
+        };
+        let mut groups: HashMap<(String, String), (i64, i64)> = HashMap::new();
+        {
+            let plans = self.plans.lock().unwrap();
+            for info in plans.values() {
+                let (kind, sig) = match &info.core {
+                    Some(c) => (c.kind.to_string(), c.key.clone()),
+                    None => ("none".to_string(), info.full.clone()),
+                };
+                let e = groups.entry((kind, sig)).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += info.residuals as i64;
+            }
+        }
+        if groups.is_empty() {
+            return;
+        }
+        let mut sorted: Vec<_> = groups.into_iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        let ts = self.streams.read().unwrap()[gid].clock.tick();
+        let rows: Vec<Tuple> = sorted
+            .into_iter()
+            .map(|((kind, sig), (members, residuals))| {
+                Tuple::new(
+                    vec![
+                        Value::str(sig),
+                        Value::str(kind),
+                        Value::Int(members),
+                        Value::Int(residuals),
+                    ],
+                    ts,
+                )
+            })
+            .collect();
+        let _ = self.ingest_batch(gid, rows);
+    }
+
     /// Drain pending health-machine transitions onto `tcq$health`.
     /// Transitions are consumed even when the stream is unregistered
     /// (metrics off), mirroring `pump_errors`.
@@ -2557,6 +2651,7 @@ impl Inner {
             }
             let _ = self.ingest_batch(gid, rows);
         }
+        self.emit_plans();
         if o_gid.is_none() && f_gid.is_none() && w_gid.is_none() {
             return;
         }

@@ -1,0 +1,330 @@
+//! TelegraphCQ-rs planner: bind → logical → rewrite → lower.
+//!
+//! [`CqPlanner`] wraps the CQ-SQL binder (`tcq_sql::Planner`) and runs
+//! every query through a typed [`LogicalPlan`], a value-safe rewrite
+//! pass ([`rules::rewrite`]: constant folding, predicate
+//! simplification, CNF normalization with canonical term ordering,
+//! filter pushdown, projection pruning), and a lowering step back to
+//! the physical [`QueryPlan`] the executor consumes. Alongside the
+//! physical plan it derives [`PlanSignature`]s — the keys the server's
+//! admit path uses to detect that K near-identical standing queries
+//! can execute as one shared dataflow plus per-query residuals.
+
+mod logical;
+pub mod rules;
+mod signature;
+
+pub use logical::{Conjunct, LogicalPlan, ScanNode};
+pub use signature::{core_signature, full_signature, CoreKind, CoreSignature, PlanSignature};
+
+use tcq_common::{Catalog, Consistency, Result};
+use tcq_sql::{QueryAst, QueryPlan};
+
+/// A query after the full planning pipeline.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The rewritten logical plan (annotations drive EXPLAIN).
+    pub logical: LogicalPlan,
+    /// The lowered physical plan the executor runs.
+    pub physical: QueryPlan,
+    /// Rewrite rules that fired, in application order.
+    pub rules: Vec<&'static str>,
+    /// Full-plan signature (hex hash of the canonical render).
+    pub full_signature: String,
+}
+
+impl PlannedQuery {
+    /// The shareable-core signature under `effective` consistency (the
+    /// engine default resolved against any per-query override).
+    pub fn core_signature(&self, effective: Consistency) -> Option<CoreSignature> {
+        signature::core_signature(&self.physical, effective)
+    }
+
+    /// Both signatures bundled, resolving consistency like the engine
+    /// does.
+    pub fn signature(&self, default_consistency: Consistency) -> PlanSignature {
+        let effective = self.physical.consistency.unwrap_or(default_consistency);
+        PlanSignature {
+            full: self.full_signature.clone(),
+            core: self.core_signature(effective),
+        }
+    }
+
+    /// Deterministic logical + physical EXPLAIN rendering.
+    pub fn explain(&self, default_consistency: Consistency) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "=== Logical Plan ===");
+        out.push_str(&self.logical.render());
+        let rules = if self.rules.is_empty() {
+            "none".to_string()
+        } else {
+            self.rules.join(", ")
+        };
+        let _ = writeln!(out, "rewrites: [{rules}]");
+        let _ = writeln!(out, "=== Physical Plan ===");
+        out.push_str(&self.physical.explain());
+        let sig = self.signature(default_consistency);
+        let _ = writeln!(out, "signature: {}", sig.full);
+        match &sig.core {
+            Some(c) => {
+                let _ = writeln!(out, "shared-core: {} {}", c.kind, c.key);
+            }
+            None => {
+                let _ = writeln!(out, "shared-core: none");
+            }
+        }
+        out
+    }
+}
+
+/// The bind → rewrite → lower planning pipeline.
+#[derive(Debug, Clone)]
+pub struct CqPlanner {
+    binder: tcq_sql::Planner,
+}
+
+impl CqPlanner {
+    /// A planner over `catalog`.
+    pub fn new(catalog: Catalog) -> CqPlanner {
+        CqPlanner {
+            binder: tcq_sql::Planner::new(catalog),
+        }
+    }
+
+    /// Parse, bind, rewrite, and lower in one step.
+    pub fn plan_sql(&self, sql: &str) -> Result<PlannedQuery> {
+        Ok(Self::plan_bound(self.binder.plan_sql(sql)?))
+    }
+
+    /// Plan a parsed query.
+    pub fn plan(&self, ast: &QueryAst) -> Result<PlannedQuery> {
+        Ok(Self::plan_bound(self.binder.plan(ast)?))
+    }
+
+    /// Run the rewrite + lower pipeline on an already-bound plan.
+    pub fn plan_bound(bound: QueryPlan) -> PlannedQuery {
+        let mut logical = LogicalPlan::from_bound(&bound);
+        let rules = rules::rewrite(&mut logical);
+        let physical = logical.lower();
+        let full_signature = signature::full_signature(&physical);
+        PlannedQuery {
+            logical,
+            physical,
+            rules,
+            full_signature,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcq_common::{CmpOp, DataType, Expr, Field, Schema, Tuple, Value};
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        c.register_stream(
+            "quotes",
+            Schema::qualified(
+                "quotes",
+                vec![
+                    Field::new("day", DataType::Int),
+                    Field::new("sym", DataType::Str),
+                    Field::new("price", DataType::Float),
+                ],
+            ),
+        )
+        .unwrap();
+        c
+    }
+
+    fn planner() -> CqPlanner {
+        CqPlanner::new(catalog())
+    }
+
+    #[test]
+    fn constant_folding_folds_clean_subtrees_only() {
+        let p = planner()
+            .plan_sql("SELECT price + (1 + 2) FROM quotes WHERE price > 2 * 3")
+            .unwrap();
+        assert!(p.rules.contains(&"const_fold"));
+        assert_eq!(
+            p.physical.filters[0],
+            Expr::col(2).cmp(CmpOp::Gt, Expr::lit(6i64))
+        );
+        assert_eq!(
+            p.physical.outputs[0].expr,
+            Some(Expr::Arith(
+                tcq_common::BinOp::Add,
+                Box::new(Expr::col(2)),
+                Box::new(Expr::lit(3i64)),
+            ))
+        );
+        // 1/0 must keep its error (no fold).
+        let p = planner()
+            .plan_sql("SELECT day FROM quotes WHERE price > 1 / 0")
+            .unwrap();
+        assert!(matches!(&p.physical.filters[0], Expr::Cmp(..)));
+        let t = Tuple::at_seq(vec![Value::Int(1), Value::str("a"), Value::Float(9.0)], 1);
+        assert!(p.physical.filters[0].eval(&t).is_err());
+    }
+
+    #[test]
+    fn not_pushdown_negates_comparisons() {
+        let p = planner()
+            .plan_sql("SELECT day FROM quotes WHERE NOT (price > 5.0)")
+            .unwrap();
+        assert!(p.rules.contains(&"simplify"));
+        assert_eq!(
+            p.physical.filters[0],
+            Expr::col(2).cmp(CmpOp::Le, Expr::lit(5.0f64))
+        );
+        // The rewritten factor is now CACQ-indexable.
+        assert!(p.physical.filters[0].as_single_column_cmp().is_some());
+    }
+
+    #[test]
+    fn demorgan_splits_into_indexable_factors() {
+        let p = planner()
+            .plan_sql("SELECT day FROM quotes WHERE NOT (price <= 5.0 OR day < 3)")
+            .unwrap();
+        assert_eq!(p.physical.filters.len(), 2, "{:?}", p.physical.filters);
+        assert!(p
+            .physical
+            .filters
+            .iter()
+            .all(|f| f.as_single_column_cmp().is_some()));
+    }
+
+    #[test]
+    fn cnf_distributes_or_over_and() {
+        let p = planner()
+            .plan_sql("SELECT day FROM quotes WHERE sym = 'a' OR (sym = 'b' AND day > 3)")
+            .unwrap();
+        assert!(p.rules.contains(&"cnf"));
+        assert_eq!(p.physical.filters.len(), 2);
+        for f in &p.physical.filters {
+            assert!(matches!(f, Expr::Or(..)));
+        }
+    }
+
+    #[test]
+    fn canonical_ordering_makes_commuted_predicates_identical() {
+        let a = planner()
+            .plan_sql("SELECT day FROM quotes WHERE price > 5.0 AND sym = 'x'")
+            .unwrap();
+        let b = planner()
+            .plan_sql("SELECT day FROM quotes WHERE sym = 'x' AND 5.0 < price")
+            .unwrap();
+        assert_eq!(a.physical.filters, b.physical.filters);
+        assert_eq!(a.full_signature, b.full_signature);
+    }
+
+    #[test]
+    fn true_conjuncts_are_dropped() {
+        let p = planner()
+            .plan_sql("SELECT day FROM quotes WHERE 1 < 2 AND price > 5.0")
+            .unwrap();
+        assert_eq!(p.physical.filters.len(), 1);
+    }
+
+    #[test]
+    fn core_signatures_group_families() {
+        let a = planner()
+            .plan_sql(
+                "SELECT day FROM quotes WHERE price > 5.0 \
+                 for (t = 1; t < 9; t++) { WindowIs(quotes, t - 3, t); }",
+            )
+            .unwrap();
+        let b = planner()
+            .plan_sql(
+                "SELECT sym FROM quotes WHERE price > 50.0 AND sym = 'a' \
+                 for (t = 1; t < 9; t++) { WindowIs(quotes, t - 3, t); }",
+            )
+            .unwrap();
+        let (ca, cb) = (
+            a.core_signature(Consistency::Watermark).unwrap(),
+            b.core_signature(Consistency::Watermark).unwrap(),
+        );
+        assert_eq!(ca.kind, CoreKind::Window);
+        assert_eq!(ca, cb, "same source+window ⇒ one family");
+        // Different window ⇒ different family.
+        let c = planner()
+            .plan_sql(
+                "SELECT day FROM quotes WHERE price > 5.0 \
+                 for (t = 1; t < 9; t++) { WindowIs(quotes, t - 4, t); }",
+            )
+            .unwrap();
+        assert_ne!(ca, c.core_signature(Consistency::Watermark).unwrap());
+        // Different consistency ⇒ different family.
+        assert_ne!(ca, b.core_signature(Consistency::Speculative).unwrap());
+        // Unwindowed selections share the cacq core.
+        let d = planner()
+            .plan_sql("SELECT day FROM quotes WHERE price > 1.0")
+            .unwrap();
+        let cd = d.core_signature(Consistency::Watermark).unwrap();
+        assert_eq!(cd.kind, CoreKind::Cacq);
+    }
+
+    #[test]
+    fn explain_renders_both_layers() {
+        let p = planner()
+            .plan_sql(
+                "SELECT day, price FROM quotes WHERE NOT (price <= 5.0) \
+                 for (t = 1; t < 9; t++) { WindowIs(quotes, t - 3, t); }",
+            )
+            .unwrap();
+        let text = p.explain(Consistency::Watermark);
+        assert!(text.contains("=== Logical Plan ==="), "{text}");
+        assert!(text.contains("=== Physical Plan ==="), "{text}");
+        assert!(text.contains("rewrites: ["), "{text}");
+        assert!(text.contains("Scan quotes"), "{text}");
+        assert!(text.contains("pushed=["), "{text}");
+        assert!(text.contains("shared-core: window"), "{text}");
+        // Determinism.
+        assert_eq!(text, p.explain(Consistency::Watermark));
+    }
+
+    #[test]
+    fn rewrites_preserve_predicate_semantics() {
+        // A grab-bag of predicates; rewritten filters must agree with
+        // the raw bound filters on pass/drop for a sweep of tuples.
+        let cases = [
+            "NOT (price > 5.0)",
+            "NOT (sym = 'a' AND price > 5.0)",
+            "NOT NOT (price > 5.0)",
+            "price > 5.0 AND 1 = 1",
+            "sym = 'a' OR (day > 2 AND price < 9.0)",
+            "NOT (day < 3 OR day > 7)",
+            "2 + 3 < price",
+            "day % 2 = 0 OR price / 0.0 > 1.0",
+        ];
+        let binder = tcq_sql::Planner::new(catalog());
+        for sql in cases {
+            let q = format!("SELECT day FROM quotes WHERE {sql}");
+            let bound = binder.plan_sql(&q).unwrap();
+            let planned = planner().plan_sql(&q).unwrap();
+            for day in 0..10i64 {
+                for (si, sym) in ["a", "b"].iter().enumerate() {
+                    for price in [0.0, 5.0, 7.5, 11.0] {
+                        let t = Tuple::at_seq(
+                            vec![Value::Int(day), Value::str(*sym), Value::Float(price)],
+                            day * 10 + si as i64,
+                        );
+                        let raw = bound
+                            .filters
+                            .iter()
+                            .all(|f| f.eval_pred(&t).unwrap_or(false));
+                        let rewritten = planned
+                            .physical
+                            .filters
+                            .iter()
+                            .all(|f| f.eval_pred(&t).unwrap_or(false));
+                        assert_eq!(raw, rewritten, "{sql} on {t:?}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! The typed logical plan.
+//!
+//! A [`LogicalPlan`] is the rewrite-friendly middle layer between the
+//! binder (`tcq_sql::Planner`, which resolves names against the catalog
+//! and splits the WHERE clause into boolean factors) and the physical
+//! [`tcq_sql::QueryPlan`] the executor consumes. It keeps the bound
+//! streams, decomposes the predicate into [`Conjunct`]s annotated with
+//! their stream footprint and indexability, and records per-scan
+//! pushdown / projection-pruning decisions so EXPLAIN can show where
+//! each predicate runs and which columns are live.
+
+use tcq_common::{CmpOp, Consistency, Expr, Value};
+use tcq_sql::{BoundStream, JoinEdge, OutputCol, QueryPlan};
+use tcq_windows::WindowSeq;
+
+/// One boolean factor of the WHERE clause, in full-layout terms.
+#[derive(Debug, Clone)]
+pub struct Conjunct {
+    /// The (rewritten) predicate expression.
+    pub expr: Expr,
+    /// Scan positions whose columns this conjunct reads (sorted).
+    pub streams: Vec<usize>,
+    /// `col <op> literal` decomposition when this factor is indexable
+    /// by the CACQ grouped-filter engine.
+    pub indexable: Option<(usize, CmpOp, Value)>,
+}
+
+/// A scan of one bound stream with planner annotations.
+#[derive(Debug, Clone)]
+pub struct ScanNode {
+    /// The binder's stream entry (offsets define the full layout).
+    pub stream: BoundStream,
+    /// Indices into [`LogicalPlan::predicate`] of conjuncts pushed down
+    /// to this scan (their footprint is exactly this stream).
+    pub pushed: Vec<usize>,
+    /// Local column indexes referenced anywhere in the query (filters,
+    /// joins, outputs, grouping) — the survivors of projection pruning.
+    pub live_cols: Vec<usize>,
+}
+
+/// A fully bound and (after [`crate::rules::rewrite`]) normalized
+/// logical plan.
+#[derive(Debug, Clone)]
+pub struct LogicalPlan {
+    /// Scans in FROM order.
+    pub scans: Vec<ScanNode>,
+    /// Non-join boolean factors in canonical order.
+    pub predicate: Vec<Conjunct>,
+    /// Equi-join edges (full-layout column pairs).
+    pub joins: Vec<JoinEdge>,
+    /// Output columns (projections and/or aggregates).
+    pub outputs: Vec<OutputCol>,
+    /// GROUP BY expressions, when aggregating.
+    pub group_by: Vec<Expr>,
+    /// The window sequence, if declared.
+    pub window: Option<WindowSeq>,
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// ORDER BY output positions with descending flags.
+    pub order_by: Vec<(usize, bool)>,
+    /// Per-query consistency override.
+    pub consistency: Option<Consistency>,
+}
+
+impl LogicalPlan {
+    /// Lift a bound [`QueryPlan`] into the logical layer.
+    pub fn from_bound(plan: &QueryPlan) -> LogicalPlan {
+        let mut lp = LogicalPlan {
+            scans: plan
+                .streams
+                .iter()
+                .map(|s| ScanNode {
+                    stream: s.clone(),
+                    pushed: Vec::new(),
+                    live_cols: Vec::new(),
+                })
+                .collect(),
+            predicate: Vec::new(),
+            joins: plan.joins.clone(),
+            outputs: plan.outputs.clone(),
+            group_by: plan.group_by.clone(),
+            window: plan.window.clone(),
+            distinct: plan.distinct,
+            order_by: plan.order_by.clone(),
+            consistency: plan.consistency,
+        };
+        for f in &plan.filters {
+            let c = lp.make_conjunct(f.clone());
+            lp.predicate.push(c);
+        }
+        lp.annotate();
+        lp
+    }
+
+    /// Build a [`Conjunct`] with footprint and indexability annotations.
+    pub fn make_conjunct(&self, expr: Expr) -> Conjunct {
+        let mut streams: Vec<usize> = expr
+            .columns()
+            .iter()
+            .filter_map(|&c| self.stream_of_column(c))
+            .collect();
+        streams.sort_unstable();
+        streams.dedup();
+        let indexable = expr.as_single_column_cmp();
+        Conjunct {
+            expr,
+            streams,
+            indexable,
+        }
+    }
+
+    /// Scan position owning full-layout column `col`.
+    pub fn stream_of_column(&self, col: usize) -> Option<usize> {
+        self.scans
+            .iter()
+            .position(|s| col >= s.stream.offset && col < s.stream.offset + s.stream.arity)
+    }
+
+    /// Recompute pushdown and live-column annotations from the current
+    /// predicate/output lists. Called after every rewrite pass.
+    pub fn annotate(&mut self) {
+        for s in &mut self.scans {
+            s.pushed.clear();
+            s.live_cols.clear();
+        }
+        for (ci, c) in self.predicate.iter().enumerate() {
+            if let [only] = c.streams[..] {
+                self.scans[only].pushed.push(ci);
+            }
+        }
+        // Live columns: anything read by filters, joins, outputs,
+        // grouping, or the stream cursor columns used by windows (the
+        // window driver reads timestamps, not data columns, so scans
+        // only owe what expressions touch).
+        let mut live: Vec<usize> = Vec::new();
+        for c in &self.predicate {
+            live.extend(c.expr.columns());
+        }
+        for j in &self.joins {
+            live.push(j.a);
+            live.push(j.b);
+        }
+        for o in &self.outputs {
+            if let Some(e) = &o.expr {
+                live.extend(e.columns());
+            }
+            if let Some((_, Some(arg))) = &o.agg {
+                live.extend(arg.columns());
+            }
+        }
+        for g in &self.group_by {
+            live.extend(g.columns());
+        }
+        live.sort_unstable();
+        live.dedup();
+        for col in live {
+            if let Some(si) = self.stream_of_column(col) {
+                let local = col - self.scans[si].stream.offset;
+                self.scans[si].live_cols.push(local);
+            }
+        }
+    }
+
+    /// Whether any output is an aggregate.
+    pub fn is_aggregating(&self) -> bool {
+        self.outputs.iter().any(|o| o.agg.is_some())
+    }
+
+    /// Lower back to the physical [`QueryPlan`] shape the executor
+    /// consumes. The predicate list carries the canonical conjunct
+    /// order; join edges are preserved from the binder (rewrites never
+    /// invent or destroy equi-join factors).
+    pub fn lower(&self) -> QueryPlan {
+        QueryPlan {
+            streams: self.scans.iter().map(|s| s.stream.clone()).collect(),
+            filters: self.predicate.iter().map(|c| c.expr.clone()).collect(),
+            joins: self.joins.clone(),
+            outputs: self.outputs.clone(),
+            group_by: self.group_by.clone(),
+            window: self.window.clone(),
+            distinct: self.distinct,
+            order_by: self.order_by.clone(),
+            consistency: self.consistency,
+        }
+    }
+
+    /// Deterministic operator-tree rendering for EXPLAIN. Inner-most
+    /// operators (scans) are deepest; annotations show pushdown and
+    /// live columns.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut depth = 0usize;
+        let line = |out: &mut String, depth: usize, s: String| {
+            let _ = writeln!(out, "{:indent$}{s}", "", indent = depth * 2);
+        };
+        if !self.order_by.is_empty() {
+            let keys: Vec<String> = self
+                .order_by
+                .iter()
+                .map(|&(p, d)| format!("#{p}{}", if d { " desc" } else { "" }))
+                .collect();
+            line(&mut out, depth, format!("Sort [{}]", keys.join(", ")));
+            depth += 1;
+        }
+        if self.distinct {
+            line(&mut out, depth, "Distinct".to_string());
+            depth += 1;
+        }
+        if self.is_aggregating() {
+            let aggs: Vec<String> = self
+                .outputs
+                .iter()
+                .map(|o| match &o.agg {
+                    Some((k, Some(arg))) => format!("{}({arg}) AS {}", k, o.name),
+                    Some((k, None)) => format!("{}(*) AS {}", k, o.name),
+                    None => format!(
+                        "{} AS {}",
+                        o.expr.as_ref().map(|e| e.to_string()).unwrap_or_default(),
+                        o.name
+                    ),
+                })
+                .collect();
+            let groups: Vec<String> = self.group_by.iter().map(|g| g.to_string()).collect();
+            line(
+                &mut out,
+                depth,
+                format!(
+                    "Aggregate [{}] group by [{}]",
+                    aggs.join(", "),
+                    groups.join(", ")
+                ),
+            );
+        } else {
+            let cols: Vec<String> = self
+                .outputs
+                .iter()
+                .map(|o| {
+                    format!(
+                        "{} AS {}",
+                        o.expr.as_ref().map(|e| e.to_string()).unwrap_or_default(),
+                        o.name
+                    )
+                })
+                .collect();
+            line(&mut out, depth, format!("Project [{}]", cols.join(", ")));
+        }
+        depth += 1;
+        // Residual (non-pushed) conjuncts sit above the join.
+        let residual: Vec<String> = self
+            .predicate
+            .iter()
+            .filter(|c| c.streams.len() != 1)
+            .map(|c| c.expr.to_string())
+            .collect();
+        if !residual.is_empty() {
+            line(&mut out, depth, format!("Filter [{}]", residual.join(", ")));
+            depth += 1;
+        }
+        if !self.joins.is_empty() || self.scans.len() > 1 {
+            let edges: Vec<String> = self
+                .joins
+                .iter()
+                .map(|e| format!("#{} = #{}", e.a.min(e.b), e.a.max(e.b)))
+                .collect();
+            line(&mut out, depth, format!("Join [{}]", edges.join(", ")));
+            depth += 1;
+        }
+        if let Some(seq) = &self.window {
+            line(
+                &mut out,
+                depth,
+                format!(
+                    "Window [for (t = {}; {:?}; t += {})]",
+                    seq.header.init, seq.header.cond, seq.header.step
+                ),
+            );
+            depth += 1;
+        }
+        for s in &self.scans {
+            let pushed: Vec<String> = s
+                .pushed
+                .iter()
+                .map(|&ci| self.predicate[ci].expr.to_string())
+                .collect();
+            let live: Vec<String> = s.live_cols.iter().map(|c| format!("#{c}")).collect();
+            line(
+                &mut out,
+                depth,
+                format!(
+                    "Scan {} AS {}{} pushed=[{}] live=[{}]",
+                    s.stream.name,
+                    s.stream.alias,
+                    if s.stream.windowed { " [windowed]" } else { "" },
+                    pushed.join(", "),
+                    live.join(", "),
+                ),
+            );
+        }
+        if let Some(c) = self.consistency {
+            line(&mut out, 0, format!("consistency: {c}"));
+        }
+        out
+    }
+}

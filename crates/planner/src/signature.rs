@@ -1,0 +1,145 @@
+//! Plan signatures for the cross-query sharing index.
+//!
+//! Two signatures are derived from every physical plan:
+//!
+//! * the **full signature** — an FNV-1a hash of the canonical plan
+//!   render. Queries that normalize to the same plan (modulo aliases)
+//!   collide here; the server's `tcq$plans` stream reports it.
+//! * the **core signature** — the shareable subplan identity. Queries
+//!   with the same core compile into one dataflow with per-query
+//!   residual predicates and projections. A core exists for
+//!   single-stream, join-free plans only: the `window` kind keys on
+//!   (source, window sequence, consistency) and shares the per-instant
+//!   scan + grouped-filter pass; the `cacq` kind keys on the source and
+//!   folds indexable predicates into the grouped-filter engine.
+
+use tcq_common::Consistency;
+use tcq_sql::QueryPlan;
+
+/// Which shared dataflow a core signature names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreKind {
+    /// Unwindowed selection sharing through the CACQ grouped-filter
+    /// engine.
+    Cacq,
+    /// Windowed family sharing: one scan + shared filter pass per loop
+    /// instant.
+    Window,
+}
+
+impl std::fmt::Display for CoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CoreKind::Cacq => "cacq",
+            CoreKind::Window => "window",
+        })
+    }
+}
+
+/// The shareable-subplan identity of a plan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CoreSignature {
+    /// Shared dataflow class.
+    pub kind: CoreKind,
+    /// Exact-match grouping key; equal keys ⇒ one shared core.
+    pub key: String,
+}
+
+/// Full + core signature of a physical plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSignature {
+    /// Hash of the canonical plan render (hex).
+    pub full: String,
+    /// Shareable core, when the plan has one.
+    pub core: Option<CoreSignature>,
+}
+
+/// 64-bit FNV-1a.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Canonical render for the full signature: alias-independent and
+/// stable across sessions (no addresses, no hash-map order).
+fn canonical_render(plan: &QueryPlan) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for bs in &plan.streams {
+        let _ = write!(s, "scan:{}/{}/{:?};", bs.name, bs.arity, bs.kind);
+    }
+    for f in &plan.filters {
+        let _ = write!(s, "filter:{f};");
+    }
+    for j in &plan.joins {
+        let _ = write!(s, "join:{}={};", j.a.min(j.b), j.a.max(j.b));
+    }
+    for o in &plan.outputs {
+        match (&o.expr, &o.agg) {
+            (Some(e), _) => {
+                let _ = write!(s, "out:{}={e};", o.name);
+            }
+            (None, Some((k, Some(arg)))) => {
+                let _ = write!(s, "out:{}={k}({arg});", o.name);
+            }
+            (None, Some((k, None))) => {
+                let _ = write!(s, "out:{}={k}(*);", o.name);
+            }
+            (None, None) => {}
+        }
+    }
+    for g in &plan.group_by {
+        let _ = write!(s, "group:{g};");
+    }
+    if let Some(w) = &plan.window {
+        let _ = write!(s, "window:{w:?};");
+    }
+    if plan.distinct {
+        s.push_str("distinct;");
+    }
+    for &(p, d) in &plan.order_by {
+        let _ = write!(s, "order:{p}/{d};");
+    }
+    if let Some(c) = plan.consistency {
+        let _ = write!(s, "consistency:{c};");
+    }
+    s
+}
+
+/// The core (shareable-subplan) signature of `plan`, if it has one.
+/// `effective_consistency` is the engine-resolved consistency level
+/// (plan override or config default) — part of the window key because
+/// speculative and strict members cannot share one emission protocol.
+pub fn core_signature(
+    plan: &QueryPlan,
+    effective_consistency: Consistency,
+) -> Option<CoreSignature> {
+    if plan.streams.len() != 1 || !plan.joins.is_empty() {
+        return None;
+    }
+    let src = &plan.streams[0];
+    match &plan.window {
+        Some(seq) => Some(CoreSignature {
+            kind: CoreKind::Window,
+            key: format!(
+                "w|{}|{}|{:?}|{effective_consistency}",
+                src.name, src.windowed, seq
+            ),
+        }),
+        None if !plan.is_aggregating() => Some(CoreSignature {
+            kind: CoreKind::Cacq,
+            key: format!("s|{}", src.name),
+        }),
+        None => None,
+    }
+}
+
+/// Compute the full signature (core is filled by the caller, which
+/// knows the effective consistency level).
+pub fn full_signature(plan: &QueryPlan) -> String {
+    format!("{:016x}", fnv1a(canonical_render(plan).as_bytes()))
+}

@@ -69,6 +69,15 @@ pub struct GenOptions {
     /// `disorder` is on (both levels, evenly) and pins nothing
     /// otherwise.
     pub consistency: Option<Consistency>,
+    /// Append a family of near-identical queries (`false` = never).
+    /// When on, the episode gains 2–6 extra queries over one source
+    /// and (half the time) one shared window loop — identical shapes
+    /// with varied literal constants, projections, and an occasional
+    /// non-indexable residual factor — so the planner's cross-query
+    /// sharing path (CACQ residual widening and window families) sees
+    /// real families. Guarded draws appended after the base episode,
+    /// so every other slice's episodes stay byte-identical.
+    pub shared_families: bool,
     /// Force the episode's `columnar` pin (`None` = leave unpinned, the
     /// engine default).
     pub columnar: Option<bool>,
@@ -300,6 +309,40 @@ pub fn generate(seed: u64, index: u64, opts: &GenOptions) -> Episode {
         }
     }
 
+    // Shared-family queries are appended as a separate guarded pass
+    // (like the disk-fault arms above, so enabling them never perturbs
+    // the other slices' episodes). Every member keeps the same source
+    // and — for windowed families — the same window loop, because the
+    // planner's core signature keys on exactly those; constants,
+    // projections, and residual shape vary per member.
+    if opts.shared_families {
+        let k = 2 + rng.next_below(5) as usize;
+        let windowed = rng.next_below(2) == 1;
+        let hi = 6 + rng.next_below(10);
+        let width = 1 + rng.next_below(4);
+        for _ in 0..k {
+            let thresh = 1.0 + rng.next_below(30) as f64 * 0.5;
+            let proj = ["day, sym, price", "sym, price", "day, price"][rng.next_below(3) as usize];
+            // `price > day` is not a single-column comparison, so it
+            // cannot feed the grouped-filter index: drawn alone it
+            // drives the match-all-then-filter family path, and
+            // alongside a threshold it drives residual widening.
+            let pred = match rng.next_below(4) {
+                0 => format!("price > {thresh:?} AND price > day"),
+                1 => "price > day".to_string(),
+                _ => format!("price > {thresh:?}"),
+            };
+            queries.push(if windowed {
+                format!(
+                    "SELECT {proj} FROM quotes WHERE {pred} \
+                     for (t = 1; t <= {hi}; t++) {{ WindowIs(quotes, t - {width}, t); }}"
+                )
+            } else {
+                format!("SELECT {proj} FROM quotes WHERE {pred}")
+            });
+        }
+    }
+
     Episode {
         seed: seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         policy,
@@ -452,6 +495,44 @@ mod tests {
         }
         assert!(saw_fault, "30 diskfault-enabled episodes armed no fault");
         assert!(saw_halt, "30 diskfault-enabled episodes never drew halt");
+    }
+
+    #[test]
+    fn shared_families_append_without_perturbing_the_base_episode() {
+        let base = GenOptions::default();
+        let opts = GenOptions {
+            shared_families: true,
+            ..GenOptions::default()
+        };
+        let planner = tcq_planner::CqPlanner::new(crate::oracle::sim_catalog());
+        let mut saw_family = false;
+        for i in 0..20 {
+            let off = generate(29, i, &base);
+            let on = generate(29, i, &opts);
+            // The family pass only appends queries: the schedule and the
+            // base query list are byte-identical with the option off.
+            assert_eq!(on.steps, off.steps, "episode {i}: schedule perturbed");
+            assert_eq!(
+                &on.queries[..off.queries.len()],
+                &off.queries[..],
+                "episode {i}: base queries perturbed"
+            );
+            assert!(on.queries.len() > off.queries.len());
+            // At least some episodes must form a genuine family: two or
+            // more queries landing on the same shared-core key.
+            let mut counts = std::collections::HashMap::new();
+            for q in &on.queries {
+                let planned = planner.plan_sql(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+                if let Some(core) = planned.core_signature(on.consistency.unwrap_or_default()) {
+                    *counts.entry(core.key).or_insert(0u32) += 1;
+                }
+            }
+            saw_family |= counts.values().any(|&c| c >= 2);
+        }
+        assert!(
+            saw_family,
+            "20 shared-family episodes formed no shared core"
+        );
     }
 
     #[test]

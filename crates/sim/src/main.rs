@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! tcq-sim --seed 42 --episodes 1000     # randomized episode sweep
-//! tcq-sim --smoke                       # fixed 472-episode CI matrix
+//! tcq-sim --smoke                       # fixed 504-episode CI matrix
 //!                                       #   (4 shed policies x fault/no-fault,
 //!                                       #    + a partitions=4 slice per policy,
 //!                                       #    + a 104-episode durable crash/
 //!                                       #      recovery slice,
 //!                                       #    + a 64-episode disk-fault slice,
-//!                                       #    + a 64-episode out-of-order slice)
+//!                                       #    + a 64-episode out-of-order slice,
+//!                                       #    + a 32-episode shared-family slice)
 //!                                       #   + replay of tests/sim_corpus/
 //! tcq-sim --replay tests/sim_corpus/spill-drain.episode
 //! ```
@@ -59,7 +60,7 @@ fn parse_args() -> Result<Args, String> {
                     "tcq-sim: deterministic simulation testing\n\n\
                      \t--seed <n>        root seed (default 1)\n\
                      \t--episodes <k>    random episodes to run (default 100)\n\
-                     \t--smoke           fixed 472-episode matrix + corpus replay\n\
+                     \t--smoke           fixed 504-episode matrix + corpus replay\n\
                      \t--replay <file>   replay one episode file (repeatable)\n\
                      \t--corpus <dir>    corpus directory (default tests/sim_corpus)"
                 );
@@ -225,6 +226,31 @@ fn main() -> ExitCode {
                             checked += 1;
                         }
                     }
+                }
+            }
+        }
+        // Shared-family slice: every episode appends a family of
+        // near-identical queries over one source/window, driving the
+        // planner's cross-query sharing (CACQ residual widening and
+        // window families with refcounted teardown), across single-
+        // and 4-partition engines and row/columnar execution. Sharing
+        // must be invisible to the oracle diff — the oracle always
+        // evaluates each query alone.
+        for partitions in [None, Some(4)] {
+            for columnar in [false, true] {
+                let opts = GenOptions {
+                    policy: Some(ShedPolicy::Block),
+                    faults: Some(false),
+                    partitions,
+                    columnar: Some(columnar),
+                    shared_families: true,
+                    ..GenOptions::default()
+                };
+                for i in 0..8u64 {
+                    let index =
+                        50_000 + partitions.unwrap_or(1) as u64 * 100 + (columnar as u64) * 10 + i;
+                    failed += run_one(args.seed, index, &opts, &args.corpus) as usize;
+                    checked += 1;
                 }
             }
         }

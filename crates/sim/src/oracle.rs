@@ -30,7 +30,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use tcq_common::{Catalog, Consistency, DataType, Field, Schema, Tuple, Value};
-use tcq_sql::{Planner, QueryPlan};
+use tcq_sql::QueryPlan;
 use tcq_windows::{AggKind, LandmarkAgg, WindowAgg};
 
 use crate::driver::EpisodeRun;
@@ -91,15 +91,21 @@ pub fn sim_catalog() -> Catalog {
     c
 }
 
-/// Evaluate every episode query over the run's admitted trace.
+/// Evaluate every episode query over the run's admitted trace. Queries
+/// go through the same planner pipeline the engine's admit path runs
+/// (`tcq_planner::CqPlanner`: constant folding, predicate
+/// normalization, CNF), so oracle and engine evaluate identical
+/// physical plans — a rewrite that changed semantics would diverge
+/// against the raw evaluation the executor's answers reflect.
 pub fn evaluate(ep: &Episode, run: &EpisodeRun) -> Result<OracleOutput, String> {
-    let planner = Planner::new(sim_catalog());
+    let planner = tcq_planner::CqPlanner::new(sim_catalog());
     let default_level = episode_consistency(ep);
     let mut queries = Vec::with_capacity(ep.queries.len());
     for (i, sql) in ep.queries.iter().enumerate() {
         let plan = planner
             .plan_sql(sql)
-            .map_err(|e| format!("query {i} plans in the engine but not the oracle: {e}"))?;
+            .map_err(|e| format!("query {i} plans in the engine but not the oracle: {e}"))?
+            .physical;
         let level = plan.consistency.unwrap_or(default_level);
         queries.push(
             evaluate_plan(
@@ -448,6 +454,7 @@ fn key_of(fields: &[Value]) -> Vec<tcq_common::value::KeyRepr> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tcq_sql::Planner;
 
     fn trace() -> BTreeMap<String, Vec<Tuple>> {
         let mut m = BTreeMap::new();

@@ -44,5 +44,6 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 
+pub use ast::QueryAst;
 pub use parser::parse;
-pub use plan::{Planner, QueryPlan};
+pub use plan::{BoundStream, JoinEdge, OutputCol, Planner, QueryPlan};

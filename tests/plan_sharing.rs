@@ -1,0 +1,177 @@
+//! Property-based tests for cross-query plan sharing (DESIGN §17).
+//!
+//! The tentpole invariant: `Config::plan_sharing` is a pure execution
+//! strategy — flipping it must be invisible to clients. For a family of
+//! K near-identical queries (same source, same window, varied literal
+//! constants, projections, and residual shapes), every query's drained
+//! output — row order included — is byte-identical between the shared
+//! run (one CACQ core or window family plus per-query residuals) and
+//! the unshared run (K independent dataflows), across family sizes
+//! {2, 16, 128}, partitions {1, 4}, row and columnar execution, and
+//! arbitrary admit/remove interleavings. A removal mid-stream must tear
+//! down only the leaving member's slot: the refcounted family neither
+//! strands the leaver's buffered results nor perturbs its siblings.
+
+use proptest::prelude::*;
+
+use tcq_common::{DataType, Field, Schema, Value};
+
+/// K near-identical queries over the `quotes` stream: identical shape
+/// (and, when `windowed`, an identical window loop — the planner's
+/// core signature keys on exactly that), with constants, projections,
+/// and residual factors varied per member. `price > day` is not a
+/// single-column comparison, so members drawing it exercise residual
+/// widening (alongside a threshold) and the match-all family path
+/// (alone).
+fn family_queries(k: usize, windowed: bool, horizon: i64) -> Vec<String> {
+    (0..k)
+        .map(|i| {
+            let thresh = 30 + (i % 8) as i64 * 5;
+            let proj = ["day, sym, price", "sym, price", "day, price"][i % 3];
+            let pred = match i % 4 {
+                0 => format!("price > {thresh} AND price > day"),
+                1 => "price > day".to_string(),
+                _ => format!("price > {thresh}"),
+            };
+            if windowed {
+                format!(
+                    "SELECT {proj} FROM quotes WHERE {pred} \
+                     for (t = 1; t <= {horizon}; t++) {{ WindowIs(quotes, t - 3, t); }}"
+                )
+            } else {
+                format!("SELECT {proj} FROM quotes WHERE {pred}")
+            }
+        })
+        .collect()
+}
+
+/// Run the family in deterministic step mode and return every query's
+/// full drained output in delivery order. `removals` stops queries
+/// mid-stream: `(q, row)` stops query `q` just after the `row`-th push
+/// (whatever it buffered by then is its final answer). No sorting
+/// anywhere — byte-identical order is part of the contract.
+fn family_answers(
+    plan_sharing: bool,
+    queries: &[String],
+    partitions: usize,
+    columnar: bool,
+    rows: &[(i64, i64)],
+    removals: &[(usize, usize)],
+) -> Vec<Vec<tcq::ResultSet>> {
+    let server = tcq::Server::start(tcq::Config {
+        step_mode: true,
+        batch_size: 2,
+        partitions,
+        columnar,
+        plan_sharing,
+        ..tcq::Config::default()
+    })
+    .expect("server starts");
+    server
+        .register_stream(
+            "quotes",
+            Schema::qualified(
+                "quotes",
+                vec![
+                    Field::new("day", DataType::Int),
+                    Field::new("sym", DataType::Str),
+                    Field::new("price", DataType::Int),
+                ],
+            ),
+        )
+        .expect("quotes registers");
+    let handles: Vec<tcq::QueryHandle> = queries
+        .iter()
+        .map(|q| server.submit(q).expect("family member submits"))
+        .collect();
+    let syms = ["aapl", "ibm", "msft", "orcl"];
+    let mut out: Vec<Vec<tcq::ResultSet>> = vec![Vec::new(); handles.len()];
+    let mut stopped = vec![false; handles.len()];
+    let horizon = rows.len() as i64;
+    for (j, &(sym_pick, price)) in rows.iter().enumerate() {
+        let t = j as i64 + 1;
+        server
+            .push_at(
+                "quotes",
+                vec![
+                    Value::Int(t),
+                    Value::str(syms[sym_pick as usize % 4]),
+                    Value::Int(price),
+                ],
+                t,
+            )
+            .expect("push succeeds");
+        for &(q, row) in removals {
+            let q = q % handles.len();
+            if row == j && !stopped[q] {
+                server.sync();
+                out[q].extend(handles[q].drain());
+                server.stop_query(handles[q].id).expect("stop succeeds");
+                stopped[q] = true;
+            }
+        }
+    }
+    server.punctuate("quotes", horizon).expect("punctuate");
+    server.sync();
+    server.assert_quiescent();
+    for (q, h) in handles.iter().enumerate() {
+        if !stopped[q] {
+            out[q].extend(h.drain());
+        }
+    }
+    server.shutdown();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Shared ≡ unshared, byte for byte, with the family size swept
+    /// through {2, 16, 128} and the engine through partitions {1, 4} ×
+    /// columnar {0, 1} × {unwindowed CACQ, windowed family} — plus up
+    /// to two admit/remove interleavings per case, so the refcounted
+    /// teardown path runs under the comparison too.
+    #[test]
+    fn shared_equals_unshared_byte_identical(
+        k in prop_oneof![Just(2usize), Just(16usize), Just(128usize)],
+        partitions in prop_oneof![Just(1usize), Just(4usize)],
+        columnar_pick in 0u8..2,
+        windowed_pick in 0u8..2,
+        rows in proptest::collection::vec((0i64..4, 0i64..100), 6..24),
+        removals in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..3),
+    ) {
+        let windowed = windowed_pick == 1;
+        let queries = family_queries(k, windowed, rows.len() as i64);
+        let removals: Vec<(usize, usize)> = removals
+            .iter()
+            .map(|&(a, b)| (a as usize % k, b as usize % rows.len()))
+            .collect();
+        let shared = family_answers(
+            true, &queries, partitions, columnar_pick == 1, &rows, &removals);
+        let unshared = family_answers(
+            false, &queries, partitions, columnar_pick == 1, &rows, &removals);
+        prop_assert_eq!(shared, unshared);
+    }
+}
+
+/// Deterministic teardown pin: members of one window family leave one
+/// by one mid-stream, and each departure leaves every sibling's output
+/// exactly what the unshared engine produces — the refcounted family
+/// never strands a leaver's buffered rows and never kills a sibling.
+#[test]
+fn family_teardown_leaves_siblings_intact() {
+    let rows: Vec<(i64, i64)> = (0..18).map(|i| (i % 4, (i * 13) % 100)).collect();
+    let queries = family_queries(4, true, rows.len() as i64);
+    // Remove members 2, 0, 3 after rows 4, 9, 13; member 1 runs to
+    // completion over a family that shrinks to just itself.
+    let removals = [(2usize, 4usize), (0, 9), (3, 13)];
+    let shared = family_answers(true, &queries, 1, false, &rows, &removals);
+    let unshared = family_answers(false, &queries, 1, false, &rows, &removals);
+    assert_eq!(shared, unshared);
+    // The survivor really produced windows (the comparison is not
+    // vacuously empty).
+    assert!(
+        shared[1].iter().any(|set| !set.rows.is_empty()),
+        "surviving family member produced no rows"
+    );
+}

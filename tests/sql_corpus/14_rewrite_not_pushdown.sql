@@ -1,0 +1,2 @@
+SELECT timestamp, closingPrice FROM ClosingStockPrices
+WHERE NOT (closingPrice <= 25.0 OR timestamp < 3)

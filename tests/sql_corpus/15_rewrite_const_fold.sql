@@ -1,0 +1,2 @@
+SELECT stockSymbol FROM ClosingStockPrices
+WHERE closingPrice > 2 * 10 + 5 AND 1 < 2

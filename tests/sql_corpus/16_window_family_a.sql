@@ -1,0 +1,3 @@
+SELECT timestamp, closingPrice FROM ClosingStockPrices
+WHERE closingPrice > 20.0
+for (t = 1; t <= 12; t++) { WindowIs(ClosingStockPrices, t - 3, t); }

@@ -1,0 +1,3 @@
+SELECT stockSymbol, closingPrice FROM ClosingStockPrices
+WHERE closingPrice > 55.0 AND closingPrice > timestamp
+for (t = 1; t <= 12; t++) { WindowIs(ClosingStockPrices, t - 3, t); }

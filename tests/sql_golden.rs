@@ -1,11 +1,15 @@
-//! Golden-file tests for the CQ-SQL front end.
+//! Golden-file tests for the CQ-SQL front end and planner.
 //!
-//! Every `tests/sql_corpus/*.sql` query is parsed and planned; the
-//! pretty-printed AST plus the plan's `explain()` output must match the
-//! committed `.golden` snapshot byte-for-byte. This pins the parser and
-//! planner: any change to precedence, binding, window analysis, or the
-//! shared/continuous/windowed classification shows up as a readable
-//! golden diff instead of a silent behaviour change.
+//! Every `tests/sql_corpus/*.sql` query is parsed and run through the
+//! full planning pipeline (bind → logical → rewrite → lower); the
+//! pretty-printed AST plus the planner's EXPLAIN rendering (logical
+//! plan, fired rewrite rules, physical plan, plan signature, and
+//! shared-core key) must match the committed `.golden` snapshot
+//! byte-for-byte. This pins the parser and both planner layers: any
+//! change to precedence, binding, window analysis, a rewrite rule, the
+//! shared/continuous/windowed classification, or the sharing signature
+//! scheme shows up as a readable golden diff instead of a silent
+//! behaviour change.
 //!
 //! To refresh the snapshots after an intentional front-end change:
 //!
@@ -17,8 +21,9 @@
 
 use std::path::{Path, PathBuf};
 
-use tcq_common::{Catalog, DataType, Field, Schema};
-use tcq_sql::{parse, Planner};
+use tcq_common::{Catalog, Consistency, DataType, Field, Schema};
+use tcq_planner::CqPlanner;
+use tcq_sql::parse;
 
 fn corpus_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/sql_corpus")
@@ -110,20 +115,22 @@ fn catalog() -> Catalog {
     c
 }
 
-/// Parse + plan `sql` and render the snapshot text.
+/// Parse + plan `sql` and render the snapshot text. The EXPLAIN half
+/// resolves consistency against the engine default, like the server's
+/// EXPLAIN endpoint does.
 fn render(name: &str, sql: &str) -> String {
     let ast = match parse(sql) {
         Ok(ast) => ast,
         Err(e) => panic!("{name}: corpus query fails to parse: {e}"),
     };
-    let plan = match Planner::new(catalog()).plan(&ast) {
+    let planned = match CqPlanner::new(catalog()).plan(&ast) {
         Ok(p) => p,
         Err(e) => panic!("{name}: corpus query fails to plan: {e}"),
     };
     format!(
-        "-- {name}\n{}\n=== AST ===\n{ast:#?}\n=== PLAN ===\n{}",
+        "-- {name}\n{}\n=== AST ===\n{ast:#?}\n{}",
         sql.trim_end(),
-        plan.explain()
+        planned.explain(Consistency::default())
     )
 }
 
@@ -176,31 +183,43 @@ fn sql_corpus_matches_goldens() {
 }
 
 /// The corpus exercises the classes and features it claims to: at least
-/// one shared, one continuous, one windowed plan, a join, and a
-/// `tcq$*` introspection source.
+/// one shared, one continuous, one windowed plan, a join, a `tcq$*`
+/// introspection source, a query where a rewrite rule fires, and a pair
+/// of queries sharing a core signature (a plan family).
 #[test]
 fn sql_corpus_covers_the_planner_surface() {
     let dir = corpus_dir();
     let mut classes = std::collections::HashSet::new();
+    let mut cores = std::collections::HashMap::new();
     let mut has_join = false;
     let mut has_introspect = false;
+    let mut has_rewrite = false;
     for entry in std::fs::read_dir(&dir).unwrap() {
         let path = entry.unwrap().path();
         if path.extension().is_none_or(|x| x != "sql") {
             continue;
         }
         let sql = std::fs::read_to_string(&path).unwrap();
-        let plan = Planner::new(catalog()).plan_sql(&sql).unwrap();
-        let explain = plan.explain();
+        let planned = CqPlanner::new(catalog()).plan_sql(&sql).unwrap();
+        let explain = planned.explain(Consistency::default());
         for class in ["shared", "continuous", "windowed"] {
             if explain.contains(&format!("class: {class}")) {
                 classes.insert(class);
             }
         }
-        has_join |= !plan.joins.is_empty();
+        if let Some(core) = planned.core_signature(Consistency::default()) {
+            *cores.entry(core.key).or_insert(0u32) += 1;
+        }
+        has_join |= !planned.physical.joins.is_empty();
         has_introspect |= sql.contains("tcq$");
+        has_rewrite |= !planned.rules.is_empty();
     }
     assert_eq!(classes.len(), 3, "corpus misses a query class: {classes:?}");
     assert!(has_join, "corpus needs a join query");
     assert!(has_introspect, "corpus needs a tcq$* query");
+    assert!(has_rewrite, "corpus needs a query that triggers a rewrite");
+    assert!(
+        cores.values().any(|&n| n >= 2),
+        "corpus needs a shared-core family (two queries, one core key)"
+    );
 }
